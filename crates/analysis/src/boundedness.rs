@@ -1,0 +1,310 @@
+//! Deciding h-boundedness (Definition 5.8, Theorem 5.10).
+//!
+//! `P` is *h-bounded for p* if every minimum p-faithful run (on any initial
+//! instance) whose events are all silent at `p` except the last has length
+//! at most `h`. By Lemmas A.2/A.3 it suffices to look for counterexamples —
+//! length-`h+1` such runs — over instances and events drawn from the
+//! constant pool `C_{h+1}`; this module implements that bounded search
+//! (PSPACE-complete in general, hence explicitly budgeted).
+
+use std::fmt;
+use std::sync::Arc;
+
+use cwf_model::{Instance, PeerId};
+use cwf_engine::{Event, Run};
+use cwf_lang::WorkflowSpec;
+use cwf_core::{tp_closure, EventSet, RunIndex};
+
+use crate::space::{
+    applicable_events_for_run, completion_pool, constant_pool, Budget, InstanceEnumerator,
+    Limits,
+};
+
+/// The outcome of a bounded decision procedure.
+#[derive(Debug, Clone)]
+pub enum Decision<W> {
+    /// The property holds (exhaustive over the bounded space).
+    Holds,
+    /// A counterexample was found.
+    CounterExample(W),
+    /// The search budget was exhausted before completion.
+    Budget,
+}
+
+impl<W> Decision<W> {
+    /// Does the property hold?
+    pub fn holds(&self) -> bool {
+        matches!(self, Decision::Holds)
+    }
+
+    /// The counterexample, if one was found.
+    pub fn counter_example(self) -> Option<W> {
+        match self {
+            Decision::CounterExample(w) => Some(w),
+            _ => None,
+        }
+    }
+}
+
+impl<W> fmt::Display for Decision<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Decision::Holds => write!(f, "holds"),
+            Decision::CounterExample(_) => write!(f, "counterexample found"),
+            Decision::Budget => write!(f, "budget exhausted"),
+        }
+    }
+}
+
+/// A witness against h-boundedness: a minimum p-faithful silent-then-visible
+/// run of length `h + 1`.
+#[derive(Debug, Clone)]
+pub struct BoundednessWitness {
+    /// The initial instance the run starts from.
+    pub initial: Instance,
+    /// The violating event sequence.
+    pub events: Vec<Event>,
+}
+
+/// Decides whether `spec` is h-bounded for `peer` (Theorem 5.10).
+pub fn check_h_bounded(
+    spec: &Arc<WorkflowSpec>,
+    peer: PeerId,
+    h: usize,
+    limits: &Limits,
+) -> Decision<BoundednessWitness> {
+    let pool = constant_pool(spec, h + 1, limits);
+    let chain_pool = completion_pool(spec, h + 1, &pool);
+    let mut budget = Budget::new(limits.max_nodes);
+    let mut en = InstanceEnumerator::new(spec, &pool, limits);
+    while let Some(init) = en.next_instance(spec) {
+        if !budget.tick() {
+            return Decision::Budget;
+        }
+        let base = Run::with_initial(Arc::clone(spec), init.clone());
+        match dfs_silent_chain(&base, peer, &chain_pool, h + 1, &mut budget) {
+            ChainOutcome::Found(events) => {
+                return Decision::CounterExample(BoundednessWitness { initial: init, events })
+            }
+            ChainOutcome::Budget => return Decision::Budget,
+            ChainOutcome::None => {}
+        }
+    }
+    Decision::Holds
+}
+
+/// Finds the least `h ≤ h_max` for which the program is h-bounded, if any.
+pub fn find_bound(
+    spec: &Arc<WorkflowSpec>,
+    peer: PeerId,
+    h_max: usize,
+    limits: &Limits,
+) -> Option<usize> {
+    (0..=h_max).find(|&h| check_h_bounded(spec, peer, h, limits).holds())
+}
+
+enum ChainOutcome {
+    Found(Vec<Event>),
+    None,
+    Budget,
+}
+
+/// DFS for a run of exactly `target_len` events on `base`'s initial
+/// instance, all silent at `peer` except a visible last one, that is its own
+/// minimum p-faithful scenario.
+fn dfs_silent_chain(
+    base: &Run,
+    peer: PeerId,
+    pool: &[cwf_model::Value],
+    target_len: usize,
+    budget: &mut Budget,
+) -> ChainOutcome {
+    fn go(
+        run: &Run,
+        peer: PeerId,
+        pool: &[cwf_model::Value],
+        target_len: usize,
+        budget: &mut Budget,
+    ) -> ChainOutcome {
+        let depth = run.len();
+        let Some(candidates) = applicable_events_for_run(run.spec(), run, pool) else {
+            // Not enough fresh headroom in the pool: treat as exhaustion.
+            return ChainOutcome::Budget;
+        };
+        for t in &candidates {
+            // One budget unit per candidate trial: the budget measures real
+            // work, so exhaustion fires promptly on huge spaces.
+            if !budget.tick() {
+                return ChainOutcome::Budget;
+            }
+            let mut next = run.clone();
+            if next.push(t.clone()).is_err() {
+                continue;
+            }
+            let visible = next.visible_at(depth, peer);
+            if depth + 1 == target_len {
+                // Last event: must be visible and the whole chain must be a
+                // minimum p-faithful run (its own minimal faithful scenario).
+                if !visible {
+                    continue;
+                }
+                let index = RunIndex::build(&next);
+                let seed = EventSet::from_iter(next.len(), [depth]);
+                let closure = tp_closure(&next, &index, peer, &seed);
+                if closure.len() == next.len() {
+                    return ChainOutcome::Found(next.events().to_vec());
+                }
+            } else {
+                // Prefix events must be silent.
+                if visible {
+                    continue;
+                }
+                match go(&next, peer, pool, target_len, budget) {
+                    ChainOutcome::None => {}
+                    other => return other,
+                }
+            }
+        }
+        ChainOutcome::None
+    }
+    go(base, peer, pool, target_len, budget)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwf_lang::parse_workflow;
+
+    fn limits() -> Limits {
+        Limits {
+            max_nodes: 500_000,
+            max_tuples_per_rel: 1,
+            extra_constants: Some(0),
+        }
+    }
+
+    /// A chain of two silent steps before the visible one: 2-bounded but
+    /// not 1-bounded for p.
+    fn chain_spec() -> Arc<WorkflowSpec> {
+        Arc::new(
+            parse_workflow(
+                r#"
+                schema { A(K); B(K); Out(K); }
+                peers { q sees A(*), B(*), Out(*); p sees Out(*); }
+                rules {
+                    s1 @ q: +A(0) :- ;
+                    s2 @ q: +B(0) :- A(0);
+                    s3 @ q: +Out(0) :- B(0);
+                }
+                "#,
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn chain_is_3_bounded_not_2() {
+        let spec = chain_spec();
+        let p = spec.collab().peer("p").unwrap();
+        // A counterexample to 2-boundedness: ∅ ⊢ s1 s2 s3 — three events,
+        // first two silent, minimum faithful.
+        let d2 = check_h_bounded(&spec, p, 2, &limits());
+        let w = d2.counter_example().expect("not 2-bounded");
+        assert_eq!(w.events.len(), 3);
+        // 3-bounded: no silent-relevant chain of length 4 exists.
+        assert!(check_h_bounded(&spec, p, 3, &limits()).holds());
+        assert_eq!(find_bound(&spec, p, 5, &limits()), Some(3));
+    }
+
+    #[test]
+    fn full_observer_is_0_bounded() {
+        let spec = chain_spec();
+        let q = spec.collab().peer("q").unwrap();
+        // Every event is visible at q: no silent chain at all, so even
+        // h = 0 — a "minimum q-faithful run with all but last silent" has
+        // length 1 > 0. Wait: h = 0 demands |α| ≤ 0, but a single visible
+        // event is such a run of length 1. So q is 1-bounded, not 0-bounded.
+        let d0 = check_h_bounded(&spec, q, 0, &limits());
+        assert!(d0.counter_example().is_some());
+        assert!(check_h_bounded(&spec, q, 1, &limits()).holds());
+    }
+
+    #[test]
+    fn irrelevant_silent_work_does_not_break_boundedness() {
+        // q can loop on C forever, but C never feeds Out: minimum p-faithful
+        // chains stay short.
+        let spec = Arc::new(
+            parse_workflow(
+                r#"
+                schema { C(K); Out(K); }
+                peers { q sees C(*), Out(*); p sees Out(*); }
+                rules {
+                    spin_up @ q: +C(0) :- ;
+                    spin_dn @ q: -key C(0) :- C(0);
+                    out @ q: +Out(0) :- ;
+                }
+                "#,
+            )
+            .unwrap(),
+        );
+        let p = spec.collab().peer("p").unwrap();
+        // The visible event has empty body: minimum faithful chain is just
+        // itself ⇒ 1-bounded. (Silent C-churn is not *relevant* to p.)
+        assert!(check_h_bounded(&spec, p, 1, &limits()).holds());
+    }
+
+    #[test]
+    fn budget_is_reported() {
+        let spec = chain_spec();
+        let p = spec.collab().peer("p").unwrap();
+        let tiny = Limits { max_nodes: 2, ..limits() };
+        assert!(matches!(
+            check_h_bounded(&spec, p, 3, &tiny),
+            Decision::Budget
+        ));
+    }
+
+    #[test]
+    fn negative_key_guards_do_not_extend_relevant_chains() {
+        // The visible rule requires A *absent*. Per the footnote to
+        // Definition 4.3, a key occurring only in a ¬Key literal does not
+        // belong to a lifecycle containing the event, so silent churn
+        // mk/rm of A is *not* pulled into the minimum faithful chain: the
+        // program is 1-bounded for p.
+        let spec = Arc::new(
+            parse_workflow(
+                r#"
+                schema { A(K); Out(K); }
+                peers { q sees A(*), Out(*); p sees Out(*); }
+                rules {
+                    mk @ q: +A(0) :- ;
+                    rm @ q: -key A(0) :- A(0);
+                    out @ q: +Out(0) :- not key A(0);
+                }
+                "#,
+            )
+            .unwrap(),
+        );
+        let p = spec.collab().peer("p").unwrap();
+        assert!(check_h_bounded(&spec, p, 1, &limits()).holds());
+        // By contrast, a *positive* guard over A pulls its creator in.
+        let spec2 = Arc::new(
+            parse_workflow(
+                r#"
+                schema { A(K); Out(K); }
+                peers { q sees A(*), Out(*); p sees Out(*); }
+                rules {
+                    mk @ q: +A(0) :- ;
+                    out @ q: +Out(0) :- A(0);
+                }
+                "#,
+            )
+            .unwrap(),
+        );
+        let p2 = spec2.collab().peer("p").unwrap();
+        assert!(check_h_bounded(&spec2, p2, 1, &limits())
+            .counter_example()
+            .is_some());
+        assert_eq!(find_bound(&spec2, p2, 4, &limits()), Some(2));
+    }
+}

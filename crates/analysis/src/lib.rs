@@ -1,0 +1,34 @@
+//! # cwf-analysis — transparency, boundedness, and view-program synthesis
+//!
+//! Section 5 of the paper: the bounded decision procedures for
+//! h-boundedness (Theorem 5.10) and transparency (Theorem 5.11), the
+//! synthesis of view programs `P@p` with provenance-carrying ω-rules
+//! (Theorem 5.13), and validators for their soundness and completeness.
+//! Both decision problems are PSPACE-complete, so every procedure here is an
+//! explicit bounded search with a node budget.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod boundedness;
+pub mod space;
+pub mod stage;
+pub mod synthesis;
+pub mod transparency;
+pub mod tree;
+pub mod view_program;
+
+pub use boundedness::{check_h_bounded, find_bound, BoundednessWitness, Decision};
+pub use space::{constant_pool, event_templates, fresh_instances, Budget, InstanceEnumerator, Limits};
+pub use stage::{minimum_faithful_of_stage, stages, Stage};
+pub use synthesis::{
+    synthesize_view_program, view_as_instance, OmegaMeta, Synthesis, SynthesisError,
+};
+pub use transparency::{
+    chain_fails_on, check_transparent, sample_transparency_violation, TransparencyWitness,
+};
+pub use tree::{sample_tree_divergence, TreeMismatch, MAX_FRESH};
+pub use view_program::{
+    expand_view_run, match_omega_step, mirror_run, ExpandError, MatchedStep, MirrorError,
+    MirroredStep,
+};

@@ -1,0 +1,43 @@
+//! E9 — Theorem 6.3: boundedness by p-acyclicity.
+//!
+//! The p-graph analysis is effectively free compared to the semantic
+//! boundedness decision; the experiments table additionally records how
+//! loose the (ab+1)^d bound is against the measured chain length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cwf_analysis::{find_bound, Limits};
+use cwf_bench::{chain_observer, chain_program};
+use cwf_design::{acyclicity_bound, is_p_acyclic, p_graph};
+
+fn bench_acyclicity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E9_acyclic_bound");
+    for k in [2usize, 4, 8, 16] {
+        let spec = chain_program(k);
+        let p = chain_observer(&spec);
+        group.bench_with_input(BenchmarkId::new("pgraph_analysis", k), &k, |b, _| {
+            b.iter(|| {
+                let g = p_graph(&spec, p);
+                assert!(is_p_acyclic(&spec, p));
+                (g.edges.len(), acyclicity_bound(&spec))
+            })
+        });
+    }
+    // The semantic decision for one small case, as the contrast point.
+    let spec = chain_program(2);
+    let p = chain_observer(&spec);
+    let limits = Limits {
+        max_nodes: 50_000_000,
+        max_tuples_per_rel: 1,
+        extra_constants: Some(0),
+    };
+    let mut group2 = group;
+    group2.sample_size(10);
+    group2.bench_function("semantic_find_bound_k2", |b| {
+        b.iter(|| find_bound(&spec, p, 4, &limits).unwrap())
+    });
+    group2.finish();
+}
+
+criterion_group!(benches, bench_acyclicity);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E6 — Theorem 5.10: deciding h-boundedness (PSPACE).
+//!
+//! Decision cost over the silent-chain family grows exponentially with the
+//! chain length (the search space over C_{h+1} explodes), matching the
+//! theorem's complexity shape.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cwf_analysis::{check_h_bounded, Limits};
+use cwf_bench::{chain_observer, chain_program};
+
+fn bench_boundedness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E6_boundedness");
+    group.sample_size(10);
+    let limits = Limits {
+        max_nodes: 50_000_000,
+        max_tuples_per_rel: 1,
+        extra_constants: Some(0),
+    };
+    for k in [1usize, 2, 3] {
+        let spec = chain_program(k);
+        let p = chain_observer(&spec);
+        // Refute (k)-boundedness: find the length-(k+1) chain.
+        group.bench_with_input(BenchmarkId::new("refute", k), &k, |b, _| {
+            b.iter(|| {
+                assert!(check_h_bounded(&spec, p, k, &limits)
+                    .counter_example()
+                    .is_some())
+            })
+        });
+        // Confirm (k+1)-boundedness: exhaust the space.
+        group.bench_with_input(BenchmarkId::new("confirm", k), &k, |b, _| {
+            b.iter(|| assert!(check_h_bounded(&spec, p, k + 1, &limits).holds()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_boundedness);
+criterion_main!(benches);

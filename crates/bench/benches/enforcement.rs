@@ -1,0 +1,62 @@
+//! E10 — Theorem 6.7: run-time enforcement overhead.
+//!
+//! Driving the hiring workflow through the TransparentEngine costs a small
+//! constant factor over the plain engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+
+use cwf_design::TransparentEngine;
+use cwf_engine::{Bindings, Event, Run};
+use cwf_lang::VarId;
+use cwf_model::Value;
+use cwf_workloads::hiring_no_cfo;
+
+fn events(spec: &Arc<cwf_lang::WorkflowSpec>, cycles: usize) -> Vec<Event> {
+    let mut out = Vec::new();
+    for i in 0..cycles {
+        let x = Value::Fresh(10_000 + i as u64);
+        for name in ["clear", "approve", "hire"] {
+            let rid = spec.program().rule_by_name(name).unwrap();
+            let mut b = Bindings::empty(1);
+            b.set(VarId(0), x.clone());
+            out.push(Event::new(spec, rid, b).unwrap());
+        }
+    }
+    out
+}
+
+fn bench_enforcement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E10_enforcement");
+    let spec = hiring_no_cfo();
+    let sue = spec.collab().peer("sue").unwrap();
+    for cycles in [10usize, 25, 50] {
+        let evs = events(&spec, cycles);
+        group.bench_with_input(BenchmarkId::new("plain_run", cycles), &cycles, |b, _| {
+            b.iter(|| {
+                let mut run = Run::new(Arc::clone(&spec));
+                for e in &evs {
+                    run.push(e.clone()).unwrap();
+                }
+                run.len()
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("transparent_engine", cycles),
+            &cycles,
+            |b, _| {
+                b.iter(|| {
+                    let mut eng = TransparentEngine::new(Arc::clone(&spec), sue, 3);
+                    for e in &evs {
+                        eng.push(e.clone()).unwrap();
+                    }
+                    eng.run().len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_enforcement);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! E11 — substrate sanity: engine throughput and chase cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use cwf_model::{chase_with, Instance, RelSchema, Schema, Tuple, Value};
+use cwf_workloads::build_procurement_run;
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E11_engine_throughput");
+    group.sample_size(10);
+    for requests in [10usize, 20, 40] {
+        let mut rng = StdRng::seed_from_u64(13);
+        let built = build_procurement_run(requests, 1, &mut rng);
+        let n = built.run.len() as u64;
+        group.throughput(Throughput::Elements(n));
+        group.bench_with_input(
+            BenchmarkId::new("procurement_run", n),
+            &requests,
+            |b, &r| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(13);
+                    build_procurement_run(r, 1, &mut rng).run.len()
+                })
+            },
+        );
+    }
+    // Chase micro-benchmark: merging into instances of growing size.
+    let schema =
+        Schema::from_relations([RelSchema::new("R", ["K", "A", "B"]).unwrap()]).unwrap();
+    let r = schema.rel("R").unwrap();
+    for size in [100usize, 1000, 10_000] {
+        let mut inst = Instance::empty(&schema);
+        for i in 0..size {
+            inst.rel_mut(r)
+                .insert(Tuple::new([
+                    Value::int(i as i64),
+                    Value::str("a"),
+                    Value::Null,
+                ]))
+                .unwrap();
+        }
+        group.bench_with_input(BenchmarkId::new("chase_with", size), &size, |b, &s| {
+            b.iter(|| {
+                chase_with(
+                    &schema,
+                    &inst,
+                    r,
+                    Tuple::new([Value::int((s / 2) as i64), Value::Null, Value::str("b")]),
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

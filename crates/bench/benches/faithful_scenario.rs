@@ -1,0 +1,31 @@
+//! E3 — Theorem 4.7: the minimal faithful scenario is computable in
+//! polynomial time.
+//!
+//! Extraction time over procurement runs grows polynomially (near-linearly)
+//! with the run length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use cwf_core::minimal_faithful_scenario;
+use cwf_workloads::build_procurement_run;
+
+fn bench_faithful(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E3_faithful_scenario");
+    group.sample_size(10);
+    for requests in [5usize, 10, 20, 40] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = build_procurement_run(requests, 1, &mut rng);
+        group.throughput(Throughput::Elements(p.run.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("events", p.run.len()),
+            &requests,
+            |b, _| b.iter(|| minimal_faithful_scenario(&p.run, p.emp)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_faithful);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! E4 — incremental maintenance (end of Section 4): maintaining the minimal
+//! faithful scenario per event beats recomputing it from scratch after
+//! every event, with a gap that widens with the run length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use cwf_core::{minimal_faithful_scenario, IncrementalExplainer};
+use cwf_engine::Run;
+use cwf_workloads::build_procurement_run;
+
+fn bench_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E4_incremental");
+    group.sample_size(10);
+    for requests in [5usize, 10, 20] {
+        let mut rng = StdRng::seed_from_u64(11);
+        let p = build_procurement_run(requests, 1, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("incremental", p.run.len()),
+            &requests,
+            |b, _| {
+                b.iter(|| {
+                    let mut inc =
+                        IncrementalExplainer::new(Run::new(p.run.spec_arc()), p.emp);
+                    for i in 0..p.run.len() {
+                        inc.push(p.run.event(i).clone()).unwrap();
+                    }
+                    inc.minimal_events().len()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("recompute_each_event", p.run.len()),
+            &requests,
+            |b, _| {
+                b.iter(|| {
+                    // From-scratch after every event: replay prefixes.
+                    let mut run = Run::new(p.run.spec_arc());
+                    let mut last = 0;
+                    for i in 0..p.run.len() {
+                        run.push(p.run.event(i).clone()).unwrap();
+                        last = minimal_faithful_scenario(&run, p.emp).events.len();
+                    }
+                    last
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental);
+criterion_main!(benches);

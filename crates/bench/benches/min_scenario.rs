@@ -1,0 +1,37 @@
+//! E1 — Theorem 3.3: minimum-scenario search is NP-complete.
+//!
+//! Exact branch-and-bound search time grows exponentially with the number
+//! of Hitting-Set elements, while the greedy 1-minimal extraction stays
+//! polynomial.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use cwf_core::{one_minimal_scenario, search_min_scenario, SearchOptions};
+use cwf_workloads::{hitting_set_workload, HittingSet};
+
+fn bench_min_scenario(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E1_min_scenario");
+    group.sample_size(10);
+    for n in [3usize, 5, 7] {
+        let mut rng = StdRng::seed_from_u64(42);
+        let hs = HittingSet::random(n, 3, 3, &mut rng);
+        let w = hitting_set_workload(hs);
+        let run = w.saturated_run();
+        group.bench_with_input(BenchmarkId::new("exact", n), &n, |b, _| {
+            b.iter(|| {
+                search_min_scenario(&run, w.p, &SearchOptions::default())
+                    .found()
+                    .expect("scenario exists")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", n), &n, |b, _| {
+            b.iter(|| one_minimal_scenario(&run, w.p))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_min_scenario);
+criterion_main!(benches);

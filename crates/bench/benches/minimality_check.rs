@@ -1,0 +1,48 @@
+//! E2 — Theorem 3.4: testing scenario minimality is coNP-complete.
+//!
+//! The exact minimality check on the UNSAT-reduction runs grows
+//! exponentially with the number of CNF variables; the polynomial
+//! 1-minimality check stays flat.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cwf_core::{is_minimal_exact, is_one_minimal, EventSet};
+use cwf_workloads::{unsat_workload, Cnf};
+
+/// An unsatisfiable chain formula over n variables:
+/// (x1) ∧ (¬x1 ∨ x2) ∧ … ∧ (¬x_{n−1} ∨ x_n) ∧ (¬x_n).
+fn unsat_chain(n: usize) -> Cnf {
+    let mut clauses = vec![vec![1i32]];
+    for i in 1..n {
+        clauses.push(vec![-(i as i32), i as i32 + 1]);
+    }
+    clauses.push(vec![-(n as i32)]);
+    Cnf { n, clauses }
+}
+
+fn bench_minimality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E2_minimality_check");
+    group.sample_size(10);
+    for n in [2usize, 4, 6] {
+        let cnf = unsat_chain(n);
+        assert!(!cnf.satisfiable());
+        let w = unsat_workload(cnf);
+        let run = w.canonical_run();
+        let full = EventSet::full(run.len());
+        group.bench_with_input(BenchmarkId::new("exact", n), &n, |b, _| {
+            b.iter(|| {
+                assert_eq!(
+                    is_minimal_exact(&run, w.p, &full, u64::MAX),
+                    Some(true)
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("one_minimal", n), &n, |b, _| {
+            b.iter(|| assert!(is_one_minimal(&run, w.p, &full)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_minimality);
+criterion_main!(benches);

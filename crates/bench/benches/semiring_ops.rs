@@ -1,0 +1,41 @@
+//! E5 — Theorem 4.8: semiring operations on faithful scenarios.
+//!
+//! Closure computation (T_p^ω) and the union/intersection operators are
+//! linear in the run length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use cwf_core::{tp_closure, EventSet, RunIndex};
+use cwf_workloads::{random_propositional_spec, random_run, RandomSpecParams};
+
+fn bench_semiring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E5_semiring_ops");
+    for len in [50usize, 100, 200] {
+        let mut rng = StdRng::seed_from_u64(5);
+        let params = RandomSpecParams { n_rels: 10, n_rules: 20, ..Default::default() };
+        let w = random_propositional_spec(&params, &mut rng);
+        let run = random_run(&w.spec, len, 1);
+        let index = RunIndex::build(&run);
+        let n = run.len();
+        if n == 0 {
+            continue;
+        }
+        let a = tp_closure(&run, &index, w.observer, &EventSet::from_iter(n, [0]));
+        let b2 = tp_closure(&run, &index, w.observer, &EventSet::from_iter(n, [n - 1]));
+        group.bench_with_input(BenchmarkId::new("closure", n), &len, |b, _| {
+            b.iter(|| tp_closure(&run, &index, w.observer, &EventSet::from_iter(n, [n / 2])))
+        });
+        group.bench_with_input(BenchmarkId::new("union", n), &len, |bch, _| {
+            bch.iter(|| a.union(&b2))
+        });
+        group.bench_with_input(BenchmarkId::new("intersection", n), &len, |bch, _| {
+            bch.iter(|| a.intersection(&b2))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_semiring);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! E14 — Section 6: the mechanical stage-discipline transform, and the
+//! runtime cost of the staged program relative to the raw one.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+use cwf_design::add_stage_discipline;
+use cwf_engine::{Bindings, Event, Run};
+use cwf_lang::{parse_workflow, VarId};
+use cwf_model::Value;
+
+fn raw_spec() -> Arc<cwf_lang::WorkflowSpec> {
+    Arc::new(
+        parse_workflow(
+            r#"
+            schema { Cleared(K); Approved(K); Hire(K); }
+            peers {
+                hr sees Cleared(*), Approved(*), Hire(*);
+                ceo sees Cleared(*), Approved(*), Hire(*);
+                sue sees Cleared(*), Hire(*);
+            }
+            rules {
+                clear @ hr: +Cleared(x) :- ;
+                approve @ ceo: +Approved(x) :- Cleared(x);
+                hire @ hr: +Hire(x) :- Approved(x);
+            }
+            "#,
+        )
+        .unwrap(),
+    )
+}
+
+fn bench_stage_transform(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E14_stage_transform");
+    let raw = raw_spec();
+    let sue = raw.collab().peer("sue").unwrap();
+    group.bench_function("transform", |b| {
+        b.iter(|| add_stage_discipline(&raw, sue).unwrap())
+    });
+    // Runtime: 20 hiring cycles, raw vs staged.
+    let staged = Arc::new(add_stage_discipline(&raw, sue).unwrap().spec);
+    group.bench_function("run_raw_20_cycles", |b| {
+        b.iter(|| {
+            let mut run = Run::new(Arc::clone(&raw));
+            for i in 0..20u64 {
+                let x = Value::Fresh(1_000 + i);
+                for name in ["clear", "approve", "hire"] {
+                    let rid = raw.program().rule_by_name(name).unwrap();
+                    let mut bnd = Bindings::empty(1);
+                    bnd.set(VarId(0), x.clone());
+                    run.push(Event::new(&raw, rid, bnd).unwrap()).unwrap();
+                }
+            }
+            run.len()
+        })
+    });
+    group.bench_function("run_staged_20_cycles", |b| {
+        b.iter(|| {
+            let mut run = Run::new(Arc::clone(&staged));
+            for i in 0..20u64 {
+                let x = Value::Fresh(1_000 + 10 * i);
+                let s1 = Value::Fresh(1_001 + 10 * i);
+                let s2 = Value::Fresh(1_002 + 10 * i);
+                let k = Value::Fresh(1_003 + 10 * i);
+                let fire = |run: &mut Run, name: &str, vals: &[Value]| {
+                    let rid = run.spec().program().rule_by_name(name).unwrap();
+                    let mut bnd = Bindings::empty(vals.len());
+                    for (vi, v) in vals.iter().enumerate() {
+                        bnd.set(VarId(vi as u32), v.clone());
+                    }
+                    let e = Event::new(run.spec(), rid, bnd).unwrap();
+                    run.push(e).unwrap();
+                };
+                // stage; clear (ends stage); stage; approve; hire.
+                fire(&mut run, "stage_init", std::slice::from_ref(&s1));
+                fire(&mut run, "clear", &[x.clone(), s1.clone()]);
+                fire(&mut run, "stage_init", std::slice::from_ref(&s2));
+                fire(&mut run, "approve", &[x.clone(), s2.clone(), k.clone()]);
+                fire(&mut run, "hire", &[x.clone(), s2.clone(), k.clone()]);
+            }
+            run.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stage_transform);
+criterion_main!(benches);

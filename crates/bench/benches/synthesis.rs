@@ -1,0 +1,42 @@
+//! E8 — Theorem 5.13: view-program synthesis.
+//!
+//! Synthesis time (and, in the experiments table, program size) grows with
+//! the bound h; mirroring runs through the synthesized program (the
+//! completeness direction, with provenance) is cheap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+use cwf_analysis::{mirror_run, synthesize_view_program, Limits};
+use cwf_engine::{Run, Simulator};
+use cwf_workloads::hiring_no_cfo;
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E8_synthesis");
+    group.sample_size(10);
+    let spec = hiring_no_cfo();
+    let sue = spec.collab().peer("sue").unwrap();
+    let limits = Limits {
+        max_nodes: 100_000_000,
+        max_tuples_per_rel: 1,
+        extra_constants: Some(2),
+    };
+    for h in [1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::new("synthesize", h), &h, |b, _| {
+            b.iter(|| synthesize_view_program(&spec, sue, h, &limits).unwrap())
+        });
+    }
+    let synth = synthesize_view_program(&spec, sue, 2, &limits).unwrap();
+    let mut sim = Simulator::new(Run::new(Arc::clone(&spec)), StdRng::seed_from_u64(3));
+    sim.steps(10).unwrap();
+    let run = sim.into_run();
+    group.bench_function("mirror_run", |b| {
+        b.iter(|| mirror_run(&synth, &run).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_synthesis);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E7 — Theorem 5.11: deciding transparency of h-bounded programs.
+//!
+//! Cost on the hiring program (Example 5.7) grows with the constant-pool
+//! size; the sampled falsifier is orders of magnitude cheaper.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cwf_analysis::{check_transparent, sample_transparency_violation, Limits};
+use cwf_workloads::hiring_no_cfo;
+
+fn bench_transparency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E7_transparency");
+    group.sample_size(10);
+    let spec = hiring_no_cfo();
+    let sue = spec.collab().peer("sue").unwrap();
+    for extra in [3usize, 4, 5] {
+        let limits = Limits {
+            max_nodes: 100_000_000,
+            max_tuples_per_rel: 1,
+            extra_constants: Some(extra),
+        };
+        group.bench_with_input(BenchmarkId::new("exhaustive", extra), &extra, |b, _| {
+            b.iter(|| {
+                assert!(check_transparent(&spec, sue, 2, &limits)
+                    .counter_example()
+                    .is_some())
+            })
+        });
+    }
+    group.bench_function("sampled_falsifier", |b| {
+        b.iter(|| sample_transparency_violation(&spec, sue, 40, 6, 7).is_some())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_transparency);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! E13 — Remark 5.2: sampled tree-equivalence checking.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+use cwf_analysis::{sample_tree_divergence, synthesize_view_program, Limits};
+use cwf_workloads::hiring_no_cfo;
+
+fn bench_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E13_tree_equivalence");
+    group.sample_size(10);
+    let limits = Limits {
+        max_nodes: 100_000_000,
+        max_tuples_per_rel: 1,
+        extra_constants: Some(2),
+    };
+    let spec = hiring_no_cfo();
+    let sue = spec.collab().peer("sue").unwrap();
+    let synth = synthesize_view_program(&spec, sue, 2, &limits).unwrap();
+    group.bench_function("hiring_10_runs", |b| {
+        b.iter(|| {
+            assert!(
+                sample_tree_divergence(&spec, &synth, sue, 2, &limits, 10, 6, 3).is_none()
+            )
+        })
+    });
+    let lock_spec = Arc::new(
+        cwf_lang::parse_workflow(
+            r#"
+            schema { Req(K); Lock(K); Out(K); }
+            peers {
+                q sees Req(*), Lock(*), Out(*);
+                p sees Req(*), Out(*);
+            }
+            rules {
+                req @ p: +Req(x) :- ;
+                lock @ q: +Lock(x) :- Req(x), not key Lock(x);
+                emit @ q: +Out(x) :- Req(x), not key Lock(x), not key Out(x);
+            }
+            "#,
+        )
+        .unwrap(),
+    );
+    let p = lock_spec.collab().peer("p").unwrap();
+    let synth2 = synthesize_view_program(&lock_spec, p, 1, &limits).unwrap();
+    group.bench_function("lock_divergence", |b| {
+        b.iter(|| {
+            assert!(sample_tree_divergence(&lock_spec, &synth2, p, 1, &limits, 20, 6, 11)
+                .is_some())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tree);
+criterion_main!(benches);

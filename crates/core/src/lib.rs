@@ -1,0 +1,52 @@
+//! # cwf-core — explanations of collaborative workflow runs
+//!
+//! The paper's primary contribution (Sections 3–4 of *Explanations and
+//! Transparency in Collaborative Workflows*, Abiteboul–Bourhis–Vianu,
+//! PODS 2018):
+//!
+//! * **Scenarios** (Def. 3.2): subruns observationally equivalent for a
+//!   peer; exact minimum-scenario search (NP-complete, Thm 3.3), greedy
+//!   1-minimal extraction, exact minimality testing (coNP-complete,
+//!   Thm 3.4).
+//! * **Faithfulness** (Defs. 4.3–4.5): lifecycle/boundary/modification
+//!   machinery, the `T_p` operator, and the **unique minimal p-faithful
+//!   scenario computable in polynomial time** (Thm 4.7).
+//! * **Semiring structure** (Thm 4.8): closure of faithful subsequences
+//!   under union and intersection.
+//! * **Incremental maintenance** of minimal faithful scenarios and
+//!   per-event explanations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod explain;
+pub mod faithful;
+pub mod incremental;
+pub mod index;
+pub mod minimal;
+pub mod minimum;
+pub mod scenario;
+pub mod semiring;
+pub mod set;
+pub mod tp;
+pub mod why;
+
+pub use explain::{explain, Explanation, ExplainedEvent};
+pub use faithful::{
+    is_boundary_faithful, is_faithful, is_modification_faithful, is_tp_fixpoint, relevant_attrs,
+};
+pub use incremental::IncrementalExplainer;
+pub use index::{Lifecycle, Modification, RunIndex};
+pub use minimal::{
+    all_minimal_scenarios, is_minimal_exact, is_one_minimal, one_minimal_scenario,
+    shrink_to_one_minimal,
+};
+pub use minimum::{exists_scenario_at_most, search_min_scenario, SearchOptions, SearchResult};
+pub use scenario::{is_scenario, is_scenario_against, is_subrun, subrun, visible_set};
+pub use semiring::Faithful;
+pub use set::EventSet;
+pub use why::{traced_closure, why, Justification, Obligation, TracedClosure, WhyStep};
+pub use tp::{
+    is_minimum_faithful_run, minimal_faithful_scenario, minimal_faithful_scenario_indexed,
+    tp_closure, tp_step, FaithfulExplanation,
+};

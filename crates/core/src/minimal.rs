@@ -1,0 +1,344 @@
+//! Minimal scenarios: greedy extraction and the exact (coNP-hard) minimality
+//! test (Theorem 3.4).
+//!
+//! A scenario is *minimal* when no strict subsequence of it is a scenario.
+//! Testing minimality is coNP-complete, so the exact test
+//! ([`is_minimal_exact`]) delegates to the exponential search of
+//! [`crate::minimum`] restricted to strict subsequences. The greedy
+//! [`shrink_to_one_minimal`] removes events one at a time until no single
+//! removal preserves the scenario property — this yields a *1-minimal*
+//! scenario in polynomial time (the paper's greedy procedure for the
+//! Hitting-Set runs), which need not be minimal in general.
+
+use cwf_model::PeerId;
+use cwf_engine::Run;
+
+use crate::minimum::{search_min_scenario, SearchOptions, SearchResult};
+use crate::scenario::{is_scenario, is_scenario_against};
+use crate::set::EventSet;
+
+/// Greedily shrinks `start` (which must be a scenario of `run` at `peer`)
+/// by single-event removals until 1-minimal. Removal candidates are tried
+/// from the latest event backwards.
+///
+/// # Panics
+///
+/// Panics (debug assertion) if `start` is not a scenario.
+pub fn shrink_to_one_minimal(run: &Run, peer: PeerId, start: &EventSet) -> EventSet {
+    debug_assert!(is_scenario(run, peer, start), "start must be a scenario");
+    let target = run.view(peer);
+    let mut current = start.clone();
+    loop {
+        let mut shrunk = false;
+        for i in current.to_vec().into_iter().rev() {
+            let mut candidate = current.clone();
+            candidate.remove(i);
+            if is_scenario_against(run, peer, &candidate, &target) {
+                current = candidate;
+                shrunk = true;
+            }
+        }
+        if !shrunk {
+            return current;
+        }
+    }
+}
+
+/// Greedy minimal scenario of the full run (starting from all events).
+pub fn one_minimal_scenario(run: &Run, peer: PeerId) -> EventSet {
+    shrink_to_one_minimal(run, peer, &EventSet::full(run.len()))
+}
+
+/// Is `candidate` 1-minimal: a scenario none of whose single-event removals
+/// is a scenario? (Polynomial.)
+pub fn is_one_minimal(run: &Run, peer: PeerId, candidate: &EventSet) -> bool {
+    let target = run.view(peer);
+    if !is_scenario_against(run, peer, candidate, &target) {
+        return false;
+    }
+    for i in candidate.iter() {
+        let mut c = candidate.clone();
+        c.remove(i);
+        if is_scenario_against(run, peer, &c, &target) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Exact minimality (Definition 3.2): no strict subsequence of `candidate`
+/// is a scenario. coNP-hard; `None` when the node budget runs out.
+pub fn is_minimal_exact(
+    run: &Run,
+    peer: PeerId,
+    candidate: &EventSet,
+    max_nodes: u64,
+) -> Option<bool> {
+    if !is_scenario(run, peer, candidate) {
+        return Some(false);
+    }
+    if candidate.is_empty() {
+        return Some(true);
+    }
+    let opts = SearchOptions {
+        allowed: Some(candidate.clone()),
+        max_len: Some(candidate.len() - 1),
+        first_found: true,
+        max_nodes,
+    };
+    match search_min_scenario(run, peer, &opts) {
+        SearchResult::Found(_) => Some(false),
+        SearchResult::None => Some(true),
+        SearchResult::Budget => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwf_engine::{Bindings, Event};
+    use cwf_lang::parse_workflow;
+    use std::sync::Arc;
+
+    fn hitting_run(extra_b: bool) -> Run {
+        let spec = Arc::new(
+            parse_workflow(
+                r#"
+                schema { V1(K); V2(K); C1(K); OK(K); }
+                peers {
+                    q sees V1(*), V2(*), C1(*), OK(*);
+                    p sees OK(*);
+                }
+                rules {
+                    a1 @ q: +V1(0) :- ;
+                    a2 @ q: +V2(0) :- ;
+                    b1 @ q: +C1(0) :- V1(0);
+                    b2 @ q: +C1(0) :- V2(0);
+                    ok @ q: +OK(0) :- C1(0);
+                }
+                "#,
+            )
+            .unwrap(),
+        );
+        let mut run = Run::new(Arc::clone(&spec));
+        let names: &[&str] = if extra_b {
+            &["a1", "a2", "b1", "b2", "ok"]
+        } else {
+            &["a1", "b1", "ok"]
+        };
+        for n in names {
+            let rid = spec.program().rule_by_name(n).unwrap();
+            run.push(Event::new(&spec, rid, Bindings::empty(0)).unwrap())
+                .unwrap();
+        }
+        run
+    }
+
+    #[test]
+    fn greedy_shrinks_to_a_scenario() {
+        let run = hitting_run(true);
+        let p = run.spec().collab().peer("p").unwrap();
+        let minimal = one_minimal_scenario(&run, p);
+        assert!(is_scenario(&run, p, &minimal));
+        assert!(is_one_minimal(&run, p, &minimal));
+        // From 5 events down to 3: one (a), one (b), ok.
+        assert_eq!(minimal.len(), 3);
+    }
+
+    #[test]
+    fn greedy_result_is_exactly_minimal_here() {
+        let run = hitting_run(true);
+        let p = run.spec().collab().peer("p").unwrap();
+        let minimal = one_minimal_scenario(&run, p);
+        assert_eq!(is_minimal_exact(&run, p, &minimal, 1_000_000), Some(true));
+    }
+
+    #[test]
+    fn full_run_is_not_minimal_when_redundant() {
+        let run = hitting_run(true);
+        let p = run.spec().collab().peer("p").unwrap();
+        let full = EventSet::full(run.len());
+        assert_eq!(is_minimal_exact(&run, p, &full, 1_000_000), Some(false));
+        assert!(!is_one_minimal(&run, p, &full));
+    }
+
+    #[test]
+    fn tight_run_is_minimal() {
+        let run = hitting_run(false);
+        let p = run.spec().collab().peer("p").unwrap();
+        let full = EventSet::full(run.len());
+        assert_eq!(is_minimal_exact(&run, p, &full, 1_000_000), Some(true));
+        assert!(is_one_minimal(&run, p, &full));
+    }
+
+    #[test]
+    fn non_scenarios_are_not_minimal() {
+        let run = hitting_run(false);
+        let p = run.spec().collab().peer("p").unwrap();
+        let not_scenario = EventSet::from_iter(run.len(), [0]);
+        assert_eq!(is_minimal_exact(&run, p, &not_scenario, 1_000), Some(false));
+        assert!(!is_one_minimal(&run, p, &not_scenario));
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_unknown() {
+        let run = hitting_run(true);
+        let p = run.spec().collab().peer("p").unwrap();
+        let full = EventSet::full(run.len());
+        assert_eq!(is_minimal_exact(&run, p, &full, 1), None);
+    }
+
+    #[test]
+    fn empty_candidate_on_empty_view() {
+        // A run invisible to p: the empty subsequence is its minimal scenario.
+        let spec = Arc::new(
+            parse_workflow(
+                r#"
+                schema { A(K); OK(K); }
+                peers { q sees A(*), OK(*); p sees OK(*); }
+                rules { a @ q: +A(0) :- ; }
+                "#,
+            )
+            .unwrap(),
+        );
+        let mut run = Run::new(Arc::clone(&spec));
+        let rid = spec.program().rule_by_name("a").unwrap();
+        run.push(Event::new(&spec, rid, Bindings::empty(0)).unwrap())
+            .unwrap();
+        let p = spec.collab().peer("p").unwrap();
+        let empty = EventSet::empty(run.len());
+        assert!(is_scenario(&run, p, &empty));
+        assert_eq!(is_minimal_exact(&run, p, &empty, 1_000), Some(true));
+        assert_eq!(one_minimal_scenario(&run, p), empty);
+    }
+}
+
+/// Enumerates **all** minimal scenarios of `run` at `peer`, up to `max`
+/// results and `max_nodes` search nodes (exponential in general — minimal
+/// scenarios are not unique, which is precisely the paper's motivation for
+/// faithfulness). Returns `None` when a budget was hit before the
+/// enumeration completed.
+pub fn all_minimal_scenarios(
+    run: &Run,
+    peer: PeerId,
+    max: usize,
+    max_nodes: u64,
+) -> Option<Vec<EventSet>> {
+    // Collect scenarios by exhaustive search in increasing-length order via
+    // repeated bounded searches, then filter to the minimal ones (no strict
+    // subsequence among the collected set is also a scenario).
+    let target = run.view(peer);
+    let n = run.len();
+    if n > 24 {
+        return None; // 2^n enumeration is the point here; keep it honest
+    }
+    let mut scenarios: Vec<EventSet> = Vec::new();
+    let mut nodes = 0u64;
+    for mask in 0u64..(1u64 << n) {
+        nodes += 1;
+        if nodes > max_nodes {
+            return None;
+        }
+        let set = EventSet::from_iter(n, (0..n).filter(|i| mask & (1 << i) != 0));
+        // Cheap pruning: a superset of a known minimal scenario with extra
+        // events may still be a non-minimal scenario — skip replay when a
+        // known scenario is a strict subset (it cannot be minimal).
+        if scenarios.iter().any(|s| s.is_strict_subset(&set)) {
+            continue;
+        }
+        if is_scenario_against(run, peer, &set, &target) {
+            scenarios.push(set);
+            if scenarios.len() > max * 8 {
+                return None; // runaway; raise `max`
+            }
+        }
+    }
+    // Masks are enumerated in increasing numeric order, not subset order, so
+    // finish with an exact minimality filter.
+    let mut minimal: Vec<EventSet> = Vec::new();
+    for s in &scenarios {
+        if !scenarios.iter().any(|o| o.is_strict_subset(s)) {
+            minimal.push(s.clone());
+        }
+    }
+    minimal.truncate(max);
+    Some(minimal)
+}
+
+#[cfg(test)]
+mod enumeration_tests {
+    use super::*;
+    use cwf_engine::{Bindings, Event};
+    use cwf_lang::parse_workflow;
+    use std::sync::Arc;
+
+    /// Two interchangeable derivations of C1: two distinct minimal
+    /// scenarios exist — non-uniqueness in action.
+    #[test]
+    fn minimal_scenarios_are_not_unique() {
+        let spec = Arc::new(
+            parse_workflow(
+                r#"
+                schema { V1(K); V2(K); C1(K); OK(K); }
+                peers {
+                    q sees V1(*), V2(*), C1(*), OK(*);
+                    p sees OK(*);
+                }
+                rules {
+                    a1 @ q: +V1(0) :- ;
+                    a2 @ q: +V2(0) :- ;
+                    b1 @ q: +C1(0) :- V1(0);
+                    b2 @ q: +C1(0) :- V2(0);
+                    ok @ q: +OK(0) :- C1(0);
+                }
+                "#,
+            )
+            .unwrap(),
+        );
+        let mut run = cwf_engine::Run::new(Arc::clone(&spec));
+        for n in ["a1", "a2", "b1", "b2", "ok"] {
+            let rid = spec.program().rule_by_name(n).unwrap();
+            run.push(Event::new(&spec, rid, Bindings::empty(0)).unwrap())
+                .unwrap();
+        }
+        let p = spec.collab().peer("p").unwrap();
+        let minimal = all_minimal_scenarios(&run, p, 10, 1_000_000).unwrap();
+        // {a1, b1, ok} and {a2, b2, ok} are both minimal.
+        assert!(minimal.len() >= 2, "got {minimal:?}");
+        assert!(minimal.contains(&EventSet::from_iter(5, [0, 2, 4])));
+        assert!(minimal.contains(&EventSet::from_iter(5, [1, 3, 4])));
+        // All results are scenarios and pairwise incomparable.
+        for s in &minimal {
+            assert!(crate::scenario::is_scenario(&run, p, s));
+            for o in &minimal {
+                assert!(s == o || !s.is_strict_subset(o));
+            }
+        }
+        // By contrast, the minimal FAITHFUL scenario is unique (Thm 4.7) and
+        // contains both derivations (each C1 writer is boundary-relevant
+        // only if used… here the closure keeps what the visible event
+        // depends on).
+        let faithful = crate::tp::minimal_faithful_scenario(&run, p);
+        assert!(crate::scenario::is_scenario(&run, p, &faithful.events));
+    }
+
+    #[test]
+    fn budget_and_size_guards() {
+        let spec = Arc::new(
+            parse_workflow(
+                "schema { T(K); } peers { p sees T(*); } rules { r @ p: +T(0) :- not key T(0); }",
+            )
+            .unwrap(),
+        );
+        let mut run = cwf_engine::Run::new(Arc::clone(&spec));
+        let rid = spec.program().rule_by_name("r").unwrap();
+        run.push(Event::new(&spec, rid, Bindings::empty(0)).unwrap())
+            .unwrap();
+        let p = spec.collab().peer("p").unwrap();
+        assert_eq!(
+            all_minimal_scenarios(&run, p, 5, 1_000).unwrap(),
+            vec![EventSet::full(1)]
+        );
+        assert!(all_minimal_scenarios(&run, p, 5, 0).is_none(), "budget");
+    }
+}

@@ -1,0 +1,354 @@
+//! Exact scenario search (Theorem 3.3).
+//!
+//! Finding a *minimum* scenario — or deciding whether a scenario of length
+//! `≤ N` exists — is NP-complete, so this module implements an exponential
+//! branch-and-bound search over subsequences. The search walks the run left
+//! to right deciding include/exclude per event, maintaining the replayed
+//! subrun state, and prunes branches that (a) fail to replay, (b) produce a
+//! visible step at `p` that does not match the next expected observation, or
+//! (c) cannot beat the current bound.
+//!
+//! The same search, restricted to a subset of positions and capped length,
+//! decides strict-subsequence scenario existence — the coNP-hard minimality
+//! test of Theorem 3.4 (see [`crate::minimal`]).
+
+use cwf_model::PeerId;
+use cwf_engine::{EventView, Run, RunView};
+
+use crate::set::EventSet;
+
+/// Options for the scenario search.
+#[derive(Debug, Clone)]
+pub struct SearchOptions {
+    /// Restrict the search to subsequences of this set (default: all
+    /// positions).
+    pub allowed: Option<EventSet>,
+    /// Only consider scenarios of at most this many events.
+    pub max_len: Option<usize>,
+    /// Stop at the first scenario satisfying the constraints instead of
+    /// optimizing (decision mode).
+    pub first_found: bool,
+    /// Node budget; the search gives up (`SearchResult::Budget`) beyond it.
+    pub max_nodes: u64,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions {
+            allowed: None,
+            max_len: None,
+            first_found: false,
+            max_nodes: 10_000_000,
+        }
+    }
+}
+
+/// Outcome of a scenario search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SearchResult {
+    /// A scenario satisfying the constraints (the minimum one found, or the
+    /// first one in decision mode).
+    Found(EventSet),
+    /// No scenario satisfies the constraints (exhaustive).
+    None,
+    /// The node budget was exhausted before the search completed.
+    Budget,
+}
+
+impl SearchResult {
+    /// The found set, if any.
+    pub fn found(self) -> Option<EventSet> {
+        match self {
+            SearchResult::Found(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Searches for a minimum scenario of `run` at `peer` subject to `opts`.
+pub fn search_min_scenario(run: &Run, peer: PeerId, opts: &SearchOptions) -> SearchResult {
+    let target = run.view(peer);
+    let mut ctx = Ctx {
+        run,
+        peer,
+        target: &target,
+        allowed: opts.allowed.clone(),
+        max_len: opts.max_len.unwrap_or(run.len()),
+        first_found: opts.first_found,
+        nodes_left: opts.max_nodes,
+        best: None,
+        exhausted: true,
+    };
+    let empty = Run::with_initial(run.spec_arc(), run.initial().clone());
+    let mut chosen = Vec::new();
+    ctx.dfs(0, &empty, 0, &mut chosen);
+    match ctx.best {
+        Some(set) => SearchResult::Found(set),
+        None if ctx.exhausted => SearchResult::None,
+        None => SearchResult::Budget,
+    }
+}
+
+/// Decision variant: does a scenario with at most `n` events exist?
+/// `None` when the budget ran out.
+pub fn exists_scenario_at_most(
+    run: &Run,
+    peer: PeerId,
+    n: usize,
+    max_nodes: u64,
+) -> Option<bool> {
+    let opts = SearchOptions {
+        max_len: Some(n),
+        first_found: true,
+        max_nodes,
+        ..Default::default()
+    };
+    match search_min_scenario(run, peer, &opts) {
+        SearchResult::Found(_) => Some(true),
+        SearchResult::None => Some(false),
+        SearchResult::Budget => None,
+    }
+}
+
+struct Ctx<'a> {
+    run: &'a Run,
+    peer: PeerId,
+    target: &'a RunView,
+    allowed: Option<EventSet>,
+    max_len: usize,
+    first_found: bool,
+    nodes_left: u64,
+    best: Option<EventSet>,
+    exhausted: bool,
+}
+
+impl Ctx<'_> {
+    /// Current upper bound on useful lengths.
+    fn bound(&self) -> usize {
+        match &self.best {
+            Some(b) => b.len().saturating_sub(1).min(self.max_len),
+            None => self.max_len,
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.first_found && self.best.is_some()
+    }
+
+    /// DFS over positions. `sub` is the replayed subrun so far, `matched`
+    /// the number of target steps already produced.
+    fn dfs(&mut self, i: usize, sub: &Run, matched: usize, chosen: &mut Vec<usize>) {
+        if self.done() {
+            return;
+        }
+        if self.nodes_left == 0 {
+            self.exhausted = false;
+            return;
+        }
+        self.nodes_left -= 1;
+        let remaining_steps = self.target.steps.len() - matched;
+        // Lower bound: each missing observation needs at least one event.
+        if chosen.len() + remaining_steps > self.bound() {
+            return;
+        }
+        if i == self.run.len() {
+            if remaining_steps == 0 {
+                let set = EventSet::from_iter(self.run.len(), chosen.iter().copied());
+                let better = match &self.best {
+                    Some(b) => set.len() < b.len(),
+                    None => true,
+                };
+                if better {
+                    self.best = Some(set);
+                }
+            }
+            return;
+        }
+        // Not enough events left to produce the missing observations?
+        if self.run.len() - i < remaining_steps {
+            return;
+        }
+        // Branch 1: exclude event i (bias toward short scenarios).
+        self.dfs(i + 1, sub, matched, chosen);
+        if self.done() {
+            return;
+        }
+        // Branch 2: include event i (if allowed and within bound).
+        if let Some(allowed) = &self.allowed {
+            if !allowed.contains(i) {
+                return;
+            }
+        }
+        if chosen.len() + 1 > self.bound() {
+            return;
+        }
+        let event = self.run.event(i).clone();
+        let mut next = sub.clone();
+        if next.push(event).is_err() {
+            return;
+        }
+        let j = next.len() - 1;
+        let collab = self.run.spec().collab();
+        let pre_view = collab.view_of(next.pre_instance(j), self.peer);
+        let post_view = collab.view_of(next.instance(j), self.peer);
+        let own = next.event(j).peer == self.peer;
+        let new_matched = if own || pre_view != post_view {
+            // A visible step: must match the next expected observation.
+            let Some(expected) = self.target.steps.get(matched) else {
+                return;
+            };
+            let event_matches = match (&expected.event, own) {
+                (EventView::Own(e), true) => e == next.event(j),
+                (EventView::World, false) => true,
+                _ => false,
+            };
+            if !event_matches || expected.view != post_view {
+                return;
+            }
+            matched + 1
+        } else {
+            matched
+        };
+        chosen.push(i);
+        self.dfs(i + 1, &next, new_matched, chosen);
+        chosen.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::is_scenario;
+    use cwf_engine::{Bindings, Event};
+    use cwf_lang::parse_workflow;
+    use std::sync::Arc;
+
+    /// Theorem 3.3's reduction instance for V = {v1, v2, v3},
+    /// c1 = {v1, v2}, c2 = {v2, v3}: the minimum hitting set is {v2}, so the
+    /// minimum scenario has 1 + 2 + 1 = 4 events.
+    fn hitting_run() -> Run {
+        let spec = Arc::new(
+            parse_workflow(
+                r#"
+                schema { V1(K); V2(K); V3(K); C1(K); C2(K); OK(K); }
+                peers {
+                    q sees V1(*), V2(*), V3(*), C1(*), C2(*), OK(*);
+                    p sees OK(*);
+                }
+                rules {
+                    a1 @ q: +V1(0) :- ;
+                    a2 @ q: +V2(0) :- ;
+                    a3 @ q: +V3(0) :- ;
+                    b11 @ q: +C1(0) :- V1(0);
+                    b12 @ q: +C1(0) :- V2(0);
+                    b22 @ q: +C2(0) :- V2(0);
+                    b23 @ q: +C2(0) :- V3(0);
+                    ok @ q: +OK(0) :- C1(0), C2(0);
+                }
+                "#,
+            )
+            .unwrap(),
+        );
+        let mut run = Run::new(Arc::clone(&spec));
+        // The trivial run: all (a) rules, one (b) rule per c_j, then ok.
+        for n in ["a1", "a2", "a3", "b11", "b22", "ok"] {
+            let rid = spec.program().rule_by_name(n).unwrap();
+            run.push(Event::new(&spec, rid, Bindings::empty(0)).unwrap())
+                .unwrap();
+        }
+        run
+    }
+
+    #[test]
+    fn finds_the_minimum_scenario() {
+        let run = hitting_run();
+        let p = run.spec().collab().peer("p").unwrap();
+        let res = search_min_scenario(&run, p, &SearchOptions::default());
+        let found = res.found().expect("a scenario exists");
+        // Minimum hitting set {v2} ⇒ a2 + one b-per-clause + ok = 4 events.
+        // But the run's own (b) events b11/b22 depend on v1/v2: with only a2,
+        // b11 (body V1) cannot fire — so the minimum within THIS run's
+        // events is {a1, a2, b11, b22, ok}? No: b22 only needs V2, b11 needs
+        // V1. The run only contains b11 for c1, so a1 must stay. Minimum is
+        // {a1, b11, b22, ok} + a2 for b22? b22 needs V2 ⇒ a2 too. Hence 5?
+        // Let's just assert the invariant: it is a scenario and no shorter
+        // scenario exists.
+        assert!(is_scenario(&run, p, &found));
+        for shorter in 0..found.len() {
+            assert_eq!(
+                exists_scenario_at_most(&run, p, shorter, 1_000_000),
+                Some(false),
+                "no scenario of length {shorter}"
+            );
+        }
+        assert_eq!(found.len(), 5, "a1, a2, b11, b22, ok");
+    }
+
+    #[test]
+    fn decision_variant_matches_hitting_set_structure() {
+        let run = hitting_run();
+        let p = run.spec().collab().peer("p").unwrap();
+        assert_eq!(exists_scenario_at_most(&run, p, 5, 1_000_000), Some(true));
+        assert_eq!(exists_scenario_at_most(&run, p, 4, 1_000_000), Some(false));
+        assert_eq!(exists_scenario_at_most(&run, p, 6, 1_000_000), Some(true));
+    }
+
+    #[test]
+    fn allowed_set_restricts_the_search() {
+        let run = hitting_run();
+        let p = run.spec().collab().peer("p").unwrap();
+        // Restricting to events {a1, b11, ok} loses C2 ⇒ no scenario.
+        let opts = SearchOptions {
+            allowed: Some(EventSet::from_iter(run.len(), [0, 3, 5])),
+            ..Default::default()
+        };
+        assert_eq!(search_min_scenario(&run, p, &opts), SearchResult::None);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let run = hitting_run();
+        let p = run.spec().collab().peer("p").unwrap();
+        let opts = SearchOptions { max_nodes: 3, ..Default::default() };
+        assert_eq!(search_min_scenario(&run, p, &opts), SearchResult::Budget);
+    }
+
+    #[test]
+    fn empty_view_needs_empty_scenario() {
+        let run = hitting_run();
+        // q as observer of an all-q run: the whole run is the only scenario
+        // (every event is visible at q).
+        let q = run.spec().collab().peer("q").unwrap();
+        let res = search_min_scenario(&run, q, &SearchOptions::default());
+        assert_eq!(res.found().unwrap().len(), run.len());
+    }
+
+    #[test]
+    fn own_events_must_match_exactly() {
+        // A run where p itself acts: the scenario must reproduce p's own
+        // events verbatim.
+        let spec = Arc::new(
+            parse_workflow(
+                r#"
+                schema { A(K); B(K); }
+                peers { p sees A(*); q sees A(*), B(*); }
+                rules {
+                    mine @ p: +A(0) :- ;
+                    other @ q: +B(0) :- ;
+                }
+                "#,
+            )
+            .unwrap(),
+        );
+        let mut run = Run::new(Arc::clone(&spec));
+        for n in ["other", "mine"] {
+            let rid = spec.program().rule_by_name(n).unwrap();
+            run.push(Event::new(&spec, rid, Bindings::empty(0)).unwrap())
+                .unwrap();
+        }
+        let p = spec.collab().peer("p").unwrap();
+        let res = search_min_scenario(&run, p, &SearchOptions::default());
+        // B is invisible to p, so the minimum scenario is just p's event.
+        assert_eq!(res.found().unwrap().to_vec(), vec![1]);
+    }
+}

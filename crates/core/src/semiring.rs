@@ -1,0 +1,244 @@
+//! The semiring of p-faithful subsequences (Theorem 4.8).
+//!
+//! For a fixed run `ρ` and peer `p`, the subsequences of `e(ρ)` that are
+//! fixed-points of `T_p(ρ, ·)` (boundary + modification p-faithful) are
+//! closed under
+//!
+//! * **addition** `α₁ + α₂` — union of events (by additivity of `T_p`), and
+//! * **multiplication** `α₁ * α₂` — intersection of events (by monotonicity
+//!   of `T_p`),
+//!
+//! with the empty subsequence as additive identity and `e(ρ)` as
+//! multiplicative identity. The p-faithful *scenarios* (those containing all
+//! visible events) are closed under both operations as well; closure under
+//! multiplication is exactly why the minimal p-faithful scenario is unique.
+
+use cwf_model::PeerId;
+use cwf_engine::Run;
+
+use crate::faithful::is_tp_fixpoint;
+use crate::index::RunIndex;
+use crate::set::EventSet;
+
+/// A p-faithful subsequence of a specific run, validated on construction.
+///
+/// The run/index are *not* stored; a `Faithful` value is only meaningful
+/// relative to the `(run, peer)` it was validated against — operations check
+/// universe compatibility.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Faithful {
+    peer: PeerId,
+    events: EventSet,
+}
+
+impl Faithful {
+    /// Validates that `events` is boundary + modification p-faithful for
+    /// `peer` in `run` (a `T_p` fixpoint).
+    pub fn new(
+        run: &Run,
+        index: &RunIndex,
+        peer: PeerId,
+        events: EventSet,
+    ) -> Option<Faithful> {
+        is_tp_fixpoint(run, index, peer, &events).then_some(Faithful { peer, events })
+    }
+
+    /// The additive identity: the empty subsequence (vacuously faithful).
+    pub fn zero(run: &Run, peer: PeerId) -> Faithful {
+        Faithful {
+            peer,
+            events: EventSet::empty(run.len()),
+        }
+    }
+
+    /// The multiplicative identity: the whole run `e(ρ)` (faithful by
+    /// construction — every requirement event is present).
+    pub fn one(run: &Run, peer: PeerId) -> Faithful {
+        Faithful {
+            peer,
+            events: EventSet::full(run.len()),
+        }
+    }
+
+    /// The observing peer.
+    pub fn peer(&self) -> PeerId {
+        self.peer
+    }
+
+    /// The underlying event set.
+    pub fn events(&self) -> &EventSet {
+        &self.events
+    }
+
+    /// Addition: union of events. Closure is Theorem 4.8 — and is verified
+    /// by a debug assertion in tests via [`Faithful::new`].
+    pub fn add(&self, other: &Faithful) -> Faithful {
+        assert_eq!(self.peer, other.peer, "operands observe the same peer");
+        Faithful {
+            peer: self.peer,
+            events: self.events.union(&other.events),
+        }
+    }
+
+    /// Multiplication: intersection of events.
+    pub fn mul(&self, other: &Faithful) -> Faithful {
+        assert_eq!(self.peer, other.peer, "operands observe the same peer");
+        Faithful {
+            peer: self.peer,
+            events: self.events.intersection(&other.events),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tp::tp_closure;
+    use cwf_engine::{Bindings, Event};
+    use cwf_lang::parse_workflow;
+    use std::sync::Arc;
+
+    /// A run with several independent object lifecycles, giving a rich
+    /// lattice of faithful subsequences.
+    fn run() -> Run {
+        let spec = Arc::new(
+            parse_workflow(
+                r#"
+                schema { A(K); B(K); Out(K); }
+                peers {
+                    q sees A(*), B(*), Out(*);
+                    p sees Out(*);
+                }
+                rules {
+                    mk_a @ q: +A(0) :- ;
+                    rm_a @ q: -key A(0) :- A(0);
+                    mk_b @ q: +B(0) :- ;
+                    out  @ q: +Out(0) :- B(0);
+                }
+                "#,
+            )
+            .unwrap(),
+        );
+        let mut run = Run::new(Arc::clone(&spec));
+        for n in ["mk_a", "rm_a", "mk_b", "out"] {
+            let rid = spec.program().rule_by_name(n).unwrap();
+            run.push(Event::new(&spec, rid, Bindings::empty(0)).unwrap())
+                .unwrap();
+        }
+        run
+    }
+
+    /// All T_p fixpoints of the 4-event run, by enumeration.
+    fn all_fixpoints(run: &Run, index: &RunIndex, p: PeerId) -> Vec<EventSet> {
+        (0u32..16)
+            .map(|mask| EventSet::from_iter(4, (0..4).filter(|i| mask & (1 << i) != 0)))
+            .filter(|s| is_tp_fixpoint(run, index, p, s))
+            .collect()
+    }
+
+    use crate::faithful::is_tp_fixpoint;
+    use cwf_model::PeerId;
+
+    #[test]
+    fn closure_under_addition_and_multiplication() {
+        let run = run();
+        let index = RunIndex::build(&run);
+        let p = run.spec().collab().peer("p").unwrap();
+        let fixpoints = all_fixpoints(&run, &index, p);
+        assert!(fixpoints.len() >= 4, "the lattice is non-trivial");
+        for a in &fixpoints {
+            for b in &fixpoints {
+                let fa = Faithful::new(&run, &index, p, a.clone()).unwrap();
+                let fb = Faithful::new(&run, &index, p, b.clone()).unwrap();
+                let sum = fa.add(&fb);
+                let prod = fa.mul(&fb);
+                assert!(
+                    Faithful::new(&run, &index, p, sum.events().clone()).is_some(),
+                    "union of fixpoints is a fixpoint: {a:?} + {b:?}"
+                );
+                assert!(
+                    Faithful::new(&run, &index, p, prod.events().clone()).is_some(),
+                    "intersection of fixpoints is a fixpoint: {a:?} * {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn semiring_laws() {
+        let run = run();
+        let index = RunIndex::build(&run);
+        let p = run.spec().collab().peer("p").unwrap();
+        let fixpoints = all_fixpoints(&run, &index, p);
+        let zero = Faithful::zero(&run, p);
+        let one = Faithful::one(&run, p);
+        assert!(Faithful::new(&run, &index, p, zero.events().clone()).is_some());
+        assert!(Faithful::new(&run, &index, p, one.events().clone()).is_some());
+        let lift = |s: &EventSet| Faithful::new(&run, &index, p, s.clone()).unwrap();
+        for a in &fixpoints {
+            let fa = lift(a);
+            // Identities.
+            assert_eq!(fa.add(&zero), fa);
+            assert_eq!(fa.mul(&one), fa);
+            assert_eq!(fa.mul(&zero), zero, "annihilation");
+            // Idempotence (this is a lattice-like semiring).
+            assert_eq!(fa.add(&fa), fa);
+            assert_eq!(fa.mul(&fa), fa);
+            for b in &fixpoints {
+                let fb = lift(b);
+                // Commutativity.
+                assert_eq!(fa.add(&fb), fb.add(&fa));
+                assert_eq!(fa.mul(&fb), fb.mul(&fa));
+                for c in &fixpoints {
+                    let fc = lift(c);
+                    // Associativity.
+                    assert_eq!(fa.add(&fb).add(&fc), fa.add(&fb.add(&fc)));
+                    assert_eq!(fa.mul(&fb).mul(&fc), fa.mul(&fb.mul(&fc)));
+                    // Distributivity.
+                    assert_eq!(
+                        fa.mul(&fb.add(&fc)),
+                        fa.mul(&fb).add(&fa.mul(&fc))
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tp_is_additive_on_seeds() {
+        // Lemma A.1: T_p(ρ, α₁ + α₂) = T_p(ρ, α₁) + T_p(ρ, α₂) — checked on
+        // closures over all singleton seeds.
+        let run = run();
+        let index = RunIndex::build(&run);
+        let p = run.spec().collab().peer("p").unwrap();
+        for i in 0..run.len() {
+            for j in 0..run.len() {
+                let si = EventSet::from_iter(run.len(), [i]);
+                let sj = EventSet::from_iter(run.len(), [j]);
+                let joint = tp_closure(&run, &index, p, &si.union(&sj));
+                let split = tp_closure(&run, &index, p, &si)
+                    .union(&tp_closure(&run, &index, p, &sj));
+                assert_eq!(joint, split, "additivity for seeds {{{i}}}, {{{j}}}");
+            }
+        }
+    }
+
+    #[test]
+    fn new_rejects_non_fixpoints() {
+        let run = run();
+        let index = RunIndex::build(&run);
+        let p = run.spec().collab().peer("p").unwrap();
+        // {mk_a} alone misses its closed lifecycle's right boundary rm_a.
+        let bad = EventSet::from_iter(4, [0]);
+        assert!(Faithful::new(&run, &index, p, bad).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "same peer")]
+    fn cross_peer_operations_panic() {
+        let run = run();
+        let p = run.spec().collab().peer("p").unwrap();
+        let q = run.spec().collab().peer("q").unwrap();
+        let _ = Faithful::zero(&run, p).add(&Faithful::zero(&run, q));
+    }
+}

@@ -1,0 +1,257 @@
+//! The operator `T_p(ρ, ·)` and the unique minimal p-faithful scenario
+//! (Theorem 4.7).
+//!
+//! `T_p(ρ, α)` adds to `α` every event whose presence is required by
+//! boundary or modification p-faithfulness *because of* events already in
+//! `α`. It is monotone and inflationary, so its least fixpoint above `α`
+//! exists and equals `T_p^ω(ρ, α)`; [`tp_closure`] computes it with a
+//! worklist (each event is processed once, so the closure is linear in the
+//! number of generated requirements — comfortably polynomial, as the theorem
+//! demands).
+//!
+//! The **minimal p-faithful scenario** of a run is `run(T_p^ω(ρ, v̄))` where
+//! `v̄` is the set of events visible at `p`; it is unique and contained in
+//! every p-faithful scenario.
+
+use cwf_model::PeerId;
+use cwf_engine::Run;
+
+use crate::faithful::relevant_attrs;
+use crate::index::RunIndex;
+use crate::scenario::visible_set;
+use crate::set::EventSet;
+
+/// One application of `T_p(ρ, ·)`: `alpha` plus the directly-required
+/// events. (Mostly useful for tests; [`tp_closure`] computes the fixpoint
+/// without re-scanning.)
+pub fn tp_step(run: &Run, index: &RunIndex, peer: PeerId, alpha: &EventSet) -> EventSet {
+    let mut out = alpha.clone();
+    for j in alpha.iter() {
+        add_requirements(run, index, peer, j, &mut out, &mut Vec::new());
+    }
+    out
+}
+
+/// The fixpoint `T_p^ω(ρ, seed)`.
+pub fn tp_closure(run: &Run, index: &RunIndex, peer: PeerId, seed: &EventSet) -> EventSet {
+    let mut out = seed.clone();
+    let mut worklist: Vec<usize> = seed.iter().collect();
+    while let Some(j) = worklist.pop() {
+        add_requirements(run, index, peer, j, &mut out, &mut worklist);
+    }
+    out
+}
+
+/// Adds the events required by p-faithfulness due to the presence of event
+/// `j`, pushing newly added positions onto `worklist`.
+fn add_requirements(
+    run: &Run,
+    index: &RunIndex,
+    peer: PeerId,
+    j: usize,
+    out: &mut EventSet,
+    worklist: &mut Vec<usize>,
+) {
+    let q = run.event(j).peer;
+    for (rel, keys) in index.key_occurrences(j) {
+        let mut relevant = relevant_attrs(run, q, *rel);
+        relevant.extend(relevant_attrs(run, peer, *rel));
+        for k in keys {
+            let Some(lc) = index.lifecycle_containing(*rel, k, j) else {
+                continue;
+            };
+            // Boundary requirements.
+            if out.insert(lc.start) {
+                worklist.push(lc.start);
+            }
+            if let Some(end) = lc.end {
+                if out.insert(end) {
+                    worklist.push(end);
+                }
+            }
+            // Modification requirements: earlier writers, in this lifecycle,
+            // of attributes relevant to q or to p.
+            for m in index.modifications_of(*rel, k) {
+                if m.at < j
+                    && lc.contains(m.at)
+                    && m.attrs.iter().any(|a| relevant.contains(a))
+                    && out.insert(m.at)
+                {
+                    worklist.push(m.at);
+                }
+            }
+        }
+    }
+}
+
+/// Is the run its *own* minimum p-faithful scenario
+/// (`α = T_p^ω(α, v̄)`, Section 5's "minimum p-faithful run" predicate)?
+pub fn is_minimum_faithful_run(run: &Run, peer: PeerId) -> bool {
+    let index = RunIndex::build(run);
+    let seed = visible_set(run, peer);
+    tp_closure(run, &index, peer, &seed).len() == run.len()
+}
+
+/// The unique minimal p-faithful scenario of a run (Theorem 4.7).
+#[derive(Debug, Clone)]
+pub struct FaithfulExplanation {
+    /// The scenario's event positions within the original run.
+    pub events: EventSet,
+    /// The replayed scenario (a subrun of the original — Lemma 4.6
+    /// guarantees the replay succeeds).
+    pub subrun: Run,
+}
+
+/// Computes the unique minimal p-faithful scenario `run(T_p^ω(ρ, v̄))`.
+///
+/// # Panics
+///
+/// Panics if the p-faithful closure fails to replay — that would contradict
+/// Lemma 4.6, i.e. signal a bug in the engine or the index.
+pub fn minimal_faithful_scenario(run: &Run, peer: PeerId) -> FaithfulExplanation {
+    minimal_faithful_scenario_indexed(run, &RunIndex::build(run), peer)
+}
+
+/// Same as [`minimal_faithful_scenario`] with a caller-provided index.
+pub fn minimal_faithful_scenario_indexed(
+    run: &Run,
+    index: &RunIndex,
+    peer: PeerId,
+) -> FaithfulExplanation {
+    let seed = visible_set(run, peer);
+    let events = tp_closure(run, index, peer, &seed);
+    let subrun = run
+        .try_subrun(&events.to_vec())
+        .expect("Lemma 4.6: p-faithful subsequences yield subruns");
+    FaithfulExplanation { events, subrun }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faithful::{is_faithful, is_tp_fixpoint};
+    use crate::scenario::is_scenario;
+    use cwf_engine::{Bindings, Event};
+    use cwf_lang::parse_workflow;
+    use std::sync::Arc;
+
+    fn example_4_2() -> Run {
+        let spec = Arc::new(
+            parse_workflow(
+                r#"
+                schema { Ok(K); Approval(K); }
+                peers {
+                    cto sees Ok(*), Approval(*);
+                    ceo sees Ok(*), Approval(*);
+                    assistant sees Ok(*), Approval(*);
+                    applicant sees Approval(*);
+                }
+                rules {
+                    e @ cto: +Ok(0) :- ;
+                    f @ cto: -key Ok(0) :- Ok(0);
+                    g @ ceo: +Ok(0) :- ;
+                    h @ assistant: +Approval(0) :- Ok(0);
+                }
+                "#,
+            )
+            .unwrap(),
+        );
+        let mut run = Run::new(Arc::clone(&spec));
+        for n in ["e", "f", "g", "h"] {
+            let rid = spec.program().rule_by_name(n).unwrap();
+            run.push(Event::new(&spec, rid, Bindings::empty(0)).unwrap())
+                .unwrap();
+        }
+        run
+    }
+
+    #[test]
+    fn example_4_2_minimal_faithful_scenario_is_gh() {
+        let run = example_4_2();
+        let applicant = run.spec().collab().peer("applicant").unwrap();
+        let expl = minimal_faithful_scenario(&run, applicant);
+        assert_eq!(expl.events.to_vec(), vec![2, 3], "g then h — not the misleading e h");
+        assert_eq!(expl.subrun.len(), 2);
+    }
+
+    #[test]
+    fn closure_is_a_fixpoint_and_faithful() {
+        let run = example_4_2();
+        let index = RunIndex::build(&run);
+        let applicant = run.spec().collab().peer("applicant").unwrap();
+        let expl = minimal_faithful_scenario(&run, applicant);
+        assert!(is_tp_fixpoint(&run, &index, applicant, &expl.events));
+        assert!(is_faithful(&run, &index, applicant, &expl.events));
+        assert_eq!(
+            tp_step(&run, &index, applicant, &expl.events),
+            expl.events,
+            "fixpoint of a single T_p application"
+        );
+        assert!(is_scenario(&run, applicant, &expl.events));
+    }
+
+    #[test]
+    fn closure_is_minimal_among_faithful_scenarios() {
+        let run = example_4_2();
+        let index = RunIndex::build(&run);
+        let applicant = run.spec().collab().peer("applicant").unwrap();
+        let minimal = minimal_faithful_scenario(&run, applicant).events;
+        // Enumerate all faithful scenarios (run length 4 ⇒ 16 subsequences)
+        // and check containment — the uniqueness/minimality of Theorem 4.7.
+        for mask in 0u32..16 {
+            let set = EventSet::from_iter(4, (0..4).filter(|i| mask & (1 << i) != 0));
+            if is_faithful(&run, &index, applicant, &set) {
+                assert!(
+                    minimal.is_subset(&set),
+                    "minimal ⊴ every faithful scenario; failed for {set:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tp_step_adds_direct_requirements_only() {
+        let run = example_4_2();
+        let index = RunIndex::build(&run);
+        let applicant = run.spec().collab().peer("applicant").unwrap();
+        // Seed {h}: one step adds g (left boundary of h's Ok-lifecycle).
+        let seed = EventSet::from_iter(4, [3]);
+        let one = tp_step(&run, &index, applicant, &seed);
+        assert_eq!(one.to_vec(), vec![2, 3]);
+    }
+
+    #[test]
+    fn seeding_with_e_pulls_in_f() {
+        let run = example_4_2();
+        let index = RunIndex::build(&run);
+        let applicant = run.spec().collab().peer("applicant").unwrap();
+        // The per-event explanation of e must contain its lifecycle closer f.
+        let closure = tp_closure(&run, &index, applicant, &EventSet::from_iter(4, [0]));
+        assert_eq!(closure.to_vec(), vec![0, 1]);
+    }
+
+    #[test]
+    fn monotone_in_the_seed() {
+        let run = example_4_2();
+        let index = RunIndex::build(&run);
+        let applicant = run.spec().collab().peer("applicant").unwrap();
+        let small = tp_closure(&run, &index, applicant, &EventSet::from_iter(4, [3]));
+        let large = tp_closure(&run, &index, applicant, &EventSet::from_iter(4, [0, 3]));
+        assert!(small.is_subset(&large));
+    }
+
+    #[test]
+    fn empty_run_yields_empty_explanation() {
+        let spec = Arc::new(
+            parse_workflow(
+                "schema { T(K); } peers { p sees T(*); } rules { r @ p: +T(0) :- ; }",
+            )
+            .unwrap(),
+        );
+        let run = Run::new(spec);
+        let p = run.spec().collab().peer("p").unwrap();
+        let expl = minimal_faithful_scenario(&run, p);
+        assert!(expl.events.is_empty());
+        assert!(expl.subrun.is_empty());
+    }
+}

@@ -1,0 +1,420 @@
+//! Design guidelines (C1)–(C4) for transparency and h-boundedness by
+//! construction (Section 6, Theorem 6.2).
+//!
+//! The checks are syntactic sufficient conditions. They take a
+//! [`Classification`] splitting the relations into *p-transparent* and
+//! *p-opaque* (C3), with the relations visible at `p` always transparent and
+//! the invisible transparent ones carrying a `StageID` attribute.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use cwf_model::{AttrId, PeerId, RelId};
+use cwf_lang::{Literal, Rule, Term, UpdateAtom, WorkflowSpec};
+
+use crate::pgraph::satisfies_c1;
+
+/// The (C3) classification of relations for a designated peer.
+#[derive(Debug, Clone)]
+pub struct Classification {
+    /// The p-transparent relations (must include everything `p` sees).
+    pub transparent: BTreeSet<RelId>,
+    /// The `Stage` relation (visible by all peers; key 0, one id column).
+    pub stage: RelId,
+    /// For each invisible transparent relation: its `StageID` attribute.
+    pub stage_id_attr: std::collections::BTreeMap<RelId, AttrId>,
+}
+
+/// A violation of the design guidelines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GuidelineViolation {
+    /// (C1): some co-observer of a p-visible relation lacks a full view.
+    C1,
+    /// (C2): a rule producing p-invisible events is not guarded by `Stage`.
+    C2MissingStageGuard {
+        /// The offending rule name.
+        rule: String,
+    },
+    /// (C2): a rule with p-visible updates does not delete the stage id.
+    C2MissingStageDelete {
+        /// The offending rule name.
+        rule: String,
+    },
+    /// (C3): a relation visible at `p` was classified opaque.
+    C3VisibleNotTransparent {
+        /// The misclassified relation.
+        rel: RelId,
+    },
+    /// (C3): an invisible transparent relation lacks a `StageID` attribute.
+    C3MissingStageId {
+        /// The offending relation.
+        rel: RelId,
+    },
+    /// (C4)(i): a transparent-updating rule reads an opaque or negative fact.
+    C4OpaqueBody {
+        /// The offending rule name.
+        rule: String,
+    },
+    /// (C4)(ii): a transparent-updating rule modifies a tuple that is not
+    /// fresh-keyed and not provably from the current stage.
+    C4BadUpdate {
+        /// The offending rule name.
+        rule: String,
+    },
+    /// (C4): a transparent-updating rule deletes from an invisible
+    /// transparent relation (disallowed in the simplified guidelines).
+    C4InvisibleDelete {
+        /// The offending rule name.
+        rule: String,
+    },
+}
+
+impl fmt::Display for GuidelineViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GuidelineViolation::C1 => write!(f, "(C1) violated: partial co-observer view"),
+            GuidelineViolation::C2MissingStageGuard { rule } => {
+                write!(f, "(C2) violated: rule {rule} lacks a Stage guard")
+            }
+            GuidelineViolation::C2MissingStageDelete { rule } => {
+                write!(f, "(C2) violated: rule {rule} has visible updates but keeps Stage")
+            }
+            GuidelineViolation::C3VisibleNotTransparent { rel } => {
+                write!(f, "(C3) violated: visible relation {rel:?} classified opaque")
+            }
+            GuidelineViolation::C3MissingStageId { rel } => {
+                write!(f, "(C3) violated: transparent invisible {rel:?} lacks StageID")
+            }
+            GuidelineViolation::C4OpaqueBody { rule } => {
+                write!(f, "(C4)(i) violated: rule {rule} reads opaque/negative facts")
+            }
+            GuidelineViolation::C4BadUpdate { rule } => {
+                write!(f, "(C4)(ii) violated: rule {rule} has a non-stage-local update")
+            }
+            GuidelineViolation::C4InvisibleDelete { rule } => {
+                write!(f, "(C4) violated: rule {rule} deletes from an invisible transparent relation")
+            }
+        }
+    }
+}
+
+/// Checks guidelines (C1)–(C4) for `peer` under `class`. Returns all
+/// violations found (empty = the program is transparent and h-bounded by
+/// design, Theorem 6.2).
+pub fn check_guidelines(
+    spec: &WorkflowSpec,
+    peer: PeerId,
+    class: &Classification,
+) -> Vec<GuidelineViolation> {
+    let mut out = Vec::new();
+    let collab = spec.collab();
+    // (C1).
+    if !satisfies_c1(spec, peer) {
+        out.push(GuidelineViolation::C1);
+    }
+    // (C3): visibility ⊆ transparency; StageID columns present.
+    for r in collab.visible_rels(peer) {
+        if !class.transparent.contains(&r) {
+            out.push(GuidelineViolation::C3VisibleNotTransparent { rel: r });
+        }
+    }
+    for &r in &class.transparent {
+        if !collab.sees(peer, r) && !class.stage_id_attr.contains_key(&r) {
+            out.push(GuidelineViolation::C3MissingStageId { rel: r });
+        }
+    }
+    // Per rule: (C2) and (C4).
+    for rule in spec.program().rules() {
+        check_rule(spec, peer, class, rule, &mut out);
+    }
+    out
+}
+
+fn check_rule(
+    spec: &WorkflowSpec,
+    peer: PeerId,
+    class: &Classification,
+    rule: &Rule,
+    out: &mut Vec<GuidelineViolation>,
+) {
+    let collab = spec.collab();
+    let is_stage_init = rule.head.len() == 1
+        && matches!(&rule.head[0], UpdateAtom::Insert { rel, .. } if *rel == class.stage);
+    let visible_updates = rule
+        .head
+        .iter()
+        .any(|u| collab.sees(peer, u.rel()) && u.rel() != class.stage);
+    let has_stage_guard = rule.body.iter().any(
+        |l| matches!(l, Literal::Pos { rel, .. } | Literal::KeyPos { rel, .. } if *rel == class.stage),
+    );
+    let deletes_stage = rule
+        .head
+        .iter()
+        .any(|u| matches!(u, UpdateAtom::Delete { rel, .. } if *rel == class.stage));
+    // (C2): invisible-event rules are guarded; visible-update rules delete
+    // the stage id. The stage-init rule itself is exempt.
+    if !is_stage_init {
+        if !visible_updates && !has_stage_guard {
+            out.push(GuidelineViolation::C2MissingStageGuard { rule: rule.name.clone() });
+        }
+        if visible_updates && !deletes_stage {
+            out.push(GuidelineViolation::C2MissingStageDelete { rule: rule.name.clone() });
+        }
+    }
+    // (C4): rules updating transparent relations.
+    let updates_transparent = rule
+        .head
+        .iter()
+        .any(|u| class.transparent.contains(&u.rel()) && u.rel() != class.stage);
+    if !updates_transparent || is_stage_init {
+        return;
+    }
+    // (i) body: only positive facts over transparent relations (plus the
+    // Stage guard and (dis)equalities).
+    for l in &rule.body {
+        let bad = match l {
+            Literal::Pos { rel, .. } | Literal::KeyPos { rel, .. } => {
+                *rel != class.stage && !class.transparent.contains(rel)
+            }
+            Literal::Neg { rel, .. } | Literal::KeyNeg { rel, .. } => *rel != class.stage,
+            Literal::Eq(..) | Literal::Neq(..) => false,
+        };
+        if bad {
+            out.push(GuidelineViolation::C4OpaqueBody { rule: rule.name.clone() });
+            break;
+        }
+    }
+    // Stage-id variable: the second argument of the Stage guard, if any.
+    let stage_var = rule.body.iter().find_map(|l| match l {
+        Literal::Pos { rel, args } if *rel == class.stage && args.len() == 2 => {
+            args[1].as_var()
+        }
+        _ => None,
+    });
+    let body_vars = rule.body_vars();
+    // (ii) each head update.
+    for u in &rule.head {
+        let rel = u.rel();
+        if rel == class.stage || !class.transparent.contains(&rel) {
+            continue;
+        }
+        match u {
+            UpdateAtom::Delete { .. } => {
+                if !collab.sees(peer, rel) {
+                    out.push(GuidelineViolation::C4InvisibleDelete { rule: rule.name.clone() });
+                }
+            }
+            UpdateAtom::Insert { args, .. } => {
+                if collab.sees(peer, rel) {
+                    continue; // p-visible updates are fine
+                }
+                // An insert into an invisible transparent relation is
+                // stage-local iff its StageID argument is the current stage
+                // variable: any same-key tuple from an earlier stage carries
+                // a different id, so the insert either creates a fresh
+                // object, merges with a same-stage tuple, or chase-conflicts
+                // and fails — never a cross-stage modification. (The
+                // paper's own Example 5.7 rule `+Approved(x, s)` with `x`
+                // bound by `Cleared(x)` relies on exactly this.)
+                if let Some(sa) = class.stage_id_attr.get(&rel) {
+                    let view = collab
+                        .view(rule.peer, rel)
+                        .expect("validated rule updates visible relations");
+                    let ok = match view.position(*sa) {
+                        Some(pos) => matches!(
+                            (args.get(pos).and_then(Term::as_var), stage_var),
+                            (Some(a), Some(s)) if a == s
+                        ),
+                        None => false,
+                    };
+                    if !ok {
+                        out.push(GuidelineViolation::C4BadUpdate {
+                            rule: rule.name.clone(),
+                        });
+                    }
+                } else {
+                    // No StageID column: only fresh-key creation is safe.
+                    let key = &args[0];
+                    let fresh_key =
+                        key.as_var().is_some_and(|v| !body_vars.contains(&v));
+                    if !fresh_key {
+                        out.push(GuidelineViolation::C4BadUpdate {
+                            rule: rule.name.clone(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwf_lang::parse_workflow;
+
+    /// The staged, transparent hiring program of Example 5.7 (final form).
+    pub(crate) fn staged_hiring() -> WorkflowSpec {
+        parse_workflow(
+            r#"
+            schema { Stage(K, S); Cleared(K); Approved(K, X, S); Hire(K); }
+            peers {
+                sue sees Stage(*), Cleared(*), Hire(*);
+                hr  sees Stage(*), Cleared(*), Approved(*), Hire(*);
+                ceo sees Stage(*), Cleared(*), Approved(*), Hire(*);
+            }
+            rules {
+                stage   @ sue: +Stage(0, s) :- not key Stage(0);
+                clear   @ hr:  +Cleared(x), -key Stage(0) :- Stage(0, s);
+                approve @ ceo: +Approved(k, x, s) :- Cleared(x), Stage(0, s);
+                hire    @ hr:  +Hire(x), -key Stage(0)
+                               :- Approved(k, x, s), Stage(0, s);
+            }
+            "#,
+        )
+        .unwrap()
+    }
+
+    pub(crate) fn staged_classification(spec: &WorkflowSpec) -> (PeerId, Classification) {
+        let collab = spec.collab();
+        let sue = collab.peer("sue").unwrap();
+        let stage = collab.schema().rel("Stage").unwrap();
+        let approved = collab.schema().rel("Approved").unwrap();
+        let s_attr = collab.schema().relation(approved).attr("S").unwrap();
+        let class = Classification {
+            transparent: collab.schema().rel_ids().collect(),
+            stage,
+            stage_id_attr: [(approved, s_attr)].into_iter().collect(),
+        };
+        (sue, class)
+    }
+
+    #[test]
+    fn staged_hiring_satisfies_the_guidelines() {
+        let spec = staged_hiring();
+        let (sue, class) = staged_classification(&spec);
+        let violations = check_guidelines(&spec, sue, &class);
+        assert!(violations.is_empty(), "got {violations:?}");
+    }
+
+    #[test]
+    fn missing_stage_guard_is_flagged() {
+        // `approve` without the Stage guard: (C2) and (C4)(ii) break.
+        let spec = parse_workflow(
+            r#"
+            schema { Stage(K, S); Cleared(K); Approved(K, S); Hire(K); }
+            peers {
+                sue sees Stage(*), Cleared(*), Hire(*);
+                hr  sees Stage(*), Cleared(*), Approved(*), Hire(*);
+                ceo sees Stage(*), Cleared(*), Approved(*), Hire(*);
+            }
+            rules {
+                stage   @ sue: +Stage(0, s) :- not key Stage(0);
+                clear   @ hr:  +Cleared(x), -key Stage(0) :- Stage(0, s);
+                approve @ ceo: +Approved(x, s2) :- Cleared(x), not key Approved(x);
+                hire    @ hr:  +Hire(x), -key Stage(0)
+                               :- Approved(x, s), Stage(0, s), not key Hire(x);
+            }
+            "#,
+        )
+        .unwrap();
+        let (sue, class) = staged_classification(&spec);
+        let violations = check_guidelines(&spec, sue, &class);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, GuidelineViolation::C2MissingStageGuard { rule } if rule == "approve")));
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, GuidelineViolation::C4BadUpdate { rule } if rule == "approve")));
+    }
+
+    #[test]
+    fn visible_update_must_delete_stage() {
+        let spec = parse_workflow(
+            r#"
+            schema { Stage(K, S); Cleared(K); }
+            peers {
+                sue sees Stage(*), Cleared(*);
+                hr  sees Stage(*), Cleared(*);
+            }
+            rules {
+                stage @ sue: +Stage(0, s) :- not key Stage(0);
+                clear @ hr:  +Cleared(x) :- Stage(0, s);
+            }
+            "#,
+        )
+        .unwrap();
+        let collab = spec.collab();
+        let sue = collab.peer("sue").unwrap();
+        let class = Classification {
+            transparent: collab.schema().rel_ids().collect(),
+            stage: collab.schema().rel("Stage").unwrap(),
+            stage_id_attr: Default::default(),
+        };
+        let violations = check_guidelines(&spec, sue, &class);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, GuidelineViolation::C2MissingStageDelete { rule } if rule == "clear")));
+    }
+
+    #[test]
+    fn opaque_body_facts_are_flagged() {
+        // Example 6.1's shape: a rule mixing a visible update with an opaque
+        // body dependency.
+        let spec = parse_workflow(
+            r#"
+            schema { Stage(K, S); R(K); T(K); }
+            peers {
+                p sees Stage(*), R(*);
+                q sees Stage(*), R(*), T(*);
+            }
+            rules {
+                stage @ p: +Stage(0, s) :- not key Stage(0);
+                bad @ q: +R(x), -key Stage(0) :- T(x), Stage(0, s);
+            }
+            "#,
+        )
+        .unwrap();
+        let collab = spec.collab();
+        let p = collab.peer("p").unwrap();
+        let t = collab.schema().rel("T").unwrap();
+        let class = Classification {
+            transparent: collab
+                .schema()
+                .rel_ids()
+                .filter(|r| *r != t)
+                .collect(),
+            stage: collab.schema().rel("Stage").unwrap(),
+            stage_id_attr: Default::default(),
+        };
+        let violations = check_guidelines(&spec, p, &class);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, GuidelineViolation::C4OpaqueBody { rule } if rule == "bad")));
+    }
+
+    #[test]
+    fn misclassification_is_flagged() {
+        let spec = staged_hiring();
+        let collab = spec.collab();
+        let sue = collab.peer("sue").unwrap();
+        let cleared = collab.schema().rel("Cleared").unwrap();
+        let class = Classification {
+            transparent: BTreeSet::new(), // everything opaque: wrong
+            stage: collab.schema().rel("Stage").unwrap(),
+            stage_id_attr: Default::default(),
+        };
+        let violations = check_guidelines(&spec, sue, &class);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, GuidelineViolation::C3VisibleNotTransparent { rel } if *rel == cleared)));
+    }
+
+    #[test]
+    fn thm_6_2_staged_program_shows_no_sampled_transparency_violation() {
+        // Theorem 6.2 ⇒ transparency; the sampling falsifier agrees.
+        let spec = std::sync::Arc::new(staged_hiring());
+        let sue = spec.collab().peer("sue").unwrap();
+        assert!(cwf_analysis::sample_transparency_violation(&spec, sue, 25, 8, 11).is_none());
+    }
+}

@@ -1,0 +1,33 @@
+//! # cwf-design — transparent workflow design and enforcement
+//!
+//! Section 6 of the paper: design guidelines (C1)–(C4) giving transparency
+//! and h-boundedness by construction (Theorem 6.2), boundedness via
+//! p-acyclicity with the `(ab+1)^d` bound (Theorem 6.3), transparency-form
+//! (TF) programs (Definition 6.5), run-level transparency / h-boundedness
+//! and run projections (Definitions 6.4/6.6), and the enforcement engine
+//! realizing `Pᵗ` (Theorem 6.7, Corollary 6.8) by filtering out runs that
+//! violate either property.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod enforce;
+pub mod guidelines;
+pub mod pgraph;
+pub mod runs;
+pub mod stage_transform;
+pub mod tf;
+
+pub use enforce::{
+    enrich_schema, Alert, EnforceStats, EnforcementMode, PushOutcome, TransparentEngine,
+};
+pub use guidelines::{check_guidelines, Classification, GuidelineViolation};
+pub use pgraph::{
+    acyclicity_bound, is_p_acyclic, p_graph, satisfies_c1, thm_6_3_applies, PGraph,
+};
+pub use stage_transform::{add_stage_discipline, Staged, StageTransformError};
+pub use runs::{
+    in_t_runs, is_run_h_bounded, p_fresh_candidates, run_transparency_violation, Projection,
+    RunTransparencyViolation,
+};
+pub use tf::{check_tf, TfViolation};

@@ -1,0 +1,560 @@
+//! Mechanical stage-discipline rewriting (Section 6, Example 5.7).
+//!
+//! Given a program and a designated peer `p`, [`add_stage_discipline`]
+//! produces a staged variant in the spirit of the paper's Example 5.7
+//! construction:
+//!
+//! * a fresh binary relation `Stage(K, S)`, visible to **all** peers, with
+//!   an initialization rule `+Stage(0, s) :- ¬Key_Stage(0)` owned by `p`;
+//! * every rule gains a `Stage(0, s)` guard, and every rule with a
+//!   p-visible update additionally deletes `Key_Stage(0)` — so invisible
+//!   work must re-establish a fresh stage id after each observation;
+//! * every p-invisible relation `R(K, Ā)` is **re-keyed** as
+//!   `R(K, Obj, Ā, StageID)`: the key becomes a fresh per-derivation token,
+//!   the original key moves to the `Obj` column, and every tuple is stamped
+//!   with the stage id that produced it.
+//!
+//! The re-keying goes beyond the paper's literal construction (which keeps
+//! the original keys and stamps a stage column): with original keys, a
+//! stale fact `R(x, s_old)` *chase-conflicts* with the current stage's
+//! re-derivation `R(x, s_new)`, so hidden history can block visible
+//! progress — a transparency leak under the uniform quantifier of
+//! Definition 5.6 (see DESIGN.md, reading choice 5). Fresh tokens make
+//! derivations from different stages coexist silently; joins go through the
+//! `Obj` column and the current stage id, so stale rows are inert.
+//!
+//! The price is expressibility: `¬Key_R(x)` and `¬R(x, ū)` over an
+//! invisible relation become *non-key* negations over the re-keyed schema,
+//! which FCQ¬ cannot express — such rules are rejected
+//! ([`StageTransformError::Inexpressible`]), as are deletions of invisible
+//! tuples without a positive body witness. Visible relations are untouched.
+
+use std::collections::BTreeMap;
+
+use cwf_model::{AttrId, CollabSchema, PeerId, RelId, RelSchema, Schema, Value, ViewRel};
+use cwf_lang::{Literal, Program, Rule, Term, UpdateAtom, VarId, WorkflowSpec};
+
+use crate::guidelines::Classification;
+
+/// Why the transform refused a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StageTransformError {
+    /// The schema already has a relation named `Stage`.
+    StageNameTaken,
+    /// A rule mixes p-visible updates with insertions into p-invisible
+    /// relations: the discipline separates visible updates from
+    /// stage-stamped invisible ones (cf. Example 6.1).
+    MixedHead {
+        /// The offending rule.
+        rule: String,
+    },
+    /// A rule uses a construct the re-keyed schema cannot express
+    /// (negation over an invisible relation, or a deletion without a
+    /// positive witness).
+    Inexpressible {
+        /// The offending rule.
+        rule: String,
+        /// What exactly cannot be expressed.
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for StageTransformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StageTransformError::StageNameTaken => {
+                write!(f, "the schema already defines a relation named Stage")
+            }
+            StageTransformError::MixedHead { rule } => write!(
+                f,
+                "rule {rule} mixes p-visible updates with invisible insertions; \
+                 split it before staging (cf. Example 6.1)"
+            ),
+            StageTransformError::Inexpressible { rule, what } => {
+                write!(f, "rule {rule}: {what} is not expressible over the re-keyed schema")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StageTransformError {}
+
+/// The result of the transform: the staged spec plus the classification that
+/// makes [`crate::guidelines::check_guidelines`] accept it.
+#[derive(Debug, Clone)]
+pub struct Staged {
+    /// The staged workflow spec.
+    pub spec: WorkflowSpec,
+    /// The matching (C3) classification (Stage relation + StageID columns).
+    pub classification: Classification,
+}
+
+/// Applies the stage discipline for `peer` (see module docs).
+pub fn add_stage_discipline(
+    spec: &WorkflowSpec,
+    peer: PeerId,
+) -> Result<Staged, StageTransformError> {
+    let collab = spec.collab();
+    let old_schema = collab.schema();
+    if old_schema.rel("Stage").is_some() {
+        return Err(StageTransformError::StageNameTaken);
+    }
+    // --- new schema -------------------------------------------------------
+    let mut schema = Schema::new();
+    let stage = schema
+        .add_relation(RelSchema::new("Stage", ["K", "S"]).expect("valid"))
+        .expect("name free");
+    let mut rel_map: BTreeMap<RelId, RelId> = BTreeMap::new();
+    let mut stage_id_attr: BTreeMap<RelId, AttrId> = BTreeMap::new();
+    // For re-keyed relations: position of the Obj column (always 1).
+    let mut rekeyed: BTreeMap<RelId, ()> = BTreeMap::new();
+    for r in old_schema.rel_ids() {
+        let rs = old_schema.relation(r);
+        let invisible = !collab.sees(peer, r);
+        let attrs: Vec<String> = if invisible {
+            // K (token), Obj (old key), old non-key attrs, StageID.
+            let mut a = vec!["K".to_string(), pick_name(rs, "Obj")];
+            a.extend(rs.attrs()[1..].iter().cloned());
+            a.push(pick_name(rs, "StageID"));
+            a
+        } else {
+            rs.attrs().to_vec()
+        };
+        let nr = schema
+            .add_relation(RelSchema::new(rs.name(), attrs).expect("distinct attrs"))
+            .expect("names unique");
+        rel_map.insert(r, nr);
+        if invisible {
+            stage_id_attr.insert(nr, AttrId(rs.arity() as u32 + 1));
+            rekeyed.insert(r, ());
+        }
+    }
+    // --- views --------------------------------------------------------------
+    let mut new_collab = CollabSchema::new(schema);
+    for q in collab.peer_ids() {
+        let nq = new_collab
+            .add_peer(collab.peer_name(q))
+            .expect("names unique");
+        debug_assert_eq!(nq, q);
+    }
+    for q in collab.peer_ids() {
+        new_collab.set_full_view(q, stage).expect("valid");
+        for r in collab.visible_rels(q).collect::<Vec<_>>() {
+            let nr = rel_map[&r];
+            let old_view = collab.view(q, r).expect("visible");
+            if rekeyed.contains_key(&r) {
+                // Re-keyed relation: expose the token, the shifted old
+                // attributes, and the StageID.
+                let mut attrs: Vec<AttrId> = vec![AttrId(0)];
+                for a in old_view.attrs() {
+                    attrs.push(AttrId(a.0 + 1)); // shifted by the token column
+                }
+                attrs.push(stage_id_attr[&nr]);
+                // Selections over old attributes shift likewise.
+                let selection = shift_condition(old_view.selection(), 1);
+                new_collab
+                    .set_view(q, ViewRel::new(nr, attrs, selection))
+                    .expect("valid view");
+            } else if old_view.is_full(collab.schema()) {
+                new_collab.set_full_view(q, nr).expect("valid");
+            } else {
+                new_collab
+                    .set_view(
+                        q,
+                        ViewRel::new(nr, old_view.attrs().iter().copied(), old_view.selection().clone()),
+                    )
+                    .expect("valid view");
+            }
+        }
+    }
+    // --- rules --------------------------------------------------------------
+    let mut program = Program::new();
+    {
+        let mut b = cwf_lang::RuleBuilder::new(peer, "stage_init");
+        let s = b.var("s");
+        program.add_rule(
+            b.key_neg(stage, Term::Const(Value::int(0)))
+                .insert(stage, [Term::Const(Value::int(0)), s])
+                .build(),
+        );
+    }
+    for rule in spec.program().rules() {
+        program.add_rule(transform_rule(spec, peer, rule, stage, &rel_map)?);
+    }
+    let staged_spec = WorkflowSpec::new(new_collab, program)
+        .expect("staged rules are well-formed by construction");
+    let classification = Classification {
+        transparent: staged_spec.collab().schema().rel_ids().collect(),
+        stage,
+        stage_id_attr,
+    };
+    Ok(Staged { spec: staged_spec, classification })
+}
+
+/// Picks an attribute name not already used by the relation.
+fn pick_name(rs: &RelSchema, base: &str) -> String {
+    let mut name = base.to_string();
+    let mut i = 0;
+    while rs.attrs().contains(&name) {
+        i += 1;
+        name = format!("{base}{i}");
+    }
+    name
+}
+
+/// Shifts every attribute id in a condition by `by` (the token column was
+/// prepended).
+fn shift_condition(c: &cwf_model::Condition, by: u32) -> cwf_model::Condition {
+    use cwf_model::Condition as C;
+    match c {
+        C::True => C::True,
+        C::False => C::False,
+        C::EqConst(a, v) => C::EqConst(AttrId(a.0 + by), v.clone()),
+        C::EqAttr(a, b) => C::EqAttr(AttrId(a.0 + by), AttrId(b.0 + by)),
+        C::Not(inner) => C::Not(Box::new(shift_condition(inner, by))),
+        C::And(cs) => C::And(cs.iter().map(|c| shift_condition(c, by)).collect()),
+        C::Or(cs) => C::Or(cs.iter().map(|c| shift_condition(c, by)).collect()),
+    }
+}
+
+fn transform_rule(
+    spec: &WorkflowSpec,
+    peer: PeerId,
+    rule: &Rule,
+    stage: RelId,
+    rel_map: &BTreeMap<RelId, RelId>,
+) -> Result<Rule, StageTransformError> {
+    let collab = spec.collab();
+    let invisible = |r: RelId| !collab.sees(peer, r);
+    let visible_update = rule.head.iter().any(|u| !invisible(u.rel()));
+    let invisible_insert = rule
+        .head
+        .iter()
+        .any(|u| u.is_insert() && invisible(u.rel()));
+    if visible_update && invisible_insert {
+        return Err(StageTransformError::MixedHead { rule: rule.name.clone() });
+    }
+    let mut vars = rule.vars.clone();
+    let fresh_var = |vars: &mut Vec<String>, base: &str| -> VarId {
+        let mut name = base.to_string();
+        let mut i = 0;
+        while vars.contains(&name) {
+            i += 1;
+            name = format!("{base}{i}");
+        }
+        vars.push(name);
+        VarId(vars.len() as u32 - 1)
+    };
+    let stage_var = fresh_var(&mut vars, "_stage");
+    let s_term = Term::Var(stage_var);
+    // Body: remap; re-keyed positive literals gain a token variable and the
+    // stage id; negations over invisible relations are inexpressible.
+    let mut body: Vec<Literal> = Vec::new();
+    // Tokens bound per (rel, old-key term), for deletions to reuse.
+    let mut tokens: Vec<(RelId, Term, VarId)> = Vec::new();
+    for lit in &rule.body {
+        match lit {
+            Literal::Pos { rel, args } if invisible(*rel) => {
+                let token = fresh_var(&mut vars, "_t");
+                tokens.push((*rel, args[0].clone(), token));
+                let mut new_args = vec![Term::Var(token)];
+                new_args.extend(args.iter().cloned());
+                new_args.push(s_term.clone());
+                body.push(Literal::Pos { rel: rel_map[rel], args: new_args });
+            }
+            Literal::KeyPos { rel, key } if invisible(*rel) => {
+                // ∃ tuple with object `key` in the current stage.
+                let token = fresh_var(&mut vars, "_t");
+                tokens.push((*rel, key.clone(), token));
+                let width = spec
+                    .view_width(rule.peer, *rel)
+                    .expect("validated rule sees the relation");
+                let mut new_args = vec![Term::Var(token), key.clone()];
+                for _ in 1..width {
+                    new_args.push(Term::Var(fresh_var(&mut vars, "_z")));
+                }
+                new_args.push(s_term.clone());
+                body.push(Literal::Pos { rel: rel_map[rel], args: new_args });
+            }
+            Literal::Neg { rel, .. } | Literal::KeyNeg { rel, .. } if invisible(*rel) => {
+                return Err(StageTransformError::Inexpressible {
+                    rule: rule.name.clone(),
+                    what: "negation over a p-invisible relation",
+                });
+            }
+            Literal::Pos { rel, args } => body.push(Literal::Pos {
+                rel: rel_map[rel],
+                args: args.clone(),
+            }),
+            Literal::Neg { rel, args } => body.push(Literal::Neg {
+                rel: rel_map[rel],
+                args: args.clone(),
+            }),
+            Literal::KeyPos { rel, key } => body.push(Literal::KeyPos {
+                rel: rel_map[rel],
+                key: key.clone(),
+            }),
+            Literal::KeyNeg { rel, key } => body.push(Literal::KeyNeg {
+                rel: rel_map[rel],
+                key: key.clone(),
+            }),
+            eq => body.push(eq.clone()),
+        }
+    }
+    body.push(Literal::Pos {
+        rel: stage,
+        args: vec![Term::Const(Value::int(0)), s_term.clone()],
+    });
+    // Head.
+    let mut head: Vec<UpdateAtom> = Vec::new();
+    for u in &rule.head {
+        match u {
+            UpdateAtom::Insert { rel, args } if invisible(*rel) => {
+                let token = fresh_var(&mut vars, "_k");
+                let mut new_args = vec![Term::Var(token)];
+                new_args.extend(args.iter().cloned());
+                new_args.push(s_term.clone());
+                head.push(UpdateAtom::Insert { rel: rel_map[rel], args: new_args });
+            }
+            UpdateAtom::Delete { rel, key } if invisible(*rel) => {
+                // Delete through the token bound by a body witness.
+                let Some((_, _, token)) = tokens
+                    .iter()
+                    .find(|(r, k, _)| r == rel && k == key)
+                else {
+                    return Err(StageTransformError::Inexpressible {
+                        rule: rule.name.clone(),
+                        what: "deletion of an invisible tuple without a positive witness",
+                    });
+                };
+                head.push(UpdateAtom::Delete {
+                    rel: rel_map[rel],
+                    key: Term::Var(*token),
+                });
+            }
+            UpdateAtom::Insert { rel, args } => head.push(UpdateAtom::Insert {
+                rel: rel_map[rel],
+                args: args.clone(),
+            }),
+            UpdateAtom::Delete { rel, key } => head.push(UpdateAtom::Delete {
+                rel: rel_map[rel],
+                key: key.clone(),
+            }),
+        }
+    }
+    if visible_update {
+        head.push(UpdateAtom::Delete {
+            rel: stage,
+            key: Term::Const(Value::int(0)),
+        });
+    }
+    Ok(Rule {
+        peer: rule.peer,
+        name: rule.name.clone(),
+        head,
+        body,
+        vars,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guidelines::check_guidelines;
+    use cwf_lang::{normalize, parse_workflow, print_workflow};
+    use std::sync::Arc;
+
+    /// The raw (non-transparent) hiring program of Example 5.7.
+    fn hiring() -> WorkflowSpec {
+        parse_workflow(
+            r#"
+            schema { Cleared(K); Approved(K); Hire(K); }
+            peers {
+                hr sees Cleared(*), Approved(*), Hire(*);
+                ceo sees Cleared(*), Approved(*), Hire(*);
+                sue sees Cleared(*), Hire(*);
+            }
+            rules {
+                clear @ hr: +Cleared(x) :- ;
+                approve @ ceo: +Approved(x) :- Cleared(x);
+                hire @ hr: +Hire(x) :- Approved(x);
+            }
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn staged_hiring_matches_the_construction() {
+        let spec = hiring();
+        let sue = spec.collab().peer("sue").unwrap();
+        let staged = add_stage_discipline(&spec, sue).unwrap();
+        let s = &staged.spec;
+        // Stage exists and everyone sees it.
+        let stage = s.collab().schema().rel("Stage").unwrap();
+        for q in s.collab().peer_ids() {
+            assert!(s.collab().sees(q, stage));
+        }
+        // Approved was re-keyed: K (token), Obj, StageID.
+        let approved = s.collab().schema().rel("Approved").unwrap();
+        let rs = s.collab().schema().relation(approved);
+        assert_eq!(rs.attrs(), &["K", "Obj", "StageID"]);
+        // Visible relations are untouched.
+        let cleared = s.collab().schema().rel("Cleared").unwrap();
+        assert_eq!(s.collab().schema().relation(cleared).arity(), 1);
+        let printed = print_workflow(s);
+        assert!(printed.contains("stage_init @ sue"));
+        assert!(printed.contains("-key Stage(0)"));
+        // The guidelines accept the result (Theorem 6.2 by construction).
+        let violations = check_guidelines(s, sue, &staged.classification);
+        assert!(violations.is_empty(), "got {violations:?}");
+    }
+
+    #[test]
+    fn staged_program_runs_through_a_full_stage_cycle() {
+        use cwf_engine::{Bindings, Event, Run};
+        let spec = hiring();
+        let sue = spec.collab().peer("sue").unwrap();
+        let staged = Arc::new(add_stage_discipline(&spec, sue).unwrap().spec);
+        let mut run = Run::new(Arc::clone(&staged));
+        let fire = |run: &mut Run, name: &str, vals: &[Value]| {
+            let rid = run.spec().program().rule_by_name(name).unwrap();
+            let rule = run.spec().program().rule(rid);
+            assert_eq!(rule.vars.len(), vals.len(), "rule {name}: {:?}", rule.vars);
+            let mut b = Bindings::empty(vals.len());
+            for (i, v) in vals.iter().enumerate() {
+                b.set(cwf_lang::VarId(i as u32), v.clone());
+            }
+            let e = Event::new(run.spec(), rid, b).unwrap();
+            run.push(e).unwrap_or_else(|err| panic!("{name}: {err}"));
+        };
+        let (s1, s2, x, k) = (
+            Value::Fresh(100),
+            Value::Fresh(200),
+            Value::Fresh(300),
+            Value::Fresh(400),
+        );
+        // stage_init(s); clear(x, s1); stage_init(s2);
+        // approve: vars x, _stage, _k → [x, s2, k]; hire: x, _stage, _t.
+        fire(&mut run, "stage_init", std::slice::from_ref(&s1));
+        fire(&mut run, "clear", &[x.clone(), s1.clone()]);
+        fire(&mut run, "stage_init", std::slice::from_ref(&s2));
+        fire(&mut run, "approve", &[x.clone(), s2.clone(), k.clone()]);
+        fire(&mut run, "hire", &[x.clone(), s2.clone(), k.clone()]);
+        let hire = staged.collab().schema().rel("Hire").unwrap();
+        assert!(run.current().rel(hire).contains_key(&x));
+        // Stage is gone after the visible hire.
+        let stage = staged.collab().schema().rel("Stage").unwrap();
+        assert!(run.current().rel(stage).is_empty());
+        // A second candidate in a new stage: stale approvals are inert —
+        // re-approving x works fine (new token), unlike the key-preserving
+        // construction where it would chase-conflict.
+        let (s3, k2) = (Value::Fresh(500), Value::Fresh(600));
+        fire(&mut run, "stage_init", std::slice::from_ref(&s3));
+        fire(&mut run, "approve", &[x.clone(), s3.clone(), k2.clone()]);
+        // But the *old* stamp cannot drive a hire in the new stage.
+        let rid = staged.program().rule_by_name("hire").unwrap();
+        let mut b = Bindings::empty(3);
+        b.set(cwf_lang::VarId(0), x.clone());
+        b.set(cwf_lang::VarId(1), s2); // stale stage id
+        b.set(cwf_lang::VarId(2), k);
+        let stale = Event::new(&staged, rid, b).unwrap();
+        assert!(run.push(stale).is_err(), "stale stamp must not fire");
+    }
+
+    #[test]
+    fn staged_output_is_normal_formable_and_tf() {
+        let spec = hiring();
+        let sue = spec.collab().peer("sue").unwrap();
+        let staged = add_stage_discipline(&spec, sue).unwrap();
+        let nf = normalize(&staged.spec);
+        let violations = crate::tf::check_tf(&nf.spec, sue, Some(staged.classification.stage));
+        assert!(violations.is_empty(), "got {violations:?}");
+    }
+
+    #[test]
+    fn sampled_transparency_holds_after_staging() {
+        let spec = hiring();
+        let sue = spec.collab().peer("sue").unwrap();
+        let staged = Arc::new(add_stage_discipline(&spec, sue).unwrap().spec);
+        assert!(
+            cwf_analysis::sample_transparency_violation(&staged, sue, 25, 8, 5).is_none(),
+            "the staged program shows no sampled violation (Theorem 6.2)"
+        );
+        // …whereas the raw program does.
+        let raw = Arc::new(hiring());
+        assert!(cwf_analysis::sample_transparency_violation(&raw, sue, 40, 6, 5).is_some());
+    }
+
+    #[test]
+    fn name_collisions_are_rejected() {
+        let spec = parse_workflow(
+            r#"
+            schema { Stage(K, S); }
+            peers { p sees Stage(*); }
+            rules { }
+            "#,
+        )
+        .unwrap();
+        let p = spec.collab().peer("p").unwrap();
+        assert_eq!(
+            add_stage_discipline(&spec, p).unwrap_err(),
+            StageTransformError::StageNameTaken
+        );
+    }
+
+    #[test]
+    fn mixed_heads_are_rejected() {
+        let spec = parse_workflow(
+            r#"
+            schema { R(K); T(K); }
+            peers { p sees R(*); q sees R(*), T(*); }
+            rules { both @ q: +R(x), +T(y) :- ; }
+            "#,
+        )
+        .unwrap();
+        let p = spec.collab().peer("p").unwrap();
+        assert!(matches!(
+            add_stage_discipline(&spec, p),
+            Err(StageTransformError::MixedHead { .. })
+        ));
+    }
+
+    #[test]
+    fn invisible_negation_is_rejected() {
+        let spec = parse_workflow(
+            r#"
+            schema { R(K); T(K); }
+            peers { p sees R(*); q sees R(*), T(*); }
+            rules { guard @ q: +R(x) :- not key T(0); }
+            "#,
+        )
+        .unwrap();
+        let p = spec.collab().peer("p").unwrap();
+        assert!(matches!(
+            add_stage_discipline(&spec, p),
+            Err(StageTransformError::Inexpressible { .. })
+        ));
+    }
+
+    #[test]
+    fn invisible_deletions_need_a_witness() {
+        // With a witness: fine (the token is reused for the deletion).
+        let ok = parse_workflow(
+            r#"
+            schema { R(K); T(K); }
+            peers { p sees R(*); q sees R(*), T(*); }
+            rules {
+                mk @ q: +T(t) :- ;
+                rm @ q: -key T(t) :- T(t);
+            }
+            "#,
+        )
+        .unwrap();
+        let p = ok.collab().peer("p").unwrap();
+        let staged = add_stage_discipline(&ok, p).unwrap();
+        // rm's deletion now targets the token column.
+        let printed = print_workflow(&staged.spec);
+        assert!(printed.contains("-key T(_t)"), "printed:\n{printed}");
+    }
+}

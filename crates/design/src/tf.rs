@@ -1,0 +1,260 @@
+//! Transparency-form (TF) programs (Definition 6.5).
+//!
+//! TF relaxes the design guidelines: instead of classifying *relations* as
+//! transparent/opaque up front, transparency is tracked per *fact* at run
+//! time (see [`crate::enforce`]). A normal-form program is TF for `p` when
+//! it satisfies (C1), (C2), and
+//!
+//! * **(C3′)** — keys of p-invisible relations are never reused: an
+//!   insertion `+R@q(x, ȳ)` either creates a key (`x` head-only) or
+//!   modifies a tuple matched in the body;
+//! * **(C4′)** — for p-invisible relations, selections only use attributes
+//!   the selecting peer projects (so visibility of a fact never depends on
+//!   values the peer cannot see).
+
+use std::fmt;
+
+use cwf_model::{PeerId, RelId};
+use cwf_lang::{is_normal_form, Literal, UpdateAtom, WorkflowSpec};
+
+use crate::pgraph::satisfies_c1;
+
+/// A violation of transparency-form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TfViolation {
+    /// The program is not in normal form (Proposition 2.3).
+    NotNormalForm,
+    /// (C1) fails.
+    C1,
+    /// (C2): no rule maintains the `Stage` relation — reported only when a
+    /// stage relation was designated.
+    C2 {
+        /// Description of the missing maintenance obligation.
+        detail: String,
+    },
+    /// (C3′): a rule may reuse a deleted key of an invisible relation.
+    C3Prime {
+        /// The offending rule name.
+        rule: String,
+        /// The relation whose key may be reused.
+        rel: RelId,
+    },
+    /// (C4′): a selection on an invisible relation uses hidden attributes.
+    C4Prime {
+        /// The selecting peer.
+        peer: PeerId,
+        /// The relation concerned.
+        rel: RelId,
+    },
+}
+
+impl fmt::Display for TfViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TfViolation::NotNormalForm => write!(f, "program is not in normal form"),
+            TfViolation::C1 => write!(f, "(C1) violated"),
+            TfViolation::C2 { detail } => write!(f, "(C2) violated: {detail}"),
+            TfViolation::C3Prime { rule, rel } => {
+                write!(f, "(C3′) violated: rule {rule} may reuse a key of {rel:?}")
+            }
+            TfViolation::C4Prime { peer, rel } => write!(
+                f,
+                "(C4′) violated: peer {peer:?} selects {rel:?} on hidden attributes"
+            ),
+        }
+    }
+}
+
+/// Checks transparency-form for `peer`. (C2) is checked structurally only
+/// when `stage` designates the Stage relation; pass `None` for programs
+/// whose stage discipline is enforced at run time by the
+/// [`crate::enforce::TransparentEngine`].
+pub fn check_tf(
+    spec: &WorkflowSpec,
+    peer: PeerId,
+    stage: Option<RelId>,
+) -> Vec<TfViolation> {
+    let mut out = Vec::new();
+    if !is_normal_form(spec.program()) {
+        out.push(TfViolation::NotNormalForm);
+    }
+    if !satisfies_c1(spec, peer) {
+        out.push(TfViolation::C1);
+    }
+    let collab = spec.collab();
+    // (C2), structural part.
+    if let Some(stage_rel) = stage {
+        let has_init = spec.program().rules().iter().any(|r| {
+            r.head.len() == 1
+                && matches!(&r.head[0], UpdateAtom::Insert { rel, .. } if *rel == stage_rel)
+                && r.body
+                    .iter()
+                    .any(|l| matches!(l, Literal::KeyNeg { rel, .. } if *rel == stage_rel))
+        });
+        if !has_init {
+            out.push(TfViolation::C2 {
+                detail: "no stage-initialization rule (+Stage(0, s) :- ¬Key_Stage(0))".into(),
+            });
+        }
+    }
+    // (C3′).
+    for rule in spec.program().rules() {
+        if rule.peer == peer {
+            continue;
+        }
+        let body_vars = rule.body_vars();
+        for u in &rule.head {
+            let UpdateAtom::Insert { rel, args } = u else {
+                continue;
+            };
+            if collab.sees(peer, *rel) {
+                continue;
+            }
+            let key = &args[0];
+            let fresh = key.as_var().is_some_and(|v| !body_vars.contains(&v));
+            let witnessed = rule.body.iter().any(|l| {
+                matches!(l, Literal::Pos { rel: r, args: bargs } if r == rel && &bargs[0] == key)
+            });
+            if !fresh && !witnessed {
+                out.push(TfViolation::C3Prime {
+                    rule: rule.name.clone(),
+                    rel: *rel,
+                });
+            }
+        }
+    }
+    // (C4′).
+    for rel in collab.schema().rel_ids() {
+        if collab.sees(peer, rel) {
+            continue;
+        }
+        for q in collab.peer_ids() {
+            if let Some(view) = collab.view(q, rel) {
+                let projected: std::collections::BTreeSet<_> =
+                    view.attrs().iter().copied().collect();
+                if !view.selection().attrs().iter().all(|a| projected.contains(a)) {
+                    out.push(TfViolation::C4Prime { peer: q, rel });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwf_lang::{normalize, parse_workflow};
+    use cwf_model::{AttrId, Condition, ViewRel};
+
+    #[test]
+    fn staged_hiring_is_tf() {
+        let spec = parse_workflow(
+            r#"
+            schema { Stage(K, S); Cleared(K); Approved(K, X, S); Hire(K); }
+            peers {
+                sue sees Stage(*), Cleared(*), Hire(*);
+                hr  sees Stage(*), Cleared(*), Approved(*), Hire(*);
+                ceo sees Stage(*), Cleared(*), Approved(*), Hire(*);
+            }
+            rules {
+                stage   @ sue: +Stage(0, s) :- not key Stage(0);
+                clear   @ hr:  +Cleared(x), -key Stage(0) :- Stage(0, s);
+                approve @ ceo: +Approved(k, x, s) :- Cleared(x), Stage(0, s);
+                hire    @ hr:  +Hire(x), -key Stage(0)
+                               :- Approved(k, x, s), Stage(0, s);
+            }
+            "#,
+        )
+        .unwrap();
+        let sue = spec.collab().peer("sue").unwrap();
+        let stage = spec.collab().schema().rel("Stage").unwrap();
+        // The program is already in normal form except deletions: normalize.
+        let nf = normalize(&spec);
+        let violations = check_tf(&nf.spec, sue, Some(stage));
+        assert!(violations.is_empty(), "got {violations:?}");
+    }
+
+    #[test]
+    fn key_reuse_is_flagged() {
+        let spec = parse_workflow(
+            r#"
+            schema { Hidden(K, A); Out(K); }
+            peers {
+                p sees Out(*);
+                q sees Hidden(*), Out(*);
+            }
+            rules {
+                // Reuses key x of invisible Hidden without matching it.
+                reuse @ q: +Hidden(x, "v") :- Out(x);
+                ok_new @ q: +Hidden(y, "v") :- ;
+                ok_mod @ q: +Hidden(x, "w") :- Hidden(x, "v");
+            }
+            "#,
+        )
+        .unwrap();
+        let p = spec.collab().peer("p").unwrap();
+        let nf = normalize(&spec);
+        let violations = check_tf(&nf.spec, p, None);
+        assert_eq!(
+            violations
+                .iter()
+                .filter(|v| matches!(v, TfViolation::C3Prime { rule, .. } if rule.starts_with("reuse")))
+                .count(),
+            1
+        );
+        assert!(!violations
+            .iter()
+            .any(|v| matches!(v, TfViolation::C3Prime { rule, .. } if rule.starts_with("ok_"))));
+    }
+
+    #[test]
+    fn hidden_selection_attributes_are_flagged() {
+        // q's view of Hidden selects on attribute A but projects it away.
+        let base = parse_workflow(
+            r#"
+            schema { Hidden(K, A); Out(K); }
+            peers { p sees Out(*); q sees Hidden(*), Out(*); }
+            rules { mk @ q: +Out(x) :- ; }
+            "#,
+        )
+        .unwrap();
+        let (mut collab, prog) = base.into_parts();
+        let q = collab.peer("q").unwrap();
+        let hidden = collab.schema().rel("Hidden").unwrap();
+        collab
+            .set_view(
+                q,
+                ViewRel::new(hidden, [], Condition::eq_const(AttrId(1), "x")),
+            )
+            .unwrap();
+        let spec = cwf_lang::WorkflowSpec::new(collab, prog).unwrap();
+        let p = spec.collab().peer("p").unwrap();
+        let violations = check_tf(&spec, p, None);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, TfViolation::C4Prime { rel, .. } if *rel == hidden)));
+    }
+
+    #[test]
+    fn non_normal_form_and_missing_stage_init_flagged() {
+        let spec = parse_workflow(
+            r#"
+            schema { Stage(K, S); A(K); }
+            peers { p sees Stage(*), A(*); q sees Stage(*), A(*); }
+            rules {
+                // Deletion without witness: not normal form.
+                del @ q: -key A(x) :- key A(x);
+            }
+            "#,
+        )
+        .unwrap();
+        let p = spec.collab().peer("p").unwrap();
+        let stage = spec.collab().schema().rel("Stage").unwrap();
+        let violations = check_tf(&spec, p, Some(stage));
+        assert!(violations.contains(&TfViolation::NotNormalForm));
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, TfViolation::C2 { .. })));
+    }
+}

@@ -1,0 +1,353 @@
+//! A master-server coordinator (the paper's Conclusion sketches exactly
+//! this deployment: *"a master server that has access to all the
+//! information, receives the updates, propagates them to appropriate peers,
+//! and controls transparency"*).
+//!
+//! The [`Coordinator`] owns the global run and, per accepted event, computes
+//! the **view delta** of every peer — the minimal description of what that
+//! peer's replica must change. Peers that hold only their view can replay
+//! deltas locally; the coordinator guarantees each peer's materialized view
+//! stays equal to `I@p` (tested). Enforcement (Section 6) composes on top:
+//! wrap pushes with `cwf-design`'s `TransparentEngine` and forward only
+//! accepted events.
+
+use std::fmt;
+
+use cwf_model::{PeerId, RelId, Tuple, Value, ViewInstance};
+
+use crate::error::EngineError;
+use crate::event::Event;
+use crate::run::Run;
+
+/// One peer's view change caused by one event.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ViewDelta {
+    /// View tuples that appeared (new key, or changed content under the
+    /// same key — the replica upserts them).
+    pub upserts: Vec<(RelId, Tuple)>,
+    /// Keys that disappeared from the view.
+    pub removals: Vec<(RelId, Value)>,
+}
+
+impl ViewDelta {
+    /// Computes `after − before` on view instances.
+    pub fn between(before: &ViewInstance, after: &ViewInstance) -> ViewDelta {
+        let mut delta = ViewDelta::default();
+        for (rel, t) in after.facts() {
+            if before.get(rel, t.key()) != Some(t) {
+                delta.upserts.push((rel, t.clone()));
+            }
+        }
+        for (rel, t) in before.facts() {
+            if !after.contains_key(rel, t.key()) {
+                delta.removals.push((rel, t.key().clone()));
+            }
+        }
+        delta
+    }
+
+    /// Is this a no-op?
+    pub fn is_empty(&self) -> bool {
+        self.upserts.is_empty() && self.removals.is_empty()
+    }
+
+    /// Number of changes.
+    pub fn len(&self) -> usize {
+        self.upserts.len() + self.removals.len()
+    }
+
+    /// Applies the delta to a materialized view replica.
+    pub fn apply_to(&self, replica: &mut MaterializedView) {
+        for (rel, key) in &self.removals {
+            replica.remove(*rel, key);
+        }
+        for (rel, t) in &self.upserts {
+            replica.upsert(*rel, t.clone());
+        }
+    }
+}
+
+/// A peer-side replica of its view: per relation, view tuples keyed by key.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MaterializedView {
+    rels: std::collections::BTreeMap<RelId, std::collections::BTreeMap<Value, Tuple>>,
+}
+
+impl MaterializedView {
+    /// An empty replica.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn upsert(&mut self, rel: RelId, t: Tuple) {
+        self.rels.entry(rel).or_default().insert(t.key().clone(), t);
+    }
+
+    fn remove(&mut self, rel: RelId, key: &Value) {
+        if let Some(m) = self.rels.get_mut(&rel) {
+            m.remove(key);
+        }
+    }
+
+    /// Total number of tuples.
+    pub fn total_tuples(&self) -> usize {
+        self.rels.values().map(|m| m.len()).sum()
+    }
+
+    /// Does the replica equal the given view instance?
+    pub fn matches(&self, view: &ViewInstance) -> bool {
+        // Compare both directions.
+        let mine = self
+            .rels
+            .iter()
+            .flat_map(|(r, m)| m.values().map(move |t| (*r, t.clone())));
+        for (r, t) in mine {
+            if view.get(r, t.key()) != Some(&t) {
+                return false;
+            }
+        }
+        for (r, t) in view.facts() {
+            match self.rels.get(&r).and_then(|m| m.get(t.key())) {
+                Some(mine) if mine == t => {}
+                _ => return false,
+            }
+        }
+        true
+    }
+}
+
+/// One broadcast record: the event's position and the per-peer deltas
+/// (empty deltas are omitted — those peers saw nothing).
+#[derive(Debug, Clone)]
+pub struct Broadcast {
+    /// Position of the event in the global run.
+    pub at: usize,
+    /// The acting peer.
+    pub actor: PeerId,
+    /// Per peer: the view delta (only peers with a non-empty delta, plus
+    /// always the actor — the paper's "visible at p" includes own events).
+    pub deltas: Vec<(PeerId, ViewDelta)>,
+}
+
+/// The master server: owns the global run, maintains every peer's replica,
+/// and logs the broadcast deltas.
+pub struct Coordinator {
+    run: Run,
+    replicas: Vec<MaterializedView>,
+    log: Vec<Broadcast>,
+}
+
+impl Coordinator {
+    /// Starts a coordinator over an empty run.
+    pub fn new(spec: std::sync::Arc<cwf_lang::WorkflowSpec>) -> Self {
+        let n = spec.collab().peer_count();
+        Coordinator {
+            run: Run::new(spec),
+            replicas: vec![MaterializedView::new(); n],
+            log: Vec::new(),
+        }
+    }
+
+    /// The global run.
+    pub fn run(&self) -> &Run {
+        &self.run
+    }
+
+    /// The broadcast log.
+    pub fn log(&self) -> &[Broadcast] {
+        &self.log
+    }
+
+    /// Peer `p`'s replica.
+    pub fn replica(&self, p: PeerId) -> &MaterializedView {
+        &self.replicas[p.index()]
+    }
+
+    /// Draws a globally fresh value (for clients constructing events).
+    pub fn draw_fresh(&mut self) -> Value {
+        self.run.draw_fresh()
+    }
+
+    /// Accepts an event, updates all replicas, and returns the broadcast.
+    pub fn submit(&mut self, event: Event) -> Result<&Broadcast, EngineError> {
+        let spec = self.run.spec_arc();
+        let collab = spec.collab();
+        let pre: Vec<ViewInstance> = collab
+            .peer_ids()
+            .map(|p| collab.view_of(self.run.current(), p))
+            .collect();
+        let actor = event.peer;
+        self.run.push(event)?;
+        let mut deltas = Vec::new();
+        for p in collab.peer_ids() {
+            let post = collab.view_of(self.run.current(), p);
+            let delta = ViewDelta::between(&pre[p.index()], &post);
+            if !delta.is_empty() {
+                delta.apply_to(&mut self.replicas[p.index()]);
+                deltas.push((p, delta));
+            }
+        }
+        self.log.push(Broadcast {
+            at: self.run.len() - 1,
+            actor,
+            deltas,
+        });
+        Ok(self.log.last().expect("just pushed"))
+    }
+
+    /// Verifies every replica against the authoritative view (used in tests
+    /// and as a deployment self-check).
+    pub fn audit(&self) -> Result<(), PeerId> {
+        let collab = self.run.spec().collab();
+        for p in collab.peer_ids() {
+            let view = collab.view_of(self.run.current(), p);
+            if !self.replicas[p.index()].matches(&view) {
+                return Err(p);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Coordinator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Coordinator[{} events, {} broadcasts]",
+            self.run.len(),
+            self.log.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Bindings;
+    use crate::simulate::{candidates, complete};
+    use cwf_lang::{parse_workflow, VarId};
+    use std::sync::Arc;
+
+    fn spec() -> Arc<cwf_lang::WorkflowSpec> {
+        Arc::new(
+            parse_workflow(
+                r#"
+                schema { Doc(K, State); Seen(K); }
+                peers {
+                    author sees Doc(*), Seen(*);
+                    editor sees Doc(*), Seen(*);
+                    public sees Doc(K, State) where State = "published", Seen(*);
+                }
+                rules {
+                    draft @ author: +Doc(d, "draft") :- ;
+                    publish @ editor:
+                        -key Doc(d), +Doc(d2, "published")
+                        :- Doc(d, "draft");
+                    note @ public: +Seen(s) :- Doc(d, "published");
+                }
+                "#,
+            )
+            .unwrap(),
+        )
+    }
+
+    fn ev(spec: &cwf_lang::WorkflowSpec, name: &str, vals: &[Value]) -> Event {
+        let rid = spec.program().rule_by_name(name).unwrap();
+        let mut b = Bindings::empty(vals.len());
+        for (i, v) in vals.iter().enumerate() {
+            b.set(VarId(i as u32), v.clone());
+        }
+        Event::new(spec, rid, b).unwrap()
+    }
+
+    #[test]
+    fn deltas_reach_only_affected_peers() {
+        let spec = spec();
+        let mut c = Coordinator::new(Arc::clone(&spec));
+        let d = c.draw_fresh();
+        let b = c.submit(ev(&spec, "draft", std::slice::from_ref(&d))).unwrap();
+        // The public peer sees drafts not at all: only author and editor get
+        // a delta.
+        let touched: Vec<PeerId> = b.deltas.iter().map(|(p, _)| *p).collect();
+        let public = spec.collab().peer("public").unwrap();
+        assert!(!touched.contains(&public));
+        assert_eq!(touched.len(), 2);
+        c.audit().unwrap();
+    }
+
+    #[test]
+    fn publishing_fans_out_with_removal_and_upsert() {
+        let spec = spec();
+        let mut c = Coordinator::new(Arc::clone(&spec));
+        let d = c.draw_fresh();
+        c.submit(ev(&spec, "draft", std::slice::from_ref(&d))).unwrap();
+        let d2 = c.draw_fresh();
+        let b = c
+            .submit(ev(&spec, "publish", &[d.clone(), d2.clone()]))
+            .unwrap();
+        let public = spec.collab().peer("public").unwrap();
+        let author = spec.collab().peer("author").unwrap();
+        // The public peer gains the published doc (pure upsert)…
+        let pub_delta = b
+            .deltas
+            .iter()
+            .find(|(p, _)| *p == public)
+            .map(|(_, d)| d.clone())
+            .expect("public notified");
+        assert_eq!(pub_delta.upserts.len(), 1);
+        assert!(pub_delta.removals.is_empty());
+        // …the author sees the old draft removed and the new doc appear.
+        let auth_delta = b
+            .deltas
+            .iter()
+            .find(|(p, _)| *p == author)
+            .map(|(_, d)| d.clone())
+            .expect("author notified");
+        assert_eq!(auth_delta.removals, vec![(RelId(0), d)]);
+        assert_eq!(auth_delta.upserts.len(), 1);
+        c.audit().unwrap();
+        assert_eq!(c.replica(public).total_tuples(), 1);
+    }
+
+    #[test]
+    fn replicas_track_views_under_random_traffic() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let spec = spec();
+        let mut c = Coordinator::new(Arc::clone(&spec));
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..30 {
+            let cands = candidates(c.run());
+            if cands.is_empty() {
+                break;
+            }
+            let pick = cands[rng.gen_range(0..cands.len())].clone();
+            // Complete head-only vars with coordinator-fresh values.
+            let mut run_clone = c.run().clone();
+            let event = complete(&mut run_clone, &pick);
+            // Some candidates fail (chase conflicts); skip those.
+            let _ = c.submit(event);
+            c.audit().unwrap();
+        }
+        assert!(!c.log().is_empty());
+        // The broadcast log fully reconstructs each replica.
+        let author = spec.collab().peer("author").unwrap();
+        let mut rebuilt = MaterializedView::new();
+        for b in c.log() {
+            if let Some((_, d)) = b.deltas.iter().find(|(p, _)| *p == author) {
+                d.apply_to(&mut rebuilt);
+            }
+        }
+        assert_eq!(&rebuilt, c.replica(author));
+    }
+
+    #[test]
+    fn rejected_events_broadcast_nothing() {
+        let spec = spec();
+        let mut c = Coordinator::new(Arc::clone(&spec));
+        let bogus = ev(&spec, "publish", &[Value::Fresh(1), Value::Fresh(2)]);
+        assert!(c.submit(bogus).is_err());
+        assert!(c.log().is_empty());
+        c.audit().unwrap();
+    }
+}

@@ -1,0 +1,88 @@
+//! Errors of the runtime engine.
+
+use std::fmt;
+
+use cwf_model::{ChaseFailure, RelId, Value};
+use cwf_lang::RuleId;
+
+/// Why an event could not be applied to an instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The rule body does not hold at the event's valuation on the peer's
+    /// view of the current instance.
+    BodyNotSatisfied {
+        /// The rule whose body failed.
+        rule: RuleId,
+    },
+    /// A deletion targets a key the peer does not see
+    /// (`−Key_{R@p}(k)` requires `k ∈ I@p(R@p)`).
+    DeleteInvisible {
+        /// The relation deleted from.
+        rel: RelId,
+        /// The invisible (or absent) key.
+        key: Value,
+    },
+    /// An insertion's chase `chase_K(I ∪ {R(u^⊥)})` failed — condition (i)
+    /// of the insertion semantics.
+    InsertChase(ChaseFailure),
+    /// The inserted tuple is not subsumed by a tuple of the updated view —
+    /// condition (ii) of the insertion semantics.
+    InsertNotSubsumed {
+        /// The relation inserted into.
+        rel: RelId,
+        /// The key of the rejected insertion.
+        key: Value,
+    },
+    /// A head-only variable was instantiated to a value that is not globally
+    /// fresh (it occurs in `const(P)` or in an earlier instance of the run).
+    NotGloballyFresh {
+        /// The non-fresh value.
+        value: Value,
+    },
+    /// The event's valuation does not cover every variable of its rule.
+    IncompleteValuation {
+        /// The rule concerned.
+        rule: RuleId,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::BodyNotSatisfied { rule } => {
+                write!(f, "rule {rule:?}: body not satisfied at the given valuation")
+            }
+            EngineError::DeleteInvisible { rel, key } => write!(
+                f,
+                "deletion of key {key} from {rel:?}: the peer does not see such a tuple"
+            ),
+            EngineError::InsertChase(e) => write!(f, "insertion rejected: {e}"),
+            EngineError::InsertNotSubsumed { rel, key } => write!(
+                f,
+                "insertion into {rel:?} with key {key}: inserted tuple not subsumed \
+                 by the updated view"
+            ),
+            EngineError::NotGloballyFresh { value } => {
+                write!(f, "value {value} is not globally fresh")
+            }
+            EngineError::IncompleteValuation { rule } => {
+                write!(f, "rule {rule:?}: valuation does not bind every variable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::InsertChase(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ChaseFailure> for EngineError {
+    fn from(e: ChaseFailure) -> Self {
+        EngineError::InsertChase(e)
+    }
+}

@@ -1,0 +1,420 @@
+//! Evaluation of FCQ¬ rule bodies over peer views.
+//!
+//! A *valuation* `ν` of a rule `α` for a global instance `I` maps the rule's
+//! variables to `dom` such that `I@p ⊨ Cond(ν(x̄))` (Section 2).
+//! [`match_body`] enumerates all such valuations of the body variables by an
+//! ordered join over the positive literals followed by the negative and
+//! (dis)equality filters; [`check_body`] verifies one fully-given valuation.
+//!
+//! Safety (every body variable occurs in a positive literal) guarantees that
+//! after the join phase every body variable is bound, so filters only ever
+//! see ground terms.
+
+use cwf_model::{Value, ViewInstance};
+use cwf_lang::{Literal, Rule, Term, VarId};
+
+/// A (possibly partial) assignment of rule variables to values, indexed by
+/// [`VarId`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Bindings(Vec<Option<Value>>);
+
+impl Bindings {
+    /// An empty assignment for a rule with `n` variables.
+    pub fn empty(n: usize) -> Self {
+        Bindings(vec![None; n])
+    }
+
+    /// The value bound to `v`, if any.
+    pub fn get(&self, v: VarId) -> Option<&Value> {
+        self.0[v.index()].as_ref()
+    }
+
+    /// Binds `v` to `value` (overwrites).
+    pub fn set(&mut self, v: VarId, value: Value) {
+        self.0[v.index()] = Some(value);
+    }
+
+    /// Resolves a term under this assignment.
+    pub fn resolve(&self, t: &Term) -> Option<Value> {
+        match t {
+            Term::Const(v) => Some(v.clone()),
+            Term::Var(v) => self.get(*v).cloned(),
+        }
+    }
+
+    /// Is every variable bound?
+    pub fn is_total(&self) -> bool {
+        self.0.iter().all(Option::is_some)
+    }
+
+    /// Number of variable slots.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Is the table empty (rule without variables)?
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Converts into a total valuation, panicking on unbound slots.
+    pub fn into_values(self) -> Vec<Value> {
+        self.0
+            .into_iter()
+            .map(|v| v.expect("binding is total"))
+            .collect()
+    }
+}
+
+/// Attempts to unify literal arguments with a tuple's values, extending `b`.
+/// Returns `false` (leaving `b` in an arbitrary extended state — callers
+/// clone) when a conflict arises.
+fn unify(b: &mut Bindings, args: &[Term], values: &[Value]) -> bool {
+    debug_assert_eq!(args.len(), values.len());
+    for (t, v) in args.iter().zip(values) {
+        match t {
+            Term::Const(c) => {
+                if c != v {
+                    return false;
+                }
+            }
+            Term::Var(x) => match b.get(*x) {
+                Some(bound) => {
+                    if bound != v {
+                        return false;
+                    }
+                }
+                None => b.set(*x, v.clone()),
+            },
+        }
+    }
+    true
+}
+
+/// Enumerates all valuations of the body variables of `rule` satisfied by
+/// `view` (the rule peer's view of the global instance). Deterministic
+/// order: literals left to right, view tuples in key order.
+pub fn match_body(rule: &Rule, view: &ViewInstance) -> Vec<Bindings> {
+    let mut partials = vec![Bindings::empty(rule.vars.len())];
+    // Phase 1: positive literals extend bindings.
+    for lit in &rule.body {
+        match lit {
+            Literal::Pos { rel, args } => {
+                let mut next = Vec::new();
+                for b in &partials {
+                    // Bound key ⇒ direct lookup.
+                    if let Some(k) = b.resolve(&args[0]) {
+                        if let Some(t) = view.get(*rel, &k) {
+                            let mut nb = b.clone();
+                            if unify(&mut nb, args, t.values()) {
+                                next.push(nb);
+                            }
+                        }
+                    } else {
+                        for t in view.rel(*rel) {
+                            let mut nb = b.clone();
+                            if unify(&mut nb, args, t.values()) {
+                                next.push(nb);
+                            }
+                        }
+                    }
+                }
+                partials = next;
+            }
+            Literal::KeyPos { rel, key } => {
+                let mut next = Vec::new();
+                for b in &partials {
+                    if let Some(k) = b.resolve(key) {
+                        if view.contains_key(*rel, &k) {
+                            next.push(b.clone());
+                        }
+                    } else {
+                        for k in view.keys(*rel) {
+                            let mut nb = b.clone();
+                            let Term::Var(x) = key else { unreachable!() };
+                            nb.set(*x, k.clone());
+                            next.push(nb);
+                        }
+                    }
+                }
+                partials = next;
+            }
+            _ => {}
+        }
+        if partials.is_empty() {
+            return partials;
+        }
+    }
+    // Phase 2: filters (all body variables are now bound, by safety).
+    partials.retain(|b| filters_hold(rule, view, b));
+    partials
+}
+
+fn filters_hold(rule: &Rule, view: &ViewInstance, b: &Bindings) -> bool {
+    for lit in &rule.body {
+        let ok = match lit {
+            Literal::Pos { .. } | Literal::KeyPos { .. } => true, // phase 1
+            Literal::Neg { rel, args } => {
+                let ground: Vec<Value> = args
+                    .iter()
+                    .map(|t| b.resolve(t).expect("safety: body vars bound"))
+                    .collect();
+                match view.get(*rel, &ground[0]) {
+                    None => true,
+                    Some(t) => t.values() != ground.as_slice(),
+                }
+            }
+            Literal::KeyNeg { rel, key } => {
+                let k = b.resolve(key).expect("safety: body vars bound");
+                !view.contains_key(*rel, &k)
+            }
+            Literal::Eq(x, y) => {
+                b.resolve(x).expect("bound") == b.resolve(y).expect("bound")
+            }
+            Literal::Neq(x, y) => {
+                b.resolve(x).expect("bound") != b.resolve(y).expect("bound")
+            }
+        };
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+/// Checks that a *total* assignment of the body variables satisfies the body
+/// on `view` (used when replaying recorded events).
+pub fn check_body(rule: &Rule, view: &ViewInstance, bindings: &Bindings) -> bool {
+    // Positive literals must match existing visible tuples.
+    for lit in &rule.body {
+        match lit {
+            Literal::Pos { rel, args } => {
+                let Some(k) = bindings.resolve(&args[0]) else {
+                    return false;
+                };
+                let Some(t) = view.get(*rel, &k) else {
+                    return false;
+                };
+                let mut probe = bindings.clone();
+                if !unify(&mut probe, args, t.values()) {
+                    return false;
+                }
+            }
+            Literal::KeyPos { rel, key } => {
+                let Some(k) = bindings.resolve(key) else {
+                    return false;
+                };
+                if !view.contains_key(*rel, &k) {
+                    return false;
+                }
+            }
+            _ => {}
+        }
+    }
+    filters_hold(rule, view, bindings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwf_lang::{Program, RuleBuilder, WorkflowSpec};
+    use cwf_model::{CollabSchema, Instance, PeerId, RelId, RelSchema, Schema, Tuple};
+
+    fn setup() -> (WorkflowSpec, PeerId, RelId, RelId, Instance) {
+        let schema = Schema::from_relations([
+            RelSchema::new("R", ["K", "A"]).unwrap(),
+            RelSchema::new("S", ["K", "B"]).unwrap(),
+        ])
+        .unwrap();
+        let r = schema.rel("R").unwrap();
+        let s = schema.rel("S").unwrap();
+        let mut cs = CollabSchema::new(schema);
+        let p = cs.add_peer("p").unwrap();
+        cs.set_full_view(p, r).unwrap();
+        cs.set_full_view(p, s).unwrap();
+        let mut i = Instance::empty(cs.schema());
+        for (k, a) in [(1, "x"), (2, "y"), (3, "x")] {
+            i.rel_mut(r)
+                .insert(Tuple::new([Value::int(k), Value::str(a)]))
+                .unwrap();
+        }
+        i.rel_mut(s)
+            .insert(Tuple::new([Value::int(1), Value::str("x")]))
+            .unwrap();
+        let spec = WorkflowSpec::new_unchecked(cs, Program::new());
+        (spec, p, r, s, i)
+    }
+
+    #[test]
+    fn single_positive_literal_enumerates_tuples() {
+        let (spec, p, r, _, i) = setup();
+        let mut b = RuleBuilder::new(p, "t");
+        let k = b.var("k");
+        let a = b.var("a");
+        let rule = b.pos(r, [k, a.clone()]).insert(r, [Term::Const(Value::int(9)), a]).build();
+        let view = spec.collab().view_of(&i, p);
+        let ms = match_body(&rule, &view);
+        assert_eq!(ms.len(), 3);
+        // Deterministic key order.
+        assert_eq!(ms[0].get(VarId(0)), Some(&Value::int(1)));
+        assert_eq!(ms[2].get(VarId(0)), Some(&Value::int(3)));
+    }
+
+    #[test]
+    fn join_via_shared_variable() {
+        let (spec, p, r, s, i) = setup();
+        let mut b = RuleBuilder::new(p, "j");
+        let k = b.var("k");
+        let a = b.var("a");
+        // R(k, a), S(k, a): only key 1 has matching a = "x" in both.
+        let rule = b
+            .pos(r, [k.clone(), a.clone()])
+            .pos(s, [k.clone(), a.clone()])
+            .insert(r, [Term::Const(Value::int(9)), a])
+            .build();
+        let view = spec.collab().view_of(&i, p);
+        let ms = match_body(&rule, &view);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].get(VarId(0)), Some(&Value::int(1)));
+    }
+
+    #[test]
+    fn constants_in_literals_filter() {
+        let (spec, p, r, _, i) = setup();
+        let mut b = RuleBuilder::new(p, "c");
+        let k = b.var("k");
+        let rule = b
+            .pos(r, [k.clone(), Term::Const(Value::str("x"))])
+            .insert(r, [Term::Const(Value::int(9)), Term::Const(Value::str("z"))])
+            .build();
+        let view = spec.collab().view_of(&i, p);
+        assert_eq!(match_body(&rule, &view).len(), 2, "keys 1 and 3 have A = x");
+    }
+
+    #[test]
+    fn negative_literal_and_keyneg() {
+        let (spec, p, r, s, i) = setup();
+        let view = spec.collab().view_of(&i, p);
+        // R(k, a), not S(k, a): keys 2 and 3 (1 matches S exactly).
+        let mut b = RuleBuilder::new(p, "n");
+        let k = b.var("k");
+        let a = b.var("a");
+        let rule = b
+            .pos(r, [k.clone(), a.clone()])
+            .neg(s, [k.clone(), a.clone()])
+            .insert(r, [Term::Const(Value::int(9)), a])
+            .build();
+        assert_eq!(match_body(&rule, &view).len(), 2);
+        // R(k, a), not key S(k): keys 2 and 3.
+        let mut b = RuleBuilder::new(p, "nk");
+        let k = b.var("k");
+        let a = b.var("a");
+        let rule = b
+            .pos(r, [k.clone(), a.clone()])
+            .key_neg(s, k)
+            .insert(r, [Term::Const(Value::int(9)), a])
+            .build();
+        let ms = match_body(&rule, &view);
+        assert_eq!(ms.len(), 2);
+        assert!(ms.iter().all(|m| m.get(VarId(0)) != Some(&Value::int(1))));
+    }
+
+    #[test]
+    fn neg_differs_on_some_attribute_still_blocks_only_exact_match() {
+        // not S(1, "y") holds because S(1, ·) = "x" ≠ "y".
+        let (spec, p, r, s, i) = setup();
+        let view = spec.collab().view_of(&i, p);
+        let mut b = RuleBuilder::new(p, "nd");
+        let k = b.var("k");
+        let rule = b
+            .pos(r, [k.clone(), Term::Const(Value::str("x"))])
+            .neg(s, [k.clone(), Term::Const(Value::str("y"))])
+            .insert(r, [Term::Const(Value::int(9)), Term::Const(Value::str("z"))])
+            .build();
+        let ms = match_body(&rule, &view);
+        assert_eq!(ms.len(), 2, "both keys 1 and 3 pass");
+    }
+
+    #[test]
+    fn equality_and_disequality_filters() {
+        let (spec, p, r, _, i) = setup();
+        let view = spec.collab().view_of(&i, p);
+        let mut b = RuleBuilder::new(p, "eq");
+        let k = b.var("k");
+        let k2 = b.var("k2");
+        let a = b.var("a");
+        // R(k, a), R(k2, a), k ≠ k2: pairs (1,3) and (3,1).
+        let rule = b
+            .pos(r, [k.clone(), a.clone()])
+            .pos(r, [k2.clone(), a.clone()])
+            .neq(k, k2)
+            .insert(r, [Term::Const(Value::int(9)), a])
+            .build();
+        assert_eq!(match_body(&rule, &view).len(), 2);
+    }
+
+    #[test]
+    fn keypos_binds_and_checks() {
+        let (spec, p, _, s, i) = setup();
+        let view = spec.collab().view_of(&i, p);
+        let mut b = RuleBuilder::new(p, "kp");
+        let k = b.var("k");
+        let rule = b
+            .key_pos(s, k.clone())
+            .insert(s, [Term::Const(Value::int(9)), Term::Const(Value::str("b"))])
+            .build();
+        let ms = match_body(&rule, &view);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].get(VarId(0)), Some(&Value::int(1)));
+    }
+
+    #[test]
+    fn empty_body_matches_once() {
+        let (spec, p, r, _, i) = setup();
+        let view = spec.collab().view_of(&i, p);
+        let b = RuleBuilder::new(p, "e");
+        let rule = b
+            .insert(r, [Term::Const(Value::int(9)), Term::Const(Value::str("z"))])
+            .build();
+        assert_eq!(match_body(&rule, &view).len(), 1);
+    }
+
+    #[test]
+    fn check_body_agrees_with_match_body() {
+        let (spec, p, r, s, i) = setup();
+        let view = spec.collab().view_of(&i, p);
+        let mut b = RuleBuilder::new(p, "cb");
+        let k = b.var("k");
+        let a = b.var("a");
+        let rule = b
+            .pos(r, [k.clone(), a.clone()])
+            .neg(s, [k.clone(), a.clone()])
+            .insert(r, [Term::Const(Value::int(9)), a])
+            .build();
+        for m in match_body(&rule, &view) {
+            assert!(check_body(&rule, &view, &m));
+        }
+        // A non-matching valuation fails.
+        let mut bad = Bindings::empty(rule.vars.len());
+        bad.set(VarId(0), Value::int(1));
+        bad.set(VarId(1), Value::str("x"));
+        assert!(!check_body(&rule, &view, &bad), "S(1, x) exists, neg fails");
+    }
+
+    #[test]
+    fn bindings_utilities() {
+        let mut b = Bindings::empty(2);
+        assert!(!b.is_total());
+        assert!(!b.is_empty());
+        b.set(VarId(0), Value::int(1));
+        b.set(VarId(1), Value::int(2));
+        assert!(b.is_total());
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.resolve(&Term::Var(VarId(1))), Some(Value::int(2)));
+        assert_eq!(
+            b.resolve(&Term::Const(Value::str("c"))),
+            Some(Value::str("c"))
+        );
+        assert_eq!(b.clone().into_values(), vec![Value::int(1), Value::int(2)]);
+    }
+}

@@ -1,0 +1,33 @@
+//! # cwf-engine — the runtime of collaborative workflows
+//!
+//! Substrate crate implementing the operational semantics of Section 2 and
+//! the run views of Section 3: FCQ¬ body evaluation over peer views, events
+//! (rule instantiations) and their ground updates, the transition relation
+//! `I ⊢_e J` (insertion via chase + subsumption, visible deletion), runs
+//! with global-freshness enforcement, replay of event subsequences (the
+//! subrun primitive), peer views of runs `ρ@p`, and a random simulator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod coordinator;
+pub mod error;
+pub mod eval;
+pub mod event;
+pub mod nf_runs;
+pub mod run;
+pub mod simulate;
+pub mod stats;
+pub mod transition;
+
+pub use codec::{decode_events, encode_run, load_run, CodecError};
+pub use coordinator::{Broadcast, Coordinator, MaterializedView, ViewDelta};
+pub use error::EngineError;
+pub use stats::{PeerStats, RunStats};
+pub use eval::{check_body, match_body, Bindings};
+pub use event::{Event, GroundUpdate};
+pub use nf_runs::{from_normal_form, to_normal_form, NfTranslateError};
+pub use run::{EventView, ReplayError, Run, RunView, ViewStep};
+pub use simulate::{candidates, complete, Candidate, Simulator};
+pub use transition::{apply_event, apply_updates, event_visible, view_of};

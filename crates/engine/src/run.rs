@@ -1,0 +1,517 @@
+//! Runs of workflow programs (Section 2) and their peer views (Section 3).
+//!
+//! A run is a sequence `ρ = (e_i, I_i)_{0≤i≤n}` with `∅ ⊢_{e_0} I_0` and
+//! `I_{i−1} ⊢_{e_i} I_i`, where head-only variables of each rule are
+//! instantiated to *globally fresh* values (not in `const(P)` nor any
+//! earlier instance). [`Run::push`] enforces all of this; [`Run::replay`]
+//! rebuilds a run from a bare event sequence, which is the primitive behind
+//! subruns and scenarios (Section 3).
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+use cwf_model::{FreshGen, Instance, PeerId, Value, ViewInstance};
+use cwf_lang::WorkflowSpec;
+
+use crate::error::EngineError;
+use crate::event::Event;
+use crate::transition::apply_event;
+
+/// A run: spec, initial instance, events, and the instance after each event.
+#[derive(Clone)]
+pub struct Run {
+    spec: Arc<WorkflowSpec>,
+    initial: Instance,
+    events: Vec<Event>,
+    instances: Vec<Instance>,
+    /// `const(P) ∪ adom(initial) ∪ ⋃_{j<len} adom(I_j)` — the values a fresh
+    /// instantiation must avoid.
+    past_adom: BTreeSet<Value>,
+    fresh: FreshGen,
+}
+
+impl Run {
+    /// An empty run starting from the empty instance (the paper's default).
+    pub fn new(spec: Arc<WorkflowSpec>) -> Self {
+        let initial = Instance::empty(spec.collab().schema());
+        Self::with_initial(spec, initial)
+    }
+
+    /// An empty run starting from an arbitrary initial instance.
+    pub fn with_initial(spec: Arc<WorkflowSpec>, initial: Instance) -> Self {
+        let mut past_adom = spec.program().const_set();
+        past_adom.remove(&Value::Null);
+        let mut fresh = FreshGen::new();
+        for v in initial.adom() {
+            fresh.observe(&v);
+            past_adom.insert(v);
+        }
+        Run {
+            spec,
+            initial,
+            events: Vec::new(),
+            instances: Vec::new(),
+            past_adom,
+            fresh,
+        }
+    }
+
+    /// The workflow spec of this run.
+    pub fn spec(&self) -> &WorkflowSpec {
+        &self.spec
+    }
+
+    /// A shared handle to the spec.
+    pub fn spec_arc(&self) -> Arc<WorkflowSpec> {
+        Arc::clone(&self.spec)
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Is the run empty (no events yet)?
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The initial instance.
+    pub fn initial(&self) -> &Instance {
+        &self.initial
+    }
+
+    /// The `i`-th event `e_i`.
+    pub fn event(&self, i: usize) -> &Event {
+        &self.events[i]
+    }
+
+    /// All events `e(ρ)`.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// The instance `I_i` (after event `i`).
+    pub fn instance(&self, i: usize) -> &Instance {
+        &self.instances[i]
+    }
+
+    /// The instance *before* event `i` (`I_{i−1}`, or the initial instance).
+    pub fn pre_instance(&self, i: usize) -> &Instance {
+        if i == 0 {
+            &self.initial
+        } else {
+            &self.instances[i - 1]
+        }
+    }
+
+    /// The final instance (or the initial one for an empty run).
+    pub fn current(&self) -> &Instance {
+        self.instances.last().unwrap_or(&self.initial)
+    }
+
+    /// Draws a value guaranteed globally fresh for this run.
+    pub fn draw_fresh(&mut self) -> Value {
+        self.fresh.draw()
+    }
+
+    /// The values a fresh instantiation must avoid:
+    /// `const(P) ∪ adom(initial) ∪ ⋃ adom(I_j)`.
+    pub fn used_values(&self) -> &BTreeSet<Value> {
+        &self.past_adom
+    }
+
+    /// Steers [`Run::draw_fresh`] past `v` *without* marking it used — for
+    /// replaying histories whose later events will introduce `v` themselves
+    /// (e.g. expanding a view-program run back into an original-program run).
+    pub fn avoid_fresh(&mut self, v: &Value) {
+        self.fresh.observe(v);
+    }
+
+    /// Appends an event, enforcing the transition semantics and the global
+    /// freshness of head-only variable instantiations.
+    pub fn push(&mut self, event: Event) -> Result<(), EngineError> {
+        // Freshness check first (cheap). Head-only variables must take
+        // values outside const(P) and all earlier instances; we additionally
+        // require *distinct* head-only variables of one event to take
+        // pairwise distinct values (a mild strengthening of the paper that
+        // lets rules rely on the distinctness of created keys).
+        let rule = self.spec.program().rule(event.rule);
+        let mut seen_fresh: Vec<&cwf_model::Value> = Vec::new();
+        for var in rule.fresh_vars() {
+            let v = event.valuation.get(var).expect("valuation is total");
+            if self.past_adom.contains(v) || seen_fresh.contains(&v) {
+                return Err(EngineError::NotGloballyFresh { value: v.clone() });
+            }
+            seen_fresh.push(v);
+        }
+        let next = apply_event(&self.spec, self.current(), &event)?;
+        // Commit.
+        for v in next.adom() {
+            self.fresh.observe(&v);
+            self.past_adom.insert(v);
+        }
+        for v in event.adom(&self.spec) {
+            self.fresh.observe(&v);
+        }
+        self.events.push(event);
+        self.instances.push(next);
+        Ok(())
+    }
+
+    /// Rebuilds a run from an event sequence, reporting the first failing
+    /// index. This realizes the paper's "a subsequence `α` of `e(ρ)` *yields
+    /// a subrun* `run(α)`" check.
+    pub fn replay(
+        spec: Arc<WorkflowSpec>,
+        initial: Instance,
+        events: impl IntoIterator<Item = Event>,
+    ) -> Result<Run, ReplayError> {
+        let mut run = Run::with_initial(spec, initial);
+        for (index, e) in events.into_iter().enumerate() {
+            run.push(e).map_err(|error| ReplayError { index, error })?;
+        }
+        Ok(run)
+    }
+
+    /// Attempts to replay the subsequence of this run's events given by
+    /// `indices` (strictly increasing positions into `e(ρ)`).
+    pub fn try_subrun(&self, indices: &[usize]) -> Result<Run, ReplayError> {
+        debug_assert!(indices.windows(2).all(|w| w[0] < w[1]));
+        Run::replay(
+            self.spec_arc(),
+            self.initial.clone(),
+            indices.iter().map(|&i| self.events[i].clone()),
+        )
+    }
+
+    /// Is event `i` visible at `peer`? (`peer(e_i) = p` or
+    /// `I_{i−1}@p ≠ I_i@p`, Section 3.)
+    pub fn visible_at(&self, i: usize, peer: PeerId) -> bool {
+        if self.events[i].peer == peer {
+            return true;
+        }
+        let collab = self.spec.collab();
+        collab.view_of(self.pre_instance(i), peer) != collab.view_of(self.instance(i), peer)
+    }
+
+    /// The positions of the events visible at `peer`.
+    pub fn visible_events(&self, peer: PeerId) -> Vec<usize> {
+        let collab = self.spec.collab();
+        let mut out = Vec::new();
+        let mut prev = collab.view_of(&self.initial, peer);
+        for i in 0..self.len() {
+            let cur = collab.view_of(&self.instances[i], peer);
+            if self.events[i].peer == peer || cur != prev {
+                out.push(i);
+            }
+            prev = cur;
+        }
+        out
+    }
+
+    /// The view `ρ@p` of the run at `peer` (Definition 3.1): the transitions
+    /// visible at `p`, each carrying `e_i@p` (the event itself for `p`'s own
+    /// events, `ω` otherwise) and the view instance `I_i@p`.
+    pub fn view(&self, peer: PeerId) -> RunView {
+        let collab = self.spec.collab();
+        let mut steps = Vec::new();
+        let mut prev = collab.view_of(&self.initial, peer);
+        for i in 0..self.len() {
+            let cur = collab.view_of(&self.instances[i], peer);
+            let own = self.events[i].peer == peer;
+            if own || cur != prev {
+                steps.push(ViewStep {
+                    index: i,
+                    event: if own {
+                        EventView::Own(self.events[i].clone())
+                    } else {
+                        EventView::World
+                    },
+                    view: cur.clone(),
+                });
+            }
+            prev = cur;
+        }
+        RunView { peer, steps }
+    }
+}
+
+impl fmt::Debug for Run {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Run[{} events]", self.len())?;
+        for (i, e) in self.events.iter().enumerate() {
+            writeln!(f, "  {i}: {}", e.describe(&self.spec))?;
+        }
+        Ok(())
+    }
+}
+
+/// A replay failure: the first event that could not be applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayError {
+    /// Position of the failing event in the input sequence.
+    pub index: usize,
+    /// Why it failed.
+    pub error: EngineError,
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "replay failed at event {}: {}", self.index, self.error)
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// The view `e@p` of an event: the event itself for the peer's own events,
+/// the symbol `ω` ("world") for events of other peers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventView {
+    /// The peer's own event.
+    Own(Event),
+    /// Another peer's event, seen only through its side effects (`ω`).
+    World,
+}
+
+/// One visible transition of a run view.
+#[derive(Debug, Clone)]
+pub struct ViewStep {
+    /// Position of the underlying event in the *original* run. Not part of
+    /// observational equality.
+    pub index: usize,
+    /// `e_i@p`.
+    pub event: EventView,
+    /// `I_i@p`.
+    pub view: ViewInstance,
+}
+
+/// The view `ρ@p` of a run. Two run views are equal when their sequences of
+/// `(e@p, I@p)` pairs agree — the *observational equivalence* underlying
+/// scenarios (Definition 3.2). Original-run indices are deliberately ignored.
+#[derive(Debug, Clone)]
+pub struct RunView {
+    /// The observing peer.
+    pub peer: PeerId,
+    /// The visible transitions in order.
+    pub steps: Vec<ViewStep>,
+}
+
+impl PartialEq for RunView {
+    fn eq(&self, other: &Self) -> bool {
+        self.peer == other.peer
+            && self.steps.len() == other.steps.len()
+            && self
+                .steps
+                .iter()
+                .zip(&other.steps)
+                .all(|(a, b)| a.event == b.event && a.view == b.view)
+    }
+}
+
+impl Eq for RunView {}
+
+impl RunView {
+    /// Number of visible transitions.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Is anything visible at all?
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Bindings;
+    use cwf_lang::{parse_workflow, RuleId, VarId};
+
+    /// The Theorem 3.3 style propositional workflow: q sees everything,
+    /// p sees only OK.
+    fn prop_spec() -> Arc<WorkflowSpec> {
+        Arc::new(
+            parse_workflow(
+                r#"
+                schema { V1(K); V2(K); C1(K); OK(K); }
+                peers {
+                    q sees V1(*), V2(*), C1(*), OK(*);
+                    p sees OK(*);
+                }
+                rules {
+                    a1 @ q: +V1(0) :- ;
+                    a2 @ q: +V2(0) :- ;
+                    b1 @ q: +C1(0) :- V1(0);
+                    b2 @ q: +C1(0) :- V2(0);
+                    ok @ q: +OK(0) :- C1(0);
+                }
+                "#,
+            )
+            .unwrap(),
+        )
+    }
+
+    fn ground(spec: &WorkflowSpec, name: &str) -> Event {
+        let id = spec.program().rule_by_name(name).unwrap();
+        Event::new(spec, id, Bindings::empty(0)).unwrap()
+    }
+
+    fn push_all(run: &mut Run, names: &[&str]) {
+        let spec = run.spec_arc();
+        for n in names {
+            run.push(ground(&spec, n)).unwrap();
+        }
+    }
+
+    #[test]
+    fn run_builds_and_tracks_instances() {
+        let spec = prop_spec();
+        let mut run = Run::new(Arc::clone(&spec));
+        assert!(run.is_empty());
+        push_all(&mut run, &["a1", "b1", "ok"]);
+        assert_eq!(run.len(), 3);
+        assert!(run.initial().is_empty());
+        assert_eq!(run.instance(0).total_tuples(), 1);
+        assert_eq!(run.current().total_tuples(), 3);
+        assert_eq!(run.pre_instance(0), run.initial());
+        assert_eq!(run.pre_instance(2), run.instance(1));
+    }
+
+    #[test]
+    fn body_failure_is_rejected() {
+        let spec = prop_spec();
+        let mut run = Run::new(Arc::clone(&spec));
+        let err = run.push(ground(&spec, "ok")).unwrap_err();
+        assert!(matches!(err, EngineError::BodyNotSatisfied { .. }));
+    }
+
+    #[test]
+    fn visibility_splits_p_and_q() {
+        let spec = prop_spec();
+        let mut run = Run::new(Arc::clone(&spec));
+        push_all(&mut run, &["a1", "b1", "ok"]);
+        let q = spec.collab().peer("q").unwrap();
+        let p = spec.collab().peer("p").unwrap();
+        // q owns all events.
+        assert_eq!(run.visible_events(q), vec![0, 1, 2]);
+        // p sees only the OK insertion.
+        assert_eq!(run.visible_events(p), vec![2]);
+        assert!(!run.visible_at(0, p));
+        assert!(run.visible_at(2, p));
+    }
+
+    #[test]
+    fn run_view_is_observational() {
+        let spec = prop_spec();
+        let p = spec.collab().peer("p").unwrap();
+        // Two different runs deriving OK look identical to p.
+        let mut r1 = Run::new(Arc::clone(&spec));
+        push_all(&mut r1, &["a1", "b1", "ok"]);
+        let mut r2 = Run::new(Arc::clone(&spec));
+        push_all(&mut r2, &["a2", "b2", "ok"]);
+        assert_eq!(r1.view(p), r2.view(p));
+        // But q distinguishes them.
+        let q = spec.collab().peer("q").unwrap();
+        assert_ne!(r1.view(q), r2.view(q));
+        // The view is a strict filter for p.
+        assert_eq!(r1.view(p).len(), 1);
+        assert!(matches!(r1.view(p).steps[0].event, EventView::World));
+        assert_eq!(r1.view(q).len(), 3);
+        assert!(matches!(r1.view(q).steps[0].event, EventView::Own(_)));
+    }
+
+    #[test]
+    fn replay_and_try_subrun() {
+        let spec = prop_spec();
+        let mut run = Run::new(Arc::clone(&spec));
+        push_all(&mut run, &["a1", "a2", "b1", "ok"]);
+        // Dropping the irrelevant a2 still replays.
+        let sub = run.try_subrun(&[0, 2, 3]).unwrap();
+        assert_eq!(sub.len(), 3);
+        // Dropping a1 breaks b1's body.
+        let err = run.try_subrun(&[2, 3]).unwrap_err();
+        assert_eq!(err.index, 0);
+        assert!(matches!(err.error, EngineError::BodyNotSatisfied { .. }));
+    }
+
+    #[test]
+    fn freshness_enforced_on_push() {
+        // A rule with a head-only variable must get a globally fresh value.
+        let spec = Arc::new(
+            parse_workflow(
+                r#"
+                schema { R(K, A); }
+                peers { p sees R(*); }
+                rules { mint @ p: +R(k, "tag") :- ; }
+                "#,
+            )
+            .unwrap(),
+        );
+        let mut run = Run::new(Arc::clone(&spec));
+        let rule = spec.program().rule_by_name("mint").unwrap();
+        // Non-fresh value: the constant "tag" is in const(P).
+        let mut b = Bindings::empty(1);
+        b.set(VarId(0), Value::str("tag"));
+        let e = Event::new(&spec, rule, b).unwrap();
+        assert!(matches!(
+            run.push(e),
+            Err(EngineError::NotGloballyFresh { .. })
+        ));
+        // Fresh value from the run's generator works.
+        let v = run.draw_fresh();
+        let mut b = Bindings::empty(1);
+        b.set(VarId(0), v.clone());
+        run.push(Event::new(&spec, rule, b).unwrap()).unwrap();
+        // Re-using the same value is no longer fresh.
+        let mut b = Bindings::empty(1);
+        b.set(VarId(0), v);
+        assert!(matches!(
+            run.push(Event::new(&spec, rule, b).unwrap()),
+            Err(EngineError::NotGloballyFresh { .. })
+        ));
+        // The generator stays ahead.
+        let v2 = run.draw_fresh();
+        let mut b = Bindings::empty(1);
+        b.set(VarId(0), v2);
+        run.push(Event::new(&spec, rule, b).unwrap()).unwrap();
+        assert_eq!(run.len(), 2);
+    }
+
+    #[test]
+    fn with_initial_treats_instance_as_history() {
+        let spec = Arc::new(
+            parse_workflow(
+                r#"
+                schema { R(K, A); }
+                peers { p sees R(*); }
+                rules { mint @ p: +R(k, "tag") :- ; }
+                "#,
+            )
+            .unwrap(),
+        );
+        let mut init = Instance::empty(spec.collab().schema());
+        init.rel_mut(cwf_model::RelId(0))
+            .insert(cwf_model::Tuple::new([Value::int(7), Value::str("x")]))
+            .unwrap();
+        let mut run = Run::with_initial(Arc::clone(&spec), init);
+        // 7 occurs in the initial instance: not fresh.
+        let mut b = Bindings::empty(1);
+        b.set(VarId(0), Value::int(7));
+        assert!(matches!(
+            run.push(Event::new(&spec, RuleId(0), b).unwrap()),
+            Err(EngineError::NotGloballyFresh { .. })
+        ));
+    }
+
+    #[test]
+    fn debug_format_lists_events() {
+        let spec = prop_spec();
+        let mut run = Run::new(Arc::clone(&spec));
+        push_all(&mut run, &["a1"]);
+        let s = format!("{run:?}");
+        assert!(s.contains("a1@q"));
+    }
+}

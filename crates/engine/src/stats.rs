@@ -1,0 +1,200 @@
+//! Run statistics: who did what, who saw what.
+//!
+//! [`RunStats`] aggregates per-peer activity and the pairwise visibility
+//! matrix (how many of peer `q`'s events each observer `p` noticed) — the
+//! quantitative side of "side effects on other peers' data" that the paper's
+//! introduction motivates. Used by examples and the experiments runner.
+
+use std::fmt;
+
+use cwf_model::PeerId;
+
+use crate::run::Run;
+
+/// Per-peer activity counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PeerStats {
+    /// Events the peer performed.
+    pub performed: usize,
+    /// Insertions the peer issued.
+    pub insertions: usize,
+    /// Deletions the peer issued.
+    pub deletions: usize,
+    /// Transitions visible at this peer (own events + observed side effects).
+    pub observed: usize,
+}
+
+/// Aggregated statistics of one run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunStats {
+    /// Total number of events.
+    pub events: usize,
+    /// Per peer (indexed by `PeerId`).
+    pub peers: Vec<PeerStats>,
+    /// `visibility[p][q]`: how many of `q`'s events were visible at `p`.
+    pub visibility: Vec<Vec<usize>>,
+    /// Tuples in the final instance.
+    pub final_tuples: usize,
+}
+
+impl RunStats {
+    /// Computes the statistics of a run.
+    pub fn of(run: &Run) -> RunStats {
+        let spec = run.spec();
+        let n_peers = spec.collab().peer_count();
+        let mut peers = vec![PeerStats::default(); n_peers];
+        let mut visibility = vec![vec![0usize; n_peers]; n_peers];
+        // Precompute visibility flags once per (event, observer).
+        for i in 0..run.len() {
+            let e = run.event(i);
+            let actor = e.peer.index();
+            peers[actor].performed += 1;
+            for u in e.ground_updates(spec) {
+                if u.is_insert() {
+                    peers[actor].insertions += 1;
+                } else {
+                    peers[actor].deletions += 1;
+                }
+            }
+            for p in spec.collab().peer_ids() {
+                if run.visible_at(i, p) {
+                    peers[p.index()].observed += 1;
+                    visibility[p.index()][actor] += 1;
+                }
+            }
+        }
+        RunStats {
+            events: run.len(),
+            peers,
+            visibility,
+            final_tuples: run.current().total_tuples(),
+        }
+    }
+
+    /// The fraction of `q`'s events that `p` noticed (`None` when `q` did
+    /// nothing).
+    pub fn visibility_ratio(&self, p: PeerId, q: PeerId) -> Option<f64> {
+        let performed = self.peers[q.index()].performed;
+        if performed == 0 {
+            None
+        } else {
+            Some(self.visibility[p.index()][q.index()] as f64 / performed as f64)
+        }
+    }
+
+    /// Renders a table against a run's peer names.
+    pub fn render(&self, run: &Run) -> String {
+        let collab = run.spec().collab();
+        let mut out = format!(
+            "{} events, {} final tuples\n{:<12} {:>6} {:>6} {:>6} {:>9}\n",
+            self.events, self.final_tuples, "peer", "did", "+ins", "-del", "observed"
+        );
+        for p in collab.peer_ids() {
+            let s = &self.peers[p.index()];
+            out.push_str(&format!(
+                "{:<12} {:>6} {:>6} {:>6} {:>9}\n",
+                collab.peer_name(p),
+                s.performed,
+                s.insertions,
+                s.deletions,
+                s.observed
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for RunStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} events across {} peers, {} final tuples",
+            self.events,
+            self.peers.len(),
+            self.final_tuples
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Bindings;
+    use crate::event::Event;
+    use cwf_lang::parse_workflow;
+    use std::sync::Arc;
+
+    fn run() -> Run {
+        let spec = Arc::new(
+            parse_workflow(
+                r#"
+                schema { A(K); B(K); }
+                peers {
+                    worker sees A(*), B(*);
+                    boss sees A(*), B(*);
+                    lurker sees B(*);
+                }
+                rules {
+                    mk @ worker: +A(0) :- ;
+                    promote @ boss: +B(0), -key A(0) :- A(0);
+                }
+                "#,
+            )
+            .unwrap(),
+        );
+        let mut run = Run::new(Arc::clone(&spec));
+        for n in ["mk", "promote"] {
+            let rid = spec.program().rule_by_name(n).unwrap();
+            run.push(Event::new(&spec, rid, Bindings::empty(0)).unwrap())
+                .unwrap();
+        }
+        run
+    }
+
+    #[test]
+    fn counters_are_correct() {
+        let run = run();
+        let s = RunStats::of(&run);
+        assert_eq!(s.events, 2);
+        assert_eq!(s.final_tuples, 1);
+        let collab = run.spec().collab();
+        let worker = collab.peer("worker").unwrap();
+        let boss = collab.peer("boss").unwrap();
+        let lurker = collab.peer("lurker").unwrap();
+        assert_eq!(s.peers[worker.index()].performed, 1);
+        assert_eq!(s.peers[worker.index()].insertions, 1);
+        assert_eq!(s.peers[worker.index()].deletions, 0);
+        assert_eq!(s.peers[boss.index()].insertions, 1);
+        assert_eq!(s.peers[boss.index()].deletions, 1);
+        // worker and boss observe both transitions; lurker only the second
+        // (A is invisible to it).
+        assert_eq!(s.peers[worker.index()].observed, 2);
+        assert_eq!(s.peers[boss.index()].observed, 2);
+        assert_eq!(s.peers[lurker.index()].observed, 1);
+    }
+
+    #[test]
+    fn visibility_matrix_and_ratio() {
+        let run = run();
+        let s = RunStats::of(&run);
+        let collab = run.spec().collab();
+        let worker = collab.peer("worker").unwrap();
+        let boss = collab.peer("boss").unwrap();
+        let lurker = collab.peer("lurker").unwrap();
+        assert_eq!(s.visibility[lurker.index()][worker.index()], 0);
+        assert_eq!(s.visibility[lurker.index()][boss.index()], 1);
+        assert_eq!(s.visibility_ratio(lurker, worker), Some(0.0));
+        assert_eq!(s.visibility_ratio(lurker, boss), Some(1.0));
+        assert_eq!(s.visibility_ratio(worker, lurker), None, "lurker is idle");
+    }
+
+    #[test]
+    fn render_and_display() {
+        let run = run();
+        let s = RunStats::of(&run);
+        let table = s.render(&run);
+        assert!(table.contains("lurker"));
+        assert!(table.contains("observed"));
+        assert_eq!(s.to_string(), "2 events across 3 peers, 1 final tuples");
+    }
+}

@@ -1,0 +1,141 @@
+//! Errors of the language layer: validation and parsing.
+
+use std::fmt;
+
+use cwf_model::{ModelError, PeerId, RelId};
+
+/// A source position (1-based line and column) for parse errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Errors raised while validating or parsing workflow programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LangError {
+    /// An underlying schema error.
+    Model(ModelError),
+    /// Two rules share a name.
+    DuplicateRuleName {
+        /// The repeated rule name.
+        name: String,
+    },
+    /// A rule references a peer id outside the collaborative schema.
+    UnknownPeer {
+        /// The offending rule name.
+        rule: String,
+        /// The unknown peer.
+        peer: PeerId,
+    },
+    /// A rule at `peer` uses relation `rel` that the peer does not see.
+    RelationNotVisible {
+        /// The offending rule name.
+        rule: String,
+        /// The rule's peer.
+        peer: PeerId,
+        /// The invisible relation.
+        rel: RelId,
+    },
+    /// A literal or update has the wrong number of arguments for the view.
+    ArityMismatch {
+        /// The offending rule name.
+        rule: String,
+        /// The relation concerned.
+        rel: RelId,
+        /// Expected view width.
+        expected: usize,
+        /// Actual argument count.
+        got: usize,
+    },
+    /// The safety condition is violated: a body variable does not occur in
+    /// any positive literal.
+    UnsafeVariable {
+        /// The offending rule name.
+        rule: String,
+        /// The unsafe variable's name.
+        var: String,
+    },
+    /// Two updates of the same relation may touch the same key: either both
+    /// keys are the same constant, or the body lacks the required `x ≠ x′`.
+    ConflictingUpdates {
+        /// The offending rule name.
+        rule: String,
+        /// The doubly-updated relation.
+        rel: RelId,
+    },
+    /// A parse error at a position.
+    Parse {
+        /// Where the error occurred.
+        pos: Pos,
+        /// What went wrong.
+        message: String,
+    },
+    /// A name used in the program text could not be resolved.
+    Unresolved {
+        /// Where the name occurred.
+        pos: Pos,
+        /// The kind of name (relation, peer, attribute).
+        kind: &'static str,
+        /// The name itself.
+        name: String,
+    },
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::Model(e) => write!(f, "{e}"),
+            LangError::DuplicateRuleName { name } => {
+                write!(f, "duplicate rule name {name}")
+            }
+            LangError::UnknownPeer { rule, peer } => {
+                write!(f, "rule {rule}: unknown peer {peer:?}")
+            }
+            LangError::RelationNotVisible { rule, peer, rel } => write!(
+                f,
+                "rule {rule}: relation {rel:?} is not visible at peer {peer:?}"
+            ),
+            LangError::ArityMismatch { rule, rel, expected, got } => write!(
+                f,
+                "rule {rule}: relation {rel:?} expects {expected} view arguments, got {got}"
+            ),
+            LangError::UnsafeVariable { rule, var } => write!(
+                f,
+                "rule {rule}: variable {var} does not occur in a positive body literal"
+            ),
+            LangError::ConflictingUpdates { rule, rel } => write!(
+                f,
+                "rule {rule}: two updates of relation {rel:?} may touch the same key \
+                 (need distinct constants or an explicit x ≠ x′ in the body)"
+            ),
+            LangError::Parse { pos, message } => write!(f, "parse error at {pos}: {message}"),
+            LangError::Unresolved { pos, kind, name } => {
+                write!(f, "unresolved {kind} `{name}` at {pos}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LangError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LangError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for LangError {
+    fn from(e: ModelError) -> Self {
+        LangError::Model(e)
+    }
+}

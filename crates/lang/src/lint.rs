@@ -1,0 +1,467 @@
+//! Static lints for workflow specifications.
+//!
+//! Beyond the hard well-formedness rules enforced by
+//! [`crate::spec::WorkflowSpec::validate`], these lints catch *probable
+//! mistakes* that are still legal programs: rules that can never fire,
+//! relations nobody writes or reads, peers without capabilities, dead
+//! selection conditions, and losslessness violations. Each lint names the
+//! culprit and explains the consequence.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use cwf_model::{solver, Condition, PeerId, RelId};
+
+use crate::ast::{Literal, Rule, Term, UpdateAtom};
+use crate::spec::WorkflowSpec;
+
+/// One finding of the linter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lint {
+    /// A rule whose body contains contradictory (dis)equalities — it can
+    /// never fire.
+    UnsatisfiableBody {
+        /// The dead rule.
+        rule: String,
+    },
+    /// A rule with an empty head (no effect even when it fires).
+    EmptyHead {
+        /// The rule.
+        rule: String,
+    },
+    /// A relation no rule ever inserts into: it stays empty in every run
+    /// from `∅`, so every positive literal over it is dead.
+    NeverInserted {
+        /// The relation name.
+        relation: String,
+    },
+    /// A relation no rule ever reads or deletes — write-only state.
+    NeverRead {
+        /// The relation name.
+        relation: String,
+    },
+    /// A peer owning no rules (it can never act; it may still observe).
+    PeerWithoutRules {
+        /// The peer name.
+        peer: String,
+    },
+    /// A peer whose view schema is empty (it can neither act nor observe).
+    BlindPeer {
+        /// The peer name.
+        peer: String,
+    },
+    /// A view whose selection condition is unsatisfiable — the view is
+    /// always empty.
+    DeadSelection {
+        /// The peer name.
+        peer: String,
+        /// The relation name.
+        relation: String,
+    },
+    /// The collaborative schema is not lossless for an attribute: its value
+    /// can be silently lost (Example 2.2).
+    NotLossless {
+        /// The relation name.
+        relation: String,
+        /// The uncovered attribute.
+        attribute: String,
+    },
+    /// A rule reads a relation it also inserts into with the same constant
+    /// key and no guard — a likely unintended no-op loop.
+    SelfFeeding {
+        /// The rule.
+        rule: String,
+        /// The relation name.
+        relation: String,
+    },
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lint::UnsatisfiableBody { rule } => {
+                write!(f, "rule {rule} can never fire: its body is unsatisfiable")
+            }
+            Lint::EmptyHead { rule } => write!(f, "rule {rule} has no updates"),
+            Lint::NeverInserted { relation } => write!(
+                f,
+                "relation {relation} is never inserted into: positive literals over it are dead"
+            ),
+            Lint::NeverRead { relation } => {
+                write!(f, "relation {relation} is write-only (never read or deleted)")
+            }
+            Lint::PeerWithoutRules { peer } => write!(f, "peer {peer} owns no rules"),
+            Lint::BlindPeer { peer } => write!(f, "peer {peer} sees no relations"),
+            Lint::DeadSelection { peer, relation } => write!(
+                f,
+                "peer {peer}'s view of {relation} has an unsatisfiable selection: always empty"
+            ),
+            Lint::NotLossless { relation, attribute } => write!(
+                f,
+                "attribute {attribute} of {relation} is not covered by the peer views: \
+                 its value can be lost (losslessness, Definition 2.1)"
+            ),
+            Lint::SelfFeeding { rule, relation } => write!(
+                f,
+                "rule {rule} re-inserts the tuple of {relation} it just read — likely a no-op"
+            ),
+        }
+    }
+}
+
+/// Runs all lints over a validated spec.
+pub fn lint(spec: &WorkflowSpec) -> Vec<Lint> {
+    let mut out = Vec::new();
+    lint_rules(spec, &mut out);
+    lint_relations(spec, &mut out);
+    lint_peers(spec, &mut out);
+    lint_views(spec, &mut out);
+    out
+}
+
+fn lint_rules(spec: &WorkflowSpec, out: &mut Vec<Lint>) {
+    for rule in spec.program().rules() {
+        if rule.head.is_empty() {
+            out.push(Lint::EmptyHead { rule: rule.name.clone() });
+        }
+        if has_contradictory_comparisons(rule) {
+            out.push(Lint::UnsatisfiableBody { rule: rule.name.clone() });
+        }
+        // Self-feeding: body Pos and head Insert with identical ground args.
+        for lit in &rule.body {
+            let Literal::Pos { rel, args } = lit else { continue };
+            for u in &rule.head {
+                if let UpdateAtom::Insert { rel: r2, args: a2 } = u {
+                    if rel == r2 && args == a2 {
+                        out.push(Lint::SelfFeeding {
+                            rule: rule.name.clone(),
+                            relation: spec
+                                .collab()
+                                .schema()
+                                .relation(*rel)
+                                .name()
+                                .to_string(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Detects bodies made unsatisfiable by their (dis)equality literals alone:
+/// `x = a ∧ x = b` for distinct constants, `x ≠ x`, `a = b` for distinct
+/// constants, or `x = y ∧ x ≠ y` (propagated through equality classes).
+fn has_contradictory_comparisons(rule: &Rule) -> bool {
+    // Union-find over terms via indices into a term table.
+    let mut terms: Vec<Term> = Vec::new();
+    let id_of = |t: &Term, terms: &mut Vec<Term>| -> usize {
+        if let Some(i) = terms.iter().position(|x| x == t) {
+            i
+        } else {
+            terms.push(t.clone());
+            terms.len() - 1
+        }
+    };
+    let mut eqs: Vec<(usize, usize)> = Vec::new();
+    let mut neqs: Vec<(usize, usize)> = Vec::new();
+    for lit in &rule.body {
+        match lit {
+            Literal::Eq(a, b) => {
+                let (x, y) = (id_of(a, &mut terms), id_of(b, &mut terms));
+                eqs.push((x, y));
+            }
+            Literal::Neq(a, b) => {
+                let (x, y) = (id_of(a, &mut terms), id_of(b, &mut terms));
+                neqs.push((x, y));
+            }
+            _ => {}
+        }
+    }
+    let mut parent: Vec<usize> = (0..terms.len()).collect();
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let r = find(parent, parent[i]);
+            parent[i] = r;
+        }
+        parent[i]
+    }
+    for (x, y) in eqs {
+        let (rx, ry) = (find(&mut parent, x), find(&mut parent, y));
+        parent[rx] = ry;
+    }
+    // Conflicting constants in one class?
+    for i in 0..terms.len() {
+        for j in (i + 1)..terms.len() {
+            if let (Term::Const(a), Term::Const(b)) = (&terms[i], &terms[j]) {
+                if a != b && find(&mut parent, i) == find(&mut parent, j) {
+                    return true;
+                }
+            }
+        }
+    }
+    // A disequality within one class?
+    for (x, y) in neqs {
+        if find(&mut parent, x) == find(&mut parent, y) {
+            return true;
+        }
+    }
+    false
+}
+
+fn lint_relations(spec: &WorkflowSpec, out: &mut Vec<Lint>) {
+    let schema = spec.collab().schema();
+    let mut inserted: BTreeSet<RelId> = BTreeSet::new();
+    let mut read: BTreeSet<RelId> = BTreeSet::new();
+    for rule in spec.program().rules() {
+        for u in &rule.head {
+            match u {
+                UpdateAtom::Insert { rel, .. } => {
+                    inserted.insert(*rel);
+                }
+                UpdateAtom::Delete { rel, .. } => {
+                    read.insert(*rel);
+                }
+            }
+        }
+        for l in &rule.body {
+            match l {
+                Literal::Pos { rel, .. }
+                | Literal::Neg { rel, .. }
+                | Literal::KeyPos { rel, .. }
+                | Literal::KeyNeg { rel, .. } => {
+                    read.insert(*rel);
+                }
+                _ => {}
+            }
+        }
+    }
+    for r in schema.rel_ids() {
+        let name = schema.relation(r).name().to_string();
+        if !inserted.contains(&r) {
+            out.push(Lint::NeverInserted { relation: name.clone() });
+        }
+        if !read.contains(&r) {
+            out.push(Lint::NeverRead { relation: name });
+        }
+    }
+}
+
+fn lint_peers(spec: &WorkflowSpec, out: &mut Vec<Lint>) {
+    let collab = spec.collab();
+    let owners: BTreeSet<PeerId> =
+        spec.program().rules().iter().map(|r| r.peer).collect();
+    for p in collab.peer_ids() {
+        if collab.visible_rels(p).next().is_none() {
+            out.push(Lint::BlindPeer {
+                peer: collab.peer_name(p).to_string(),
+            });
+        } else if !owners.contains(&p) {
+            out.push(Lint::PeerWithoutRules {
+                peer: collab.peer_name(p).to_string(),
+            });
+        }
+    }
+}
+
+fn lint_views(spec: &WorkflowSpec, out: &mut Vec<Lint>) {
+    let collab = spec.collab();
+    for p in collab.peer_ids() {
+        for r in collab.visible_rels(p).collect::<Vec<_>>() {
+            let v = collab.view(p, r).expect("visible");
+            if !solver::satisfiable(v.selection()) {
+                out.push(Lint::DeadSelection {
+                    peer: collab.peer_name(p).to_string(),
+                    relation: collab.schema().relation(r).name().to_string(),
+                });
+            }
+        }
+    }
+    // Losslessness, reported as a lint (the model also exposes it as a hard
+    // check for schemas that want to enforce it).
+    if let Err(cwf_model::ModelError::NotLossless { relation, attribute, .. }) =
+        collab.check_losslessness()
+    {
+        out.push(Lint::NotLossless { relation, attribute });
+    }
+    let _ = Condition::True; // keep the import local to this module's intent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_workflow;
+
+    #[test]
+    fn clean_program_has_only_expected_lints() {
+        let spec = parse_workflow(
+            r#"
+            schema { Task(K); Done(K); }
+            peers { a sees Task(*), Done(*); b sees Task(*), Done(*); }
+            rules {
+                mk @ a: +Task(t) :- ;
+                fin @ b: +Done(d) :- Task(d), not key Done(d);
+            }
+            "#,
+        )
+        .unwrap();
+        let lints = lint(&spec);
+        assert!(lints.is_empty(), "got {lints:?}");
+    }
+
+    #[test]
+    fn unsatisfiable_bodies_are_caught() {
+        let spec = parse_workflow(
+            r#"
+            schema { R(K, A); }
+            peers { p sees R(*); }
+            rules {
+                dead1 @ p: +R(x, "z") :- R(x, y), y = "a", y = "b";
+                dead2 @ p: +R(x, "z") :- R(x, y), x != x;
+                live  @ p: +R(x, "z") :- R(x, y), y = "a", y != "b";
+            }
+            "#,
+        )
+        .unwrap();
+        let lints = lint(&spec);
+        let dead: Vec<&Lint> = lints
+            .iter()
+            .filter(|l| matches!(l, Lint::UnsatisfiableBody { .. }))
+            .collect();
+        assert_eq!(dead.len(), 2, "got {lints:?}");
+    }
+
+    #[test]
+    fn equality_chains_propagate() {
+        let spec = parse_workflow(
+            r#"
+            schema { R(K, A); }
+            peers { p sees R(*); }
+            rules {
+                chained @ p: +R(x, "z")
+                    :- R(x, y), R(x2, y2), x = x2, x2 = y, x != y;
+            }
+            "#,
+        )
+        .unwrap();
+        let lints = lint(&spec);
+        assert!(lints
+            .iter()
+            .any(|l| matches!(l, Lint::UnsatisfiableBody { rule } if rule == "chained")));
+    }
+
+    #[test]
+    fn dead_relations_and_peers_are_caught() {
+        let spec = parse_workflow(
+            r#"
+            schema { Used(K); Ghost(K); Sink(K); }
+            peers {
+                worker sees Used(*), Ghost(*), Sink(*);
+                watcher sees Used(*);
+            }
+            rules {
+                mk @ worker: +Used(x) :- ;
+                log @ worker: +Sink(x) :- Used(x);
+            }
+            "#,
+        )
+        .unwrap();
+        let lints = lint(&spec);
+        assert!(lints
+            .iter()
+            .any(|l| matches!(l, Lint::NeverInserted { relation } if relation == "Ghost")));
+        assert!(lints
+            .iter()
+            .any(|l| matches!(l, Lint::NeverRead { relation } if relation == "Ghost")));
+        assert!(lints
+            .iter()
+            .any(|l| matches!(l, Lint::NeverRead { relation } if relation == "Sink")));
+        assert!(lints
+            .iter()
+            .any(|l| matches!(l, Lint::PeerWithoutRules { peer } if peer == "watcher")));
+    }
+
+    #[test]
+    fn blind_peers_and_dead_selections_are_caught() {
+        let spec = parse_workflow(
+            r#"
+            schema { R(K, A); }
+            peers {
+                p sees R(*);
+                nobody sees ;
+                narrow sees R(K) where A = "x" and A = "y";
+            }
+            rules { mk @ p: +R(x, "x") :- ; }
+            "#,
+        )
+        .unwrap();
+        let lints = lint(&spec);
+        assert!(lints
+            .iter()
+            .any(|l| matches!(l, Lint::BlindPeer { peer } if peer == "nobody")));
+        assert!(lints
+            .iter()
+            .any(|l| matches!(l, Lint::DeadSelection { peer, .. } if peer == "narrow")));
+    }
+
+    #[test]
+    fn losslessness_is_reported_as_a_lint() {
+        // Example 2.2's schema: attribute B only visible under A = ⊥.
+        let spec = parse_workflow(
+            r#"
+            schema { R(K, A, B); }
+            peers {
+                p sees R(*) where A = null;
+                q sees R(K, A);
+            }
+            rules { mk @ q: +R(x, y) :- ; }
+            "#,
+        )
+        .unwrap();
+        let lints = lint(&spec);
+        assert!(lints
+            .iter()
+            .any(|l| matches!(l, Lint::NotLossless { attribute, .. } if attribute == "B")));
+    }
+
+    #[test]
+    fn self_feeding_rules_are_caught() {
+        let spec = parse_workflow(
+            r#"
+            schema { R(K, A); }
+            peers { p sees R(*); }
+            rules { noop @ p: +R(x, y) :- R(x, y); }
+            "#,
+        )
+        .unwrap();
+        let lints = lint(&spec);
+        assert!(lints
+            .iter()
+            .any(|l| matches!(l, Lint::SelfFeeding { rule, .. } if rule == "noop")));
+    }
+
+    #[test]
+    fn empty_heads_are_caught() {
+        // The parser requires a head, so build programmatically.
+        use crate::ast::{Program, RuleBuilder};
+        let base = parse_workflow(
+            r#"
+            schema { R(K); }
+            peers { p sees R(*); }
+            rules { mk @ p: +R(x) :- ; }
+            "#,
+        )
+        .unwrap();
+        let (collab, _) = base.into_parts();
+        let mut prog = Program::new();
+        let p = collab.peer("p").unwrap();
+        let r = collab.schema().rel("R").unwrap();
+        let mut b = RuleBuilder::new(p, "void");
+        let x = b.var("x");
+        prog.add_rule(b.pos(r, [x]).build());
+        let spec = WorkflowSpec::new(collab, prog).unwrap();
+        assert!(lint(&spec)
+            .iter()
+            .any(|l| matches!(l, Lint::EmptyHead { rule } if rule == "void")));
+    }
+}

@@ -1,0 +1,352 @@
+//! Workflow specifications and static validation.
+//!
+//! A *workflow spec* `W` is a collaborative schema `S` together with a
+//! workflow program (Section 2). [`WorkflowSpec::validate`] enforces the
+//! syntactic well-formedness conditions of the paper:
+//!
+//! * every rule belongs to a peer of `S` and only mentions relations of
+//!   `D@p` with view-width argument lists;
+//! * *safety*: every body variable occurs in some positive literal;
+//! * the *distinct-update* condition: two updates of the same relation in
+//!   one head must have keys that are distinct constants, or the body must
+//!   contain the explicit disequality `x ≠ x′`.
+
+use serde::{Deserialize, Serialize};
+
+use cwf_model::{CollabSchema, PeerId, RelId};
+
+use crate::ast::{Literal, Program, Rule, Term, UpdateAtom};
+use crate::error::LangError;
+
+/// A collaborative schema plus a workflow program over it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkflowSpec {
+    collab: CollabSchema,
+    program: Program,
+}
+
+impl WorkflowSpec {
+    /// Bundles a schema and a program, validating the program against the
+    /// schema.
+    pub fn new(collab: CollabSchema, program: Program) -> Result<Self, LangError> {
+        let spec = WorkflowSpec { collab, program };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Bundles without validating (used by internal transformations whose
+    /// output is correct by construction; tests re-validate).
+    pub fn new_unchecked(collab: CollabSchema, program: Program) -> Self {
+        WorkflowSpec { collab, program }
+    }
+
+    /// The collaborative schema `S`.
+    pub fn collab(&self) -> &CollabSchema {
+        &self.collab
+    }
+
+    /// The workflow program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Splits the spec into its parts.
+    pub fn into_parts(self) -> (CollabSchema, Program) {
+        (self.collab, self.program)
+    }
+
+    /// The width of the view of `rel` at `peer`, if visible.
+    pub fn view_width(&self, peer: PeerId, rel: RelId) -> Option<usize> {
+        self.collab.view(peer, rel).map(|v| v.attrs().len())
+    }
+
+    /// Validates every rule (see module docs). Returns the first violation.
+    pub fn validate(&self) -> Result<(), LangError> {
+        let mut names: Vec<&str> = Vec::new();
+        for rule in self.program.rules() {
+            if names.contains(&rule.name.as_str()) {
+                return Err(LangError::DuplicateRuleName {
+                    name: rule.name.clone(),
+                });
+            }
+            names.push(&rule.name);
+            self.validate_rule(rule)?;
+        }
+        Ok(())
+    }
+
+    fn validate_rule(&self, rule: &Rule) -> Result<(), LangError> {
+        let peer = rule.peer;
+        if peer.index() >= self.collab.peer_count() {
+            return Err(LangError::UnknownPeer {
+                rule: rule.name.clone(),
+                peer,
+            });
+        }
+        // Relation visibility and arities.
+        let check_rel = |rel: RelId, args: Option<usize>| -> Result<(), LangError> {
+            let Some(view) = self.collab.view(peer, rel) else {
+                return Err(LangError::RelationNotVisible {
+                    rule: rule.name.clone(),
+                    peer,
+                    rel,
+                });
+            };
+            if let Some(got) = args {
+                let expected = view.attrs().len();
+                if got != expected {
+                    return Err(LangError::ArityMismatch {
+                        rule: rule.name.clone(),
+                        rel,
+                        expected,
+                        got,
+                    });
+                }
+            }
+            Ok(())
+        };
+        for lit in &rule.body {
+            match lit {
+                Literal::Pos { rel, args } | Literal::Neg { rel, args } => {
+                    check_rel(*rel, Some(args.len()))?
+                }
+                Literal::KeyPos { rel, .. } | Literal::KeyNeg { rel, .. } => {
+                    check_rel(*rel, None)?
+                }
+                Literal::Eq(..) | Literal::Neq(..) => {}
+            }
+        }
+        for upd in &rule.head {
+            match upd {
+                UpdateAtom::Insert { rel, args } => check_rel(*rel, Some(args.len()))?,
+                UpdateAtom::Delete { rel, .. } => check_rel(*rel, None)?,
+            }
+        }
+        // Safety: every body variable occurs in a positive literal.
+        let positive = rule.positive_vars();
+        for v in rule.body_vars() {
+            if !positive.contains(&v) {
+                return Err(LangError::UnsafeVariable {
+                    rule: rule.name.clone(),
+                    var: rule.vars[v.index()].clone(),
+                });
+            }
+        }
+        // Distinct-update condition. A key term that is a head-only
+        // variable is instantiated to a globally fresh value by the run
+        // semantics, hence distinct from every other key — such pairs are
+        // accepted without an explicit disequality.
+        let body_vars = rule.body_vars();
+        let is_fresh_var = |t: &Term| t.as_var().is_some_and(|v| !body_vars.contains(&v));
+        for (i, a) in rule.head.iter().enumerate() {
+            for b in &rule.head[i + 1..] {
+                if a.rel() != b.rel() {
+                    continue;
+                }
+                let (ka, kb) = (a.key_term(), b.key_term());
+                let ok = match (ka, kb) {
+                    (Term::Const(x), Term::Const(y)) => x != y,
+                    _ if is_fresh_var(ka) || is_fresh_var(kb) => ka != kb,
+                    _ => rule.body_has_neq(ka, kb),
+                };
+                if !ok {
+                    return Err(LangError::ConflictingUpdates {
+                        rule: rule.name.clone(),
+                        rel: a.rel(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::RuleBuilder;
+    use cwf_model::{Condition, RelSchema, Schema, Value, ViewRel};
+
+    /// Schema: Assign(K, Proj), Replace(K, New); peer hr sees both fully;
+    /// peer sue sees nothing.
+    fn collab() -> (CollabSchema, PeerId, PeerId, RelId, RelId) {
+        let schema = Schema::from_relations([
+            RelSchema::new("Assign", ["K", "Proj"]).unwrap(),
+            RelSchema::new("Replace", ["K", "New"]).unwrap(),
+        ])
+        .unwrap();
+        let assign = schema.rel("Assign").unwrap();
+        let replace = schema.rel("Replace").unwrap();
+        let mut cs = CollabSchema::new(schema);
+        let hr = cs.add_peer("hr").unwrap();
+        let sue = cs.add_peer("sue").unwrap();
+        cs.set_full_view(hr, assign).unwrap();
+        cs.set_full_view(hr, replace).unwrap();
+        (cs, hr, sue, assign, replace)
+    }
+
+    fn hr_replace_rule(hr: PeerId, assign: RelId, replace: RelId) -> crate::ast::Rule {
+        let mut b = RuleBuilder::new(hr, "replace");
+        let x = b.var("x");
+        let x2 = b.var("x2");
+        let y = b.var("y");
+        b.delete(assign, x.clone())
+            .insert(assign, [x2.clone(), y.clone()])
+            .pos(assign, [x.clone(), y.clone()])
+            .pos(replace, [x.clone(), x2.clone()])
+            .neq(x, x2)
+            .build()
+    }
+
+    #[test]
+    fn hr_example_validates() {
+        let (cs, hr, _, assign, replace) = collab();
+        let mut prog = Program::new();
+        prog.add_rule(hr_replace_rule(hr, assign, replace));
+        WorkflowSpec::new(cs, prog).unwrap();
+    }
+
+    #[test]
+    fn invisible_relation_rejected() {
+        let (cs, _, sue, assign, _) = collab();
+        let mut prog = Program::new();
+        let mut b = RuleBuilder::new(sue, "peek");
+        let x = b.var("x");
+        let y = b.var("y");
+        prog.add_rule(b.pos(assign, [x.clone(), y]).delete(assign, x).build());
+        assert!(matches!(
+            WorkflowSpec::new(cs, prog),
+            Err(LangError::RelationNotVisible { .. })
+        ));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let (cs, hr, _, assign, _) = collab();
+        let mut prog = Program::new();
+        let mut b = RuleBuilder::new(hr, "bad");
+        let x = b.var("x");
+        prog.add_rule(b.pos(assign, [x.clone()]).delete(assign, x).build());
+        assert!(matches!(
+            WorkflowSpec::new(cs, prog),
+            Err(LangError::ArityMismatch { expected: 2, got: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn unsafe_variable_rejected() {
+        let (cs, hr, _, assign, _) = collab();
+        let mut prog = Program::new();
+        let mut b = RuleBuilder::new(hr, "unsafe");
+        let x = b.var("x");
+        let y = b.var("y");
+        // y occurs only in a disequality: unsafe.
+        prog.add_rule(
+            b.pos(assign, [x.clone(), Term::Const(Value::str("p"))])
+                .neq(x.clone(), y)
+                .delete(assign, x)
+                .build(),
+        );
+        assert!(matches!(
+            WorkflowSpec::new(cs, prog),
+            Err(LangError::UnsafeVariable { .. })
+        ));
+    }
+
+    #[test]
+    fn unsafe_variable_in_negative_literal_rejected() {
+        let (cs, hr, _, assign, _) = collab();
+        let mut prog = Program::new();
+        let mut b = RuleBuilder::new(hr, "negonly");
+        let x = b.var("x");
+        prog.add_rule(
+            b.key_neg(assign, x.clone())
+                .insert(assign, [x, Term::Const(Value::str("p"))])
+                .build(),
+        );
+        assert!(matches!(
+            WorkflowSpec::new(cs, prog),
+            Err(LangError::UnsafeVariable { .. })
+        ));
+    }
+
+    #[test]
+    fn conflicting_updates_need_disequality() {
+        let (cs, hr, _, assign, replace) = collab();
+        // Without x ≠ x2 the rule must be rejected.
+        let mut prog = Program::new();
+        let mut b = RuleBuilder::new(hr, "noneq");
+        let x = b.var("x");
+        let x2 = b.var("x2");
+        let y = b.var("y");
+        prog.add_rule(
+            b.delete(assign, x.clone())
+                .insert(assign, [x2.clone(), y.clone()])
+                .pos(assign, [x.clone(), y.clone()])
+                .pos(replace, [x, x2])
+                .build(),
+        );
+        assert!(matches!(
+            WorkflowSpec::new(cs, prog),
+            Err(LangError::ConflictingUpdates { .. })
+        ));
+    }
+
+    #[test]
+    fn same_constant_keys_rejected_distinct_allowed() {
+        let (cs, hr, _, assign, _) = collab();
+        let mk = |k1: i64, k2: i64| {
+            let mut prog = Program::new();
+            let b = RuleBuilder::new(hr, "consts");
+            prog.add_rule(
+                b.insert(assign, [Term::Const(Value::int(k1)), Term::Const(Value::str("p"))])
+                    .insert(assign, [Term::Const(Value::int(k2)), Term::Const(Value::str("q"))])
+                    .build(),
+            );
+            WorkflowSpec::new(cs.clone(), prog)
+        };
+        assert!(matches!(mk(1, 1), Err(LangError::ConflictingUpdates { .. })));
+        assert!(mk(1, 2).is_ok());
+    }
+
+    #[test]
+    fn duplicate_rule_names_rejected() {
+        let (cs, hr, _, assign, _) = collab();
+        let mut prog = Program::new();
+        for _ in 0..2 {
+            let b = RuleBuilder::new(hr, "same");
+            prog.add_rule(
+                b.insert(assign, [Term::Const(Value::int(1)), Term::Const(Value::str("p"))])
+                    .build(),
+            );
+        }
+        assert!(matches!(
+            WorkflowSpec::new(cs, prog),
+            Err(LangError::DuplicateRuleName { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_peer_rejected() {
+        let (cs, _, _, assign, _) = collab();
+        let mut prog = Program::new();
+        let b = RuleBuilder::new(PeerId(9), "ghost");
+        prog.add_rule(
+            b.insert(assign, [Term::Const(Value::int(1)), Term::Const(Value::str("p"))])
+                .build(),
+        );
+        assert!(matches!(
+            WorkflowSpec::new(cs, prog),
+            Err(LangError::UnknownPeer { .. })
+        ));
+    }
+
+    #[test]
+    fn view_width_reflects_projection() {
+        let (mut cs, _, sue, assign, _) = collab();
+        cs.set_view(sue, ViewRel::new(assign, [], Condition::True)).unwrap();
+        let spec = WorkflowSpec::new_unchecked(cs, Program::new());
+        assert_eq!(spec.view_width(sue, assign), Some(1), "key only");
+        assert_eq!(spec.view_width(sue, RelId(1)), None);
+    }
+}

@@ -1,0 +1,306 @@
+//! Selection conditions (Section 2).
+//!
+//! For attributes `A, B` and a constant `a ∈ dom` (possibly `⊥`), the
+//! *elementary conditions* are `A = a` and `A = B`; a *condition* is a
+//! Boolean combination of elementary conditions. Conditions define the
+//! selection component `σ(R@p)` of peer views.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::schema::{AttrId, RelSchema};
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// A Boolean combination of elementary conditions over the attributes of one
+/// relation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Condition {
+    /// Always true (`σ(R@q) = true` in the paper).
+    True,
+    /// Always false.
+    False,
+    /// Elementary condition `A = a` (the constant may be `⊥`, as in
+    /// Example 2.2's `σ(R@p) ≡ A = ⊥`).
+    EqConst(AttrId, Value),
+    /// Elementary condition `A = B`.
+    EqAttr(AttrId, AttrId),
+    /// Negation.
+    Not(Box<Condition>),
+    /// Conjunction (empty conjunction is `True`).
+    And(Vec<Condition>),
+    /// Disjunction (empty disjunction is `False`).
+    Or(Vec<Condition>),
+}
+
+impl Condition {
+    /// `A = a`.
+    pub fn eq_const(a: AttrId, v: impl Into<Value>) -> Self {
+        Condition::EqConst(a, v.into())
+    }
+
+    /// `A ≠ a`.
+    pub fn neq_const(a: AttrId, v: impl Into<Value>) -> Self {
+        Condition::Not(Box::new(Condition::EqConst(a, v.into())))
+    }
+
+    /// Conjunction of the given conditions.
+    pub fn and(conds: impl IntoIterator<Item = Condition>) -> Self {
+        Condition::And(conds.into_iter().collect())
+    }
+
+    /// Disjunction of the given conditions.
+    pub fn or(conds: impl IntoIterator<Item = Condition>) -> Self {
+        Condition::Or(conds.into_iter().collect())
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        Condition::Not(Box::new(self))
+    }
+
+    /// Evaluates the condition on a tuple over the full relation schema.
+    pub fn eval(&self, t: &Tuple) -> bool {
+        match self {
+            Condition::True => true,
+            Condition::False => false,
+            Condition::EqConst(a, v) => t.get(*a) == v,
+            Condition::EqAttr(a, b) => t.get(*a) == t.get(*b),
+            Condition::Not(c) => !c.eval(t),
+            Condition::And(cs) => cs.iter().all(|c| c.eval(t)),
+            Condition::Or(cs) => cs.iter().any(|c| c.eval(t)),
+        }
+    }
+
+    /// The attributes used by the condition — `att(σ(R@q))`, needed for the
+    /// relevant-attribute set `att(R, q) = att(R@q) ∪ att(σ(R@q))` of the
+    /// faithfulness definitions (Section 4).
+    pub fn attrs(&self) -> BTreeSet<AttrId> {
+        let mut out = BTreeSet::new();
+        self.collect_attrs(&mut out);
+        out
+    }
+
+    fn collect_attrs(&self, out: &mut BTreeSet<AttrId>) {
+        match self {
+            Condition::True | Condition::False => {}
+            Condition::EqConst(a, _) => {
+                out.insert(*a);
+            }
+            Condition::EqAttr(a, b) => {
+                out.insert(*a);
+                out.insert(*b);
+            }
+            Condition::Not(c) => c.collect_attrs(out),
+            Condition::And(cs) | Condition::Or(cs) => {
+                for c in cs {
+                    c.collect_attrs(out);
+                }
+            }
+        }
+    }
+
+    /// The constants mentioned by the condition (contributes to `const(P)`).
+    pub fn constants(&self) -> BTreeSet<Value> {
+        let mut out = BTreeSet::new();
+        self.collect_constants(&mut out);
+        out
+    }
+
+    fn collect_constants(&self, out: &mut BTreeSet<Value>) {
+        match self {
+            Condition::True | Condition::False | Condition::EqAttr(..) => {}
+            Condition::EqConst(_, v) => {
+                out.insert(v.clone());
+            }
+            Condition::Not(c) => c.collect_constants(out),
+            Condition::And(cs) | Condition::Or(cs) => {
+                for c in cs {
+                    c.collect_constants(out);
+                }
+            }
+        }
+    }
+
+    /// The elementary conditions (atoms) occurring in this condition, deduplicated.
+    pub fn atoms(&self) -> Vec<Atom> {
+        let mut out = Vec::new();
+        self.collect_atoms(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_atoms(&self, out: &mut Vec<Atom>) {
+        match self {
+            Condition::True | Condition::False => {}
+            Condition::EqConst(a, v) => out.push(Atom::EqConst(*a, v.clone())),
+            Condition::EqAttr(a, b) => {
+                let (a, b) = if a <= b { (*a, *b) } else { (*b, *a) };
+                out.push(Atom::EqAttr(a, b));
+            }
+            Condition::Not(c) => c.collect_atoms(out),
+            Condition::And(cs) | Condition::Or(cs) => {
+                for c in cs {
+                    c.collect_atoms(out);
+                }
+            }
+        }
+    }
+
+    /// Evaluates the condition under a truth assignment to its atoms
+    /// (used by the satisfiability solver).
+    pub(crate) fn eval_atoms(&self, truth: &dyn Fn(&Atom) -> bool) -> bool {
+        match self {
+            Condition::True => true,
+            Condition::False => false,
+            Condition::EqConst(a, v) => truth(&Atom::EqConst(*a, v.clone())),
+            Condition::EqAttr(a, b) => {
+                let (a, b) = if a <= b { (*a, *b) } else { (*b, *a) };
+                truth(&Atom::EqAttr(a, b))
+            }
+            Condition::Not(c) => !c.eval_atoms(truth),
+            Condition::And(cs) => cs.iter().all(|c| c.eval_atoms(truth)),
+            Condition::Or(cs) => cs.iter().any(|c| c.eval_atoms(truth)),
+        }
+    }
+
+    /// Renders against a relation schema (attribute names instead of ids).
+    pub fn display<'a>(&'a self, schema: &'a RelSchema) -> CondDisplay<'a> {
+        CondDisplay { cond: self, schema }
+    }
+}
+
+/// An elementary condition in canonical form (for `EqAttr`, the smaller
+/// attribute id first).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Atom {
+    /// `A = a`.
+    EqConst(AttrId, Value),
+    /// `A = B` with `A ≤ B`.
+    EqAttr(AttrId, AttrId),
+}
+
+/// Display adaptor for conditions.
+pub struct CondDisplay<'a> {
+    cond: &'a Condition,
+    schema: &'a RelSchema,
+}
+
+impl fmt::Display for CondDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(c: &Condition, s: &RelSchema, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match c {
+                Condition::True => write!(f, "true"),
+                Condition::False => write!(f, "false"),
+                Condition::EqConst(a, v) => write!(f, "{} = {}", s.attr_name(*a), v),
+                Condition::EqAttr(a, b) => {
+                    write!(f, "{} = {}", s.attr_name(*a), s.attr_name(*b))
+                }
+                Condition::Not(c) => {
+                    write!(f, "¬(")?;
+                    go(c, s, f)?;
+                    write!(f, ")")
+                }
+                Condition::And(cs) => {
+                    write!(f, "(")?;
+                    for (i, c) in cs.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, " ∧ ")?;
+                        }
+                        go(c, s, f)?;
+                    }
+                    write!(f, ")")
+                }
+                Condition::Or(cs) => {
+                    write!(f, "(")?;
+                    for (i, c) in cs.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, " ∨ ")?;
+                        }
+                        go(c, s, f)?;
+                    }
+                    write!(f, ")")
+                }
+            }
+        }
+        go(self.cond, self.schema, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttrId;
+
+    const A: AttrId = AttrId(1);
+    const B: AttrId = AttrId(2);
+
+    fn t(k: &str, a: Value, b: Value) -> Tuple {
+        Tuple::new([Value::str(k), a, b])
+    }
+
+    #[test]
+    fn elementary_eval() {
+        let row = t("k", Value::str("x"), Value::str("x"));
+        assert!(Condition::eq_const(A, "x").eval(&row));
+        assert!(!Condition::eq_const(A, "y").eval(&row));
+        assert!(Condition::EqAttr(A, B).eval(&row));
+        assert!(Condition::eq_const(A, Value::Null).eval(&t("k", Value::Null, Value::Null)));
+    }
+
+    #[test]
+    fn boolean_combinations() {
+        let row = t("k", Value::str("x"), Value::str("y"));
+        let c = Condition::and([
+            Condition::eq_const(A, "x"),
+            Condition::neq_const(B, "z"),
+        ]);
+        assert!(c.eval(&row));
+        let d = Condition::or([Condition::eq_const(A, "nope"), Condition::EqAttr(A, B)]);
+        assert!(!d.eval(&row));
+        assert!(d.clone().not().eval(&row));
+        assert!(Condition::and([]).eval(&row), "empty ∧ is true");
+        assert!(!Condition::or([]).eval(&row), "empty ∨ is false");
+    }
+
+    #[test]
+    fn attrs_and_constants_collection() {
+        let c = Condition::or([
+            Condition::eq_const(A, "x"),
+            Condition::EqAttr(A, B).not(),
+        ]);
+        assert_eq!(c.attrs().into_iter().collect::<Vec<_>>(), vec![A, B]);
+        assert_eq!(
+            c.constants().into_iter().collect::<Vec<_>>(),
+            vec![Value::str("x")]
+        );
+    }
+
+    #[test]
+    fn atoms_are_canonical_and_deduped() {
+        let c = Condition::and([
+            Condition::EqAttr(B, A), // stored as (A, B)
+            Condition::EqAttr(A, B),
+            Condition::eq_const(A, "x"),
+        ]);
+        let atoms = c.atoms();
+        assert_eq!(
+            atoms,
+            vec![Atom::EqConst(A, Value::str("x")), Atom::EqAttr(A, B)]
+        );
+    }
+
+    #[test]
+    fn display_uses_attribute_names() {
+        let r = RelSchema::new("R", ["K", "A", "B"]).unwrap();
+        let c = Condition::and([
+            Condition::eq_const(A, Value::Null),
+            Condition::EqAttr(A, B),
+        ]);
+        assert_eq!(c.display(&r).to_string(), "(A = ⊥ ∧ A = B)");
+    }
+}

@@ -1,0 +1,92 @@
+//! Error type for schema and instance construction.
+
+use std::fmt;
+
+use crate::schema::{AttrId, RelId};
+
+/// Errors raised while building schemas, views, or instances.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A name (relation, attribute, peer) was empty.
+    EmptyName,
+    /// A relation schema had no attributes (it needs at least the key).
+    NoAttributes {
+        /// The offending relation name.
+        relation: String,
+    },
+    /// Two attributes of a relation share a name.
+    DuplicateAttribute {
+        /// The relation containing the duplicate.
+        relation: String,
+        /// The repeated attribute name.
+        attribute: String,
+    },
+    /// Two relations share a name.
+    DuplicateRelation {
+        /// The repeated relation name.
+        relation: String,
+    },
+    /// Two peers share a name.
+    DuplicatePeer {
+        /// The repeated peer name.
+        peer: String,
+    },
+    /// A relation id does not belong to the schema.
+    UnknownRelation {
+        /// The out-of-range relation id.
+        id: RelId,
+    },
+    /// An attribute id exceeds the relation's arity.
+    UnknownAttribute {
+        /// The relation the attribute was resolved against.
+        rel: RelId,
+        /// The out-of-range attribute id.
+        attr: AttrId,
+    },
+    /// A tuple with `⊥` key was inserted into a valid relation.
+    NullKey,
+    /// The collaborative schema violates losslessness for the given
+    /// relation/attribute (Definition 2.1).
+    NotLossless {
+        /// The uncovered relation.
+        rel: RelId,
+        /// The uncovered attribute.
+        attr: AttrId,
+        /// The uncovered relation's name.
+        relation: String,
+        /// The uncovered attribute's name.
+        attribute: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::EmptyName => write!(f, "empty name"),
+            ModelError::NoAttributes { relation } => {
+                write!(f, "relation {relation} has no attributes")
+            }
+            ModelError::DuplicateAttribute { relation, attribute } => {
+                write!(f, "duplicate attribute {attribute} in relation {relation}")
+            }
+            ModelError::DuplicateRelation { relation } => {
+                write!(f, "duplicate relation {relation}")
+            }
+            ModelError::DuplicatePeer { peer } => write!(f, "duplicate peer {peer}"),
+            ModelError::UnknownRelation { id } => write!(f, "unknown relation {id:?}"),
+            ModelError::UnknownAttribute { rel, attr } => {
+                write!(f, "unknown attribute {attr:?} of relation {rel:?}")
+            }
+            ModelError::NullKey => write!(f, "tuple with ⊥ key in a valid relation"),
+            ModelError::NotLossless {
+                relation, attribute, ..
+            } => write!(
+                f,
+                "collaborative schema is not lossless: attribute {attribute} of \
+                 relation {relation} is not covered by the peer views"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}

@@ -1,0 +1,206 @@
+//! Semantics-preserving simplification of selection conditions.
+//!
+//! The solver in [`crate::solver`] is exponential in the number of distinct
+//! atoms, so shrinking conditions before analysis pays off — and synthesized
+//! or mechanically transformed specs accumulate trivial structure
+//! (`¬¬c`, `c ∧ true`, empty junctions, duplicate conjuncts…).
+//! [`simplify`] applies a fixpoint of local rewrites and a final
+//! solver-backed collapse of conditions equivalent to `true`/`false`.
+//! Equivalence with the input is property-tested.
+
+use crate::condition::Condition;
+use crate::solver;
+
+/// Simplifies a condition to an equivalent, usually smaller, one.
+pub fn simplify(c: &Condition) -> Condition {
+    let mut cur = local(c);
+    // Local rules are confluent enough that a couple of passes settle.
+    for _ in 0..4 {
+        let next = local(&cur);
+        if next == cur {
+            break;
+        }
+        cur = next;
+    }
+    // Solver-backed collapse (cheap on already-shrunk conditions).
+    if matches!(cur, Condition::True | Condition::False) {
+        return cur;
+    }
+    if !solver::satisfiable(&cur) {
+        return Condition::False;
+    }
+    if solver::tautology(&cur) {
+        return Condition::True;
+    }
+    cur
+}
+
+/// One pass of local rewrites.
+fn local(c: &Condition) -> Condition {
+    match c {
+        Condition::True => Condition::True,
+        Condition::False => Condition::False,
+        Condition::EqConst(a, v) => Condition::EqConst(*a, v.clone()),
+        Condition::EqAttr(a, b) if a == b => Condition::True,
+        Condition::EqAttr(a, b) => {
+            // Canonical orientation.
+            let (x, y) = if a <= b { (*a, *b) } else { (*b, *a) };
+            Condition::EqAttr(x, y)
+        }
+        Condition::Not(inner) => match local(inner) {
+            Condition::True => Condition::False,
+            Condition::False => Condition::True,
+            Condition::Not(inner2) => *inner2, // ¬¬c = c
+            other => Condition::Not(Box::new(other)),
+        },
+        Condition::And(cs) => {
+            let mut parts: Vec<Condition> = Vec::new();
+            for part in cs {
+                match local(part) {
+                    Condition::True => {}
+                    Condition::False => return Condition::False,
+                    // Flatten nested conjunctions.
+                    Condition::And(inner) => parts.extend(inner),
+                    other => {
+                        if !parts.contains(&other) {
+                            parts.push(other);
+                        }
+                    }
+                }
+            }
+            match parts.len() {
+                0 => Condition::True,
+                1 => parts.pop().expect("non-empty"),
+                _ => Condition::And(parts),
+            }
+        }
+        Condition::Or(cs) => {
+            let mut parts: Vec<Condition> = Vec::new();
+            for part in cs {
+                match local(part) {
+                    Condition::False => {}
+                    Condition::True => return Condition::True,
+                    Condition::Or(inner) => parts.extend(inner),
+                    other => {
+                        if !parts.contains(&other) {
+                            parts.push(other);
+                        }
+                    }
+                }
+            }
+            match parts.len() {
+                0 => Condition::False,
+                1 => parts.pop().expect("non-empty"),
+                _ => Condition::Or(parts),
+            }
+        }
+    }
+}
+
+/// Number of AST nodes (for measuring shrinkage).
+pub fn size(c: &Condition) -> usize {
+    match c {
+        Condition::True | Condition::False | Condition::EqConst(..) | Condition::EqAttr(..) => 1,
+        Condition::Not(inner) => 1 + size(inner),
+        Condition::And(cs) | Condition::Or(cs) => {
+            1 + cs.iter().map(size).sum::<usize>()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttrId;
+    use crate::value::Value;
+    use proptest::prelude::*;
+
+    const A: AttrId = AttrId(1);
+    const B: AttrId = AttrId(2);
+
+    fn eq(a: AttrId, v: &str) -> Condition {
+        Condition::eq_const(a, v)
+    }
+
+    #[test]
+    fn trivial_rewrites() {
+        assert_eq!(simplify(&Condition::EqAttr(A, A)), Condition::True);
+        assert_eq!(simplify(&Condition::EqAttr(B, A)), Condition::EqAttr(A, B));
+        assert_eq!(simplify(&Condition::True.not().not()), Condition::True);
+        assert_eq!(simplify(&Condition::and([])), Condition::True);
+        assert_eq!(simplify(&Condition::or([])), Condition::False);
+        assert_eq!(
+            simplify(&Condition::and([Condition::True, eq(A, "x"), Condition::True])),
+            eq(A, "x")
+        );
+        assert_eq!(
+            simplify(&Condition::or([Condition::False, eq(A, "x")])),
+            eq(A, "x")
+        );
+        assert_eq!(
+            simplify(&Condition::and([eq(A, "x"), Condition::False])),
+            Condition::False
+        );
+        assert_eq!(
+            simplify(&Condition::or([eq(A, "x"), Condition::True])),
+            Condition::True
+        );
+    }
+
+    #[test]
+    fn flattening_and_dedup() {
+        let nested = Condition::and([
+            eq(A, "x"),
+            Condition::and([eq(A, "x"), eq(B, "y")]),
+        ]);
+        let s = simplify(&nested);
+        assert_eq!(s, Condition::and([eq(A, "x"), eq(B, "y")]));
+        assert!(size(&s) < size(&nested));
+    }
+
+    #[test]
+    fn solver_backed_collapse() {
+        // A = x ∧ A = y is unsatisfiable.
+        let c = Condition::and([eq(A, "x"), eq(A, "y")]);
+        assert_eq!(simplify(&c), Condition::False);
+        // A = x ∨ A ≠ x is a tautology.
+        let t = Condition::or([eq(A, "x"), eq(A, "x").not()]);
+        assert_eq!(simplify(&t), Condition::True);
+    }
+
+    fn arb_cond() -> impl Strategy<Value = Condition> {
+        let leaf = prop_oneof![
+            Just(Condition::True),
+            Just(Condition::False),
+            Just(Condition::EqConst(A, Value::str("x"))),
+            Just(Condition::EqConst(A, Value::str("y"))),
+            Just(Condition::EqConst(B, Value::Null)),
+            Just(Condition::EqAttr(A, B)),
+        ];
+        leaf.prop_recursive(3, 24, 3, |inner| {
+            prop_oneof![
+                inner.clone().prop_map(|c| c.not()),
+                prop::collection::vec(inner.clone(), 0..3).prop_map(Condition::And),
+                prop::collection::vec(inner, 0..3).prop_map(Condition::Or),
+            ]
+        })
+    }
+
+    proptest! {
+        /// Simplification preserves semantics (checked by the complete
+        /// solver) and never grows the condition.
+        #[test]
+        fn equivalence_preserved(c in arb_cond()) {
+            let s = simplify(&c);
+            prop_assert!(crate::solver::equivalent(&c, &s), "{c:?} vs {s:?}");
+            prop_assert!(size(&s) <= size(&c));
+        }
+
+        /// Simplification is idempotent.
+        #[test]
+        fn idempotent(c in arb_cond()) {
+            let s = simplify(&c);
+            prop_assert_eq!(simplify(&s), s);
+        }
+    }
+}

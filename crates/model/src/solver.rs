@@ -1,0 +1,316 @@
+//! A complete decision procedure for the selection-condition fragment.
+//!
+//! Conditions are Boolean combinations of `A = a` and `A = B` over an
+//! **infinite** domain. Satisfiability of such a condition reduces to:
+//! enumerate truth assignments to its (finitely many) elementary conditions,
+//! keep those under which the Boolean structure evaluates to true, and check
+//! each surviving assignment for *theory consistency* — i.e. whether a tuple
+//! realizing exactly those (dis)equalities exists.
+//!
+//! Consistency of a set of literals over equality with constants is decided
+//! by union-find: merge attribute classes along positive `A = B` literals,
+//! label classes with constants along positive `A = a` literals (two distinct
+//! labels in one class ⇒ inconsistent), merge classes sharing a label, then
+//! check every negative literal against the resulting classes. Because the
+//! domain is infinite, any remaining disequalities can always be satisfied
+//! by picking fresh values — so this check is sound **and complete**.
+//!
+//! The procedure is exponential in the number of *distinct atoms* of the
+//! condition, which is small for real selection conditions. It powers the
+//! losslessness check (`⋁_p σ(R@p)` must be a tautology per visible
+//! attribute) and the (C4') check of Section 6.
+
+use std::collections::BTreeMap;
+
+use crate::condition::{Atom, Condition};
+use crate::schema::AttrId;
+use crate::value::Value;
+
+/// Is `cond` satisfiable by some tuple (over any attribute values)?
+pub fn satisfiable(cond: &Condition) -> bool {
+    let atoms = cond.atoms();
+    let n = atoms.len();
+    debug_assert!(n < 26, "condition with ≥26 distinct atoms; solver would blow up");
+    for mask in 0u64..(1u64 << n) {
+        let truth = |atom: &Atom| -> bool {
+            let idx = atoms.iter().position(|a| a == atom).expect("atom collected");
+            mask & (1 << idx) != 0
+        };
+        if !cond.eval_atoms(&truth) {
+            continue;
+        }
+        let literals: Vec<(Atom, bool)> = atoms
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a.clone(), mask & (1 << i) != 0))
+            .collect();
+        if consistent(&literals) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Is `cond` true of **every** tuple?
+///
+/// ```
+/// use cwf_model::{solver, AttrId, Condition, Value};
+/// let a = AttrId(1);
+/// // A = ⊥ ∨ A ≠ ⊥ covers every tuple…
+/// let covering = Condition::or([
+///     Condition::eq_const(a, Value::Null),
+///     Condition::neq_const(a, Value::Null),
+/// ]);
+/// assert!(solver::tautology(&covering));
+/// // …but A = ⊥ alone does not (Example 2.2's losslessness failure).
+/// assert!(!solver::tautology(&Condition::eq_const(a, Value::Null)));
+/// ```
+pub fn tautology(cond: &Condition) -> bool {
+    !satisfiable(&cond.clone().not())
+}
+
+/// Does `antecedent` imply `consequent` on every tuple?
+pub fn implies(antecedent: &Condition, consequent: &Condition) -> bool {
+    !satisfiable(&Condition::and([
+        antecedent.clone(),
+        consequent.clone().not(),
+    ]))
+}
+
+/// Are the two conditions true of exactly the same tuples?
+pub fn equivalent(a: &Condition, b: &Condition) -> bool {
+    implies(a, b) && implies(b, a)
+}
+
+/// Decides whether a conjunction of (possibly negated) elementary conditions
+/// is realizable by some tuple.
+fn consistent(literals: &[(Atom, bool)]) -> bool {
+    // Union-find over the attributes that occur.
+    let mut uf = UnionFind::default();
+    for (atom, _) in literals {
+        match atom {
+            Atom::EqConst(a, _) => uf.ensure(*a),
+            Atom::EqAttr(a, b) => {
+                uf.ensure(*a);
+                uf.ensure(*b);
+            }
+        }
+    }
+    // 1. Merge along positive A = B.
+    for (atom, pos) in literals {
+        if let (Atom::EqAttr(a, b), true) = (atom, pos) {
+            uf.union(*a, *b);
+        }
+    }
+    // 2. Label classes along positive A = a; conflicting labels are
+    //    inconsistent.
+    let mut labels: BTreeMap<AttrId, Value> = BTreeMap::new();
+    for (atom, pos) in literals {
+        if let (Atom::EqConst(a, v), true) = (atom, pos) {
+            let root = uf.find(*a);
+            match labels.get(&root) {
+                Some(existing) if existing != v => return false,
+                Some(_) => {}
+                None => {
+                    labels.insert(root, v.clone());
+                }
+            }
+        }
+    }
+    // 3. Classes sharing a label are semantically equal: merge them and
+    //    re-canonicalize the label map (fixpoint in one pass since labels are
+    //    unique per value afterwards).
+    let mut by_value: BTreeMap<Value, AttrId> = BTreeMap::new();
+    for (root, v) in labels.clone() {
+        if let Some(prev) = by_value.get(&v) {
+            uf.union(*prev, root);
+        } else {
+            by_value.insert(v, root);
+        }
+    }
+    let canon_label = |uf: &mut UnionFind, a: AttrId| -> Option<Value> {
+        let root = uf.find(a);
+        labels
+            .iter()
+            .find(|(r, _)| uf.find(**r) == root)
+            .map(|(_, v)| v.clone())
+    };
+    // 4. Check negative literals.
+    for (atom, pos) in literals {
+        if *pos {
+            continue;
+        }
+        match atom {
+            Atom::EqConst(a, v) => {
+                // A ≠ a fails iff A's class is labeled exactly a.
+                if canon_label(&mut uf, *a).as_ref() == Some(v) {
+                    return false;
+                }
+            }
+            Atom::EqAttr(a, b) => {
+                // A ≠ B fails iff the classes coincide (directly or via a
+                // shared constant label, already merged above).
+                if uf.find(*a) == uf.find(*b) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[derive(Default)]
+struct UnionFind {
+    parent: BTreeMap<AttrId, AttrId>,
+}
+
+impl UnionFind {
+    fn ensure(&mut self, a: AttrId) {
+        self.parent.entry(a).or_insert(a);
+    }
+
+    fn find(&mut self, a: AttrId) -> AttrId {
+        let p = *self.parent.get(&a).unwrap_or(&a);
+        if p == a {
+            return a;
+        }
+        let root = self.find(p);
+        self.parent.insert(a, root);
+        root
+    }
+
+    fn union(&mut self, a: AttrId, b: AttrId) {
+        self.ensure(a);
+        self.ensure(b);
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent.insert(ra, rb);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttrId;
+
+    const A: AttrId = AttrId(1);
+    const B: AttrId = AttrId(2);
+    const C: AttrId = AttrId(3);
+
+    fn eq(a: AttrId, v: &str) -> Condition {
+        Condition::eq_const(a, v)
+    }
+
+    #[test]
+    fn trivia() {
+        assert!(satisfiable(&Condition::True));
+        assert!(!satisfiable(&Condition::False));
+        assert!(tautology(&Condition::True));
+        assert!(!tautology(&Condition::False));
+    }
+
+    #[test]
+    fn single_equalities_are_satisfiable_not_tautological() {
+        assert!(satisfiable(&eq(A, "x")));
+        assert!(!tautology(&eq(A, "x")));
+        assert!(satisfiable(&Condition::EqAttr(A, B)));
+        assert!(!tautology(&Condition::EqAttr(A, B)));
+    }
+
+    #[test]
+    fn conflicting_constants_unsat() {
+        let c = Condition::and([eq(A, "x"), eq(A, "y")]);
+        assert!(!satisfiable(&c));
+    }
+
+    #[test]
+    fn transitive_equality_through_attrs() {
+        // A = B ∧ B = C ∧ A = x ∧ C = y is unsat.
+        let c = Condition::and([
+            Condition::EqAttr(A, B),
+            Condition::EqAttr(B, C),
+            eq(A, "x"),
+            eq(C, "y"),
+        ]);
+        assert!(!satisfiable(&c));
+        // ... but with the same constant it is fine.
+        let ok = Condition::and([
+            Condition::EqAttr(A, B),
+            Condition::EqAttr(B, C),
+            eq(A, "x"),
+            eq(C, "x"),
+        ]);
+        assert!(satisfiable(&ok));
+    }
+
+    #[test]
+    fn shared_constant_forces_attr_equality() {
+        // A = x ∧ B = x ∧ A ≠ B is unsat.
+        let c = Condition::and([
+            eq(A, "x"),
+            eq(B, "x"),
+            Condition::EqAttr(A, B).not(),
+        ]);
+        assert!(!satisfiable(&c));
+    }
+
+    #[test]
+    fn disequalities_satisfiable_over_infinite_domain() {
+        // A ≠ x ∧ A ≠ y ∧ A ≠ B is satisfiable: infinitely many values remain.
+        let c = Condition::and([
+            Condition::neq_const(A, "x"),
+            Condition::neq_const(A, "y"),
+            Condition::EqAttr(A, B).not(),
+        ]);
+        assert!(satisfiable(&c));
+    }
+
+    #[test]
+    fn excluded_middle_is_tautology() {
+        let c = Condition::or([eq(A, "x"), eq(A, "x").not()]);
+        assert!(tautology(&c));
+    }
+
+    #[test]
+    fn case_split_tautology() {
+        // (A = ⊥) ∨ (A ≠ ⊥) covers everything — the Example 2.2 shape.
+        let c = Condition::or([
+            Condition::eq_const(A, Value::Null),
+            Condition::neq_const(A, Value::Null),
+        ]);
+        assert!(tautology(&c));
+        // (A = ⊥) ∨ true is a tautology too.
+        let d = Condition::or([Condition::eq_const(A, Value::Null), Condition::True]);
+        assert!(tautology(&d));
+        // (A = ⊥) alone is not.
+        assert!(!tautology(&Condition::eq_const(A, Value::Null)));
+    }
+
+    #[test]
+    fn implication_and_equivalence() {
+        let strong = Condition::and([eq(A, "x"), eq(B, "y")]);
+        let weak = eq(A, "x");
+        assert!(implies(&strong, &weak));
+        assert!(!implies(&weak, &strong));
+        assert!(equivalent(&weak, &Condition::or([weak.clone(), Condition::False])));
+    }
+
+    #[test]
+    fn negated_attr_equality_with_chain() {
+        // A = B ∧ B = C ∧ A ≠ C is unsat (transitivity through union-find).
+        let c = Condition::and([
+            Condition::EqAttr(A, B),
+            Condition::EqAttr(B, C),
+            Condition::EqAttr(A, C).not(),
+        ]);
+        assert!(!satisfiable(&c));
+    }
+
+    #[test]
+    fn de_morgan_equivalence() {
+        let lhs = Condition::and([eq(A, "x"), eq(B, "y")]).not();
+        let rhs = Condition::or([eq(A, "x").not(), eq(B, "y").not()]);
+        assert!(equivalent(&lhs, &rhs));
+    }
+}

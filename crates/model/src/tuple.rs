@@ -1,0 +1,186 @@
+//! Tuples over relation schemas.
+//!
+//! A tuple over `R` is a mapping from `att(R)` to `dom`; we store it as a
+//! `Vec<Value>` aligned with the attribute sequence of the relation schema
+//! (position 0 = key `K`).
+
+use std::fmt;
+use std::ops::Index;
+
+use serde::{Deserialize, Serialize};
+
+use crate::schema::{AttrId, RelSchema, KEY};
+use crate::value::Value;
+
+/// A tuple aligned with a relation schema's attribute sequence.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Tuple(Vec<Value>);
+
+impl Tuple {
+    /// Builds a tuple from values in schema order.
+    pub fn new(values: impl IntoIterator<Item = Value>) -> Self {
+        Tuple(values.into_iter().collect())
+    }
+
+    /// An all-`⊥` tuple of the given arity.
+    pub fn nulls(arity: usize) -> Self {
+        Tuple(vec![Value::Null; arity])
+    }
+
+    /// Builds the padded tuple `u^⊥` of the paper: given values `J` over a
+    /// subset `att(J) ⊆ att(R)` (as attribute ids paired with values), pad all
+    /// remaining attributes of `R` with `⊥`.
+    pub fn padded(arity: usize, assignments: impl IntoIterator<Item = (AttrId, Value)>) -> Self {
+        let mut t = Self::nulls(arity);
+        for (a, v) in assignments {
+            t.0[a.index()] = v;
+        }
+        t
+    }
+
+    /// The key value `t(K)`.
+    pub fn key(&self) -> &Value {
+        &self.0[KEY.index()]
+    }
+
+    /// The value of attribute `a`.
+    pub fn get(&self, a: AttrId) -> &Value {
+        &self.0[a.index()]
+    }
+
+    /// Sets the value of attribute `a`.
+    pub fn set(&mut self, a: AttrId, v: Value) {
+        self.0[a.index()] = v;
+    }
+
+    /// The arity of the tuple.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Iterates over `(attribute, value)` pairs in schema order.
+    pub fn entries(&self) -> impl Iterator<Item = (AttrId, &Value)> {
+        self.0
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (AttrId(i as u32), v))
+    }
+
+    /// All values in schema order.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Projection onto a subset of attributes (in the given order).
+    pub fn project(&self, attrs: &[AttrId]) -> Tuple {
+        Tuple(attrs.iter().map(|a| self.0[a.index()].clone()).collect())
+    }
+
+    /// *Subsumption*: `u` is subsumed by `v` (written `u ⊑ v`) when they have
+    /// the same arity and `u(A) ∈ {v(A), ⊥}` for every attribute `A`. This is
+    /// condition (ii) of the insertion semantics in Section 2.
+    pub fn subsumed_by(&self, v: &Tuple) -> bool {
+        self.0.len() == v.0.len()
+            && self
+                .0
+                .iter()
+                .zip(&v.0)
+                .all(|(u, w)| u.is_null() || u == w)
+    }
+
+    /// Renders the tuple against its schema, e.g. `R(1, "a", ⊥)`.
+    pub fn display<'a>(&'a self, schema: &'a RelSchema) -> TupleDisplay<'a> {
+        TupleDisplay { tuple: self, schema }
+    }
+}
+
+impl Index<AttrId> for Tuple {
+    type Output = Value;
+    fn index(&self, a: AttrId) -> &Value {
+        self.get(a)
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        Tuple::new(iter)
+    }
+}
+
+/// Display adaptor pairing a tuple with its relation schema.
+pub struct TupleDisplay<'a> {
+    tuple: &'a Tuple,
+    schema: &'a RelSchema,
+}
+
+impl fmt::Display for TupleDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{:?}", self.schema.name(), self.tuple)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttrId;
+
+    fn v(s: &str) -> Value {
+        Value::str(s)
+    }
+
+    #[test]
+    fn padding_fills_missing_attributes_with_null() {
+        // u over {K, B} of R(K, A, B): u^⊥ = (k, ⊥, b)
+        let t = Tuple::padded(3, [(AttrId(0), v("k")), (AttrId(2), v("b"))]);
+        assert_eq!(t.values(), &[v("k"), Value::Null, v("b")]);
+        assert_eq!(t.key(), &v("k"));
+    }
+
+    #[test]
+    fn subsumption_matches_paper_definition() {
+        let full = Tuple::new([v("k"), v("a"), v("b")]);
+        let partial = Tuple::new([v("k"), Value::Null, v("b")]);
+        let other = Tuple::new([v("k"), v("x"), v("b")]);
+        assert!(partial.subsumed_by(&full));
+        assert!(full.subsumed_by(&full), "subsumption is reflexive");
+        assert!(!full.subsumed_by(&partial), "⊥ does not subsume a value");
+        assert!(!other.subsumed_by(&full));
+        // Different arities never subsume.
+        assert!(!Tuple::nulls(2).subsumed_by(&full));
+    }
+
+    #[test]
+    fn projection_keeps_requested_order() {
+        let t = Tuple::new([v("k"), v("a"), v("b")]);
+        let p = t.project(&[AttrId(2), AttrId(0)]);
+        assert_eq!(p.values(), &[v("b"), v("k")]);
+    }
+
+    #[test]
+    fn display_against_schema() {
+        let r = RelSchema::new("R", ["K", "A"]).unwrap();
+        let t = Tuple::new([Value::int(1), Value::Null]);
+        assert_eq!(t.display(&r).to_string(), "R(1, ⊥)");
+    }
+
+    #[test]
+    fn set_and_index() {
+        let mut t = Tuple::nulls(2);
+        t.set(AttrId(1), v("x"));
+        assert_eq!(t[AttrId(1)], v("x"));
+        assert_eq!(t.entries().count(), 2);
+    }
+}

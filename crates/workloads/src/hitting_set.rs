@@ -1,0 +1,239 @@
+//! The Hitting-Set reduction of Theorem 3.3.
+//!
+//! From an instance `(V, {c_1 … c_k}, M)` of Hitting Set, the proof builds a
+//! propositional workflow with peers `q` (sees everything) and `p` (sees
+//! only `OK`):
+//!
+//! ```text
+//! (a)  +V_i@q :-                    for each i
+//! (b)  +C_j@q :- V_i@q              for each v_i ∈ c_j
+//! (c)  +OK@q :- C_1@q, …, C_k@q
+//! ```
+//!
+//! The canonical run fires all (a)-rules, one (b)-rule per set, then (c);
+//! there is a scenario of length ≤ M + k + 1 at `p` iff a hitting set of
+//! size ≤ M exists. These instances drive experiment E1 (exponential exact
+//! minimum-scenario search vs polynomial greedy).
+
+use std::sync::Arc;
+
+use rand::prelude::*;
+
+use cwf_model::{CollabSchema, RelSchema, Schema, Value};
+use cwf_engine::{Bindings, Event, Run};
+use cwf_lang::{Program, RuleBuilder, Term, WorkflowSpec};
+
+/// A Hitting-Set instance: `n` elements and sets over `0..n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HittingSet {
+    /// Number of ground elements (`|V|`).
+    pub n: usize,
+    /// The sets `c_j ⊆ {0, …, n−1}` (each non-empty).
+    pub sets: Vec<Vec<usize>>,
+}
+
+impl HittingSet {
+    /// A random instance: `n` elements, `k` sets of size ≤ `max_set`.
+    pub fn random(n: usize, k: usize, max_set: usize, rng: &mut impl Rng) -> Self {
+        let sets = (0..k)
+            .map(|_| {
+                let size = rng.gen_range(1..=max_set.min(n));
+                let mut s: Vec<usize> = (0..n).collect();
+                s.shuffle(rng);
+                s.truncate(size);
+                s.sort_unstable();
+                s
+            })
+            .collect();
+        HittingSet { n, sets }
+    }
+
+    /// Exact minimum hitting-set size (exponential; for cross-checking the
+    /// scenario search on small instances).
+    pub fn min_hitting_set(&self) -> usize {
+        let n = self.n;
+        (0u32..(1 << n))
+            .filter(|mask| {
+                self.sets.iter().all(|c| c.iter().any(|i| mask & (1 << i) != 0))
+            })
+            .map(|mask| mask.count_ones() as usize)
+            .min()
+            .unwrap_or(0)
+    }
+}
+
+/// The generated workload: spec, the two peers, and the rule ids.
+#[derive(Debug, Clone)]
+pub struct HittingSetWorkload {
+    /// The workflow spec of the reduction.
+    pub spec: Arc<WorkflowSpec>,
+    /// The all-seeing peer `q`.
+    pub q: cwf_model::PeerId,
+    /// The observer `p` (sees only `OK`).
+    pub p: cwf_model::PeerId,
+    /// The instance it was generated from.
+    pub instance: HittingSet,
+}
+
+/// Builds the Theorem 3.3 workflow for a Hitting-Set instance.
+pub fn hitting_set_workload(instance: HittingSet) -> HittingSetWorkload {
+    let mut schema = Schema::new();
+    let v_rels: Vec<_> = (0..instance.n)
+        .map(|i| schema.add_relation(RelSchema::proposition(format!("V{i}"))).unwrap())
+        .collect();
+    let c_rels: Vec<_> = (0..instance.sets.len())
+        .map(|j| schema.add_relation(RelSchema::proposition(format!("C{j}"))).unwrap())
+        .collect();
+    let ok = schema.add_relation(RelSchema::proposition("OK")).unwrap();
+    let mut collab = CollabSchema::new(schema);
+    let q = collab.add_peer("q").unwrap();
+    let p = collab.add_peer("p").unwrap();
+    for &r in v_rels.iter().chain(&c_rels).chain([&ok]) {
+        collab.set_full_view(q, r).unwrap();
+    }
+    collab.set_full_view(p, ok).unwrap();
+    let mut program = Program::new();
+    let zero = || Term::Const(Value::int(0));
+    // (a)-rules.
+    for (i, &vr) in v_rels.iter().enumerate() {
+        program.add_rule(RuleBuilder::new(q, format!("a{i}")).insert(vr, [zero()]).build());
+    }
+    // (b)-rules.
+    for (j, set) in instance.sets.iter().enumerate() {
+        for &i in set {
+            program.add_rule(
+                RuleBuilder::new(q, format!("b{j}_{i}"))
+                    .pos(v_rels[i], [zero()])
+                    .insert(c_rels[j], [zero()])
+                    .build(),
+            );
+        }
+    }
+    // (c)-rule.
+    let mut c_rule = RuleBuilder::new(q, "ok");
+    for &cr in &c_rels {
+        c_rule = c_rule.pos(cr, [zero()]);
+    }
+    program.add_rule(c_rule.insert(ok, [zero()]).build());
+    let spec = Arc::new(WorkflowSpec::new(collab, program).expect("reduction is well-formed"));
+    HittingSetWorkload { spec, q, p, instance }
+}
+
+impl HittingSetWorkload {
+    fn ground(&self, name: &str) -> Event {
+        let rid = self.spec.program().rule_by_name(name).expect("rule exists");
+        Event::new(&self.spec, rid, Bindings::empty(0)).expect("ground rule")
+    }
+
+    /// The proof's canonical run: all (a)-rules, then one (b)-rule per set
+    /// (using the set's first element), then (c). Corresponds to the trivial
+    /// hitting set `W = V`.
+    pub fn canonical_run(&self) -> Run {
+        let mut run = Run::new(Arc::clone(&self.spec));
+        for i in 0..self.instance.n {
+            run.push(self.ground(&format!("a{i}"))).expect("a-rules fire on ∅");
+        }
+        for (j, set) in self.instance.sets.iter().enumerate() {
+            let i = set[0];
+            run.push(self.ground(&format!("b{j}_{i}"))).expect("b after a");
+        }
+        run.push(self.ground("ok")).expect("all C_j derived");
+        run
+    }
+
+    /// A run firing *every* (b)-rule (longer, more redundancy to prune).
+    pub fn saturated_run(&self) -> Run {
+        let mut run = Run::new(Arc::clone(&self.spec));
+        for i in 0..self.instance.n {
+            run.push(self.ground(&format!("a{i}"))).expect("a-rules fire on ∅");
+        }
+        for (j, set) in self.instance.sets.iter().enumerate() {
+            for &i in set {
+                run.push(self.ground(&format!("b{j}_{i}"))).expect("b after a");
+            }
+        }
+        run.push(self.ground("ok")).expect("all C_j derived");
+        run
+    }
+
+    /// The scenario length corresponding to a hitting set of size `m`
+    /// (`m + k + 1`, from the proof).
+    pub fn scenario_len_for(&self, m: usize) -> usize {
+        m + self.instance.sets.len() + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwf_core::{exists_scenario_at_most, one_minimal_scenario, search_min_scenario, SearchOptions};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small() -> HittingSet {
+        // V = {0,1,2}, c1 = {0,1}, c2 = {1,2}: minimum hitting set {1}.
+        HittingSet { n: 3, sets: vec![vec![0, 1], vec![1, 2]] }
+    }
+
+    #[test]
+    fn min_hitting_set_is_correct() {
+        assert_eq!(small().min_hitting_set(), 1);
+        let disjoint = HittingSet { n: 4, sets: vec![vec![0], vec![1], vec![2]] };
+        assert_eq!(disjoint.min_hitting_set(), 3);
+    }
+
+    #[test]
+    fn canonical_run_reaches_ok() {
+        let w = hitting_set_workload(small());
+        let run = w.canonical_run();
+        assert_eq!(run.len(), 3 + 2 + 1);
+        let ok = w.spec.collab().schema().rel("OK").unwrap();
+        assert!(run.current().rel(ok).contains_key(&Value::int(0)));
+        // p sees exactly one transition.
+        assert_eq!(run.view(w.p).len(), 1);
+    }
+
+    #[test]
+    fn theorem_3_3_correspondence() {
+        // The minimum scenario length equals min-hitting-set + k + 1 on the
+        // saturated run (which contains a (b)-rule for every element).
+        let w = hitting_set_workload(small());
+        let run = w.saturated_run();
+        let expected = w.scenario_len_for(w.instance.min_hitting_set());
+        let found = search_min_scenario(&run, w.p, &SearchOptions::default())
+            .found()
+            .expect("scenario exists");
+        assert_eq!(found.len(), expected);
+        assert_eq!(
+            exists_scenario_at_most(&run, w.p, expected - 1, 1_000_000),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn greedy_gives_a_scenario_at_least_as_long() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let hs = HittingSet::random(4, 3, 2, &mut rng);
+        let w = hitting_set_workload(hs);
+        let run = w.saturated_run();
+        let greedy = one_minimal_scenario(&run, w.p);
+        let exact = search_min_scenario(&run, w.p, &SearchOptions::default())
+            .found()
+            .unwrap();
+        assert!(greedy.len() >= exact.len());
+        assert!(cwf_core::is_scenario(&run, w.p, &greedy));
+    }
+
+    #[test]
+    fn random_instances_are_well_formed() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            let hs = HittingSet::random(5, 4, 3, &mut rng);
+            assert_eq!(hs.sets.len(), 4);
+            assert!(hs.sets.iter().all(|s| !s.is_empty() && s.iter().all(|&i| i < 5)));
+            let w = hitting_set_workload(hs);
+            w.spec.validate().unwrap();
+            let _ = w.canonical_run();
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # cwf-workloads — workload and reduction generators
+//!
+//! Everything the tests, examples, and benches run on:
+//!
+//! * the **Hitting-Set** reduction of Theorem 3.3 and the **UNSAT**
+//!   reduction of Theorem 3.4 (hardness-shape workloads E1/E2);
+//! * the paper's running examples (4.2, 5.1, 5.7, the staged variant, and
+//!   Section 2's HR rule);
+//! * two larger realistic workflows — **procurement** and **conference
+//!   review** — used for scaling experiments E3/E4;
+//! * the **transitive-closure** program of Proposition 5.3 (the negative
+//!   control: no view program exists);
+//! * **random propositional workflows** for fuzzing and property tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod examples;
+pub mod hitting_set;
+pub mod procurement;
+pub mod random;
+pub mod review;
+pub mod transitive;
+pub mod triage;
+pub mod unsat;
+
+pub use examples::{
+    applicant_example, applicant_run, hiring_example, hiring_no_cfo, hiring_staged,
+    hr_replace_example,
+};
+pub use hitting_set::{hitting_set_workload, HittingSet, HittingSetWorkload};
+pub use procurement::{build_procurement_run, procurement_spec, ProcurementRun};
+pub use random::{random_propositional_spec, random_run, RandomSpecParams, RandomWorkload};
+pub use review::{build_review_run, review_spec, ReviewRun};
+pub use transitive::{transitive_run, transitive_spec};
+pub use triage::{build_triage_run, triage_spec, TriageRun};
+pub use unsat::{unsat_workload, Cnf, UnsatWorkload};

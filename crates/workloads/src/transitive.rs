@@ -1,0 +1,193 @@
+//! The transitive-closure program of Proposition 5.3.
+//!
+//! Peer `q` sees binary `R`, `S`, `T`; peer `p` sees only `R` and `T`. `p`
+//! builds arbitrary `R`-paths; `q` saturates `S` with the transitive
+//! closure of `R` and, once `S(0, 1)` is derivable, transfers it to `T`.
+//! **No view program exists for `p`**: the visible insertion of `T(0, 1)`
+//! is conditioned by an `R`-path of unbounded length — no rule with a
+//! bounded body can express it. Accordingly the program is not h-bounded
+//! for any `h`; the boundedness decider refutes each candidate `h`, and
+//! synthesis at any fixed `h` is knowingly incomplete (experiment E12's
+//! negative control).
+//!
+//! Binary relations are modeled with an explicit edge key:
+//! `R(K, Src, Dst)`. Because head-only variables must take globally fresh
+//! values, `p` grows paths with chaining rules (`edge0`/`extend`/`close`)
+//! instead of one arbitrary-edge rule.
+
+use std::sync::Arc;
+
+use cwf_model::Value;
+use cwf_engine::{Bindings, Event, Run};
+use cwf_lang::{parse_workflow, VarId, WorkflowSpec};
+
+/// The Proposition 5.3 workflow.
+pub fn transitive_spec() -> Arc<WorkflowSpec> {
+    Arc::new(
+        parse_workflow(
+            r#"
+            schema {
+                R(K, Src, Dst);
+                S(K, Src, Dst);
+                T(K, Src, Dst);
+            }
+            peers {
+                p sees R(*), T(*);
+                q sees R(*), S(*), T(*);
+            }
+            rules {
+                edge01 @ p: +R(e, 0, 1) :- ;
+                edge0  @ p: +R(e, 0, y) :- ;
+                extend @ p: +R(e, y, z) :- R(k, x, y);
+                close  @ p: +R(e, y, 1) :- R(k, x, y);
+                base @ q: +S(e, x, y) :- R(k, x, y);
+                step @ q: +S(e, x, z) :- S(k1, x, y), S(k2, y, z);
+                emit @ q: +T(e, 0, 1) :- S(k, 0, 1);
+            }
+            "#,
+        )
+        .expect("proposition 5.3 program parses"),
+    )
+}
+
+/// Builds a run where `p` lays an `R`-path `0 → … → 1` of `path_len ≥ 1`
+/// edges and `q` derives `T(0, 1)` through the closure.
+pub fn transitive_run(path_len: usize) -> Run {
+    assert!(path_len >= 1);
+    let spec = transitive_spec();
+    let mut run = Run::new(Arc::clone(&spec));
+    let fire = |run: &mut Run, name: &str, vals: &[Value]| {
+        let rid = run.spec().program().rule_by_name(name).unwrap();
+        let rule = run.spec().program().rule(rid);
+        debug_assert_eq!(rule.vars.len(), vals.len(), "rule {name}");
+        let mut b = Bindings::empty(vals.len());
+        for (i, v) in vals.iter().enumerate() {
+            b.set(VarId(i as u32), v.clone());
+        }
+        let e = Event::new(run.spec(), rid, b).unwrap();
+        run.push(e).unwrap_or_else(|err| panic!("firing {name}: {err}"));
+    };
+    // Nodes 0, f_1, …, f_{path_len−1}, 1; edge keys as we go.
+    let mut nodes = vec![Value::int(0)];
+    let mut edge_keys = Vec::new();
+    if path_len == 1 {
+        let e = run.draw_fresh();
+        edge_keys.push(e.clone());
+        fire(&mut run, "edge01", &[e]);
+        nodes.push(Value::int(1));
+    } else {
+        // 0 → f1.
+        let e = run.draw_fresh();
+        let f1 = run.draw_fresh();
+        edge_keys.push(e.clone());
+        nodes.push(f1.clone());
+        fire(&mut run, "edge0", &[e, f1]);
+        // f_i → f_{i+1}.
+        for _ in 2..path_len {
+            let e = run.draw_fresh();
+            let next = run.draw_fresh();
+            let prev_key = edge_keys.last().expect("at least one edge").clone();
+            let prev_src = nodes[nodes.len() - 2].clone();
+            let cur = nodes.last().expect("nodes non-empty").clone();
+            // extend: +R(e, y, z) :- R(k, x, y) — vars e, y, z, k, x.
+            fire(&mut run, "extend", &[e.clone(), cur, next.clone(), prev_key, prev_src]);
+            edge_keys.push(e);
+            nodes.push(next);
+        }
+        // f_last → 1.
+        let e = run.draw_fresh();
+        let prev_key = edge_keys.last().expect("edge exists").clone();
+        let prev_src = nodes[nodes.len() - 2].clone();
+        let cur = nodes.last().expect("nodes non-empty").clone();
+        // close: +R(e, y, 1) :- R(k, x, y) — vars e, y, k, x.
+        fire(&mut run, "close", &[e.clone(), cur, prev_key, prev_src]);
+        edge_keys.push(e);
+        nodes.push(Value::int(1));
+    }
+    // q copies the edges into S.
+    let mut s_keys: Vec<Value> = Vec::new();
+    for (i, w) in nodes.windows(2).enumerate() {
+        let e = run.draw_fresh();
+        // base: +S(e, x, y) :- R(k, x, y) — vars e, x, y, k.
+        fire(&mut run, "base", &[e.clone(), w[0].clone(), w[1].clone(), edge_keys[i].clone()]);
+        s_keys.push(e);
+    }
+    // Fold the path left to right.
+    let mut acc_key = s_keys[0].clone();
+    let acc_src = Value::int(0);
+    for (i, k2) in s_keys.iter().enumerate().skip(1) {
+        let e = run.draw_fresh();
+        let mid = nodes[i].clone();
+        let dst = nodes[i + 1].clone();
+        // step: +S(e, x, z) :- S(k1, x, y), S(k2, y, z) — vars e,x,z,k1,y,k2.
+        fire(
+            &mut run,
+            "step",
+            &[e.clone(), acc_src.clone(), dst, acc_key.clone(), mid, k2.clone()],
+        );
+        acc_key = e;
+    }
+    // emit: +T(e, 0, 1) :- S(k, 0, 1) — vars e, k.
+    let e = run.draw_fresh();
+    fire(&mut run, "emit", &[e, acc_key]);
+    run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwf_analysis::{check_h_bounded, Limits};
+
+    #[test]
+    fn closure_reaches_t() {
+        for len in [1usize, 3, 5] {
+            let run = transitive_run(len);
+            let t = run.spec().collab().schema().rel("T").unwrap();
+            assert_eq!(run.current().rel(t).len(), 1, "path length {len}");
+            let p = run.spec().collab().peer("p").unwrap();
+            // p sees its own edge insertions and the final T insert.
+            assert_eq!(run.visible_events(p).len(), len + 1);
+        }
+    }
+
+    #[test]
+    fn silent_relevant_chain_grows_with_path_length() {
+        // The minimum p-faithful subrun of the final stage contains the
+        // whole base/step/emit pyramid: 2·len events for a length-len path.
+        for len in [1usize, 2, 4] {
+            let run = transitive_run(len);
+            let p = run.spec().collab().peer("p").unwrap();
+            let expl = cwf_core::minimal_faithful_scenario(&run, p);
+            // edges (len) + bases (len) + steps (len−1) + emit.
+            assert_eq!(expl.events.len(), 3 * len, "len {len}");
+        }
+    }
+
+    #[test]
+    fn not_1_bounded() {
+        // base;emit refutes h = 1.
+        let spec = transitive_spec();
+        let p = spec.collab().peer("p").unwrap();
+        let limits = Limits {
+            max_nodes: 2_000_000,
+            max_tuples_per_rel: 1,
+            extra_constants: Some(1),
+        };
+        let d = check_h_bounded(&spec, p, 1, &limits);
+        assert!(d.counter_example().is_some(), "expected a counterexample");
+    }
+
+    /// The h = 2 refutation: base;step;emit over a seeded S tuple.
+    #[test]
+    fn not_2_bounded() {
+        let spec = transitive_spec();
+        let p = spec.collab().peer("p").unwrap();
+        let limits = Limits {
+            max_nodes: 60_000_000,
+            max_tuples_per_rel: 1,
+            extra_constants: Some(1),
+        };
+        let d = check_h_bounded(&spec, p, 2, &limits);
+        assert!(d.counter_example().is_some(), "expected a counterexample");
+    }
+}

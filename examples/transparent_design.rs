@@ -1,0 +1,105 @@
+//! Section 6: designing for transparency, and enforcing it at run time.
+//!
+//! ```sh
+//! cargo run --example transparent_design
+//! ```
+
+use collab_workflows::design::{
+    acyclicity_bound, add_stage_discipline, check_guidelines, check_tf, in_t_runs,
+    is_p_acyclic, p_fresh_candidates, Classification, PushOutcome, TransparentEngine,
+};
+use collab_workflows::prelude::*;
+use collab_workflows::workloads::{hiring_no_cfo, hiring_staged};
+use std::sync::Arc;
+
+fn main() {
+    // --- The staged program satisfies the design guidelines ---------------
+    let staged = hiring_staged();
+    let sue = staged.collab().peer("sue").unwrap();
+    println!("=== staged hiring (the transparent redesign of Example 5.7) ===");
+    println!("{}", print_workflow(&staged));
+    let schema = staged.collab().schema();
+    let approved = schema.rel("Approved").unwrap();
+    let class = Classification {
+        transparent: schema.rel_ids().collect(),
+        stage: schema.rel("Stage").unwrap(),
+        stage_id_attr: [(approved, schema.relation(approved).attr("S").unwrap())]
+            .into_iter()
+            .collect(),
+    };
+    let violations = check_guidelines(&staged, sue, &class);
+    println!("guideline (C1)–(C4) violations: {}", violations.len());
+    let nf = collab_workflows::lang::normalize(&staged);
+    let tf = check_tf(&nf.spec, sue, Some(class.stage));
+    println!("transparency-form violations: {}", tf.len());
+
+    // --- Boundedness by acyclicity (Theorem 6.3) --------------------------
+    println!(
+        "\np-acyclic for sue: {} — Theorem 6.3 bound h = (ab+1)^d = {}",
+        is_p_acyclic(&staged, sue),
+        acyclicity_bound(&staged)
+    );
+
+    // --- The mechanical transform reproduces the design ---------------------
+    // `add_stage_discipline` rewrites the raw program automatically: Stage
+    // relation, guards, stage deletions, re-keyed invisible state.
+    let raw = parse_workflow(
+        r#"
+        schema { Cleared(K); Approved(K); Hire(K); }
+        peers {
+            hr sees Cleared(*), Approved(*), Hire(*);
+            ceo sees Cleared(*), Approved(*), Hire(*);
+            sue sees Cleared(*), Hire(*);
+        }
+        rules {
+            clear @ hr: +Cleared(x) :- ;
+            approve @ ceo: +Approved(x) :- Cleared(x);
+            hire @ hr: +Hire(x) :- Approved(x);
+        }
+        "#,
+    )
+    .unwrap();
+    let sue_raw = raw.collab().peer("sue").unwrap();
+    let mech = add_stage_discipline(&raw, sue_raw).expect("transformable");
+    println!("
+=== mechanically staged (add_stage_discipline) ===");
+    println!("{}", print_workflow(&mech.spec));
+    println!(
+        "guideline violations after the transform: {}",
+        check_guidelines(&mech.spec, sue_raw, &mech.classification).len()
+    );
+
+    // --- Enforcement: the instrumented engine (Theorem 6.7) ---------------
+    // On the NON-transparent program, the engine blocks hiring decisions
+    // that rely on approvals from a previous stage.
+    let plain = hiring_no_cfo();
+    let sue2 = plain.collab().peer("sue").unwrap();
+    println!("\n=== enforcement on the non-transparent program ===");
+    let mut eng = TransparentEngine::new(Arc::clone(&plain), sue2, 3);
+    let fire = |eng: &mut TransparentEngine, name: &str, vals: &[Value]| -> PushOutcome {
+        let rid = plain.program().rule_by_name(name).unwrap();
+        let mut b = Bindings::empty(vals.len());
+        for (i, v) in vals.iter().enumerate() {
+            b.set(VarId(i as u32), v.clone());
+        }
+        eng.push(Event::new(&plain, rid, b).unwrap()).unwrap()
+    };
+    let alice = Value::Fresh(100);
+    let bobby = Value::Fresh(200);
+    println!("clear(alice)   → {:?}", fire(&mut eng, "clear", std::slice::from_ref(&alice)));
+    println!("approve(alice) → {:?}", fire(&mut eng, "approve", std::slice::from_ref(&alice)));
+    println!("clear(bobby)   → {:?}", fire(&mut eng, "clear", std::slice::from_ref(&bobby)));
+    println!(
+        "hire(alice)    → {:?}   (stale approval: blocked!)",
+        fire(&mut eng, "hire", std::slice::from_ref(&alice))
+    );
+    println!("stats: {:?}", eng.stats());
+
+    // The accepted run is transparent and h-bounded per Definition 6.4.
+    let run = eng.into_run();
+    let candidates = p_fresh_candidates(&run, sue2);
+    println!(
+        "accepted run ∈ tRuns_{{sue,3}}: {}",
+        in_t_runs(&run, sue2, 3, &candidates)
+    );
+}

@@ -1,0 +1,79 @@
+//! # collab-workflows
+//!
+//! A Rust implementation of *Explanations and Transparency in Collaborative
+//! Workflows* (Serge Abiteboul, Pierre Bourhis, Victor Vianu; PODS 2018).
+//!
+//! Peers collaborate over a shared keyed database through
+//! selection-projection views, updating it with datalog-style rules. This
+//! crate bundles:
+//!
+//! * [`model`] — schemas, instances, the key chase, views (Section 2);
+//! * [`lang`] — the rule language, validation, normal form, parser;
+//! * [`engine`] — events, transitions, runs, run views, simulation;
+//! * [`core`] — scenarios and the unique minimal faithful scenario
+//!   (Sections 3–4): the *explanation* machinery;
+//! * [`analysis`] — h-boundedness, transparency, view-program synthesis
+//!   with provenance (Section 5);
+//! * [`design`] — design guidelines, p-acyclicity, TF programs, and the
+//!   transparency-enforcement engine (Section 6);
+//! * [`workloads`] — the paper's examples, the hardness reductions, and
+//!   larger realistic workflows.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use collab_workflows::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let spec = Arc::new(parse_workflow(r#"
+//!     schema { Task(K); Done(K); }
+//!     peers { alice sees Task(*), Done(*); bob sees Task(*), Done(*); }
+//!     rules {
+//!         create @ alice: +Task(t) :- ;
+//!         finish @ bob: +Done(d) :- Task(t);
+//!     }
+//! "#).unwrap());
+//! let mut run = Run::new(Arc::clone(&spec));
+//! let t = run.draw_fresh();
+//! let create = spec.program().rule_by_name("create").unwrap();
+//! let mut b = Bindings::empty(1);
+//! b.set(VarId(0), t);
+//! run.push(Event::new(&spec, create, b).unwrap()).unwrap();
+//! let alice = spec.collab().peer("alice").unwrap();
+//! let explanation = explain(&run, alice);
+//! assert_eq!(explanation.events.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use cwf_analysis as analysis;
+pub use cwf_core as core;
+pub use cwf_design as design;
+pub use cwf_engine as engine;
+pub use cwf_lang as lang;
+pub use cwf_model as model;
+pub use cwf_workloads as workloads;
+
+/// One-stop imports for typical use.
+pub mod prelude {
+    pub use cwf_analysis::{
+        check_h_bounded, check_transparent, find_bound, mirror_run, synthesize_view_program,
+        Decision, Limits,
+    };
+    pub use cwf_core::{
+        explain, is_scenario, minimal_faithful_scenario, one_minimal_scenario, why, EventSet,
+        Explanation, IncrementalExplainer, RunIndex,
+    };
+    pub use cwf_design::{
+        add_stage_discipline, check_guidelines, check_tf, is_p_acyclic, EnforcementMode,
+        PushOutcome, TransparentEngine,
+    };
+    pub use cwf_engine::{encode_run, load_run, Bindings, Event, Run, RunStats, Simulator};
+    pub use cwf_lang::{
+        lint, parse_workflow, print_workflow, Program, RuleBuilder, VarId, WorkflowSpec,
+    };
+    pub use cwf_model::{
+        CollabSchema, Condition, Instance, PeerId, RelId, RelSchema, Schema, Tuple, Value,
+        ViewRel,
+    };
+}
