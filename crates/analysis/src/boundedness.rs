@@ -10,14 +10,13 @@
 use std::fmt;
 use std::sync::Arc;
 
-use cwf_model::{Instance, PeerId};
+use cwf_core::{tp_closure, EventSet, RunIndex};
 use cwf_engine::{Event, Run};
 use cwf_lang::WorkflowSpec;
-use cwf_core::{tp_closure, EventSet, RunIndex};
+use cwf_model::{Instance, PeerId};
 
 use crate::space::{
-    applicable_events_for_run, completion_pool, constant_pool, Budget, InstanceEnumerator,
-    Limits,
+    applicable_events_for_run, completion_pool, constant_pool, Budget, InstanceEnumerator, Limits,
 };
 
 /// The outcome of a bounded decision procedure.
@@ -84,7 +83,10 @@ pub fn check_h_bounded(
         let base = Run::with_initial(Arc::clone(spec), init.clone());
         match dfs_silent_chain(&base, peer, &chain_pool, h + 1, &mut budget) {
             ChainOutcome::Found(events) => {
-                return Decision::CounterExample(BoundednessWitness { initial: init, events })
+                return Decision::CounterExample(BoundednessWitness {
+                    initial: init,
+                    events,
+                })
             }
             ChainOutcome::Budget => return Decision::Budget,
             ChainOutcome::None => {}
@@ -257,7 +259,10 @@ mod tests {
     fn budget_is_reported() {
         let spec = chain_spec();
         let p = spec.collab().peer("p").unwrap();
-        let tiny = Limits { max_nodes: 2, ..limits() };
+        let tiny = Limits {
+            max_nodes: 2,
+            ..limits()
+        };
         assert!(matches!(
             check_h_bounded(&spec, p, 3, &tiny),
             Decision::Budget

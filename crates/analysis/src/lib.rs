@@ -19,7 +19,9 @@ pub mod tree;
 pub mod view_program;
 
 pub use boundedness::{check_h_bounded, find_bound, BoundednessWitness, Decision};
-pub use space::{constant_pool, event_templates, fresh_instances, Budget, InstanceEnumerator, Limits};
+pub use space::{
+    constant_pool, event_templates, fresh_instances, Budget, InstanceEnumerator, Limits,
+};
 pub use stage::{minimum_faithful_of_stage, stages, Stage};
 pub use synthesis::{
     synthesize_view_program, view_as_instance, OmegaMeta, Synthesis, SynthesisError,

@@ -21,9 +21,9 @@
 
 use std::collections::BTreeSet;
 
-use cwf_model::{Instance, PeerId, Tuple, Value};
 use cwf_engine::{apply_event, event_visible, Bindings, Event};
 use cwf_lang::{VarId, WorkflowSpec};
+use cwf_model::{Instance, PeerId, Tuple, Value};
 
 /// Budgets and caps for the bounded searches.
 #[derive(Debug, Clone)]
@@ -124,11 +124,7 @@ pub fn completion_pool(spec: &WorkflowSpec, m: usize, pool: &[Value]) -> Vec<Val
 
 /// All rule instantiations (events) with variable values drawn from `pool`.
 /// Returns `None` if their number would exceed `cap`.
-pub fn event_templates(
-    spec: &WorkflowSpec,
-    pool: &[Value],
-    cap: usize,
-) -> Option<Vec<Event>> {
+pub fn event_templates(spec: &WorkflowSpec, pool: &[Value], cap: usize) -> Option<Vec<Event>> {
     let mut out = Vec::new();
     for rid in spec.program().rule_ids() {
         let rule = spec.program().rule(rid);
@@ -283,7 +279,11 @@ impl InstanceEnumerator {
                         break 'outer;
                     }
                     idx[d] += 1;
-                    let radix = if d == 0 { pool.len() } else { attr_domain.len() };
+                    let radix = if d == 0 {
+                        pool.len()
+                    } else {
+                        attr_domain.len()
+                    };
                     if idx[d] < radix {
                         break;
                     }
@@ -459,14 +459,19 @@ mod tests {
         let spec = prop_spec();
         let pool = constant_pool(&spec, 2, &Limits::default());
         assert!(pool.contains(&Value::int(0)));
-        assert!(pool.iter().any(|v| matches!(v, Value::Str(s) if s.starts_with("$c"))));
+        assert!(pool
+            .iter()
+            .any(|v| matches!(v, Value::Str(s) if s.starts_with("$c"))));
         assert!(!pool.contains(&Value::Null));
     }
 
     #[test]
     fn pool_size_override() {
         let spec = prop_spec();
-        let limits = Limits { extra_constants: Some(3), ..Default::default() };
+        let limits = Limits {
+            extra_constants: Some(3),
+            ..Default::default()
+        };
         let pool = constant_pool(&spec, 2, &limits);
         assert_eq!(pool.len(), 1 + 3, "const 0 plus three fresh");
     }
@@ -500,7 +505,10 @@ mod tests {
     fn instance_enumeration_counts() {
         let spec = prop_spec();
         let pool = vec![Value::int(0)];
-        let limits = Limits { max_tuples_per_rel: 1, ..Default::default() };
+        let limits = Limits {
+            max_tuples_per_rel: 1,
+            ..Default::default()
+        };
         let mut en = InstanceEnumerator::new(&spec, &pool, &limits);
         let mut n = 0;
         while let Some(i) = en.next_instance(&spec) {
@@ -522,7 +530,10 @@ mod tests {
         )
         .unwrap();
         let pool = vec![Value::int(0)];
-        let limits = Limits { max_tuples_per_rel: 2, ..Default::default() };
+        let limits = Limits {
+            max_tuples_per_rel: 2,
+            ..Default::default()
+        };
         let mut en = InstanceEnumerator::new(&spec, &pool, &limits);
         let mut count = 0;
         while let Some(i) = en.next_instance(&spec) {
@@ -545,7 +556,10 @@ mod tests {
         let p = spec.collab().peer("p").unwrap();
         let q = spec.collab().peer("q").unwrap();
         let pool = vec![Value::int(0)];
-        let limits = Limits { max_tuples_per_rel: 1, ..Default::default() };
+        let limits = Limits {
+            max_tuples_per_rel: 1,
+            ..Default::default()
+        };
         let mut budget = Budget::new(100_000);
         // p sees only B: p-fresh instances are ∅ and those reached by a
         // p-visible event (mk_b insertions).
@@ -597,9 +611,7 @@ mod tests {
         let pool = constant_pool(&spec, 2, &Limits::default());
         let mut budget = Budget::new(1);
         let comp = completion_pool(&spec, 2, &pool);
-        assert!(
-            fresh_instances(&spec, p, &pool, &comp, &Limits::default(), &mut budget).is_none()
-        );
+        assert!(fresh_instances(&spec, p, &pool, &comp, &Limits::default(), &mut budget).is_none());
         assert!(budget.exhausted());
     }
 }

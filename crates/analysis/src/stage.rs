@@ -11,9 +11,9 @@
 //! pre-instance — the object whose length h-boundedness restricts and whose
 //! transplantability transparency requires (Definitions 5.8 and 6.4).
 
-use cwf_model::PeerId;
-use cwf_engine::Run;
 use cwf_core::{tp_closure, EventSet, RunIndex};
+use cwf_engine::Run;
+use cwf_model::PeerId;
 
 /// One p-stage of a run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,12 +51,20 @@ pub fn stages(run: &Run, peer: PeerId) -> Vec<Stage> {
     let mut start = 0;
     for i in 0..run.len() {
         if run.visible_at(i, peer) {
-            out.push(Stage { start, visible: Some(i), end: i + 1 });
+            out.push(Stage {
+                start,
+                visible: Some(i),
+                end: i + 1,
+            });
             start = i + 1;
         }
     }
     if start < run.len() {
-        out.push(Stage { start, visible: None, end: run.len() });
+        out.push(Stage {
+            start,
+            visible: None,
+            end: run.len(),
+        });
     }
     out
 }
@@ -130,8 +138,16 @@ mod tests {
         assert_eq!(
             ss,
             vec![
-                Stage { start: 0, visible: Some(3), end: 4 },
-                Stage { start: 4, visible: Some(4), end: 5 },
+                Stage {
+                    start: 0,
+                    visible: Some(3),
+                    end: 4
+                },
+                Stage {
+                    start: 4,
+                    visible: Some(4),
+                    end: 5
+                },
             ]
         );
         assert_eq!(ss[0].len(), 4);
@@ -151,7 +167,14 @@ mod tests {
         )
         .unwrap();
         let ss = stages(&prefix, p);
-        assert_eq!(ss, vec![Stage { start: 0, visible: None, end: 3 }]);
+        assert_eq!(
+            ss,
+            vec![Stage {
+                start: 0,
+                visible: None,
+                end: 3
+            }]
+        );
         assert!(!ss[0].is_closed());
         assert!(minimum_faithful_of_stage(&prefix, p, &ss[0]).is_none());
     }

@@ -28,13 +28,9 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
-use cwf_model::{
-    CollabSchema, Instance, PeerId, RelId, RelSchema, Schema, Value, ViewInstance,
-};
 use cwf_engine::Run;
-use cwf_lang::{
-    Literal, Program, Rule, RuleId, Term, UpdateAtom, VarId, WorkflowSpec,
-};
+use cwf_lang::{Literal, Program, Rule, RuleId, Term, UpdateAtom, VarId, WorkflowSpec};
+use cwf_model::{CollabSchema, Instance, PeerId, RelId, RelSchema, Schema, Value, ViewInstance};
 
 use crate::space::{completion_pool, constant_pool, fresh_instances, Budget, Limits};
 use crate::transparency::enumerate_chains;
@@ -186,8 +182,7 @@ pub fn synthesize_view_program(
     let pool = constant_pool(spec, h + 1, limits);
     let chain_pool = completion_pool(spec, h + 1, &pool);
     let mut budget = Budget::new(limits.max_nodes);
-    let Some(fresh) = fresh_instances(spec, peer, &pool, &chain_pool, limits, &mut budget)
-    else {
+    let Some(fresh) = fresh_instances(spec, peer, &pool, &chain_pool, limits, &mut budget) else {
         return Err(SynthesisError::Budget);
     };
     let consts: BTreeSet<Value> = spec.program().const_set();
@@ -212,9 +207,9 @@ pub fn synthesize_view_program(
                 }
             }
             let all_touched = collab.schema().rel_ids().all(|r| {
-                f.rel(r).keys().all(|k| {
-                    touched.get(&r).is_some_and(|ks| ks.contains(k))
-                })
+                f.rel(r)
+                    .keys()
+                    .all(|k| touched.get(&r).is_some_and(|ks| ks.contains(k)))
             });
             if !all_touched {
                 continue;
@@ -240,7 +235,11 @@ pub fn synthesize_view_program(
                         omega_rules.push(rid);
                         omega_meta.insert(
                             rid,
-                            OmegaMeta { initial: f.clone(), chain: chain.clone(), canon },
+                            OmegaMeta {
+                                initial: f.clone(),
+                                chain: chain.clone(),
+                                canon,
+                            },
                         );
                     }
                 }
@@ -249,9 +248,8 @@ pub fn synthesize_view_program(
             }
         }
     }
-    let view_spec = WorkflowSpec::new(new_collab, program).expect(
-        "synthesized view programs are well-formed by construction",
-    );
+    let view_spec = WorkflowSpec::new(new_collab, program)
+        .expect("synthesized view programs are well-formed by construction");
     Ok(Synthesis {
         view_spec: Arc::new(view_spec),
         p_peer,
@@ -313,7 +311,10 @@ fn build_omega_rule(
                     bound.insert(*v);
                 }
             }
-            body.push(Literal::Pos { rel: rel_map[&r], args });
+            body.push(Literal::Pos {
+                rel: rel_map[&r],
+                args,
+            });
         }
     }
     // Head: the visible delta.
@@ -344,7 +345,10 @@ fn build_omega_rule(
                 return BuiltRule::DeleteReinsert;
             }
             let args: Vec<Term> = t.values().iter().map(&mut term_of).collect();
-            head.push(UpdateAtom::Insert { rel: rel_map[&r], args });
+            head.push(UpdateAtom::Insert {
+                rel: rel_map[&r],
+                args,
+            });
         }
     }
     if head.is_empty() {
@@ -376,7 +380,10 @@ fn build_omega_rule(
                     Term::Var(v) => bound.contains(v),
                 };
                 if ok {
-                    body.push(Literal::KeyNeg { rel: rel_map[&r], key: t });
+                    body.push(Literal::KeyNeg {
+                        rel: rel_map[&r],
+                        key: t,
+                    });
                 }
             }
         }
@@ -414,8 +421,12 @@ fn canonical_key(rule: &Rule) -> String {
         match l {
             Literal::Pos { rel, args } => format!("P{:?}{}", rel, args_shape(args)),
             Literal::Neg { rel, args } => format!("N{:?}{}", rel, args_shape(args)),
-            Literal::KeyPos { rel, key } => format!("KP{:?}{}", rel, args_shape(std::slice::from_ref(key))),
-            Literal::KeyNeg { rel, key } => format!("KN{:?}{}", rel, args_shape(std::slice::from_ref(key))),
+            Literal::KeyPos { rel, key } => {
+                format!("KP{:?}{}", rel, args_shape(std::slice::from_ref(key)))
+            }
+            Literal::KeyNeg { rel, key } => {
+                format!("KN{:?}{}", rel, args_shape(std::slice::from_ref(key)))
+            }
             Literal::Eq(a, b) => format!("E{}{}", term_shape(a), term_shape(b)),
             Literal::Neq(a, b) => format!("D{}{}", term_shape(a), term_shape(b)),
         }
@@ -439,7 +450,11 @@ fn canonical_key(rule: &Rule) -> String {
             Literal::Pos { rel, args } | Literal::Neg { rel, args } => {
                 out.push_str(&format!(
                     "{}[{:?}]({});",
-                    if matches!(l, Literal::Pos { .. }) { "+" } else { "!" },
+                    if matches!(l, Literal::Pos { .. }) {
+                        "+"
+                    } else {
+                        "!"
+                    },
                     rel,
                     args.iter()
                         .map(|t| canon_term(t, &mut rename))
@@ -450,7 +465,11 @@ fn canonical_key(rule: &Rule) -> String {
             Literal::KeyPos { rel, key } | Literal::KeyNeg { rel, key } => {
                 out.push_str(&format!(
                     "{}key[{:?}]({});",
-                    if matches!(l, Literal::KeyPos { .. }) { "+" } else { "!" },
+                    if matches!(l, Literal::KeyPos { .. }) {
+                        "+"
+                    } else {
+                        "!"
+                    },
                     rel,
                     canon_term(key, &mut rename)
                 ));
@@ -460,7 +479,11 @@ fn canonical_key(rule: &Rule) -> String {
                 pair.sort();
                 out.push_str(&format!(
                     "{}({},{});",
-                    if matches!(l, Literal::Eq(..)) { "=" } else { "#" },
+                    if matches!(l, Literal::Eq(..)) {
+                        "="
+                    } else {
+                        "#"
+                    },
                     pair[0],
                     pair[1]
                 ));
@@ -581,12 +604,12 @@ mod tests {
         );
         assert!(
             rules.iter().any(|r| {
-                r.head.iter().any(
-                    |u| matches!(u, UpdateAtom::Insert { rel, .. } if *rel == hire),
-                ) && r
-                    .body
+                r.head
                     .iter()
-                    .any(|l| matches!(l, Literal::Pos { rel, .. } if *rel == cleared))
+                    .any(|u| matches!(u, UpdateAtom::Insert { rel, .. } if *rel == hire))
+                    && r.body
+                        .iter()
+                        .any(|l| matches!(l, Literal::Pos { rel, .. } if *rel == cleared))
             }),
             "hire rule carries Cleared provenance"
         );

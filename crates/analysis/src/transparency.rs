@@ -15,10 +15,10 @@
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-use cwf_model::{Instance, PeerId, Value};
+use cwf_core::{tp_closure, EventSet, RunIndex};
 use cwf_engine::{Event, Run, Simulator};
 use cwf_lang::WorkflowSpec;
-use cwf_core::{tp_closure, EventSet, RunIndex};
+use cwf_model::{Instance, PeerId, Value};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -55,8 +55,7 @@ pub fn check_transparent(
     let pool = constant_pool(spec, h + 2, limits);
     let chain_pool = completion_pool(spec, h + 2, &pool);
     let mut budget = Budget::new(limits.max_nodes);
-    let Some(fresh) = fresh_instances(spec, peer, &pool, &chain_pool, limits, &mut budget)
-    else {
+    let Some(fresh) = fresh_instances(spec, peer, &pool, &chain_pool, limits, &mut budget) else {
         return Decision::Budget;
     };
     // Precompute the chains once per source instance.
@@ -142,10 +141,9 @@ pub(crate) fn enumerate_chains(
                 if tp_closure(&next, &index, peer, &seed).len() == next.len() {
                     out.push(next.events().to_vec());
                 }
-            } else if depth + 1 < h
-                && !go(&next, peer, pool, h, budget, out) {
-                    return false;
-                }
+            } else if depth + 1 < h && !go(&next, peer, pool, h, budget, out) {
+                return false;
+            }
         }
         true
     }
@@ -187,12 +185,7 @@ fn avoid_adom(
     for c in clash {
         map.push((c, replacements.next()?.clone()));
     }
-    Some(
-        chain
-            .iter()
-            .map(|e| rename_event(spec, e, &map))
-            .collect(),
-    )
+    Some(chain.iter().map(|e| rename_event(spec, e, &map)).collect())
 }
 
 fn rename_event(spec: &WorkflowSpec, e: &Event, map: &[(Value, Value)]) -> Event {
@@ -206,7 +199,11 @@ fn rename_event(spec: &WorkflowSpec, e: &Event, map: &[(Value, Value)]) -> Event
         }
         val.set(vid, value);
     }
-    Event { rule: e.rule, peer: e.peer, valuation: val }
+    Event {
+        rule: e.rule,
+        peer: e.peer,
+        valuation: val,
+    }
 }
 
 /// Checks (†) for one chain: it must be a minimum p-faithful
@@ -416,7 +413,10 @@ mod tests {
     fn budget_is_reported() {
         let spec = hiring_spec();
         let sue = spec.collab().peer("sue").unwrap();
-        let tiny = Limits { max_nodes: 1, ..limits() };
+        let tiny = Limits {
+            max_nodes: 1,
+            ..limits()
+        };
         assert!(matches!(
             check_transparent(&spec, sue, 2, &tiny),
             Decision::Budget

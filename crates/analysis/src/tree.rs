@@ -16,9 +16,9 @@
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-use cwf_model::{Instance, PeerId, Value, ViewInstance};
 use cwf_engine::{apply_event, Run, Simulator};
 use cwf_lang::WorkflowSpec;
+use cwf_model::{Instance, PeerId, Value, ViewInstance};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -222,8 +222,7 @@ pub fn sample_tree_divergence(
                 return None; // budget exhausted: inconclusive
             };
             let view_state = view_as_instance(synth, &spec.collab().view_of(&state, peer));
-            let obs_v =
-                observations_view(synth, &view_state, &chain_pool, &mut skipped)?;
+            let obs_v = observations_view(synth, &view_state, &chain_pool, &mut skipped)?;
             if obs_p != obs_v {
                 return Some(TreeMismatch {
                     state,
@@ -264,15 +263,20 @@ mod tests {
             cs.view_of(&i, p)
         };
         let known: BTreeSet<Value> = [Value::str("seen")].into_iter().collect();
-        let a =
-            canonical_view(&mk(Value::Fresh(5), Value::str("seen")), cs.schema(), &known)
-                .unwrap();
-        let b =
-            canonical_view(&mk(Value::str("$f0"), Value::str("seen")), cs.schema(), &known)
-                .unwrap();
+        let a = canonical_view(
+            &mk(Value::Fresh(5), Value::str("seen")),
+            cs.schema(),
+            &known,
+        )
+        .unwrap();
+        let b = canonical_view(
+            &mk(Value::str("$f0"), Value::str("seen")),
+            cs.schema(),
+            &known,
+        )
+        .unwrap();
         assert_eq!(a, b, "fresh values canonicalize identically");
-        let c =
-            canonical_view(&mk(Value::str("seen"), Value::Null), cs.schema(), &known).unwrap();
+        let c = canonical_view(&mk(Value::str("seen"), Value::Null), cs.schema(), &known).unwrap();
         assert_ne!(a, c);
     }
 

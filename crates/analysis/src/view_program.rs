@@ -15,9 +15,9 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
-use cwf_model::{Instance, RelId, Tuple, Value};
 use cwf_engine::{apply_event, match_body, Bindings, Event, EventView, Run};
 use cwf_lang::{RuleId, Term, UpdateAtom, VarId};
+use cwf_model::{Instance, RelId, Tuple, Value};
 
 use crate::synthesis::{view_as_instance, Synthesis};
 
@@ -65,11 +65,7 @@ pub enum MirroredStep {
 /// the rule map, every ω-step must be producible by some ω-rule. Returns the
 /// mirrored steps (completeness witness + provenance per observation).
 pub fn mirror_run(synth: &Synthesis, run: &Run) -> Result<Vec<MirroredStep>, MirrorError> {
-    let peer = synth
-        .view_spec
-        .collab()
-        .peer_name(synth.p_peer)
-        .to_string();
+    let peer = synth.view_spec.collab().peer_name(synth.p_peer).to_string();
     let orig_peer = run
         .spec()
         .collab()
@@ -106,12 +102,11 @@ pub fn mirror_run(synth: &Synthesis, run: &Run) -> Result<Vec<MirroredStep>, Mir
                 out.push(MirroredStep::Own);
             }
             EventView::World => {
-                let m = match_omega_step(synth, &current, &expected).ok_or_else(|| {
-                    MirrorError {
+                let m =
+                    match_omega_step(synth, &current, &expected).ok_or_else(|| MirrorError {
                         step: si,
                         message: "no ω-rule reproduces this observation".into(),
-                    }
-                })?;
+                    })?;
                 current = expected;
                 out.push(MirroredStep::Omega(m));
             }
@@ -172,14 +167,19 @@ pub fn match_omega_step(
                     .filter_map(|l| match l {
                         cwf_lang::Literal::Pos { rel, args } => Some((
                             *rel,
-                            Tuple::new(args.iter().map(|t| {
-                                bindings.resolve(t).expect("body vars bound")
-                            })),
+                            Tuple::new(
+                                args.iter()
+                                    .map(|t| bindings.resolve(t).expect("body vars bound")),
+                            ),
                         )),
                         _ => None,
                     })
                     .collect();
-                return Some(MatchedStep { rule: rid, bindings, provenance });
+                return Some(MatchedStep {
+                    rule: rid,
+                    bindings,
+                    provenance,
+                });
             }
         }
     }
@@ -222,8 +222,15 @@ fn assign_heads(
                     let saved = bindings.clone();
                     if unify_terms(args, t.values(), bindings) {
                         used_ins[i] = true;
-                        if go(atoms, idx + 1, inserts, used_ins, deletes, used_del, bindings)
-                        {
+                        if go(
+                            atoms,
+                            idx + 1,
+                            inserts,
+                            used_ins,
+                            deletes,
+                            used_del,
+                            bindings,
+                        ) {
                             return true;
                         }
                         used_ins[i] = false;
@@ -238,11 +245,17 @@ fn assign_heads(
                         continue;
                     }
                     let saved = bindings.clone();
-                    if unify_terms(std::slice::from_ref(key), std::slice::from_ref(k), bindings)
-                    {
+                    if unify_terms(std::slice::from_ref(key), std::slice::from_ref(k), bindings) {
                         used_del[i] = true;
-                        if go(atoms, idx + 1, inserts, used_ins, deletes, used_del, bindings)
-                        {
+                        if go(
+                            atoms,
+                            idx + 1,
+                            inserts,
+                            used_ins,
+                            deletes,
+                            used_del,
+                            bindings,
+                        ) {
                             return true;
                         }
                         used_del[i] = false;
@@ -383,7 +396,11 @@ pub fn expand_view_run(
                     };
                     b.set(vid, concrete);
                 }
-                let e = Event { rule: ce.rule, peer: ce.peer, valuation: b };
+                let e = Event {
+                    rule: ce.rule,
+                    peer: ce.peer,
+                    valuation: b,
+                };
                 run.push(e).map_err(|err| ExpandError {
                     at: i,
                     message: format!(
@@ -461,9 +478,10 @@ mod tests {
             for m in &mirrored {
                 if let MirroredStep::Omega(ms) = m {
                     let rule = synth.view_spec.program().rule(ms.rule);
-                    let inserts_hire = rule.head.iter().any(
-                        |u| matches!(u, UpdateAtom::Insert { rel, .. } if *rel == hire),
-                    );
+                    let inserts_hire = rule
+                        .head
+                        .iter()
+                        .any(|u| matches!(u, UpdateAtom::Insert { rel, .. } if *rel == hire));
                     if inserts_hire {
                         assert!(
                             ms.provenance.iter().any(|(r, _)| *r == cleared),

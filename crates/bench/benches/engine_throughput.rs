@@ -27,8 +27,7 @@ fn bench_engine(c: &mut Criterion) {
         );
     }
     // Chase micro-benchmark: merging into instances of growing size.
-    let schema =
-        Schema::from_relations([RelSchema::new("R", ["K", "A", "B"]).unwrap()]).unwrap();
+    let schema = Schema::from_relations([RelSchema::new("R", ["K", "A", "B"]).unwrap()]).unwrap();
     let r = schema.rel("R").unwrap();
     for size in [100usize, 1000, 10_000] {
         let mut inst = Instance::empty(&schema);

@@ -21,8 +21,7 @@ fn bench_incremental(c: &mut Criterion) {
             &requests,
             |b, _| {
                 b.iter(|| {
-                    let mut inc =
-                        IncrementalExplainer::new(Run::new(p.run.spec_arc()), p.emp);
+                    let mut inc = IncrementalExplainer::new(Run::new(p.run.spec_arc()), p.emp);
                     for i in 0..p.run.len() {
                         inc.push(p.run.event(i).clone()).unwrap();
                     }

@@ -30,12 +30,7 @@ fn bench_minimality(c: &mut Criterion) {
         let run = w.canonical_run();
         let full = EventSet::full(run.len());
         group.bench_with_input(BenchmarkId::new("exact", n), &n, |b, _| {
-            b.iter(|| {
-                assert_eq!(
-                    is_minimal_exact(&run, w.p, &full, u64::MAX),
-                    Some(true)
-                )
-            })
+            b.iter(|| assert_eq!(is_minimal_exact(&run, w.p, &full, u64::MAX), Some(true)))
         });
         group.bench_with_input(BenchmarkId::new("one_minimal", n), &n, |b, _| {
             b.iter(|| assert!(is_one_minimal(&run, w.p, &full)))

@@ -14,7 +14,11 @@ fn bench_semiring(c: &mut Criterion) {
     let mut group = c.benchmark_group("E5_semiring_ops");
     for len in [50usize, 100, 200] {
         let mut rng = StdRng::seed_from_u64(5);
-        let params = RandomSpecParams { n_rels: 10, n_rules: 20, ..Default::default() };
+        let params = RandomSpecParams {
+            n_rels: 10,
+            n_rules: 20,
+            ..Default::default()
+        };
         let w = random_propositional_spec(&params, &mut rng);
         let run = random_run(&w.spec, len, 1);
         let index = RunIndex::build(&run);

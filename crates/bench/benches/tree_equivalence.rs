@@ -19,9 +19,7 @@ fn bench_tree(c: &mut Criterion) {
     let synth = synthesize_view_program(&spec, sue, 2, &limits).unwrap();
     group.bench_function("hiring_10_runs", |b| {
         b.iter(|| {
-            assert!(
-                sample_tree_divergence(&spec, &synth, sue, 2, &limits, 10, 6, 3).is_none()
-            )
+            assert!(sample_tree_divergence(&spec, &synth, sue, 2, &limits, 10, 6, 3).is_none())
         })
     });
     let lock_spec = Arc::new(
@@ -45,8 +43,7 @@ fn bench_tree(c: &mut Criterion) {
     let synth2 = synthesize_view_program(&lock_spec, p, 1, &limits).unwrap();
     group.bench_function("lock_divergence", |b| {
         b.iter(|| {
-            assert!(sample_tree_divergence(&lock_spec, &synth2, p, 1, &limits, 20, 6, 11)
-                .is_some())
+            assert!(sample_tree_divergence(&lock_spec, &synth2, p, 1, &limits, 20, 6, 11).is_some())
         })
     });
     group.finish();

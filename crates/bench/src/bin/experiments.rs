@@ -29,8 +29,8 @@ use cwf_design::{
 };
 use cwf_engine::{Run, Simulator};
 use cwf_workloads::{
-    build_procurement_run, build_review_run, hiring_no_cfo, hitting_set_workload,
-    transitive_spec, unsat_workload, Cnf, HittingSet,
+    build_procurement_run, build_review_run, hiring_no_cfo, hitting_set_workload, transitive_spec,
+    unsat_workload, Cnf, HittingSet,
 };
 
 fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
@@ -68,8 +68,14 @@ fn main() {
 }
 
 fn e1_min_scenario() {
-    header("E1", "Theorem 3.3: minimum scenario is NP-complete (exact vs greedy)");
-    println!("{:>4} {:>7} {:>9} {:>14} {:>14} {:>7}", "n", "run", "min(exact)", "exact", "greedy", "greedy_len");
+    header(
+        "E1",
+        "Theorem 3.3: minimum scenario is NP-complete (exact vs greedy)",
+    );
+    println!(
+        "{:>4} {:>7} {:>9} {:>14} {:>14} {:>7}",
+        "n", "run", "min(exact)", "exact", "greedy", "greedy_len"
+    );
     for n in [3usize, 5, 7, 9] {
         let mut rng = StdRng::seed_from_u64(42);
         let hs = HittingSet::random(n, 3, 3, &mut rng);
@@ -121,7 +127,10 @@ fn e2_minimality() {
 
 fn e3_faithful() {
     header("E3", "Theorem 4.7: minimal faithful scenario in PTIME");
-    println!("{:>9} {:>9} {:>14} {:>10}", "requests", "events", "extract", "kept");
+    println!(
+        "{:>9} {:>9} {:>14} {:>10}",
+        "requests", "events", "extract", "kept"
+    );
     for requests in [5usize, 10, 20, 40, 80] {
         let mut rng = StdRng::seed_from_u64(7);
         let p = build_procurement_run(requests, 1, &mut rng);
@@ -138,8 +147,14 @@ fn e3_faithful() {
 }
 
 fn e4_incremental() {
-    header("E4", "Section 4: incremental maintenance vs recompute-per-event");
-    println!("{:>9} {:>9} {:>14} {:>14} {:>8}", "requests", "events", "incremental", "recompute", "speedup");
+    header(
+        "E4",
+        "Section 4: incremental maintenance vs recompute-per-event",
+    );
+    println!(
+        "{:>9} {:>9} {:>14} {:>14} {:>8}",
+        "requests", "events", "incremental", "recompute", "speedup"
+    );
     for requests in [5usize, 10, 20, 40] {
         let mut rng = StdRng::seed_from_u64(11);
         let p = build_procurement_run(requests, 1, &mut rng);
@@ -173,7 +188,10 @@ fn e4_incremental() {
 
 fn e5_semiring() {
     header("E5", "Theorem 4.8: semiring operations scale linearly");
-    println!("{:>7} {:>14} {:>14} {:>14}", "events", "closure", "union", "intersect");
+    println!(
+        "{:>7} {:>14} {:>14} {:>14}",
+        "events", "closure", "union", "intersect"
+    );
     for len in [50usize, 100, 200, 400] {
         let mut rng = StdRng::seed_from_u64(5);
         let params = cwf_workloads::RandomSpecParams {
@@ -190,7 +208,8 @@ fn e5_semiring() {
         let n = run.len();
         let a = tp_closure(&run, &index, w.observer, &EventSet::from_iter(n, [0]));
         let b = tp_closure(&run, &index, w.observer, &EventSet::from_iter(n, [n - 1]));
-        let (_, t_cl) = time(|| tp_closure(&run, &index, w.observer, &EventSet::from_iter(n, [n / 2])));
+        let (_, t_cl) =
+            time(|| tp_closure(&run, &index, w.observer, &EventSet::from_iter(n, [n / 2])));
         let (_, t_u) = time(|| a.union(&b));
         let (_, t_i) = time(|| a.intersection(&b));
         println!("{:>7} {} {} {}", n, ms(t_cl), ms(t_u), ms(t_i));
@@ -219,10 +238,16 @@ fn e6_boundedness() {
 }
 
 fn e7_transparency() {
-    header("E7", "Theorem 5.11: deciding transparency of h-bounded programs");
+    header(
+        "E7",
+        "Theorem 5.11: deciding transparency of h-bounded programs",
+    );
     let spec = hiring_no_cfo();
     let sue = spec.collab().peer("sue").unwrap();
-    println!("{:>12} {:>14} {:>9}", "pool extras", "exhaustive", "verdict");
+    println!(
+        "{:>12} {:>14} {:>9}",
+        "pool extras", "exhaustive", "verdict"
+    );
     for extra in [3usize, 4, 5, 6] {
         let limits = Limits {
             max_nodes: 500_000_000,
@@ -234,11 +259,20 @@ fn e7_transparency() {
             "{:>12} {} {:>9}",
             extra,
             ms(t),
-            if d.counter_example().is_some() { "refuted" } else { "?" }
+            if d.counter_example().is_some() {
+                "refuted"
+            } else {
+                "?"
+            }
         );
     }
     let (v, t) = time(|| sample_transparency_violation(&spec, sue, 40, 6, 7));
-    println!("{:>12} {} {:>9}", "sampled", ms(t), if v.is_some() { "refuted" } else { "?" });
+    println!(
+        "{:>12} {} {:>9}",
+        "sampled",
+        ms(t),
+        if v.is_some() { "refuted" } else { "?" }
+    );
     println!("shape: exhaustive cost grows steeply with the pool; sampling is cheap.");
 }
 
@@ -251,7 +285,10 @@ fn e8_synthesis() {
         max_tuples_per_rel: 1,
         extra_constants: Some(2),
     };
-    println!("{:>3} {:>14} {:>8} {:>9}", "h", "synthesize", "ω-rules", "skipped");
+    println!(
+        "{:>3} {:>14} {:>8} {:>9}",
+        "h", "synthesize", "ω-rules", "skipped"
+    );
     let mut keep = None;
     for h in [1usize, 2, 3] {
         let (synth, t) = time(|| synthesize_view_program(&spec, sue, h, &limits).unwrap());
@@ -285,35 +322,56 @@ fn e8_synthesis() {
             ok_expand += 1;
         }
     }
-    println!("completeness (mirror): {ok_mirror}/20 runs   soundness (expand): {ok_expand}/20 runs");
+    println!(
+        "completeness (mirror): {ok_mirror}/20 runs   soundness (expand): {ok_expand}/20 runs"
+    );
     println!("shape: size/time grow with h; sampled soundness & completeness are total.");
 }
 
 fn e9_acyclicity() {
-    header("E9", "Theorem 6.3: the (ab+1)^d bound vs the measured bound");
+    header(
+        "E9",
+        "Theorem 6.3: the (ab+1)^d bound vs the measured bound",
+    );
     let limits = Limits {
         max_nodes: 200_000_000,
         max_tuples_per_rel: 1,
         extra_constants: Some(0),
     };
-    println!("{:>3} {:>9} {:>12} {:>10} {:>14}", "k", "acyclic", "bound", "measured", "decide time");
+    println!(
+        "{:>3} {:>9} {:>12} {:>10} {:>14}",
+        "k", "acyclic", "bound", "measured", "decide time"
+    );
     for k in [1usize, 2, 3] {
         let spec = chain_program(k);
         let p = chain_observer(&spec);
         assert!(is_p_acyclic(&spec, p));
         let bound = acyclicity_bound(&spec);
         let (measured, t) = time(|| find_bound(&spec, p, 6, &limits).unwrap());
-        println!("{:>3} {:>9} {:>12} {:>10} {}", k, "yes", bound, measured, ms(t));
+        println!(
+            "{:>3} {:>9} {:>12} {:>10} {}",
+            k,
+            "yes",
+            bound,
+            measured,
+            ms(t)
+        );
     }
     println!("shape: the static bound dominates the measured bound by orders of magnitude;");
     println!("       the p-graph analysis itself is effectively free.");
 }
 
 fn e10_enforcement() {
-    header("E10", "Theorem 6.7: enforcement engine overhead & filtering");
+    header(
+        "E10",
+        "Theorem 6.7: enforcement engine overhead & filtering",
+    );
     let spec = hiring_no_cfo();
     let sue = spec.collab().peer("sue").unwrap();
-    println!("{:>7} {:>14} {:>14} {:>9}", "cycles", "plain", "enforced", "overhead");
+    println!(
+        "{:>7} {:>14} {:>14} {:>9}",
+        "cycles", "plain", "enforced", "overhead"
+    );
     for cycles in [10usize, 25, 50, 100] {
         let mut events = Vec::new();
         for i in 0..cycles {
@@ -354,7 +412,8 @@ fn e10_enforcement() {
         let rid = spec.program().rule_by_name(name).unwrap();
         let mut b = cwf_engine::Bindings::empty(1);
         b.set(cwf_lang::VarId(0), cwf_model::Value::Fresh(x));
-        eng.push(cwf_engine::Event::new(&spec, rid, b).unwrap()).unwrap()
+        eng.push(cwf_engine::Event::new(&spec, rid, b).unwrap())
+            .unwrap()
     };
     fire(&mut eng, "clear", 1);
     fire(&mut eng, "approve", 1);
@@ -371,22 +430,38 @@ fn e10_enforcement() {
 
 fn e11_engine() {
     header("E11", "substrate: engine throughput");
-    println!("{:>9} {:>9} {:>14} {:>12}", "requests", "events", "build", "events/s");
+    println!(
+        "{:>9} {:>9} {:>14} {:>12}",
+        "requests", "events", "build", "events/s"
+    );
     for requests in [10usize, 20, 40, 80] {
         let (built, t) = time(|| {
             let mut rng = StdRng::seed_from_u64(13);
             build_procurement_run(requests, 1, &mut rng)
         });
         let eps = built.run.len() as f64 / t.as_secs_f64();
-        println!("{:>9} {:>9} {} {:>12.0}", requests, built.run.len(), ms(t), eps);
+        println!(
+            "{:>9} {:>9} {} {:>12.0}",
+            requests,
+            built.run.len(),
+            ms(t),
+            eps
+        );
     }
     let mut rng = StdRng::seed_from_u64(21);
     let r = build_review_run(20, 2, &mut rng);
-    println!("review workload: {} events, author sees {}", r.run.len(), r.run.view(r.author).len());
+    println!(
+        "review workload: {} events, author sees {}",
+        r.run.len(),
+        r.run.view(r.author).len()
+    );
 }
 
 fn e13_tree_equivalence() {
-    header("E13", "Remark 5.2: tree equivalence of synthesized view programs");
+    header(
+        "E13",
+        "Remark 5.2: tree equivalence of synthesized view programs",
+    );
     use cwf_analysis::{sample_tree_divergence, synthesize_view_program};
     let limits = Limits {
         max_nodes: 100_000_000,
@@ -398,7 +473,11 @@ fn e13_tree_equivalence() {
     let sue = spec.collab().peer("sue").unwrap();
     let synth = synthesize_view_program(&spec, sue, 2, &limits).unwrap();
     let (d, t) = time(|| sample_tree_divergence(&spec, &synth, sue, 2, &limits, 10, 6, 3));
-    println!("hiring (guarded):   divergence = {:<5} {}", d.is_some(), ms(t));
+    println!(
+        "hiring (guarded):   divergence = {:<5} {}",
+        d.is_some(),
+        ms(t)
+    );
     // Negative case: an invisible lock rules out a visible emission.
     let lock_spec = Arc::new(
         cwf_lang::parse_workflow(
@@ -419,14 +498,20 @@ fn e13_tree_equivalence() {
     );
     let p = lock_spec.collab().peer("p").unwrap();
     let synth2 = synthesize_view_program(&lock_spec, p, 1, &limits).unwrap();
-    let (d2, t2) =
-        time(|| sample_tree_divergence(&lock_spec, &synth2, p, 1, &limits, 20, 6, 11));
-    println!("lock (hidden choice): divergence = {:<5} {}", d2.is_some(), ms(t2));
+    let (d2, t2) = time(|| sample_tree_divergence(&lock_spec, &synth2, p, 1, &limits, 20, 6, 11));
+    println!(
+        "lock (hidden choice): divergence = {:<5} {}",
+        d2.is_some(),
+        ms(t2)
+    );
     println!("shape: transparent input ⇒ trees agree on samples; hidden choices diverge.");
 }
 
 fn e14_stage_transform() {
-    header("E14", "Section 6: the mechanical stage-discipline transform");
+    header(
+        "E14",
+        "Section 6: the mechanical stage-discipline transform",
+    );
     use cwf_design::add_stage_discipline;
     let raw = Arc::new(
         cwf_lang::parse_workflow(
@@ -459,15 +544,21 @@ fn e14_stage_transform() {
     // Transparency status before/after (sampled falsifier).
     let (before, tb) = time(|| sample_transparency_violation(&raw, sue, 40, 6, 5).is_some());
     let staged_arc = Arc::new(staged.spec.clone());
-    let (after, ta) =
-        time(|| sample_transparency_violation(&staged_arc, sue, 25, 8, 5).is_some());
-    println!("sampled violation: raw = {before} ({}), staged = {after} ({})", ms(tb), ms(ta));
+    let (after, ta) = time(|| sample_transparency_violation(&staged_arc, sue, 25, 8, 5).is_some());
+    println!(
+        "sampled violation: raw = {before} ({}), staged = {after} ({})",
+        ms(tb),
+        ms(ta)
+    );
     println!("shape: the transform removes the sampled transparency violations at the");
     println!("       cost of one Stage relation, stage guards, and re-keyed invisible state.");
 }
 
 fn e12_negative_control() {
-    header("E12", "Prop 5.3 / Thm 5.4: no view program for the closure workflow");
+    header(
+        "E12",
+        "Prop 5.3 / Thm 5.4: no view program for the closure workflow",
+    );
     let spec = transitive_spec();
     let p = spec.collab().peer("p").unwrap();
     let limits = Limits {
@@ -481,7 +572,11 @@ fn e12_negative_control() {
         println!(
             "{:>3} {:>16} {}",
             h,
-            if d.counter_example().is_some() { "refuted" } else { "?" },
+            if d.counter_example().is_some() {
+                "refuted"
+            } else {
+                "?"
+            },
             ms(t)
         );
     }

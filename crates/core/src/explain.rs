@@ -7,8 +7,8 @@
 
 use std::fmt;
 
-use cwf_model::PeerId;
 use cwf_engine::Run;
+use cwf_model::PeerId;
 
 use crate::index::RunIndex;
 use crate::set::EventSet;
@@ -98,8 +98,7 @@ impl fmt::Display for Explanation {
 /// ```
 pub fn explain(run: &Run, peer: PeerId) -> Explanation {
     let index = RunIndex::build(run);
-    let FaithfulExplanation { events, .. } =
-        minimal_faithful_scenario_indexed(run, &index, peer);
+    let FaithfulExplanation { events, .. } = minimal_faithful_scenario_indexed(run, &index, peer);
     let spec = run.spec();
     let explained = events
         .iter()
@@ -164,7 +163,10 @@ mod tests {
         assert_eq!(ex.run_len, 4);
         assert_eq!(ex.events.len(), 2);
         assert_eq!(ex.events[0].index, 2, "g, the ceo approval");
-        assert!(!ex.events[0].visible, "g itself is hidden from the applicant");
+        assert!(
+            !ex.events[0].visible,
+            "g itself is hidden from the applicant"
+        );
         assert!(ex.events[1].visible, "h changes the applicant's view");
         assert!((ex.compression() - 0.5).abs() < 1e-9);
         assert_eq!(ex.set.to_vec(), vec![2, 3]);

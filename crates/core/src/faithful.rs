@@ -14,8 +14,8 @@
 
 use std::collections::BTreeSet;
 
-use cwf_model::{AttrId, PeerId, RelId};
 use cwf_engine::Run;
+use cwf_model::{AttrId, PeerId, RelId};
 
 use crate::index::RunIndex;
 use crate::scenario::visible_set;

@@ -21,8 +21,8 @@
 //!
 //! Tests cross-check every maintained set against from-scratch fixpoints.
 
-use cwf_model::PeerId;
 use cwf_engine::{EngineError, Event, GroundUpdate, Run};
+use cwf_model::PeerId;
 
 use crate::faithful::relevant_attrs;
 use crate::index::RunIndex;
@@ -147,9 +147,7 @@ impl IncrementalExplainer {
                     out.push(end);
                 }
                 for m in self.index.modifications_of(*rel, k) {
-                    if m.at < j
-                        && lc.contains(m.at)
-                        && m.attrs.iter().any(|a| relevant.contains(a))
+                    if m.at < j && lc.contains(m.at) && m.attrs.iter().any(|a| relevant.contains(a))
                     {
                         out.push(m.at);
                     }

@@ -8,8 +8,8 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use cwf_model::{AttrId, RelId, Value};
 use cwf_engine::{GroundUpdate, Run};
+use cwf_model::{AttrId, RelId, Value};
 
 /// An `R`-lifecycle of a key: the interval from the event inserting a *new*
 /// tuple with that key to the event deleting it (`end = None` for an open
@@ -83,7 +83,10 @@ impl RunIndex {
                                 self.lifecycles
                                     .entry((rel, key))
                                     .or_default()
-                                    .push(Lifecycle { start: i, end: None });
+                                    .push(Lifecycle {
+                                        start: i,
+                                        end: None,
+                                    });
                             }
                             Some(old) => {
                                 // An existing tuple: record ⊥→v attribute flips.
@@ -232,17 +235,29 @@ mod tests {
         assert_eq!(
             lcs,
             &[
-                Lifecycle { start: 0, end: Some(1) },
-                Lifecycle { start: 2, end: None }
+                Lifecycle {
+                    start: 0,
+                    end: Some(1)
+                },
+                Lifecycle {
+                    start: 2,
+                    end: None
+                }
             ]
         );
         assert_eq!(
             idx.lifecycle_containing(r, &k, 1),
-            Some(Lifecycle { start: 0, end: Some(1) })
+            Some(Lifecycle {
+                start: 0,
+                end: Some(1)
+            })
         );
         assert_eq!(
             idx.lifecycle_containing(r, &k, 5),
-            Some(Lifecycle { start: 2, end: None })
+            Some(Lifecycle {
+                start: 2,
+                end: None
+            })
         );
         assert!(lcs[0].is_closed());
         assert!(!lcs[1].is_closed());

@@ -31,7 +31,7 @@ pub mod set;
 pub mod tp;
 pub mod why;
 
-pub use explain::{explain, Explanation, ExplainedEvent};
+pub use explain::{explain, ExplainedEvent, Explanation};
 pub use faithful::{
     is_boundary_faithful, is_faithful, is_modification_faithful, is_tp_fixpoint, relevant_attrs,
 };
@@ -45,8 +45,8 @@ pub use minimum::{exists_scenario_at_most, search_min_scenario, SearchOptions, S
 pub use scenario::{is_scenario, is_scenario_against, is_subrun, subrun, visible_set};
 pub use semiring::Faithful;
 pub use set::EventSet;
-pub use why::{traced_closure, why, Justification, Obligation, TracedClosure, WhyStep};
 pub use tp::{
     is_minimum_faithful_run, minimal_faithful_scenario, minimal_faithful_scenario_indexed,
     tp_closure, tp_step, FaithfulExplanation,
 };
+pub use why::{traced_closure, why, Justification, Obligation, TracedClosure, WhyStep};

@@ -10,8 +10,8 @@
 //! scenario in polynomial time (the paper's greedy procedure for the
 //! Hitting-Set runs), which need not be minimal in general.
 
-use cwf_model::PeerId;
 use cwf_engine::Run;
+use cwf_model::PeerId;
 
 use crate::minimum::{search_min_scenario, SearchOptions, SearchResult};
 use crate::scenario::{is_scenario, is_scenario_against};

@@ -12,8 +12,8 @@
 //! decides strict-subsequence scenario existence — the coNP-hard minimality
 //! test of Theorem 3.4 (see [`crate::minimal`]).
 
-use cwf_model::PeerId;
 use cwf_engine::{EventView, Run, RunView};
+use cwf_model::PeerId;
 
 use crate::set::EventSet;
 
@@ -91,12 +91,7 @@ pub fn search_min_scenario(run: &Run, peer: PeerId, opts: &SearchOptions) -> Sea
 
 /// Decision variant: does a scenario with at most `n` events exist?
 /// `None` when the budget ran out.
-pub fn exists_scenario_at_most(
-    run: &Run,
-    peer: PeerId,
-    n: usize,
-    max_nodes: u64,
-) -> Option<bool> {
+pub fn exists_scenario_at_most(run: &Run, peer: PeerId, n: usize, max_nodes: u64) -> Option<bool> {
     let opts = SearchOptions {
         max_len: Some(n),
         first_found: true,
@@ -309,7 +304,10 @@ mod tests {
     fn budget_exhaustion_is_reported() {
         let run = hitting_run();
         let p = run.spec().collab().peer("p").unwrap();
-        let opts = SearchOptions { max_nodes: 3, ..Default::default() };
+        let opts = SearchOptions {
+            max_nodes: 3,
+            ..Default::default()
+        };
         assert_eq!(search_min_scenario(&run, p, &opts), SearchResult::Budget);
     }
 

@@ -4,8 +4,8 @@
 //! `e(ρ)`; a *scenario of `ρ` at `p`* is a subrun observationally equivalent
 //! to `ρ` for `p` (`ρ@p = ρ̂@p`).
 
-use cwf_model::PeerId;
 use cwf_engine::{Run, RunView};
+use cwf_model::PeerId;
 
 use crate::set::EventSet;
 
@@ -27,12 +27,7 @@ pub fn is_scenario(run: &Run, peer: PeerId, events: &EventSet) -> bool {
 
 /// Scenario test against a precomputed target view (avoids recomputing
 /// `ρ@p` inside search loops).
-pub fn is_scenario_against(
-    run: &Run,
-    peer: PeerId,
-    events: &EventSet,
-    target: &RunView,
-) -> bool {
+pub fn is_scenario_against(run: &Run, peer: PeerId, events: &EventSet, target: &RunView) -> bool {
     match subrun(run, events) {
         Some(sub) => &sub.view(peer) == target,
         None => false,

@@ -13,8 +13,8 @@
 //! visible events) are closed under both operations as well; closure under
 //! multiplication is exactly why the minimal p-faithful scenario is unique.
 
-use cwf_model::PeerId;
 use cwf_engine::Run;
+use cwf_model::PeerId;
 
 use crate::faithful::is_tp_fixpoint;
 use crate::index::RunIndex;
@@ -34,12 +34,7 @@ pub struct Faithful {
 impl Faithful {
     /// Validates that `events` is boundary + modification p-faithful for
     /// `peer` in `run` (a `T_p` fixpoint).
-    pub fn new(
-        run: &Run,
-        index: &RunIndex,
-        peer: PeerId,
-        events: EventSet,
-    ) -> Option<Faithful> {
+    pub fn new(run: &Run, index: &RunIndex, peer: PeerId, events: EventSet) -> Option<Faithful> {
         is_tp_fixpoint(run, index, peer, &events).then_some(Faithful { peer, events })
     }
 
@@ -195,10 +190,7 @@ mod tests {
                     assert_eq!(fa.add(&fb).add(&fc), fa.add(&fb.add(&fc)));
                     assert_eq!(fa.mul(&fb).mul(&fc), fa.mul(&fb.mul(&fc)));
                     // Distributivity.
-                    assert_eq!(
-                        fa.mul(&fb.add(&fc)),
-                        fa.mul(&fb).add(&fa.mul(&fc))
-                    );
+                    assert_eq!(fa.mul(&fb.add(&fc)), fa.mul(&fb).add(&fa.mul(&fc)));
                 }
             }
         }
@@ -216,8 +208,8 @@ mod tests {
                 let si = EventSet::from_iter(run.len(), [i]);
                 let sj = EventSet::from_iter(run.len(), [j]);
                 let joint = tp_closure(&run, &index, p, &si.union(&sj));
-                let split = tp_closure(&run, &index, p, &si)
-                    .union(&tp_closure(&run, &index, p, &sj));
+                let split =
+                    tp_closure(&run, &index, p, &si).union(&tp_closure(&run, &index, p, &sj));
                 assert_eq!(joint, split, "additivity for seeds {{{i}}}, {{{j}}}");
             }
         }

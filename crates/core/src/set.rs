@@ -48,7 +48,11 @@ impl EventSet {
 
     /// Inserts a position; returns `true` if it was new.
     pub fn insert(&mut self, i: usize) -> bool {
-        assert!(i < self.universe, "position {i} outside universe {}", self.universe);
+        assert!(
+            i < self.universe,
+            "position {i} outside universe {}",
+            self.universe
+        );
         let (w, b) = (i / 64, i % 64);
         let was = self.words[w] & (1 << b) != 0;
         self.words[w] |= 1 << b;

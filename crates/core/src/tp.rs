@@ -13,8 +13,8 @@
 //! `v̄` is the set of events visible at `p`; it is unique and contained in
 //! every p-faithful scenario.
 
-use cwf_model::PeerId;
 use cwf_engine::Run;
+use cwf_model::PeerId;
 
 use crate::faithful::relevant_attrs;
 use crate::index::RunIndex;
@@ -170,7 +170,11 @@ mod tests {
         let run = example_4_2();
         let applicant = run.spec().collab().peer("applicant").unwrap();
         let expl = minimal_faithful_scenario(&run, applicant);
-        assert_eq!(expl.events.to_vec(), vec![2, 3], "g then h — not the misleading e h");
+        assert_eq!(
+            expl.events.to_vec(),
+            vec![2, 3],
+            "g then h — not the misleading e h"
+        );
         assert_eq!(expl.subrun.len(), 2);
     }
 
@@ -243,10 +247,8 @@ mod tests {
     #[test]
     fn empty_run_yields_empty_explanation() {
         let spec = Arc::new(
-            parse_workflow(
-                "schema { T(K); } peers { p sees T(*); } rules { r @ p: +T(0) :- ; }",
-            )
-            .unwrap(),
+            parse_workflow("schema { T(K); } peers { p sees T(*); } rules { r @ p: +T(0) :- ; }")
+                .unwrap(),
         );
         let run = Run::new(spec);
         let p = run.spec().collab().peer("p").unwrap();

@@ -10,8 +10,8 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use cwf_model::{AttrId, PeerId, RelId, Value};
 use cwf_engine::Run;
+use cwf_model::{AttrId, PeerId, RelId, Value};
 
 use crate::faithful::relevant_attrs;
 use crate::index::RunIndex;
@@ -82,10 +82,8 @@ pub struct TracedClosure {
 /// the first obligation that pulled it in.
 pub fn traced_closure(run: &Run, index: &RunIndex, peer: PeerId) -> TracedClosure {
     let mut events = visible_set(run, peer);
-    let mut reasons: BTreeMap<usize, Obligation> = events
-        .iter()
-        .map(|i| (i, Obligation::Visible))
-        .collect();
+    let mut reasons: BTreeMap<usize, Obligation> =
+        events.iter().map(|i| (i, Obligation::Visible)).collect();
     let mut worklist: Vec<usize> = events.iter().collect();
     while let Some(j) = worklist.pop() {
         let q = run.event(j).peer;
@@ -99,7 +97,11 @@ pub fn traced_closure(run: &Run, index: &RunIndex, peer: PeerId) -> TracedClosur
                 if events.insert(lc.start) {
                     reasons.insert(
                         lc.start,
-                        Obligation::OpenedLifecycle { by: j, rel: *rel, key: k.clone() },
+                        Obligation::OpenedLifecycle {
+                            by: j,
+                            rel: *rel,
+                            key: k.clone(),
+                        },
                     );
                     worklist.push(lc.start);
                 }
@@ -107,7 +109,11 @@ pub fn traced_closure(run: &Run, index: &RunIndex, peer: PeerId) -> TracedClosur
                     if events.insert(end) {
                         reasons.insert(
                             end,
-                            Obligation::ClosedLifecycle { by: j, rel: *rel, key: k.clone() },
+                            Obligation::ClosedLifecycle {
+                                by: j,
+                                rel: *rel,
+                                key: k.clone(),
+                            },
                         );
                         worklist.push(end);
                     }
@@ -186,7 +192,12 @@ impl Justification {
                     key,
                     by
                 ),
-                Obligation::WroteAttributes { by, rel, key, attrs } => {
+                Obligation::WroteAttributes {
+                    by,
+                    rel,
+                    key,
+                    attrs,
+                } => {
                     let names: Vec<&str> = attrs
                         .iter()
                         .map(|a| schema.relation(*rel).attr_name(*a))
@@ -227,7 +238,10 @@ pub fn why(run: &Run, index: &RunIndex, peer: PeerId, event: usize) -> Option<Ju
     loop {
         let obligation = traced.reasons[&cur].clone();
         let next = obligation.demanded_by();
-        steps.push(WhyStep { event: cur, obligation });
+        steps.push(WhyStep {
+            event: cur,
+            obligation,
+        });
         match next {
             Some(n) => cur = n,
             None => break,

@@ -21,9 +21,9 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
-use cwf_model::{AttrId, PeerId, RelId, RelSchema, Schema, Value};
 use cwf_engine::{EngineError, Event, GroundUpdate, Run};
 use cwf_lang::{Literal, WorkflowSpec};
+use cwf_model::{AttrId, PeerId, RelId, RelSchema, Schema, Value};
 
 /// What the engine does when an event would violate the discipline
 /// (Remark 6.9: blocking is one choice; alerting or rolling back the stage
@@ -220,8 +220,8 @@ impl TransparentEngine {
             .any(|u| spec.collab().sees(self.peer, u.rel()));
         if !transparent && (touches_visible || visible) {
             // A non-transparent event may not modify what p sees.
-            let overflow = steps.len() + 1 > self.h
-                && self.would_be_transparent_modulo_steps(&spec, &event);
+            let overflow =
+                steps.len() + 1 > self.h && self.would_be_transparent_modulo_steps(&spec, &event);
             match self.mode {
                 EnforcementMode::Block => {
                     if overflow {
@@ -364,10 +364,7 @@ impl TransparentEngine {
                     if spec.collab().sees(self.peer, *rel) {
                         continue; // p-visible facts are transparent, no steps
                     }
-                    let key = event
-                        .valuation
-                        .resolve(&args[0])
-                        .expect("valuation total");
+                    let key = event.valuation.resolve(&args[0]).expect("valuation total");
                     match self.meta.get(&(*rel, key)) {
                         Some(m)
                             if m.deleted.is_none()
@@ -402,10 +399,7 @@ impl TransparentEngine {
                     if spec.collab().sees(self.peer, *rel) {
                         continue;
                     }
-                    let key = event
-                        .valuation
-                        .resolve(&args[0])
-                        .expect("valuation total");
+                    let key = event.valuation.resolve(&args[0]).expect("valuation total");
                     if !self.negative_transparent(*rel, &key, &mut steps) {
                         all_transparent = false;
                     }
@@ -531,9 +525,18 @@ mod tests {
         let sue = spec.collab().peer("sue").unwrap();
         let mut eng = TransparentEngine::new(Arc::clone(&spec), sue, 2);
         let x = Value::Fresh(100);
-        assert!(eng.push(ev(&spec, "clear", std::slice::from_ref(&x))).unwrap().applied());
-        assert!(eng.push(ev(&spec, "approve", std::slice::from_ref(&x))).unwrap().applied());
-        assert!(eng.push(ev(&spec, "hire", std::slice::from_ref(&x))).unwrap().applied());
+        assert!(eng
+            .push(ev(&spec, "clear", std::slice::from_ref(&x)))
+            .unwrap()
+            .applied());
+        assert!(eng
+            .push(ev(&spec, "approve", std::slice::from_ref(&x)))
+            .unwrap()
+            .applied());
+        assert!(eng
+            .push(ev(&spec, "hire", std::slice::from_ref(&x)))
+            .unwrap()
+            .applied());
         assert_eq!(eng.stats().blocked_transparency, 0);
         assert_eq!(eng.run().len(), 3);
     }
@@ -545,13 +548,23 @@ mod tests {
         let mut eng = TransparentEngine::new(Arc::clone(&spec), sue, 3);
         let x = Value::Fresh(100);
         let y = Value::Fresh(200);
-        assert!(eng.push(ev(&spec, "clear", std::slice::from_ref(&x))).unwrap().applied());
-        assert!(eng.push(ev(&spec, "approve", std::slice::from_ref(&x))).unwrap().applied());
+        assert!(eng
+            .push(ev(&spec, "clear", std::slice::from_ref(&x)))
+            .unwrap()
+            .applied());
+        assert!(eng
+            .push(ev(&spec, "approve", std::slice::from_ref(&x)))
+            .unwrap()
+            .applied());
         // A sue-visible event ends the stage: the Approved fact goes stale.
-        assert!(eng.push(ev(&spec, "clear", std::slice::from_ref(&y))).unwrap().applied());
+        assert!(eng
+            .push(ev(&spec, "clear", std::slice::from_ref(&y)))
+            .unwrap()
+            .applied());
         // Hiring x now relies on a previous-stage fact: blocked.
         assert_eq!(
-            eng.push(ev(&spec, "hire", std::slice::from_ref(&x))).unwrap(),
+            eng.push(ev(&spec, "hire", std::slice::from_ref(&x)))
+                .unwrap(),
             PushOutcome::BlockedNonTransparent
         );
         assert_eq!(eng.run().len(), 3, "blocked event not recorded");
@@ -580,7 +593,10 @@ mod tests {
             ("approve", &y),
             ("hire", &y),
         ] {
-            assert!(eng.push(ev(&spec, name, std::slice::from_ref(v))).unwrap().applied());
+            assert!(eng
+                .push(ev(&spec, name, std::slice::from_ref(v)))
+                .unwrap()
+                .applied());
         }
         let run = eng.into_run();
         // Definition 6.4 membership against the run's own p-fresh instances.
@@ -647,8 +663,8 @@ mod tests {
         let mut eng = TransparentEngine::new(Arc::clone(&spec), p, 1);
         assert!(eng.push(ev(&spec, "mk", &[])).unwrap().applied()); // stage 0
         assert!(eng.push(ev(&spec, "vis", &[])).unwrap().applied()); // stage ends
-        // Sc(0) is now stale, but `opaque` only writes invisible T: allowed
-        // as a non-transparent event.
+                                                                     // Sc(0) is now stale, but `opaque` only writes invisible T: allowed
+                                                                     // as a non-transparent event.
         let out = eng.push(ev(&spec, "opaque", &[])).unwrap();
         assert_eq!(out, PushOutcome::Applied { transparent: false });
         assert_eq!(eng.stats().opaque, 1);
@@ -671,12 +687,22 @@ mod tests {
             TransparentEngine::with_mode(Arc::clone(&spec), sue, 3, EnforcementMode::Alert);
         let x = Value::Fresh(100);
         let y = Value::Fresh(200);
-        assert!(eng.push(ev(&spec, "clear", std::slice::from_ref(&x))).unwrap().applied());
-        assert!(eng.push(ev(&spec, "approve", std::slice::from_ref(&x))).unwrap().applied());
-        assert!(eng.push(ev(&spec, "clear", std::slice::from_ref(&y))).unwrap().applied());
+        assert!(eng
+            .push(ev(&spec, "clear", std::slice::from_ref(&x)))
+            .unwrap()
+            .applied());
+        assert!(eng
+            .push(ev(&spec, "approve", std::slice::from_ref(&x)))
+            .unwrap()
+            .applied());
+        assert!(eng
+            .push(ev(&spec, "clear", std::slice::from_ref(&y)))
+            .unwrap()
+            .applied());
         // The stale hire goes through, with an alert.
         assert_eq!(
-            eng.push(ev(&spec, "hire", std::slice::from_ref(&x))).unwrap(),
+            eng.push(ev(&spec, "hire", std::slice::from_ref(&x)))
+                .unwrap(),
             PushOutcome::AppliedWithAlert
         );
         assert_eq!(eng.run().len(), 4);
@@ -693,16 +719,29 @@ mod tests {
             TransparentEngine::with_mode(Arc::clone(&spec), sue, 3, EnforcementMode::Rollback);
         let x = Value::Fresh(100);
         let y = Value::Fresh(200);
-        assert!(eng.push(ev(&spec, "clear", std::slice::from_ref(&x))).unwrap().applied());
-        assert!(eng.push(ev(&spec, "approve", std::slice::from_ref(&x))).unwrap().applied());
-        assert!(eng.push(ev(&spec, "clear", std::slice::from_ref(&y))).unwrap().applied());
+        assert!(eng
+            .push(ev(&spec, "clear", std::slice::from_ref(&x)))
+            .unwrap()
+            .applied());
+        assert!(eng
+            .push(ev(&spec, "approve", std::slice::from_ref(&x)))
+            .unwrap()
+            .applied());
+        assert!(eng
+            .push(ev(&spec, "clear", std::slice::from_ref(&y)))
+            .unwrap()
+            .applied());
         // Silent work in the new stage, then a violating hire with the old
         // approval: the stage (the approve-for-y below) is discarded.
-        assert!(eng.push(ev(&spec, "approve", std::slice::from_ref(&y))).unwrap().applied());
+        assert!(eng
+            .push(ev(&spec, "approve", std::slice::from_ref(&y)))
+            .unwrap()
+            .applied());
         let before = eng.run().len();
         assert_eq!(before, 4);
         assert_eq!(
-            eng.push(ev(&spec, "hire", std::slice::from_ref(&x))).unwrap(),
+            eng.push(ev(&spec, "hire", std::slice::from_ref(&x)))
+                .unwrap(),
             PushOutcome::RolledBack { undone: 1 }
         );
         // The approve-for-y was undone; the run ends at the last visible
@@ -711,7 +750,10 @@ mod tests {
         let approved = spec.collab().schema().rel("Approved").unwrap();
         assert!(!eng.run().current().rel(approved).contains_key(&y));
         // The engine remains usable: redo the approval and hire y cleanly.
-        assert!(eng.push(ev(&spec, "approve", std::slice::from_ref(&y))).unwrap().applied());
+        assert!(eng
+            .push(ev(&spec, "approve", std::slice::from_ref(&y)))
+            .unwrap()
+            .applied());
         assert!(eng.push(ev(&spec, "hire", &[y])).unwrap().applied());
     }
 
@@ -722,9 +764,18 @@ mod tests {
         let mut eng =
             TransparentEngine::with_mode(Arc::clone(&spec), sue, 3, EnforcementMode::Rollback);
         let x = Value::Fresh(100);
-        assert!(eng.push(ev(&spec, "clear", std::slice::from_ref(&x))).unwrap().applied());
-        assert!(eng.push(ev(&spec, "approve", std::slice::from_ref(&x))).unwrap().applied());
-        assert!(eng.push(ev(&spec, "clear", &[Value::Fresh(200)])).unwrap().applied());
+        assert!(eng
+            .push(ev(&spec, "clear", std::slice::from_ref(&x)))
+            .unwrap()
+            .applied());
+        assert!(eng
+            .push(ev(&spec, "approve", std::slice::from_ref(&x)))
+            .unwrap()
+            .applied());
+        assert!(eng
+            .push(ev(&spec, "clear", &[Value::Fresh(200)]))
+            .unwrap()
+            .applied());
         // Immediately violating hire: the current stage has no silent events.
         assert_eq!(
             eng.push(ev(&spec, "hire", &[x])).unwrap(),

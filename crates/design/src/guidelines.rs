@@ -9,8 +9,8 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use cwf_model::{AttrId, PeerId, RelId};
 use cwf_lang::{Literal, Rule, Term, UpdateAtom, WorkflowSpec};
+use cwf_model::{AttrId, PeerId, RelId};
 
 use crate::pgraph::satisfies_c1;
 
@@ -77,22 +77,40 @@ impl fmt::Display for GuidelineViolation {
                 write!(f, "(C2) violated: rule {rule} lacks a Stage guard")
             }
             GuidelineViolation::C2MissingStageDelete { rule } => {
-                write!(f, "(C2) violated: rule {rule} has visible updates but keeps Stage")
+                write!(
+                    f,
+                    "(C2) violated: rule {rule} has visible updates but keeps Stage"
+                )
             }
             GuidelineViolation::C3VisibleNotTransparent { rel } => {
-                write!(f, "(C3) violated: visible relation {rel:?} classified opaque")
+                write!(
+                    f,
+                    "(C3) violated: visible relation {rel:?} classified opaque"
+                )
             }
             GuidelineViolation::C3MissingStageId { rel } => {
-                write!(f, "(C3) violated: transparent invisible {rel:?} lacks StageID")
+                write!(
+                    f,
+                    "(C3) violated: transparent invisible {rel:?} lacks StageID"
+                )
             }
             GuidelineViolation::C4OpaqueBody { rule } => {
-                write!(f, "(C4)(i) violated: rule {rule} reads opaque/negative facts")
+                write!(
+                    f,
+                    "(C4)(i) violated: rule {rule} reads opaque/negative facts"
+                )
             }
             GuidelineViolation::C4BadUpdate { rule } => {
-                write!(f, "(C4)(ii) violated: rule {rule} has a non-stage-local update")
+                write!(
+                    f,
+                    "(C4)(ii) violated: rule {rule} has a non-stage-local update"
+                )
             }
             GuidelineViolation::C4InvisibleDelete { rule } => {
-                write!(f, "(C4) violated: rule {rule} deletes from an invisible transparent relation")
+                write!(
+                    f,
+                    "(C4) violated: rule {rule} deletes from an invisible transparent relation"
+                )
             }
         }
     }
@@ -155,10 +173,14 @@ fn check_rule(
     // the stage id. The stage-init rule itself is exempt.
     if !is_stage_init {
         if !visible_updates && !has_stage_guard {
-            out.push(GuidelineViolation::C2MissingStageGuard { rule: rule.name.clone() });
+            out.push(GuidelineViolation::C2MissingStageGuard {
+                rule: rule.name.clone(),
+            });
         }
         if visible_updates && !deletes_stage {
-            out.push(GuidelineViolation::C2MissingStageDelete { rule: rule.name.clone() });
+            out.push(GuidelineViolation::C2MissingStageDelete {
+                rule: rule.name.clone(),
+            });
         }
     }
     // (C4): rules updating transparent relations.
@@ -180,15 +202,15 @@ fn check_rule(
             Literal::Eq(..) | Literal::Neq(..) => false,
         };
         if bad {
-            out.push(GuidelineViolation::C4OpaqueBody { rule: rule.name.clone() });
+            out.push(GuidelineViolation::C4OpaqueBody {
+                rule: rule.name.clone(),
+            });
             break;
         }
     }
     // Stage-id variable: the second argument of the Stage guard, if any.
     let stage_var = rule.body.iter().find_map(|l| match l {
-        Literal::Pos { rel, args } if *rel == class.stage && args.len() == 2 => {
-            args[1].as_var()
-        }
+        Literal::Pos { rel, args } if *rel == class.stage && args.len() == 2 => args[1].as_var(),
         _ => None,
     });
     let body_vars = rule.body_vars();
@@ -201,7 +223,9 @@ fn check_rule(
         match u {
             UpdateAtom::Delete { .. } => {
                 if !collab.sees(peer, rel) {
-                    out.push(GuidelineViolation::C4InvisibleDelete { rule: rule.name.clone() });
+                    out.push(GuidelineViolation::C4InvisibleDelete {
+                        rule: rule.name.clone(),
+                    });
                 }
             }
             UpdateAtom::Insert { args, .. } => {
@@ -235,8 +259,7 @@ fn check_rule(
                 } else {
                     // No StageID column: only fresh-key creation is safe.
                     let key = &args[0];
-                    let fresh_key =
-                        key.as_var().is_some_and(|v| !body_vars.contains(&v));
+                    let fresh_key = key.as_var().is_some_and(|v| !body_vars.contains(&v));
                     if !fresh_key {
                         out.push(GuidelineViolation::C4BadUpdate {
                             rule: rule.name.clone(),
@@ -320,9 +343,9 @@ mod tests {
         .unwrap();
         let (sue, class) = staged_classification(&spec);
         let violations = check_guidelines(&spec, sue, &class);
-        assert!(violations
-            .iter()
-            .any(|v| matches!(v, GuidelineViolation::C2MissingStageGuard { rule } if rule == "approve")));
+        assert!(violations.iter().any(
+            |v| matches!(v, GuidelineViolation::C2MissingStageGuard { rule } if rule == "approve")
+        ));
         assert!(violations
             .iter()
             .any(|v| matches!(v, GuidelineViolation::C4BadUpdate { rule } if rule == "approve")));
@@ -352,9 +375,9 @@ mod tests {
             stage_id_attr: Default::default(),
         };
         let violations = check_guidelines(&spec, sue, &class);
-        assert!(violations
-            .iter()
-            .any(|v| matches!(v, GuidelineViolation::C2MissingStageDelete { rule } if rule == "clear")));
+        assert!(violations.iter().any(
+            |v| matches!(v, GuidelineViolation::C2MissingStageDelete { rule } if rule == "clear")
+        ));
     }
 
     #[test]
@@ -379,11 +402,7 @@ mod tests {
         let p = collab.peer("p").unwrap();
         let t = collab.schema().rel("T").unwrap();
         let class = Classification {
-            transparent: collab
-                .schema()
-                .rel_ids()
-                .filter(|r| *r != t)
-                .collect(),
+            transparent: collab.schema().rel_ids().filter(|r| *r != t).collect(),
             stage: collab.schema().rel("Stage").unwrap(),
             stage_id_attr: Default::default(),
         };
@@ -405,9 +424,9 @@ mod tests {
             stage_id_attr: Default::default(),
         };
         let violations = check_guidelines(&spec, sue, &class);
-        assert!(violations
-            .iter()
-            .any(|v| matches!(v, GuidelineViolation::C3VisibleNotTransparent { rel } if *rel == cleared)));
+        assert!(violations.iter().any(
+            |v| matches!(v, GuidelineViolation::C3VisibleNotTransparent { rel } if *rel == cleared)
+        ));
     }
 
     #[test]

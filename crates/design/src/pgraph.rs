@@ -10,8 +10,8 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use cwf_model::{PeerId, RelId};
 use cwf_lang::{Literal, UpdateAtom, WorkflowSpec};
+use cwf_model::{PeerId, RelId};
 
 /// The dependency graph of Theorem 6.3.
 #[derive(Debug, Clone, PartialEq, Eq)]

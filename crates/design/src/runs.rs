@@ -11,9 +11,9 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use cwf_model::{AttrId, Instance, PeerId, RelId, Schema, Tuple, Value, KEY};
-use cwf_engine::{Event, GroundUpdate, Run};
 use cwf_analysis::{chain_fails_on, minimum_faithful_of_stage, stages};
+use cwf_engine::{Event, GroundUpdate, Run};
+use cwf_model::{AttrId, Instance, PeerId, RelId, Schema, Tuple, Value, KEY};
 
 /// A violation of run-level transparency.
 #[derive(Debug, Clone)]
@@ -160,10 +160,7 @@ impl Projection {
         for (r, kept) in &self.rels {
             for t in inst.rel(*r).iter() {
                 let arity = schema.relation(*r).arity();
-                let padded = Tuple::padded(
-                    arity,
-                    kept.iter().map(|a| (*a, t.get(*a).clone())),
-                );
+                let padded = Tuple::padded(arity, kept.iter().map(|a| (*a, t.get(*a).clone())));
                 out.rel_mut(*r)
                     .insert(padded)
                     .expect("keys preserved by projection");
@@ -174,7 +171,11 @@ impl Projection {
 
     /// Projects one event's ground updates; `None` when the head empties
     /// (the event is removed from the projected run).
-    pub fn project_updates(&self, updates: &[GroundUpdate], schema: &Schema) -> Option<Vec<GroundUpdate>> {
+    pub fn project_updates(
+        &self,
+        updates: &[GroundUpdate],
+        schema: &Schema,
+    ) -> Option<Vec<GroundUpdate>> {
         let mut out = Vec::new();
         for u in updates {
             match u {

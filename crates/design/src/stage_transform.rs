@@ -31,8 +31,8 @@
 
 use std::collections::BTreeMap;
 
-use cwf_model::{AttrId, CollabSchema, PeerId, RelId, RelSchema, Schema, Value, ViewRel};
 use cwf_lang::{Literal, Program, Rule, Term, UpdateAtom, VarId, WorkflowSpec};
+use cwf_model::{AttrId, CollabSchema, PeerId, RelId, RelSchema, Schema, Value, ViewRel};
 
 use crate::guidelines::Classification;
 
@@ -71,7 +71,10 @@ impl std::fmt::Display for StageTransformError {
                  split it before staging (cf. Example 6.1)"
             ),
             StageTransformError::Inexpressible { rule, what } => {
-                write!(f, "rule {rule}: {what} is not expressible over the re-keyed schema")
+                write!(
+                    f,
+                    "rule {rule}: {what} is not expressible over the re-keyed schema"
+                )
             }
         }
     }
@@ -161,7 +164,11 @@ pub fn add_stage_discipline(
                 new_collab
                     .set_view(
                         q,
-                        ViewRel::new(nr, old_view.attrs().iter().copied(), old_view.selection().clone()),
+                        ViewRel::new(
+                            nr,
+                            old_view.attrs().iter().copied(),
+                            old_view.selection().clone(),
+                        ),
                     )
                     .expect("valid view");
             }
@@ -188,7 +195,10 @@ pub fn add_stage_discipline(
         stage,
         stage_id_attr,
     };
-    Ok(Staged { spec: staged_spec, classification })
+    Ok(Staged {
+        spec: staged_spec,
+        classification,
+    })
 }
 
 /// Picks an attribute name not already used by the relation.
@@ -232,7 +242,9 @@ fn transform_rule(
         .iter()
         .any(|u| u.is_insert() && invisible(u.rel()));
     if visible_update && invisible_insert {
-        return Err(StageTransformError::MixedHead { rule: rule.name.clone() });
+        return Err(StageTransformError::MixedHead {
+            rule: rule.name.clone(),
+        });
     }
     let mut vars = rule.vars.clone();
     let fresh_var = |vars: &mut Vec<String>, base: &str| -> VarId {
@@ -260,7 +272,10 @@ fn transform_rule(
                 let mut new_args = vec![Term::Var(token)];
                 new_args.extend(args.iter().cloned());
                 new_args.push(s_term.clone());
-                body.push(Literal::Pos { rel: rel_map[rel], args: new_args });
+                body.push(Literal::Pos {
+                    rel: rel_map[rel],
+                    args: new_args,
+                });
             }
             Literal::KeyPos { rel, key } if invisible(*rel) => {
                 // ∃ tuple with object `key` in the current stage.
@@ -274,7 +289,10 @@ fn transform_rule(
                     new_args.push(Term::Var(fresh_var(&mut vars, "_z")));
                 }
                 new_args.push(s_term.clone());
-                body.push(Literal::Pos { rel: rel_map[rel], args: new_args });
+                body.push(Literal::Pos {
+                    rel: rel_map[rel],
+                    args: new_args,
+                });
             }
             Literal::Neg { rel, .. } | Literal::KeyNeg { rel, .. } if invisible(*rel) => {
                 return Err(StageTransformError::Inexpressible {
@@ -314,13 +332,14 @@ fn transform_rule(
                 let mut new_args = vec![Term::Var(token)];
                 new_args.extend(args.iter().cloned());
                 new_args.push(s_term.clone());
-                head.push(UpdateAtom::Insert { rel: rel_map[rel], args: new_args });
+                head.push(UpdateAtom::Insert {
+                    rel: rel_map[rel],
+                    args: new_args,
+                });
             }
             UpdateAtom::Delete { rel, key } if invisible(*rel) => {
                 // Delete through the token bound by a body witness.
-                let Some((_, _, token)) = tokens
-                    .iter()
-                    .find(|(r, k, _)| r == rel && k == key)
+                let Some((_, _, token)) = tokens.iter().find(|(r, k, _)| r == rel && k == key)
                 else {
                     return Err(StageTransformError::Inexpressible {
                         rule: rule.name.clone(),

@@ -14,8 +14,8 @@
 
 use std::fmt;
 
-use cwf_model::{PeerId, RelId};
 use cwf_lang::{is_normal_form, Literal, UpdateAtom, WorkflowSpec};
+use cwf_model::{PeerId, RelId};
 
 use crate::pgraph::satisfies_c1;
 
@@ -69,11 +69,7 @@ impl fmt::Display for TfViolation {
 /// when `stage` designates the Stage relation; pass `None` for programs
 /// whose stage discipline is enforced at run time by the
 /// [`crate::enforce::TransparentEngine`].
-pub fn check_tf(
-    spec: &WorkflowSpec,
-    peer: PeerId,
-    stage: Option<RelId>,
-) -> Vec<TfViolation> {
+pub fn check_tf(spec: &WorkflowSpec, peer: PeerId, stage: Option<RelId>) -> Vec<TfViolation> {
     let mut out = Vec::new();
     if !is_normal_form(spec.program()) {
         out.push(TfViolation::NotNormalForm);
@@ -132,7 +128,12 @@ pub fn check_tf(
             if let Some(view) = collab.view(q, rel) {
                 let projected: std::collections::BTreeSet<_> =
                     view.attrs().iter().copied().collect();
-                if !view.selection().attrs().iter().all(|a| projected.contains(a)) {
+                if !view
+                    .selection()
+                    .attrs()
+                    .iter()
+                    .all(|a| projected.contains(a))
+                {
                     out.push(TfViolation::C4Prime { peer: q, rel });
                 }
             }
@@ -199,7 +200,9 @@ mod tests {
         assert_eq!(
             violations
                 .iter()
-                .filter(|v| matches!(v, TfViolation::C3Prime { rule, .. } if rule.starts_with("reuse")))
+                .filter(
+                    |v| matches!(v, TfViolation::C3Prime { rule, .. } if rule.starts_with("reuse"))
+                )
                 .count(),
             1
         );

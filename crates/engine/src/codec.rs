@@ -19,8 +19,8 @@
 
 use std::fmt;
 
-use cwf_model::{Instance, Value};
 use cwf_lang::{VarId, WorkflowSpec};
+use cwf_model::{Instance, Value};
 
 use crate::eval::Bindings;
 use crate::event::Event;
@@ -58,13 +58,31 @@ pub enum CodecError {
     Replay(ReplayError),
 }
 
+impl CodecError {
+    /// The 1-based line number the error points at (`None` for replay
+    /// failures, which are indexed by event position instead).
+    pub fn line(&self) -> Option<usize> {
+        match self {
+            CodecError::UnknownRule { line, .. }
+            | CodecError::Arity { line, .. }
+            | CodecError::BadValue { line, .. } => Some(*line),
+            CodecError::Replay(_) => None,
+        }
+    }
+}
+
 impl fmt::Display for CodecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CodecError::UnknownRule { line, name } => {
                 write!(f, "line {line}: unknown rule {name}")
             }
-            CodecError::Arity { line, name, expected, got } => write!(
+            CodecError::Arity {
+                line,
+                name,
+                expected,
+                got,
+            } => write!(
                 f,
                 "line {line}: rule {name} takes {expected} values, got {got}"
             ),
@@ -84,7 +102,7 @@ impl From<ReplayError> for CodecError {
     }
 }
 
-fn encode_value(v: &Value, out: &mut String) {
+pub(crate) fn encode_value(v: &Value, out: &mut String) {
     match v {
         Value::Null => out.push('_'),
         Value::Bool(b) => out.push_str(&format!("b:{b}")),
@@ -105,8 +123,11 @@ fn encode_value(v: &Value, out: &mut String) {
     }
 }
 
-fn decode_value(token: &str, line: usize) -> Result<Value, CodecError> {
-    let bad = || CodecError::BadValue { line, token: token.to_string() };
+pub(crate) fn decode_value(token: &str, line: usize) -> Result<Value, CodecError> {
+    let bad = || CodecError::BadValue {
+        line,
+        token: token.to_string(),
+    };
     if token == "_" {
         return Ok(Value::Null);
     }
@@ -164,21 +185,76 @@ pub fn encode_run(run: &Run) -> String {
     let spec = run.spec();
     let mut out = String::from("# cwf run log v1\n");
     for i in 0..run.len() {
-        let e = run.event(i);
-        let rule = spec.program().rule(e.rule);
-        out.push_str(&rule.name);
-        for v in 0..rule.vars.len() {
-            out.push(' ');
-            let val = e.valuation.get(VarId(v as u32)).expect("total");
-            encode_value(val, &mut out);
-        }
+        out.push_str(&encode_event(spec, run.event(i)));
         out.push('\n');
     }
     out
 }
 
+/// Encodes one event as a single log line (no trailing newline) — the
+/// record payload shared by the v1 run log and the v2 WAL format.
+pub fn encode_event(spec: &WorkflowSpec, e: &Event) -> String {
+    let rule = spec.program().rule(e.rule);
+    let mut out = String::from(&*rule.name);
+    for v in 0..rule.vars.len() {
+        out.push(' ');
+        let val = e.valuation.get(VarId(v as u32)).expect("total");
+        encode_value(val, &mut out);
+    }
+    out
+}
+
+/// Decodes one event from pre-tokenized line content. `line` is the 1-based
+/// line number reported in errors.
+pub(crate) fn decode_event_tokens(
+    spec: &WorkflowSpec,
+    tokens: &[String],
+    line: usize,
+) -> Result<Event, CodecError> {
+    let name = &tokens[0];
+    let rid = spec
+        .program()
+        .rule_by_name(name)
+        .ok_or_else(|| CodecError::UnknownRule {
+            line,
+            name: name.clone(),
+        })?;
+    let rule = spec.program().rule(rid);
+    let vals = &tokens[1..];
+    if vals.len() != rule.vars.len() {
+        return Err(CodecError::Arity {
+            line,
+            name: name.clone(),
+            expected: rule.vars.len(),
+            got: vals.len(),
+        });
+    }
+    let mut b = Bindings::empty(rule.vars.len());
+    for (i, tok) in vals.iter().enumerate() {
+        b.set(VarId(i as u32), decode_value(tok, line)?);
+    }
+    Ok(Event {
+        rule: rid,
+        peer: rule.peer,
+        valuation: b,
+    })
+}
+
+/// Decodes one event from its single-line encoding (the inverse of
+/// [`encode_event`]).
+pub fn decode_event(spec: &WorkflowSpec, text: &str, line: usize) -> Result<Event, CodecError> {
+    let tokens = tokenize(text.trim());
+    if tokens.is_empty() {
+        return Err(CodecError::BadValue {
+            line,
+            token: String::new(),
+        });
+    }
+    decode_event_tokens(spec, &tokens, line)
+}
+
 /// Tokenizes one log line, honoring quoted strings.
-fn tokenize(line: &str) -> Vec<String> {
+pub(crate) fn tokenize(line: &str) -> Vec<String> {
     let mut out = Vec::new();
     let mut cur = String::new();
     let mut in_str = false;
@@ -220,26 +296,7 @@ pub fn decode_events(spec: &WorkflowSpec, log: &str) -> Result<Vec<Event>, Codec
             continue;
         }
         let tokens = tokenize(text);
-        let name = &tokens[0];
-        let rid = spec
-            .program()
-            .rule_by_name(name)
-            .ok_or_else(|| CodecError::UnknownRule { line, name: name.clone() })?;
-        let rule = spec.program().rule(rid);
-        let vals = &tokens[1..];
-        if vals.len() != rule.vars.len() {
-            return Err(CodecError::Arity {
-                line,
-                name: name.clone(),
-                expected: rule.vars.len(),
-                got: vals.len(),
-            });
-        }
-        let mut b = Bindings::empty(rule.vars.len());
-        for (i, tok) in vals.iter().enumerate() {
-            b.set(VarId(i as u32), decode_value(tok, line)?);
-        }
-        out.push(Event { rule: rid, peer: rule.peer, valuation: b });
+        out.push(decode_event_tokens(spec, &tokens, line)?);
     }
     Ok(out)
 }
@@ -298,8 +355,12 @@ mod tests {
         let spec = spec();
         let run = sample_run(&spec);
         let log = encode_run(&run);
-        let back = load_run(Arc::clone(&spec), Instance::empty(spec.collab().schema()), &log)
-            .unwrap();
+        let back = load_run(
+            Arc::clone(&spec),
+            Instance::empty(spec.collab().schema()),
+            &log,
+        )
+        .unwrap();
         assert_eq!(back.events(), run.events());
         assert_eq!(back.current(), run.current());
     }
@@ -333,11 +394,19 @@ mod tests {
         let spec = spec();
         assert_eq!(
             decode_events(&spec, "ghost f:0"),
-            Err(CodecError::UnknownRule { line: 1, name: "ghost".into() })
+            Err(CodecError::UnknownRule {
+                line: 1,
+                name: "ghost".into()
+            })
         );
         assert_eq!(
             decode_events(&spec, "# c\nmk f:0"),
-            Err(CodecError::Arity { line: 2, name: "mk".into(), expected: 2, got: 1 })
+            Err(CodecError::Arity {
+                line: 2,
+                name: "mk".into(),
+                expected: 2,
+                got: 1
+            })
         );
         assert!(matches!(
             decode_events(&spec, "mk f:0 zz:1"),
@@ -350,8 +419,12 @@ mod tests {
         let spec = spec();
         // fin before mk: body fails.
         let log = "fin f:0 f:1\n";
-        let err = load_run(Arc::clone(&spec), Instance::empty(spec.collab().schema()), log)
-            .unwrap_err();
+        let err = load_run(
+            Arc::clone(&spec),
+            Instance::empty(spec.collab().schema()),
+            log,
+        )
+        .unwrap_err();
         assert!(matches!(err, CodecError::Replay(_)));
     }
 

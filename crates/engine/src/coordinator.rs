@@ -1,23 +1,37 @@
-//! A master-server coordinator (the paper's Conclusion sketches exactly
-//! this deployment: *"a master server that has access to all the
-//! information, receives the updates, propagates them to appropriate peers,
-//! and controls transparency"*).
+//! A fault-tolerant master-server coordinator (the paper's Conclusion
+//! sketches exactly this deployment: *"a master server that has access to
+//! all the information, receives the updates, propagates them to
+//! appropriate peers, and controls transparency"*).
 //!
 //! The [`Coordinator`] owns the global run and, per accepted event, computes
 //! the **view delta** of every peer — the minimal description of what that
-//! peer's replica must change. Peers that hold only their view can replay
-//! deltas locally; the coordinator guarantees each peer's materialized view
-//! stays equal to `I@p` (tested). Enforcement (Section 6) composes on top:
-//! wrap pushes with `cwf-design`'s `TransparentEngine` and forward only
-//! accepted events.
+//! peer's replica must change. Deltas travel to replicas through a
+//! [`Transport`] as sequence-numbered messages held in a per-peer **outbox**
+//! until acknowledged: replicas apply deltas idempotently (duplicates and
+//! stale reorders are suppressed by sequence number), unacknowledged deltas
+//! are retried with capped exponential backoff, and a replica that falls
+//! too far behind — or diverges — is **resynced** with a full view snapshot.
+//! With the default [`PerfectTransport`] this degenerates to the original
+//! synchronous behavior: every `submit` leaves all replicas equal to `I@p`.
+//!
+//! Durability composes via an optional write-ahead log ([`Wal`]): accepted
+//! events are appended (with seqnos and CRCs) before they are broadcast,
+//! and [`Coordinator::recover`] rebuilds a coordinator from the log —
+//! snapshot plus tail replay, truncating any torn record. Enforcement
+//! (Section 6) composes on top: wrap pushes with `cwf-design`'s
+//! `TransparentEngine` and forward only accepted events.
 
+use std::collections::VecDeque;
 use std::fmt;
 
 use cwf_model::{PeerId, RelId, Tuple, Value, ViewInstance};
 
-use crate::error::EngineError;
+use crate::error::{CoordinatorError, WalError};
 use crate::event::Event;
 use crate::run::Run;
+use crate::stats::{FtStats, RunStats};
+use crate::transport::{Ack, PeerMsg, PerfectTransport, Transport};
+use crate::wal::{RecoveryReport, Wal, WalBackend, WalOptions};
 
 /// One peer's view change caused by one event.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -57,6 +71,11 @@ impl ViewDelta {
     }
 
     /// Applies the delta to a materialized view replica.
+    ///
+    /// Idempotent by construction: removals are keyed deletes and upserts
+    /// are keyed inserts, applied removals-first, so re-applying the same
+    /// delta leaves the replica unchanged — the property that makes
+    /// duplicate-suppressing delivery safe even if suppression misses.
     pub fn apply_to(&self, replica: &mut MaterializedView) {
         for (rel, key) in &self.removals {
             replica.remove(*rel, key);
@@ -79,6 +98,15 @@ impl MaterializedView {
         Self::default()
     }
 
+    /// Materializes a view instance (used for resync snapshots).
+    pub fn from_view(view: &ViewInstance) -> Self {
+        let mut out = Self::new();
+        for (rel, t) in view.facts() {
+            out.upsert(rel, t.clone());
+        }
+        out
+    }
+
     fn upsert(&mut self, rel: RelId, t: Tuple) {
         self.rels.entry(rel).or_default().insert(t.key().clone(), t);
     }
@@ -96,14 +124,12 @@ impl MaterializedView {
 
     /// Does the replica equal the given view instance?
     pub fn matches(&self, view: &ViewInstance) -> bool {
-        // Compare both directions.
-        let mine = self
-            .rels
-            .iter()
-            .flat_map(|(r, m)| m.values().map(move |t| (*r, t.clone())));
-        for (r, t) in mine {
-            if view.get(r, t.key()) != Some(&t) {
-                return false;
+        // Compare both directions, by reference — no tuple is cloned.
+        for (r, m) in &self.rels {
+            for t in m.values() {
+                if view.get(*r, t.key()) != Some(t) {
+                    return false;
+                }
             }
         }
         for (r, t) in view.facts() {
@@ -129,23 +155,206 @@ pub struct Broadcast {
     pub deltas: Vec<(PeerId, ViewDelta)>,
 }
 
-/// The master server: owns the global run, maintains every peer's replica,
-/// and logs the broadcast deltas.
+/// Tuning knobs of the delivery protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoordinatorConfig {
+    /// Base retry backoff, in pump ticks.
+    pub retry_backoff_base: u64,
+    /// Cap on the exponential backoff, in pump ticks.
+    pub retry_backoff_cap: u64,
+    /// Unacknowledged deltas tolerated before a full-snapshot resync.
+    pub resync_lag: usize,
+    /// Retries of one delta tolerated before a full-snapshot resync.
+    pub resync_after_retries: u32,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        CoordinatorConfig {
+            retry_backoff_base: 1,
+            retry_backoff_cap: 16,
+            resync_lag: 32,
+            resync_after_retries: 8,
+        }
+    }
+}
+
+/// An unacknowledged message awaiting its ack (and possibly retries).
+#[derive(Debug, Clone)]
+struct Pending {
+    msg: PeerMsg,
+    attempts: u32,
+    due: u64,
+}
+
+/// The coordinator side of one peer's delta stream.
+#[derive(Debug, Default)]
+struct Outbox {
+    /// Sequence number of the next delta to enqueue (per-peer, from 1).
+    next_seq: u64,
+    /// Sent but unacknowledged messages, oldest first.
+    unacked: VecDeque<Pending>,
+}
+
+impl Outbox {
+    fn assign_seq(&mut self) -> u64 {
+        self.next_seq += 1;
+        self.next_seq
+    }
+
+    fn last_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    fn ack(&mut self, applied: u64) -> usize {
+        let before = self.unacked.len();
+        while self.unacked.front().is_some_and(|p| p.msg.seq() <= applied) {
+            self.unacked.pop_front();
+        }
+        before - self.unacked.len()
+    }
+}
+
+/// The peer side: the replica and its duplicate-suppression cursor.
+#[derive(Debug, Default)]
+struct ReplicaNode {
+    view: MaterializedView,
+    /// Highest contiguously applied sequence number.
+    applied: u64,
+}
+
+impl ReplicaNode {
+    /// Handles one incoming message; returns the cumulative ack to send.
+    fn handle(&mut self, msg: PeerMsg, ft: &mut FtStats) -> Ack {
+        match msg {
+            PeerMsg::Delta { seq, delta } => {
+                if seq == self.applied + 1 {
+                    delta.apply_to(&mut self.view);
+                    self.applied = seq;
+                } else if seq <= self.applied {
+                    ft.duplicates_suppressed += 1;
+                } else {
+                    ft.out_of_order_deferred += 1;
+                }
+            }
+            PeerMsg::Snapshot { seq, view } => {
+                if seq >= self.applied {
+                    self.view = view;
+                    self.applied = seq;
+                } else {
+                    ft.duplicates_suppressed += 1;
+                }
+            }
+        }
+        Ack {
+            peer: PeerId(0),
+            applied: self.applied,
+        } // peer filled by caller
+    }
+}
+
+/// The master server: owns the global run, drives every peer's replica
+/// through the transport, and logs the broadcast deltas.
 pub struct Coordinator {
     run: Run,
-    replicas: Vec<MaterializedView>,
+    outboxes: Vec<Outbox>,
+    replicas: Vec<ReplicaNode>,
     log: Vec<Broadcast>,
+    transport: Box<dyn Transport>,
+    wal: Option<Wal>,
+    config: CoordinatorConfig,
+    now: u64,
+    ft: FtStats,
+    halted: bool,
 }
 
 impl Coordinator {
-    /// Starts a coordinator over an empty run.
+    /// Starts a coordinator over an empty run with synchronous, reliable
+    /// delivery and no durability (the original in-memory deployment).
     pub fn new(spec: std::sync::Arc<cwf_lang::WorkflowSpec>) -> Self {
+        Self::with_parts(
+            spec,
+            Box::new(PerfectTransport::new()),
+            None,
+            CoordinatorConfig::default(),
+        )
+    }
+
+    /// Starts a coordinator shipping deltas through `transport`.
+    pub fn with_transport(
+        spec: std::sync::Arc<cwf_lang::WorkflowSpec>,
+        transport: Box<dyn Transport>,
+        config: CoordinatorConfig,
+    ) -> Self {
+        Self::with_parts(spec, transport, None, config)
+    }
+
+    /// Starts a durable coordinator: every accepted event is appended to
+    /// `wal` before it is broadcast.
+    pub fn with_wal(spec: std::sync::Arc<cwf_lang::WorkflowSpec>, wal: Wal) -> Self {
+        Self::with_parts(
+            spec,
+            Box::new(PerfectTransport::new()),
+            Some(wal),
+            CoordinatorConfig::default(),
+        )
+    }
+
+    /// Full-control constructor.
+    pub fn with_parts(
+        spec: std::sync::Arc<cwf_lang::WorkflowSpec>,
+        transport: Box<dyn Transport>,
+        wal: Option<Wal>,
+        config: CoordinatorConfig,
+    ) -> Self {
         let n = spec.collab().peer_count();
+        Self::from_run(Run::new(spec), n, transport, wal, config)
+    }
+
+    fn from_run(
+        run: Run,
+        n_peers: usize,
+        transport: Box<dyn Transport>,
+        wal: Option<Wal>,
+        config: CoordinatorConfig,
+    ) -> Self {
         Coordinator {
-            run: Run::new(spec),
-            replicas: vec![MaterializedView::new(); n],
+            run,
+            outboxes: (0..n_peers).map(|_| Outbox::default()).collect(),
+            replicas: (0..n_peers).map(|_| ReplicaNode::default()).collect(),
             log: Vec::new(),
+            transport,
+            wal,
+            config,
+            now: 0,
+            ft: FtStats::default(),
+            halted: false,
         }
+    }
+
+    /// Rebuilds a durable coordinator from its write-ahead log: recovers
+    /// the run (snapshot + tail replay, truncating any torn record), then
+    /// resyncs every replica with a full view snapshot. With a reliable
+    /// transport the recovered coordinator passes [`Coordinator::audit`]
+    /// immediately.
+    pub fn recover(
+        spec: std::sync::Arc<cwf_lang::WorkflowSpec>,
+        backend: Box<dyn WalBackend>,
+        opts: WalOptions,
+        transport: Box<dyn Transport>,
+        config: CoordinatorConfig,
+    ) -> Result<(Self, RecoveryReport), WalError> {
+        let recovered = Wal::recover(backend, std::sync::Arc::clone(&spec), opts)?;
+        let n = spec.collab().peer_count();
+        let mut c = Self::from_run(recovered.run, n, transport, Some(recovered.wal), config);
+        c.ft.recovered_events = recovered.report.events_replayed as u64;
+        c.ft.truncated_bytes = recovered.report.truncated_bytes as u64;
+        // Replicas restart cold: push everyone a full snapshot.
+        for p in c.run.spec_arc().collab().peer_ids() {
+            c.resync(p);
+        }
+        c.pump();
+        Ok((c, recovered.report))
     }
 
     /// The global run.
@@ -153,14 +362,32 @@ impl Coordinator {
         &self.run
     }
 
-    /// The broadcast log.
+    /// The broadcast log (empty after a recovery: the WAL is the durable
+    /// log; broadcasts are an in-memory trace).
     pub fn log(&self) -> &[Broadcast] {
         &self.log
     }
 
     /// Peer `p`'s replica.
     pub fn replica(&self, p: PeerId) -> &MaterializedView {
-        &self.replicas[p.index()]
+        &self.replicas[p.index()].view
+    }
+
+    /// Has the coordinator halted on a durability failure?
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Fault-tolerance counters (retries, resyncs, recoveries, …).
+    pub fn ft_stats(&self) -> &FtStats {
+        &self.ft
+    }
+
+    /// Run statistics with the fault-tolerance counters attached.
+    pub fn stats(&self) -> RunStats {
+        let mut s = RunStats::of(&self.run);
+        s.fault_tolerance = Some(self.ft.clone());
+        s
     }
 
     /// Draws a globally fresh value (for clients constructing events).
@@ -168,8 +395,14 @@ impl Coordinator {
         self.run.draw_fresh()
     }
 
-    /// Accepts an event, updates all replicas, and returns the broadcast.
-    pub fn submit(&mut self, event: Event) -> Result<&Broadcast, EngineError> {
+    /// Accepts an event, makes it durable (when a WAL is attached), queues
+    /// every affected peer's delta, and returns the broadcast. Runs one
+    /// delivery round; with a reliable transport all replicas are already
+    /// up to date when this returns.
+    pub fn submit(&mut self, event: Event) -> Result<&Broadcast, CoordinatorError> {
+        if self.halted {
+            return Err(CoordinatorError::Halted);
+        }
         let spec = self.run.spec_arc();
         let collab = spec.collab();
         let pre: Vec<ViewInstance> = collab
@@ -177,13 +410,47 @@ impl Coordinator {
             .map(|p| collab.view_of(self.run.current(), p))
             .collect();
         let actor = event.peer;
-        self.run.push(event)?;
+        self.run.push(event.clone())?;
+        // Write-ahead: the event must be durable before any peer hears of
+        // it. A WAL failure halts the coordinator — the event is in memory
+        // but NOT durable, so it counts as in-flight and must be
+        // resubmitted after recovery.
+        if let Some(wal) = self.wal.as_mut() {
+            match wal.append_event(&spec, &event) {
+                Ok(_) => {
+                    self.ft.wal_appends += 1;
+                    match wal.maybe_snapshot(collab.schema(), self.run.current()) {
+                        Ok(true) => self.ft.wal_snapshots += 1,
+                        Ok(false) => {}
+                        Err(e) => {
+                            self.halted = true;
+                            return Err(e.into());
+                        }
+                    }
+                }
+                Err(e) => {
+                    self.halted = true;
+                    return Err(e.into());
+                }
+            }
+        }
         let mut deltas = Vec::new();
         for p in collab.peer_ids() {
             let post = collab.view_of(self.run.current(), p);
             let delta = ViewDelta::between(&pre[p.index()], &post);
             if !delta.is_empty() {
-                delta.apply_to(&mut self.replicas[p.index()]);
+                let seq = self.outboxes[p.index()].assign_seq();
+                let msg = PeerMsg::Delta {
+                    seq,
+                    delta: delta.clone(),
+                };
+                self.outboxes[p.index()].unacked.push_back(Pending {
+                    msg: msg.clone(),
+                    attempts: 0,
+                    due: self.now + self.config.retry_backoff_base,
+                });
+                self.transport.send(p, msg);
+                self.ft.deltas_sent += 1;
                 deltas.push((p, delta));
             }
         }
@@ -192,16 +459,136 @@ impl Coordinator {
             actor,
             deltas,
         });
+        self.pump();
         Ok(self.log.last().expect("just pushed"))
     }
 
+    /// One delivery round: advance the transport clock, deliver arrived
+    /// messages to replicas (collecting their acks), process acks, retry
+    /// overdue messages, and resync any replica that lags too far behind.
+    pub fn pump(&mut self) {
+        self.transport.tick();
+        self.now += 1;
+        let spec = self.run.spec_arc();
+        let collab = spec.collab();
+        // Deliver to replicas; each message yields a cumulative ack.
+        for p in collab.peer_ids() {
+            for msg in self.transport.recv(p) {
+                let mut ack = self.replicas[p.index()].handle(msg, &mut self.ft);
+                ack.peer = p;
+                self.transport.send_ack(ack);
+            }
+        }
+        // Process acks.
+        for ack in self.transport.recv_acks() {
+            self.ft.acks_received += 1;
+            self.outboxes[ack.peer.index()].ack(ack.applied);
+        }
+        // Retry and resync.
+        for p in collab.peer_ids() {
+            let i = p.index();
+            let too_laggy = self.outboxes[i].unacked.len() > self.config.resync_lag;
+            let too_retried = self.outboxes[i]
+                .unacked
+                .front()
+                .is_some_and(|pend| pend.attempts >= self.config.resync_after_retries);
+            if too_laggy || too_retried {
+                self.resync(p);
+                continue;
+            }
+            let base = self.config.retry_backoff_base.max(1);
+            let cap = self.config.retry_backoff_cap.max(base);
+            let now = self.now;
+            let mut resend: Vec<PeerMsg> = Vec::new();
+            for pend in self.outboxes[i].unacked.iter_mut() {
+                if pend.due <= now {
+                    pend.attempts += 1;
+                    let backoff = base.saturating_mul(1u64 << pend.attempts.min(16)).min(cap);
+                    pend.due = now + backoff;
+                    resend.push(pend.msg.clone());
+                }
+            }
+            for msg in resend {
+                self.ft.retries += 1;
+                self.transport.send(p, msg);
+            }
+        }
+    }
+
+    /// Replaces peer `p`'s entire outbox with one full-view snapshot
+    /// message (the resync path). The snapshot carries the stream's latest
+    /// sequence number, so every older delta becomes a suppressible stale
+    /// message.
+    pub fn resync(&mut self, p: PeerId) {
+        let spec = self.run.spec_arc();
+        let view = spec.collab().view_of(self.run.current(), p);
+        let outbox = &mut self.outboxes[p.index()];
+        let msg = PeerMsg::Snapshot {
+            seq: outbox.last_seq(),
+            view: MaterializedView::from_view(&view),
+        };
+        outbox.unacked.clear();
+        outbox.unacked.push_back(Pending {
+            msg: msg.clone(),
+            attempts: 0,
+            due: self.now + self.config.retry_backoff_base,
+        });
+        self.transport.send(p, msg);
+        self.ft.resyncs += 1;
+    }
+
+    /// Queues a snapshot resync for every replica that currently diverges
+    /// from its authoritative view (the audit-triggered resync path).
+    pub fn resync_divergent(&mut self) -> usize {
+        let spec = self.run.spec_arc();
+        let collab = spec.collab();
+        let divergent: Vec<PeerId> = collab
+            .peer_ids()
+            .filter(|p| {
+                let view = collab.view_of(self.run.current(), *p);
+                !self.replicas[p.index()].view.matches(&view)
+            })
+            .collect();
+        for p in &divergent {
+            self.resync(*p);
+        }
+        divergent.len()
+    }
+
+    /// Stops all future fault injection on the transport (the network
+    /// stabilizes). Messages already in flight still arrive late; retries
+    /// absorb them.
+    pub fn heal(&mut self) {
+        self.transport.heal();
+    }
+
+    /// Pumps until every replica equals its authoritative view and no
+    /// message is awaiting acknowledgement, or `max_ticks` rounds elapse.
+    /// Returns whether the system converged. (After [`Coordinator::heal`],
+    /// convergence is guaranteed given enough ticks.)
+    pub fn converge(&mut self, max_ticks: u64) -> bool {
+        for _ in 0..max_ticks {
+            if self.quiescent() {
+                return true;
+            }
+            self.pump();
+        }
+        self.quiescent()
+    }
+
+    fn quiescent(&self) -> bool {
+        self.outboxes.iter().all(|o| o.unacked.is_empty()) && self.audit().is_ok()
+    }
+
     /// Verifies every replica against the authoritative view (used in tests
-    /// and as a deployment self-check).
+    /// and as a deployment self-check). Under an unreliable transport this
+    /// legitimately fails while deltas are in flight; see
+    /// [`Coordinator::converge`] and [`Coordinator::resync_divergent`].
     pub fn audit(&self) -> Result<(), PeerId> {
         let collab = self.run.spec().collab();
         for p in collab.peer_ids() {
             let view = collab.view_of(self.run.current(), p);
-            if !self.replicas[p.index()].matches(&view) {
+            if !self.replicas[p.index()].view.matches(&view) {
                 return Err(p);
             }
         }
@@ -213,9 +600,12 @@ impl fmt::Debug for Coordinator {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "Coordinator[{} events, {} broadcasts]",
+            "Coordinator[{} events, {} broadcasts, {} unacked{}{}]",
             self.run.len(),
-            self.log.len()
+            self.log.len(),
+            self.outboxes.iter().map(|o| o.unacked.len()).sum::<usize>(),
+            if self.wal.is_some() { ", durable" } else { "" },
+            if self.halted { ", HALTED" } else { "" },
         )
     }
 }
@@ -224,7 +614,10 @@ impl fmt::Debug for Coordinator {
 mod tests {
     use super::*;
     use crate::eval::Bindings;
+    use crate::fault::FaultPlan;
     use crate::simulate::{candidates, complete};
+    use crate::transport::FaultyTransport;
+    use crate::wal::{MemBackend, SyncPolicy};
     use cwf_lang::{parse_workflow, VarId};
     use std::sync::Arc;
 
@@ -265,7 +658,9 @@ mod tests {
         let spec = spec();
         let mut c = Coordinator::new(Arc::clone(&spec));
         let d = c.draw_fresh();
-        let b = c.submit(ev(&spec, "draft", std::slice::from_ref(&d))).unwrap();
+        let b = c
+            .submit(ev(&spec, "draft", std::slice::from_ref(&d)))
+            .unwrap();
         // The public peer sees drafts not at all: only author and editor get
         // a delta.
         let touched: Vec<PeerId> = b.deltas.iter().map(|(p, _)| *p).collect();
@@ -280,7 +675,8 @@ mod tests {
         let spec = spec();
         let mut c = Coordinator::new(Arc::clone(&spec));
         let d = c.draw_fresh();
-        c.submit(ev(&spec, "draft", std::slice::from_ref(&d))).unwrap();
+        c.submit(ev(&spec, "draft", std::slice::from_ref(&d)))
+            .unwrap();
         let d2 = c.draw_fresh();
         let b = c
             .submit(ev(&spec, "publish", &[d.clone(), d2.clone()]))
@@ -349,5 +745,98 @@ mod tests {
         assert!(c.submit(bogus).is_err());
         assert!(c.log().is_empty());
         c.audit().unwrap();
+    }
+
+    #[test]
+    fn applying_a_delta_twice_equals_applying_it_once() {
+        let spec = spec();
+        let mut c = Coordinator::new(Arc::clone(&spec));
+        let d = c.draw_fresh();
+        c.submit(ev(&spec, "draft", std::slice::from_ref(&d)))
+            .unwrap();
+        let d2 = c.draw_fresh();
+        let b = c.submit(ev(&spec, "publish", &[d, d2])).unwrap();
+        // The author's publish delta mixes a removal and an upsert.
+        let author = spec.collab().peer("author").unwrap();
+        let delta = b
+            .deltas
+            .iter()
+            .find(|(p, _)| *p == author)
+            .map(|(_, d)| d.clone())
+            .expect("author notified");
+        assert!(!delta.removals.is_empty());
+        let mut once = MaterializedView::new();
+        delta.apply_to(&mut once);
+        let mut twice = once.clone();
+        delta.apply_to(&mut twice);
+        assert_eq!(once, twice, "apply_to is idempotent");
+    }
+
+    #[test]
+    fn faulty_transport_converges_after_healing() {
+        let spec = spec();
+        let plan = FaultPlan::seeded(11).with_rates(0.4, 0.3, 0.4, 3, 0.3);
+        let mut c = Coordinator::with_transport(
+            Arc::clone(&spec),
+            Box::new(FaultyTransport::new(plan)),
+            CoordinatorConfig {
+                resync_lag: 4,
+                ..CoordinatorConfig::default()
+            },
+        );
+        for _ in 0..6 {
+            let d = c.draw_fresh();
+            c.submit(ev(&spec, "draft", std::slice::from_ref(&d)))
+                .unwrap();
+        }
+        c.heal();
+        assert!(c.converge(500), "heals to convergence");
+        c.audit().unwrap();
+        let stats = c.stats();
+        let ft = stats.fault_tolerance.expect("counters attached");
+        assert!(ft.deltas_sent >= 6);
+    }
+
+    #[test]
+    fn wal_failure_halts_and_recovery_resumes() {
+        let spec = spec();
+        let backend = MemBackend::new();
+        let opts = WalOptions {
+            sync: SyncPolicy::Always,
+            snapshot_every: None,
+        };
+        let wal = Wal::create(Box::new(backend.clone()), opts).unwrap();
+        let mut c = Coordinator::with_wal(Arc::clone(&spec), wal);
+        let d = c.draw_fresh();
+        c.submit(ev(&spec, "draft", std::slice::from_ref(&d)))
+            .unwrap();
+        // Crash mid-append of the second event: 7 bytes of the record land.
+        backend.schedule_crash(1, 7);
+        let d2 = c.draw_fresh();
+        let lost = ev(&spec, "draft", std::slice::from_ref(&d2));
+        let err = c.submit(lost.clone()).unwrap_err();
+        assert!(matches!(err, CoordinatorError::Wal(_)));
+        assert!(c.halted());
+        assert!(matches!(
+            c.submit(lost.clone()),
+            Err(CoordinatorError::Halted)
+        ));
+        // Recover from what survived: the synced prefix plus the torn bytes.
+        let survivor = backend.survivor(7);
+        let (mut rc, report) = Coordinator::recover(
+            Arc::clone(&spec),
+            Box::new(survivor),
+            opts,
+            Box::new(PerfectTransport::new()),
+            CoordinatorConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(report.last_seq, 1, "only the first event was durable");
+        assert!(report.truncated_bytes > 0, "torn tail truncated");
+        rc.audit().unwrap();
+        // The in-flight event resubmits cleanly.
+        rc.submit(lost).unwrap();
+        rc.audit().unwrap();
+        assert_eq!(rc.run().len(), 2);
     }
 }

@@ -2,8 +2,8 @@
 
 use std::fmt;
 
-use cwf_model::{ChaseFailure, RelId, Value};
 use cwf_lang::RuleId;
+use cwf_model::{ChaseFailure, RelId, Value};
 
 /// Why an event could not be applied to an instance.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,7 +50,10 @@ impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EngineError::BodyNotSatisfied { rule } => {
-                write!(f, "rule {rule:?}: body not satisfied at the given valuation")
+                write!(
+                    f,
+                    "rule {rule:?}: body not satisfied at the given valuation"
+                )
             }
             EngineError::DeleteInvisible { rel, key } => write!(
                 f,
@@ -84,5 +87,88 @@ impl std::error::Error for EngineError {
 impl From<ChaseFailure> for EngineError {
     fn from(e: ChaseFailure) -> Self {
         EngineError::InsertChase(e)
+    }
+}
+
+/// Errors of the durable write-ahead log (`engine::wal`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalError {
+    /// The storage backend failed (I/O error, or a simulated crash from a
+    /// fault plan). The log may end in a torn record; recovery truncates it.
+    Backend(String),
+    /// A non-empty log does not start with the v2 header line.
+    BadHeader,
+    /// A record passed its CRC but is semantically invalid — an undecodable
+    /// payload, a non-monotone sequence number, or a replay failure. CRCs
+    /// only guard against accidental corruption; a checksummed-but-invalid
+    /// record means the log was tampered with, and recovery refuses it.
+    Tampered {
+        /// Sequence number of the offending record (0 when unknown).
+        seq: u64,
+        /// Human-readable cause.
+        reason: String,
+    },
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Backend(e) => write!(f, "wal backend failure: {e}"),
+            WalError::BadHeader => write!(f, "wal does not start with a v2 header"),
+            WalError::Tampered { seq, reason } => {
+                write!(f, "wal record {seq} is tampered: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+/// Errors surfaced by the fault-tolerant [`Coordinator`](crate::Coordinator).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoordinatorError {
+    /// The event was rejected by the transition semantics (not applied, not
+    /// logged, nothing broadcast).
+    Engine(EngineError),
+    /// The write-ahead log failed while persisting an accepted event. The
+    /// coordinator halts (the event is *not* durable); recover from the WAL
+    /// and resubmit in-flight traffic.
+    Wal(WalError),
+    /// The coordinator previously halted on a WAL failure and refuses new
+    /// traffic until recovered.
+    Halted,
+}
+
+impl fmt::Display for CoordinatorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoordinatorError::Engine(e) => write!(f, "event rejected: {e}"),
+            CoordinatorError::Wal(e) => write!(f, "durability failure: {e}"),
+            CoordinatorError::Halted => {
+                write!(f, "coordinator halted after a durability failure")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoordinatorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoordinatorError::Engine(e) => Some(e),
+            CoordinatorError::Wal(e) => Some(e),
+            CoordinatorError::Halted => None,
+        }
+    }
+}
+
+impl From<EngineError> for CoordinatorError {
+    fn from(e: EngineError) -> Self {
+        CoordinatorError::Engine(e)
+    }
+}
+
+impl From<WalError> for CoordinatorError {
+    fn from(e: WalError) -> Self {
+        CoordinatorError::Wal(e)
     }
 }

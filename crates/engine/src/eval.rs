@@ -10,8 +10,8 @@
 //! after the join phase every body variable is bound, so filters only ever
 //! see ground terms.
 
-use cwf_model::{Value, ViewInstance};
 use cwf_lang::{Literal, Rule, Term, VarId};
+use cwf_model::{Value, ViewInstance};
 
 /// A (possibly partial) assignment of rule variables to values, indexed by
 /// [`VarId`].
@@ -168,12 +168,8 @@ fn filters_hold(rule: &Rule, view: &ViewInstance, b: &Bindings) -> bool {
                 let k = b.resolve(key).expect("safety: body vars bound");
                 !view.contains_key(*rel, &k)
             }
-            Literal::Eq(x, y) => {
-                b.resolve(x).expect("bound") == b.resolve(y).expect("bound")
-            }
-            Literal::Neq(x, y) => {
-                b.resolve(x).expect("bound") != b.resolve(y).expect("bound")
-            }
+            Literal::Eq(x, y) => b.resolve(x).expect("bound") == b.resolve(y).expect("bound"),
+            Literal::Neq(x, y) => b.resolve(x).expect("bound") != b.resolve(y).expect("bound"),
         };
         if !ok {
             return false;
@@ -251,7 +247,10 @@ mod tests {
         let mut b = RuleBuilder::new(p, "t");
         let k = b.var("k");
         let a = b.var("a");
-        let rule = b.pos(r, [k, a.clone()]).insert(r, [Term::Const(Value::int(9)), a]).build();
+        let rule = b
+            .pos(r, [k, a.clone()])
+            .insert(r, [Term::Const(Value::int(9)), a])
+            .build();
         let view = spec.collab().view_of(&i, p);
         let ms = match_body(&rule, &view);
         assert_eq!(ms.len(), 3);
@@ -285,7 +284,10 @@ mod tests {
         let k = b.var("k");
         let rule = b
             .pos(r, [k.clone(), Term::Const(Value::str("x"))])
-            .insert(r, [Term::Const(Value::int(9)), Term::Const(Value::str("z"))])
+            .insert(
+                r,
+                [Term::Const(Value::int(9)), Term::Const(Value::str("z"))],
+            )
             .build();
         let view = spec.collab().view_of(&i, p);
         assert_eq!(match_body(&rule, &view).len(), 2, "keys 1 and 3 have A = x");
@@ -329,7 +331,10 @@ mod tests {
         let rule = b
             .pos(r, [k.clone(), Term::Const(Value::str("x"))])
             .neg(s, [k.clone(), Term::Const(Value::str("y"))])
-            .insert(r, [Term::Const(Value::int(9)), Term::Const(Value::str("z"))])
+            .insert(
+                r,
+                [Term::Const(Value::int(9)), Term::Const(Value::str("z"))],
+            )
             .build();
         let ms = match_body(&rule, &view);
         assert_eq!(ms.len(), 2, "both keys 1 and 3 pass");
@@ -361,7 +366,10 @@ mod tests {
         let k = b.var("k");
         let rule = b
             .key_pos(s, k.clone())
-            .insert(s, [Term::Const(Value::int(9)), Term::Const(Value::str("b"))])
+            .insert(
+                s,
+                [Term::Const(Value::int(9)), Term::Const(Value::str("b"))],
+            )
             .build();
         let ms = match_body(&rule, &view);
         assert_eq!(ms.len(), 1);
@@ -374,7 +382,10 @@ mod tests {
         let view = spec.collab().view_of(&i, p);
         let b = RuleBuilder::new(p, "e");
         let rule = b
-            .insert(r, [Term::Const(Value::int(9)), Term::Const(Value::str("z"))])
+            .insert(
+                r,
+                [Term::Const(Value::int(9)), Term::Const(Value::str("z"))],
+            )
             .build();
         assert_eq!(match_body(&rule, &view).len(), 1);
     }

@@ -9,11 +9,11 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
 
-use cwf_model::{PeerId, RelId, Tuple, Value};
 use cwf_lang::{Literal, RuleId, Term, UpdateAtom, WorkflowSpec};
+use cwf_model::{PeerId, RelId, Tuple, Value};
 
-use crate::eval::Bindings;
 use crate::error::EngineError;
+use crate::eval::Bindings;
 
 /// An event `να`: a rule together with a total valuation of its variables.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,9 +53,10 @@ impl Event {
             .map(|u| match u {
                 UpdateAtom::Insert { rel, args } => GroundUpdate::Insert {
                     rel: *rel,
-                    view_tuple: Tuple::new(args.iter().map(|t| {
-                        self.valuation.resolve(t).expect("valuation is total")
-                    })),
+                    view_tuple: Tuple::new(
+                        args.iter()
+                            .map(|t| self.valuation.resolve(t).expect("valuation is total")),
+                    ),
                 },
                 UpdateAtom::Delete { rel, key } => GroundUpdate::Delete {
                     rel: *rel,
@@ -107,12 +108,7 @@ impl Event {
         let rule = spec.program().rule(self.rule);
         rule.fresh_vars()
             .into_iter()
-            .map(|v| {
-                self.valuation
-                    .get(v)
-                    .expect("valuation is total")
-                    .clone()
-            })
+            .map(|v| self.valuation.get(v).expect("valuation is total").clone())
             .collect()
     }
 
@@ -250,7 +246,10 @@ mod tests {
         assert_eq!(ups.len(), 2);
         assert_eq!(
             ups[0],
-            GroundUpdate::Delete { rel: r, key: Value::int(1) }
+            GroundUpdate::Delete {
+                rel: r,
+                key: Value::int(1)
+            }
         );
         assert_eq!(
             ups[1],

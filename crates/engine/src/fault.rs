@@ -1,0 +1,168 @@
+//! Deterministic fault injection for coordinator deployments.
+//!
+//! A [`FaultPlan`] is a seeded-RNG schedule of delivery faults (drops,
+//! duplicates, reorders, delays), coordinator crash-points mid-append, and
+//! log-byte corruption. The same seed always yields the same schedule, so
+//! property tests can shrink and replay failures exactly. Thread it through
+//! a [`FaultyTransport`](crate::transport::FaultyTransport) for delivery
+//! faults and a [`MemBackend`](crate::wal::MemBackend) for durability
+//! faults; after [`FaultPlan::heal`], everything behaves perfectly again.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic schedule of faults, drawn from a seeded RNG.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    rng: StdRng,
+    /// Probability a message (delta or ack) is dropped.
+    pub drop_p: f64,
+    /// Probability a message is duplicated.
+    pub dup_p: f64,
+    /// Probability a message is delayed.
+    pub delay_p: f64,
+    /// Maximum delay, in transport ticks.
+    pub max_delay: u64,
+    /// Probability the due messages of one poll are shuffled (reordering
+    /// beyond what random delays already cause).
+    pub reorder_p: f64,
+    healed: bool,
+}
+
+impl FaultPlan {
+    /// A plan with moderate default fault rates, fully determined by `seed`.
+    pub fn seeded(seed: u64) -> FaultPlan {
+        FaultPlan {
+            rng: StdRng::seed_from_u64(seed),
+            drop_p: 0.2,
+            dup_p: 0.15,
+            delay_p: 0.3,
+            max_delay: 4,
+            reorder_p: 0.25,
+            healed: false,
+        }
+    }
+
+    /// A plan that never faults (useful as a healed baseline).
+    pub fn perfect(seed: u64) -> FaultPlan {
+        FaultPlan {
+            drop_p: 0.0,
+            dup_p: 0.0,
+            delay_p: 0.0,
+            max_delay: 0,
+            reorder_p: 0.0,
+            ..FaultPlan::seeded(seed)
+        }
+    }
+
+    /// Overrides the fault rates (builder style).
+    pub fn with_rates(
+        mut self,
+        drop_p: f64,
+        dup_p: f64,
+        delay_p: f64,
+        max_delay: u64,
+        reorder_p: f64,
+    ) -> FaultPlan {
+        self.drop_p = drop_p;
+        self.dup_p = dup_p;
+        self.delay_p = delay_p;
+        self.max_delay = max_delay;
+        self.reorder_p = reorder_p;
+        self
+    }
+
+    /// Stops all future faults ("the network stabilizes"). Messages already
+    /// delayed in flight still arrive late; retry handles them.
+    pub fn heal(&mut self) {
+        self.healed = true;
+    }
+
+    /// Is the plan healed?
+    pub fn healed(&self) -> bool {
+        self.healed
+    }
+
+    /// Should this message be dropped?
+    pub fn decide_drop(&mut self) -> bool {
+        !self.healed && self.rng.gen_bool(self.drop_p)
+    }
+
+    /// Should this message be duplicated?
+    pub fn decide_duplicate(&mut self) -> bool {
+        !self.healed && self.rng.gen_bool(self.dup_p)
+    }
+
+    /// Extra delivery delay for this message, in ticks (0 = on time).
+    pub fn decide_delay(&mut self) -> u64 {
+        if self.healed || self.max_delay == 0 || !self.rng.gen_bool(self.delay_p) {
+            0
+        } else {
+            self.rng.gen_range(1..=self.max_delay)
+        }
+    }
+
+    /// Should this batch of due messages be shuffled?
+    pub fn decide_reorder(&mut self) -> bool {
+        !self.healed && self.rng.gen_bool(self.reorder_p)
+    }
+
+    /// A uniformly random index below `n` (crash cut points, corruption
+    /// offsets, shuffle positions). `n` must be nonzero.
+    pub fn pick(&mut self, n: usize) -> usize {
+        self.rng.gen_range(0..n)
+    }
+
+    /// A random byte to XOR into a corrupted log position (never 0, so the
+    /// byte actually changes).
+    pub fn corruption_byte(&mut self) -> u8 {
+        self.rng.gen_range(1..=u8::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let mut a = FaultPlan::seeded(42);
+        let mut b = FaultPlan::seeded(42);
+        for _ in 0..100 {
+            assert_eq!(a.decide_drop(), b.decide_drop());
+            assert_eq!(a.decide_delay(), b.decide_delay());
+            assert_eq!(a.pick(17), b.pick(17));
+        }
+    }
+
+    #[test]
+    fn healing_stops_faults() {
+        let mut p = FaultPlan::seeded(7).with_rates(1.0, 1.0, 1.0, 5, 1.0);
+        assert!(p.decide_drop());
+        p.heal();
+        assert!(p.healed());
+        for _ in 0..50 {
+            assert!(!p.decide_drop());
+            assert!(!p.decide_duplicate());
+            assert_eq!(p.decide_delay(), 0);
+            assert!(!p.decide_reorder());
+        }
+    }
+
+    #[test]
+    fn perfect_plan_never_faults() {
+        let mut p = FaultPlan::perfect(3);
+        for _ in 0..50 {
+            assert!(!p.decide_drop());
+            assert_eq!(p.decide_delay(), 0);
+        }
+    }
+
+    #[test]
+    fn corruption_byte_is_nonzero() {
+        let mut p = FaultPlan::seeded(1);
+        for _ in 0..100 {
+            assert_ne!(p.corruption_byte(), 0);
+        }
+    }
+}

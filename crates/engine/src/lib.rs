@@ -6,6 +6,12 @@
 //! `I ⊢_e J` (insertion via chase + subsumption, visible deletion), runs
 //! with global-freshness enforcement, replay of event subsequences (the
 //! subrun primitive), peer views of runs `ρ@p`, and a random simulator.
+//!
+//! The deployment layer makes the master-server sketch of the paper's
+//! Conclusion fault tolerant: a checksummed write-ahead log with snapshot
+//! recovery ([`wal`]), unreliable delivery with acknowledgement, retry, and
+//! snapshot resync ([`coordinator`], [`transport`]), and deterministic fault
+//! injection for testing it all ([`fault`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -15,19 +21,27 @@ pub mod coordinator;
 pub mod error;
 pub mod eval;
 pub mod event;
+pub mod fault;
 pub mod nf_runs;
 pub mod run;
 pub mod simulate;
 pub mod stats;
 pub mod transition;
+pub mod transport;
+pub mod wal;
 
-pub use codec::{decode_events, encode_run, load_run, CodecError};
-pub use coordinator::{Broadcast, Coordinator, MaterializedView, ViewDelta};
-pub use error::EngineError;
-pub use stats::{PeerStats, RunStats};
+pub use codec::{decode_event, decode_events, encode_event, encode_run, load_run, CodecError};
+pub use coordinator::{Broadcast, Coordinator, CoordinatorConfig, MaterializedView, ViewDelta};
+pub use error::{CoordinatorError, EngineError, WalError};
 pub use eval::{check_body, match_body, Bindings};
 pub use event::{Event, GroundUpdate};
+pub use fault::FaultPlan;
 pub use nf_runs::{from_normal_form, to_normal_form, NfTranslateError};
 pub use run::{EventView, ReplayError, Run, RunView, ViewStep};
 pub use simulate::{candidates, complete, Candidate, Simulator};
+pub use stats::{FtStats, PeerStats, RunStats};
 pub use transition::{apply_event, apply_updates, event_visible, view_of};
+pub use transport::{Ack, FaultyTransport, InjectedFaults, PeerMsg, PerfectTransport, Transport};
+pub use wal::{
+    FileBackend, MemBackend, Recovered, RecoveryReport, SyncPolicy, Wal, WalBackend, WalOptions,
+};

@@ -95,7 +95,11 @@ pub fn to_normal_form(nf: &NormalForm, run: &Run) -> Result<Run, NfTranslateErro
                 if !b.is_total() {
                     continue;
                 }
-                let cand = Event { rule: frid, peer: frule.peer, valuation: b };
+                let cand = Event {
+                    rule: frid,
+                    peer: frule.peer,
+                    valuation: b,
+                };
                 if cand.ground_updates(&nf.spec) != orig_updates {
                     continue;
                 }
@@ -137,7 +141,11 @@ pub fn from_normal_form(
                 .expect("normalization appends variables, so the prefix is total");
             b.set(vid, val.clone());
         }
-        let e = Event { rule: origin, peer: orig_rule.peer, valuation: b };
+        let e = Event {
+            rule: origin,
+            peer: orig_rule.peer,
+            valuation: b,
+        };
         out.push(e)
             .map_err(|_| NfTranslateError::NoCaseRule { index: i })?;
         if out.current() != nf_run.instance(i) {
@@ -178,15 +186,11 @@ mod tests {
         let nf = normalize(&spec);
         assert!(is_normal_form(nf.spec.program()));
         for seed in 0..10u64 {
-            let mut sim = Simulator::new(
-                Run::new(Arc::clone(&spec)),
-                StdRng::seed_from_u64(seed),
-            );
+            let mut sim = Simulator::new(Run::new(Arc::clone(&spec)), StdRng::seed_from_u64(seed));
             sim.steps(10).unwrap();
             let run = sim.into_run();
             // P-run → Pⁿᶠ-run: same instances (Proposition 2.3, ⇒).
-            let nf_run =
-                to_normal_form(&nf, &run).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            let nf_run = to_normal_form(&nf, &run).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             assert_eq!(nf_run.len(), run.len());
             for i in 0..run.len() {
                 assert_eq!(nf_run.instance(i), run.instance(i), "seed {seed} step {i}");
@@ -207,10 +211,8 @@ mod tests {
         let nf = normalize(&spec);
         let nf_spec = Arc::new(nf.spec.clone());
         for seed in 20..26u64 {
-            let mut sim = Simulator::new(
-                Run::new(Arc::clone(&nf_spec)),
-                StdRng::seed_from_u64(seed),
-            );
+            let mut sim =
+                Simulator::new(Run::new(Arc::clone(&nf_spec)), StdRng::seed_from_u64(seed));
             sim.steps(8).unwrap();
             let nf_run = sim.into_run();
             let back = from_normal_form(&nf, &spec, &nf_run)

@@ -11,8 +11,8 @@ use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::Arc;
 
-use cwf_model::{FreshGen, Instance, PeerId, Value, ViewInstance};
 use cwf_lang::WorkflowSpec;
+use cwf_model::{FreshGen, Instance, PeerId, Value, ViewInstance};
 
 use crate::error::EngineError;
 use crate::event::Event;

@@ -36,7 +36,10 @@ pub fn candidates(run: &Run) -> Vec<Candidate> {
         let rule = spec.program().rule(rid);
         let view = spec.collab().view_of(run.current(), rule.peer);
         for b in match_body(rule, &view) {
-            out.push(Candidate { rule: rid, bindings: b });
+            out.push(Candidate {
+                rule: rid,
+                bindings: b,
+            });
         }
     }
     out

@@ -24,6 +24,34 @@ pub struct PeerStats {
     pub observed: usize,
 }
 
+/// Fault-tolerance counters of a coordinator deployment: how hard the
+/// delivery and durability machinery had to work. `None` in plain
+/// [`RunStats::of`] output; attached by
+/// [`Coordinator::stats`](crate::Coordinator::stats).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FtStats {
+    /// View-delta messages enqueued toward replicas.
+    pub deltas_sent: u64,
+    /// Acknowledgements received back from replicas.
+    pub acks_received: u64,
+    /// Unacknowledged messages re-sent (after backoff).
+    pub retries: u64,
+    /// Full-snapshot resyncs pushed to lagging or divergent replicas.
+    pub resyncs: u64,
+    /// Duplicate or stale messages a replica suppressed.
+    pub duplicates_suppressed: u64,
+    /// Out-of-order (future-seq) deltas a replica dropped pending retry.
+    pub out_of_order_deferred: u64,
+    /// Events appended to the write-ahead log.
+    pub wal_appends: u64,
+    /// Instance snapshots appended to the write-ahead log.
+    pub wal_snapshots: u64,
+    /// Events replayed from the log during recovery.
+    pub recovered_events: u64,
+    /// Bytes of torn tail truncated during recovery.
+    pub truncated_bytes: u64,
+}
+
 /// Aggregated statistics of one run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunStats {
@@ -35,6 +63,8 @@ pub struct RunStats {
     pub visibility: Vec<Vec<usize>>,
     /// Tuples in the final instance.
     pub final_tuples: usize,
+    /// Fault-tolerance counters, when the run was driven by a coordinator.
+    pub fault_tolerance: Option<FtStats>,
 }
 
 impl RunStats {
@@ -68,6 +98,7 @@ impl RunStats {
             peers,
             visibility,
             final_tuples: run.current().total_tuples(),
+            fault_tolerance: None,
         }
     }
 

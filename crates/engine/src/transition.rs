@@ -12,8 +12,8 @@
 //! The distinct-update condition on rules guarantees that the updates of one
 //! event touch pairwise distinct keys, making their order irrelevant.
 
-use cwf_model::{chase_with, Instance, PeerId, ViewInstance};
 use cwf_lang::WorkflowSpec;
+use cwf_model::{chase_with, Instance, PeerId, ViewInstance};
 
 use crate::error::EngineError;
 use crate::eval::check_body;
@@ -163,18 +163,30 @@ mod tests {
         let (spec, _, _, r) = split_spec();
         let i0 = Instance::empty(spec.collab().schema());
         // p inserts (k, a): global tuple (k, a, ⊥).
-        let i1 = apply_event(&spec, &i0, &ev(&spec, 0, &[Value::str("k"), Value::str("a")]))
-            .unwrap();
+        let i1 = apply_event(
+            &spec,
+            &i0,
+            &ev(&spec, 0, &[Value::str("k"), Value::str("a")]),
+        )
+        .unwrap();
         assert_eq!(
             i1.rel(r).get(&Value::str("k")),
             Some(&Tuple::new([Value::str("k"), Value::str("a"), Value::Null]))
         );
         // q inserts (k, c): chase merges into (k, a, c).
-        let i2 = apply_event(&spec, &i1, &ev(&spec, 1, &[Value::str("k"), Value::str("c")]))
-            .unwrap();
+        let i2 = apply_event(
+            &spec,
+            &i1,
+            &ev(&spec, 1, &[Value::str("k"), Value::str("c")]),
+        )
+        .unwrap();
         assert_eq!(
             i2.rel(r).get(&Value::str("k")),
-            Some(&Tuple::new([Value::str("k"), Value::str("a"), Value::str("c")]))
+            Some(&Tuple::new([
+                Value::str("k"),
+                Value::str("a"),
+                Value::str("c")
+            ]))
         );
     }
 
@@ -182,11 +194,19 @@ mod tests {
     fn conflicting_insert_rejected_by_chase() {
         let (spec, _, _, _) = split_spec();
         let i0 = Instance::empty(spec.collab().schema());
-        let i1 = apply_event(&spec, &i0, &ev(&spec, 0, &[Value::str("k"), Value::str("a")]))
-            .unwrap();
+        let i1 = apply_event(
+            &spec,
+            &i0,
+            &ev(&spec, 0, &[Value::str("k"), Value::str("a")]),
+        )
+        .unwrap();
         // p tries to overwrite A with a different value for the same key.
-        let err = apply_event(&spec, &i1, &ev(&spec, 0, &[Value::str("k"), Value::str("z")]))
-            .unwrap_err();
+        let err = apply_event(
+            &spec,
+            &i1,
+            &ev(&spec, 0, &[Value::str("k"), Value::str("z")]),
+        )
+        .unwrap_err();
         assert!(matches!(err, EngineError::InsertChase(_)));
     }
 
@@ -217,10 +237,18 @@ mod tests {
     fn delete_removes_global_tuple() {
         let (spec, _, _, r) = split_spec();
         let i0 = Instance::empty(spec.collab().schema());
-        let i1 = apply_event(&spec, &i0, &ev(&spec, 0, &[Value::str("k"), Value::str("a")]))
-            .unwrap();
-        let i2 = apply_event(&spec, &i1, &ev(&spec, 2, &[Value::str("k"), Value::str("a")]))
-            .unwrap();
+        let i1 = apply_event(
+            &spec,
+            &i0,
+            &ev(&spec, 0, &[Value::str("k"), Value::str("a")]),
+        )
+        .unwrap();
+        let i2 = apply_event(
+            &spec,
+            &i1,
+            &ev(&spec, 2, &[Value::str("k"), Value::str("a")]),
+        )
+        .unwrap();
         assert!(i2.rel(r).is_empty());
     }
 
@@ -228,8 +256,7 @@ mod tests {
     fn selection_breaks_subsumption_condition() {
         // p's view selects A = "ok": inserting a tuple with A ≠ "ok" would
         // not appear in p's view afterwards ⇒ rejected by condition (ii).
-        let schema =
-            Schema::from_relations([RelSchema::new("R", ["K", "A"]).unwrap()]).unwrap();
+        let schema = Schema::from_relations([RelSchema::new("R", ["K", "A"]).unwrap()]).unwrap();
         let r = schema.rel("R").unwrap();
         let mut cs = CollabSchema::new(schema);
         let p = cs.add_peer("p").unwrap();
@@ -281,8 +308,7 @@ mod tests {
     fn updates_within_one_event_are_order_independent() {
         // An event deleting key 1 and inserting key 2 works regardless of
         // declaration order — both orders produce the same instance.
-        let schema =
-            Schema::from_relations([RelSchema::new("R", ["K", "A"]).unwrap()]).unwrap();
+        let schema = Schema::from_relations([RelSchema::new("R", ["K", "A"]).unwrap()]).unwrap();
         let r = schema.rel("R").unwrap();
         let mut cs = CollabSchema::new(schema);
         let p = cs.add_peer("p").unwrap();
@@ -306,8 +332,14 @@ mod tests {
         let b = RuleBuilder::new(p, "swap");
         prog.add_rule(
             b.delete(r, Term::Const(Value::int(1)))
-                .insert(r, [Term::Const(Value::int(2)), Term::Const(Value::str("a"))])
-                .pos(r, [Term::Const(Value::int(1)), Term::Const(Value::str("a"))])
+                .insert(
+                    r,
+                    [Term::Const(Value::int(2)), Term::Const(Value::str("a"))],
+                )
+                .pos(
+                    r,
+                    [Term::Const(Value::int(1)), Term::Const(Value::str("a"))],
+                )
                 .build(),
         );
         let spec = WorkflowSpec::new(cs, prog).unwrap();

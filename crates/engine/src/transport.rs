@@ -1,0 +1,332 @@
+//! Delivery transports between the coordinator and peer replicas.
+//!
+//! The coordinator never touches a replica directly: every view delta and
+//! resync snapshot travels through a [`Transport`], and acknowledgements
+//! travel back. [`PerfectTransport`] delivers everything immediately and in
+//! order (the in-memory deployment of the paper's master-server sketch);
+//! [`FaultyTransport`] drops, duplicates, delays, and reorders messages per
+//! a deterministic [`FaultPlan`], modelling an unreliable network until it
+//! heals.
+
+use std::collections::VecDeque;
+
+use cwf_model::PeerId;
+
+use crate::coordinator::{MaterializedView, ViewDelta};
+use crate::fault::FaultPlan;
+
+/// A message from the coordinator to one peer's replica.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PeerMsg {
+    /// One sequence-numbered view delta (per-peer sequence, starting at 1).
+    Delta {
+        /// The per-peer sequence number.
+        seq: u64,
+        /// The view change.
+        delta: ViewDelta,
+    },
+    /// A full view snapshot superseding all deltas up to `seq` (resync).
+    Snapshot {
+        /// The per-peer sequence number this snapshot is current as of.
+        seq: u64,
+        /// The authoritative materialized view.
+        view: MaterializedView,
+    },
+}
+
+impl PeerMsg {
+    /// The message's sequence number.
+    pub fn seq(&self) -> u64 {
+        match self {
+            PeerMsg::Delta { seq, .. } | PeerMsg::Snapshot { seq, .. } => *seq,
+        }
+    }
+}
+
+/// A cumulative acknowledgement from a peer: "I have applied every delta up
+/// to and including `applied`".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ack {
+    /// The acknowledging peer.
+    pub peer: PeerId,
+    /// Highest contiguously applied sequence number.
+    pub applied: u64,
+}
+
+/// A bidirectional, possibly unreliable channel between the coordinator and
+/// its peers. Implementations own the in-flight messages.
+pub trait Transport {
+    /// Enqueues a message toward `to` (may be dropped/duplicated/delayed).
+    fn send(&mut self, to: PeerId, msg: PeerMsg);
+    /// Messages arriving at `to` now.
+    fn recv(&mut self, at: PeerId) -> Vec<PeerMsg>;
+    /// Enqueues an acknowledgement toward the coordinator.
+    fn send_ack(&mut self, ack: Ack);
+    /// Acknowledgements arriving at the coordinator now.
+    fn recv_acks(&mut self) -> Vec<Ack>;
+    /// Advances the transport's clock one tick (delays count down).
+    fn tick(&mut self) {}
+    /// Stops all future fault injection (no-op for reliable transports).
+    fn heal(&mut self) {}
+}
+
+/// Immediate, lossless, ordered delivery.
+#[derive(Debug, Default)]
+pub struct PerfectTransport {
+    inboxes: Vec<VecDeque<PeerMsg>>,
+    acks: VecDeque<Ack>,
+}
+
+impl PerfectTransport {
+    /// A fresh transport.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn inbox(&mut self, p: PeerId) -> &mut VecDeque<PeerMsg> {
+        if self.inboxes.len() <= p.index() {
+            self.inboxes.resize_with(p.index() + 1, VecDeque::new);
+        }
+        &mut self.inboxes[p.index()]
+    }
+}
+
+impl Transport for PerfectTransport {
+    fn send(&mut self, to: PeerId, msg: PeerMsg) {
+        self.inbox(to).push_back(msg);
+    }
+
+    fn recv(&mut self, at: PeerId) -> Vec<PeerMsg> {
+        self.inbox(at).drain(..).collect()
+    }
+
+    fn send_ack(&mut self, ack: Ack) {
+        self.acks.push_back(ack);
+    }
+
+    fn recv_acks(&mut self) -> Vec<Ack> {
+        self.acks.drain(..).collect()
+    }
+}
+
+/// Counts of faults actually injected by a [`FaultyTransport`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InjectedFaults {
+    /// Messages (deltas, snapshots, acks) silently dropped.
+    pub dropped: u64,
+    /// Extra copies enqueued.
+    pub duplicated: u64,
+    /// Messages delivered late.
+    pub delayed: u64,
+    /// Poll batches shuffled out of order.
+    pub reordered: u64,
+}
+
+/// Unreliable delivery driven by a deterministic [`FaultPlan`]: messages may
+/// be dropped, duplicated, delayed by whole ticks, or reordered within a
+/// poll. After [`Transport::heal`], new sends are perfect, but messages
+/// already delayed in flight still arrive late — retry absorbs them.
+#[derive(Debug)]
+pub struct FaultyTransport {
+    plan: FaultPlan,
+    now: u64,
+    inboxes: Vec<Vec<(u64, PeerMsg)>>,
+    acks: Vec<(u64, Ack)>,
+    injected: InjectedFaults,
+}
+
+impl FaultyTransport {
+    /// A transport injecting faults per `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultyTransport {
+            plan,
+            now: 0,
+            inboxes: Vec::new(),
+            acks: Vec::new(),
+            injected: InjectedFaults::default(),
+        }
+    }
+
+    /// What has been injected so far.
+    pub fn injected(&self) -> InjectedFaults {
+        self.injected
+    }
+
+    /// Number of messages currently in flight (delayed or queued).
+    pub fn in_flight(&self) -> usize {
+        self.inboxes.iter().map(Vec::len).sum::<usize>() + self.acks.len()
+    }
+
+    fn inbox(&mut self, p: PeerId) -> &mut Vec<(u64, PeerMsg)> {
+        if self.inboxes.len() <= p.index() {
+            self.inboxes.resize_with(p.index() + 1, Vec::new);
+        }
+        &mut self.inboxes[p.index()]
+    }
+
+    /// Copies to enqueue and their delivery times, per the plan; empty means
+    /// the message is dropped.
+    fn schedule(&mut self) -> Vec<u64> {
+        if self.plan.decide_drop() {
+            self.injected.dropped += 1;
+            return Vec::new();
+        }
+        let mut times = Vec::with_capacity(2);
+        let delay = self.plan.decide_delay();
+        if delay > 0 {
+            self.injected.delayed += 1;
+        }
+        times.push(self.now + delay);
+        if self.plan.decide_duplicate() {
+            self.injected.duplicated += 1;
+            let delay = self.plan.decide_delay();
+            times.push(self.now + delay);
+        }
+        times
+    }
+
+    fn drain_due<T>(now: u64, queue: &mut Vec<(u64, T)>) -> Vec<T> {
+        let mut due = Vec::new();
+        let mut rest = Vec::with_capacity(queue.len());
+        for (at, item) in queue.drain(..) {
+            if at <= now {
+                due.push(item);
+            } else {
+                rest.push((at, item));
+            }
+        }
+        *queue = rest;
+        due
+    }
+
+    fn maybe_shuffle<T>(plan: &mut FaultPlan, injected: &mut InjectedFaults, due: &mut [T]) {
+        if due.len() > 1 && plan.decide_reorder() {
+            injected.reordered += 1;
+            // Fisher–Yates with the plan's deterministic RNG.
+            for i in (1..due.len()).rev() {
+                let j = plan.pick(i + 1);
+                due.swap(i, j);
+            }
+        }
+    }
+}
+
+impl Transport for FaultyTransport {
+    fn send(&mut self, to: PeerId, msg: PeerMsg) {
+        for at in self.schedule() {
+            self.inbox(to).push((at, msg.clone()));
+        }
+    }
+
+    fn recv(&mut self, at: PeerId) -> Vec<PeerMsg> {
+        let now = self.now;
+        let queue = self.inbox(at);
+        let mut due = Self::drain_due(now, queue);
+        Self::maybe_shuffle(&mut self.plan, &mut self.injected, &mut due);
+        due
+    }
+
+    fn send_ack(&mut self, ack: Ack) {
+        for at in self.schedule() {
+            self.acks.push((at, ack));
+        }
+    }
+
+    fn recv_acks(&mut self) -> Vec<Ack> {
+        let now = self.now;
+        let mut due = Self::drain_due(now, &mut self.acks);
+        Self::maybe_shuffle(&mut self.plan, &mut self.injected, &mut due);
+        due
+    }
+
+    fn tick(&mut self) {
+        self.now += 1;
+    }
+
+    fn heal(&mut self) {
+        self.plan.heal();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn delta(seq: u64) -> PeerMsg {
+        PeerMsg::Delta {
+            seq,
+            delta: ViewDelta::default(),
+        }
+    }
+
+    #[test]
+    fn perfect_transport_delivers_in_order() {
+        let mut t = PerfectTransport::new();
+        let p = PeerId(0);
+        t.send(p, delta(1));
+        t.send(p, delta(2));
+        let got = t.recv(p);
+        assert_eq!(got.iter().map(PeerMsg::seq).collect::<Vec<_>>(), vec![1, 2]);
+        assert!(t.recv(p).is_empty());
+        t.send_ack(Ack {
+            peer: p,
+            applied: 2,
+        });
+        assert_eq!(
+            t.recv_acks(),
+            vec![Ack {
+                peer: p,
+                applied: 2
+            }]
+        );
+    }
+
+    #[test]
+    fn dropping_plan_loses_messages() {
+        let plan = FaultPlan::seeded(1).with_rates(1.0, 0.0, 0.0, 0, 0.0);
+        let mut t = FaultyTransport::new(plan);
+        let p = PeerId(0);
+        for s in 1..=10 {
+            t.send(p, delta(s));
+        }
+        assert!(t.recv(p).is_empty());
+        assert_eq!(t.injected().dropped, 10);
+    }
+
+    #[test]
+    fn delays_hold_messages_until_due() {
+        let plan = FaultPlan::seeded(2).with_rates(0.0, 0.0, 1.0, 3, 0.0);
+        let mut t = FaultyTransport::new(plan);
+        let p = PeerId(0);
+        t.send(p, delta(1));
+        assert!(t.in_flight() > 0);
+        let mut got = t.recv(p);
+        for _ in 0..4 {
+            t.tick();
+            got.extend(t.recv(p));
+        }
+        assert_eq!(got.len(), 1, "delayed message arrives within max_delay");
+    }
+
+    #[test]
+    fn healed_transport_is_perfect() {
+        let plan = FaultPlan::seeded(3).with_rates(1.0, 1.0, 1.0, 5, 1.0);
+        let mut t = FaultyTransport::new(plan);
+        t.heal();
+        let p = PeerId(1);
+        t.send(p, delta(1));
+        t.send(p, delta(2));
+        assert_eq!(t.recv(p).len(), 2);
+        assert_eq!(t.injected().dropped, 0);
+    }
+
+    #[test]
+    fn duplication_enqueues_extra_copies() {
+        let plan = FaultPlan::seeded(4).with_rates(0.0, 1.0, 0.0, 0, 0.0);
+        let mut t = FaultyTransport::new(plan);
+        let p = PeerId(0);
+        t.send(p, delta(7));
+        assert_eq!(t.recv(p).len(), 2);
+        assert_eq!(t.injected().duplicated, 1);
+    }
+}

@@ -1,0 +1,937 @@
+//! A durable write-ahead log for coordinators.
+//!
+//! Runs are fully determined by their event sequences (Section 2), so the
+//! WAL *is* the coordinator's durable state: one checksummed record per
+//! accepted event, rebuilt by replay — which re-validates every transition
+//! via [`Run::push`], making stored logs tamper-evident (cf. the provenance
+//! view of traces as the durable artifact). Periodic instance **snapshots**
+//! let recovery replay only the tail.
+//!
+//! Format (v2, line-oriented, extends the v1 codec with per-record sequence
+//! numbers and CRC32 checksums):
+//!
+//! ```text
+//! # cwf wal v2
+//! e 1 bb3e45ac draft f:0
+//! e 2 61a0f318 publish f:0 f:1
+//! s 2 1c9d0e4f 2 1 f:1 s:"published" 0
+//! ```
+//!
+//! An `e` record is an event (seq, CRC, then the v1 event line); an `s`
+//! record is a snapshot of the instance *after* the event with that seq.
+//! The CRC is computed over `"<kind> <seq> <payload>"`. Recovery scans the
+//! longest valid prefix: a torn or corrupted record (incomplete line, bad
+//! UTF-8, unparsable fields, CRC mismatch) ends the scan and the suffix is
+//! truncated — the crash-recovery contract. A record that *passes* its CRC
+//! but is semantically invalid (undecodable payload, non-monotone seq,
+//! replay failure) is [`WalError::Tampered`]: checksums only guard against
+//! accidental corruption, so recovery refuses such logs outright.
+
+use std::fmt;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use cwf_lang::WorkflowSpec;
+use cwf_model::{Instance, Schema, Tuple};
+
+use crate::codec::{decode_event, decode_value, encode_event, encode_value, tokenize};
+use crate::error::WalError;
+use crate::event::Event;
+use crate::run::Run;
+
+/// The v2 header line (without trailing newline).
+pub const WAL_HEADER: &str = "# cwf wal v2";
+
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE 802.3), table-driven; no external dependency.
+// ---------------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// The CRC32 checksum used by WAL records.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// Storage backends
+// ---------------------------------------------------------------------------
+
+/// Append-only storage under the WAL. Implementations must persist appended
+/// bytes on [`WalBackend::sync`]; bytes appended since the last sync may be
+/// lost (or partially written) on a crash.
+pub trait WalBackend {
+    /// Appends bytes at the end of the log.
+    fn append(&mut self, bytes: &[u8]) -> Result<(), WalError>;
+    /// Makes all appended bytes durable.
+    fn sync(&mut self) -> Result<(), WalError>;
+    /// Reads the entire log.
+    fn read_all(&mut self) -> Result<Vec<u8>, WalError>;
+    /// Truncates the log to `len` bytes (drops a torn tail).
+    fn truncate(&mut self, len: u64) -> Result<(), WalError>;
+    /// Current length in bytes.
+    fn len(&mut self) -> Result<u64, WalError>;
+    /// Is the log empty?
+    fn is_empty(&mut self) -> Result<bool, WalError> {
+        Ok(self.len()? == 0)
+    }
+}
+
+#[derive(Default)]
+struct MemState {
+    data: Vec<u8>,
+    synced: usize,
+    /// Crash on the n-th `append` from now (1 = the next one).
+    crash_after_appends: Option<u64>,
+    /// How many bytes of the crashing append survive (the torn prefix).
+    torn_keep: usize,
+    crashed: bool,
+}
+
+/// An in-memory backend with deterministic crash injection: a scheduled
+/// crash makes an `append` write only a prefix of its record ("torn write")
+/// and fail; every later operation fails too, as in a dead process. The
+/// shared handle ([`Clone`]) lets a test read the surviving bytes afterward
+/// and recover from them.
+#[derive(Clone, Default)]
+pub struct MemBackend {
+    state: Arc<Mutex<MemState>>,
+}
+
+impl MemBackend {
+    /// A fresh, empty in-memory log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A log pre-filled with `bytes` (all considered synced).
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        let synced = bytes.len();
+        MemBackend {
+            state: Arc::new(Mutex::new(MemState {
+                data: bytes,
+                synced,
+                ..MemState::default()
+            })),
+        }
+    }
+
+    /// Schedules a crash on the `after`-th append from now (1 = next),
+    /// keeping only the first `torn_keep` bytes of that record.
+    pub fn schedule_crash(&self, after: u64, torn_keep: usize) {
+        let mut s = self.state.lock().unwrap();
+        s.crash_after_appends = Some(after);
+        s.torn_keep = torn_keep;
+    }
+
+    /// Has the scheduled crash fired?
+    pub fn crashed(&self) -> bool {
+        self.state.lock().unwrap().crashed
+    }
+
+    /// Bytes currently in the buffer (including any unsynced suffix).
+    pub fn bytes(&self) -> Vec<u8> {
+        self.state.lock().unwrap().data.clone()
+    }
+
+    /// Length of the synced (guaranteed-durable) prefix.
+    pub fn synced_len(&self) -> usize {
+        self.state.lock().unwrap().synced
+    }
+
+    /// What a restarted process would find on disk: the synced prefix plus
+    /// at most `keep_unsynced` of the unsynced bytes (the OS may or may not
+    /// have flushed them). Returns a fresh, healthy backend.
+    pub fn survivor(&self, keep_unsynced: usize) -> MemBackend {
+        let s = self.state.lock().unwrap();
+        let keep = (s.synced + keep_unsynced).min(s.data.len());
+        MemBackend::from_bytes(s.data[..keep].to_vec())
+    }
+
+    /// Flips the byte at `offset` with `xor` (fault injection: on-disk
+    /// corruption). No-op past the end.
+    pub fn corrupt_byte(&self, offset: usize, xor: u8) {
+        let mut s = self.state.lock().unwrap();
+        if let Some(b) = s.data.get_mut(offset) {
+            *b ^= xor.max(1); // always actually change the byte
+        }
+    }
+}
+
+impl WalBackend for MemBackend {
+    fn append(&mut self, bytes: &[u8]) -> Result<(), WalError> {
+        let mut s = self.state.lock().unwrap();
+        if s.crashed {
+            return Err(WalError::Backend("simulated crash (dead process)".into()));
+        }
+        if let Some(n) = s.crash_after_appends.as_mut() {
+            *n -= 1;
+            if *n == 0 {
+                let keep = s.torn_keep.min(bytes.len());
+                let torn = bytes[..keep].to_vec();
+                s.data.extend_from_slice(&torn);
+                s.crashed = true;
+                return Err(WalError::Backend("simulated crash mid-append".into()));
+            }
+        }
+        s.data.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<(), WalError> {
+        let mut s = self.state.lock().unwrap();
+        if s.crashed {
+            return Err(WalError::Backend("simulated crash (dead process)".into()));
+        }
+        s.synced = s.data.len();
+        Ok(())
+    }
+
+    fn read_all(&mut self) -> Result<Vec<u8>, WalError> {
+        Ok(self.bytes())
+    }
+
+    fn truncate(&mut self, len: u64) -> Result<(), WalError> {
+        let mut s = self.state.lock().unwrap();
+        s.data.truncate(len as usize);
+        s.synced = s.synced.min(len as usize);
+        Ok(())
+    }
+
+    fn len(&mut self) -> Result<u64, WalError> {
+        Ok(self.state.lock().unwrap().data.len() as u64)
+    }
+}
+
+/// A file-backed WAL backend (`std::fs`).
+pub struct FileBackend {
+    path: PathBuf,
+    file: std::fs::File,
+}
+
+impl FileBackend {
+    /// Opens (or creates) the log file at `path`.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, WalError> {
+        let path = path.as_ref().to_path_buf();
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)
+            .map_err(|e| WalError::Backend(format!("open {}: {e}", path.display())))?;
+        Ok(FileBackend { path, file })
+    }
+
+    /// The file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn io<T>(&self, r: std::io::Result<T>) -> Result<T, WalError> {
+        r.map_err(|e| WalError::Backend(format!("{}: {e}", self.path.display())))
+    }
+}
+
+impl WalBackend for FileBackend {
+    fn append(&mut self, bytes: &[u8]) -> Result<(), WalError> {
+        let r = self
+            .file
+            .seek(SeekFrom::End(0))
+            .and_then(|_| self.file.write_all(bytes));
+        self.io(r)
+    }
+
+    fn sync(&mut self) -> Result<(), WalError> {
+        let r = self.file.sync_all();
+        self.io(r)
+    }
+
+    fn read_all(&mut self) -> Result<Vec<u8>, WalError> {
+        let mut buf = Vec::new();
+        let r = self
+            .file
+            .seek(SeekFrom::Start(0))
+            .and_then(|_| self.file.read_to_end(&mut buf));
+        self.io(r)?;
+        Ok(buf)
+    }
+
+    fn truncate(&mut self, len: u64) -> Result<(), WalError> {
+        let r = self.file.set_len(len);
+        self.io(r)
+    }
+
+    fn len(&mut self) -> Result<u64, WalError> {
+        let r = self.file.metadata().map(|m| m.len());
+        self.io(r)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sync policy and options
+// ---------------------------------------------------------------------------
+
+/// When the WAL calls [`WalBackend::sync`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// After every record: nothing acknowledged is ever lost.
+    Always,
+    /// After every `n` records: bounded data loss, amortized sync cost.
+    EveryN(u32),
+    /// Never (rely on the OS): fastest, weakest.
+    Never,
+}
+
+/// WAL configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalOptions {
+    /// Sync policy.
+    pub sync: SyncPolicy,
+    /// Write an instance snapshot every this many events (`None`: never).
+    /// Recovery then replays only the tail after the last snapshot.
+    pub snapshot_every: Option<u64>,
+}
+
+impl Default for WalOptions {
+    fn default() -> Self {
+        WalOptions {
+            sync: SyncPolicy::Always,
+            snapshot_every: Some(256),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Instance snapshots
+// ---------------------------------------------------------------------------
+
+/// Encodes an instance as one token stream: `<nrels> (<ntuples> <values…>)*`
+/// in `RelId` order, with the codec's value encoding.
+fn encode_instance(schema: &Schema, inst: &Instance) -> String {
+    let mut out = schema.len().to_string();
+    for r in schema.rel_ids() {
+        out.push(' ');
+        out.push_str(&inst.rel(r).len().to_string());
+        for t in inst.rel(r).iter() {
+            for v in t.values() {
+                out.push(' ');
+                encode_value(v, &mut out);
+            }
+        }
+    }
+    out
+}
+
+fn decode_instance(schema: &Schema, payload: &str) -> Result<Instance, String> {
+    let tokens = tokenize(payload);
+    let mut pos = 0usize;
+    let mut next = |what: &str| -> Result<&str, String> {
+        let t = tokens.get(pos).ok_or_else(|| format!("missing {what}"))?;
+        pos += 1;
+        Ok(t)
+    };
+    let nrels: usize = next("relation count")?
+        .parse()
+        .map_err(|_| "bad relation count".to_string())?;
+    if nrels != schema.len() {
+        return Err(format!(
+            "snapshot has {nrels} relations, schema has {}",
+            schema.len()
+        ));
+    }
+    let mut inst = Instance::empty(schema);
+    for r in schema.rel_ids() {
+        let arity = schema.relation(r).arity();
+        let ntuples: usize = next("tuple count")?
+            .parse()
+            .map_err(|_| "bad tuple count".to_string())?;
+        for _ in 0..ntuples {
+            let mut vals = Vec::with_capacity(arity);
+            for _ in 0..arity {
+                let tok = next("value")?;
+                vals.push(decode_value(tok, 0).map_err(|e| e.to_string())?);
+            }
+            inst.rel_mut(r)
+                .insert(Tuple::new(vals))
+                .map_err(|e| e.to_string())?;
+        }
+    }
+    if pos != tokens.len() {
+        return Err("trailing tokens after snapshot".into());
+    }
+    Ok(inst)
+}
+
+// ---------------------------------------------------------------------------
+// Records
+// ---------------------------------------------------------------------------
+
+fn record_line(kind: char, seq: u64, payload: &str) -> String {
+    let body = format!("{kind} {seq} {payload}");
+    format!("{kind} {seq} {:08x} {payload}\n", crc32(body.as_bytes()))
+}
+
+struct RawRecord {
+    kind: char,
+    seq: u64,
+    payload: String,
+}
+
+/// Parses and CRC-validates one record line (without trailing newline).
+/// `None` means the record is torn or accidentally corrupted.
+fn parse_record(line: &str) -> Option<RawRecord> {
+    let mut it = line.splitn(4, ' ');
+    let kind = it.next()?;
+    let seq = it.next()?;
+    let crc = it.next()?;
+    let payload = it.next()?;
+    let kind = match kind {
+        "e" => 'e',
+        "s" => 's',
+        _ => return None,
+    };
+    let seq: u64 = seq.parse().ok()?;
+    if crc.len() != 8 {
+        return None;
+    }
+    let crc = u32::from_str_radix(crc, 16).ok()?;
+    if crc32(format!("{kind} {seq} {payload}").as_bytes()) != crc {
+        return None;
+    }
+    Some(RawRecord {
+        kind,
+        seq,
+        payload: payload.to_string(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The WAL proper
+// ---------------------------------------------------------------------------
+
+/// What [`Wal::recover`] found and did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Highest durable event sequence number (0: empty log).
+    pub last_seq: u64,
+    /// Events replayed (only the tail after the last snapshot).
+    pub events_replayed: usize,
+    /// Sequence number of the snapshot recovery started from, if any.
+    pub snapshot_seq: Option<u64>,
+    /// Torn/corrupted suffix bytes truncated from the log.
+    pub truncated_bytes: usize,
+}
+
+/// A recovered WAL: the log handle (positioned to continue appending), the
+/// rebuilt run, and the recovery report.
+#[derive(Debug)]
+pub struct Recovered {
+    /// The WAL, ready for further appends.
+    pub wal: Wal,
+    /// The run rebuilt from snapshot + tail replay.
+    pub run: Run,
+    /// What recovery found.
+    pub report: RecoveryReport,
+}
+
+/// The durable write-ahead log. See the module docs for the format.
+pub struct Wal {
+    backend: Box<dyn WalBackend>,
+    opts: WalOptions,
+    next_seq: u64,
+    unsynced: u32,
+    events_since_snapshot: u64,
+}
+
+impl fmt::Debug for Wal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Wal[next_seq {} opts {:?}]", self.next_seq, self.opts)
+    }
+}
+
+impl Wal {
+    /// Creates a fresh WAL on an *empty* backend, writing the v2 header.
+    pub fn create(mut backend: Box<dyn WalBackend>, opts: WalOptions) -> Result<Wal, WalError> {
+        if !backend.is_empty()? {
+            return Err(WalError::Backend(
+                "backend is not empty; use Wal::recover to resume an existing log".into(),
+            ));
+        }
+        backend.append(format!("{WAL_HEADER}\n").as_bytes())?;
+        backend.sync()?;
+        Ok(Wal {
+            backend,
+            opts,
+            next_seq: 1,
+            unsynced: 0,
+            events_since_snapshot: 0,
+        })
+    }
+
+    /// The next sequence number to be assigned.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Appends one accepted event; returns its sequence number. The record
+    /// is durable per the sync policy when this returns.
+    pub fn append_event(&mut self, spec: &WorkflowSpec, event: &Event) -> Result<u64, WalError> {
+        let seq = self.next_seq;
+        let line = record_line('e', seq, &encode_event(spec, event));
+        self.backend.append(line.as_bytes())?;
+        self.next_seq += 1;
+        self.events_since_snapshot += 1;
+        self.unsynced += 1;
+        match self.opts.sync {
+            SyncPolicy::Always => self.sync()?,
+            SyncPolicy::EveryN(n) => {
+                if self.unsynced >= n.max(1) {
+                    self.sync()?;
+                }
+            }
+            SyncPolicy::Never => {}
+        }
+        Ok(seq)
+    }
+
+    /// Appends a snapshot of `instance` (the state after the last appended
+    /// event) and syncs. Recovery replays only events after it.
+    pub fn append_snapshot(
+        &mut self,
+        schema: &Schema,
+        instance: &Instance,
+    ) -> Result<(), WalError> {
+        let seq = self.next_seq - 1;
+        let line = record_line('s', seq, &encode_instance(schema, instance));
+        self.backend.append(line.as_bytes())?;
+        self.events_since_snapshot = 0;
+        self.sync()
+    }
+
+    /// Appends a snapshot when `snapshot_every` events have accumulated
+    /// since the last one. Returns whether a snapshot was written.
+    pub fn maybe_snapshot(
+        &mut self,
+        schema: &Schema,
+        instance: &Instance,
+    ) -> Result<bool, WalError> {
+        match self.opts.snapshot_every {
+            Some(n) if self.events_since_snapshot >= n.max(1) => {
+                self.append_snapshot(schema, instance)?;
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    /// Forces a sync now.
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        self.backend.sync()?;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Recovers a WAL: scans the longest valid prefix, truncates any torn
+    /// or corrupted suffix, rebuilds the run from the last snapshot plus
+    /// tail replay (re-validating every transition), and returns a WAL
+    /// positioned to continue appending.
+    pub fn recover(
+        mut backend: Box<dyn WalBackend>,
+        spec: std::sync::Arc<WorkflowSpec>,
+        opts: WalOptions,
+    ) -> Result<Recovered, WalError> {
+        let bytes = backend.read_all()?;
+        if bytes.is_empty() {
+            let wal = Wal::create(backend, opts)?;
+            return Ok(Recovered {
+                wal,
+                run: Run::new(spec),
+                report: RecoveryReport::default(),
+            });
+        }
+        // Header: a complete first line must match; an incomplete first
+        // line is a torn creation and the file restarts from scratch.
+        let header_end = match bytes.iter().position(|&b| b == b'\n') {
+            Some(i) => i,
+            None => {
+                let truncated = bytes.len();
+                backend.truncate(0)?;
+                let wal = Wal::create(backend, opts)?;
+                return Ok(Recovered {
+                    wal,
+                    run: Run::new(spec),
+                    report: RecoveryReport {
+                        truncated_bytes: truncated,
+                        ..Default::default()
+                    },
+                });
+            }
+        };
+        if std::str::from_utf8(&bytes[..header_end]) != Ok(WAL_HEADER) {
+            return Err(WalError::BadHeader);
+        }
+        // Scan the longest valid prefix of records.
+        let mut records: Vec<RawRecord> = Vec::new();
+        let mut valid_len = header_end + 1;
+        let mut pos = valid_len;
+        while pos < bytes.len() {
+            let Some(nl) = bytes[pos..].iter().position(|&b| b == b'\n') else {
+                break; // torn final record: no newline
+            };
+            let line = &bytes[pos..pos + nl];
+            let Ok(text) = std::str::from_utf8(line) else {
+                break; // corrupted into invalid UTF-8
+            };
+            let Some(rec) = parse_record(text) else {
+                break; // unparsable or CRC mismatch
+            };
+            records.push(rec);
+            pos += nl + 1;
+            valid_len = pos;
+        }
+        let truncated_bytes = bytes.len() - valid_len;
+        if truncated_bytes > 0 {
+            backend.truncate(valid_len as u64)?;
+        }
+        // Validate sequence numbers and locate the last snapshot. Events
+        // are 1,2,3,…; a snapshot carries the seq of the last event before
+        // it. These records passed their CRCs, so violations are tampering.
+        let mut last_seq = 0u64;
+        let mut last_snapshot: Option<(usize, u64)> = None;
+        for (i, rec) in records.iter().enumerate() {
+            match rec.kind {
+                'e' => {
+                    if rec.seq != last_seq + 1 {
+                        return Err(WalError::Tampered {
+                            seq: rec.seq,
+                            reason: format!("event seq jumps from {last_seq}"),
+                        });
+                    }
+                    last_seq = rec.seq;
+                }
+                's' => {
+                    if rec.seq != last_seq {
+                        return Err(WalError::Tampered {
+                            seq: rec.seq,
+                            reason: format!(
+                                "snapshot seq {} does not match last event {last_seq}",
+                                rec.seq
+                            ),
+                        });
+                    }
+                    last_snapshot = Some((i, rec.seq));
+                }
+                _ => unreachable!("parse_record only yields e/s"),
+            }
+        }
+        // Rebuild: last snapshot (if any) + tail replay.
+        let schema = spec.collab().schema();
+        let (initial, snapshot_seq, tail_start) = match last_snapshot {
+            Some((i, seq)) => {
+                let inst = decode_instance(schema, &records[i].payload)
+                    .map_err(|reason| WalError::Tampered { seq, reason })?;
+                (inst, Some(seq), i + 1)
+            }
+            None => (Instance::empty(schema), None, 0),
+        };
+        let mut run = Run::with_initial(Arc::clone(&spec), initial);
+        let mut events_replayed = 0usize;
+        for rec in &records[tail_start..] {
+            if rec.kind != 'e' {
+                continue; // an older snapshot superseded by a later one
+            }
+            let event = decode_event(&spec, &rec.payload, 0).map_err(|e| WalError::Tampered {
+                seq: rec.seq,
+                reason: format!("undecodable event: {e}"),
+            })?;
+            run.push(event).map_err(|e| WalError::Tampered {
+                seq: rec.seq,
+                reason: format!("does not replay: {e}"),
+            })?;
+            events_replayed += 1;
+        }
+        let events_since_snapshot = events_replayed as u64;
+        Ok(Recovered {
+            wal: Wal {
+                backend,
+                opts,
+                next_seq: last_seq + 1,
+                unsynced: 0,
+                events_since_snapshot,
+            },
+            run,
+            report: RecoveryReport {
+                last_seq,
+                events_replayed,
+                snapshot_seq,
+                truncated_bytes,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Bindings;
+    use cwf_lang::{parse_workflow, VarId};
+    use cwf_model::Value;
+
+    fn spec() -> Arc<WorkflowSpec> {
+        Arc::new(
+            parse_workflow(
+                r#"
+                schema { Task(K, Title); Done(K); }
+                peers { a sees Task(*), Done(*); b sees Task(*), Done(*); }
+                rules {
+                    mk @ a: +Task(t, n) :- ;
+                    fin @ b: +Done(d) :- Task(d, n2);
+                }
+                "#,
+            )
+            .unwrap(),
+        )
+    }
+
+    fn mk_event(spec: &WorkflowSpec, t: Value, n: Value) -> Event {
+        let mk = spec.program().rule_by_name("mk").unwrap();
+        let mut b = Bindings::empty(2);
+        b.set(VarId(0), t);
+        b.set(VarId(1), n);
+        Event::new(spec, mk, b).unwrap()
+    }
+
+    fn grow(spec: &Arc<WorkflowSpec>, wal: &mut Wal, run: &mut Run, count: usize) {
+        for _ in 0..count {
+            let t = run.draw_fresh();
+            let n = run.draw_fresh();
+            let e = mk_event(spec, t, n);
+            run.push(e.clone()).unwrap();
+            wal.append_event(spec, &e).unwrap();
+            wal.maybe_snapshot(spec.collab().schema(), run.current())
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The canonical IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_backend_recovers_to_empty_run() {
+        let spec = spec();
+        let rec = Wal::recover(
+            Box::new(MemBackend::new()),
+            Arc::clone(&spec),
+            WalOptions::default(),
+        )
+        .unwrap();
+        assert!(rec.run.is_empty());
+        assert_eq!(rec.report, RecoveryReport::default());
+    }
+
+    #[test]
+    fn append_recover_round_trip() {
+        let spec = spec();
+        let backend = MemBackend::new();
+        let mut wal = Wal::create(Box::new(backend.clone()), WalOptions::default()).unwrap();
+        let mut run = Run::new(Arc::clone(&spec));
+        grow(&spec, &mut wal, &mut run, 5);
+        let rec =
+            Wal::recover(Box::new(backend), Arc::clone(&spec), WalOptions::default()).unwrap();
+        assert_eq!(rec.run.len(), 5);
+        assert_eq!(rec.run.current(), run.current());
+        assert_eq!(rec.report.last_seq, 5);
+        assert_eq!(rec.report.truncated_bytes, 0);
+    }
+
+    #[test]
+    fn snapshot_shortens_replay() {
+        let spec = spec();
+        let backend = MemBackend::new();
+        let opts = WalOptions {
+            snapshot_every: Some(3),
+            ..WalOptions::default()
+        };
+        let mut wal = Wal::create(Box::new(backend.clone()), opts).unwrap();
+        let mut run = Run::new(Arc::clone(&spec));
+        grow(&spec, &mut wal, &mut run, 8);
+        let rec = Wal::recover(Box::new(backend), Arc::clone(&spec), opts).unwrap();
+        // Snapshots at 3 and 6: recovery starts at 6 and replays 2 events.
+        assert_eq!(rec.report.snapshot_seq, Some(6));
+        assert_eq!(rec.report.events_replayed, 2);
+        assert_eq!(rec.report.last_seq, 8);
+        assert_eq!(rec.run.current(), run.current());
+        // The recovered WAL keeps appending with contiguous seqs.
+        let mut wal = rec.wal;
+        let mut run2 = rec.run;
+        let t = run2.draw_fresh();
+        let n = run2.draw_fresh();
+        let e = mk_event(&spec, t, n);
+        run2.push(e.clone()).unwrap();
+        assert_eq!(wal.append_event(&spec, &e).unwrap(), 9);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated() {
+        let spec = spec();
+        let backend = MemBackend::new();
+        let mut wal = Wal::create(Box::new(backend.clone()), WalOptions::default()).unwrap();
+        let mut run = Run::new(Arc::clone(&spec));
+        grow(&spec, &mut wal, &mut run, 3);
+        // Simulate a torn append: half a record, no newline.
+        let mut bytes = backend.bytes();
+        bytes.extend_from_slice(b"e 4 deadbeef mk f:9");
+        let survivor = MemBackend::from_bytes(bytes);
+        let rec = Wal::recover(
+            Box::new(survivor.clone()),
+            Arc::clone(&spec),
+            WalOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(rec.run.len(), 3);
+        assert!(rec.report.truncated_bytes > 0);
+        // The torn bytes are gone from storage too.
+        assert!(!String::from_utf8(survivor.bytes())
+            .unwrap()
+            .contains("deadbeef"));
+    }
+
+    #[test]
+    fn corrupted_record_ends_the_valid_prefix() {
+        let spec = spec();
+        let backend = MemBackend::new();
+        let mut wal = Wal::create(Box::new(backend.clone()), WalOptions::default()).unwrap();
+        let mut run = Run::new(Arc::clone(&spec));
+        grow(&spec, &mut wal, &mut run, 4);
+        // Corrupt a byte inside the third record's payload.
+        let text = String::from_utf8(backend.bytes()).unwrap();
+        let offset: usize = text.lines().take(3).map(|l| l.len() + 1).sum::<usize>() + 5;
+        backend.corrupt_byte(offset, 0x41);
+        let rec =
+            Wal::recover(Box::new(backend), Arc::clone(&spec), WalOptions::default()).unwrap();
+        // Records 1–2 survive; 3 fails its CRC; 4 is dropped with it.
+        assert_eq!(rec.run.len(), 2);
+        assert!(rec.report.truncated_bytes > 0);
+        assert_eq!(rec.report.last_seq, 2);
+    }
+
+    #[test]
+    fn tampered_but_checksummed_log_is_refused() {
+        let spec = spec();
+        let backend = MemBackend::new();
+        let mut wal = Wal::create(Box::new(backend.clone()), WalOptions::default()).unwrap();
+        let mut run = Run::new(Arc::clone(&spec));
+        grow(&spec, &mut wal, &mut run, 2);
+        // Forge a record with a *valid* CRC whose event cannot replay
+        // (fin on a key that was never created).
+        let forged = record_line('e', 3, "fin f:99");
+        let mut bytes = backend.bytes();
+        bytes.extend_from_slice(forged.as_bytes());
+        let err = Wal::recover(
+            Box::new(MemBackend::from_bytes(bytes)),
+            Arc::clone(&spec),
+            WalOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, WalError::Tampered { seq: 3, .. }));
+    }
+
+    #[test]
+    fn seq_gap_is_tampering() {
+        let spec = spec();
+        let backend = MemBackend::new();
+        let mut wal = Wal::create(Box::new(backend.clone()), WalOptions::default()).unwrap();
+        let mut run = Run::new(Arc::clone(&spec));
+        grow(&spec, &mut wal, &mut run, 3);
+        // Delete the middle record (a line splice with valid CRCs around it).
+        let text = String::from_utf8(backend.bytes()).unwrap();
+        let kept: Vec<&str> = text
+            .lines()
+            .enumerate()
+            .filter(|(i, _)| *i != 2)
+            .map(|(_, l)| l)
+            .collect();
+        let spliced = kept.join("\n") + "\n";
+        let err = Wal::recover(
+            Box::new(MemBackend::from_bytes(spliced.into_bytes())),
+            Arc::clone(&spec),
+            WalOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, WalError::Tampered { .. }));
+    }
+
+    #[test]
+    fn foreign_file_is_rejected() {
+        let backend = MemBackend::from_bytes(b"not a wal\nat all\n".to_vec());
+        let err = Wal::recover(Box::new(backend), spec(), WalOptions::default()).unwrap_err();
+        assert_eq!(err, WalError::BadHeader);
+    }
+
+    #[test]
+    fn every_n_sync_policy_batches() {
+        let spec = spec();
+        let backend = MemBackend::new();
+        let opts = WalOptions {
+            sync: SyncPolicy::EveryN(3),
+            snapshot_every: None,
+        };
+        let mut wal = Wal::create(Box::new(backend.clone()), opts).unwrap();
+        let mut run = Run::new(Arc::clone(&spec));
+        grow(&spec, &mut wal, &mut run, 2);
+        // Two appends, no sync yet: synced length still just the header.
+        assert_eq!(backend.synced_len(), WAL_HEADER.len() + 1);
+        grow(&spec, &mut wal, &mut run, 1);
+        assert_eq!(backend.synced_len(), backend.bytes().len());
+    }
+
+    #[test]
+    fn file_backend_round_trips() {
+        let spec = spec();
+        let dir = std::env::temp_dir().join(format!("cwf-wal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test.wal");
+        let _ = std::fs::remove_file(&path);
+        {
+            let backend = FileBackend::open(&path).unwrap();
+            let mut wal = Wal::create(Box::new(backend), WalOptions::default()).unwrap();
+            let mut run = Run::new(Arc::clone(&spec));
+            grow(&spec, &mut wal, &mut run, 3);
+        }
+        let backend = FileBackend::open(&path).unwrap();
+        let rec =
+            Wal::recover(Box::new(backend), Arc::clone(&spec), WalOptions::default()).unwrap();
+        assert_eq!(rec.run.len(), 3);
+        assert_eq!(rec.report.last_seq, 3);
+        let _ = std::fs::remove_file(&path);
+    }
+}

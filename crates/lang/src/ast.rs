@@ -188,9 +188,7 @@ impl UpdateAtom {
     /// All variables of the atom.
     pub fn vars(&self) -> BTreeSet<VarId> {
         match self {
-            UpdateAtom::Insert { args, .. } => {
-                args.iter().filter_map(Term::as_var).collect()
-            }
+            UpdateAtom::Insert { args, .. } => args.iter().filter_map(Term::as_var).collect(),
             UpdateAtom::Delete { key, .. } => key.as_var().into_iter().collect(),
         }
     }
@@ -374,7 +372,11 @@ impl Program {
     /// Maximum number of relational facts in any rule body (the `b` of
     /// Theorem 6.3).
     pub fn max_body_facts(&self) -> usize {
-        self.rules.iter().map(Rule::body_fact_count).max().unwrap_or(0)
+        self.rules
+            .iter()
+            .map(Rule::body_fact_count)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Are all rule heads single updates (Section 6's *linear-head* class)?
@@ -582,9 +584,18 @@ mod tests {
 
     #[test]
     fn literal_classification() {
-        let pos = Literal::Pos { rel: R, args: vec![Term::Var(VarId(0))] };
-        let keyneg = Literal::KeyNeg { rel: R, key: Term::Var(VarId(0)) };
-        let keypos = Literal::KeyPos { rel: R, key: Term::Var(VarId(0)) };
+        let pos = Literal::Pos {
+            rel: R,
+            args: vec![Term::Var(VarId(0))],
+        };
+        let keyneg = Literal::KeyNeg {
+            rel: R,
+            key: Term::Var(VarId(0)),
+        };
+        let keypos = Literal::KeyPos {
+            rel: R,
+            key: Term::Var(VarId(0)),
+        };
         assert!(pos.is_positive());
         assert!(keypos.is_positive());
         assert!(!keyneg.is_positive());
@@ -593,8 +604,14 @@ mod tests {
 
     #[test]
     fn update_atom_accessors() {
-        let ins = UpdateAtom::Insert { rel: R, args: vec![Term::Const(Value::int(0))] };
-        let del = UpdateAtom::Delete { rel: S, key: Term::Var(VarId(1)) };
+        let ins = UpdateAtom::Insert {
+            rel: R,
+            args: vec![Term::Const(Value::int(0))],
+        };
+        let del = UpdateAtom::Delete {
+            rel: S,
+            key: Term::Var(VarId(1)),
+        };
         assert!(ins.is_insert());
         assert!(!del.is_insert());
         assert_eq!(ins.rel(), R);

@@ -104,7 +104,12 @@ impl fmt::Display for LangError {
                 f,
                 "rule {rule}: relation {rel:?} is not visible at peer {peer:?}"
             ),
-            LangError::ArityMismatch { rule, rel, expected, got } => write!(
+            LangError::ArityMismatch {
+                rule,
+                rel,
+                expected,
+                got,
+            } => write!(
                 f,
                 "rule {rule}: relation {rel:?} expects {expected} view arguments, got {got}"
             ),

@@ -88,7 +88,10 @@ impl fmt::Display for Lint {
                 "relation {relation} is never inserted into: positive literals over it are dead"
             ),
             Lint::NeverRead { relation } => {
-                write!(f, "relation {relation} is write-only (never read or deleted)")
+                write!(
+                    f,
+                    "relation {relation} is write-only (never read or deleted)"
+                )
             }
             Lint::PeerWithoutRules { peer } => write!(f, "peer {peer} owns no rules"),
             Lint::BlindPeer { peer } => write!(f, "peer {peer} sees no relations"),
@@ -96,7 +99,10 @@ impl fmt::Display for Lint {
                 f,
                 "peer {peer}'s view of {relation} has an unsatisfiable selection: always empty"
             ),
-            Lint::NotLossless { relation, attribute } => write!(
+            Lint::NotLossless {
+                relation,
+                attribute,
+            } => write!(
                 f,
                 "attribute {attribute} of {relation} is not covered by the peer views: \
                  its value can be lost (losslessness, Definition 2.1)"
@@ -122,25 +128,26 @@ pub fn lint(spec: &WorkflowSpec) -> Vec<Lint> {
 fn lint_rules(spec: &WorkflowSpec, out: &mut Vec<Lint>) {
     for rule in spec.program().rules() {
         if rule.head.is_empty() {
-            out.push(Lint::EmptyHead { rule: rule.name.clone() });
+            out.push(Lint::EmptyHead {
+                rule: rule.name.clone(),
+            });
         }
         if has_contradictory_comparisons(rule) {
-            out.push(Lint::UnsatisfiableBody { rule: rule.name.clone() });
+            out.push(Lint::UnsatisfiableBody {
+                rule: rule.name.clone(),
+            });
         }
         // Self-feeding: body Pos and head Insert with identical ground args.
         for lit in &rule.body {
-            let Literal::Pos { rel, args } = lit else { continue };
+            let Literal::Pos { rel, args } = lit else {
+                continue;
+            };
             for u in &rule.head {
                 if let UpdateAtom::Insert { rel: r2, args: a2 } = u {
                     if rel == r2 && args == a2 {
                         out.push(Lint::SelfFeeding {
                             rule: rule.name.clone(),
-                            relation: spec
-                                .collab()
-                                .schema()
-                                .relation(*rel)
-                                .name()
-                                .to_string(),
+                            relation: spec.collab().schema().relation(*rel).name().to_string(),
                         });
                     }
                 }
@@ -239,7 +246,9 @@ fn lint_relations(spec: &WorkflowSpec, out: &mut Vec<Lint>) {
     for r in schema.rel_ids() {
         let name = schema.relation(r).name().to_string();
         if !inserted.contains(&r) {
-            out.push(Lint::NeverInserted { relation: name.clone() });
+            out.push(Lint::NeverInserted {
+                relation: name.clone(),
+            });
         }
         if !read.contains(&r) {
             out.push(Lint::NeverRead { relation: name });
@@ -249,8 +258,7 @@ fn lint_relations(spec: &WorkflowSpec, out: &mut Vec<Lint>) {
 
 fn lint_peers(spec: &WorkflowSpec, out: &mut Vec<Lint>) {
     let collab = spec.collab();
-    let owners: BTreeSet<PeerId> =
-        spec.program().rules().iter().map(|r| r.peer).collect();
+    let owners: BTreeSet<PeerId> = spec.program().rules().iter().map(|r| r.peer).collect();
     for p in collab.peer_ids() {
         if collab.visible_rels(p).next().is_none() {
             out.push(Lint::BlindPeer {
@@ -279,10 +287,16 @@ fn lint_views(spec: &WorkflowSpec, out: &mut Vec<Lint>) {
     }
     // Losslessness, reported as a lint (the model also exposes it as a hard
     // check for schemas that want to enforce it).
-    if let Err(cwf_model::ModelError::NotLossless { relation, attribute, .. }) =
-        collab.check_losslessness()
+    if let Err(cwf_model::ModelError::NotLossless {
+        relation,
+        attribute,
+        ..
+    }) = collab.check_losslessness()
     {
-        out.push(Lint::NotLossless { relation, attribute });
+        out.push(Lint::NotLossless {
+            relation,
+            attribute,
+        });
     }
     let _ = Condition::True; // keep the import local to this module's intent
 }

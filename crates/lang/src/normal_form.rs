@@ -141,7 +141,10 @@ fn normalize_rule(spec: &WorkflowSpec, rule: &Rule) -> Vec<Rule> {
                         }
                         pos_args.push(z);
                     }
-                    body.push(Literal::Pos { rel: *rel, args: pos_args });
+                    body.push(Literal::Pos {
+                        rel: *rel,
+                        args: pos_args,
+                    });
                     body.push(Literal::Neq(
                         args[i].clone(),
                         z_at_i.expect("i is a non-key position"),
@@ -269,10 +272,7 @@ mod tests {
         let mut b = RuleBuilder::new(p, "ok");
         let x = b.var("x");
         let y = b.var("y");
-        let rule = b
-            .pos(r, [x.clone(), y.clone()])
-            .insert(r, [x, y])
-            .build();
+        let rule = b.pos(r, [x.clone(), y.clone()]).insert(r, [x, y]).build();
         assert!(is_normal_form_rule(&rule));
         let spec = with_rules(&spec, vec![rule.clone()]);
         let nf = normalize(&spec);
@@ -379,11 +379,9 @@ mod tests {
     #[test]
     fn unary_view_negative_literal_yields_only_keyneg() {
         // When the view is key-only, ¬R(x) has no "differs at" cases.
-        let schema = Schema::from_relations([
-            RelSchema::proposition("T"),
-            RelSchema::proposition("U"),
-        ])
-        .unwrap();
+        let schema =
+            Schema::from_relations([RelSchema::proposition("T"), RelSchema::proposition("U")])
+                .unwrap();
         let t = schema.rel("T").unwrap();
         let u = schema.rel("U").unwrap();
         let mut cs = CollabSchema::new(schema);
@@ -409,12 +407,12 @@ mod tests {
     #[test]
     fn projected_view_width_used_for_witnesses() {
         // p sees only (K) of R: the deletion witness literal has width 1.
-        let schema =
-            Schema::from_relations([RelSchema::new("R", ["K", "A"]).unwrap()]).unwrap();
+        let schema = Schema::from_relations([RelSchema::new("R", ["K", "A"]).unwrap()]).unwrap();
         let r = schema.rel("R").unwrap();
         let mut cs = CollabSchema::new(schema);
         let p = cs.add_peer("p").unwrap();
-        cs.set_view(p, ViewRel::new(r, [], Condition::True)).unwrap();
+        cs.set_view(p, ViewRel::new(r, [], Condition::True))
+            .unwrap();
         let mut b = RuleBuilder::new(p, "del");
         let x = b.var("x");
         let rule = b.pos(r, [x.clone()]).delete(r, x).build();

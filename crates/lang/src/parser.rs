@@ -28,9 +28,7 @@
 //!   `t = u`, `t != u`. Head atoms: `+R(t, u)`, `-key R(t)`.
 //! * Comments run from `//` or `#` to end of line.
 
-use cwf_model::{
-    CollabSchema, Condition, PeerId, RelId, RelSchema, Schema, Value, ViewRel,
-};
+use cwf_model::{CollabSchema, Condition, PeerId, RelId, RelSchema, Schema, Value, ViewRel};
 
 use crate::ast::{Literal, Program, Rule, RuleBuilder, Term, UpdateAtom};
 use crate::error::{LangError, Pos};
@@ -142,27 +140,45 @@ fn lex(input: &str) -> Result<Vec<Spanned>, LangError> {
             }
             '{' => {
                 bump!();
-                out.push(Spanned { tok: Tok::LBrace, pos });
+                out.push(Spanned {
+                    tok: Tok::LBrace,
+                    pos,
+                });
             }
             '}' => {
                 bump!();
-                out.push(Spanned { tok: Tok::RBrace, pos });
+                out.push(Spanned {
+                    tok: Tok::RBrace,
+                    pos,
+                });
             }
             '(' => {
                 bump!();
-                out.push(Spanned { tok: Tok::LParen, pos });
+                out.push(Spanned {
+                    tok: Tok::LParen,
+                    pos,
+                });
             }
             ')' => {
                 bump!();
-                out.push(Spanned { tok: Tok::RParen, pos });
+                out.push(Spanned {
+                    tok: Tok::RParen,
+                    pos,
+                });
             }
             ',' => {
                 bump!();
-                out.push(Spanned { tok: Tok::Comma, pos });
+                out.push(Spanned {
+                    tok: Tok::Comma,
+                    pos,
+                });
             }
             ';' => {
                 bump!();
-                out.push(Spanned { tok: Tok::Semi, pos });
+                out.push(Spanned {
+                    tok: Tok::Semi,
+                    pos,
+                });
             }
             '@' => {
                 bump!();
@@ -170,11 +186,17 @@ fn lex(input: &str) -> Result<Vec<Spanned>, LangError> {
             }
             '+' => {
                 bump!();
-                out.push(Spanned { tok: Tok::Plus, pos });
+                out.push(Spanned {
+                    tok: Tok::Plus,
+                    pos,
+                });
             }
             '*' => {
                 bump!();
-                out.push(Spanned { tok: Tok::Star, pos });
+                out.push(Spanned {
+                    tok: Tok::Star,
+                    pos,
+                });
             }
             '=' => {
                 bump!();
@@ -196,9 +218,15 @@ fn lex(input: &str) -> Result<Vec<Spanned>, LangError> {
                 bump!();
                 if chars.peek() == Some(&'-') {
                     bump!();
-                    out.push(Spanned { tok: Tok::Turnstile, pos });
+                    out.push(Spanned {
+                        tok: Tok::Turnstile,
+                        pos,
+                    });
                 } else {
-                    out.push(Spanned { tok: Tok::Colon, pos });
+                    out.push(Spanned {
+                        tok: Tok::Colon,
+                        pos,
+                    });
                 }
             }
             '-' => {
@@ -217,9 +245,15 @@ fn lex(input: &str) -> Result<Vec<Spanned>, LangError> {
                         pos,
                         message: format!("invalid integer {n}"),
                     })?;
-                    out.push(Spanned { tok: Tok::Int(v), pos });
+                    out.push(Spanned {
+                        tok: Tok::Int(v),
+                        pos,
+                    });
                 } else {
-                    out.push(Spanned { tok: Tok::Minus, pos });
+                    out.push(Spanned {
+                        tok: Tok::Minus,
+                        pos,
+                    });
                 }
             }
             '"' => {
@@ -248,7 +282,10 @@ fn lex(input: &str) -> Result<Vec<Spanned>, LangError> {
                         }
                     }
                 }
-                out.push(Spanned { tok: Tok::Str(s), pos });
+                out.push(Spanned {
+                    tok: Tok::Str(s),
+                    pos,
+                });
             }
             c if c.is_ascii_digit() => {
                 let mut n = String::new();
@@ -264,7 +301,10 @@ fn lex(input: &str) -> Result<Vec<Spanned>, LangError> {
                     pos,
                     message: format!("invalid integer {n}"),
                 })?;
-                out.push(Spanned { tok: Tok::Int(v), pos });
+                out.push(Spanned {
+                    tok: Tok::Int(v),
+                    pos,
+                });
             }
             c if c.is_alphabetic() || c == '_' => {
                 let mut s = String::new();
@@ -276,7 +316,10 @@ fn lex(input: &str) -> Result<Vec<Spanned>, LangError> {
                         break;
                     }
                 }
-                out.push(Spanned { tok: Tok::Ident(s), pos });
+                out.push(Spanned {
+                    tok: Tok::Ident(s),
+                    pos,
+                });
             }
             other => {
                 return Err(LangError::Parse {
@@ -322,7 +365,10 @@ impl Parser {
     }
 
     fn err(&self, message: String) -> LangError {
-        LangError::Parse { pos: self.pos(), message }
+        LangError::Parse {
+            pos: self.pos(),
+            message,
+        }
     }
 
     fn ident(&mut self, what: &str) -> Result<String, LangError> {
@@ -372,7 +418,10 @@ impl Parser {
             let rel = RelSchema::new(name, attrs).map_err(LangError::Model)?;
             schema.add_relation(rel).map_err(|e| match e {
                 e @ cwf_model::ModelError::DuplicateRelation { .. } => LangError::Model(e),
-                e => LangError::Parse { pos, message: e.to_string() },
+                e => LangError::Parse {
+                    pos,
+                    message: e.to_string(),
+                },
             })?;
         }
         self.bump(); // }
@@ -440,7 +489,11 @@ impl Parser {
                     .schema()
                     .relation(rel)
                     .attr(&a)
-                    .ok_or(LangError::Unresolved { pos, kind: "attribute", name: a })?;
+                    .ok_or(LangError::Unresolved {
+                        pos,
+                        kind: "attribute",
+                        name: a,
+                    })?;
                 out.push(id);
                 if self.peek() == &Tok::Comma {
                     self.bump();
@@ -515,7 +568,11 @@ impl Parser {
             .schema()
             .relation(rel)
             .attr(&lhs)
-            .ok_or(LangError::Unresolved { pos, kind: "attribute", name: lhs })?;
+            .ok_or(LangError::Unresolved {
+                pos,
+                kind: "attribute",
+                name: lhs,
+            })?;
         self.expect(Tok::Eq, "`=`")?;
         match self.peek().clone() {
             Tok::Str(s) => {
@@ -534,15 +591,13 @@ impl Parser {
                     "false" => Ok(Condition::EqConst(a, Value::Bool(false))),
                     other => {
                         let pos = self.pos();
-                        let b = collab
-                            .schema()
-                            .relation(rel)
-                            .attr(other)
-                            .ok_or(LangError::Unresolved {
+                        let b = collab.schema().relation(rel).attr(other).ok_or(
+                            LangError::Unresolved {
                                 pos,
                                 kind: "attribute",
                                 name: other.to_string(),
-                            })?;
+                            },
+                        )?;
                         Ok(Condition::EqAttr(a, b))
                     }
                 }
@@ -646,9 +701,7 @@ impl Parser {
         // Either a relational literal `R(...)` (ident followed by `(`) or a
         // comparison `t (=|!=) t`.
         if let Tok::Ident(name) = self.peek().clone() {
-            if self.tokens[self.at + 1].tok == Tok::LParen
-                && collab.schema().rel(&name).is_some()
-            {
+            if self.tokens[self.at + 1].tok == Tok::LParen && collab.schema().rel(&name).is_some() {
                 let pos = self.pos();
                 self.bump();
                 let rel = self.resolve_rel(collab, &name, pos)?;
@@ -748,7 +801,11 @@ pub fn print_workflow(spec: &WorkflowSpec) -> String {
                 s
             })
             .collect();
-        out.push_str(&format!("  {} sees {};\n", collab.peer_name(p), views.join(", ")));
+        out.push_str(&format!(
+            "  {} sees {};\n",
+            collab.peer_name(p),
+            views.join(", ")
+        ));
     }
     out.push_str("}\n\nrules {\n");
     for rule in spec.program().rules() {
@@ -780,7 +837,10 @@ fn print_condition(c: &Condition, rs: &RelSchema) -> String {
             } else {
                 format!(
                     "({})",
-                    cs.iter().map(|c| print_condition(c, rs)).collect::<Vec<_>>().join(" and ")
+                    cs.iter()
+                        .map(|c| print_condition(c, rs))
+                        .collect::<Vec<_>>()
+                        .join(" and ")
                 )
             }
         }
@@ -790,7 +850,10 @@ fn print_condition(c: &Condition, rs: &RelSchema) -> String {
             } else {
                 format!(
                     "({})",
-                    cs.iter().map(|c| print_condition(c, rs)).collect::<Vec<_>>().join(" or ")
+                    cs.iter()
+                        .map(|c| print_condition(c, rs))
+                        .collect::<Vec<_>>()
+                        .join(" or ")
                 )
             }
         }
@@ -927,7 +990,10 @@ mod tests {
         assert!(matches!(rule.body[1], Literal::Neg { .. }));
         assert!(matches!(rule.body[2], Literal::KeyPos { .. }));
         assert!(matches!(rule.body[3], Literal::KeyNeg { .. }));
-        assert!(matches!(rule.body[7], Literal::Neq(_, Term::Const(Value::Null))));
+        assert!(matches!(
+            rule.body[7],
+            Literal::Neq(_, Term::Const(Value::Null))
+        ));
     }
 
     #[test]
@@ -952,7 +1018,10 @@ mod tests {
         let bad_rel = "schema { R(K); } peers { p sees Q(*); } rules { }";
         assert!(matches!(
             parse_workflow(bad_rel),
-            Err(LangError::Unresolved { kind: "relation", .. })
+            Err(LangError::Unresolved {
+                kind: "relation",
+                ..
+            })
         ));
         let bad_peer = "schema { R(K); } peers { p sees R(*); } rules { r @ z: +R(0) :- ; }";
         assert!(matches!(
@@ -962,7 +1031,10 @@ mod tests {
         let bad_attr = "schema { R(K); } peers { p sees R(Z); } rules { }";
         assert!(matches!(
             parse_workflow(bad_attr),
-            Err(LangError::Unresolved { kind: "attribute", .. })
+            Err(LangError::Unresolved {
+                kind: "attribute",
+                ..
+            })
         ));
     }
 

@@ -110,9 +110,7 @@ impl WorkflowSpec {
                 Literal::Pos { rel, args } | Literal::Neg { rel, args } => {
                     check_rel(*rel, Some(args.len()))?
                 }
-                Literal::KeyPos { rel, .. } | Literal::KeyNeg { rel, .. } => {
-                    check_rel(*rel, None)?
-                }
+                Literal::KeyPos { rel, .. } | Literal::KeyNeg { rel, .. } => check_rel(*rel, None)?,
                 Literal::Eq(..) | Literal::Neq(..) => {}
             }
         }
@@ -229,7 +227,11 @@ mod tests {
         prog.add_rule(b.pos(assign, [x.clone()]).delete(assign, x).build());
         assert!(matches!(
             WorkflowSpec::new(cs, prog),
-            Err(LangError::ArityMismatch { expected: 2, got: 1, .. })
+            Err(LangError::ArityMismatch {
+                expected: 2,
+                got: 1,
+                ..
+            })
         ));
     }
 
@@ -299,13 +301,22 @@ mod tests {
             let mut prog = Program::new();
             let b = RuleBuilder::new(hr, "consts");
             prog.add_rule(
-                b.insert(assign, [Term::Const(Value::int(k1)), Term::Const(Value::str("p"))])
-                    .insert(assign, [Term::Const(Value::int(k2)), Term::Const(Value::str("q"))])
-                    .build(),
+                b.insert(
+                    assign,
+                    [Term::Const(Value::int(k1)), Term::Const(Value::str("p"))],
+                )
+                .insert(
+                    assign,
+                    [Term::Const(Value::int(k2)), Term::Const(Value::str("q"))],
+                )
+                .build(),
             );
             WorkflowSpec::new(cs.clone(), prog)
         };
-        assert!(matches!(mk(1, 1), Err(LangError::ConflictingUpdates { .. })));
+        assert!(matches!(
+            mk(1, 1),
+            Err(LangError::ConflictingUpdates { .. })
+        ));
         assert!(mk(1, 2).is_ok());
     }
 
@@ -316,8 +327,11 @@ mod tests {
         for _ in 0..2 {
             let b = RuleBuilder::new(hr, "same");
             prog.add_rule(
-                b.insert(assign, [Term::Const(Value::int(1)), Term::Const(Value::str("p"))])
-                    .build(),
+                b.insert(
+                    assign,
+                    [Term::Const(Value::int(1)), Term::Const(Value::str("p"))],
+                )
+                .build(),
             );
         }
         assert!(matches!(
@@ -332,8 +346,11 @@ mod tests {
         let mut prog = Program::new();
         let b = RuleBuilder::new(PeerId(9), "ghost");
         prog.add_rule(
-            b.insert(assign, [Term::Const(Value::int(1)), Term::Const(Value::str("p"))])
-                .build(),
+            b.insert(
+                assign,
+                [Term::Const(Value::int(1)), Term::Const(Value::str("p"))],
+            )
+            .build(),
         );
         assert!(matches!(
             WorkflowSpec::new(cs, prog),
@@ -344,7 +361,8 @@ mod tests {
     #[test]
     fn view_width_reflects_projection() {
         let (mut cs, _, sue, assign, _) = collab();
-        cs.set_view(sue, ViewRel::new(assign, [], Condition::True)).unwrap();
+        cs.set_view(sue, ViewRel::new(assign, [], Condition::True))
+            .unwrap();
         let spec = WorkflowSpec::new_unchecked(cs, Program::new());
         assert_eq!(spec.view_width(sue, assign), Some(1), "key only");
         assert_eq!(spec.view_width(sue, RelId(1)), None);

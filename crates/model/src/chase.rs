@@ -124,7 +124,9 @@ pub fn chase_with(
 /// Exponentially slower in the worst case than [`chase`]; retained to
 /// cross-check the closed form (see the property tests).
 pub fn naive_chase(schema: &Schema, raw: &RawInstance) -> Result<Instance, ChaseFailure> {
-    let mut rels: Vec<Vec<Tuple>> = (0..raw.width()).map(|i| raw.rel(RelId(i as u32)).to_vec()).collect();
+    let mut rels: Vec<Vec<Tuple>> = (0..raw.width())
+        .map(|i| raw.rel(RelId(i as u32)).to_vec())
+        .collect();
     for (ri, tuples) in rels.iter_mut().enumerate() {
         let rel = RelId(ri as u32);
         // Apply chase steps to a fixpoint.
@@ -208,7 +210,10 @@ mod tests {
         raw.push(R, t("k", Some("a"), None));
         let i = chase(&s, &raw).unwrap();
         assert_eq!(i.rel(R).len(), 1);
-        assert_eq!(i.rel(R).get(&Value::str("k")), Some(&t("k", Some("a"), Some("c"))));
+        assert_eq!(
+            i.rel(R).get(&Value::str("k")),
+            Some(&t("k", Some("a"), Some("c")))
+        );
     }
 
     #[test]
@@ -260,7 +265,10 @@ mod tests {
         let mut base = Instance::empty(&s);
         base.rel_mut(R).insert(t("k", Some("a"), None)).unwrap();
         let j = chase_with(&s, &base, R, t("k", None, Some("c"))).unwrap();
-        assert_eq!(j.rel(R).get(&Value::str("k")), Some(&t("k", Some("a"), Some("c"))));
+        assert_eq!(
+            j.rel(R).get(&Value::str("k")),
+            Some(&t("k", Some("a"), Some("c")))
+        );
     }
 
     #[test]
@@ -272,7 +280,10 @@ mod tests {
         raw.push(R, t("k", None, Some("b")));
         raw.push(R, t("k", None, None));
         let i = chase(&s, &raw).unwrap();
-        assert_eq!(i.rel(R).get(&Value::str("k")), Some(&t("k", Some("a"), Some("b"))));
+        assert_eq!(
+            i.rel(R).get(&Value::str("k")),
+            Some(&t("k", Some("a"), Some("b")))
+        );
     }
 
     #[test]
@@ -315,7 +326,10 @@ mod tests {
     fn merge_respects_attrid_positions() {
         let s = schema();
         let mut raw = RawInstance::empty(&s);
-        let partial = Tuple::padded(3, [(AttrId(0), Value::str("k")), (AttrId(2), Value::str("b"))]);
+        let partial = Tuple::padded(
+            3,
+            [(AttrId(0), Value::str("k")), (AttrId(2), Value::str("b"))],
+        );
         raw.push(R, partial);
         let i = chase(&s, &raw).unwrap();
         let got = i.rel(R).get(&Value::str("k")).unwrap();

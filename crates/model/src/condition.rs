@@ -255,10 +255,7 @@ mod tests {
     #[test]
     fn boolean_combinations() {
         let row = t("k", Value::str("x"), Value::str("y"));
-        let c = Condition::and([
-            Condition::eq_const(A, "x"),
-            Condition::neq_const(B, "z"),
-        ]);
+        let c = Condition::and([Condition::eq_const(A, "x"), Condition::neq_const(B, "z")]);
         assert!(c.eval(&row));
         let d = Condition::or([Condition::eq_const(A, "nope"), Condition::EqAttr(A, B)]);
         assert!(!d.eval(&row));
@@ -269,10 +266,7 @@ mod tests {
 
     #[test]
     fn attrs_and_constants_collection() {
-        let c = Condition::or([
-            Condition::eq_const(A, "x"),
-            Condition::EqAttr(A, B).not(),
-        ]);
+        let c = Condition::or([Condition::eq_const(A, "x"), Condition::EqAttr(A, B).not()]);
         assert_eq!(c.attrs().into_iter().collect::<Vec<_>>(), vec![A, B]);
         assert_eq!(
             c.constants().into_iter().collect::<Vec<_>>(),
@@ -297,10 +291,7 @@ mod tests {
     #[test]
     fn display_uses_attribute_names() {
         let r = RelSchema::new("R", ["K", "A", "B"]).unwrap();
-        let c = Condition::and([
-            Condition::eq_const(A, Value::Null),
-            Condition::EqAttr(A, B),
-        ]);
+        let c = Condition::and([Condition::eq_const(A, Value::Null), Condition::EqAttr(A, B)]);
         assert_eq!(c.display(&r).to_string(), "(A = ⊥ ∧ A = B)");
     }
 }

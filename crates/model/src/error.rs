@@ -66,7 +66,10 @@ impl fmt::Display for ModelError {
             ModelError::NoAttributes { relation } => {
                 write!(f, "relation {relation} has no attributes")
             }
-            ModelError::DuplicateAttribute { relation, attribute } => {
+            ModelError::DuplicateAttribute {
+                relation,
+                attribute,
+            } => {
                 write!(f, "duplicate attribute {attribute} in relation {relation}")
             }
             ModelError::DuplicateRelation { relation } => {
@@ -79,7 +82,9 @@ impl fmt::Display for ModelError {
             }
             ModelError::NullKey => write!(f, "tuple with ⊥ key in a valid relation"),
             ModelError::NotLossless {
-                relation, attribute, ..
+                relation,
+                attribute,
+                ..
             } => write!(
                 f,
                 "collaborative schema is not lossless: attribute {attribute} of \

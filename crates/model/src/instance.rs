@@ -173,7 +173,10 @@ impl Instance {
 
     /// Renders the instance against its schema (one fact per line, sorted).
     pub fn display<'a>(&'a self, schema: &'a Schema) -> InstanceDisplay<'a> {
-        InstanceDisplay { instance: self, schema }
+        InstanceDisplay {
+            instance: self,
+            schema,
+        }
     }
 }
 

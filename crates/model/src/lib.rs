@@ -28,10 +28,10 @@ pub mod views;
 pub use chase::{chase, chase_with, naive_chase, ChaseFailure};
 pub use condition::{Atom, Condition};
 pub use diff::{AttrChange, InstanceDiff};
-pub use simplify::{simplify, size as condition_size};
 pub use error::ModelError;
 pub use instance::{Instance, RawInstance, Relation};
 pub use schema::{AttrId, PeerId, RelId, RelSchema, Schema, KEY};
+pub use simplify::{simplify, size as condition_size};
 pub use tuple::Tuple;
 pub use value::{FreshGen, Value};
 pub use views::{CollabSchema, ViewInstance, ViewRel};

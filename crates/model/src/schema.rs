@@ -167,9 +167,7 @@ impl Schema {
     }
 
     /// Builds a schema from relation schemas, checking name uniqueness.
-    pub fn from_relations(
-        rels: impl IntoIterator<Item = RelSchema>,
-    ) -> Result<Self, ModelError> {
+    pub fn from_relations(rels: impl IntoIterator<Item = RelSchema>) -> Result<Self, ModelError> {
         let mut s = Self::new();
         for r in rels {
             s.add_relation(r)?;
@@ -219,7 +217,11 @@ impl Schema {
 
     /// Maximum arity over all relations (the `a − 1` of Theorem 6.3).
     pub fn max_arity(&self) -> usize {
-        self.relations.iter().map(RelSchema::arity).max().unwrap_or(0)
+        self.relations
+            .iter()
+            .map(RelSchema::arity)
+            .max()
+            .unwrap_or(0)
     }
 }
 

@@ -102,9 +102,7 @@ pub fn size(c: &Condition) -> usize {
     match c {
         Condition::True | Condition::False | Condition::EqConst(..) | Condition::EqAttr(..) => 1,
         Condition::Not(inner) => 1 + size(inner),
-        Condition::And(cs) | Condition::Or(cs) => {
-            1 + cs.iter().map(size).sum::<usize>()
-        }
+        Condition::And(cs) | Condition::Or(cs) => 1 + cs.iter().map(size).sum::<usize>(),
     }
 }
 
@@ -130,7 +128,11 @@ mod tests {
         assert_eq!(simplify(&Condition::and([])), Condition::True);
         assert_eq!(simplify(&Condition::or([])), Condition::False);
         assert_eq!(
-            simplify(&Condition::and([Condition::True, eq(A, "x"), Condition::True])),
+            simplify(&Condition::and([
+                Condition::True,
+                eq(A, "x"),
+                Condition::True
+            ])),
             eq(A, "x")
         );
         assert_eq!(
@@ -149,10 +151,7 @@ mod tests {
 
     #[test]
     fn flattening_and_dedup() {
-        let nested = Condition::and([
-            eq(A, "x"),
-            Condition::and([eq(A, "x"), eq(B, "y")]),
-        ]);
+        let nested = Condition::and([eq(A, "x"), Condition::and([eq(A, "x"), eq(B, "y")])]);
         let s = simplify(&nested);
         assert_eq!(s, Condition::and([eq(A, "x"), eq(B, "y")]));
         assert!(size(&s) < size(&nested));

@@ -30,10 +30,16 @@ use crate::value::Value;
 pub fn satisfiable(cond: &Condition) -> bool {
     let atoms = cond.atoms();
     let n = atoms.len();
-    debug_assert!(n < 26, "condition with ≥26 distinct atoms; solver would blow up");
+    debug_assert!(
+        n < 26,
+        "condition with ≥26 distinct atoms; solver would blow up"
+    );
     for mask in 0u64..(1u64 << n) {
         let truth = |atom: &Atom| -> bool {
-            let idx = atoms.iter().position(|a| a == atom).expect("atom collected");
+            let idx = atoms
+                .iter()
+                .position(|a| a == atom)
+                .expect("atom collected");
             mask & (1 << idx) != 0
         };
         if !cond.eval_atoms(&truth) {
@@ -247,11 +253,7 @@ mod tests {
     #[test]
     fn shared_constant_forces_attr_equality() {
         // A = x ∧ B = x ∧ A ≠ B is unsat.
-        let c = Condition::and([
-            eq(A, "x"),
-            eq(B, "x"),
-            Condition::EqAttr(A, B).not(),
-        ]);
+        let c = Condition::and([eq(A, "x"), eq(B, "x"), Condition::EqAttr(A, B).not()]);
         assert!(!satisfiable(&c));
     }
 
@@ -293,7 +295,10 @@ mod tests {
         let weak = eq(A, "x");
         assert!(implies(&strong, &weak));
         assert!(!implies(&weak, &strong));
-        assert!(equivalent(&weak, &Condition::or([weak.clone(), Condition::False])));
+        assert!(equivalent(
+            &weak,
+            &Condition::or([weak.clone(), Condition::False])
+        ));
     }
 
     #[test]

@@ -80,17 +80,15 @@ impl Tuple {
     /// the same arity and `u(A) ∈ {v(A), ⊥}` for every attribute `A`. This is
     /// condition (ii) of the insertion semantics in Section 2.
     pub fn subsumed_by(&self, v: &Tuple) -> bool {
-        self.0.len() == v.0.len()
-            && self
-                .0
-                .iter()
-                .zip(&v.0)
-                .all(|(u, w)| u.is_null() || u == w)
+        self.0.len() == v.0.len() && self.0.iter().zip(&v.0).all(|(u, w)| u.is_null() || u == w)
     }
 
     /// Renders the tuple against its schema, e.g. `R(1, "a", ⊥)`.
     pub fn display<'a>(&'a self, schema: &'a RelSchema) -> TupleDisplay<'a> {
-        TupleDisplay { tuple: self, schema }
+        TupleDisplay {
+            tuple: self,
+            schema,
+        }
     }
 }
 

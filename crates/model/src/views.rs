@@ -44,16 +44,16 @@ pub struct ViewRel {
 impl ViewRel {
     /// Creates a view of `rel` exposing `attrs` (the key is added if absent)
     /// under `selection`.
-    pub fn new(
-        rel: RelId,
-        attrs: impl IntoIterator<Item = AttrId>,
-        selection: Condition,
-    ) -> Self {
+    pub fn new(rel: RelId, attrs: impl IntoIterator<Item = AttrId>, selection: Condition) -> Self {
         let mut attrs: Vec<AttrId> = attrs.into_iter().collect();
         attrs.push(KEY);
         attrs.sort();
         attrs.dedup();
-        ViewRel { rel, attrs, selection }
+        ViewRel {
+            rel,
+            attrs,
+            selection,
+        }
     }
 
     /// A full view: all attributes, selection `true` — the shape required of
@@ -80,8 +80,7 @@ impl ViewRel {
     /// Is this view full (all attributes of `rel` in `schema`, selection
     /// equivalent to `true`)? — the (C1) test.
     pub fn is_full(&self, schema: &Schema) -> bool {
-        self.attrs.len() == schema.relation(self.rel).arity()
-            && solver::tautology(&self.selection)
+        self.attrs.len() == schema.relation(self.rel).arity() && solver::tautology(&self.selection)
     }
 
     /// Position of attribute `a` inside view tuples, if exposed.
@@ -402,7 +401,11 @@ mod tests {
         // Global instance {R(k, a, c)} as produced by the example's inserts.
         let mut i = Instance::empty(cs.schema());
         i.rel_mut(r)
-            .insert(Tuple::new([Value::str("k"), Value::str("a"), Value::str("c")]))
+            .insert(Tuple::new([
+                Value::str("k"),
+                Value::str("a"),
+                Value::str("c"),
+            ]))
             .unwrap();
         // p's selection A = ⊥ now rejects the tuple: it disappeared from p's view.
         let at_p = cs.view_of(&i, p);
@@ -440,20 +443,27 @@ mod tests {
     fn complementary_selections_are_lossless() {
         // p sees tuples with A = ⊥, q sees tuples with A ≠ ⊥; both see all
         // attributes. Together they cover everything.
-        let schema =
-            Schema::from_relations([RelSchema::new("R", ["K", "A"]).unwrap()]).unwrap();
+        let schema = Schema::from_relations([RelSchema::new("R", ["K", "A"]).unwrap()]).unwrap();
         let r = schema.rel("R").unwrap();
         let mut cs = CollabSchema::new(schema);
         let p = cs.add_peer("p").unwrap();
         let q = cs.add_peer("q").unwrap();
         cs.set_view(
             p,
-            ViewRel::new(r, [AttrId(0), AttrId(1)], Condition::eq_const(AttrId(1), Value::Null)),
+            ViewRel::new(
+                r,
+                [AttrId(0), AttrId(1)],
+                Condition::eq_const(AttrId(1), Value::Null),
+            ),
         )
         .unwrap();
         cs.set_view(
             q,
-            ViewRel::new(r, [AttrId(0), AttrId(1)], Condition::neq_const(AttrId(1), Value::Null)),
+            ViewRel::new(
+                r,
+                [AttrId(0), AttrId(1)],
+                Condition::neq_const(AttrId(1), Value::Null),
+            ),
         )
         .unwrap();
         cs.check_losslessness().unwrap();
@@ -510,10 +520,7 @@ mod tests {
             Err(ModelError::UnknownAttribute { .. })
         ));
         assert!(matches!(
-            cs.set_view(
-                p,
-                ViewRel::new(t, [], Condition::eq_const(AttrId(3), "x"))
-            ),
+            cs.set_view(p, ViewRel::new(t, [], Condition::eq_const(AttrId(3), "x"))),
             Err(ModelError::UnknownAttribute { .. })
         ));
     }

@@ -221,8 +221,7 @@ mod tests {
         let spec = hr_replace_example();
         let assign = spec.collab().schema().rel("Assign").unwrap();
         let mut run = Run::new(Arc::clone(&spec));
-        let (alice, bob, proj) =
-            (Value::str("alice"), Value::str("bob"), Value::str("apollo"));
+        let (alice, bob, proj) = (Value::str("alice"), Value::str("bob"), Value::str("apollo"));
         let mut push = |name: &str, vals: Vec<Value>| {
             let rid = run.spec().program().rule_by_name(name).unwrap();
             let rule = run.spec().program().rule(rid);

@@ -19,9 +19,9 @@ use std::sync::Arc;
 
 use rand::prelude::*;
 
-use cwf_model::{CollabSchema, RelSchema, Schema, Value};
 use cwf_engine::{Bindings, Event, Run};
 use cwf_lang::{Program, RuleBuilder, Term, WorkflowSpec};
+use cwf_model::{CollabSchema, RelSchema, Schema, Value};
 
 /// A Hitting-Set instance: `n` elements and sets over `0..n`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,7 +54,9 @@ impl HittingSet {
         let n = self.n;
         (0u32..(1 << n))
             .filter(|mask| {
-                self.sets.iter().all(|c| c.iter().any(|i| mask & (1 << i) != 0))
+                self.sets
+                    .iter()
+                    .all(|c| c.iter().any(|i| mask & (1 << i) != 0))
             })
             .map(|mask| mask.count_ones() as usize)
             .min()
@@ -79,10 +81,18 @@ pub struct HittingSetWorkload {
 pub fn hitting_set_workload(instance: HittingSet) -> HittingSetWorkload {
     let mut schema = Schema::new();
     let v_rels: Vec<_> = (0..instance.n)
-        .map(|i| schema.add_relation(RelSchema::proposition(format!("V{i}"))).unwrap())
+        .map(|i| {
+            schema
+                .add_relation(RelSchema::proposition(format!("V{i}")))
+                .unwrap()
+        })
         .collect();
     let c_rels: Vec<_> = (0..instance.sets.len())
-        .map(|j| schema.add_relation(RelSchema::proposition(format!("C{j}"))).unwrap())
+        .map(|j| {
+            schema
+                .add_relation(RelSchema::proposition(format!("C{j}")))
+                .unwrap()
+        })
         .collect();
     let ok = schema.add_relation(RelSchema::proposition("OK")).unwrap();
     let mut collab = CollabSchema::new(schema);
@@ -96,7 +106,11 @@ pub fn hitting_set_workload(instance: HittingSet) -> HittingSetWorkload {
     let zero = || Term::Const(Value::int(0));
     // (a)-rules.
     for (i, &vr) in v_rels.iter().enumerate() {
-        program.add_rule(RuleBuilder::new(q, format!("a{i}")).insert(vr, [zero()]).build());
+        program.add_rule(
+            RuleBuilder::new(q, format!("a{i}"))
+                .insert(vr, [zero()])
+                .build(),
+        );
     }
     // (b)-rules.
     for (j, set) in instance.sets.iter().enumerate() {
@@ -116,7 +130,12 @@ pub fn hitting_set_workload(instance: HittingSet) -> HittingSetWorkload {
     }
     program.add_rule(c_rule.insert(ok, [zero()]).build());
     let spec = Arc::new(WorkflowSpec::new(collab, program).expect("reduction is well-formed"));
-    HittingSetWorkload { spec, q, p, instance }
+    HittingSetWorkload {
+        spec,
+        q,
+        p,
+        instance,
+    }
 }
 
 impl HittingSetWorkload {
@@ -131,11 +150,13 @@ impl HittingSetWorkload {
     pub fn canonical_run(&self) -> Run {
         let mut run = Run::new(Arc::clone(&self.spec));
         for i in 0..self.instance.n {
-            run.push(self.ground(&format!("a{i}"))).expect("a-rules fire on ∅");
+            run.push(self.ground(&format!("a{i}")))
+                .expect("a-rules fire on ∅");
         }
         for (j, set) in self.instance.sets.iter().enumerate() {
             let i = set[0];
-            run.push(self.ground(&format!("b{j}_{i}"))).expect("b after a");
+            run.push(self.ground(&format!("b{j}_{i}")))
+                .expect("b after a");
         }
         run.push(self.ground("ok")).expect("all C_j derived");
         run
@@ -145,11 +166,13 @@ impl HittingSetWorkload {
     pub fn saturated_run(&self) -> Run {
         let mut run = Run::new(Arc::clone(&self.spec));
         for i in 0..self.instance.n {
-            run.push(self.ground(&format!("a{i}"))).expect("a-rules fire on ∅");
+            run.push(self.ground(&format!("a{i}")))
+                .expect("a-rules fire on ∅");
         }
         for (j, set) in self.instance.sets.iter().enumerate() {
             for &i in set {
-                run.push(self.ground(&format!("b{j}_{i}"))).expect("b after a");
+                run.push(self.ground(&format!("b{j}_{i}")))
+                    .expect("b after a");
             }
         }
         run.push(self.ground("ok")).expect("all C_j derived");
@@ -166,19 +189,27 @@ impl HittingSetWorkload {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cwf_core::{exists_scenario_at_most, one_minimal_scenario, search_min_scenario, SearchOptions};
+    use cwf_core::{
+        exists_scenario_at_most, one_minimal_scenario, search_min_scenario, SearchOptions,
+    };
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     fn small() -> HittingSet {
         // V = {0,1,2}, c1 = {0,1}, c2 = {1,2}: minimum hitting set {1}.
-        HittingSet { n: 3, sets: vec![vec![0, 1], vec![1, 2]] }
+        HittingSet {
+            n: 3,
+            sets: vec![vec![0, 1], vec![1, 2]],
+        }
     }
 
     #[test]
     fn min_hitting_set_is_correct() {
         assert_eq!(small().min_hitting_set(), 1);
-        let disjoint = HittingSet { n: 4, sets: vec![vec![0], vec![1], vec![2]] };
+        let disjoint = HittingSet {
+            n: 4,
+            sets: vec![vec![0], vec![1], vec![2]],
+        };
         assert_eq!(disjoint.min_hitting_set(), 3);
     }
 
@@ -230,7 +261,10 @@ mod tests {
         for _ in 0..10 {
             let hs = HittingSet::random(5, 4, 3, &mut rng);
             assert_eq!(hs.sets.len(), 4);
-            assert!(hs.sets.iter().all(|s| !s.is_empty() && s.iter().all(|&i| i < 5)));
+            assert!(hs
+                .sets
+                .iter()
+                .all(|s| !s.is_empty() && s.iter().all(|&i| i < 5)));
             let w = hitting_set_workload(hs);
             w.spec.validate().unwrap();
             let _ = w.canonical_run();

@@ -17,9 +17,9 @@ use std::sync::Arc;
 
 use rand::prelude::*;
 
-use cwf_model::{PeerId, Value};
 use cwf_engine::{Bindings, Event, Run};
 use cwf_lang::{parse_workflow, VarId, WorkflowSpec};
+use cwf_model::{PeerId, Value};
 
 /// The procurement workflow spec.
 pub fn procurement_spec() -> Arc<WorkflowSpec> {
@@ -99,7 +99,8 @@ pub fn build_procurement_run(
             b.set(VarId(i as u32), v.clone());
         }
         let e = Event::new(run.spec(), rid, b).unwrap();
-        run.push(e).unwrap_or_else(|err| panic!("firing {name}: {err}"));
+        run.push(e)
+            .unwrap_or_else(|err| panic!("firing {name}: {err}"));
         run.len() - 1
     };
     for _ in 0..n_requests {
@@ -108,7 +109,11 @@ pub fn build_procurement_run(
         let r = run.draw_fresh();
         fire(
             &mut run,
-            if large { "submit_large" } else { "submit_small" },
+            if large {
+                "submit_large"
+            } else {
+                "submit_small"
+            },
             std::slice::from_ref(&r),
         );
         // Stalled noise requests: submitted and approved, never ordered.
@@ -144,7 +149,11 @@ mod tests {
         assert_eq!(p.notices.len(), 3);
         // emp sees the submissions (own + noise) and the notices.
         let view = p.run.view(p.emp);
-        assert_eq!(view.len(), 3 + 3 + 3, "3 main + 3 noise submits + 3 notices");
+        assert_eq!(
+            view.len(),
+            3 + 3 + 3,
+            "3 main + 3 noise submits + 3 notices"
+        );
     }
 
     #[test]
@@ -162,8 +171,7 @@ mod tests {
             .iter()
             .enumerate()
             .filter(|(i, e)| {
-                p.run.spec().program().rule(e.rule).name == "approve_m"
-                    && !expl.events.contains(*i)
+                p.run.spec().program().rule(e.rule).name == "approve_m" && !expl.events.contains(*i)
             })
             .count();
         assert_eq!(dropped_approvals, 2);

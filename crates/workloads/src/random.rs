@@ -9,9 +9,9 @@ use std::sync::Arc;
 
 use rand::prelude::*;
 
-use cwf_model::{CollabSchema, PeerId, RelSchema, Schema, Value};
 use cwf_engine::{Run, Simulator};
 use cwf_lang::{Program, RuleBuilder, Term, WorkflowSpec};
+use cwf_model::{CollabSchema, PeerId, RelSchema, Schema, Value};
 
 /// Parameters of the random propositional generator.
 #[derive(Debug, Clone)]
@@ -55,10 +55,7 @@ pub struct RandomWorkload {
 /// Generates a random propositional workflow spec. All worker peers see
 /// everything (so every body is satisfiable when the facts exist); the
 /// observer sees a random subset of the relations.
-pub fn random_propositional_spec(
-    params: &RandomSpecParams,
-    rng: &mut impl Rng,
-) -> RandomWorkload {
+pub fn random_propositional_spec(params: &RandomSpecParams, rng: &mut impl Rng) -> RandomWorkload {
     let mut schema = Schema::new();
     let rels: Vec<_> = (0..params.n_rels)
         .map(|i| {
@@ -89,7 +86,11 @@ pub fn random_propositional_spec(
         let target_idx = rng.gen_range(0..rels.len());
         let target = rels[target_idx];
         let mut b = RuleBuilder::new(peer, format!("r{ri}"));
-        let n_body = if target_idx == 0 { 0 } else { rng.gen_range(0..=params.max_body) };
+        let n_body = if target_idx == 0 {
+            0
+        } else {
+            rng.gen_range(0..=params.max_body)
+        };
         let mut guards = Vec::new();
         for _ in 0..n_body {
             let dep = rels[rng.gen_range(0..target_idx)];
@@ -115,16 +116,16 @@ pub fn random_propositional_spec(
         };
         program.add_rule(rule);
     }
-    let spec = Arc::new(
-        WorkflowSpec::new(collab, program).expect("generator output is well-formed"),
-    );
+    let spec =
+        Arc::new(WorkflowSpec::new(collab, program).expect("generator output is well-formed"));
     RandomWorkload { spec, observer }
 }
 
 /// Drives a random run of up to `steps` events.
 pub fn random_run(spec: &Arc<WorkflowSpec>, steps: usize, seed: u64) -> Run {
     let mut sim = Simulator::new(Run::new(Arc::clone(spec)), StdRng::seed_from_u64(seed));
-    sim.steps(steps).expect("propositional events never error fatally");
+    sim.steps(steps)
+        .expect("propositional events never error fatally");
     sim.into_run()
 }
 
@@ -209,10 +210,7 @@ mod tests {
             let mut faithful_sets = Vec::new();
             for s in 0..6u64 {
                 let mut seed_rng = StdRng::seed_from_u64(s);
-                let seed = EventSet::from_iter(
-                    n,
-                    (0..n).filter(|_| seed_rng.gen_bool(0.3)),
-                );
+                let seed = EventSet::from_iter(n, (0..n).filter(|_| seed_rng.gen_bool(0.3)));
                 faithful_sets.push(tp_closure(&run, &index, w.observer, &seed));
             }
             for a in &faithful_sets {

@@ -12,9 +12,9 @@ use std::sync::Arc;
 
 use rand::prelude::*;
 
-use cwf_model::{PeerId, Value};
 use cwf_engine::{Bindings, Event, Run};
 use cwf_lang::{parse_workflow, VarId, WorkflowSpec};
+use cwf_model::{PeerId, Value};
 
 /// The review workflow spec.
 pub fn review_spec() -> Arc<WorkflowSpec> {
@@ -73,11 +73,7 @@ pub struct ReviewRun {
 /// Builds a run deciding `n_papers` papers (random accept/reject), each with
 /// two concurring reviews and `extra_reviews` additional reviews that do not
 /// participate in the decision.
-pub fn build_review_run(
-    n_papers: usize,
-    extra_reviews: usize,
-    rng: &mut impl Rng,
-) -> ReviewRun {
+pub fn build_review_run(n_papers: usize, extra_reviews: usize, rng: &mut impl Rng) -> ReviewRun {
     let spec = review_spec();
     let author = spec.collab().peer("author").unwrap();
     let mut run = Run::new(Arc::clone(&spec));
@@ -91,7 +87,8 @@ pub fn build_review_run(
             b.set(VarId(i as u32), v.clone());
         }
         let e = Event::new(run.spec(), rid, b).unwrap();
-        run.push(e).unwrap_or_else(|err| panic!("firing {name}: {err}"));
+        run.push(e)
+            .unwrap_or_else(|err| panic!("firing {name}: {err}"));
         run.len() - 1
     };
     for _ in 0..n_papers {
@@ -102,18 +99,30 @@ pub fn build_review_run(
         let a = run.draw_fresh();
         let reviewer_tag = run.draw_fresh();
         // assign: vars a(0), p(1), rev(2); rev is fresh (reviewer handle).
-        fire(&mut run, "assign", &[a.clone(), p.clone(), reviewer_tag.clone()]);
+        fire(
+            &mut run,
+            "assign",
+            &[a.clone(), p.clone(), reviewer_tag.clone()],
+        );
         // Two concurring reviews by different reviewers.
         let r1 = run.draw_fresh();
         fire(
             &mut run,
-            if accept { "review_accept" } else { "review_reject" },
+            if accept {
+                "review_accept"
+            } else {
+                "review_reject"
+            },
             &[r1.clone(), p.clone(), a.clone(), reviewer_tag.clone()],
         );
         let r2 = run.draw_fresh();
         fire(
             &mut run,
-            if accept { "review_accept2" } else { "review_reject2" },
+            if accept {
+                "review_accept2"
+            } else {
+                "review_reject2"
+            },
             &[r2.clone(), p.clone(), a.clone(), reviewer_tag.clone()],
         );
         // Unused extra reviews (conflicting verdicts never reach two).
@@ -121,7 +130,11 @@ pub fn build_review_run(
             let rx = run.draw_fresh();
             fire(
                 &mut run,
-                if accept { "review_reject" } else { "review_accept" },
+                if accept {
+                    "review_reject"
+                } else {
+                    "review_accept"
+                },
                 &[rx, p.clone(), a.clone(), reviewer_tag.clone()],
             );
         }
@@ -131,7 +144,11 @@ pub fn build_review_run(
             &[p.clone(), r1, r2],
         ));
     }
-    ReviewRun { run, author, decisions }
+    ReviewRun {
+        run,
+        author,
+        decisions,
+    }
 }
 
 #[cfg(test)]

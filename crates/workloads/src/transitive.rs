@@ -17,9 +17,9 @@
 
 use std::sync::Arc;
 
-use cwf_model::Value;
 use cwf_engine::{Bindings, Event, Run};
 use cwf_lang::{parse_workflow, VarId, WorkflowSpec};
+use cwf_model::Value;
 
 /// The Proposition 5.3 workflow.
 pub fn transitive_spec() -> Arc<WorkflowSpec> {
@@ -65,7 +65,8 @@ pub fn transitive_run(path_len: usize) -> Run {
             b.set(VarId(i as u32), v.clone());
         }
         let e = Event::new(run.spec(), rid, b).unwrap();
-        run.push(e).unwrap_or_else(|err| panic!("firing {name}: {err}"));
+        run.push(e)
+            .unwrap_or_else(|err| panic!("firing {name}: {err}"));
     };
     // Nodes 0, f_1, …, f_{path_len−1}, 1; edge keys as we go.
     let mut nodes = vec![Value::int(0)];
@@ -90,7 +91,11 @@ pub fn transitive_run(path_len: usize) -> Run {
             let prev_src = nodes[nodes.len() - 2].clone();
             let cur = nodes.last().expect("nodes non-empty").clone();
             // extend: +R(e, y, z) :- R(k, x, y) — vars e, y, z, k, x.
-            fire(&mut run, "extend", &[e.clone(), cur, next.clone(), prev_key, prev_src]);
+            fire(
+                &mut run,
+                "extend",
+                &[e.clone(), cur, next.clone(), prev_key, prev_src],
+            );
             edge_keys.push(e);
             nodes.push(next);
         }
@@ -109,7 +114,11 @@ pub fn transitive_run(path_len: usize) -> Run {
     for (i, w) in nodes.windows(2).enumerate() {
         let e = run.draw_fresh();
         // base: +S(e, x, y) :- R(k, x, y) — vars e, x, y, k.
-        fire(&mut run, "base", &[e.clone(), w[0].clone(), w[1].clone(), edge_keys[i].clone()]);
+        fire(
+            &mut run,
+            "base",
+            &[e.clone(), w[0].clone(), w[1].clone(), edge_keys[i].clone()],
+        );
         s_keys.push(e);
     }
     // Fold the path left to right.
@@ -123,7 +132,14 @@ pub fn transitive_run(path_len: usize) -> Run {
         fire(
             &mut run,
             "step",
-            &[e.clone(), acc_src.clone(), dst, acc_key.clone(), mid, k2.clone()],
+            &[
+                e.clone(),
+                acc_src.clone(),
+                dst,
+                acc_key.clone(),
+                mid,
+                k2.clone(),
+            ],
         );
         acc_key = e;
     }

@@ -20,9 +20,9 @@ use std::sync::Arc;
 
 use rand::prelude::*;
 
-use cwf_model::{PeerId, Value};
 use cwf_engine::{Bindings, Event, Run};
 use cwf_lang::{parse_workflow, VarId, WorkflowSpec};
+use cwf_model::{PeerId, Value};
 
 /// The triage workflow spec.
 pub fn triage_spec() -> Arc<WorkflowSpec> {
@@ -73,11 +73,7 @@ pub struct TriageRun {
 /// Files `n_tickets` tickets and escalates/acks/resolves the first
 /// `n_escalated` of them; the rest stay `⊥`-severity noise the on-call peer
 /// never sees.
-pub fn build_triage_run(
-    n_tickets: usize,
-    n_escalated: usize,
-    rng: &mut impl Rng,
-) -> TriageRun {
+pub fn build_triage_run(n_tickets: usize, n_escalated: usize, rng: &mut impl Rng) -> TriageRun {
     assert!(n_escalated <= n_tickets);
     let spec = triage_spec();
     let reporter = spec.collab().peer("reporter").unwrap();
@@ -92,7 +88,8 @@ pub fn build_triage_run(
             b.set(VarId(i as u32), v.clone());
         }
         let e = Event::new(run.spec(), rid, b).unwrap();
-        run.push(e).unwrap_or_else(|err| panic!("firing {name}: {err}"));
+        run.push(e)
+            .unwrap_or_else(|err| panic!("firing {name}: {err}"));
         run.len() - 1
     };
     let mut ids = Vec::new();
@@ -111,7 +108,13 @@ pub fn build_triage_run(
         fire(&mut run, "ack", std::slice::from_ref(&t));
         resolutions.push(fire(&mut run, "resolve", &[t]));
     }
-    TriageRun { run, reporter, oncall, escalations, resolutions }
+    TriageRun {
+        run,
+        reporter,
+        oncall,
+        escalations,
+        resolutions,
+    }
 }
 
 #[cfg(test)]

@@ -19,9 +19,9 @@ use std::sync::Arc;
 
 use rand::prelude::*;
 
-use cwf_model::{AttrId, CollabSchema, Condition, RelSchema, Schema, Value, ViewRel};
 use cwf_engine::{Bindings, Event, Run};
 use cwf_lang::{Program, RuleBuilder, Term, WorkflowSpec};
+use cwf_model::{AttrId, CollabSchema, Condition, RelSchema, Schema, Value, ViewRel};
 
 /// A CNF formula: clauses of non-zero literals (DIMACS-style; `-3` is
 /// `¬x_3`, variables are `1..=n`).
@@ -67,11 +67,20 @@ impl Cnf {
                 vars.shuffle(rng);
                 vars.truncate(clause_len.min(n));
                 vars.into_iter()
-                    .map(|v| if rng.gen_bool(0.5) { v as i32 } else { -(v as i32) })
+                    .map(|v| {
+                        if rng.gen_bool(0.5) {
+                            v as i32
+                        } else {
+                            -(v as i32)
+                        }
+                    })
                     .collect()
             })
             .collect();
-        let mut cnf = Cnf { n, clauses: clauses.clone() };
+        let mut cnf = Cnf {
+            n,
+            clauses: clauses.clone(),
+        };
         if cnf.all_true_satisfies() {
             clauses.push((1..=n).map(|v| -(v as i32)).collect());
             cnf = Cnf { n, clauses };
@@ -101,7 +110,9 @@ pub fn unsat_workload(cnf: Cnf) -> UnsatWorkload {
     }
     attrs.push("Aq".to_string());
     let mut schema = Schema::new();
-    let r = schema.add_relation(RelSchema::new("R", attrs).unwrap()).unwrap();
+    let r = schema
+        .add_relation(RelSchema::new("R", attrs).unwrap())
+        .unwrap();
     let a = |i: usize| AttrId(i as u32); // A_i at position i; Aq at n+1.
     let aq = a(n + 1);
     let mut collab = CollabSchema::new(schema);
@@ -109,11 +120,15 @@ pub fn unsat_workload(cnf: Cnf) -> UnsatWorkload {
     let mut var_peers = Vec::new();
     for i in 1..=n {
         let px = collab.add_peer(format!("px{i}")).unwrap();
-        collab.set_view(px, ViewRel::new(r, [a(i)], Condition::True)).unwrap();
+        collab
+            .set_view(px, ViewRel::new(r, [a(i)], Condition::True))
+            .unwrap();
         var_peers.push(px);
     }
     let q = collab.add_peer("q").unwrap();
-    collab.set_view(q, ViewRel::new(r, [aq], Condition::True)).unwrap();
+    collab
+        .set_view(q, ViewRel::new(r, [aq], Condition::True))
+        .unwrap();
     // The observer: sees π_K(R) under σ_p.
     let p = collab.add_peer("p").unwrap();
     let delta = Condition::and((1..=n).map(|i| Condition::eq_const(a(i), 1i64)));
@@ -175,12 +190,18 @@ mod tests {
 
     /// φ = (¬x1 ∨ ¬x2): satisfiable (e.g. x1 false), all-true falsifies.
     fn sat_formula() -> Cnf {
-        Cnf { n: 2, clauses: vec![vec![-1, -2]] }
+        Cnf {
+            n: 2,
+            clauses: vec![vec![-1, -2]],
+        }
     }
 
     /// φ = (¬x1) ∧ (x1): unsatisfiable.
     fn unsat_formula() -> Cnf {
-        Cnf { n: 1, clauses: vec![vec![-1], vec![1]] }
+        Cnf {
+            n: 1,
+            clauses: vec![vec![-1], vec![1]],
+        }
     }
 
     #[test]

@@ -36,18 +36,19 @@ fn main() {
 
     // 2. Reload: decoding *replays* the log, so any tampering that breaks
     //    the program semantics is rejected.
-    let reloaded = load_run(
-        spec.clone(),
-        Instance::empty(spec.collab().schema()),
-        &log,
-    )
-    .expect("the log replays");
+    let reloaded = load_run(spec.clone(), Instance::empty(spec.collab().schema()), &log)
+        .expect("the log replays");
     assert_eq!(reloaded.current(), r.run.current());
     println!("\nreloaded and re-validated: {} events", reloaded.len());
 
     // A tampered log (decision without reviews) is rejected.
     let tampered = "accept f:0 f:1 f:2\n";
-    assert!(load_run(spec.clone(), Instance::empty(spec.collab().schema()), tampered).is_err());
+    assert!(load_run(
+        spec.clone(),
+        Instance::empty(spec.collab().schema()),
+        tampered
+    )
+    .is_err());
     println!("tampered log rejected ✓");
 
     // 3. Activity statistics.

@@ -43,7 +43,9 @@ fn main() {
     // --- The master server propagates view deltas -------------------------
     let mut c = Coordinator::new(Arc::clone(&spec));
     let d = c.draw_fresh();
-    let b1 = c.submit(ev(&spec, "draft", std::slice::from_ref(&d))).unwrap();
+    let b1 = c
+        .submit(ev(&spec, "draft", std::slice::from_ref(&d)))
+        .unwrap();
     println!("draft submitted — {} peer(s) notified:", b1.deltas.len());
     for (p, delta) in &b1.deltas {
         println!(
@@ -54,7 +56,9 @@ fn main() {
         );
     }
     let d2 = c.draw_fresh();
-    let b2 = c.submit(ev(&spec, "publish", &[d.clone(), d2.clone()])).unwrap();
+    let b2 = c
+        .submit(ev(&spec, "publish", &[d.clone(), d2.clone()]))
+        .unwrap();
     println!("published — {} peer(s) notified:", b2.deltas.len());
     for (p, delta) in &b2.deltas {
         println!(
@@ -72,12 +76,8 @@ fn main() {
     // The same server can gate events through the Section 6 engine first:
     // only accepted events are broadcast.
     let public = spec.collab().peer("public").unwrap();
-    let mut gate = TransparentEngine::with_mode(
-        Arc::clone(&spec),
-        public,
-        3,
-        EnforcementMode::Block,
-    );
+    let mut gate =
+        TransparentEngine::with_mode(Arc::clone(&spec), public, 3, EnforcementMode::Block);
     let mut gated = Coordinator::new(Arc::clone(&spec));
     let d3 = gated.draw_fresh();
     let d4 = Value::Fresh(9_000);

@@ -10,8 +10,8 @@
 //! ```
 
 use collab_workflows::core::{
-    all_minimal_scenarios, is_scenario, minimal_faithful_scenario, search_min_scenario,
-    EventSet, SearchOptions,
+    all_minimal_scenarios, is_scenario, minimal_faithful_scenario, search_min_scenario, EventSet,
+    SearchOptions,
 };
 use collab_workflows::prelude::*;
 use collab_workflows::workloads::applicant_run;

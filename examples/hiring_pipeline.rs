@@ -6,8 +6,8 @@
 //! ```
 
 use collab_workflows::analysis::{
-    check_h_bounded, check_transparent, find_bound, mirror_run, synthesize_view_program,
-    Limits, MirroredStep,
+    check_h_bounded, check_transparent, find_bound, mirror_run, synthesize_view_program, Limits,
+    MirroredStep,
 };
 use collab_workflows::prelude::*;
 use collab_workflows::workloads::{hiring_example, hiring_no_cfo};

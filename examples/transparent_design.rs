@@ -5,8 +5,8 @@
 //! ```
 
 use collab_workflows::design::{
-    acyclicity_bound, add_stage_discipline, check_guidelines, check_tf, in_t_runs,
-    is_p_acyclic, p_fresh_candidates, Classification, PushOutcome, TransparentEngine,
+    acyclicity_bound, add_stage_discipline, check_guidelines, check_tf, in_t_runs, is_p_acyclic,
+    p_fresh_candidates, Classification, PushOutcome, TransparentEngine,
 };
 use collab_workflows::prelude::*;
 use collab_workflows::workloads::{hiring_no_cfo, hiring_staged};
@@ -61,8 +61,10 @@ fn main() {
     .unwrap();
     let sue_raw = raw.collab().peer("sue").unwrap();
     let mech = add_stage_discipline(&raw, sue_raw).expect("transformable");
-    println!("
-=== mechanically staged (add_stage_discipline) ===");
+    println!(
+        "
+=== mechanically staged (add_stage_discipline) ==="
+    );
     println!("{}", print_workflow(&mech.spec));
     println!(
         "guideline violations after the transform: {}",
@@ -86,9 +88,18 @@ fn main() {
     };
     let alice = Value::Fresh(100);
     let bobby = Value::Fresh(200);
-    println!("clear(alice)   → {:?}", fire(&mut eng, "clear", std::slice::from_ref(&alice)));
-    println!("approve(alice) → {:?}", fire(&mut eng, "approve", std::slice::from_ref(&alice)));
-    println!("clear(bobby)   → {:?}", fire(&mut eng, "clear", std::slice::from_ref(&bobby)));
+    println!(
+        "clear(alice)   → {:?}",
+        fire(&mut eng, "clear", std::slice::from_ref(&alice))
+    );
+    println!(
+        "approve(alice) → {:?}",
+        fire(&mut eng, "approve", std::slice::from_ref(&alice))
+    );
+    println!(
+        "clear(bobby)   → {:?}",
+        fire(&mut eng, "clear", std::slice::from_ref(&bobby))
+    );
     println!(
         "hire(alice)    → {:?}   (stale approval: blocked!)",
         fire(&mut eng, "hire", std::slice::from_ref(&alice))

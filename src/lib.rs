@@ -9,7 +9,9 @@
 //!
 //! * [`model`] — schemas, instances, the key chase, views (Section 2);
 //! * [`lang`] — the rule language, validation, normal form, parser;
-//! * [`engine`] — events, transitions, runs, run views, simulation;
+//! * [`engine`] — events, transitions, runs, run views, simulation, and
+//!   the fault-tolerant coordinator deployment (write-ahead log, crash
+//!   recovery, unreliable-delivery retry/resync, fault injection);
 //! * [`core`] — scenarios and the unique minimal faithful scenario
 //!   (Sections 3–4): the *explanation* machinery;
 //! * [`analysis`] — h-boundedness, transparency, view-program synthesis
@@ -68,12 +70,15 @@ pub mod prelude {
         add_stage_discipline, check_guidelines, check_tf, is_p_acyclic, EnforcementMode,
         PushOutcome, TransparentEngine,
     };
-    pub use cwf_engine::{encode_run, load_run, Bindings, Event, Run, RunStats, Simulator};
+    pub use cwf_engine::{
+        encode_run, load_run, Bindings, Coordinator, CoordinatorConfig, CoordinatorError, Event,
+        FaultPlan, FaultyTransport, FileBackend, MemBackend, PerfectTransport, Run, RunStats,
+        Simulator, SyncPolicy, Wal, WalOptions,
+    };
     pub use cwf_lang::{
         lint, parse_workflow, print_workflow, Program, RuleBuilder, VarId, WorkflowSpec,
     };
     pub use cwf_model::{
-        CollabSchema, Condition, Instance, PeerId, RelId, RelSchema, Schema, Tuple, Value,
-        ViewRel,
+        CollabSchema, Condition, Instance, PeerId, RelId, RelSchema, Schema, Tuple, Value, ViewRel,
     };
 }

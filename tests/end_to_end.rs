@@ -32,9 +32,16 @@ fn paper_narrative_end_to_end() {
     let run = applicant_run();
     let applicant = run.spec().collab().peer("applicant").unwrap();
     let misleading = EventSet::from_iter(run.len(), [0, 3]);
-    assert!(is_scenario(&run, applicant, &misleading), "e·h is a scenario");
+    assert!(
+        is_scenario(&run, applicant, &misleading),
+        "e·h is a scenario"
+    );
     let faithful = minimal_faithful_scenario(&run, applicant);
-    assert_eq!(faithful.events.to_vec(), vec![2, 3], "g·h is the explanation");
+    assert_eq!(
+        faithful.events.to_vec(),
+        vec![2, 3],
+        "g·h is the explanation"
+    );
 
     // 2. Example 5.7: not transparent; the decider produces a witness.
     let spec = hiring_no_cfo();
@@ -79,7 +86,10 @@ fn paper_narrative_end_to_end() {
     assert!(fire(&mut eng, "clear", &a).applied());
     assert!(fire(&mut eng, "approve", &a).applied());
     assert!(fire(&mut eng, "clear", &b).applied());
-    assert_eq!(fire(&mut eng, "hire", &a), PushOutcome::BlockedNonTransparent);
+    assert_eq!(
+        fire(&mut eng, "hire", &a),
+        PushOutcome::BlockedNonTransparent
+    );
     let accepted = eng.into_run();
     let candidates = p_fresh_candidates(&accepted, sue);
     assert!(in_t_runs(&accepted, sue, h, &candidates));
@@ -99,10 +109,9 @@ fn staged_redesign_is_well_behaved() {
     let d = check_h_bounded(&staged, sue, 1, &limits);
     assert!(d.counter_example().is_some(), "not 1-bounded");
     // No sampled transparency violation (Theorem 6.2's promise).
-    assert!(collab_workflows::analysis::sample_transparency_violation(
-        &staged, sue, 30, 8, 9
-    )
-    .is_none());
+    assert!(
+        collab_workflows::analysis::sample_transparency_violation(&staged, sue, 30, 8, 9).is_none()
+    );
 }
 
 #[test]
@@ -165,7 +174,11 @@ fn corollary_6_8_pipeline_staged_program_synthesizes() {
     };
     let synth = synthesize_view_program(&spec, sue, 2, &limits).unwrap();
     assert!(!synth.omega_rules.is_empty());
-    assert_eq!(synth.rule_map.len(), 1, "sue's stage_init rule carries over");
+    assert_eq!(
+        synth.rule_map.len(),
+        1,
+        "sue's stage_init rule carries over"
+    );
     for seed in 0..6u64 {
         let mut sim = Simulator::new(Run::new(Arc::clone(&spec)), StdRng::seed_from_u64(seed));
         sim.steps(8).unwrap();

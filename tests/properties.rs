@@ -14,12 +14,10 @@ use collab_workflows::core::{
 use collab_workflows::engine::{Run, Simulator};
 use collab_workflows::lang::{normalize, parse_workflow};
 use collab_workflows::model::{
-    chase, naive_chase, CollabSchema, Condition, Instance, RawInstance, RelId, RelSchema,
-    Schema, Tuple, Value, ViewRel,
+    chase, naive_chase, CollabSchema, Condition, Instance, RawInstance, RelId, RelSchema, Schema,
+    Tuple, Value, ViewRel,
 };
-use collab_workflows::workloads::{
-    random_propositional_spec, random_run, RandomSpecParams,
-};
+use collab_workflows::workloads::{random_propositional_spec, random_run, RandomSpecParams};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -73,7 +71,10 @@ mod chase_props {
 
     // Silence an unused-import warning path.
     #[allow(dead_code)]
-    fn _keep(_: fn(&Schema, &RawInstance) -> Result<Instance, collab_workflows::model::ChaseFailure>) {}
+    fn _keep(
+        _: fn(&Schema, &RawInstance) -> Result<Instance, collab_workflows::model::ChaseFailure>,
+    ) {
+    }
     #[test]
     fn naive_is_linked() {
         _keep(naive_chase);
@@ -86,8 +87,7 @@ mod losslessness_props {
     /// Complementary-selection decomposition: p sees A = ⊥ rows, q sees the
     /// rest; both see all attributes.
     fn lossless_schema() -> (CollabSchema, RelId) {
-        let schema =
-            Schema::from_relations([RelSchema::new("R", ["K", "A"]).unwrap()]).unwrap();
+        let schema = Schema::from_relations([RelSchema::new("R", ["K", "A"]).unwrap()]).unwrap();
         let r = schema.rel("R").unwrap();
         let mut cs = CollabSchema::new(schema);
         let p = cs.add_peer("p").unwrap();
@@ -95,12 +95,20 @@ mod losslessness_props {
         use collab_workflows::model::AttrId;
         cs.set_view(
             p,
-            ViewRel::new(r, [AttrId(0), AttrId(1)], Condition::eq_const(AttrId(1), Value::Null)),
+            ViewRel::new(
+                r,
+                [AttrId(0), AttrId(1)],
+                Condition::eq_const(AttrId(1), Value::Null),
+            ),
         )
         .unwrap();
         cs.set_view(
             q,
-            ViewRel::new(r, [AttrId(0), AttrId(1)], Condition::neq_const(AttrId(1), Value::Null)),
+            ViewRel::new(
+                r,
+                [AttrId(0), AttrId(1)],
+                Condition::neq_const(AttrId(1), Value::Null),
+            ),
         )
         .unwrap();
         (cs, r)

@@ -51,10 +51,7 @@ fn stats_agree_with_views() {
     let stats = RunStats::of(&p.run);
     assert_eq!(stats.events, p.run.len());
     // The employee's observed count equals its run-view length.
-    assert_eq!(
-        stats.peers[p.emp.index()].observed,
-        p.run.view(p.emp).len()
-    );
+    assert_eq!(stats.peers[p.emp.index()].observed, p.run.view(p.emp).len());
     // Every event was performed by someone.
     let performed: usize = stats.peers.iter().map(|s| s.performed).sum();
     assert_eq!(performed, p.run.len());
@@ -125,12 +122,10 @@ fn mechanically_staged_program_passes_the_full_pipeline() {
     // Guidelines + TF + lints.
     assert!(check_guidelines(&staged.spec, sue, &staged.classification).is_empty());
     let nf = normalize(&staged.spec);
-    assert!(collab_workflows::design::check_tf(
-        &nf.spec,
-        sue,
-        Some(staged.classification.stage)
-    )
-    .is_empty());
+    assert!(
+        collab_workflows::design::check_tf(&nf.spec, sue, Some(staged.classification.stage))
+            .is_empty()
+    );
     // Parse/print round trip of the generated program. The transform's
     // variable tables are ordered differently than the parser's, so compare
     // printed forms (α-equivalence) rather than ASTs.
