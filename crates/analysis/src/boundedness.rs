@@ -13,10 +13,10 @@ use std::sync::Arc;
 use cwf_core::{tp_closure, EventSet, RunIndex};
 use cwf_engine::{Event, Run};
 use cwf_lang::WorkflowSpec;
-use cwf_model::{Instance, PeerId};
+use cwf_model::{Governor, Instance, PeerId, Reason, Verdict};
 
 use crate::space::{
-    applicable_events_for_run, completion_pool, constant_pool, Budget, InstanceEnumerator, Limits,
+    applicable_events_for_run, completion_pool, constant_pool, InstanceEnumerator, Limits,
 };
 
 /// The outcome of a bounded decision procedure.
@@ -26,8 +26,9 @@ pub enum Decision<W> {
     Holds,
     /// A counterexample was found.
     CounterExample(W),
-    /// The search budget was exhausted before completion.
-    Budget,
+    /// A governor limit (nodes, deadline, cancellation, memory) was hit
+    /// before the search completed.
+    Exhausted(Reason),
 }
 
 impl<W> Decision<W> {
@@ -43,6 +44,14 @@ impl<W> Decision<W> {
             _ => None,
         }
     }
+
+    /// The exhaustion reason, if the search was cut off.
+    pub fn exhausted_reason(&self) -> Option<&Reason> {
+        match self {
+            Decision::Exhausted(r) => Some(r),
+            _ => None,
+        }
+    }
 }
 
 impl<W> fmt::Display for Decision<W> {
@@ -50,7 +59,7 @@ impl<W> fmt::Display for Decision<W> {
         match self {
             Decision::Holds => write!(f, "holds"),
             Decision::CounterExample(_) => write!(f, "counterexample found"),
-            Decision::Budget => write!(f, "budget exhausted"),
+            Decision::Exhausted(r) => write!(f, "search exhausted: {r}"),
         }
     }
 }
@@ -65,34 +74,62 @@ pub struct BoundednessWitness {
     pub events: Vec<Event>,
 }
 
-/// Decides whether `spec` is h-bounded for `peer` (Theorem 5.10).
+/// Decides whether `spec` is h-bounded for `peer` (Theorem 5.10), under a
+/// node budget of `limits.max_nodes`.
 pub fn check_h_bounded(
     spec: &Arc<WorkflowSpec>,
     peer: PeerId,
     h: usize,
     limits: &Limits,
 ) -> Decision<BoundednessWitness> {
-    let pool = constant_pool(spec, h + 1, limits);
-    let chain_pool = completion_pool(spec, h + 1, &pool);
-    let mut budget = Budget::new(limits.max_nodes);
-    let mut en = InstanceEnumerator::new(spec, &pool, limits);
-    while let Some(init) = en.next_instance(spec) {
-        if !budget.tick() {
-            return Decision::Budget;
-        }
-        let base = Run::with_initial(Arc::clone(spec), init.clone());
-        match dfs_silent_chain(&base, peer, &chain_pool, h + 1, &mut budget) {
-            ChainOutcome::Found(events) => {
-                return Decision::CounterExample(BoundednessWitness {
-                    initial: init,
-                    events,
-                })
+    check_h_bounded_with(
+        spec,
+        peer,
+        h,
+        limits,
+        &Governor::with_nodes(limits.max_nodes),
+    )
+}
+
+/// [`check_h_bounded`] under an explicit [`Governor`] (deadline,
+/// cancellation, and memory limits in addition to the node budget). The
+/// search body runs behind the governor's panic guard: a panicking evaluator
+/// is reported as [`Decision::Exhausted`] rather than unwinding.
+pub fn check_h_bounded_with(
+    spec: &Arc<WorkflowSpec>,
+    peer: PeerId,
+    h: usize,
+    limits: &Limits,
+    gov: &Governor,
+) -> Decision<BoundednessWitness> {
+    let verdict = gov.guard(|| {
+        let pool = constant_pool(spec, h + 1, limits);
+        let chain_pool = completion_pool(spec, h + 1, &pool);
+        let mut en = InstanceEnumerator::new(spec, &pool, limits);
+        while let Some(init) = en.next_instance(spec) {
+            if let Err(reason) = gov.tick() {
+                return Verdict::Done(Decision::Exhausted(reason));
             }
-            ChainOutcome::Budget => return Decision::Budget,
-            ChainOutcome::None => {}
+            let base = Run::with_initial(Arc::clone(spec), init.clone());
+            match dfs_silent_chain(&base, peer, &chain_pool, h + 1, gov) {
+                ChainOutcome::Found(events) => {
+                    return Verdict::Done(Decision::CounterExample(BoundednessWitness {
+                        initial: init,
+                        events,
+                    }))
+                }
+                ChainOutcome::Exhausted(reason) => {
+                    return Verdict::Done(Decision::Exhausted(reason))
+                }
+                ChainOutcome::None => {}
+            }
         }
+        Verdict::Done(Decision::Holds)
+    });
+    match verdict {
+        Verdict::Done(d) | Verdict::Anytime(d, _) => d,
+        Verdict::Exhausted(reason) => Decision::Exhausted(reason),
     }
-    Decision::Holds
 }
 
 /// Finds the least `h ≤ h_max` for which the program is h-bounded, if any.
@@ -108,7 +145,7 @@ pub fn find_bound(
 enum ChainOutcome {
     Found(Vec<Event>),
     None,
-    Budget,
+    Exhausted(Reason),
 }
 
 /// DFS for a run of exactly `target_len` events on `base`'s initial
@@ -119,25 +156,26 @@ fn dfs_silent_chain(
     peer: PeerId,
     pool: &[cwf_model::Value],
     target_len: usize,
-    budget: &mut Budget,
+    gov: &Governor,
 ) -> ChainOutcome {
     fn go(
         run: &Run,
         peer: PeerId,
         pool: &[cwf_model::Value],
         target_len: usize,
-        budget: &mut Budget,
+        gov: &Governor,
     ) -> ChainOutcome {
         let depth = run.len();
         let Some(candidates) = applicable_events_for_run(run.spec(), run, pool) else {
-            // Not enough fresh headroom in the pool: treat as exhaustion.
-            return ChainOutcome::Budget;
+            // Not enough fresh headroom in the pool: a capacity-style
+            // exhaustion (raise `extra_constants`).
+            return ChainOutcome::Exhausted(Reason::Memory);
         };
         for t in &candidates {
-            // One budget unit per candidate trial: the budget measures real
-            // work, so exhaustion fires promptly on huge spaces.
-            if !budget.tick() {
-                return ChainOutcome::Budget;
+            // One governor node per candidate trial: the budget measures
+            // real work, so exhaustion fires promptly on huge spaces.
+            if let Err(reason) = gov.tick() {
+                return ChainOutcome::Exhausted(reason);
             }
             let mut next = run.clone();
             if next.push(t.clone()).is_err() {
@@ -161,7 +199,7 @@ fn dfs_silent_chain(
                 if visible {
                     continue;
                 }
-                match go(&next, peer, pool, target_len, budget) {
+                match go(&next, peer, pool, target_len, gov) {
                     ChainOutcome::None => {}
                     other => return other,
                 }
@@ -169,7 +207,7 @@ fn dfs_silent_chain(
         }
         ChainOutcome::None
     }
-    go(base, peer, pool, target_len, budget)
+    go(base, peer, pool, target_len, gov)
 }
 
 #[cfg(test)]
@@ -265,7 +303,19 @@ mod tests {
         };
         assert!(matches!(
             check_h_bounded(&spec, p, 3, &tiny),
-            Decision::Budget
+            Decision::Exhausted(Reason::Nodes)
+        ));
+    }
+
+    #[test]
+    fn cancellation_is_reported() {
+        let spec = chain_spec();
+        let p = spec.collab().peer("p").unwrap();
+        let gov = Governor::unlimited();
+        gov.cancel_token().cancel();
+        assert!(matches!(
+            check_h_bounded_with(&spec, p, 3, &limits(), &gov),
+            Decision::Exhausted(Reason::Cancelled)
         ));
     }
 

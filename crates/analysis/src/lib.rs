@@ -5,7 +5,10 @@
 //! synthesis of view programs `P@p` with provenance-carrying ω-rules
 //! (Theorem 5.13), and validators for their soundness and completeness.
 //! Both decision problems are PSPACE-complete, so every procedure here is an
-//! explicit bounded search with a node budget.
+//! explicit bounded search charged against a [`cwf_model::Governor`] (node
+//! budget, wall-clock deadline, cooperative cancellation, memory cap); the
+//! `*_with` entry points accept an explicit governor, the plain ones build a
+//! node-budget governor from [`Limits::max_nodes`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -18,16 +21,18 @@ pub mod transparency;
 pub mod tree;
 pub mod view_program;
 
-pub use boundedness::{check_h_bounded, find_bound, BoundednessWitness, Decision};
-pub use space::{
-    constant_pool, event_templates, fresh_instances, Budget, InstanceEnumerator, Limits,
+pub use boundedness::{
+    check_h_bounded, check_h_bounded_with, find_bound, BoundednessWitness, Decision,
 };
+pub use space::{constant_pool, event_templates, fresh_instances, InstanceEnumerator, Limits};
 pub use stage::{minimum_faithful_of_stage, stages, Stage};
 pub use synthesis::{
-    synthesize_view_program, view_as_instance, OmegaMeta, Synthesis, SynthesisError,
+    synthesize_view_program, synthesize_view_program_with, view_as_instance, OmegaMeta, Synthesis,
+    SynthesisError,
 };
 pub use transparency::{
-    chain_fails_on, check_transparent, sample_transparency_violation, TransparencyWitness,
+    chain_fails_on, check_transparent, check_transparent_with, sample_transparency_violation,
+    TransparencyWitness,
 };
 pub use tree::{sample_tree_divergence, TreeMismatch, MAX_FRESH};
 pub use view_program::{

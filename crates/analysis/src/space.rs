@@ -15,15 +15,16 @@
 //! * enumeration of the *p-fresh* instances (Definition 5.5) reachable from
 //!   those by one p-visible event ([`fresh_instances`]).
 //!
-//! Everything is budgeted: the procedures are PSPACE-complete, so the
-//! implementations are explicit exponential searches that report
-//! [`Budget`](crate::Decision::Budget) when the caps are hit.
+//! Everything is governed: the procedures are PSPACE-complete, so the
+//! implementations are explicit exponential searches that charge every node
+//! to a [`Governor`] and report
+//! [`Exhausted`](crate::Decision::Exhausted) when any limit is hit.
 
 use std::collections::BTreeSet;
 
 use cwf_engine::{apply_event, event_visible, Bindings, Event};
 use cwf_lang::{VarId, WorkflowSpec};
-use cwf_model::{Instance, PeerId, Tuple, Value};
+use cwf_model::{Bound, Governor, Instance, PeerId, Reason, Tuple, Value, Verdict};
 
 /// Budgets and caps for the bounded searches.
 #[derive(Debug, Clone)]
@@ -44,34 +45,6 @@ impl Default for Limits {
             max_tuples_per_rel: 2,
             extra_constants: None,
         }
-    }
-}
-
-/// A decrementing node budget.
-#[derive(Debug, Clone)]
-pub struct Budget {
-    left: u64,
-}
-
-impl Budget {
-    /// A budget of `n` nodes.
-    pub fn new(n: u64) -> Self {
-        Budget { left: n }
-    }
-
-    /// Consumes one node; `false` when exhausted.
-    pub fn tick(&mut self) -> bool {
-        if self.left == 0 {
-            false
-        } else {
-            self.left -= 1;
-            true
-        }
-    }
-
-    /// Is the budget exhausted?
-    pub fn exhausted(&self) -> bool {
-        self.left == 0
     }
 }
 
@@ -372,7 +345,7 @@ impl InstanceEnumerator {
 }
 
 /// Iterator-style access: `next_instance` returns valid instances until the
-/// space (or never) — combine with an external [`Budget`].
+/// space (or never) — combine with an external [`Governor`].
 impl InstanceEnumerator {
     /// The next valid instance, or `None` when the space is exhausted.
     pub fn next_instance(&mut self, spec: &WorkflowSpec) -> Option<Instance> {
@@ -389,7 +362,11 @@ impl InstanceEnumerator {
 
 /// Enumerates p-fresh instances (Definition 5.5) over the pool: the empty
 /// instance plus every `e(I)` for an enumerated `I` and applicable event `e`
-/// visible at `peer`. Deduplicated. Returns `None` on budget exhaustion.
+/// visible at `peer`. Deduplicated. On governor cutoff the instances found
+/// so far are returned as an [`Verdict::Anytime`] answer whose bound carries
+/// the partial reachable-set cardinality as a lower bound; a pool with too
+/// few fresh constants is reported as [`Reason::Memory`] (raise
+/// `extra_constants`).
 ///
 /// **Reading choices** (documented in DESIGN.md): the generating event must
 /// instantiate head-only variables to values *globally fresh for `I`*
@@ -404,22 +381,35 @@ pub fn fresh_instances(
     pool: &[Value],
     completion: &[Value],
     limits: &Limits,
-    budget: &mut Budget,
-) -> Option<Vec<Instance>> {
+    gov: &Governor,
+) -> Verdict<Vec<Instance>> {
     let mut seen: BTreeSet<String> = BTreeSet::new();
     let mut out = Vec::new();
     let empty = Instance::empty(spec.collab().schema());
     seen.insert(format!("{empty:?}"));
     out.push(empty);
+    let partial = |out: Vec<Instance>, reason: Reason| {
+        let found = out.len() as u64;
+        Verdict::Anytime(
+            out,
+            Bound {
+                reason,
+                lower: Some(found),
+                upper: None,
+            },
+        )
+    };
     let mut en = InstanceEnumerator::new(spec, pool, limits);
     while let Some(inst) = en.next_instance(spec) {
-        if !budget.tick() {
-            return None;
+        if let Err(reason) = gov.tick() {
+            return partial(out, reason);
         }
-        let events = applicable_events(spec, &inst, completion, &BTreeSet::new())?;
+        let Some(events) = applicable_events(spec, &inst, completion, &BTreeSet::new()) else {
+            return Verdict::Exhausted(Reason::Memory);
+        };
         for e in &events {
-            if !budget.tick() {
-                return None;
+            if let Err(reason) = gov.tick() {
+                return partial(out, reason);
             }
             let Ok(next) = apply_event(spec, &inst, e) else {
                 continue;
@@ -432,7 +422,7 @@ pub fn fresh_instances(
             }
         }
     }
-    Some(out)
+    Verdict::Done(out)
 }
 
 #[cfg(test)]
@@ -560,11 +550,12 @@ mod tests {
             max_tuples_per_rel: 1,
             ..Default::default()
         };
-        let mut budget = Budget::new(100_000);
         // p sees only B: p-fresh instances are ∅ and those reached by a
         // p-visible event (mk_b insertions).
         let comp = completion_pool(&spec, 2, &pool);
-        let fresh_p = fresh_instances(&spec, p, &pool, &comp, &limits, &mut budget).unwrap();
+        let fresh_p = fresh_instances(&spec, p, &pool, &comp, &limits, &Governor::unlimited())
+            .into_value()
+            .unwrap();
         assert!(fresh_p.iter().any(Instance::is_empty));
         assert!(fresh_p.len() >= 2);
         // Every non-empty one contains B(0).
@@ -575,8 +566,9 @@ mod tests {
             }
         }
         // For q everything it does is visible ⇒ at least as many.
-        let mut budget = Budget::new(100_000);
-        let fresh_q = fresh_instances(&spec, q, &pool, &comp, &limits, &mut budget).unwrap();
+        let fresh_q = fresh_instances(&spec, q, &pool, &comp, &limits, &Governor::unlimited())
+            .into_value()
+            .unwrap();
         assert!(fresh_q.len() >= fresh_p.len());
     }
 
@@ -605,13 +597,21 @@ mod tests {
     }
 
     #[test]
-    fn budget_exhaustion_returns_none() {
+    fn governor_cutoff_returns_partial_anytime_answer() {
         let spec = prop_spec();
         let p = spec.collab().peer("p").unwrap();
         let pool = constant_pool(&spec, 2, &Limits::default());
-        let mut budget = Budget::new(1);
+        let gov = Governor::with_nodes(1);
         let comp = completion_pool(&spec, 2, &pool);
-        assert!(fresh_instances(&spec, p, &pool, &comp, &Limits::default(), &mut budget).is_none());
-        assert!(budget.exhausted());
+        let cut = fresh_instances(&spec, p, &pool, &comp, &Limits::default(), &gov);
+        match cut {
+            Verdict::Anytime(partial, bound) => {
+                // The empty instance is always seeded before the cutoff.
+                assert!(!partial.is_empty());
+                assert_eq!(bound.reason, Reason::Nodes);
+                assert_eq!(bound.lower, Some(partial.len() as u64));
+            }
+            other => panic!("expected an anytime cutoff, got {other:?}"),
+        }
     }
 }

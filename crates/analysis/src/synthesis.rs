@@ -30,9 +30,12 @@ use std::sync::Arc;
 
 use cwf_engine::Run;
 use cwf_lang::{Literal, Program, Rule, RuleId, Term, UpdateAtom, VarId, WorkflowSpec};
-use cwf_model::{CollabSchema, Instance, PeerId, RelId, RelSchema, Schema, Value, ViewInstance};
+use cwf_model::{
+    CollabSchema, Governor, Instance, PeerId, Reason, RelId, RelSchema, Schema, Value, Verdict,
+    ViewInstance,
+};
 
-use crate::space::{completion_pool, constant_pool, fresh_instances, Budget, Limits};
+use crate::space::{completion_pool, constant_pool, fresh_instances, Limits};
 use crate::transparency::enumerate_chains;
 
 /// The generation certificate of one ω-rule: the canonical triple's chain
@@ -51,8 +54,8 @@ pub struct OmegaMeta {
 /// Why synthesis failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SynthesisError {
-    /// A search cap was hit; raise the limits.
-    Budget,
+    /// A governor limit was hit; raise the limits (or relax the governor).
+    Exhausted(Reason),
     /// The peer sees nothing — there is no view schema to synthesize over.
     EmptyView,
 }
@@ -60,7 +63,7 @@ pub enum SynthesisError {
 impl std::fmt::Display for SynthesisError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SynthesisError::Budget => write!(f, "synthesis budget exhausted"),
+            SynthesisError::Exhausted(r) => write!(f, "synthesis exhausted: {r}"),
             SynthesisError::EmptyView => write!(f, "peer has an empty view schema"),
         }
     }
@@ -98,6 +101,38 @@ pub fn synthesize_view_program(
     peer: PeerId,
     h: usize,
     limits: &Limits,
+) -> Result<Synthesis, SynthesisError> {
+    synthesize_view_program_with(
+        spec,
+        peer,
+        h,
+        limits,
+        &Governor::with_nodes(limits.max_nodes),
+    )
+}
+
+/// [`synthesize_view_program`] under an explicit [`Governor`] (deadline,
+/// cancellation, and memory limits in addition to the node budget). Runs
+/// behind the governor's panic guard.
+pub fn synthesize_view_program_with(
+    spec: &Arc<WorkflowSpec>,
+    peer: PeerId,
+    h: usize,
+    limits: &Limits,
+    gov: &Governor,
+) -> Result<Synthesis, SynthesisError> {
+    match gov.guard(|| Verdict::Done(synthesize_body(spec, peer, h, limits, gov))) {
+        Verdict::Done(r) | Verdict::Anytime(r, _) => r,
+        Verdict::Exhausted(reason) => Err(SynthesisError::Exhausted(reason)),
+    }
+}
+
+fn synthesize_body(
+    spec: &Arc<WorkflowSpec>,
+    peer: PeerId,
+    h: usize,
+    limits: &Limits,
+    gov: &Governor,
 ) -> Result<Synthesis, SynthesisError> {
     let collab = spec.collab();
     let visible: Vec<RelId> = collab.visible_rels(peer).collect();
@@ -181,9 +216,12 @@ pub fn synthesize_view_program(
     // --- ω-rules from canonical triples ----------------------------------
     let pool = constant_pool(spec, h + 1, limits);
     let chain_pool = completion_pool(spec, h + 1, &pool);
-    let mut budget = Budget::new(limits.max_nodes);
-    let Some(fresh) = fresh_instances(spec, peer, &pool, &chain_pool, limits, &mut budget) else {
-        return Err(SynthesisError::Budget);
+    // Synthesis must see every canonical triple: a partial (anytime)
+    // enumeration would silently drop ω-rules, so a cutoff is an error.
+    let fresh = match fresh_instances(spec, peer, &pool, &chain_pool, limits, gov) {
+        Verdict::Done(f) => f,
+        Verdict::Anytime(_, bound) => return Err(SynthesisError::Exhausted(bound.reason)),
+        Verdict::Exhausted(reason) => return Err(SynthesisError::Exhausted(reason)),
     };
     let consts: BTreeSet<Value> = spec.program().const_set();
     let mut seen_rules: BTreeSet<String> = BTreeSet::new();
@@ -191,9 +229,8 @@ pub fn synthesize_view_program(
     let mut omega_meta = BTreeMap::new();
     let mut skipped = 0usize;
     for f in &fresh {
-        let Some(chains) = enumerate_chains(spec, peer, f, &chain_pool, h, &mut budget) else {
-            return Err(SynthesisError::Budget);
-        };
+        let chains = enumerate_chains(spec, peer, f, &chain_pool, h, gov)
+            .map_err(SynthesisError::Exhausted)?;
         for chain in chains {
             // Keys of the initial instance must all be touched by the chain
             // (Lemma A.3 restriction — the restricted instance is itself
@@ -661,6 +698,20 @@ mod tests {
         assert!(matches!(
             synthesize_view_program(&spec, blind, 1, &limits()),
             Err(SynthesisError::EmptyView)
+        ));
+    }
+
+    #[test]
+    fn exhaustion_is_reported() {
+        let spec = transparent_hiring();
+        let sue = spec.collab().peer("sue").unwrap();
+        let tiny = Limits {
+            max_nodes: 1,
+            ..limits()
+        };
+        assert!(matches!(
+            synthesize_view_program(&spec, sue, 2, &tiny),
+            Err(SynthesisError::Exhausted(Reason::Nodes))
         ));
     }
 

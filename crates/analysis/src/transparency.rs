@@ -18,13 +18,13 @@ use std::sync::Arc;
 use cwf_core::{tp_closure, EventSet, RunIndex};
 use cwf_engine::{Event, Run, Simulator};
 use cwf_lang::WorkflowSpec;
-use cwf_model::{Instance, PeerId, Value};
+use cwf_model::{Governor, Instance, PeerId, Reason, Value, Verdict};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::boundedness::Decision;
 use crate::space::{
-    applicable_events_for_run, completion_pool, constant_pool, fresh_instances, Budget, Limits,
+    applicable_events_for_run, completion_pool, constant_pool, fresh_instances, Limits,
 };
 use crate::stage::{minimum_faithful_of_stage, stages};
 
@@ -52,17 +52,53 @@ pub fn check_transparent(
     h: usize,
     limits: &Limits,
 ) -> Decision<TransparencyWitness> {
+    check_transparent_with(
+        spec,
+        peer,
+        h,
+        limits,
+        &Governor::with_nodes(limits.max_nodes),
+    )
+}
+
+/// [`check_transparent`] under an explicit [`Governor`] (deadline,
+/// cancellation, and memory limits in addition to the node budget). Runs
+/// behind the governor's panic guard.
+pub fn check_transparent_with(
+    spec: &Arc<WorkflowSpec>,
+    peer: PeerId,
+    h: usize,
+    limits: &Limits,
+    gov: &Governor,
+) -> Decision<TransparencyWitness> {
+    let verdict = gov.guard(|| Verdict::Done(check_transparent_body(spec, peer, h, limits, gov)));
+    match verdict {
+        Verdict::Done(d) | Verdict::Anytime(d, _) => d,
+        Verdict::Exhausted(reason) => Decision::Exhausted(reason),
+    }
+}
+
+fn check_transparent_body(
+    spec: &Arc<WorkflowSpec>,
+    peer: PeerId,
+    h: usize,
+    limits: &Limits,
+    gov: &Governor,
+) -> Decision<TransparencyWitness> {
     let pool = constant_pool(spec, h + 2, limits);
     let chain_pool = completion_pool(spec, h + 2, &pool);
-    let mut budget = Budget::new(limits.max_nodes);
-    let Some(fresh) = fresh_instances(spec, peer, &pool, &chain_pool, limits, &mut budget) else {
-        return Decision::Budget;
+    // The decision needs the *complete* p-fresh set: a partial (anytime)
+    // enumeration cannot certify `Holds`, so a cutoff propagates.
+    let fresh = match fresh_instances(spec, peer, &pool, &chain_pool, limits, gov) {
+        Verdict::Done(f) => f,
+        Verdict::Anytime(_, bound) => return Decision::Exhausted(bound.reason),
+        Verdict::Exhausted(reason) => return Decision::Exhausted(reason),
     };
     // Precompute the chains once per source instance.
     for f1 in &fresh {
-        let chains = match enumerate_chains(spec, peer, f1, &chain_pool, h, &mut budget) {
-            Some(c) => c,
-            None => return Decision::Budget,
+        let chains = match enumerate_chains(spec, peer, f1, &chain_pool, h, gov) {
+            Ok(c) => c,
+            Err(reason) => return Decision::Exhausted(reason),
         };
         if chains.is_empty() {
             continue;
@@ -76,16 +112,16 @@ pub fn check_transparent(
                 continue;
             }
             for chain in &chains {
-                if !budget.tick() {
-                    return Decision::Budget;
+                if let Err(reason) = gov.tick() {
+                    return Decision::Exhausted(reason);
                 }
                 // Respect the side condition adom(J) ∩ new(α) = ∅ by
                 // renaming the chain's new values away from f2 (Lemma A.2
                 // makes the renamed chain equivalent on f1).
                 let Some(alpha) = avoid_adom(spec, f1, f2, chain, &chain_pool) else {
-                    // No renaming available within the pool: treat as budget
-                    // exhaustion rather than silently skipping.
-                    return Decision::Budget;
+                    // No renaming available within the pool: a capacity
+                    // exhaustion rather than a silent skip.
+                    return Decision::Exhausted(Reason::Memory);
                 };
                 if let Some(reason) = chain_fails_on(spec, peer, f1, f2, &alpha) {
                     return Decision::CounterExample(TransparencyWitness {
@@ -109,8 +145,8 @@ pub(crate) fn enumerate_chains(
     initial: &Instance,
     pool: &[Value],
     h: usize,
-    budget: &mut Budget,
-) -> Option<Vec<Vec<Event>>> {
+    gov: &Governor,
+) -> Result<Vec<Vec<Event>>, Reason> {
     let mut out = Vec::new();
     let base = Run::with_initial(Arc::clone(spec), initial.clone());
     // DFS over silent prefixes; a visible event closes a candidate chain.
@@ -119,17 +155,16 @@ pub(crate) fn enumerate_chains(
         peer: PeerId,
         pool: &[Value],
         h: usize,
-        budget: &mut Budget,
+        gov: &Governor,
         out: &mut Vec<Vec<Event>>,
-    ) -> bool {
+    ) -> Result<(), Reason> {
         let depth = run.len();
         let Some(candidates) = applicable_events_for_run(run.spec(), run, pool) else {
-            return false;
+            // Pool headroom ran out: capacity exhaustion.
+            return Err(Reason::Memory);
         };
         for t in &candidates {
-            if !budget.tick() {
-                return false;
-            }
+            gov.tick()?;
             let mut next = run.clone();
             if next.push(t.clone()).is_err() {
                 continue;
@@ -141,19 +176,17 @@ pub(crate) fn enumerate_chains(
                 if tp_closure(&next, &index, peer, &seed).len() == next.len() {
                     out.push(next.events().to_vec());
                 }
-            } else if depth + 1 < h && !go(&next, peer, pool, h, budget, out) {
-                return false;
+            } else if depth + 1 < h {
+                go(&next, peer, pool, h, gov, out)?;
             }
         }
-        true
+        Ok(())
     }
     if h == 0 {
-        return Some(out);
+        return Ok(out);
     }
-    if !go(&base, peer, pool, h, budget, &mut out) {
-        return None;
-    }
-    Some(out)
+    go(&base, peer, pool, h, gov, &mut out)?;
+    Ok(out)
 }
 
 /// Renames the chain's new values so that `new(α) ∩ adom(f2) = ∅`, drawing
@@ -419,7 +452,18 @@ mod tests {
         };
         assert!(matches!(
             check_transparent(&spec, sue, 2, &tiny),
-            Decision::Budget
+            Decision::Exhausted(Reason::Nodes)
+        ));
+    }
+
+    #[test]
+    fn zero_deadline_is_reported_immediately() {
+        let spec = hiring_spec();
+        let sue = spec.collab().peer("sue").unwrap();
+        let gov = Governor::unlimited().deadline(std::time::Duration::ZERO);
+        assert!(matches!(
+            check_transparent_with(&spec, sue, 2, &limits(), &gov),
+            Decision::Exhausted(Reason::Deadline)
         ));
     }
 }

@@ -18,11 +18,11 @@ use std::sync::Arc;
 
 use cwf_engine::{apply_event, Run, Simulator};
 use cwf_lang::WorkflowSpec;
-use cwf_model::{Instance, PeerId, Value, ViewInstance};
+use cwf_model::{Governor, Instance, PeerId, Value, ViewInstance};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::space::{applicable_events, completion_pool, constant_pool, Budget, Limits};
+use crate::space::{applicable_events, completion_pool, constant_pool, Limits};
 use crate::synthesis::{view_as_instance, Synthesis};
 use crate::transparency::enumerate_chains;
 
@@ -122,10 +122,10 @@ fn observations_p(
     state: &Instance,
     pool: &[Value],
     h: usize,
-    budget: &mut Budget,
+    gov: &Governor,
     skipped: &mut usize,
 ) -> Option<BTreeSet<String>> {
-    let chains = enumerate_chains(spec, peer, state, pool, h, budget)?;
+    let chains = enumerate_chains(spec, peer, state, pool, h, gov).ok()?;
     let known: BTreeSet<Value> = state
         .adom()
         .into_iter()
@@ -196,7 +196,7 @@ pub fn sample_tree_divergence(
 ) -> Option<TreeMismatch> {
     let pool = constant_pool(spec, h + 1, limits);
     let chain_pool = completion_pool(spec, h + 1, &pool);
-    let mut budget = Budget::new(limits.max_nodes);
+    let gov = Governor::with_nodes(limits.max_nodes);
     let mut skipped = 0usize;
     for r in 0..n_runs {
         let rng = StdRng::seed_from_u64(seed ^ (r as u64).wrapping_mul(0x9e3779b97f4a7c15));
@@ -210,16 +210,10 @@ pub fn sample_tree_divergence(
             } else {
                 run.instance(i - 1).clone()
             };
-            let Some(obs_p) = observations_p(
-                spec,
-                peer,
-                &state,
-                &chain_pool,
-                h,
-                &mut budget,
-                &mut skipped,
-            ) else {
-                return None; // budget exhausted: inconclusive
+            let Some(obs_p) =
+                observations_p(spec, peer, &state, &chain_pool, h, &gov, &mut skipped)
+            else {
+                return None; // governor exhausted: inconclusive
             };
             let view_state = view_as_instance(synth, &spec.collab().view_of(&state, peer));
             let obs_v = observations_view(synth, &view_state, &chain_pool, &mut skipped)?;

@@ -9,6 +9,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use cwf_core::{one_minimal_scenario, search_min_scenario, SearchOptions};
+use cwf_model::Governor;
 use cwf_workloads::{hitting_set_workload, HittingSet};
 
 fn bench_min_scenario(c: &mut Criterion) {
@@ -21,9 +22,13 @@ fn bench_min_scenario(c: &mut Criterion) {
         let run = w.saturated_run();
         group.bench_with_input(BenchmarkId::new("exact", n), &n, |b, _| {
             b.iter(|| {
-                search_min_scenario(&run, w.p, &SearchOptions::default())
-                    .found()
-                    .expect("scenario exists")
+                let res = search_min_scenario(
+                    &run,
+                    w.p,
+                    &SearchOptions::default(),
+                    &Governor::unlimited(),
+                );
+                res.found().expect("scenario exists").clone()
             })
         });
         group.bench_with_input(BenchmarkId::new("greedy", n), &n, |b, _| {

@@ -7,6 +7,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use cwf_core::{is_minimal_exact, is_one_minimal, EventSet};
+use cwf_model::{Governor, Verdict};
 use cwf_workloads::{unsat_workload, Cnf};
 
 /// An unsatisfiable chain formula over n variables:
@@ -30,7 +31,12 @@ fn bench_minimality(c: &mut Criterion) {
         let run = w.canonical_run();
         let full = EventSet::full(run.len());
         group.bench_with_input(BenchmarkId::new("exact", n), &n, |b, _| {
-            b.iter(|| assert_eq!(is_minimal_exact(&run, w.p, &full, u64::MAX), Some(true)))
+            b.iter(|| {
+                assert_eq!(
+                    is_minimal_exact(&run, w.p, &full, &Governor::unlimited()),
+                    Verdict::Done(true)
+                )
+            })
         });
         group.bench_with_input(BenchmarkId::new("one_minimal", n), &n, |b, _| {
             b.iter(|| assert!(is_one_minimal(&run, w.p, &full)))

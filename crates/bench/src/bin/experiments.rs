@@ -28,6 +28,7 @@ use cwf_design::{
     acyclicity_bound, in_t_runs, is_p_acyclic, p_fresh_candidates, TransparentEngine,
 };
 use cwf_engine::{Run, Simulator};
+use cwf_model::{Governor, Verdict};
 use cwf_workloads::{
     build_procurement_run, build_review_run, hiring_no_cfo, hitting_set_workload, transitive_spec,
     unsat_workload, Cnf, HittingSet,
@@ -82,8 +83,9 @@ fn e1_min_scenario() {
         let w = hitting_set_workload(hs);
         let run = w.saturated_run();
         let (exact, t_exact) = time(|| {
-            search_min_scenario(&run, w.p, &SearchOptions::default())
-                .found()
+            search_min_scenario(&run, w.p, &SearchOptions::default(), &Governor::unlimited())
+                .into_value()
+                .flatten()
                 .expect("scenario exists")
         });
         let (greedy, t_greedy) = time(|| one_minimal_scenario(&run, w.p));
@@ -115,8 +117,9 @@ fn e2_minimality() {
         let w = unsat_workload(cnf);
         let run = w.canonical_run();
         let full = EventSet::full(run.len());
-        let (r_exact, t_exact) = time(|| is_minimal_exact(&run, w.p, &full, u64::MAX));
-        assert_eq!(r_exact, Some(true));
+        let (r_exact, t_exact) =
+            time(|| is_minimal_exact(&run, w.p, &full, &Governor::unlimited()));
+        assert_eq!(r_exact, Verdict::Done(true));
         let (r_one, t_one) = time(|| is_one_minimal(&run, w.p, &full));
         assert!(r_one);
         println!("{:>4} {} {}", n, ms(t_exact), ms(t_one));

@@ -41,7 +41,7 @@ pub use minimal::{
     all_minimal_scenarios, is_minimal_exact, is_one_minimal, one_minimal_scenario,
     shrink_to_one_minimal,
 };
-pub use minimum::{exists_scenario_at_most, search_min_scenario, SearchOptions, SearchResult};
+pub use minimum::{exists_scenario_at_most, search_min_scenario, SearchOptions};
 pub use scenario::{is_scenario, is_scenario_against, is_subrun, subrun, visible_set};
 pub use semiring::Faithful;
 pub use set::EventSet;

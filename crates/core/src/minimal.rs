@@ -11,9 +11,9 @@
 //! Hitting-Set runs), which need not be minimal in general.
 
 use cwf_engine::Run;
-use cwf_model::PeerId;
+use cwf_model::{Bound, Governor, PeerId, Reason, Verdict};
 
-use crate::minimum::{search_min_scenario, SearchOptions, SearchResult};
+use crate::minimum::{search_min_scenario, SearchOptions};
 use crate::scenario::{is_scenario, is_scenario_against};
 use crate::set::EventSet;
 
@@ -67,30 +67,37 @@ pub fn is_one_minimal(run: &Run, peer: PeerId, candidate: &EventSet) -> bool {
 }
 
 /// Exact minimality (Definition 3.2): no strict subsequence of `candidate`
-/// is a scenario. coNP-hard; `None` when the node budget runs out.
+/// is a scenario. coNP-hard, so the test is governed: `Exhausted` when `gov`
+/// cuts the underlying search off before either a strict-subsequence
+/// scenario (a witness of non-minimality) or an exhaustive refutation is
+/// found.
 pub fn is_minimal_exact(
     run: &Run,
     peer: PeerId,
     candidate: &EventSet,
-    max_nodes: u64,
-) -> Option<bool> {
-    if !is_scenario(run, peer, candidate) {
-        return Some(false);
-    }
-    if candidate.is_empty() {
-        return Some(true);
-    }
-    let opts = SearchOptions {
-        allowed: Some(candidate.clone()),
-        max_len: Some(candidate.len() - 1),
-        first_found: true,
-        max_nodes,
-    };
-    match search_min_scenario(run, peer, &opts) {
-        SearchResult::Found(_) => Some(false),
-        SearchResult::None => Some(true),
-        SearchResult::Budget => None,
-    }
+    gov: &Governor,
+) -> Verdict<bool> {
+    gov.guard(|| {
+        if !is_scenario(run, peer, candidate) {
+            return Verdict::Done(false);
+        }
+        if candidate.is_empty() {
+            return Verdict::Done(true);
+        }
+        let opts = SearchOptions {
+            allowed: Some(candidate.clone()),
+            max_len: Some(candidate.len() - 1),
+            first_found: true,
+        };
+        match search_min_scenario(run, peer, &opts, gov) {
+            // Any strict-subsequence scenario — even one found after a
+            // cutoff — is a definitive witness of non-minimality.
+            Verdict::Done(Some(_)) | Verdict::Anytime(Some(_), _) => Verdict::Done(false),
+            Verdict::Done(None) => Verdict::Done(true),
+            Verdict::Anytime(None, b) => Verdict::Exhausted(b.reason),
+            Verdict::Exhausted(reason) => Verdict::Exhausted(reason),
+        }
+    })
 }
 
 #[cfg(test)]
@@ -150,7 +157,10 @@ mod tests {
         let run = hitting_run(true);
         let p = run.spec().collab().peer("p").unwrap();
         let minimal = one_minimal_scenario(&run, p);
-        assert_eq!(is_minimal_exact(&run, p, &minimal, 1_000_000), Some(true));
+        assert_eq!(
+            is_minimal_exact(&run, p, &minimal, &Governor::unlimited()),
+            Verdict::Done(true)
+        );
     }
 
     #[test]
@@ -158,7 +168,10 @@ mod tests {
         let run = hitting_run(true);
         let p = run.spec().collab().peer("p").unwrap();
         let full = EventSet::full(run.len());
-        assert_eq!(is_minimal_exact(&run, p, &full, 1_000_000), Some(false));
+        assert_eq!(
+            is_minimal_exact(&run, p, &full, &Governor::unlimited()),
+            Verdict::Done(false)
+        );
         assert!(!is_one_minimal(&run, p, &full));
     }
 
@@ -167,7 +180,10 @@ mod tests {
         let run = hitting_run(false);
         let p = run.spec().collab().peer("p").unwrap();
         let full = EventSet::full(run.len());
-        assert_eq!(is_minimal_exact(&run, p, &full, 1_000_000), Some(true));
+        assert_eq!(
+            is_minimal_exact(&run, p, &full, &Governor::unlimited()),
+            Verdict::Done(true)
+        );
         assert!(is_one_minimal(&run, p, &full));
     }
 
@@ -176,7 +192,10 @@ mod tests {
         let run = hitting_run(false);
         let p = run.spec().collab().peer("p").unwrap();
         let not_scenario = EventSet::from_iter(run.len(), [0]);
-        assert_eq!(is_minimal_exact(&run, p, &not_scenario, 1_000), Some(false));
+        assert_eq!(
+            is_minimal_exact(&run, p, &not_scenario, &Governor::with_nodes(1_000)),
+            Verdict::Done(false)
+        );
         assert!(!is_one_minimal(&run, p, &not_scenario));
     }
 
@@ -185,7 +204,10 @@ mod tests {
         let run = hitting_run(true);
         let p = run.spec().collab().peer("p").unwrap();
         let full = EventSet::full(run.len());
-        assert_eq!(is_minimal_exact(&run, p, &full, 1), None);
+        assert_eq!(
+            is_minimal_exact(&run, p, &full, &Governor::with_nodes(1)),
+            Verdict::Exhausted(Reason::Nodes)
+        );
     }
 
     #[test]
@@ -208,61 +230,87 @@ mod tests {
         let p = spec.collab().peer("p").unwrap();
         let empty = EventSet::empty(run.len());
         assert!(is_scenario(&run, p, &empty));
-        assert_eq!(is_minimal_exact(&run, p, &empty, 1_000), Some(true));
+        assert_eq!(
+            is_minimal_exact(&run, p, &empty, &Governor::with_nodes(1_000)),
+            Verdict::Done(true)
+        );
         assert_eq!(one_minimal_scenario(&run, p), empty);
     }
 }
 
 /// Enumerates **all** minimal scenarios of `run` at `peer`, up to `max`
-/// results and `max_nodes` search nodes (exponential in general — minimal
-/// scenarios are not unique, which is precisely the paper's motivation for
-/// faithfulness). Returns `None` when a budget was hit before the
-/// enumeration completed.
+/// results (exponential in general — minimal scenarios are not unique,
+/// which is precisely the paper's motivation for faithfulness).
+///
+/// Governed: each candidate mask costs one governor tick. On a cutoff the
+/// verdict is `Anytime(partial, bound)` where `partial` holds the minimal
+/// scenarios confirmed so far — sound, because a strict subset always has a
+/// numerically smaller mask and is therefore enumerated first — and
+/// `bound.lower` counts them.
 pub fn all_minimal_scenarios(
     run: &Run,
     peer: PeerId,
     max: usize,
-    max_nodes: u64,
-) -> Option<Vec<EventSet>> {
-    // Collect scenarios by exhaustive search in increasing-length order via
-    // repeated bounded searches, then filter to the minimal ones (no strict
-    // subsequence among the collected set is also a scenario).
-    let target = run.view(peer);
-    let n = run.len();
-    if n > 24 {
-        return None; // 2^n enumeration is the point here; keep it honest
-    }
-    let mut scenarios: Vec<EventSet> = Vec::new();
-    let mut nodes = 0u64;
-    for mask in 0u64..(1u64 << n) {
-        nodes += 1;
-        if nodes > max_nodes {
-            return None;
+    gov: &Governor,
+) -> Verdict<Vec<EventSet>> {
+    gov.guard(|| {
+        // Collect scenarios by exhaustive mask enumeration, then filter to
+        // the minimal ones (no strict subsequence among the collected set is
+        // also a scenario).
+        let target = run.view(peer);
+        let n = run.len();
+        if n > 24 {
+            // 2^n enumeration is the point here; keep it honest. The result
+            // set (and the masks) would not fit any sane memory account.
+            return Verdict::Exhausted(Reason::Memory);
         }
-        let set = EventSet::from_iter(n, (0..n).filter(|i| mask & (1 << i) != 0));
-        // Cheap pruning: a superset of a known minimal scenario with extra
-        // events may still be a non-minimal scenario — skip replay when a
-        // known scenario is a strict subset (it cannot be minimal).
-        if scenarios.iter().any(|s| s.is_strict_subset(&set)) {
-            continue;
-        }
-        if is_scenario_against(run, peer, &set, &target) {
-            scenarios.push(set);
-            if scenarios.len() > max * 8 {
-                return None; // runaway; raise `max`
+        let mut scenarios: Vec<EventSet> = Vec::new();
+        let mut stopped = None;
+        for mask in 0u64..(1u64 << n) {
+            if let Err(reason) = gov.tick() {
+                stopped = Some(reason);
+                break;
+            }
+            let set = EventSet::from_iter(n, (0..n).filter(|i| mask & (1 << i) != 0));
+            // Cheap pruning: a superset of a known minimal scenario with
+            // extra events may still be a non-minimal scenario — skip replay
+            // when a known scenario is a strict subset (it cannot be
+            // minimal).
+            if scenarios.iter().any(|s| s.is_strict_subset(&set)) {
+                continue;
+            }
+            if is_scenario_against(run, peer, &set, &target) {
+                scenarios.push(set);
+                if scenarios.len() > max * 8 {
+                    stopped = Some(Reason::Memory); // runaway; raise `max`
+                    break;
+                }
             }
         }
-    }
-    // Masks are enumerated in increasing numeric order, not subset order, so
-    // finish with an exact minimality filter.
-    let mut minimal: Vec<EventSet> = Vec::new();
-    for s in &scenarios {
-        if !scenarios.iter().any(|o| o.is_strict_subset(s)) {
-            minimal.push(s.clone());
+        // Masks are enumerated in increasing numeric order, not subset
+        // order, so finish with an exact minimality filter.
+        let mut minimal: Vec<EventSet> = Vec::new();
+        for s in &scenarios {
+            if !scenarios.iter().any(|o| o.is_strict_subset(s)) {
+                minimal.push(s.clone());
+            }
         }
-    }
-    minimal.truncate(max);
-    Some(minimal)
+        minimal.truncate(max);
+        match stopped {
+            None => Verdict::Done(minimal),
+            Some(reason) => {
+                let found = minimal.len() as u64;
+                Verdict::Anytime(
+                    minimal,
+                    Bound {
+                        reason,
+                        lower: Some(found),
+                        upper: None,
+                    },
+                )
+            }
+        }
+    })
 }
 
 #[cfg(test)]
@@ -302,7 +350,9 @@ mod enumeration_tests {
                 .unwrap();
         }
         let p = spec.collab().peer("p").unwrap();
-        let minimal = all_minimal_scenarios(&run, p, 10, 1_000_000).unwrap();
+        let minimal = all_minimal_scenarios(&run, p, 10, &Governor::unlimited())
+            .into_value()
+            .unwrap();
         // {a1, b1, ok} and {a2, b2, ok} are both minimal.
         assert!(minimal.len() >= 2, "got {minimal:?}");
         assert!(minimal.contains(&EventSet::from_iter(5, [0, 2, 4])));
@@ -336,9 +386,11 @@ mod enumeration_tests {
             .unwrap();
         let p = spec.collab().peer("p").unwrap();
         assert_eq!(
-            all_minimal_scenarios(&run, p, 5, 1_000).unwrap(),
-            vec![EventSet::full(1)]
+            all_minimal_scenarios(&run, p, 5, &Governor::with_nodes(1_000)),
+            Verdict::Done(vec![EventSet::full(1)])
         );
-        assert!(all_minimal_scenarios(&run, p, 5, 0).is_none(), "budget");
+        let cut = all_minimal_scenarios(&run, p, 5, &Governor::with_nodes(0));
+        assert!(!cut.is_done(), "budget must cut the enumeration: {cut:?}");
+        assert_eq!(cut.reason(), Some(&Reason::Nodes));
     }
 }

@@ -8,17 +8,25 @@
 //! visible step at `p` that does not match the next expected observation, or
 //! (c) cannot beat the current bound.
 //!
+//! Every entry point is **governed**: it threads a [`Governor`] (node budget,
+//! wall-clock deadline, cancellation) and reports a [`Verdict`]. When the
+//! governor cuts the search off, the verdict carries the best *anytime*
+//! answer available — the best scenario the search had found, or a greedy
+//! 1-minimal scenario computed as polynomial-time grace work — together with
+//! proven lower/upper bounds on the minimum length.
+//!
 //! The same search, restricted to a subset of positions and capped length,
 //! decides strict-subsequence scenario existence — the coNP-hard minimality
 //! test of Theorem 3.4 (see [`crate::minimal`]).
 
 use cwf_engine::{EventView, Run, RunView};
-use cwf_model::PeerId;
+use cwf_model::{Bound, Governor, PeerId, Reason, Verdict};
 
 use crate::set::EventSet;
 
-/// Options for the scenario search.
-#[derive(Debug, Clone)]
+/// Options for the scenario search. Resource limits live on the
+/// [`Governor`] passed alongside, not here.
+#[derive(Debug, Clone, Default)]
 pub struct SearchOptions {
     /// Restrict the search to subsequences of this set (default: all
     /// positions).
@@ -28,81 +36,125 @@ pub struct SearchOptions {
     /// Stop at the first scenario satisfying the constraints instead of
     /// optimizing (decision mode).
     pub first_found: bool,
-    /// Node budget; the search gives up (`SearchResult::Budget`) beyond it.
-    pub max_nodes: u64,
 }
 
-impl Default for SearchOptions {
-    fn default() -> Self {
-        SearchOptions {
-            allowed: None,
-            max_len: None,
-            first_found: false,
-            max_nodes: 10_000_000,
+/// Searches for a minimum scenario of `run` at `peer` subject to `opts`,
+/// governed by `gov`.
+///
+/// * `Done(Some(s))` — `s` is a minimum scenario (or the first found, in
+///   decision mode); the search completed.
+/// * `Done(None)` — no scenario satisfies the constraints (exhaustive).
+/// * `Anytime(Some(s), bound)` — the governor cut the search off; `s` is the
+///   best scenario known (DFS incumbent, or a greedy 1-minimal scenario when
+///   the search is unrestricted) and `bound` brackets the true minimum.
+/// * `Exhausted(reason)` — cut off with no usable answer.
+pub fn search_min_scenario(
+    run: &Run,
+    peer: PeerId,
+    opts: &SearchOptions,
+    gov: &Governor,
+) -> Verdict<Option<EventSet>> {
+    gov.guard(|| {
+        if let Err(reason) = gov.check() {
+            return cutoff_verdict(run, peer, opts, None, reason);
         }
-    }
-}
-
-/// Outcome of a scenario search.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum SearchResult {
-    /// A scenario satisfying the constraints (the minimum one found, or the
-    /// first one in decision mode).
-    Found(EventSet),
-    /// No scenario satisfies the constraints (exhaustive).
-    None,
-    /// The node budget was exhausted before the search completed.
-    Budget,
-}
-
-impl SearchResult {
-    /// The found set, if any.
-    pub fn found(self) -> Option<EventSet> {
-        match self {
-            SearchResult::Found(s) => Some(s),
-            _ => None,
+        let target = run.view(peer);
+        let mut ctx = Ctx {
+            run,
+            peer,
+            target: &target,
+            allowed: opts.allowed.clone(),
+            max_len: opts.max_len.unwrap_or(run.len()),
+            first_found: opts.first_found,
+            gov,
+            best: None,
+            stopped: None,
+        };
+        let empty = Run::with_initial(run.spec_arc(), run.initial().clone());
+        let mut chosen = Vec::new();
+        ctx.dfs(0, &empty, 0, &mut chosen);
+        match ctx.stopped {
+            None => Verdict::Done(ctx.best),
+            Some(reason) => cutoff_verdict(run, peer, opts, ctx.best, reason),
         }
-    }
+    })
 }
 
-/// Searches for a minimum scenario of `run` at `peer` subject to `opts`.
-pub fn search_min_scenario(run: &Run, peer: PeerId, opts: &SearchOptions) -> SearchResult {
-    let target = run.view(peer);
-    let mut ctx = Ctx {
-        run,
-        peer,
-        target: &target,
-        allowed: opts.allowed.clone(),
-        max_len: opts.max_len.unwrap_or(run.len()),
-        first_found: opts.first_found,
-        nodes_left: opts.max_nodes,
-        best: None,
-        exhausted: true,
-    };
-    let empty = Run::with_initial(run.spec_arc(), run.initial().clone());
-    let mut chosen = Vec::new();
-    ctx.dfs(0, &empty, 0, &mut chosen);
-    match ctx.best {
-        Some(set) => SearchResult::Found(set),
-        None if ctx.exhausted => SearchResult::None,
-        None => SearchResult::Budget,
+/// Builds the anytime verdict for a cut-off search: prefers the DFS
+/// incumbent, falls back to greedy grace work (polynomial, ungoverned) when
+/// the search was unrestricted, and brackets the minimum between the number
+/// of observations (each needs at least one event) and the witness length.
+fn cutoff_verdict(
+    run: &Run,
+    peer: PeerId,
+    opts: &SearchOptions,
+    best: Option<EventSet>,
+    reason: Reason,
+) -> Verdict<Option<EventSet>> {
+    let witness = best.or_else(|| {
+        // Greedy 1-minimal extraction only answers the unrestricted
+        // optimization problem: under an `allowed` restriction the full run
+        // is not a candidate, and in decision mode the caller has already
+        // taken its own greedy shortcut.
+        if opts.allowed.is_none() && !opts.first_found {
+            let greedy = crate::minimal::one_minimal_scenario(run, peer);
+            (greedy.len() <= opts.max_len.unwrap_or(run.len())).then_some(greedy)
+        } else {
+            None
+        }
+    });
+    match witness {
+        Some(w) => {
+            let bound = Bound {
+                reason,
+                lower: Some(run.view(peer).steps.len() as u64),
+                upper: Some(w.len() as u64),
+            };
+            Verdict::Anytime(Some(w), bound)
+        }
+        None => Verdict::Exhausted(reason),
     }
 }
 
 /// Decision variant: does a scenario with at most `n` events exist?
-/// `None` when the budget ran out.
-pub fn exists_scenario_at_most(run: &Run, peer: PeerId, n: usize, max_nodes: u64) -> Option<bool> {
-    let opts = SearchOptions {
-        max_len: Some(n),
-        first_found: true,
-        max_nodes,
-        ..Default::default()
-    };
-    match search_min_scenario(run, peer, &opts) {
-        SearchResult::Found(_) => Some(true),
-        SearchResult::None => Some(false),
-        SearchResult::Budget => None,
-    }
+///
+/// Starts with a polynomial greedy quick-accept (a 1-minimal scenario of
+/// length `≤ n` settles the question positively without any search). On a
+/// governor cutoff the verdict is `Anytime(false, bound)`: no qualifying
+/// scenario was found, and `bound` records how far the search got — the
+/// observation-count lower bound and the greedy upper bound on the true
+/// minimum length.
+pub fn exists_scenario_at_most(run: &Run, peer: PeerId, n: usize, gov: &Governor) -> Verdict<bool> {
+    gov.guard(|| {
+        let greedy = crate::minimal::one_minimal_scenario(run, peer);
+        if greedy.len() <= n {
+            return Verdict::Done(true);
+        }
+        let cut = |reason| {
+            Verdict::Anytime(
+                false,
+                Bound {
+                    reason,
+                    lower: Some(run.view(peer).steps.len() as u64),
+                    upper: Some(greedy.len() as u64),
+                },
+            )
+        };
+        if let Err(reason) = gov.check() {
+            return cut(reason);
+        }
+        let opts = SearchOptions {
+            max_len: Some(n),
+            first_found: true,
+            ..Default::default()
+        };
+        match search_min_scenario(run, peer, &opts, gov) {
+            Verdict::Done(Some(_)) | Verdict::Anytime(Some(_), _) => Verdict::Done(true),
+            Verdict::Done(None) => Verdict::Done(false),
+            Verdict::Anytime(None, b) => cut(b.reason),
+            Verdict::Exhausted(reason) => cut(reason),
+        }
+    })
 }
 
 struct Ctx<'a> {
@@ -112,9 +164,9 @@ struct Ctx<'a> {
     allowed: Option<EventSet>,
     max_len: usize,
     first_found: bool,
-    nodes_left: u64,
+    gov: &'a Governor,
     best: Option<EventSet>,
-    exhausted: bool,
+    stopped: Option<Reason>,
 }
 
 impl Ctx<'_> {
@@ -133,14 +185,13 @@ impl Ctx<'_> {
     /// DFS over positions. `sub` is the replayed subrun so far, `matched`
     /// the number of target steps already produced.
     fn dfs(&mut self, i: usize, sub: &Run, matched: usize, chosen: &mut Vec<usize>) {
-        if self.done() {
+        if self.done() || self.stopped.is_some() {
             return;
         }
-        if self.nodes_left == 0 {
-            self.exhausted = false;
+        if let Err(reason) = self.gov.tick() {
+            self.stopped = Some(reason);
             return;
         }
-        self.nodes_left -= 1;
         let remaining_steps = self.target.steps.len() - matched;
         // Lower bound: each missing observation needs at least one event.
         if chosen.len() + remaining_steps > self.bound() {
@@ -165,7 +216,7 @@ impl Ctx<'_> {
         }
         // Branch 1: exclude event i (bias toward short scenarios).
         self.dfs(i + 1, sub, matched, chosen);
-        if self.done() {
+        if self.done() || self.stopped.is_some() {
             return;
         }
         // Branch 2: include event i (if allowed and within bound).
@@ -258,8 +309,10 @@ mod tests {
     fn finds_the_minimum_scenario() {
         let run = hitting_run();
         let p = run.spec().collab().peer("p").unwrap();
-        let res = search_min_scenario(&run, p, &SearchOptions::default());
-        let found = res.found().expect("a scenario exists");
+        let gov = Governor::unlimited();
+        let res = search_min_scenario(&run, p, &SearchOptions::default(), &gov);
+        assert!(res.is_done(), "unlimited governor completes: {res:?}");
+        let found = res.found().cloned().expect("a scenario exists");
         // Minimum hitting set {v2} ⇒ a2 + one b-per-clause + ok = 4 events.
         // But the run's own (b) events b11/b22 depend on v1/v2: with only a2,
         // b11 (body V1) cannot fire — so the minimum within THIS run's
@@ -271,8 +324,8 @@ mod tests {
         assert!(is_scenario(&run, p, &found));
         for shorter in 0..found.len() {
             assert_eq!(
-                exists_scenario_at_most(&run, p, shorter, 1_000_000),
-                Some(false),
+                exists_scenario_at_most(&run, p, shorter, &Governor::unlimited()),
+                Verdict::Done(false),
                 "no scenario of length {shorter}"
             );
         }
@@ -283,9 +336,19 @@ mod tests {
     fn decision_variant_matches_hitting_set_structure() {
         let run = hitting_run();
         let p = run.spec().collab().peer("p").unwrap();
-        assert_eq!(exists_scenario_at_most(&run, p, 5, 1_000_000), Some(true));
-        assert_eq!(exists_scenario_at_most(&run, p, 4, 1_000_000), Some(false));
-        assert_eq!(exists_scenario_at_most(&run, p, 6, 1_000_000), Some(true));
+        let gov = Governor::unlimited();
+        assert_eq!(
+            exists_scenario_at_most(&run, p, 5, &gov),
+            Verdict::Done(true)
+        );
+        assert_eq!(
+            exists_scenario_at_most(&run, p, 4, &gov),
+            Verdict::Done(false)
+        );
+        assert_eq!(
+            exists_scenario_at_most(&run, p, 6, &gov),
+            Verdict::Done(true)
+        );
     }
 
     #[test]
@@ -297,18 +360,77 @@ mod tests {
             allowed: Some(EventSet::from_iter(run.len(), [0, 3, 5])),
             ..Default::default()
         };
-        assert_eq!(search_min_scenario(&run, p, &opts), SearchResult::None);
+        assert_eq!(
+            search_min_scenario(&run, p, &opts, &Governor::unlimited()),
+            Verdict::Done(None)
+        );
     }
 
     #[test]
-    fn budget_exhaustion_is_reported() {
+    fn budget_exhaustion_yields_greedy_anytime_answer() {
         let run = hitting_run();
         let p = run.spec().collab().peer("p").unwrap();
+        let gov = Governor::with_nodes(3);
+        let res = search_min_scenario(&run, p, &SearchOptions::default(), &gov);
+        // Three nodes cannot finish, but the greedy grace answer is a real
+        // scenario bracketing the minimum from above.
+        let Verdict::Anytime(Some(witness), bound) = res else {
+            panic!("expected an anytime answer, got {res:?}");
+        };
+        assert_eq!(bound.reason, Reason::Nodes);
+        assert!(is_scenario(&run, p, &witness));
+        assert_eq!(bound.upper, Some(witness.len() as u64));
+        assert!(bound.lower.unwrap() <= bound.upper.unwrap());
+    }
+
+    #[test]
+    fn cross_thread_cancellation_stops_the_search() {
+        let run = hitting_run();
+        let p = run.spec().collab().peer("p").unwrap();
+        let gov = Governor::unlimited();
+        let token = gov.cancel_token();
+        // Cancel from another thread before the search starts: the entry
+        // check sees the sticky flag and no search node is ever expanded.
+        std::thread::spawn(move || token.cancel()).join().unwrap();
+        let res = search_min_scenario(&run, p, &SearchOptions::default(), &gov);
+        let Verdict::Anytime(Some(witness), bound) = res else {
+            panic!("expected a greedy anytime answer, got {res:?}");
+        };
+        assert_eq!(bound.reason, Reason::Cancelled);
+        assert!(is_scenario(&run, p, &witness));
+        assert_eq!(gov.nodes_used(), 0, "cancellation preempted the search");
+    }
+
+    #[test]
+    fn zero_deadline_cuts_off_without_panicking() {
+        let run = hitting_run();
+        let p = run.spec().collab().peer("p").unwrap();
+        let gov = Governor::with_deadline(std::time::Duration::ZERO);
+        let res = exists_scenario_at_most(&run, p, 0, &gov);
+        let Verdict::Anytime(false, bound) = res else {
+            panic!("expected a bounded refusal, got {res:?}");
+        };
+        assert_eq!(bound.reason, Reason::Deadline);
+        assert!(
+            bound.upper.is_some(),
+            "greedy upper bound survives the cutoff"
+        );
+    }
+
+    #[test]
+    fn restricted_budget_exhaustion_has_no_witness() {
+        let run = hitting_run();
+        let p = run.spec().collab().peer("p").unwrap();
+        // Under an `allowed` restriction there is no greedy fallback: a
+        // cut-off search is plain exhaustion.
         let opts = SearchOptions {
-            max_nodes: 3,
+            allowed: Some(EventSet::full(run.len())),
             ..Default::default()
         };
-        assert_eq!(search_min_scenario(&run, p, &opts), SearchResult::Budget);
+        assert_eq!(
+            search_min_scenario(&run, p, &opts, &Governor::with_nodes(3)),
+            Verdict::Exhausted(Reason::Nodes)
+        );
     }
 
     #[test]
@@ -317,7 +439,7 @@ mod tests {
         // q as observer of an all-q run: the whole run is the only scenario
         // (every event is visible at q).
         let q = run.spec().collab().peer("q").unwrap();
-        let res = search_min_scenario(&run, q, &SearchOptions::default());
+        let res = search_min_scenario(&run, q, &SearchOptions::default(), &Governor::unlimited());
         assert_eq!(res.found().unwrap().len(), run.len());
     }
 
@@ -345,7 +467,7 @@ mod tests {
                 .unwrap();
         }
         let p = spec.collab().peer("p").unwrap();
-        let res = search_min_scenario(&run, p, &SearchOptions::default());
+        let res = search_min_scenario(&run, p, &SearchOptions::default(), &Governor::unlimited());
         // B is invisible to p, so the minimum scenario is just p's event.
         assert_eq!(res.found().unwrap().to_vec(), vec![1]);
     }

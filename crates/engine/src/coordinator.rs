@@ -166,6 +166,9 @@ pub struct CoordinatorConfig {
     pub resync_lag: usize,
     /// Retries of one delta tolerated before a full-snapshot resync.
     pub resync_after_retries: u32,
+    /// In-place retries of a transiently failing WAL append (EINTR-style)
+    /// before the submit degrades the coordinator.
+    pub wal_transient_retries: u32,
 }
 
 impl Default for CoordinatorConfig {
@@ -175,6 +178,7 @@ impl Default for CoordinatorConfig {
             retry_backoff_cap: 16,
             resync_lag: 32,
             resync_after_retries: 8,
+            wal_transient_retries: 2,
         }
     }
 }
@@ -265,7 +269,7 @@ pub struct Coordinator {
     config: CoordinatorConfig,
     now: u64,
     ft: FtStats,
-    halted: bool,
+    degraded: bool,
 }
 
 impl Coordinator {
@@ -328,7 +332,7 @@ impl Coordinator {
             config,
             now: 0,
             ft: FtStats::default(),
-            halted: false,
+            degraded: false,
         }
     }
 
@@ -373,9 +377,28 @@ impl Coordinator {
         &self.replicas[p.index()].view
     }
 
-    /// Has the coordinator halted on a durability failure?
-    pub fn halted(&self) -> bool {
-        self.halted
+    /// Is the coordinator in degraded (read-only) mode after a durability
+    /// failure? Reads — [`Coordinator::replica`], [`Coordinator::run`],
+    /// [`Coordinator::audit`] — keep working; mutations are rejected with
+    /// [`CoordinatorError::Degraded`] until [`Coordinator::rearm`] succeeds.
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Attempts to leave degraded mode: re-arms the WAL (truncating any
+    /// torn tail back to the last complete record and syncing). On success
+    /// the coordinator accepts mutations again; while the storage fault
+    /// persists this fails and the coordinator stays degraded.
+    pub fn rearm(&mut self) -> Result<(), CoordinatorError> {
+        if !self.degraded {
+            return Ok(());
+        }
+        if let Some(wal) = self.wal.as_mut() {
+            wal.rearm().map_err(CoordinatorError::Wal)?;
+        }
+        self.degraded = false;
+        self.ft.degraded_recoveries += 1;
+        Ok(())
     }
 
     /// Fault-tolerance counters (retries, resyncs, recoveries, …).
@@ -400,8 +423,9 @@ impl Coordinator {
     /// delivery round; with a reliable transport all replicas are already
     /// up to date when this returns.
     pub fn submit(&mut self, event: Event) -> Result<&Broadcast, CoordinatorError> {
-        if self.halted {
-            return Err(CoordinatorError::Halted);
+        if self.degraded {
+            self.ft.degraded_rejected += 1;
+            return Err(CoordinatorError::Degraded);
         }
         let spec = self.run.spec_arc();
         let collab = spec.collab();
@@ -412,24 +436,38 @@ impl Coordinator {
         let actor = event.peer;
         self.run.push(event.clone())?;
         // Write-ahead: the event must be durable before any peer hears of
-        // it. A WAL failure halts the coordinator — the event is in memory
-        // but NOT durable, so it counts as in-flight and must be
-        // resubmitted after recovery.
+        // it. Transient append failures are retried in place; a hard
+        // failure rolls the event back out of memory and degrades the
+        // coordinator to read-only — the event counts as in-flight and may
+        // be resubmitted after a successful rearm (or full recovery).
         if let Some(wal) = self.wal.as_mut() {
-            match wal.append_event(&spec, &event) {
+            let mut result = wal.append_event(&spec, &event);
+            let mut retries = self.config.wal_transient_retries;
+            while matches!(result, Err(WalError::Transient(_))) && retries > 0 {
+                retries -= 1;
+                self.ft.wal_transient_retries += 1;
+                result = wal.append_event(&spec, &event);
+            }
+            match result {
                 Ok(_) => {
                     self.ft.wal_appends += 1;
                     match wal.maybe_snapshot(collab.schema(), self.run.current()) {
                         Ok(true) => self.ft.wal_snapshots += 1,
                         Ok(false) => {}
-                        Err(e) => {
-                            self.halted = true;
-                            return Err(e.into());
+                        Err(_) => {
+                            // The event itself is durable; only the snapshot
+                            // record failed (possibly torn). Serve this
+                            // broadcast, but degrade: the tail must be
+                            // re-armed away before any further append.
+                            self.ft.wal_failures += 1;
+                            self.degraded = true;
                         }
                     }
                 }
                 Err(e) => {
-                    self.halted = true;
+                    self.run.pop();
+                    self.ft.wal_failures += 1;
+                    self.degraded = true;
                     return Err(e.into());
                 }
             }
@@ -605,7 +643,7 @@ impl fmt::Debug for Coordinator {
             self.log.len(),
             self.outboxes.iter().map(|o| o.unacked.len()).sum::<usize>(),
             if self.wal.is_some() { ", durable" } else { "" },
-            if self.halted { ", HALTED" } else { "" },
+            if self.degraded { ", DEGRADED" } else { "" },
         )
     }
 }
@@ -798,7 +836,7 @@ mod tests {
     }
 
     #[test]
-    fn wal_failure_halts_and_recovery_resumes() {
+    fn wal_failure_degrades_and_recovery_resumes() {
         let spec = spec();
         let backend = MemBackend::new();
         let opts = WalOptions {
@@ -816,11 +854,21 @@ mod tests {
         let lost = ev(&spec, "draft", std::slice::from_ref(&d2));
         let err = c.submit(lost.clone()).unwrap_err();
         assert!(matches!(err, CoordinatorError::Wal(_)));
-        assert!(c.halted());
+        assert!(c.degraded());
+        // The non-durable event was rolled back out of memory: the in-memory
+        // run matches the durable state, and reads stay consistent.
+        assert_eq!(c.run().len(), 1);
+        c.audit().unwrap();
         assert!(matches!(
             c.submit(lost.clone()),
-            Err(CoordinatorError::Halted)
+            Err(CoordinatorError::Degraded)
         ));
+        // The dead process cannot re-arm in place (sync still fails).
+        assert!(c.rearm().is_err());
+        assert!(c.degraded());
+        let ft = c.ft_stats();
+        assert_eq!(ft.wal_failures, 1);
+        assert_eq!(ft.degraded_rejected, 1);
         // Recover from what survived: the synced prefix plus the torn bytes.
         let survivor = backend.survivor(7);
         let (mut rc, report) = Coordinator::recover(
@@ -838,5 +886,101 @@ mod tests {
         rc.submit(lost).unwrap();
         rc.audit().unwrap();
         assert_eq!(rc.run().len(), 2);
+    }
+
+    #[test]
+    fn fsync_failures_degrade_reads_survive_and_rearm_resumes() {
+        use crate::wal::IoFaultBackend;
+        let spec = spec();
+        let inner = MemBackend::new();
+        let io = IoFaultBackend::new(Box::new(inner.clone()), FaultPlan::perfect(5));
+        let opts = WalOptions {
+            sync: SyncPolicy::Always,
+            snapshot_every: None,
+        };
+        let wal = Wal::create(Box::new(io.clone()), opts).unwrap();
+        let mut c = Coordinator::with_wal(Arc::clone(&spec), wal);
+        let d = c.draw_fresh();
+        c.submit(ev(&spec, "draft", std::slice::from_ref(&d)))
+            .unwrap();
+        let author = spec.collab().peer("author").unwrap();
+        let replica_before = c.replica(author).clone();
+        assert_eq!(replica_before.total_tuples(), 1);
+
+        // Every fsync now fails: the next submit degrades the coordinator.
+        io.configure(|p| p.fsync_fail_p = 1.0);
+        let d2 = c.draw_fresh();
+        let e2 = ev(&spec, "draft", std::slice::from_ref(&d2));
+        let err = c.submit(e2.clone()).unwrap_err();
+        assert!(matches!(err, CoordinatorError::Wal(_)));
+        assert!(c.degraded());
+        assert!(io.faults().fsync_failures > 0);
+
+        // Degraded mode: view reads keep serving the last durable state,
+        // the audit passes, mutations are rejected with Degraded, and
+        // re-arming fails while the fault persists.
+        assert_eq!(c.replica(author), &replica_before);
+        assert_eq!(c.run().len(), 1);
+        c.audit().unwrap();
+        assert!(matches!(
+            c.submit(e2.clone()),
+            Err(CoordinatorError::Degraded)
+        ));
+        assert!(c.rearm().is_err());
+        assert!(c.degraded());
+
+        // The device stabilizes: rearm truncates the torn tail, and the
+        // in-flight event resubmits with its original fresh values.
+        io.heal();
+        c.rearm().unwrap();
+        assert!(!c.degraded());
+        c.submit(e2).unwrap();
+        c.audit().unwrap();
+        assert_eq!(c.run().len(), 2);
+        let ft = c.ft_stats();
+        assert_eq!(ft.degraded_recoveries, 1);
+        assert!(ft.wal_failures >= 1);
+        assert!(ft.degraded_rejected >= 1);
+
+        // What landed on the device recovers to exactly the two events.
+        let rec = Wal::recover(Box::new(inner), Arc::clone(&spec), opts).unwrap();
+        assert_eq!(rec.run.len(), 2);
+        assert_eq!(rec.report.last_seq, 2);
+    }
+
+    #[test]
+    fn transient_append_failures_are_retried_in_place() {
+        use crate::wal::IoFaultBackend;
+        let spec = spec();
+        let inner = MemBackend::new();
+        let io = IoFaultBackend::new(Box::new(inner.clone()), FaultPlan::perfect(5));
+        let wal = Wal::create(
+            Box::new(io.clone()),
+            WalOptions {
+                sync: SyncPolicy::Always,
+                snapshot_every: None,
+            },
+        )
+        .unwrap();
+        let mut c = Coordinator::with_wal(Arc::clone(&spec), wal);
+        // Every append fails transiently: retries exhaust and degrade.
+        io.configure(|p| p.transient_p = 1.0);
+        let d = c.draw_fresh();
+        let e = ev(&spec, "draft", std::slice::from_ref(&d));
+        let err = c.submit(e.clone()).unwrap_err();
+        assert!(matches!(err, CoordinatorError::Wal(WalError::Transient(_))));
+        assert!(c.degraded());
+        let retries = c.ft_stats().wal_transient_retries;
+        assert_eq!(
+            retries,
+            CoordinatorConfig::default().wal_transient_retries as u64
+        );
+        // Nothing was ever written: rearm is a clean no-op truncation, and
+        // once the transient condition clears the submit goes through.
+        io.heal();
+        c.rearm().unwrap();
+        c.submit(e).unwrap();
+        c.audit().unwrap();
+        assert_eq!(c.ft_stats().wal_appends, 1);
     }
 }

@@ -108,6 +108,13 @@ pub enum WalError {
         /// Human-readable cause.
         reason: String,
     },
+    /// A transient, EINTR-style failure: nothing was written, and retrying
+    /// the same operation may succeed. Callers may retry a bounded number
+    /// of times before treating it as a hard [`WalError::Backend`] failure.
+    Transient(String),
+    /// The storage device is out of space. The write may have landed
+    /// partially (a torn record); re-arming truncates it away.
+    StorageFull,
 }
 
 impl fmt::Display for WalError {
@@ -118,6 +125,8 @@ impl fmt::Display for WalError {
             WalError::Tampered { seq, reason } => {
                 write!(f, "wal record {seq} is tampered: {reason}")
             }
+            WalError::Transient(e) => write!(f, "transient wal failure (retryable): {e}"),
+            WalError::StorageFull => write!(f, "wal storage is full"),
         }
     }
 }
@@ -131,12 +140,17 @@ pub enum CoordinatorError {
     /// logged, nothing broadcast).
     Engine(EngineError),
     /// The write-ahead log failed while persisting an accepted event. The
-    /// coordinator halts (the event is *not* durable); recover from the WAL
-    /// and resubmit in-flight traffic.
+    /// event is rolled back out of memory (it is *not* durable) and the
+    /// coordinator enters read-only **degraded mode**: view reads keep
+    /// working, mutations are rejected with [`CoordinatorError::Degraded`]
+    /// until [`Coordinator::rearm`](crate::Coordinator::rearm) succeeds.
     Wal(WalError),
-    /// The coordinator previously halted on a WAL failure and refuses new
-    /// traffic until recovered.
-    Halted,
+    /// The coordinator is in degraded (read-only) mode after a durability
+    /// failure: reads are served from the last durable state, mutations are
+    /// refused until [`Coordinator::rearm`](crate::Coordinator::rearm)
+    /// restores the log — or the process restarts via
+    /// [`Coordinator::recover`](crate::Coordinator::recover).
+    Degraded,
 }
 
 impl fmt::Display for CoordinatorError {
@@ -144,8 +158,11 @@ impl fmt::Display for CoordinatorError {
         match self {
             CoordinatorError::Engine(e) => write!(f, "event rejected: {e}"),
             CoordinatorError::Wal(e) => write!(f, "durability failure: {e}"),
-            CoordinatorError::Halted => {
-                write!(f, "coordinator halted after a durability failure")
+            CoordinatorError::Degraded => {
+                write!(
+                    f,
+                    "coordinator is degraded (read-only) after a durability failure"
+                )
             }
         }
     }
@@ -156,7 +173,7 @@ impl std::error::Error for CoordinatorError {
         match self {
             CoordinatorError::Engine(e) => Some(e),
             CoordinatorError::Wal(e) => Some(e),
-            CoordinatorError::Halted => None,
+            CoordinatorError::Degraded => None,
         }
     }
 }

@@ -1,12 +1,16 @@
 //! Deterministic fault injection for coordinator deployments.
 //!
 //! A [`FaultPlan`] is a seeded-RNG schedule of delivery faults (drops,
-//! duplicates, reorders, delays), coordinator crash-points mid-append, and
-//! log-byte corruption. The same seed always yields the same schedule, so
-//! property tests can shrink and replay failures exactly. Thread it through
-//! a [`FaultyTransport`](crate::transport::FaultyTransport) for delivery
-//! faults and a [`MemBackend`](crate::wal::MemBackend) for durability
-//! faults; after [`FaultPlan::heal`], everything behaves perfectly again.
+//! duplicates, reorders, delays), **storage faults** (short writes, fsync
+//! failures, transient EINTR-style errors, disk-full), coordinator
+//! crash-points mid-append, and log-byte corruption. The same seed always
+//! yields the same schedule, so property tests can shrink and replay
+//! failures exactly. Thread it through a
+//! [`FaultyTransport`](crate::transport::FaultyTransport) for delivery
+//! faults and an [`IoFaultBackend`](crate::wal::IoFaultBackend) (or a
+//! [`MemBackend`](crate::wal::MemBackend) crash schedule) for durability
+//! faults; after [`FaultPlan::heal`], everything behaves perfectly again —
+//! except a full disk, which stays full until its capacity is raised.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -26,6 +30,21 @@ pub struct FaultPlan {
     /// Probability the due messages of one poll are shuffled (reordering
     /// beyond what random delays already cause).
     pub reorder_p: f64,
+    /// Probability a storage append lands only a prefix of its bytes and
+    /// fails (a torn record on disk).
+    pub short_write_p: f64,
+    /// Probability a storage sync (fsync) fails after the bytes were
+    /// appended — durability of the tail becomes unknown.
+    pub fsync_fail_p: f64,
+    /// Probability a storage append fails transiently (EINTR-style) with
+    /// nothing written; retrying may succeed.
+    pub transient_p: f64,
+    /// Byte capacity of the simulated device (`None`: unbounded). Appends
+    /// past it land partially and fail with
+    /// [`WalError::StorageFull`](crate::error::WalError::StorageFull).
+    /// Unlike the probabilistic faults, a full disk is *not* cleared by
+    /// [`FaultPlan::heal`] — raise the capacity instead.
+    pub disk_capacity: Option<u64>,
     healed: bool,
 }
 
@@ -39,6 +58,10 @@ impl FaultPlan {
             delay_p: 0.3,
             max_delay: 4,
             reorder_p: 0.25,
+            short_write_p: 0.0,
+            fsync_fail_p: 0.0,
+            transient_p: 0.0,
+            disk_capacity: None,
             healed: false,
         }
     }
@@ -69,6 +92,25 @@ impl FaultPlan {
         self.delay_p = delay_p;
         self.max_delay = max_delay;
         self.reorder_p = reorder_p;
+        self
+    }
+
+    /// Overrides the storage-fault rates (builder style).
+    pub fn with_storage_rates(
+        mut self,
+        short_write_p: f64,
+        fsync_fail_p: f64,
+        transient_p: f64,
+    ) -> FaultPlan {
+        self.short_write_p = short_write_p;
+        self.fsync_fail_p = fsync_fail_p;
+        self.transient_p = transient_p;
+        self
+    }
+
+    /// Caps the simulated device at `bytes` (builder style).
+    pub fn with_disk_capacity(mut self, bytes: u64) -> FaultPlan {
+        self.disk_capacity = Some(bytes);
         self
     }
 
@@ -105,6 +147,21 @@ impl FaultPlan {
     /// Should this batch of due messages be shuffled?
     pub fn decide_reorder(&mut self) -> bool {
         !self.healed && self.rng.gen_bool(self.reorder_p)
+    }
+
+    /// Should this storage append land only a torn prefix?
+    pub fn decide_short_write(&mut self) -> bool {
+        !self.healed && self.rng.gen_bool(self.short_write_p)
+    }
+
+    /// Should this storage sync fail?
+    pub fn decide_fsync_fail(&mut self) -> bool {
+        !self.healed && self.rng.gen_bool(self.fsync_fail_p)
+    }
+
+    /// Should this storage append fail transiently (nothing written)?
+    pub fn decide_transient(&mut self) -> bool {
+        !self.healed && self.rng.gen_bool(self.transient_p)
     }
 
     /// A uniformly random index below `n` (crash cut points, corruption
@@ -146,6 +203,18 @@ mod tests {
             assert!(!p.decide_duplicate());
             assert_eq!(p.decide_delay(), 0);
             assert!(!p.decide_reorder());
+        }
+    }
+
+    #[test]
+    fn healing_stops_storage_faults_too() {
+        let mut p = FaultPlan::seeded(9).with_storage_rates(1.0, 1.0, 1.0);
+        assert!(p.decide_short_write());
+        p.heal();
+        for _ in 0..50 {
+            assert!(!p.decide_short_write());
+            assert!(!p.decide_fsync_fail());
+            assert!(!p.decide_transient());
         }
     }
 

@@ -43,5 +43,6 @@ pub use stats::{FtStats, PeerStats, RunStats};
 pub use transition::{apply_event, apply_updates, event_visible, view_of};
 pub use transport::{Ack, FaultyTransport, InjectedFaults, PeerMsg, PerfectTransport, Transport};
 pub use wal::{
-    FileBackend, MemBackend, Recovered, RecoveryReport, SyncPolicy, Wal, WalBackend, WalOptions,
+    FileBackend, IoFaultBackend, IoFaults, MemBackend, Recovered, RecoveryReport, SyncPolicy, Wal,
+    WalBackend, WalOptions,
 };

@@ -160,6 +160,25 @@ impl Run {
         Ok(())
     }
 
+    /// Removes the last event and its instance, returning the event. Used
+    /// to roll a just-pushed event back out of memory when it could not be
+    /// made durable. The avoid-set is rebuilt without the popped instance,
+    /// so resubmitting the same event (same fresh values) is accepted; the
+    /// fresh-value *generator* is not rewound — it only over-avoids, which
+    /// is harmless.
+    pub fn pop(&mut self) -> Option<Event> {
+        let event = self.events.pop()?;
+        self.instances.pop().expect("events and instances in step");
+        let mut keep = self.spec.program().const_set();
+        keep.remove(&Value::Null);
+        keep.extend(self.initial.adom());
+        for inst in &self.instances {
+            keep.extend(inst.adom());
+        }
+        self.past_adom = keep;
+        Some(event)
+    }
+
     /// Rebuilds a run from an event sequence, reporting the first failing
     /// index. This realizes the paper's "a subsequence `α` of `e(ρ)` *yields
     /// a subrun* `run(α)`" check.
@@ -478,6 +497,39 @@ mod tests {
         b.set(VarId(0), v2);
         run.push(Event::new(&spec, rule, b).unwrap()).unwrap();
         assert_eq!(run.len(), 2);
+    }
+
+    #[test]
+    fn pop_rolls_back_and_reopens_freshness() {
+        let spec = Arc::new(
+            parse_workflow(
+                r#"
+                schema { R(K, A); }
+                peers { p sees R(*); }
+                rules { mint @ p: +R(k, "tag") :- ; }
+                "#,
+            )
+            .unwrap(),
+        );
+        let mut run = Run::new(Arc::clone(&spec));
+        let rule = spec.program().rule_by_name("mint").unwrap();
+        let v = run.draw_fresh();
+        let mut b = Bindings::empty(1);
+        b.set(VarId(0), v.clone());
+        let e = Event::new(&spec, rule, b).unwrap();
+        run.push(e.clone()).unwrap();
+        assert_eq!(run.len(), 1);
+        // Pop returns the event and restores the pre-push state.
+        let popped = run.pop().expect("one event to pop");
+        assert_eq!(popped, e);
+        assert!(run.is_empty());
+        assert!(run.current().is_empty());
+        // The popped event's fresh value is usable again: resubmission of
+        // the identical event succeeds.
+        run.push(e).unwrap();
+        assert_eq!(run.len(), 1);
+        assert!(run.pop().is_some());
+        assert!(run.pop().is_none(), "empty run pops nothing");
     }
 
     #[test]

@@ -50,6 +50,14 @@ pub struct FtStats {
     pub recovered_events: u64,
     /// Bytes of torn tail truncated during recovery.
     pub truncated_bytes: u64,
+    /// Hard (non-retryable) WAL failures that degraded the coordinator.
+    pub wal_failures: u64,
+    /// Transient WAL append failures that were retried in place.
+    pub wal_transient_retries: u64,
+    /// Mutations rejected while in degraded (read-only) mode.
+    pub degraded_rejected: u64,
+    /// Successful re-arms out of degraded mode.
+    pub degraded_recoveries: u64,
 }
 
 /// Aggregated statistics of one run.

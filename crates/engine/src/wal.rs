@@ -38,6 +38,7 @@ use cwf_model::{Instance, Schema, Tuple};
 use crate::codec::{decode_event, decode_value, encode_event, encode_value, tokenize};
 use crate::error::WalError;
 use crate::event::Event;
+use crate::fault::FaultPlan;
 use crate::run::Run;
 
 /// The v2 header line (without trailing newline).
@@ -213,18 +214,28 @@ impl WalBackend for MemBackend {
     }
 
     fn read_all(&mut self) -> Result<Vec<u8>, WalError> {
+        if self.crashed() {
+            return Err(WalError::Backend("simulated crash (dead process)".into()));
+        }
         Ok(self.bytes())
     }
 
     fn truncate(&mut self, len: u64) -> Result<(), WalError> {
         let mut s = self.state.lock().unwrap();
+        if s.crashed {
+            return Err(WalError::Backend("simulated crash (dead process)".into()));
+        }
         s.data.truncate(len as usize);
         s.synced = s.synced.min(len as usize);
         Ok(())
     }
 
     fn len(&mut self) -> Result<u64, WalError> {
-        Ok(self.state.lock().unwrap().data.len() as u64)
+        let s = self.state.lock().unwrap();
+        if s.crashed {
+            return Err(WalError::Backend("simulated crash (dead process)".into()));
+        }
+        Ok(s.data.len() as u64)
     }
 }
 
@@ -290,6 +301,123 @@ impl WalBackend for FileBackend {
     fn len(&mut self) -> Result<u64, WalError> {
         let r = self.file.metadata().map(|m| m.len());
         self.io(r)
+    }
+}
+
+/// Counters of storage faults an [`IoFaultBackend`] actually injected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoFaults {
+    /// Appends that landed only a torn prefix.
+    pub short_writes: u64,
+    /// Syncs that failed after the bytes were appended.
+    pub fsync_failures: u64,
+    /// Appends that failed transiently with nothing written.
+    pub transients: u64,
+    /// Appends rejected (fully or partially) by the capacity limit.
+    pub full_rejections: u64,
+}
+
+struct IoState {
+    plan: FaultPlan,
+    faults: IoFaults,
+}
+
+/// A fault-injecting decorator over any [`WalBackend`], driven by the
+/// storage knobs of a [`FaultPlan`]: short writes (a torn prefix lands and
+/// the append fails), fsync failures, transient EINTR-style append errors
+/// (nothing written, retry may succeed), and a byte-capacity limit
+/// ([`WalError::StorageFull`], with the fitting prefix landing — a torn
+/// record at the end of a full device). Cloning shares the plan and the
+/// injected-fault counters, so a test can hand the backend to a
+/// [`Wal`](crate::Wal) and still [`heal`](IoFaultBackend::heal) it or read
+/// [`faults`](IoFaultBackend::faults) afterward.
+#[derive(Clone)]
+pub struct IoFaultBackend {
+    inner: Arc<Mutex<Box<dyn WalBackend + Send>>>,
+    state: Arc<Mutex<IoState>>,
+}
+
+impl IoFaultBackend {
+    /// Wraps `inner`, injecting faults per `plan`'s storage knobs.
+    pub fn new(inner: Box<dyn WalBackend + Send>, plan: FaultPlan) -> Self {
+        IoFaultBackend {
+            inner: Arc::new(Mutex::new(inner)),
+            state: Arc::new(Mutex::new(IoState {
+                plan,
+                faults: IoFaults::default(),
+            })),
+        }
+    }
+
+    /// Stops all probabilistic storage faults (the device stabilizes). A
+    /// capacity limit stays in force; clear it with
+    /// [`configure`](IoFaultBackend::configure).
+    pub fn heal(&self) {
+        self.state.lock().unwrap().plan.heal();
+    }
+
+    /// Adjusts the fault plan in place (e.g. raise `disk_capacity`, or turn
+    /// fault rates on only after [`Wal::create`] has written its header).
+    pub fn configure(&self, f: impl FnOnce(&mut FaultPlan)) {
+        f(&mut self.state.lock().unwrap().plan);
+    }
+
+    /// The faults injected so far.
+    pub fn faults(&self) -> IoFaults {
+        self.state.lock().unwrap().faults
+    }
+}
+
+impl WalBackend for IoFaultBackend {
+    fn append(&mut self, bytes: &[u8]) -> Result<(), WalError> {
+        let mut inner = self.inner.lock().unwrap();
+        let mut st = self.state.lock().unwrap();
+        if st.plan.decide_transient() {
+            st.faults.transients += 1;
+            return Err(WalError::Transient("simulated interrupted append".into()));
+        }
+        if let Some(cap) = st.plan.disk_capacity {
+            let used = inner.len()?;
+            if used.saturating_add(bytes.len() as u64) > cap {
+                st.faults.full_rejections += 1;
+                let fit = cap.saturating_sub(used) as usize;
+                if fit > 0 {
+                    inner.append(&bytes[..fit])?;
+                }
+                return Err(WalError::StorageFull);
+            }
+        }
+        if st.plan.decide_short_write() && !bytes.is_empty() {
+            st.faults.short_writes += 1;
+            let keep = st.plan.pick(bytes.len());
+            if keep > 0 {
+                inner.append(&bytes[..keep])?;
+            }
+            return Err(WalError::Backend("simulated short write".into()));
+        }
+        inner.append(bytes)
+    }
+
+    fn sync(&mut self) -> Result<(), WalError> {
+        let mut st = self.state.lock().unwrap();
+        if st.plan.decide_fsync_fail() {
+            st.faults.fsync_failures += 1;
+            return Err(WalError::Backend("simulated fsync failure".into()));
+        }
+        drop(st);
+        self.inner.lock().unwrap().sync()
+    }
+
+    fn read_all(&mut self) -> Result<Vec<u8>, WalError> {
+        self.inner.lock().unwrap().read_all()
+    }
+
+    fn truncate(&mut self, len: u64) -> Result<(), WalError> {
+        self.inner.lock().unwrap().truncate(len)
+    }
+
+    fn len(&mut self) -> Result<u64, WalError> {
+        self.inner.lock().unwrap().len()
     }
 }
 
@@ -461,17 +589,33 @@ pub struct Recovered {
 }
 
 /// The durable write-ahead log. See the module docs for the format.
+///
+/// A failed (non-transient) append **poisons** the log: the backend may now
+/// end in a torn record, so further appends are refused until
+/// [`Wal::rearm`] truncates back to the last complete record. Failed
+/// appends never consume a sequence number, so a re-armed log continues
+/// exactly where the last successful append left off.
 pub struct Wal {
     backend: Box<dyn WalBackend>,
     opts: WalOptions,
     next_seq: u64,
     unsynced: u32,
     events_since_snapshot: u64,
+    /// Bytes of complete records (incl. header) successfully appended: the
+    /// boundary [`Wal::rearm`] truncates a torn tail back to.
+    appended_len: u64,
+    poisoned: bool,
 }
 
 impl fmt::Debug for Wal {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Wal[next_seq {} opts {:?}]", self.next_seq, self.opts)
+        write!(
+            f,
+            "Wal[next_seq {} opts {:?}{}]",
+            self.next_seq,
+            self.opts,
+            if self.poisoned { ", POISONED" } else { "" }
+        )
     }
 }
 
@@ -483,7 +627,8 @@ impl Wal {
                 "backend is not empty; use Wal::recover to resume an existing log".into(),
             ));
         }
-        backend.append(format!("{WAL_HEADER}\n").as_bytes())?;
+        let header = format!("{WAL_HEADER}\n");
+        backend.append(header.as_bytes())?;
         backend.sync()?;
         Ok(Wal {
             backend,
@@ -491,6 +636,8 @@ impl Wal {
             next_seq: 1,
             unsynced: 0,
             events_since_snapshot: 0,
+            appended_len: header.len() as u64,
+            poisoned: false,
         })
     }
 
@@ -499,14 +646,44 @@ impl Wal {
         self.next_seq
     }
 
-    /// Appends one accepted event; returns its sequence number. The record
-    /// is durable per the sync policy when this returns.
-    pub fn append_event(&mut self, spec: &WorkflowSpec, event: &Event) -> Result<u64, WalError> {
-        let seq = self.next_seq;
-        let line = record_line('e', seq, &encode_event(spec, event));
+    /// Is the log poisoned (a failed append left a possibly-torn tail)?
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Restores a poisoned log: truncates any torn tail back to the last
+    /// complete record and syncs. On success the log accepts appends again.
+    /// Fails (and stays poisoned) while the backend itself is still faulty.
+    pub fn rearm(&mut self) -> Result<(), WalError> {
+        self.backend.truncate(self.appended_len)?;
+        self.backend.sync()?;
+        self.unsynced = 0;
+        self.poisoned = false;
+        Ok(())
+    }
+
+    fn check_armed(&self) -> Result<(), WalError> {
+        if self.poisoned {
+            return Err(WalError::Backend(
+                "wal is poisoned after a failed append; rearm first".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Transient failures write nothing, so the log stays clean; any other
+    /// failure may have left a torn tail and poisons the log.
+    fn poison_unless_transient(&mut self, e: WalError) -> WalError {
+        if !matches!(e, WalError::Transient(_)) {
+            self.poisoned = true;
+        }
+        e
+    }
+
+    /// Appends one complete record line, honoring the sync policy, and
+    /// advances the complete-record boundary only if everything succeeded.
+    fn append_record(&mut self, line: &str) -> Result<(), WalError> {
         self.backend.append(line.as_bytes())?;
-        self.next_seq += 1;
-        self.events_since_snapshot += 1;
         self.unsynced += 1;
         match self.opts.sync {
             SyncPolicy::Always => self.sync()?,
@@ -517,7 +694,24 @@ impl Wal {
             }
             SyncPolicy::Never => {}
         }
-        Ok(seq)
+        self.appended_len += line.len() as u64;
+        Ok(())
+    }
+
+    /// Appends one accepted event; returns its sequence number. The record
+    /// is durable per the sync policy when this returns.
+    pub fn append_event(&mut self, spec: &WorkflowSpec, event: &Event) -> Result<u64, WalError> {
+        self.check_armed()?;
+        let seq = self.next_seq;
+        let line = record_line('e', seq, &encode_event(spec, event));
+        match self.append_record(&line) {
+            Ok(()) => {
+                self.next_seq += 1;
+                self.events_since_snapshot += 1;
+                Ok(seq)
+            }
+            Err(e) => Err(self.poison_unless_transient(e)),
+        }
     }
 
     /// Appends a snapshot of `instance` (the state after the last appended
@@ -527,11 +721,21 @@ impl Wal {
         schema: &Schema,
         instance: &Instance,
     ) -> Result<(), WalError> {
+        self.check_armed()?;
         let seq = self.next_seq - 1;
         let line = record_line('s', seq, &encode_instance(schema, instance));
-        self.backend.append(line.as_bytes())?;
-        self.events_since_snapshot = 0;
-        self.sync()
+        match self.append_record(&line) {
+            // Snapshots always sync, whatever the event policy: recovery
+            // relies on finding them.
+            Ok(()) => match self.sync() {
+                Ok(()) => {
+                    self.events_since_snapshot = 0;
+                    Ok(())
+                }
+                Err(e) => Err(self.poison_unless_transient(e)),
+            },
+            Err(e) => Err(self.poison_unless_transient(e)),
+        }
     }
 
     /// Appends a snapshot when `snapshot_every` events have accumulated
@@ -684,6 +888,8 @@ impl Wal {
                 next_seq: last_seq + 1,
                 unsynced: 0,
                 events_since_snapshot,
+                appended_len: valid_len as u64,
+                poisoned: false,
             },
             run,
             report: RecoveryReport {

@@ -23,11 +23,55 @@
 use std::collections::BTreeMap;
 
 use crate::condition::{Atom, Condition};
+use crate::govern::{Governor, Reason, Verdict};
 use crate::schema::AttrId;
 use crate::value::Value;
 
 /// Is `cond` satisfiable by some tuple (over any attribute values)?
 pub fn satisfiable(cond: &Condition) -> bool {
+    match enumerate_sat(cond, &Governor::unlimited()) {
+        Ok(sat) => sat,
+        Err(_) => unreachable!("an unlimited governor never exhausts"),
+    }
+}
+
+/// Governed [`satisfiable`]: one governor tick per truth assignment, panic
+/// isolation via [`Governor::guard`]. `Exhausted` names the resource that
+/// ran out; a condition's satisfiability has no useful partial answer, so
+/// this never returns `Anytime`.
+pub fn satisfiable_within(cond: &Condition, gov: &Governor) -> Verdict<bool> {
+    gov.guard(|| {
+        if let Err(r) = gov.check() {
+            return Verdict::Exhausted(r);
+        }
+        match enumerate_sat(cond, gov) {
+            Ok(sat) => Verdict::Done(sat),
+            Err(r) => Verdict::Exhausted(r),
+        }
+    })
+}
+
+/// Governed [`tautology`].
+pub fn tautology_within(cond: &Condition, gov: &Governor) -> Verdict<bool> {
+    satisfiable_within(&cond.clone().not(), gov).map(|sat| !sat)
+}
+
+/// Governed [`implies`].
+pub fn implies_within(
+    antecedent: &Condition,
+    consequent: &Condition,
+    gov: &Governor,
+) -> Verdict<bool> {
+    satisfiable_within(
+        &Condition::and([antecedent.clone(), consequent.clone().not()]),
+        gov,
+    )
+    .map(|sat| !sat)
+}
+
+/// The exhaustive assignment enumeration shared by the plain and governed
+/// entry points; `Err` reports the exhausted resource.
+fn enumerate_sat(cond: &Condition, gov: &Governor) -> Result<bool, Reason> {
     let atoms = cond.atoms();
     let n = atoms.len();
     debug_assert!(
@@ -35,6 +79,7 @@ pub fn satisfiable(cond: &Condition) -> bool {
         "condition with ≥26 distinct atoms; solver would blow up"
     );
     for mask in 0u64..(1u64 << n) {
+        gov.tick()?;
         let truth = |atom: &Atom| -> bool {
             let idx = atoms
                 .iter()
@@ -51,10 +96,10 @@ pub fn satisfiable(cond: &Condition) -> bool {
             .map(|(i, a)| (a.clone(), mask & (1 << i) != 0))
             .collect();
         if consistent(&literals) {
-            return true;
+            return Ok(true);
         }
     }
-    false
+    Ok(false)
 }
 
 /// Is `cond` true of **every** tuple?
@@ -317,5 +362,42 @@ mod tests {
         let lhs = Condition::and([eq(A, "x"), eq(B, "y")]).not();
         let rhs = Condition::or([eq(A, "x").not(), eq(B, "y").not()]);
         assert!(equivalent(&lhs, &rhs));
+    }
+
+    #[test]
+    fn governed_solver_agrees_with_plain() {
+        use crate::govern::Governor;
+        let c = Condition::and([eq(A, "x"), eq(B, "y"), Condition::EqAttr(A, B).not()]);
+        let gov = Governor::with_nodes(1_000);
+        assert_eq!(satisfiable_within(&c, &gov), Verdict::Done(satisfiable(&c)));
+        assert_eq!(tautology_within(&c, &gov), Verdict::Done(tautology(&c)));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn panicking_evaluator_becomes_exhausted_panicked() {
+        use crate::govern::{Governor, Reason};
+        // 26 distinct atoms trip the solver's blow-up assertion. The guard
+        // converts the panic into a verdict instead of unwinding into a
+        // coordinator serving other peers.
+        let huge = Condition::and((0u32..26).map(|i| eq(AttrId(i), "v")).collect::<Vec<_>>());
+        match satisfiable_within(&huge, &Governor::unlimited()) {
+            Verdict::Exhausted(Reason::Panicked(msg)) => {
+                assert!(msg.contains("solver would blow up"), "got: {msg}");
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn governed_solver_reports_exhaustion() {
+        use crate::govern::{Governor, Reason};
+        // Ten distinct atoms -> 1024 assignments; a 4-node budget cuts off.
+        let big = Condition::and((0u32..10).map(|i| eq(AttrId(i), "v")).collect::<Vec<_>>());
+        let gov = Governor::with_nodes(4);
+        assert_eq!(
+            satisfiable_within(&big, &gov),
+            Verdict::Exhausted(Reason::Nodes)
+        );
     }
 }

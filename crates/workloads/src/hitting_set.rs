@@ -192,8 +192,11 @@ mod tests {
     use cwf_core::{
         exists_scenario_at_most, one_minimal_scenario, search_min_scenario, SearchOptions,
     };
+    use cwf_model::{Governor, Reason, Verdict};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use std::thread;
+    use std::time::{Duration, Instant};
 
     fn small() -> HittingSet {
         // V = {0,1,2}, c1 = {0,1}, c2 = {1,2}: minimum hitting set {1}.
@@ -231,13 +234,12 @@ mod tests {
         let w = hitting_set_workload(small());
         let run = w.saturated_run();
         let expected = w.scenario_len_for(w.instance.min_hitting_set());
-        let found = search_min_scenario(&run, w.p, &SearchOptions::default())
-            .found()
-            .expect("scenario exists");
+        let res = search_min_scenario(&run, w.p, &SearchOptions::default(), &Governor::unlimited());
+        let found = res.found().expect("scenario exists");
         assert_eq!(found.len(), expected);
         assert_eq!(
-            exists_scenario_at_most(&run, w.p, expected - 1, 1_000_000),
-            Some(false)
+            exists_scenario_at_most(&run, w.p, expected - 1, &Governor::unlimited()),
+            Verdict::Done(false)
         );
     }
 
@@ -248,11 +250,59 @@ mod tests {
         let w = hitting_set_workload(hs);
         let run = w.saturated_run();
         let greedy = one_minimal_scenario(&run, w.p);
-        let exact = search_min_scenario(&run, w.p, &SearchOptions::default())
-            .found()
-            .unwrap();
+        let res = search_min_scenario(&run, w.p, &SearchOptions::default(), &Governor::unlimited());
+        let exact = res.found().unwrap();
         assert!(greedy.len() >= exact.len());
         assert!(cwf_core::is_scenario(&run, w.p, &greedy));
+    }
+
+    /// An instance far beyond what milliseconds of exact search can finish:
+    /// the saturated run has ~45 events, so the branch-and-bound tree dwarfs
+    /// any node count reachable before a short deadline or cancellation.
+    fn hard() -> (HittingSetWorkload, Run) {
+        let mut rng = StdRng::seed_from_u64(42);
+        let hs = HittingSet::random(14, 10, 5, &mut rng);
+        let w = hitting_set_workload(hs);
+        let run = w.saturated_run();
+        (w, run)
+    }
+
+    #[test]
+    fn deadline_cutoff_yields_greedy_anytime_answer() {
+        let (w, run) = hard();
+        let gov = Governor::with_deadline(Duration::from_millis(50));
+        let started = Instant::now();
+        let res = search_min_scenario(&run, w.p, &SearchOptions::default(), &gov);
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "the cutoff was prompt, not blocking"
+        );
+        let Verdict::Anytime(Some(witness), bound) = res else {
+            panic!("expected an anytime answer, got {res:?}");
+        };
+        assert_eq!(bound.reason, Reason::Deadline);
+        assert!(!witness.is_empty(), "the greedy upper bound is usable");
+        assert!(cwf_core::is_scenario(&run, w.p, &witness));
+        assert_eq!(bound.upper, Some(witness.len() as u64));
+        assert!(bound.lower.unwrap() <= bound.upper.unwrap());
+    }
+
+    #[test]
+    fn cross_thread_cancellation_interrupts_a_running_search() {
+        let (w, run) = hard();
+        let gov = Governor::unlimited();
+        let token = gov.cancel_token();
+        let canceller = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            token.cancel();
+        });
+        let res = search_min_scenario(&run, w.p, &SearchOptions::default(), &gov);
+        canceller.join().unwrap();
+        assert_eq!(res.reason(), Some(&Reason::Cancelled));
+        assert!(gov.nodes_used() > 0, "the search was actually running");
+        // Unrestricted optimization still hands back a greedy scenario.
+        let witness = res.found().expect("anytime witness");
+        assert!(cwf_core::is_scenario(&run, w.p, witness));
     }
 
     #[test]

@@ -185,6 +185,7 @@ impl UnsatWorkload {
 mod tests {
     use super::*;
     use cwf_core::{is_minimal_exact, EventSet};
+    use cwf_model::{Governor, Verdict};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -230,7 +231,10 @@ mod tests {
         let w = unsat_workload(sat_formula());
         let run = w.canonical_run();
         let full = EventSet::full(run.len());
-        assert_eq!(is_minimal_exact(&run, w.p, &full, 1_000_000), Some(false));
+        assert_eq!(
+            is_minimal_exact(&run, w.p, &full, &Governor::unlimited()),
+            Verdict::Done(false)
+        );
     }
 
     #[test]
@@ -238,7 +242,10 @@ mod tests {
         let w = unsat_workload(unsat_formula());
         let run = w.canonical_run();
         let full = EventSet::full(run.len());
-        assert_eq!(is_minimal_exact(&run, w.p, &full, 1_000_000), Some(true));
+        assert_eq!(
+            is_minimal_exact(&run, w.p, &full, &Governor::unlimited()),
+            Verdict::Done(true)
+        );
     }
 
     #[test]
@@ -251,7 +258,9 @@ mod tests {
             let run = w.canonical_run();
             // The theorem, end to end, on random formulas.
             let full = EventSet::full(run.len());
-            let minimal = is_minimal_exact(&run, w.p, &full, 2_000_000).unwrap();
+            let minimal = is_minimal_exact(&run, w.p, &full, &Governor::unlimited())
+                .into_value()
+                .unwrap();
             assert_eq!(minimal, !cnf.satisfiable(), "cnf: {cnf:?}");
         }
     }

@@ -36,9 +36,13 @@ fn main() {
         is_scenario(&run, applicant, &misleading)
     );
     // …and it is even a minimum one.
-    let minimum = search_min_scenario(&run, applicant, &SearchOptions::default())
-        .found()
-        .unwrap();
+    let res = search_min_scenario(
+        &run,
+        applicant,
+        &SearchOptions::default(),
+        &Governor::unlimited(),
+    );
+    let minimum = res.found().unwrap();
     println!(
         "a minimum scenario has {} events — but it can mislead: it may claim \
          the cto's (later retracted!) ok justified the approval",
@@ -47,7 +51,9 @@ fn main() {
 
     // Worse: minimal scenarios are not even unique — both [e, h] and [g, h]
     // are minimal, so "the" minimal-scenario explanation is ill-defined.
-    let all = all_minimal_scenarios(&run, applicant, 10, 1_000_000).unwrap();
+    let all = all_minimal_scenarios(&run, applicant, 10, &Governor::unlimited())
+        .into_value()
+        .unwrap();
     println!("\nthis run has {} distinct minimal scenarios:", all.len());
     for s in &all {
         println!("  {:?}", s.to_vec());

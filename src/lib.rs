@@ -63,8 +63,9 @@ pub mod prelude {
         Decision, Limits,
     };
     pub use cwf_core::{
-        explain, is_scenario, minimal_faithful_scenario, one_minimal_scenario, why, EventSet,
-        Explanation, IncrementalExplainer, RunIndex,
+        exists_scenario_at_most, explain, is_scenario, minimal_faithful_scenario,
+        one_minimal_scenario, search_min_scenario, why, EventSet, Explanation,
+        IncrementalExplainer, RunIndex, SearchOptions,
     };
     pub use cwf_design::{
         add_stage_discipline, check_guidelines, check_tf, is_p_acyclic, EnforcementMode,
@@ -72,13 +73,14 @@ pub mod prelude {
     };
     pub use cwf_engine::{
         encode_run, load_run, Bindings, Coordinator, CoordinatorConfig, CoordinatorError, Event,
-        FaultPlan, FaultyTransport, FileBackend, MemBackend, PerfectTransport, Run, RunStats,
-        Simulator, SyncPolicy, Wal, WalOptions,
+        FaultPlan, FaultyTransport, FileBackend, IoFaultBackend, MemBackend, PerfectTransport, Run,
+        RunStats, Simulator, SyncPolicy, Wal, WalOptions,
     };
     pub use cwf_lang::{
         lint, parse_workflow, print_workflow, Program, RuleBuilder, VarId, WorkflowSpec,
     };
     pub use cwf_model::{
-        CollabSchema, Condition, Instance, PeerId, RelId, RelSchema, Schema, Tuple, Value, ViewRel,
+        Bound, CancelToken, CollabSchema, Condition, Governor, Instance, PeerId, Reason, RelId,
+        RelSchema, Schema, Tuple, Value, Verdict, ViewRel,
     };
 }

@@ -9,8 +9,8 @@ use proptest::prelude::*;
 
 use collab_workflows::engine::{
     candidates, complete, decode_events, encode_event, encode_run, Coordinator, CoordinatorConfig,
-    CoordinatorError, Event, FaultPlan, FaultyTransport, MemBackend, PerfectTransport, Run,
-    SyncPolicy, Wal, WalOptions,
+    CoordinatorError, Event, FaultPlan, FaultyTransport, FileBackend, IoFaultBackend, MemBackend,
+    PerfectTransport, Run, SyncPolicy, Wal, WalOptions,
 };
 use collab_workflows::lang::{parse_workflow, WorkflowSpec};
 use rand::rngs::StdRng;
@@ -126,11 +126,15 @@ proptest! {
         }
         // Drafting is always enabled, so the crash must have fired.
         prop_assert!(backend.crashed());
-        prop_assert!(c.halted());
+        prop_assert!(c.degraded());
+        // The in-flight event was rolled back out of memory; the degraded
+        // coordinator still audits clean and rejects new mutations.
+        prop_assert_eq!(c.run().len(), accepted.len());
+        c.audit().unwrap();
         let lost = in_flight.expect("the crashing submit's event");
         prop_assert!(matches!(
             c.submit(lost.clone()),
-            Err(CoordinatorError::Halted)
+            Err(CoordinatorError::Degraded)
         ));
 
         // What a restarted process finds: the synced prefix plus an
@@ -200,6 +204,7 @@ proptest! {
             retry_backoff_cap: 8,
             resync_lag,
             resync_after_retries: 4,
+            ..CoordinatorConfig::default()
         };
         let mut c = Coordinator::with_transport(
             Arc::clone(&spec),
@@ -275,6 +280,118 @@ proptest! {
                 ),
             },
         }
+    }
+
+    /// Storage faults against a *real file*: short writes mid-record, fsync
+    /// failures, and disk-full (possibly mid-snapshot) leave a torn tail on
+    /// disk. The coordinator degrades to read-only instead of halting,
+    /// re-arms in place once the device stabilizes, and a later restart
+    /// recovers exactly the accepted events from the file.
+    #[test]
+    fn file_backend_io_faults_degrade_rearm_and_recover(
+        seed in 0u64..100,
+        warmup in 1usize..6,
+        fault_kind in 0u8..3,
+    ) {
+        let spec = spec();
+        let path = std::env::temp_dir().join(format!(
+            "cwf-io-fault-{}-{seed}-{warmup}-{fault_kind}.wal",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let io = IoFaultBackend::new(
+            Box::new(FileBackend::open(&path).unwrap()),
+            FaultPlan::perfect(seed),
+        );
+        let opts = WalOptions {
+            sync: SyncPolicy::Always,
+            snapshot_every: Some(2),
+        };
+        let wal = Wal::create(Box::new(io.clone()), opts).unwrap();
+        let mut c = Coordinator::with_parts(
+            Arc::clone(&spec),
+            Box::new(PerfectTransport::new()),
+            Some(wal),
+            CoordinatorConfig::default(),
+        );
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(17).wrapping_add(3));
+        drive(&mut c, &mut rng, warmup);
+        c.audit().unwrap();
+
+        // Arm one storage fault. Disk-full caps the device just past the
+        // current length, so the next event (or its follow-up snapshot)
+        // lands only partially.
+        let mut probe = io.clone();
+        let used = collab_workflows::engine::WalBackend::len(&mut probe).unwrap();
+        io.configure(|p| match fault_kind {
+            0 => p.short_write_p = 1.0,
+            1 => p.fsync_fail_p = 1.0,
+            _ => p.disk_capacity = Some(used + 45),
+        });
+
+        // Submit until the coordinator degrades: either the submit fails
+        // (event rolled back, resubmittable) or it succeeds but a torn
+        // snapshot degraded the log.
+        let mut in_flight = None;
+        while let Some(event) = next_event(c.run(), &mut rng) {
+            match c.submit(event.clone()) {
+                Ok(_) => {
+                    if c.degraded() {
+                        break;
+                    }
+                }
+                Err(CoordinatorError::Engine(_)) => continue,
+                Err(CoordinatorError::Wal(_)) => {
+                    in_flight = Some(event);
+                    break;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        prop_assert!(c.degraded(), "drafting is always enabled: a fault must fire");
+
+        // Degraded mode is read-only: reads and audits keep working,
+        // mutations are refused.
+        c.audit().unwrap();
+        if let Some(event) = next_event(c.run(), &mut rng) {
+            prop_assert!(matches!(c.submit(event), Err(CoordinatorError::Degraded)));
+        }
+
+        // The device stabilizes; the coordinator re-arms in place and the
+        // rolled-back event (if any) resubmits with its original values.
+        io.heal();
+        io.configure(|p| p.disk_capacity = None);
+        c.rearm().unwrap();
+        prop_assert!(!c.degraded());
+        if let Some(event) = in_flight {
+            c.submit(event).unwrap();
+        }
+        drive(&mut c, &mut rng, 2);
+        c.audit().unwrap();
+        let expected: Vec<String> =
+            c.run().events().iter().map(|e| encode_event(&spec, e)).collect();
+        let ft = c.stats().fault_tolerance.expect("coordinator stats");
+        prop_assert!(ft.wal_failures >= 1);
+        prop_assert_eq!(ft.degraded_recoveries, 1);
+
+        // A restarted process recovers the full accepted sequence from the
+        // file: the torn tail was re-armed away, every record replays.
+        let rec = Wal::recover(
+            Box::new(FileBackend::open(&path).unwrap()),
+            Arc::clone(&spec),
+            opts,
+        )
+        .unwrap();
+        let base = rec.report.snapshot_seq.unwrap_or(0) as usize;
+        prop_assert_eq!(rec.report.last_seq as usize, expected.len());
+        for (i, e) in rec.run.events().iter().enumerate() {
+            prop_assert_eq!(
+                encode_event(&spec, e),
+                expected[base + i].clone(),
+                "event {} diverged after recovery", base + i
+            );
+        }
+        let _ = std::fs::remove_file(&path);
     }
 
     /// Truncating an encoded log at any byte offset never panics the

@@ -1,0 +1,183 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the workspace's `harness = false` bench targets compiling and
+//! runnable without network access. Each benchmark executes its closure a
+//! small, time-bounded number of iterations and prints a coarse
+//! nanoseconds-per-iteration figure — enough to smoke-test the benches and
+//! compare orders of magnitude, with none of criterion's statistics,
+//! warm-up control, or HTML reports.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation (recorded, printed alongside results).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just a parameter (anonymous function name).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// The timing loop handle passed to bench closures.
+pub struct Bencher {
+    /// Nanoseconds per iteration, recorded by [`Bencher::iter`].
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `routine`: one warm-up call, then iterations until ~50 ms of
+    /// wall clock (at most 1000), reporting the mean.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine());
+        let budget = Duration::from_millis(50);
+        let start = Instant::now();
+        let mut iters = 0u32;
+        while iters < 1_000 && (iters == 0 || start.elapsed() < budget) {
+            black_box(routine());
+            iters += 1;
+        }
+        self.ns_per_iter = start.elapsed().as_nanos() as f64 / f64::from(iters.max(1));
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API parity; the stub ignores sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API parity; the stub ignores measurement time.
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Records the throughput annotation for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, mut f: F) {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        self.report(&id.to_string(), b.ns_per_iter);
+    }
+
+    /// Runs one parameterized benchmark.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b, input);
+        self.report(&id.to_string(), b.ns_per_iter);
+    }
+
+    /// Ends the group (no-op; provided for API parity).
+    pub fn finish(self) {}
+
+    fn report(&mut self, id: &str, ns: f64) {
+        let tp = match self.throughput {
+            Some(Throughput::Elements(n)) => format!("  ({n} elems/iter)"),
+            Some(Throughput::Bytes(n)) => format!("  ({n} bytes/iter)"),
+            None => String::new(),
+        };
+        println!("{}/{id}: {ns:.0} ns/iter{tp}", self.name);
+        self.criterion.benches_run += 1;
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    benches_run: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { benches_run: 0 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        let name = name.to_string();
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    /// Accepted for API parity with `Criterion::configure_from_args`.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Declares a group-runner function from bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` from group runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

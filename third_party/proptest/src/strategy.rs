@@ -1,0 +1,236 @@
+//! Value-generation strategies (sampling only — no shrink trees).
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRng;
+
+/// A source of random values of one type.
+///
+/// Unlike real proptest there is no shrinking: a strategy is just a sampler.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Recursive strategies: `self` generates leaves, `recurse` builds inner
+    /// nodes from a strategy for subtrees, nested `depth` times. The
+    /// `_desired_size`/`_expected_branch_size` hints are accepted for API
+    /// parity and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = BoxedStrategy::new(self);
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            // Mix leaves back in at every level so sampled trees terminate.
+            let deeper = BoxedStrategy::new(recurse(current));
+            current = BoxedStrategy::new(Union::new(vec![leaf.clone(), deeper]));
+        }
+        current
+    }
+}
+
+/// A clonable, type-erased strategy (shared, not deep-copied).
+pub struct BoxedStrategy<V> {
+    inner: std::rc::Rc<dyn Strategy<Value = V>>,
+}
+
+impl<V> BoxedStrategy<V> {
+    /// Erases `strat`'s concrete type.
+    pub fn new<S: Strategy<Value = V> + 'static>(strat: S) -> Self {
+        BoxedStrategy {
+            inner: std::rc::Rc::new(strat),
+        }
+    }
+}
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            inner: std::rc::Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut TestRng) -> V {
+        self.inner.sample(rng)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as u128).wrapping_add(off) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as u128).wrapping_sub(lo as u128) + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (lo as u128).wrapping_add(off) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.sample(rng),
+            self.1.sample(rng),
+            self.2.sample(rng),
+            self.3.sample(rng),
+        )
+    }
+}
+
+/// String strategy from a (tiny) regex subset: `[chars]{n}` repeats a random
+/// member of the character class `n` times; anything else is taken as a
+/// literal. Covers the patterns used in this workspace's tests.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        if let Some((class, count)) = parse_class_pattern(self) {
+            (0..count)
+                .map(|_| {
+                    let i = rng.next_u64() as usize % class.len();
+                    class[i]
+                })
+                .collect()
+        } else {
+            (*self).to_string()
+        }
+    }
+}
+
+fn parse_class_pattern(pattern: &str) -> Option<(Vec<char>, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let (class, rest) = rest.split_once(']')?;
+    let count = rest.strip_prefix('{')?.strip_suffix('}')?;
+    let chars: Vec<char> = class.chars().collect();
+    if chars.is_empty() {
+        return None;
+    }
+    // `{n}` or `{m,n}` (sampled at the upper end is unnecessary — take n).
+    let n = match count.split_once(',') {
+        Some((_, hi)) => hi.trim().parse().ok()?,
+        None => count.parse().ok()?,
+    };
+    Some((chars, n))
+}
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut TestRng) -> V {
+        (**self).sample(rng)
+    }
+}
+
+/// Uniform choice between boxed strategies — the engine behind
+/// [`prop_oneof!`](crate::prop_oneof).
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union from its arms.
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+
+    /// Boxes one arm (used by the `prop_oneof!` expansion).
+    pub fn arm<S: Strategy<Value = V> + 'static>(strat: S) -> BoxedStrategy<V> {
+        BoxedStrategy::new(strat)
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let i = rng.next_u64() as usize % self.arms.len();
+        self.arms[i].sample(rng)
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its model types for
+//! downstream consumers, but all of its own persistence goes through
+//! hand-written text codecs (`cwf_engine::codec`, `cwf_engine::wal`) — the
+//! serde data model is never invoked. This stub provides the two marker
+//! traits and re-exports no-op derive macros so the workspace builds without
+//! network access. Swapping the real `serde` back in is a one-line change in
+//! the root `Cargo.toml` (`[patch.crates-io]`).
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

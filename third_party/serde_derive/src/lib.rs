@@ -1,0 +1,20 @@
+//! No-op derive macros backing the offline `serde` stand-in.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` (its own codecs
+//! are hand-written text formats); nothing ever calls the serde data model.
+//! Expanding the derives to nothing keeps every type checking while staying
+//! fully offline.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
