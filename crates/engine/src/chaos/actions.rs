@@ -1,0 +1,214 @@
+//! The action grammar of the chaos harness.
+//!
+//! A chaos trace is a sequence of [`Action`]s, each fully self-contained:
+//! every choice an action needs at execution time (which candidate event to
+//! submit, how many bytes of the unsynced tail survive a crash, which byte
+//! to corrupt) is carried *in the action*, not drawn from a shared RNG
+//! during execution. That is what makes delta-debugging sound — removing an
+//! action from a trace never perturbs the data of the actions that remain,
+//! so `execute(seed, trace)` stays a pure function of its two arguments.
+//!
+//! Traces serialize to a whitespace-separated token line (one token per
+//! action) so a failing `seed + trace` can be printed by the driver, pasted
+//! into a test, and replayed verbatim; see [`format_trace`] /
+//! [`parse_trace`].
+
+use std::fmt;
+use std::str::FromStr;
+
+/// One step of a chaos trace. See the module docs for why every variant
+/// carries its own choice data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Enumerate `simulate::candidates` on the current run and submit the
+    /// `pick % len`-th one (completed with coordinator-fresh values). A
+    /// no-op when no candidate exists; engine rejections (chase conflicts)
+    /// and degraded-mode rejections are tolerated outcomes.
+    Submit {
+        /// Raw candidate selector, reduced modulo the candidate count.
+        pick: u32,
+    },
+    /// Run `ticks` delivery rounds ([`Coordinator::pump`][p]).
+    ///
+    /// [p]: crate::Coordinator::pump
+    Pump {
+        /// Number of pump rounds.
+        ticks: u32,
+    },
+    /// Kill the process and restart it from what survived on disk: drop the
+    /// coordinator, keep the synced WAL prefix plus at most `keep_unsynced`
+    /// unsynced bytes (the OS may or may not have flushed them), optionally
+    /// corrupt one byte of the kept *unsynced* tail, then
+    /// [`Coordinator::recover`][r]. In-flight transport messages die with
+    /// the process.
+    ///
+    /// [r]: crate::Coordinator::recover
+    CrashRestart {
+        /// How many unsynced bytes survive beyond the synced prefix.
+        keep_unsynced: u32,
+        /// Optional corruption of the kept unsynced tail: a raw offset
+        /// selector (reduced modulo the tail length) and the XOR mask.
+        corrupt: Option<(u32, u8)>,
+    },
+    /// Queue a snapshot resync for every currently divergent replica
+    /// ([`Coordinator::resync_divergent`][r]).
+    ///
+    /// [r]: crate::Coordinator::resync_divergent
+    Resync,
+    /// Stop all future fault injection, network and storage (the
+    /// environment stabilizes). From this point the post-heal convergence
+    /// oracle is armed.
+    Heal,
+    /// Attempt to leave degraded mode ([`Coordinator::rearm`][r]). A no-op
+    /// when not degraded; allowed to fail while faults persist, but a
+    /// failure *after* [`Action::Heal`] is an invariant violation.
+    ///
+    /// [r]: crate::Coordinator::rearm
+    Rearm,
+    /// Run a governed read-only analysis (a full well-formedness replay of
+    /// the current run) under a pre-cancelled [`Governor`][g] and check that
+    /// it stops with `Exhausted(Cancelled)` without mutating the
+    /// coordinator.
+    ///
+    /// [g]: cwf_model::govern::Governor
+    GovernorCancel,
+    /// While degraded, attempt a mutation and require it to be rejected
+    /// with `CoordinatorError::Degraded`, leaving the run and every replica
+    /// untouched (reads keep being served). A no-op when not degraded.
+    DegradeProbe,
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Submit { pick } => write!(f, "submit({pick})"),
+            Action::Pump { ticks } => write!(f, "pump({ticks})"),
+            Action::CrashRestart {
+                keep_unsynced,
+                corrupt: None,
+            } => write!(f, "crash({keep_unsynced})"),
+            Action::CrashRestart {
+                keep_unsynced,
+                corrupt: Some((off, xor)),
+            } => write!(f, "crash({keep_unsynced},{off}^{xor})"),
+            Action::Resync => write!(f, "resync"),
+            Action::Heal => write!(f, "heal"),
+            Action::Rearm => write!(f, "rearm"),
+            Action::GovernorCancel => write!(f, "cancel"),
+            Action::DegradeProbe => write!(f, "probe"),
+        }
+    }
+}
+
+/// Why an action token (or a trace) failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActionParseError {
+    /// The offending token.
+    pub token: String,
+}
+
+impl fmt::Display for ActionParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unparsable chaos action token: {:?}", self.token)
+    }
+}
+
+impl std::error::Error for ActionParseError {}
+
+impl FromStr for Action {
+    type Err = ActionParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ActionParseError {
+            token: s.to_string(),
+        };
+        let parse_u32 = |t: &str| t.parse::<u32>().map_err(|_| err());
+        match s {
+            "resync" => return Ok(Action::Resync),
+            "heal" => return Ok(Action::Heal),
+            "rearm" => return Ok(Action::Rearm),
+            "cancel" => return Ok(Action::GovernorCancel),
+            "probe" => return Ok(Action::DegradeProbe),
+            _ => {}
+        }
+        let (head, rest) = s.split_once('(').ok_or_else(err)?;
+        let args = rest.strip_suffix(')').ok_or_else(err)?;
+        match head {
+            "submit" => Ok(Action::Submit {
+                pick: parse_u32(args)?,
+            }),
+            "pump" => Ok(Action::Pump {
+                ticks: parse_u32(args)?,
+            }),
+            "crash" => match args.split_once(',') {
+                None => Ok(Action::CrashRestart {
+                    keep_unsynced: parse_u32(args)?,
+                    corrupt: None,
+                }),
+                Some((keep, corr)) => {
+                    let (off, xor) = corr.split_once('^').ok_or_else(err)?;
+                    Ok(Action::CrashRestart {
+                        keep_unsynced: parse_u32(keep)?,
+                        corrupt: Some((parse_u32(off)?, xor.parse::<u8>().map_err(|_| err())?)),
+                    })
+                }
+            },
+            _ => Err(err()),
+        }
+    }
+}
+
+/// Renders a trace as one whitespace-separated token line (the repro
+/// format printed by the chaos driver).
+pub fn format_trace(trace: &[Action]) -> String {
+    trace
+        .iter()
+        .map(Action::to_string)
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Parses a whitespace-separated token line back into a trace.
+pub fn parse_trace(s: &str) -> Result<Vec<Action>, ActionParseError> {
+    s.split_whitespace().map(Action::from_str).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_round_trips_through_the_token_format() {
+        let trace = vec![
+            Action::Submit { pick: 7 },
+            Action::Pump { ticks: 3 },
+            Action::CrashRestart {
+                keep_unsynced: 12,
+                corrupt: None,
+            },
+            Action::CrashRestart {
+                keep_unsynced: 0,
+                corrupt: Some((41, 255)),
+            },
+            Action::Resync,
+            Action::Heal,
+            Action::Rearm,
+            Action::GovernorCancel,
+            Action::DegradeProbe,
+        ];
+        let line = format_trace(&trace);
+        assert_eq!(
+            line,
+            "submit(7) pump(3) crash(12) crash(0,41^255) resync heal rearm cancel probe"
+        );
+        assert_eq!(parse_trace(&line).unwrap(), trace);
+    }
+
+    #[test]
+    fn garbage_tokens_are_rejected() {
+        for bad in ["submit", "submit(x)", "crash(1,2)", "pump(3", "warp(9)"] {
+            assert!(bad.parse::<Action>().is_err(), "{bad} should not parse");
+        }
+        assert!(parse_trace("submit(1) nonsense").is_err());
+    }
+}

@@ -1,0 +1,80 @@
+//! Deterministic chaos harness: seeded whole-system simulation with
+//! invariant oracles, crash–restart coverage, and trace minimization.
+//!
+//! The harness stress-tests the full fault-tolerant stack — coordinator,
+//! delivery protocol, WAL, degraded mode, governed analyses — the way
+//! FoundationDB tests its database: one `u64` seed determines *everything*
+//! (the action trace, the network fault schedule, the storage fault
+//! schedule), so any failure is replayable from a single printed line and
+//! shrinkable by delta debugging.
+//!
+//! The moving parts:
+//!
+//! * [`actions`] — the action grammar ([`Action`]) and its textual trace
+//!   codec ([`format_trace`] / [`parse_trace`]). Actions carry their own
+//!   choice data so execution is a pure function of `(seed, trace)`.
+//! * [`sim`] — [`ChaosSim`] builds a universe per trace (coordinator over a
+//!   faulty transport and a fault-injecting in-memory disk), executes
+//!   actions, and maintains the *shadow run*: the full accepted history,
+//!   replayed from the empty instance, surviving crashes and snapshots.
+//! * [`oracle`] — the pluggable invariants ([`Oracle`]) checked after every
+//!   action: shadow equivalence, replica/prefix consistency, WAL-replay
+//!   equivalence with no-lost-acked-events, degraded-mode safety, and
+//!   well-formedness under the key chase; post-heal convergence runs as the
+//!   closing check of every trace.
+//! * [`shrink`] — [`ddmin`] minimizes a failing trace to a 1-minimal repro
+//!   by re-executing candidates from the same seed.
+//!
+//! ```no_run
+//! use cwf_engine::chaos::{default_spec, ChaosProfile, ChaosSim};
+//!
+//! let sim = ChaosSim::new(default_spec(), ChaosProfile::CrashHeavy);
+//! if let Err(failure) = sim.check_seed(42, 60) {
+//!     // `failure` prints `seed=.. oracle=..` plus a minimized trace that
+//!     // replays verbatim via `parse_trace` + `ChaosSim::run_trace`.
+//!     panic!("{failure}");
+//! }
+//! ```
+
+pub mod actions;
+pub mod oracle;
+pub mod shrink;
+pub mod sim;
+
+pub use actions::{format_trace, parse_trace, Action, ActionParseError};
+pub use oracle::{default_oracles, governed_wellformed, Checkpoint, EventCountOracle, Oracle};
+pub use shrink::ddmin;
+pub use sim::{ChaosConfig, ChaosFailure, ChaosProfile, ChaosSim, TraceReport};
+
+use std::sync::Arc;
+
+use cwf_lang::{parse_workflow, WorkflowSpec};
+
+/// The editorial three-peer workflow the chaos driver and tests default to:
+/// enough rule interplay (key-deleting `publish`/`retract`, a public peer
+/// with a filtered view) to exercise the chase, freshness, and every view
+/// shape under faults.
+pub fn default_spec() -> Arc<WorkflowSpec> {
+    Arc::new(
+        parse_workflow(
+            r#"
+            schema { Doc(K, State); Review(K); Seen(K); }
+            peers {
+                author sees Doc(*), Review(*);
+                editor sees Doc(*), Review(*), Seen(*);
+                public sees Doc(K, State) where State = "published", Seen(*);
+            }
+            rules {
+                draft @ author: +Doc(d, "draft") :- ;
+                review @ editor: +Review(r) :- Doc(d, "draft");
+                publish @ editor:
+                    -key Doc(d), +Doc(d2, "published")
+                    :- Doc(d, "draft"), Review(r);
+                note @ public: +Seen(s) :- Doc(d, "published");
+                retract @ editor: -key Doc(d) :- Doc(d, "published");
+            }
+            "#,
+        )
+        .expect("the built-in chaos spec parses"),
+    )
+}

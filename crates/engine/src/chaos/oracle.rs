@@ -1,0 +1,340 @@
+//! Invariant oracles checked after every chaos action.
+//!
+//! An [`Oracle`] inspects a [`Checkpoint`] — a read-only snapshot of the
+//! whole simulated system: the live coordinator, the **shadow run** (the
+//! full accepted history replayed from the empty instance, surviving
+//! crashes and WAL snapshots), the raw bytes on the simulated disk, and the
+//! harness bookkeeping (what is in flight, whether the environment has
+//! healed). Oracles may keep state across checks (the trait takes
+//! `&mut self`); a fresh set is instantiated per trace execution.
+//!
+//! The default battery ([`default_oracles`]):
+//!
+//! * [`ShadowEquivalence`] — the coordinator's in-memory run is a suffix of
+//!   the accepted history and reaches the same instance;
+//! * [`ReplicaPrefix`] — every peer replica equals `I@p` for *some* prefix
+//!   of the accepted history (the paper's view consistency, weakened to
+//!   prefixes because deltas are legitimately in flight);
+//! * [`WalReplay`] — recovering from a copy of the current disk bytes
+//!   reproduces the accepted run exactly (plus at most the one in-flight
+//!   event), and recovering from the *synced* prefix alone loses nothing
+//!   acknowledged;
+//! * [`DegradedSafety`] — no mutation lands while the coordinator is
+//!   degraded;
+//! * [`WellFormed`] — the accepted history replays from scratch under the
+//!   key chase (via [`governed_wellformed`], which doubles as the governed
+//!   analysis exercised by `GovernorCancel`).
+//!
+//! The sixth oracle of the design — post-heal convergence — needs mutable
+//! access to pump the coordinator, so it runs as the final check of
+//! [`ChaosSim::run_trace`](crate::chaos::ChaosSim::run_trace) rather than
+//! through this trait.
+
+use cwf_model::govern::{Bound, Governor, Verdict};
+
+use crate::chaos::actions::Action;
+use crate::coordinator::Coordinator;
+use crate::event::Event;
+use crate::run::{ReplayError, Run};
+use crate::wal::{MemBackend, Wal, WalOptions};
+
+/// A read-only snapshot of the simulated system handed to every oracle
+/// after each action.
+pub struct Checkpoint<'a> {
+    /// The live coordinator.
+    pub coordinator: &'a Coordinator,
+    /// The full accepted history, replayed from the empty instance. Unlike
+    /// the coordinator's own run (which restarts from a WAL snapshot after
+    /// recovery), the shadow never forgets a prefix.
+    pub shadow: &'a Run,
+    /// The current epoch's simulated disk (shared handle under the WAL).
+    pub backend: &'a MemBackend,
+    /// The WAL options in force (chaos always syncs per record).
+    pub opts: WalOptions,
+    /// The at-most-one accepted-then-rolled-back event whose bytes may or
+    /// may not be on disk.
+    pub in_flight: Option<&'a Event>,
+    /// Has the environment healed (no further fault injection)?
+    pub healed: bool,
+    /// Index of the action just executed.
+    pub step: usize,
+    /// The action just executed.
+    pub action: &'a Action,
+}
+
+/// A pluggable invariant, checked after every action of a chaos trace.
+pub trait Oracle {
+    /// Short stable name, used in failure reports and repro output.
+    fn name(&self) -> &'static str;
+    /// Checks the invariant; `Err` carries a human-readable violation.
+    fn check(&mut self, cp: &Checkpoint<'_>) -> Result<(), String>;
+}
+
+/// The default oracle battery (see the module docs).
+pub fn default_oracles() -> Vec<Box<dyn Oracle>> {
+    vec![
+        Box::new(ShadowEquivalence),
+        Box::new(ReplicaPrefix),
+        Box::new(WalReplay),
+        Box::new(DegradedSafety::default()),
+        Box::new(WellFormed),
+    ]
+}
+
+/// Replays `run`'s event sequence from its initial instance under a
+/// [`Governor`], re-validating every transition (body satisfaction, key
+/// chase, freshness). One governor tick is charged per event, and the
+/// tick-independent guards are checked once up front, so a pre-cancelled
+/// governor stops before any work.
+///
+/// Returns `Done(Ok(n))` when all `n` events replay, `Done(Err(e))` when
+/// the history is ill-formed, and an `Anytime`/`Exhausted` verdict when the
+/// governor cut the replay short.
+pub fn governed_wellformed(run: &Run, gov: &Governor) -> Verdict<Result<usize, ReplayError>> {
+    if let Err(reason) = gov.check() {
+        return Verdict::Exhausted(reason);
+    }
+    let mut replay = Run::with_initial(run.spec_arc(), run.initial().clone());
+    for (i, e) in run.events().iter().enumerate() {
+        if let Err(reason) = gov.tick() {
+            return if i == 0 {
+                Verdict::Exhausted(reason)
+            } else {
+                Verdict::Anytime(Ok(i), Bound::bare(reason))
+            };
+        }
+        if let Err(error) = replay.push(e.clone()) {
+            return Verdict::Done(Err(ReplayError { index: i, error }));
+        }
+    }
+    Verdict::Done(Ok(run.len()))
+}
+
+/// The coordinator's in-memory run is a suffix of the accepted history and
+/// its current instance equals the shadow's.
+pub struct ShadowEquivalence;
+
+impl Oracle for ShadowEquivalence {
+    fn name(&self) -> &'static str {
+        "shadow-equivalence"
+    }
+
+    fn check(&mut self, cp: &Checkpoint<'_>) -> Result<(), String> {
+        let run = cp.coordinator.run();
+        if run.len() > cp.shadow.len() {
+            return Err(format!(
+                "coordinator holds {} events but only {} were accepted",
+                run.len(),
+                cp.shadow.len()
+            ));
+        }
+        let offset = cp.shadow.len() - run.len();
+        for i in 0..run.len() {
+            if run.event(i) != cp.shadow.event(offset + i) {
+                return Err(format!(
+                    "coordinator event {i} differs from accepted event {}",
+                    offset + i
+                ));
+            }
+        }
+        if run.current() != cp.shadow.current() {
+            return Err(format!(
+                "coordinator instance diverges from the accepted history \
+                 after {} events",
+                cp.shadow.len()
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Every replica equals `I@p` for some prefix of the accepted history.
+///
+/// Under faults a replica legitimately lags (deltas dropped or delayed),
+/// but it must never hold a state that *no* prefix of the history explains
+/// — that would mean a delta was applied out of order, twice, or corrupted.
+pub struct ReplicaPrefix;
+
+impl Oracle for ReplicaPrefix {
+    fn name(&self) -> &'static str {
+        "replica-prefix"
+    }
+
+    fn check(&mut self, cp: &Checkpoint<'_>) -> Result<(), String> {
+        let collab = cp.shadow.spec().collab();
+        for p in collab.peer_ids() {
+            let replica = cp.coordinator.replica(p);
+            // Newest prefix first: the up-to-date case is the common one.
+            let ok = (0..=cp.shadow.len()).rev().any(|i| {
+                let inst = if i == 0 {
+                    cp.shadow.initial()
+                } else {
+                    cp.shadow.instance(i - 1)
+                };
+                replica.matches(&collab.view_of(inst, p))
+            });
+            if !ok {
+                return Err(format!(
+                    "replica of peer {} matches no prefix of the {}-event \
+                     accepted history",
+                    collab.peer_name(p),
+                    cp.shadow.len()
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Recovering from the disk bytes as they are *right now* reproduces the
+/// accepted history — and the synced prefix alone loses nothing acked.
+///
+/// Chaos runs with [`SyncPolicy::Always`](crate::wal::SyncPolicy), so every
+/// acknowledged event is synced: recovery from the synced prefix must yield
+/// *exactly* the accepted events. Recovery from the full bytes (which may
+/// end in an unsynced or torn tail) may additionally surface the single
+/// in-flight event whose append failed after its bytes landed.
+pub struct WalReplay;
+
+impl Oracle for WalReplay {
+    fn name(&self) -> &'static str {
+        "wal-replay"
+    }
+
+    fn check(&mut self, cp: &Checkpoint<'_>) -> Result<(), String> {
+        let accepted = cp.shadow.len() as u64;
+        let bytes = cp.backend.bytes();
+
+        // Full bytes: the accepted events, plus at most the in-flight one.
+        let rec = Wal::recover(
+            Box::new(MemBackend::from_bytes(bytes.clone())),
+            cp.shadow.spec_arc(),
+            cp.opts,
+        )
+        .map_err(|e| format!("recovery refused the live log: {e}"))?;
+        match rec.report.last_seq {
+            s if s == accepted => {
+                if rec.run.current() != cp.shadow.current() {
+                    return Err("recovered instance differs from the accepted history".to_string());
+                }
+            }
+            s if s == accepted + 1 => {
+                if cp.in_flight.is_none() {
+                    return Err(format!(
+                        "recovery yields {s} events but only {accepted} were \
+                         accepted and nothing is in flight"
+                    ));
+                }
+            }
+            s if s < accepted => {
+                return Err(format!(
+                    "lost acked events: recovery reaches seq {s} of {accepted}"
+                ));
+            }
+            s => {
+                return Err(format!(
+                    "phantom events: recovery reaches seq {s} of {accepted}"
+                ));
+            }
+        }
+
+        // Synced prefix: exactly the acknowledged events, no more, no less.
+        let synced = bytes[..cp.backend.synced_len().min(bytes.len())].to_vec();
+        let rec = Wal::recover(
+            Box::new(MemBackend::from_bytes(synced)),
+            cp.shadow.spec_arc(),
+            cp.opts,
+        )
+        .map_err(|e| format!("recovery refused the synced prefix: {e}"))?;
+        if rec.report.last_seq != accepted {
+            return Err(format!(
+                "durable prefix holds {} events, {accepted} were acknowledged",
+                rec.report.last_seq
+            ));
+        }
+        if rec.run.current() != cp.shadow.current() {
+            return Err("durable instance differs from the accepted history".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// While the coordinator is degraded, its run must not grow.
+///
+/// Stateful: remembers the run length at the moment degradation was first
+/// observed and requires it to stay frozen until the coordinator re-arms
+/// (or a crash-restart replaces it — a recovered coordinator starts armed).
+#[derive(Default)]
+pub struct DegradedSafety {
+    frozen_len: Option<usize>,
+}
+
+impl Oracle for DegradedSafety {
+    fn name(&self) -> &'static str {
+        "degraded-safety"
+    }
+
+    fn check(&mut self, cp: &Checkpoint<'_>) -> Result<(), String> {
+        if cp.coordinator.degraded() {
+            let len = cp.coordinator.run().len();
+            match self.frozen_len {
+                None => self.frozen_len = Some(len),
+                Some(frozen) if frozen != len => {
+                    return Err(format!(
+                        "run grew from {frozen} to {len} events while degraded"
+                    ));
+                }
+                Some(_) => {}
+            }
+        } else {
+            self.frozen_len = None;
+        }
+        Ok(())
+    }
+}
+
+/// The accepted history replays from scratch under the key chase.
+pub struct WellFormed;
+
+impl Oracle for WellFormed {
+    fn name(&self) -> &'static str {
+        "well-formed"
+    }
+
+    fn check(&mut self, cp: &Checkpoint<'_>) -> Result<(), String> {
+        match governed_wellformed(cp.shadow, &Governor::unlimited()) {
+            Verdict::Done(Ok(_)) => Ok(()),
+            Verdict::Done(Err(e)) => Err(format!(
+                "accepted history does not replay under the key chase: {e}"
+            )),
+            v => Err(format!("ungoverned replay did not finish: {v:?}")),
+        }
+    }
+}
+
+/// A deliberately breakable oracle for exercising the shrinker: fails as
+/// soon as more than `limit` events have been accepted. Not part of
+/// [`default_oracles`]; tests plug it in to demonstrate that a failing
+/// trace minimizes to (roughly) `limit + 1` submits.
+pub struct EventCountOracle {
+    /// Maximum number of accepted events tolerated.
+    pub limit: usize,
+}
+
+impl Oracle for EventCountOracle {
+    fn name(&self) -> &'static str {
+        "event-count"
+    }
+
+    fn check(&mut self, cp: &Checkpoint<'_>) -> Result<(), String> {
+        if cp.shadow.len() > self.limit {
+            Err(format!(
+                "{} events accepted, limit is {}",
+                cp.shadow.len(),
+                self.limit
+            ))
+        } else {
+            Ok(())
+        }
+    }
+}

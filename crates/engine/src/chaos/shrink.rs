@@ -1,0 +1,132 @@
+//! Trace minimization by delta debugging.
+//!
+//! Given a failing trace and a deterministic `still_fails` predicate
+//! (re-execute from the same seed, report whether *any* oracle fails),
+//! [`ddmin`] removes ever-smaller chunks of the action list until the trace
+//! is 1-minimal: removing any single remaining action makes the failure
+//! disappear. Soundness rests on two properties the chaos harness provides
+//! by construction:
+//!
+//! * execution is a pure function of `(seed, trace)`, so every candidate
+//!   replays exactly;
+//! * actions carry their own choice data (see
+//!   [`actions`](crate::chaos::actions)), so removing one action never
+//!   perturbs the others.
+//!
+//! A shrunk trace may fail a *different* oracle than the original — delta
+//! debugging keeps any failure, which is what you want from a repro.
+
+use crate::chaos::actions::Action;
+
+/// Minimizes `trace` with the classic ddmin algorithm, calling
+/// `still_fails` on candidate sub-traces (at most `budget` times). Returns
+/// a sub-trace that still fails; with enough budget it is 1-minimal. The
+/// input trace must itself fail.
+pub fn ddmin(
+    trace: &[Action],
+    mut still_fails: impl FnMut(&[Action]) -> bool,
+    mut budget: usize,
+) -> Vec<Action> {
+    // If even the empty trace fails, the failure is in the setup, not the
+    // actions — the minimal repro is empty.
+    if budget > 0 {
+        budget -= 1;
+        if still_fails(&[]) {
+            return Vec::new();
+        }
+    }
+    let mut current = trace.to_vec();
+    let mut n = 2usize;
+    while current.len() >= 2 && n <= current.len() && budget > 0 {
+        let chunk = current.len().div_ceil(n);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < current.len() && budget > 0 {
+            let end = (start + chunk).min(current.len());
+            let mut cand = Vec::with_capacity(current.len() - (end - start));
+            cand.extend_from_slice(&current[..start]);
+            cand.extend_from_slice(&current[end..]);
+            budget -= 1;
+            if !cand.is_empty() && still_fails(&cand) {
+                // The complement still fails: drop the chunk and coarsen.
+                current = cand;
+                n = (n - 1).max(2);
+                reduced = true;
+                start = 0;
+            } else {
+                start = end;
+            }
+        }
+        if !reduced {
+            if n >= current.len() {
+                break; // 1-minimal: every single-action removal passes
+            }
+            n = (n * 2).min(current.len());
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn submit(pick: u32) -> Action {
+        Action::Submit { pick }
+    }
+
+    /// Fails iff the trace contains submit(1) and later submit(2).
+    fn needs_pair(trace: &[Action]) -> bool {
+        let mut saw_one = false;
+        for a in trace {
+            match a {
+                Action::Submit { pick: 1 } => saw_one = true,
+                Action::Submit { pick: 2 } if saw_one => return true,
+                _ => {}
+            }
+        }
+        false
+    }
+
+    #[test]
+    fn ddmin_reduces_to_the_failure_inducing_pair() {
+        let mut trace = Vec::new();
+        for i in 0..20 {
+            trace.push(submit(10 + i));
+            if i == 5 {
+                trace.push(submit(1));
+            }
+            if i == 13 {
+                trace.push(submit(2));
+            }
+            trace.push(Action::Pump { ticks: 1 });
+        }
+        assert!(needs_pair(&trace));
+        let min = ddmin(&trace, needs_pair, 10_000);
+        assert_eq!(min, vec![submit(1), submit(2)], "1-minimal repro");
+    }
+
+    #[test]
+    fn ddmin_respects_its_budget() {
+        let trace: Vec<Action> = (0..64).map(submit).collect();
+        let mut calls = 0usize;
+        let min = ddmin(
+            &trace,
+            |t| {
+                calls += 1;
+                t.iter().any(|a| matches!(a, Action::Submit { pick: 63 }))
+            },
+            10,
+        );
+        assert!(calls <= 10);
+        assert!(min.iter().any(|a| matches!(a, Action::Submit { pick: 63 })));
+        assert!(min.len() <= trace.len());
+    }
+
+    #[test]
+    fn setup_failures_minimize_to_the_empty_trace() {
+        let trace: Vec<Action> = (0..8).map(submit).collect();
+        let min = ddmin(&trace, |_| true, 100);
+        assert!(min.is_empty());
+    }
+}

@@ -1,0 +1,761 @@
+//! The seeded whole-system chaos simulator.
+//!
+//! A [`ChaosSim`] drives one [`Coordinator`] deployment — durable WAL on a
+//! simulated disk, unreliable transport, degraded mode, crash–restart —
+//! through generated [`Action`] traces, with **every** source of
+//! nondeterminism derived from a single `u64` seed (FoundationDB-style):
+//! the trace itself, the network fault schedule, and the storage fault
+//! schedule all come from disjoint RNG streams of the seed, and restarts
+//! re-derive their streams from `(seed, epoch)`. Executing the same
+//! `(seed, trace)` twice is therefore byte-identical, which is what makes
+//! the [`shrink`](crate::chaos::shrink) step sound and every failure
+//! replayable from one printed line.
+//!
+//! Alongside the live coordinator the simulator maintains a **shadow run**:
+//! the full accepted history replayed from the empty instance. The shadow
+//! is what the [oracles](crate::chaos::oracle) compare against — it
+//! survives crashes and WAL snapshots, which the coordinator's own run does
+//! not.
+
+use std::fmt;
+use std::sync::Arc;
+
+use cwf_lang::WorkflowSpec;
+use cwf_model::govern::{CancelToken, Governor, Reason, Verdict};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::chaos::actions::{format_trace, Action};
+use crate::chaos::oracle::{default_oracles, governed_wellformed, Checkpoint, Oracle};
+use crate::chaos::shrink::ddmin;
+use crate::coordinator::{Convergence, Coordinator, CoordinatorConfig, MaterializedView};
+use crate::error::CoordinatorError;
+use crate::event::Event;
+use crate::fault::FaultPlan;
+use crate::run::Run;
+use crate::simulate::{candidates, complete};
+use crate::stats::FtStats;
+use crate::transport::FaultyTransport;
+use crate::wal::{IoFaultBackend, MemBackend, SyncPolicy, Wal, WalOptions};
+
+/// Splits the one seed into independent streams (generation, network,
+/// storage) and per-restart epochs.
+fn mix(seed: u64, salt: u64) -> u64 {
+    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(salt)
+        .rotate_left(17)
+        .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+}
+
+const GEN_SALT: u64 = 0x01;
+const NET_SALT: u64 = 0x02;
+const STORAGE_SALT: u64 = 0x03;
+
+/// Which faults a chaos run emphasizes. The profile shapes both the fault
+/// rates of the injected plans and the weights of the trace generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosProfile {
+    /// Moderate network faults, healthy storage, occasional crashes.
+    Default,
+    /// Frequent crash–restarts over a moderately faulty network.
+    CrashHeavy,
+    /// Faulty storage (short writes, fsync failures, transient errors), so
+    /// submits degrade the coordinator and rearm/recovery run hot.
+    StorageHeavy,
+}
+
+impl ChaosProfile {
+    /// Stable name, used by the driver's CLI and failure output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ChaosProfile::Default => "default",
+            ChaosProfile::CrashHeavy => "crash-heavy",
+            ChaosProfile::StorageHeavy => "storage-heavy",
+        }
+    }
+
+    /// The network fault plan of one epoch.
+    fn transport_plan(&self, stream: u64) -> FaultPlan {
+        let plan = FaultPlan::seeded(stream);
+        match self {
+            ChaosProfile::Default => plan.with_rates(0.15, 0.10, 0.25, 3, 0.20),
+            ChaosProfile::CrashHeavy => plan.with_rates(0.20, 0.10, 0.25, 3, 0.20),
+            ChaosProfile::StorageHeavy => plan.with_rates(0.10, 0.05, 0.15, 2, 0.10),
+        }
+    }
+
+    /// `(short_write_p, fsync_fail_p, transient_p)` of the simulated disk.
+    fn storage_rates(&self) -> (f64, f64, f64) {
+        match self {
+            ChaosProfile::Default => (0.0, 0.0, 0.0),
+            ChaosProfile::CrashHeavy => (0.0, 0.0, 0.0),
+            ChaosProfile::StorageHeavy => (0.08, 0.10, 0.12),
+        }
+    }
+
+    /// Generator weights: submit, pump, crash, resync, rearm, cancel, probe.
+    fn weights(&self) -> [u32; 7] {
+        match self {
+            ChaosProfile::Default => [40, 25, 5, 8, 6, 6, 10],
+            ChaosProfile::CrashHeavy => [35, 18, 25, 8, 4, 4, 6],
+            ChaosProfile::StorageHeavy => [38, 15, 8, 5, 14, 6, 14],
+        }
+    }
+}
+
+/// Tuning knobs of the chaos harness.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// Pump budget of the final post-heal convergence check.
+    pub converge_budget: u64,
+    /// WAL snapshot cadence (chaos keeps it low so crash–restart regularly
+    /// exercises snapshot-based recovery).
+    pub snapshot_every: Option<u64>,
+    /// Delivery-protocol knobs of the coordinator under test.
+    pub coordinator: CoordinatorConfig,
+    /// Executions the shrinker may spend minimizing one failure.
+    pub shrink_budget: usize,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            converge_budget: 2_000,
+            snapshot_every: Some(5),
+            coordinator: CoordinatorConfig {
+                resync_lag: 8,
+                ..CoordinatorConfig::default()
+            },
+            shrink_budget: 400,
+        }
+    }
+}
+
+/// What a clean trace execution produced (used by the driver's summary and
+/// the determinism test).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceReport {
+    /// Events accepted into the shadow run.
+    pub events: usize,
+    /// Crash–restarts executed.
+    pub restarts: u64,
+    /// Ticks the final post-heal convergence needed (0 when never healed).
+    pub converge_ticks: u64,
+    /// Fault-tolerance counters of the final coordinator epoch.
+    pub ft: FtStats,
+    /// One line per notable execution step — broadcasts, rejections,
+    /// recoveries. Two same-seed runs must produce byte-identical
+    /// transcripts; the determinism test asserts exactly that.
+    pub transcript: Vec<String>,
+}
+
+/// A failed chaos run: the oracle that tripped, where, and the replayable
+/// repro (`seed` + trace, optionally minimized).
+#[derive(Debug, Clone)]
+pub struct ChaosFailure {
+    /// The seed the whole run derives from.
+    pub seed: u64,
+    /// The profile that was running.
+    pub profile: ChaosProfile,
+    /// Name of the violated oracle (or `action-invariant` /
+    /// `post-heal-convergence` for harness-level checks).
+    pub oracle: String,
+    /// Human-readable violation.
+    pub detail: String,
+    /// Index of the action after which the violation was detected.
+    pub step: usize,
+    /// The full failing trace.
+    pub trace: Vec<Action>,
+    /// The delta-debugged trace, when minimization ran.
+    pub minimized: Option<Vec<Action>>,
+}
+
+impl ChaosFailure {
+    /// The best repro trace available (minimized when present).
+    pub fn repro(&self) -> &[Action] {
+        self.minimized.as_deref().unwrap_or(&self.trace)
+    }
+}
+
+impl fmt::Display for ChaosFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "seed={} profile={} oracle={} step={}: {}\n  repro: {}",
+            self.seed,
+            self.profile.name(),
+            self.oracle,
+            self.step,
+            self.detail,
+            format_trace(self.repro()),
+        )
+    }
+}
+
+/// An action-invariant or oracle violation bubbling out of execution:
+/// `(check name, detail)`.
+type Violation = (String, String);
+
+fn inv(detail: impl Into<String>) -> Violation {
+    ("action-invariant".to_string(), detail.into())
+}
+
+/// The live state of one trace execution (one "universe").
+struct World {
+    spec: Arc<WorkflowSpec>,
+    profile: ChaosProfile,
+    config: ChaosConfig,
+    seed: u64,
+    coordinator: Coordinator,
+    /// Shared handle to the current epoch's simulated disk.
+    mem: MemBackend,
+    /// Fault-injecting decorator over `mem` (shared with the WAL).
+    io: IoFaultBackend,
+    opts: WalOptions,
+    shadow: Run,
+    in_flight: Option<Event>,
+    healed: bool,
+    epoch: u64,
+    restarts: u64,
+    transcript: Vec<String>,
+}
+
+impl World {
+    fn new(spec: Arc<WorkflowSpec>, profile: ChaosProfile, config: ChaosConfig, seed: u64) -> Self {
+        let opts = WalOptions {
+            sync: SyncPolicy::Always,
+            snapshot_every: config.snapshot_every,
+        };
+        let mem = MemBackend::new();
+        // Storage faults switch on only after the header is written and
+        // synced — Wal::create on a faultless fresh backend cannot fail.
+        let io = IoFaultBackend::new(
+            Box::new(mem.clone()),
+            FaultPlan::perfect(mix(seed, STORAGE_SALT)),
+        );
+        let wal =
+            Wal::create(Box::new(io.clone()), opts).expect("fresh in-memory backend cannot fail");
+        let (short, fsync, transient) = profile.storage_rates();
+        io.configure(|p| {
+            p.short_write_p = short;
+            p.fsync_fail_p = fsync;
+            p.transient_p = transient;
+        });
+        let transport = FaultyTransport::new(profile.transport_plan(mix(seed, NET_SALT)));
+        let coordinator = Coordinator::with_parts(
+            Arc::clone(&spec),
+            Box::new(transport),
+            Some(wal),
+            config.coordinator,
+        );
+        let shadow = Run::new(Arc::clone(&spec));
+        World {
+            spec,
+            profile,
+            config,
+            seed,
+            coordinator,
+            mem,
+            io,
+            opts,
+            shadow,
+            in_flight: None,
+            healed: false,
+            epoch: 0,
+            restarts: 0,
+            transcript: Vec::new(),
+        }
+    }
+
+    fn note(&mut self, line: impl Into<String>) {
+        self.transcript.push(line.into());
+    }
+
+    fn checkpoint<'a>(&'a self, step: usize, action: &'a Action) -> Checkpoint<'a> {
+        Checkpoint {
+            coordinator: &self.coordinator,
+            shadow: &self.shadow,
+            backend: &self.mem,
+            opts: self.opts,
+            in_flight: self.in_flight.as_ref(),
+            healed: self.healed,
+            step,
+            action,
+        }
+    }
+
+    fn apply(&mut self, action: &Action) -> Result<(), Violation> {
+        match action {
+            Action::Submit { pick } => self.submit(*pick),
+            Action::Pump { ticks } => {
+                for _ in 0..*ticks {
+                    self.coordinator.pump();
+                }
+                Ok(())
+            }
+            Action::CrashRestart {
+                keep_unsynced,
+                corrupt,
+            } => self.crash_restart(*keep_unsynced, *corrupt),
+            Action::Resync => {
+                let n = self.coordinator.resync_divergent();
+                self.note(format!("resync: {n} divergent replicas"));
+                Ok(())
+            }
+            Action::Heal => {
+                self.healed = true;
+                self.coordinator.heal();
+                self.io.heal();
+                self.note("heal: all fault injection stopped");
+                Ok(())
+            }
+            Action::Rearm => self.rearm(),
+            Action::GovernorCancel => self.governor_cancel(),
+            Action::DegradeProbe => self.degrade_probe(),
+        }
+    }
+
+    fn submit(&mut self, pick: u32) -> Result<(), Violation> {
+        let cands = candidates(self.coordinator.run());
+        if cands.is_empty() {
+            self.note("submit: no candidates");
+            return Ok(());
+        }
+        let cand = &cands[pick as usize % cands.len()];
+        // Complete head-only variables with coordinator-fresh values on a
+        // scratch clone (the real run advances only through submit).
+        let mut scratch = self.coordinator.run().clone();
+        let event = complete(&mut scratch, cand);
+        let was_degraded = self.coordinator.degraded();
+        match self.coordinator.submit(event.clone()) {
+            Ok(b) => {
+                let line = format!("submit ok: {b:?}");
+                if was_degraded {
+                    return Err(("degraded-safety".into(), {
+                        "degraded coordinator accepted a mutation".into()
+                    }));
+                }
+                self.note(line);
+                if let Err(e) = self.shadow.push(event) {
+                    return Err((
+                        "shadow-equivalence".into(),
+                        format!("accepted event does not extend the accepted history: {e}"),
+                    ));
+                }
+                Ok(())
+            }
+            Err(CoordinatorError::Degraded) => {
+                if !was_degraded {
+                    return Err(inv("armed coordinator rejected a submit as Degraded"));
+                }
+                self.note("submit rejected: degraded");
+                Ok(())
+            }
+            Err(CoordinatorError::Engine(e)) => {
+                self.note(format!("submit rejected by engine: {e}"));
+                Ok(())
+            }
+            Err(CoordinatorError::Wal(e)) => {
+                if !self.coordinator.degraded() {
+                    return Err(inv(format!(
+                        "wal failure did not degrade the coordinator: {e}"
+                    )));
+                }
+                // Rolled back out of memory; its bytes may or may not be on
+                // disk until a rearm truncates or a restart decides.
+                self.in_flight = Some(event);
+                self.note(format!("submit hit wal failure: {e}"));
+                Ok(())
+            }
+        }
+    }
+
+    fn crash_restart(
+        &mut self,
+        keep_unsynced: u32,
+        corrupt: Option<(u32, u8)>,
+    ) -> Result<(), Violation> {
+        // The process dies: in-flight transport messages die with it; only
+        // the synced disk prefix plus at most `keep_unsynced` bytes remain.
+        let synced = self.mem.synced_len();
+        let survivor = self.mem.survivor(keep_unsynced as usize);
+        if let Some((off, xor)) = corrupt {
+            // Corrupt only the *unsynced* region of what survived: synced
+            // bytes are durable by the backend contract, and keeping the
+            // durable prefix intact is what guarantees CRC-breaking
+            // corruption truncates instead of tripping tamper detection.
+            let total = survivor.bytes().len();
+            if total > synced {
+                let tail = total - synced;
+                survivor.corrupt_byte(synced + (off as usize % tail), xor);
+            }
+        }
+        self.epoch += 1;
+        self.restarts += 1;
+        let io = IoFaultBackend::new(
+            Box::new(survivor.clone()),
+            FaultPlan::perfect(mix(self.seed, STORAGE_SALT ^ (self.epoch << 8))),
+        );
+        let mut net = self
+            .profile
+            .transport_plan(mix(self.seed, NET_SALT ^ (self.epoch << 8)));
+        if self.healed {
+            net.heal();
+        }
+        let accepted = self.shadow.len() as u64;
+        let (coordinator, report) = Coordinator::recover(
+            Arc::clone(&self.spec),
+            Box::new(io.clone()),
+            self.opts,
+            Box::new(FaultyTransport::new(net)),
+            self.config.coordinator,
+        )
+        .map_err(|e| {
+            (
+                "wal-replay".to_string(),
+                format!("recovery refused the surviving log: {e}"),
+            )
+        })?;
+        // Reconcile the durable verdict on the in-flight event.
+        if report.last_seq == accepted + 1 {
+            let Some(ev) = self.in_flight.take() else {
+                return Err((
+                    "no-lost-acked".into(),
+                    "recovery found an extra durable event with nothing in flight".into(),
+                ));
+            };
+            self.shadow.push(ev).map_err(|e| {
+                (
+                    "shadow-equivalence".to_string(),
+                    format!("promoted in-flight event does not extend the history: {e}"),
+                )
+            })?;
+        } else if report.last_seq == accepted {
+            self.in_flight = None; // its bytes did not survive
+        } else {
+            return Err((
+                "no-lost-acked".into(),
+                format!(
+                    "recovery reaches seq {} but {accepted} events were acknowledged",
+                    report.last_seq
+                ),
+            ));
+        }
+        self.coordinator = coordinator;
+        self.mem = survivor;
+        self.io = io;
+        if !self.healed {
+            let (short, fsync, transient) = self.profile.storage_rates();
+            self.io.configure(|p| {
+                p.short_write_p = short;
+                p.fsync_fail_p = fsync;
+                p.transient_p = transient;
+            });
+        }
+        self.note(format!(
+            "crash-restart #{}: last_seq={} replayed={} snapshot={:?} truncated={}B",
+            self.restarts,
+            report.last_seq,
+            report.events_replayed,
+            report.snapshot_seq,
+            report.truncated_bytes
+        ));
+        Ok(())
+    }
+
+    fn rearm(&mut self) -> Result<(), Violation> {
+        let was_degraded = self.coordinator.degraded();
+        match self.coordinator.rearm() {
+            Ok(()) => {
+                if was_degraded {
+                    // The truncation dropped any in-flight bytes for good.
+                    self.in_flight = None;
+                    self.note("rearm: left degraded mode");
+                } else {
+                    self.note("rearm: no-op");
+                }
+                Ok(())
+            }
+            Err(e) => {
+                if self.healed {
+                    return Err(inv(format!("rearm failed after heal: {e}")));
+                }
+                self.note(format!("rearm failed (faults persist): {e}"));
+                Ok(())
+            }
+        }
+    }
+
+    fn governor_cancel(&mut self) -> Result<(), Violation> {
+        let token = CancelToken::new();
+        token.cancel();
+        let gov = Governor::unlimited().cancelled_by(token);
+        match governed_wellformed(self.coordinator.run(), &gov) {
+            Verdict::Exhausted(Reason::Cancelled) => {
+                self.note("cancel: governed analysis stopped before any work");
+                Ok(())
+            }
+            v => Err(inv(format!(
+                "pre-cancelled governed analysis returned {v:?} \
+                 instead of Exhausted(Cancelled)"
+            ))),
+        }
+    }
+
+    fn degrade_probe(&mut self) -> Result<(), Violation> {
+        if !self.coordinator.degraded() {
+            self.note("probe: not degraded");
+            return Ok(());
+        }
+        let before_len = self.coordinator.run().len();
+        let collab = self.spec.collab();
+        let replicas: Vec<MaterializedView> = collab
+            .peer_ids()
+            .map(|p| self.coordinator.replica(p).clone())
+            .collect();
+        // Build a mutation to fire into the degraded coordinator.
+        let cands = candidates(self.coordinator.run());
+        let event = match cands.first() {
+            Some(cand) => {
+                let mut scratch = self.coordinator.run().clone();
+                complete(&mut scratch, cand)
+            }
+            None => match self.in_flight.clone() {
+                Some(ev) => ev,
+                None => {
+                    self.note("probe: nothing to submit");
+                    return Ok(());
+                }
+            },
+        };
+        match self.coordinator.submit(event) {
+            Err(CoordinatorError::Degraded) => {}
+            Ok(_) => {
+                return Err((
+                    "degraded-safety".into(),
+                    "mutation accepted while degraded".into(),
+                ));
+            }
+            Err(e) => {
+                return Err((
+                    "degraded-safety".into(),
+                    format!("degraded submit failed with {e:?} instead of Degraded"),
+                ));
+            }
+        }
+        if self.coordinator.run().len() != before_len {
+            return Err((
+                "degraded-safety".into(),
+                "run length changed during a degraded probe".into(),
+            ));
+        }
+        for (p, before) in collab.peer_ids().zip(&replicas) {
+            if self.coordinator.replica(p) != before {
+                return Err((
+                    "degraded-safety".into(),
+                    format!(
+                        "replica of peer {} changed during a degraded probe",
+                        collab.peer_name(p)
+                    ),
+                ));
+            }
+        }
+        self.note("probe: degraded mutation rejected, reads stable");
+        Ok(())
+    }
+
+    /// The post-heal convergence oracle: once the environment has healed,
+    /// the system must re-arm, settle within the pump budget, and pass a
+    /// strict audit.
+    fn final_check(&mut self) -> Result<u64, Violation> {
+        const NAME: &str = "post-heal-convergence";
+        if !self.healed {
+            return Ok(0);
+        }
+        let was_degraded = self.coordinator.degraded();
+        if let Err(e) = self.coordinator.rearm() {
+            return Err((NAME.into(), format!("rearm failed after heal: {e}")));
+        }
+        if was_degraded {
+            self.in_flight = None;
+        }
+        match self.coordinator.converge(self.config.converge_budget) {
+            Convergence::Converged { ticks } => {
+                self.note(format!("converged after {ticks} ticks"));
+                Ok(ticks)
+            }
+            s @ Convergence::Stalled { .. } => Err((
+                NAME.into(),
+                format!(
+                    "system failed to settle within {} ticks: {s}",
+                    self.config.converge_budget
+                ),
+            )),
+        }
+    }
+}
+
+/// The chaos harness: a spec, a fault profile, tuning knobs, and the
+/// oracle battery. One sim is reusable across seeds; each
+/// [`run_trace`](ChaosSim::run_trace) builds a fresh universe.
+pub struct ChaosSim {
+    spec: Arc<WorkflowSpec>,
+    profile: ChaosProfile,
+    config: ChaosConfig,
+    #[allow(clippy::type_complexity)]
+    extra: Vec<Box<dyn Fn() -> Box<dyn Oracle> + Send + Sync>>,
+}
+
+impl ChaosSim {
+    /// A sim over `spec` with the given fault profile and default knobs.
+    pub fn new(spec: Arc<WorkflowSpec>, profile: ChaosProfile) -> Self {
+        ChaosSim {
+            spec,
+            profile,
+            config: ChaosConfig::default(),
+            extra: Vec::new(),
+        }
+    }
+
+    /// Builder: overrides the tuning knobs.
+    pub fn with_config(mut self, config: ChaosConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Builder: plugs an extra oracle into the battery. The factory is
+    /// invoked once per trace execution, so stateful oracles start fresh.
+    pub fn with_oracle(
+        mut self,
+        factory: impl Fn() -> Box<dyn Oracle> + Send + Sync + 'static,
+    ) -> Self {
+        self.extra.push(Box::new(factory));
+        self
+    }
+
+    /// The active profile.
+    pub fn profile(&self) -> ChaosProfile {
+        self.profile
+    }
+
+    /// Generates the action trace of `seed`: `steps` weighted actions, then
+    /// the closing `heal rearm pump` suffix so every seed exercises the
+    /// post-heal convergence oracle.
+    pub fn generate(&self, seed: u64, steps: usize) -> Vec<Action> {
+        let mut rng = StdRng::seed_from_u64(mix(seed, GEN_SALT));
+        let weights = self.profile.weights();
+        let total: u32 = weights.iter().sum();
+        let mut out = Vec::with_capacity(steps + 3);
+        for _ in 0..steps {
+            let mut roll = rng.gen_range(0..total);
+            let mut idx = 0usize;
+            for (i, w) in weights.iter().enumerate() {
+                if roll < *w {
+                    idx = i;
+                    break;
+                }
+                roll -= *w;
+            }
+            out.push(match idx {
+                0 => Action::Submit {
+                    pick: rng.gen_range(0..=255u32),
+                },
+                1 => Action::Pump {
+                    ticks: rng.gen_range(1..=5u32),
+                },
+                2 => Action::CrashRestart {
+                    keep_unsynced: rng.gen_range(0..=96u32),
+                    corrupt: if rng.gen_bool(0.3) {
+                        Some((rng.gen_range(0..=255u32), rng.gen_range(1..=255u32) as u8))
+                    } else {
+                        None
+                    },
+                },
+                3 => Action::Resync,
+                4 => Action::Rearm,
+                5 => Action::GovernorCancel,
+                _ => Action::DegradeProbe,
+            });
+        }
+        out.push(Action::Heal);
+        out.push(Action::Rearm);
+        out.push(Action::Pump { ticks: 4 });
+        out
+    }
+
+    /// Executes `trace` deterministically from `seed`, running the oracle
+    /// battery after every action and the post-heal convergence check at
+    /// the end. The failure, if any, carries the *unminimized* trace; see
+    /// [`check_seed`](ChaosSim::check_seed) for the shrinking entry point.
+    pub fn run_trace(&self, seed: u64, trace: &[Action]) -> Result<TraceReport, ChaosFailure> {
+        let fail = |step: usize, (oracle, detail): Violation| ChaosFailure {
+            seed,
+            profile: self.profile,
+            oracle,
+            detail,
+            step,
+            trace: trace.to_vec(),
+            minimized: None,
+        };
+        let mut world = World::new(Arc::clone(&self.spec), self.profile, self.config, seed);
+        let mut oracles = default_oracles();
+        for factory in &self.extra {
+            oracles.push(factory());
+        }
+        for (step, action) in trace.iter().enumerate() {
+            world.apply(action).map_err(|v| fail(step, v))?;
+            let cp = world.checkpoint(step, action);
+            for oracle in oracles.iter_mut() {
+                if let Err(detail) = oracle.check(&cp) {
+                    let oracle = oracle.name().to_string();
+                    return Err(fail(step, (oracle, detail)));
+                }
+            }
+        }
+        let converge_ticks = world
+            .final_check()
+            .map_err(|v| fail(trace.len().saturating_sub(1), v))?;
+        let mut transcript = world.transcript;
+        let ft = world.coordinator.ft_stats().clone();
+        transcript.push(format!("final ft: {ft:?}"));
+        Ok(TraceReport {
+            events: world.shadow.len(),
+            restarts: world.restarts,
+            converge_ticks,
+            ft,
+            transcript,
+        })
+    }
+
+    /// Delta-debugs a failing trace, re-executing from `seed`; returns the
+    /// minimized trace and its failure. Any oracle failure keeps a
+    /// candidate (a shrunk trace may trip a different oracle).
+    pub fn minimize(&self, seed: u64, trace: &[Action]) -> (Vec<Action>, Option<ChaosFailure>) {
+        let minimized = ddmin(
+            trace,
+            |cand| self.run_trace(seed, cand).is_err(),
+            self.config.shrink_budget,
+        );
+        let failure = self.run_trace(seed, &minimized).err();
+        (minimized, failure)
+    }
+
+    /// The top-level per-seed entry point: generate, execute, and on
+    /// failure shrink to a minimal repro (the returned failure carries both
+    /// the full and the minimized trace).
+    pub fn check_seed(&self, seed: u64, steps: usize) -> Result<TraceReport, ChaosFailure> {
+        let trace = self.generate(seed, steps);
+        match self.run_trace(seed, &trace) {
+            Ok(report) => Ok(report),
+            Err(original) => {
+                let (minimized, refailure) = self.minimize(seed, &trace);
+                // Report the minimized trace's own violation when it
+                // (deterministically) reproduces; fall back to the original.
+                let mut failure = refailure.unwrap_or(original);
+                failure.trace = trace;
+                failure.minimized = Some(minimized);
+                Err(failure)
+            }
+        }
+    }
+}

@@ -155,6 +155,50 @@ pub struct Broadcast {
     pub deltas: Vec<(PeerId, ViewDelta)>,
 }
 
+/// The outcome of [`Coordinator::converge`]: either the system settled —
+/// every replica equals its authoritative view and no message awaits
+/// acknowledgement — within the tick budget, or a diagnostic of what was
+/// still outstanding when the budget ran out (so an oracle can report *why*
+/// a run failed to settle, not just that it did).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Convergence {
+    /// The system is quiescent; `ticks` pump rounds were needed.
+    Converged {
+        /// Pump rounds executed before quiescence.
+        ticks: u64,
+    },
+    /// The tick budget ran out with work still outstanding.
+    Stalled {
+        /// Messages still awaiting acknowledgement across all outboxes.
+        undelivered: usize,
+        /// Peers whose replica differs from its authoritative view.
+        divergent: Vec<PeerId>,
+    },
+}
+
+impl Convergence {
+    /// Did the system settle?
+    pub fn is_converged(&self) -> bool {
+        matches!(self, Convergence::Converged { .. })
+    }
+}
+
+impl fmt::Display for Convergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Convergence::Converged { ticks } => write!(f, "converged after {ticks} ticks"),
+            Convergence::Stalled {
+                undelivered,
+                divergent,
+            } => write!(
+                f,
+                "stalled: {undelivered} undelivered messages, {} divergent replicas",
+                divergent.len()
+            ),
+        }
+    }
+}
+
 /// Tuning knobs of the delivery protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CoordinatorConfig {
@@ -203,10 +247,6 @@ struct Outbox {
 impl Outbox {
     fn assign_seq(&mut self) -> u64 {
         self.next_seq += 1;
-        self.next_seq
-    }
-
-    fn last_seq(&self) -> u64 {
         self.next_seq
     }
 
@@ -451,7 +491,11 @@ impl Coordinator {
             match result {
                 Ok(_) => {
                     self.ft.wal_appends += 1;
-                    match wal.maybe_snapshot(collab.schema(), self.run.current()) {
+                    match wal.maybe_snapshot(
+                        collab.schema(),
+                        self.run.current(),
+                        self.run.fresh_watermark(),
+                    ) {
                         Ok(true) => self.ft.wal_snapshots += 1,
                         Ok(false) => {}
                         Err(_) => {
@@ -554,15 +598,20 @@ impl Coordinator {
     }
 
     /// Replaces peer `p`'s entire outbox with one full-view snapshot
-    /// message (the resync path). The snapshot carries the stream's latest
-    /// sequence number, so every older delta becomes a suppressible stale
-    /// message.
+    /// message (the resync path). The snapshot *advances* the stream — it
+    /// takes a freshly assigned sequence number rather than reusing the
+    /// last one. Reusing it is unsound after a crash: a recovered outbox
+    /// restarts at seq 0, so a dropped seq-0 snapshot followed by a seq-1
+    /// delta lets a cold replica apply that delta to its empty base and
+    /// ack a state no prefix of the history explains. With a fresh number
+    /// the snapshot still supersedes every older delta, and any delta
+    /// numbered past a lost snapshot is deferred instead of misapplied.
     pub fn resync(&mut self, p: PeerId) {
         let spec = self.run.spec_arc();
         let view = spec.collab().view_of(self.run.current(), p);
         let outbox = &mut self.outboxes[p.index()];
         let msg = PeerMsg::Snapshot {
-            seq: outbox.last_seq(),
+            seq: outbox.assign_seq(),
             view: MaterializedView::from_view(&view),
         };
         outbox.unacked.clear();
@@ -578,19 +627,29 @@ impl Coordinator {
     /// Queues a snapshot resync for every replica that currently diverges
     /// from its authoritative view (the audit-triggered resync path).
     pub fn resync_divergent(&mut self) -> usize {
-        let spec = self.run.spec_arc();
-        let collab = spec.collab();
-        let divergent: Vec<PeerId> = collab
+        let divergent = self.divergent_peers();
+        for p in &divergent {
+            self.resync(*p);
+        }
+        divergent.len()
+    }
+
+    /// The peers whose replica currently differs from its authoritative
+    /// view, in peer-id order (deterministic for a given state).
+    pub fn divergent_peers(&self) -> Vec<PeerId> {
+        let collab = self.run.spec().collab();
+        collab
             .peer_ids()
             .filter(|p| {
                 let view = collab.view_of(self.run.current(), *p);
                 !self.replicas[p.index()].view.matches(&view)
             })
-            .collect();
-        for p in &divergent {
-            self.resync(*p);
-        }
-        divergent.len()
+            .collect()
+    }
+
+    /// Messages currently awaiting acknowledgement across all outboxes.
+    pub fn undelivered(&self) -> usize {
+        self.outboxes.iter().map(|o| o.unacked.len()).sum()
     }
 
     /// Stops all future fault injection on the transport (the network
@@ -602,16 +661,23 @@ impl Coordinator {
 
     /// Pumps until every replica equals its authoritative view and no
     /// message is awaiting acknowledgement, or `max_ticks` rounds elapse.
-    /// Returns whether the system converged. (After [`Coordinator::heal`],
-    /// convergence is guaranteed given enough ticks.)
-    pub fn converge(&mut self, max_ticks: u64) -> bool {
-        for _ in 0..max_ticks {
+    /// Returns a [`Convergence`] diagnostic: on success, how many ticks it
+    /// took; on a stall, how many messages were still undelivered and which
+    /// replicas still diverged. (After [`Coordinator::heal`], convergence is
+    /// guaranteed given enough ticks.)
+    pub fn converge(&mut self, max_ticks: u64) -> Convergence {
+        for t in 0..=max_ticks {
             if self.quiescent() {
-                return true;
+                return Convergence::Converged { ticks: t };
             }
-            self.pump();
+            if t < max_ticks {
+                self.pump();
+            }
         }
-        self.quiescent()
+        Convergence::Stalled {
+            undelivered: self.undelivered(),
+            divergent: self.divergent_peers(),
+        }
     }
 
     fn quiescent(&self) -> bool {
@@ -641,7 +707,7 @@ impl fmt::Debug for Coordinator {
             "Coordinator[{} events, {} broadcasts, {} unacked{}{}]",
             self.run.len(),
             self.log.len(),
-            self.outboxes.iter().map(|o| o.unacked.len()).sum::<usize>(),
+            self.undelivered(),
             if self.wal.is_some() { ", durable" } else { "" },
             if self.degraded { ", DEGRADED" } else { "" },
         )
@@ -828,11 +894,50 @@ mod tests {
                 .unwrap();
         }
         c.heal();
-        assert!(c.converge(500), "heals to convergence");
+        let verdict = c.converge(500);
+        assert!(verdict.is_converged(), "heals to convergence: {verdict}");
         c.audit().unwrap();
         let stats = c.stats();
         let ft = stats.fault_tolerance.expect("counters attached");
         assert!(ft.deltas_sent >= 6);
+    }
+
+    #[test]
+    fn converge_diagnoses_a_stall_and_recovers_after_healing() {
+        let spec = spec();
+        // Drop everything: replicas can never catch up until healed.
+        let plan = FaultPlan::seeded(3).with_rates(1.0, 0.0, 0.0, 0, 0.0);
+        let mut c = Coordinator::with_transport(
+            Arc::clone(&spec),
+            Box::new(FaultyTransport::new(plan)),
+            CoordinatorConfig::default(),
+        );
+        let d = c.draw_fresh();
+        c.submit(ev(&spec, "draft", std::slice::from_ref(&d)))
+            .unwrap();
+        match c.converge(20) {
+            Convergence::Stalled {
+                undelivered,
+                divergent,
+            } => {
+                assert!(undelivered > 0, "unacked deltas remain");
+                assert!(!divergent.is_empty(), "some replica diverges");
+                let sorted = divergent.clone();
+                assert!(
+                    sorted.windows(2).all(|w| w[0].index() < w[1].index()),
+                    "divergent peers reported in peer-id order"
+                );
+            }
+            c => panic!("a fully dropping network cannot converge: {c}"),
+        }
+        c.heal();
+        match c.converge(500) {
+            Convergence::Converged { ticks } => assert!(ticks > 0),
+            c => panic!("healed network must converge: {c}"),
+        }
+        c.audit().unwrap();
+        assert_eq!(c.undelivered(), 0);
+        assert!(c.divergent_peers().is_empty());
     }
 
     #[test]

@@ -11,11 +11,14 @@
 //! Conclusion fault tolerant: a checksummed write-ahead log with snapshot
 //! recovery ([`wal`]), unreliable delivery with acknowledgement, retry, and
 //! snapshot resync ([`coordinator`], [`transport`]), and deterministic fault
-//! injection for testing it all ([`fault`]).
+//! injection for testing it all ([`fault`]) — stress-tested end to end by a
+//! seeded chaos harness with invariant oracles and trace minimization
+//! ([`chaos`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod codec;
 pub mod coordinator;
 pub mod error;

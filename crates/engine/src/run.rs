@@ -129,6 +129,20 @@ impl Run {
         self.fresh.observe(v);
     }
 
+    /// The fresh-value watermark: the counter the next [`Run::draw_fresh`]
+    /// will use. Persist it alongside instance snapshots — values drawn and
+    /// later deleted are invisible in any snapshot, so rebuilding the
+    /// generator from an instance's active domain alone can re-mint them.
+    pub fn fresh_watermark(&self) -> u64 {
+        self.fresh.peek()
+    }
+
+    /// Restores a persisted watermark (never lowers the counter): future
+    /// [`Run::draw_fresh`] draws start at `next` or later.
+    pub fn raise_fresh_watermark(&mut self, next: u64) {
+        self.fresh.raise_to(next);
+    }
+
     /// Appends an event, enforcing the transition semantics and the global
     /// freshness of head-only variable instantiations.
     pub fn push(&mut self, event: Event) -> Result<(), EngineError> {

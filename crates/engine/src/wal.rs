@@ -459,6 +459,32 @@ impl Default for WalOptions {
 // Instance snapshots
 // ---------------------------------------------------------------------------
 
+/// Encodes a snapshot payload: the fresh-value watermark (`w<counter>`)
+/// followed by the instance. The watermark must travel with the snapshot —
+/// values drawn and later deleted are absent from the instance, so a
+/// recovery seeded from the active domain alone would re-mint them and
+/// violate global freshness.
+fn encode_snapshot(schema: &Schema, inst: &Instance, watermark: u64) -> String {
+    format!("w{watermark} {}", encode_instance(schema, inst))
+}
+
+/// Decodes a snapshot payload; tolerates the pre-watermark format (plain
+/// instance, watermark 0) for logs written before watermarks existed.
+fn decode_snapshot(schema: &Schema, payload: &str) -> Result<(Instance, u64), String> {
+    match payload.strip_prefix('w') {
+        Some(rest) => {
+            let (counter, inst) = rest
+                .split_once(' ')
+                .ok_or_else(|| "truncated snapshot watermark".to_string())?;
+            let watermark: u64 = counter
+                .parse()
+                .map_err(|_| "bad snapshot watermark".to_string())?;
+            Ok((decode_instance(schema, inst)?, watermark))
+        }
+        None => Ok((decode_instance(schema, payload)?, 0)),
+    }
+}
+
 /// Encodes an instance as one token stream: `<nrels> (<ntuples> <values…>)*`
 /// in `RelId` order, with the codec's value encoding.
 fn encode_instance(schema: &Schema, inst: &Instance) -> String {
@@ -715,15 +741,23 @@ impl Wal {
     }
 
     /// Appends a snapshot of `instance` (the state after the last appended
-    /// event) and syncs. Recovery replays only events after it.
+    /// event) and syncs. Recovery replays only events after it. The
+    /// `fresh_watermark` ([`Run::fresh_watermark`]) rides along so recovery
+    /// never re-mints a fresh value that was drawn and deleted before the
+    /// snapshot.
     pub fn append_snapshot(
         &mut self,
         schema: &Schema,
         instance: &Instance,
+        fresh_watermark: u64,
     ) -> Result<(), WalError> {
         self.check_armed()?;
         let seq = self.next_seq - 1;
-        let line = record_line('s', seq, &encode_instance(schema, instance));
+        let line = record_line(
+            's',
+            seq,
+            &encode_snapshot(schema, instance, fresh_watermark),
+        );
         match self.append_record(&line) {
             // Snapshots always sync, whatever the event policy: recovery
             // relies on finding them.
@@ -744,10 +778,11 @@ impl Wal {
         &mut self,
         schema: &Schema,
         instance: &Instance,
+        fresh_watermark: u64,
     ) -> Result<bool, WalError> {
         match self.opts.snapshot_every {
             Some(n) if self.events_since_snapshot >= n.max(1) => {
-                self.append_snapshot(schema, instance)?;
+                self.append_snapshot(schema, instance, fresh_watermark)?;
                 Ok(true)
             }
             _ => Ok(false),
@@ -856,15 +891,16 @@ impl Wal {
         }
         // Rebuild: last snapshot (if any) + tail replay.
         let schema = spec.collab().schema();
-        let (initial, snapshot_seq, tail_start) = match last_snapshot {
+        let (initial, watermark, snapshot_seq, tail_start) = match last_snapshot {
             Some((i, seq)) => {
-                let inst = decode_instance(schema, &records[i].payload)
+                let (inst, watermark) = decode_snapshot(schema, &records[i].payload)
                     .map_err(|reason| WalError::Tampered { seq, reason })?;
-                (inst, Some(seq), i + 1)
+                (inst, watermark, Some(seq), i + 1)
             }
-            None => (Instance::empty(schema), None, 0),
+            None => (Instance::empty(schema), 0, None, 0),
         };
         let mut run = Run::with_initial(Arc::clone(&spec), initial);
+        run.raise_fresh_watermark(watermark);
         let mut events_replayed = 0usize;
         for rec in &records[tail_start..] {
             if rec.kind != 'e' {
@@ -940,7 +976,7 @@ mod tests {
             let e = mk_event(spec, t, n);
             run.push(e.clone()).unwrap();
             wal.append_event(spec, &e).unwrap();
-            wal.maybe_snapshot(spec.collab().schema(), run.current())
+            wal.maybe_snapshot(spec.collab().schema(), run.current(), run.fresh_watermark())
                 .unwrap();
         }
     }

@@ -147,6 +147,13 @@ impl FreshGen {
             }
         }
     }
+
+    /// Raises the counter to at least `next` (never lowers it) — for
+    /// restoring a persisted watermark, where values drawn *and deleted*
+    /// before a snapshot are no longer observable from any instance.
+    pub fn raise_to(&mut self, next: u64) {
+        self.next = self.next.max(next);
+    }
 }
 
 #[cfg(test)]

@@ -30,7 +30,9 @@ pub use examples::{
 };
 pub use hitting_set::{hitting_set_workload, HittingSet, HittingSetWorkload};
 pub use procurement::{build_procurement_run, procurement_spec, ProcurementRun};
-pub use random::{random_propositional_spec, random_run, RandomSpecParams, RandomWorkload};
+pub use random::{
+    chaos_workload, random_propositional_spec, random_run, RandomSpecParams, RandomWorkload,
+};
 pub use review::{build_review_run, review_spec, ReviewRun};
 pub use transitive::{transitive_run, transitive_spec};
 pub use triage::{build_triage_run, triage_spec, TriageRun};

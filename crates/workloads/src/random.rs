@@ -121,6 +121,22 @@ pub fn random_propositional_spec(params: &RandomSpecParams, rng: &mut impl Rng) 
     RandomWorkload { spec, observer }
 }
 
+/// A random propositional workload sized for the chaos harness: a few more
+/// peers and relations than the property-test default, every relation at
+/// least partially hidden from the observer, deletions common enough to
+/// exercise key deletion under faults.
+pub fn chaos_workload(seed: u64) -> RandomWorkload {
+    let params = RandomSpecParams {
+        n_rels: 8,
+        n_rules: 14,
+        n_peers: 3,
+        visibility: 0.5,
+        delete_prob: 0.3,
+        max_body: 2,
+    };
+    random_propositional_spec(&params, &mut StdRng::seed_from_u64(seed))
+}
+
 /// Drives a random run of up to `steps` events.
 pub fn random_run(spec: &Arc<WorkflowSpec>, steps: usize, seed: u64) -> Run {
     let mut sim = Simulator::new(Run::new(Arc::clone(spec)), StdRng::seed_from_u64(seed));

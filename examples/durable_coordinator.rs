@@ -106,7 +106,11 @@ fn main() {
     }
     let lagging = f.audit().is_err();
     f.heal();
-    assert!(f.converge(1_000), "healed network must converge");
+    let verdict = f.converge(1_000);
+    assert!(
+        verdict.is_converged(),
+        "healed network must converge: {verdict}"
+    );
     let ft = f.ft_stats();
     println!(
         "faulty network: lagging_before_heal={} retries={} resyncs={} dup_suppressed={}",

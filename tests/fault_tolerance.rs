@@ -216,7 +216,8 @@ proptest! {
         prop_assert!(!accepted.is_empty(), "drafting is always enabled");
 
         c.heal();
-        prop_assert!(c.converge(2_000), "must converge after healing");
+        let verdict = c.converge(2_000);
+        prop_assert!(verdict.is_converged(), "must converge after healing: {}", verdict);
         c.audit().unwrap();
 
         let ft = c.stats().fault_tolerance.expect("coordinator stats");

@@ -1,0 +1,165 @@
+//! The recover-at-every-prefix property of the write-ahead log.
+//!
+//! For a log of `n` accepted events, recovering from the byte prefix ending
+//! at the `k`-th record boundary must yield **exactly** the first `k`
+//! events — same events, same instance — for every `k = 0..=n`, whatever
+//! the snapshot cadence. And cutting *inside* the record after boundary `k`
+//! (a torn tail, at every split point class: one byte in, mid-record, one
+//! byte short) must truncate back to exactly `k` events, never fewer and
+//! never a refusal.
+//!
+//! This is the durability contract the chaos harness's `wal-replay` oracle
+//! leans on, pinned down boundary by boundary.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use collab_workflows::engine::chaos::default_spec;
+use collab_workflows::engine::{
+    candidates, complete, Event, MemBackend, Run, SyncPolicy, Wal, WalOptions,
+};
+use collab_workflows::lang::WorkflowSpec;
+
+/// Grows `n` accepted events, appending each to the WAL (plus whatever
+/// snapshots the cadence inserts), and returns the events with two byte
+/// boundaries per step: `event_end[k]` is the prefix ending right after the
+/// `k`-th event record, `boundaries[k]` additionally includes the snapshot
+/// record (if any) the cadence appended after it. Both prefixes hold
+/// exactly the first `k` events.
+fn grow_log(
+    spec: &Arc<WorkflowSpec>,
+    backend: &MemBackend,
+    opts: WalOptions,
+    n: usize,
+    seed: u64,
+) -> (Vec<Event>, Vec<usize>, Vec<usize>) {
+    let mut wal = Wal::create(Box::new(backend.clone()), opts).expect("fresh backend");
+    let mut run = Run::new(Arc::clone(spec));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut events = Vec::new();
+    let mut event_end = vec![backend.bytes().len()];
+    let mut boundaries = vec![backend.bytes().len()];
+    while events.len() < n {
+        let cands = candidates(&run);
+        assert!(!cands.is_empty(), "the editorial spec always has a rule");
+        let cand = cands[rng.gen_range(0..cands.len())].clone();
+        let event = complete(&mut run, &cand);
+        if run.push(event.clone()).is_err() {
+            continue; // chase rejection: try another candidate
+        }
+        wal.append_event(spec, &event).expect("healthy backend");
+        event_end.push(backend.bytes().len());
+        wal.maybe_snapshot(spec.collab().schema(), run.current(), run.fresh_watermark())
+            .expect("healthy backend");
+        events.push(event);
+        boundaries.push(backend.bytes().len());
+    }
+    (events, event_end, boundaries)
+}
+
+/// Recovers from the first `len` bytes and asserts the result holds exactly
+/// `events[..k]`.
+fn assert_prefix_recovers(
+    spec: &Arc<WorkflowSpec>,
+    bytes: &[u8],
+    len: usize,
+    opts: WalOptions,
+    events: &[Event],
+    k: usize,
+    torn: bool,
+) {
+    let rec = Wal::recover(
+        Box::new(MemBackend::from_bytes(bytes[..len].to_vec())),
+        Arc::clone(spec),
+        opts,
+    )
+    .unwrap_or_else(|e| panic!("prefix of {k} records must recover (len {len}): {e}"));
+    assert_eq!(
+        rec.report.last_seq, k as u64,
+        "prefix of {k} complete records must recover exactly {k} events \
+         (len {len}, torn: {torn})"
+    );
+    // The recovered run replays only the tail after the last snapshot, so
+    // its events are a literal suffix of the accepted first k.
+    let replayed = rec.run.events();
+    assert!(
+        replayed.len() <= k,
+        "recovered run holds {} events, only {k} were logged (len {len})",
+        replayed.len()
+    );
+    let offset = k - replayed.len();
+    assert_eq!(
+        replayed,
+        &events[offset..k],
+        "recovered events must be the logged ones (prefix {k})"
+    );
+    if torn {
+        assert!(
+            rec.report.truncated_bytes > 0,
+            "a torn tail must be truncated (prefix {k}, len {len})"
+        );
+    }
+    // Replaying the same first k events on a fresh run must land on the
+    // recovered instance.
+    let mut expect = Run::new(Arc::clone(spec));
+    for e in &events[..k] {
+        expect.push(e.clone()).expect("accepted events replay");
+    }
+    assert_eq!(
+        rec.run.current(),
+        expect.current(),
+        "recovered instance must equal the replay of the first {k} events"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every complete-record prefix recovers to exactly its events, and
+    /// every torn cut inside the next record truncates back to them.
+    #[test]
+    fn every_prefix_recovers_exactly_its_events(
+        seed in 0u64..1_000,
+        n in 1usize..10,
+        snapshot_every in prop_oneof![Just(None), Just(Some(1u64)), Just(Some(3u64))],
+    ) {
+        let spec = default_spec();
+        let opts = WalOptions { sync: SyncPolicy::Always, snapshot_every };
+        let backend = MemBackend::new();
+        let (events, event_end, boundaries) = grow_log(&spec, &backend, opts, n, seed);
+        let bytes = backend.bytes();
+        prop_assert_eq!(*boundaries.last().unwrap(), bytes.len());
+
+        for k in 0..=n {
+            // Clean cuts: right after event record k, and right after the
+            // snapshot (if any) that followed it. Both hold k events.
+            assert_prefix_recovers(&spec, &bytes, event_end[k], opts, &events, k, false);
+            if boundaries[k] != event_end[k] {
+                assert_prefix_recovers(&spec, &bytes, boundaries[k], opts, &events, k, false);
+                // Torn cuts inside the snapshot record still hold event k.
+                let span = boundaries[k] - event_end[k];
+                for cut in [1, span / 2, span - 1] {
+                    if cut > 0 && cut < span {
+                        assert_prefix_recovers(
+                            &spec, &bytes, event_end[k] + cut, opts, &events, k, true,
+                        );
+                    }
+                }
+            }
+            // Torn cuts inside event record k+1 truncate back to k events.
+            if k < n {
+                let span = event_end[k + 1] - boundaries[k];
+                for cut in [1, span / 2, span - 1] {
+                    if cut > 0 && cut < span {
+                        assert_prefix_recovers(
+                            &spec, &bytes, boundaries[k] + cut, opts, &events, k, true,
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
