@@ -12,7 +12,9 @@
 //! * `--seeds N` — seeds per profile (default 20)
 //! * `--start S` — first seed (default 0; seeds are `S..S+N`)
 //! * `--steps M` — generated actions per trace (default 40)
-//! * `--profile default|crash|storage|all` — fault profile (default `all`)
+//! * `--profile default|crash|storage|mod|all` — fault profile (default
+//!   `all`; `mod` is the modification-heavy profile, which runs over the
+//!   null-filling task-tracker spec unless `--spec random` is given)
 //! * `--spec editorial|random` — workflow under test (default `editorial`;
 //!   `random` derives a fresh propositional spec per seed)
 //! * `--out PATH` — also append failure lines to PATH (for CI artifacts)
@@ -34,7 +36,7 @@ use std::io::Write as _;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use cwf_engine::chaos::{default_spec, format_trace, ChaosProfile, ChaosSim};
+use cwf_engine::chaos::{default_spec, format_trace, modification_spec, ChaosProfile, ChaosSim};
 use cwf_workloads::chaos_workload;
 
 struct Options {
@@ -79,6 +81,7 @@ fn parse_args() -> Result<Options, String> {
                     "default" => vec![ChaosProfile::Default],
                     "crash" => vec![ChaosProfile::CrashHeavy],
                     "storage" => vec![ChaosProfile::StorageHeavy],
+                    "mod" => vec![ChaosProfile::ModificationHeavy],
                     "all" => all_profiles(),
                     other => return Err(format!("unknown profile {other:?}")),
                 }
@@ -102,6 +105,7 @@ fn all_profiles() -> Vec<ChaosProfile> {
         ChaosProfile::Default,
         ChaosProfile::CrashHeavy,
         ChaosProfile::StorageHeavy,
+        ChaosProfile::ModificationHeavy,
     ]
 }
 
@@ -128,6 +132,8 @@ fn main() -> ExitCode {
         for seed in opts.start..opts.start + opts.seeds {
             let spec = if opts.random_spec {
                 chaos_workload(seed).spec
+            } else if profile == ChaosProfile::ModificationHeavy {
+                modification_spec()
             } else {
                 default_spec()
             };

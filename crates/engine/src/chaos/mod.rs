@@ -42,7 +42,9 @@ pub mod shrink;
 pub mod sim;
 
 pub use actions::{format_trace, parse_trace, Action, ActionParseError};
-pub use oracle::{default_oracles, governed_wellformed, Checkpoint, EventCountOracle, Oracle};
+pub use oracle::{
+    default_oracles, governed_wellformed, Checkpoint, EventCountOracle, Oracle, ViewPlaneOracle,
+};
 pub use shrink::ddmin;
 pub use sim::{ChaosConfig, ChaosFailure, ChaosProfile, ChaosSim, TraceReport};
 
@@ -76,5 +78,34 @@ pub fn default_spec() -> Arc<WorkflowSpec> {
             "#,
         )
         .expect("the built-in chaos spec parses"),
+    )
+}
+
+/// The task-tracker workflow for modification-heavy chaos: tasks are opened
+/// with `⊥` owner and status, then *null-filled* in place by `claim` and
+/// `finish` — tuple modifications rather than insert/delete churn. The
+/// `intake` peer selects on `Owner = ⊥`, so a claim makes the tuple *leave*
+/// its view by modification; `board` selects on `Status = "done"`, so a
+/// finish makes it *enter*. Exactly the selection transitions the
+/// incremental view plane must get right.
+pub fn modification_spec() -> Arc<WorkflowSpec> {
+    Arc::new(
+        parse_workflow(
+            r#"
+            schema { Task(K, Owner, Status); }
+            peers {
+                lead sees Task(*);
+                intake sees Task(K, Status) where Owner = null;
+                board sees Task(K, Owner) where Status = "done";
+            }
+            rules {
+                open @ lead: +Task(t, null, null) :- ;
+                claim @ lead: +Task(t, o, null) :- Task(t, null, null);
+                finish @ lead: +Task(t, null, "done") :- Task(t, o, null), o != null;
+                prune @ lead: -key Task(t) :- Task(t, o, "done");
+            }
+            "#,
+        )
+        .expect("the built-in modification spec parses"),
     )
 }

@@ -23,7 +23,10 @@
 //!   degraded;
 //! * [`WellFormed`] — the accepted history replays from scratch under the
 //!   key chase (via [`governed_wellformed`], which doubles as the governed
-//!   analysis exercised by `GovernorCancel`).
+//!   analysis exercised by `GovernorCancel`);
+//! * [`ViewPlaneOracle`] — the incrementally delta-maintained per-peer views
+//!   of both the live run and the shadow agree with the from-scratch
+//!   `view_of` reference (the differential check of the view plane).
 //!
 //! The sixth oracle of the design — post-heal convergence — needs mutable
 //! access to pump the coordinator, so it runs as the final check of
@@ -78,6 +81,7 @@ pub fn default_oracles() -> Vec<Box<dyn Oracle>> {
         Box::new(WalReplay),
         Box::new(DegradedSafety::default()),
         Box::new(WellFormed),
+        Box::new(ViewPlaneOracle),
     ]
 }
 
@@ -309,6 +313,39 @@ impl Oracle for WellFormed {
             )),
             v => Err(format!("ungoverned replay did not finish: {v:?}")),
         }
+    }
+}
+
+/// The incrementally maintained view plane agrees with the from-scratch
+/// reference `view_of` for every peer — checked on both the live
+/// coordinator's run and the shadow history after every action. This is the
+/// differential oracle of the delta path: `view_of` stays the executable
+/// spec, the plane must match it byte for byte.
+pub struct ViewPlaneOracle;
+
+impl Oracle for ViewPlaneOracle {
+    fn name(&self) -> &'static str {
+        "view-plane"
+    }
+
+    fn check(&mut self, cp: &Checkpoint<'_>) -> Result<(), String> {
+        let collab = cp.shadow.spec().collab();
+        let live = cp.coordinator.run();
+        for p in collab.peer_ids() {
+            if live.peer_view(p) != &collab.view_of(live.current(), p) {
+                return Err(format!(
+                    "live run's view plane diverges from view_of for peer {}",
+                    collab.peer_name(p)
+                ));
+            }
+            if cp.shadow.peer_view(p) != &collab.view_of(cp.shadow.current(), p) {
+                return Err(format!(
+                    "shadow run's view plane diverges from view_of for peer {}",
+                    collab.peer_name(p)
+                ));
+            }
+        }
+        Ok(())
     }
 }
 

@@ -33,7 +33,7 @@ use crate::error::CoordinatorError;
 use crate::event::Event;
 use crate::fault::FaultPlan;
 use crate::run::Run;
-use crate::simulate::{candidates, complete};
+use crate::simulate::{candidates, complete, Candidate};
 use crate::stats::FtStats;
 use crate::transport::FaultyTransport;
 use crate::wal::{IoFaultBackend, MemBackend, SyncPolicy, Wal, WalOptions};
@@ -62,6 +62,12 @@ pub enum ChaosProfile {
     /// Faulty storage (short writes, fsync failures, transient errors), so
     /// submits degrade the coordinator and rearm/recovery run hot.
     StorageHeavy,
+    /// Submit-heavy traffic biased toward *modifying* candidates — inserts
+    /// whose key already exists, so the chase null-fills tuples in place.
+    /// Stresses the modified-tuple path of the incremental view plane
+    /// (selection enter/leave, projection-only changes) under the
+    /// differential view-plane oracle.
+    ModificationHeavy,
 }
 
 impl ChaosProfile {
@@ -71,6 +77,7 @@ impl ChaosProfile {
             ChaosProfile::Default => "default",
             ChaosProfile::CrashHeavy => "crash-heavy",
             ChaosProfile::StorageHeavy => "storage-heavy",
+            ChaosProfile::ModificationHeavy => "mod-heavy",
         }
     }
 
@@ -81,6 +88,7 @@ impl ChaosProfile {
             ChaosProfile::Default => plan.with_rates(0.15, 0.10, 0.25, 3, 0.20),
             ChaosProfile::CrashHeavy => plan.with_rates(0.20, 0.10, 0.25, 3, 0.20),
             ChaosProfile::StorageHeavy => plan.with_rates(0.10, 0.05, 0.15, 2, 0.10),
+            ChaosProfile::ModificationHeavy => plan.with_rates(0.10, 0.05, 0.20, 2, 0.15),
         }
     }
 
@@ -90,6 +98,7 @@ impl ChaosProfile {
             ChaosProfile::Default => (0.0, 0.0, 0.0),
             ChaosProfile::CrashHeavy => (0.0, 0.0, 0.0),
             ChaosProfile::StorageHeavy => (0.08, 0.10, 0.12),
+            ChaosProfile::ModificationHeavy => (0.0, 0.0, 0.0),
         }
     }
 
@@ -99,6 +108,7 @@ impl ChaosProfile {
             ChaosProfile::Default => [40, 25, 5, 8, 6, 6, 10],
             ChaosProfile::CrashHeavy => [35, 18, 25, 8, 4, 4, 6],
             ChaosProfile::StorageHeavy => [38, 15, 8, 5, 14, 6, 14],
+            ChaosProfile::ModificationHeavy => [55, 20, 4, 6, 4, 3, 8],
         }
     }
 }
@@ -137,6 +147,10 @@ impl Default for ChaosConfig {
 pub struct TraceReport {
     /// Events accepted into the shadow run.
     pub events: usize,
+    /// Tuples *modified in place* (null-filling chase merges) across the
+    /// accepted history — the workload signal the modification-heavy
+    /// profile maximizes.
+    pub modified_tuples: usize,
     /// Crash–restarts executed.
     pub restarts: u64,
     /// Ticks the final post-heal convergence needed (0 when never healed).
@@ -315,13 +329,41 @@ impl World {
         }
     }
 
+    /// Does firing this candidate modify an existing tuple? True when some
+    /// insert's key is already bound by the body to a key present in the
+    /// current instance — the key chase then merges into (null-fills) that
+    /// tuple instead of creating a new one.
+    fn modifies_existing(&self, cand: &Candidate) -> bool {
+        let rule = self.spec.program().rule(cand.rule);
+        rule.head.iter().any(|u| match u {
+            cwf_lang::UpdateAtom::Insert { rel, args } => cand
+                .bindings
+                .resolve(&args[0])
+                .is_some_and(|k| self.coordinator.run().current().rel(*rel).get(&k).is_some()),
+            cwf_lang::UpdateAtom::Delete { .. } => false,
+        })
+    }
+
     fn submit(&mut self, pick: u32) -> Result<(), Violation> {
         let cands = candidates(self.coordinator.run());
         if cands.is_empty() {
             self.note("submit: no candidates");
             return Ok(());
         }
-        let cand = &cands[pick as usize % cands.len()];
+        // The modification-heavy profile steers picks toward candidates
+        // that null-fill existing tuples, exercising the modified-tuple
+        // path of the view plane; other profiles pick uniformly.
+        let cand = if self.profile == ChaosProfile::ModificationHeavy {
+            let mods: Vec<&Candidate> =
+                cands.iter().filter(|c| self.modifies_existing(c)).collect();
+            if mods.is_empty() {
+                &cands[pick as usize % cands.len()]
+            } else {
+                mods[pick as usize % mods.len()]
+            }
+        } else {
+            &cands[pick as usize % cands.len()]
+        };
         // Complete head-only variables with coordinator-fresh values on a
         // scratch clone (the real run advances only through submit).
         let mut scratch = self.coordinator.run().clone();
@@ -720,6 +762,9 @@ impl ChaosSim {
         transcript.push(format!("final ft: {ft:?}"));
         Ok(TraceReport {
             events: world.shadow.len(),
+            modified_tuples: (0..world.shadow.len())
+                .map(|i| world.shadow.diff(i).modified.len())
+                .sum(),
             restarts: world.restarts,
             converge_ticks,
             ft,

@@ -33,58 +33,7 @@ use crate::stats::{FtStats, RunStats};
 use crate::transport::{Ack, PeerMsg, PerfectTransport, Transport};
 use crate::wal::{RecoveryReport, Wal, WalBackend, WalOptions};
 
-/// One peer's view change caused by one event.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
-pub struct ViewDelta {
-    /// View tuples that appeared (new key, or changed content under the
-    /// same key — the replica upserts them).
-    pub upserts: Vec<(RelId, Tuple)>,
-    /// Keys that disappeared from the view.
-    pub removals: Vec<(RelId, Value)>,
-}
-
-impl ViewDelta {
-    /// Computes `after − before` on view instances.
-    pub fn between(before: &ViewInstance, after: &ViewInstance) -> ViewDelta {
-        let mut delta = ViewDelta::default();
-        for (rel, t) in after.facts() {
-            if before.get(rel, t.key()) != Some(t) {
-                delta.upserts.push((rel, t.clone()));
-            }
-        }
-        for (rel, t) in before.facts() {
-            if !after.contains_key(rel, t.key()) {
-                delta.removals.push((rel, t.key().clone()));
-            }
-        }
-        delta
-    }
-
-    /// Is this a no-op?
-    pub fn is_empty(&self) -> bool {
-        self.upserts.is_empty() && self.removals.is_empty()
-    }
-
-    /// Number of changes.
-    pub fn len(&self) -> usize {
-        self.upserts.len() + self.removals.len()
-    }
-
-    /// Applies the delta to a materialized view replica.
-    ///
-    /// Idempotent by construction: removals are keyed deletes and upserts
-    /// are keyed inserts, applied removals-first, so re-applying the same
-    /// delta leaves the replica unchanged — the property that makes
-    /// duplicate-suppressing delivery safe even if suppression misses.
-    pub fn apply_to(&self, replica: &mut MaterializedView) {
-        for (rel, key) in &self.removals {
-            replica.remove(*rel, key);
-        }
-        for (rel, t) in &self.upserts {
-            replica.upsert(*rel, t.clone());
-        }
-    }
-}
+pub use crate::view_plane::ViewDelta;
 
 /// A peer-side replica of its view: per relation, view tuples keyed by key.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -107,11 +56,11 @@ impl MaterializedView {
         out
     }
 
-    fn upsert(&mut self, rel: RelId, t: Tuple) {
+    pub(crate) fn upsert(&mut self, rel: RelId, t: Tuple) {
         self.rels.entry(rel).or_default().insert(t.key().clone(), t);
     }
 
-    fn remove(&mut self, rel: RelId, key: &Value) {
+    pub(crate) fn remove(&mut self, rel: RelId, key: &Value) {
         if let Some(m) = self.rels.get_mut(&rel) {
             m.remove(key);
         }
@@ -469,10 +418,6 @@ impl Coordinator {
         }
         let spec = self.run.spec_arc();
         let collab = spec.collab();
-        let pre: Vec<ViewInstance> = collab
-            .peer_ids()
-            .map(|p| collab.view_of(self.run.current(), p))
-            .collect();
         let actor = event.peer;
         self.run.push(event.clone())?;
         // Write-ahead: the event must be durable before any peer hears of
@@ -516,25 +461,23 @@ impl Coordinator {
                 }
             }
         }
-        let mut deltas = Vec::new();
-        for p in collab.peer_ids() {
-            let post = collab.view_of(self.run.current(), p);
-            let delta = ViewDelta::between(&pre[p.index()], &post);
-            if !delta.is_empty() {
-                let seq = self.outboxes[p.index()].assign_seq();
-                let msg = PeerMsg::Delta {
-                    seq,
-                    delta: delta.clone(),
-                };
-                self.outboxes[p.index()].unacked.push_back(Pending {
-                    msg: msg.clone(),
-                    attempts: 0,
-                    due: self.now + self.config.retry_backoff_base,
-                });
-                self.transport.send(p, msg);
-                self.ft.deltas_sent += 1;
-                deltas.push((p, delta));
-            }
+        // The push already computed every affected peer's delta while
+        // advancing the view plane; broadcast those instead of re-deriving
+        // them from view rescans.
+        let deltas: Vec<(PeerId, ViewDelta)> = self.run.last_deltas().to_vec();
+        for (p, delta) in &deltas {
+            let seq = self.outboxes[p.index()].assign_seq();
+            let msg = PeerMsg::Delta {
+                seq,
+                delta: delta.clone(),
+            };
+            self.outboxes[p.index()].unacked.push_back(Pending {
+                msg: msg.clone(),
+                attempts: 0,
+                due: self.now + self.config.retry_backoff_base,
+            });
+            self.transport.send(*p, msg);
+            self.ft.deltas_sent += 1;
         }
         self.log.push(Broadcast {
             at: self.run.len() - 1,
@@ -607,12 +550,11 @@ impl Coordinator {
     /// the snapshot still supersedes every older delta, and any delta
     /// numbered past a lost snapshot is deferred instead of misapplied.
     pub fn resync(&mut self, p: PeerId) {
-        let spec = self.run.spec_arc();
-        let view = spec.collab().view_of(self.run.current(), p);
+        let view = MaterializedView::from_view(self.run.peer_view(p));
         let outbox = &mut self.outboxes[p.index()];
         let msg = PeerMsg::Snapshot {
             seq: outbox.assign_seq(),
-            view: MaterializedView::from_view(&view),
+            view,
         };
         outbox.unacked.clear();
         outbox.unacked.push_back(Pending {
@@ -641,8 +583,9 @@ impl Coordinator {
         collab
             .peer_ids()
             .filter(|p| {
-                let view = collab.view_of(self.run.current(), *p);
-                !self.replicas[p.index()].view.matches(&view)
+                !self.replicas[p.index()]
+                    .view
+                    .matches(self.run.peer_view(*p))
             })
             .collect()
     }
@@ -691,8 +634,7 @@ impl Coordinator {
     pub fn audit(&self) -> Result<(), PeerId> {
         let collab = self.run.spec().collab();
         for p in collab.peer_ids() {
-            let view = collab.view_of(self.run.current(), p);
-            if !self.replicas[p.index()].view.matches(&view) {
+            if !self.replicas[p.index()].view.matches(self.run.peer_view(p)) {
                 return Err(p);
             }
         }

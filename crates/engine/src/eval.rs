@@ -2,9 +2,17 @@
 //!
 //! A *valuation* `ν` of a rule `α` for a global instance `I` maps the rule's
 //! variables to `dom` such that `I@p ⊨ Cond(ν(x̄))` (Section 2).
-//! [`match_body`] enumerates all such valuations of the body variables by an
-//! ordered join over the positive literals followed by the negative and
+//! [`match_body`] enumerates all such valuations of the body variables by a
+//! *planned* join over the positive literals followed by the negative and
 //! (dis)equality filters; [`check_body`] verifies one fully-given valuation.
+//!
+//! The planner picks a static literal order before enumeration: a literal
+//! whose key term is already resolvable (a constant, or a variable bound by
+//! an earlier literal) becomes a point lookup and goes first; otherwise the
+//! literal over the smallest relation in the view is scanned next, ties
+//! broken by original body order. Enumeration is then a depth-first search
+//! over one scratch [`Bindings`] with a bind/undo trail — no per-tuple
+//! clone of the partial assignment.
 //!
 //! Safety (every body variable occurs in a positive literal) guarantees that
 //! after the join phase every body variable is bound, so filters only ever
@@ -32,6 +40,11 @@ impl Bindings {
     /// Binds `v` to `value` (overwrites).
     pub fn set(&mut self, v: VarId, value: Value) {
         self.0[v.index()] = Some(value);
+    }
+
+    /// Unbinds `v` (the undo half of the join trail).
+    fn unset(&mut self, v: VarId) {
+        self.0[v.index()] = None;
     }
 
     /// Resolves a term under this assignment.
@@ -91,63 +104,187 @@ fn unify(b: &mut Bindings, args: &[Term], values: &[Value]) -> bool {
     true
 }
 
-/// Enumerates all valuations of the body variables of `rule` satisfied by
-/// `view` (the rule peer's view of the global instance). Deterministic
-/// order: literals left to right, view tuples in key order.
-pub fn match_body(rule: &Rule, view: &ViewInstance) -> Vec<Bindings> {
-    let mut partials = vec![Bindings::empty(rule.vars.len())];
-    // Phase 1: positive literals extend bindings.
-    for lit in &rule.body {
+/// The key term of a positive literal (position 0 of a `Pos`, the key of a
+/// `KeyPos`).
+fn key_term(lit: &Literal) -> &Term {
+    match lit {
+        Literal::Pos { args, .. } => &args[0],
+        Literal::KeyPos { key, .. } => key,
+        _ => unreachable!("only positive literals are planned"),
+    }
+}
+
+/// Is the literal's key term ground under the simulated bound-variable set —
+/// i.e. would it run as a point lookup rather than a scan?
+fn key_resolvable(lit: &Literal, bound: &[bool]) -> bool {
+    match key_term(lit) {
+        Term::Const(_) => true,
+        Term::Var(x) => bound[x.index()],
+    }
+}
+
+/// Orders the positive literals of `rule` for enumeration: repeatedly take
+/// the first literal whose key term is already resolvable (a point lookup);
+/// when none is, scan the literal over the smallest relation in `view`
+/// (ties broken by original body order). Static — the plan depends only on
+/// the rule and the per-relation sizes, never on enumerated values.
+fn plan_body<'a>(rule: &'a Rule, view: &ViewInstance) -> Vec<&'a Literal> {
+    let mut remaining: Vec<&Literal> = rule
+        .body
+        .iter()
+        .filter(|l| matches!(l, Literal::Pos { .. } | Literal::KeyPos { .. }))
+        .collect();
+    let mut bound = vec![false; rule.vars.len()];
+    let mut out = Vec::with_capacity(remaining.len());
+    while !remaining.is_empty() {
+        let pick = remaining
+            .iter()
+            .position(|lit| key_resolvable(lit, &bound))
+            .unwrap_or_else(|| {
+                let mut best = 0;
+                let mut best_len = usize::MAX;
+                for (i, lit) in remaining.iter().enumerate() {
+                    let rel = match lit {
+                        Literal::Pos { rel, .. } | Literal::KeyPos { rel, .. } => *rel,
+                        _ => unreachable!(),
+                    };
+                    let len = view.rel_len(rel);
+                    if len < best_len {
+                        best = i;
+                        best_len = len;
+                    }
+                }
+                best
+            });
+        let lit = remaining.remove(pick);
         match lit {
-            Literal::Pos { rel, args } => {
-                let mut next = Vec::new();
-                for b in &partials {
-                    // Bound key ⇒ direct lookup.
-                    if let Some(k) = b.resolve(&args[0]) {
-                        if let Some(t) = view.get(*rel, &k) {
-                            let mut nb = b.clone();
-                            if unify(&mut nb, args, t.values()) {
-                                next.push(nb);
-                            }
-                        }
-                    } else {
-                        for t in view.rel(*rel) {
-                            let mut nb = b.clone();
-                            if unify(&mut nb, args, t.values()) {
-                                next.push(nb);
-                            }
-                        }
+            Literal::Pos { args, .. } => {
+                for t in args {
+                    if let Term::Var(x) = t {
+                        bound[x.index()] = true;
                     }
                 }
-                partials = next;
             }
-            Literal::KeyPos { rel, key } => {
-                let mut next = Vec::new();
-                for b in &partials {
-                    if let Some(k) = b.resolve(key) {
-                        if view.contains_key(*rel, &k) {
-                            next.push(b.clone());
-                        }
-                    } else {
-                        for k in view.keys(*rel) {
-                            let mut nb = b.clone();
-                            let Term::Var(x) = key else { unreachable!() };
-                            nb.set(*x, k.clone());
-                            next.push(nb);
-                        }
-                    }
+            Literal::KeyPos { key, .. } => {
+                if let Term::Var(x) = key {
+                    bound[x.index()] = true;
                 }
-                partials = next;
             }
-            _ => {}
+            _ => unreachable!(),
         }
-        if partials.is_empty() {
-            return partials;
+        out.push(lit);
+    }
+    out
+}
+
+/// Like [`unify`] but records every *newly bound* variable on `trail` so the
+/// caller can undo to a mark instead of cloning the assignment.
+fn unify_on_trail(
+    b: &mut Bindings,
+    trail: &mut Vec<VarId>,
+    args: &[Term],
+    values: &[Value],
+) -> bool {
+    debug_assert_eq!(args.len(), values.len());
+    for (t, v) in args.iter().zip(values) {
+        match t {
+            Term::Const(c) => {
+                if c != v {
+                    return false;
+                }
+            }
+            Term::Var(x) => match b.get(*x) {
+                Some(bound) => {
+                    if bound != v {
+                        return false;
+                    }
+                }
+                None => {
+                    b.set(*x, v.clone());
+                    trail.push(*x);
+                }
+            },
         }
     }
-    // Phase 2: filters (all body variables are now bound, by safety).
-    partials.retain(|b| filters_hold(rule, view, b));
-    partials
+    true
+}
+
+/// Unbinds everything bound past `mark`.
+fn undo_to(b: &mut Bindings, trail: &mut Vec<VarId>, mark: usize) {
+    while trail.len() > mark {
+        let x = trail.pop().expect("trail past mark");
+        b.unset(x);
+    }
+}
+
+/// The depth-first join: one scratch `Bindings`, bind/undo per branch, the
+/// negative and (dis)equality filters applied at the leaves (all body
+/// variables are bound there, by safety).
+fn join_dfs(
+    rule: &Rule,
+    view: &ViewInstance,
+    order: &[&Literal],
+    depth: usize,
+    b: &mut Bindings,
+    trail: &mut Vec<VarId>,
+    out: &mut Vec<Bindings>,
+) {
+    if depth == order.len() {
+        if filters_hold(rule, view, b) {
+            out.push(b.clone());
+        }
+        return;
+    }
+    match order[depth] {
+        Literal::Pos { rel, args } => {
+            // Bound key ⇒ direct lookup.
+            if let Some(k) = b.resolve(&args[0]) {
+                if let Some(t) = view.get(*rel, &k) {
+                    let mark = trail.len();
+                    if unify_on_trail(b, trail, args, t.values()) {
+                        join_dfs(rule, view, order, depth + 1, b, trail, out);
+                    }
+                    undo_to(b, trail, mark);
+                }
+            } else {
+                for t in view.rel(*rel) {
+                    let mark = trail.len();
+                    if unify_on_trail(b, trail, args, t.values()) {
+                        join_dfs(rule, view, order, depth + 1, b, trail, out);
+                    }
+                    undo_to(b, trail, mark);
+                }
+            }
+        }
+        Literal::KeyPos { rel, key } => {
+            if let Some(k) = b.resolve(key) {
+                if view.contains_key(*rel, &k) {
+                    join_dfs(rule, view, order, depth + 1, b, trail, out);
+                }
+            } else {
+                let Term::Var(x) = key else { unreachable!() };
+                for k in view.keys(*rel) {
+                    b.set(*x, k.clone());
+                    join_dfs(rule, view, order, depth + 1, b, trail, out);
+                }
+                b.unset(*x);
+            }
+        }
+        _ => unreachable!("only positive literals are planned"),
+    }
+}
+
+/// Enumerates all valuations of the body variables of `rule` satisfied by
+/// `view` (the rule peer's view of the global instance). Deterministic: the
+/// literal order is the static plan of [`plan_body`] and view tuples
+/// enumerate in key order.
+pub fn match_body(rule: &Rule, view: &ViewInstance) -> Vec<Bindings> {
+    let order = plan_body(rule, view);
+    let mut b = Bindings::empty(rule.vars.len());
+    let mut trail = Vec::new();
+    let mut out = Vec::new();
+    join_dfs(rule, view, &order, 0, &mut b, &mut trail, &mut out);
+    out
 }
 
 fn filters_hold(rule: &Rule, view: &ViewInstance, b: &Bindings) -> bool {

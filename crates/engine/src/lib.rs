@@ -31,6 +31,7 @@ pub mod simulate;
 pub mod stats;
 pub mod transition;
 pub mod transport;
+pub mod view_plane;
 pub mod wal;
 
 pub use codec::{decode_event, decode_events, encode_event, encode_run, load_run, CodecError};
@@ -43,8 +44,11 @@ pub use nf_runs::{from_normal_form, to_normal_form, NfTranslateError};
 pub use run::{EventView, ReplayError, Run, RunView, ViewStep};
 pub use simulate::{candidates, complete, Candidate, Simulator};
 pub use stats::{FtStats, PeerStats, RunStats};
-pub use transition::{apply_event, apply_updates, event_visible, view_of};
+pub use transition::{
+    apply_event, apply_event_with_view, apply_updates, event_visible, view_of, Applied,
+};
 pub use transport::{Ack, FaultyTransport, InjectedFaults, PeerMsg, PerfectTransport, Transport};
+pub use view_plane::{materialize_view, peer_delta, ViewPlane};
 pub use wal::{
     FileBackend, IoFaultBackend, IoFaults, MemBackend, Recovered, RecoveryReport, SyncPolicy, Wal,
     WalBackend, WalOptions,

@@ -73,8 +73,8 @@ pub fn to_normal_form(nf: &NormalForm, run: &Run) -> Result<Run, NfTranslateErro
         {
             let frid = RuleId(fi as u32);
             let frule = nf.spec.program().rule(frid);
-            let view = nf.spec.collab().view_of(out.current(), frule.peer);
-            for mut b in match_body(frule, &view) {
+            let matches = match_body(frule, out.peer_view(frule.peer));
+            for mut b in matches {
                 // The original variables are a prefix of the case rule's
                 // table; they must agree with the original valuation.
                 let mut agrees = true;

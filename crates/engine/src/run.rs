@@ -12,21 +12,37 @@ use std::fmt;
 use std::sync::Arc;
 
 use cwf_lang::WorkflowSpec;
-use cwf_model::{FreshGen, Instance, PeerId, Value, ViewInstance};
+use cwf_model::{FreshGen, Instance, InstanceDiff, PeerId, Value, ViewInstance};
 
 use crate::error::EngineError;
 use crate::event::Event;
-use crate::transition::apply_event;
+use crate::transition::apply_event_with_view;
+use crate::view_plane::{materialize_view, peer_delta, ViewDelta, ViewPlane};
 
 /// A run: spec, initial instance, events, and the instance after each event.
+///
+/// The run also owns the **view plane** — one incrementally maintained
+/// `ViewInstance` per peer, advanced by each push's emitted diff — and the
+/// per-event diffs themselves, which make visibility queries and run views
+/// delta-driven instead of `view_of` rescans.
 #[derive(Clone)]
 pub struct Run {
     spec: Arc<WorkflowSpec>,
     initial: Instance,
     events: Vec<Event>,
     instances: Vec<Instance>,
+    /// `diffs[i] = I_i − I_{i−1}` (emitted by the transition, not rescanned).
+    diffs: Vec<InstanceDiff>,
+    /// The incrementally maintained `I@p` for every peer, tracking
+    /// [`Run::current`].
+    plane: ViewPlane,
+    /// The non-empty per-peer view deltas of the most recent push — what a
+    /// coordinator broadcasts. Cleared by [`Run::pop`].
+    last_deltas: Vec<(PeerId, ViewDelta)>,
     /// `const(P) ∪ adom(initial) ∪ ⋃_{j<len} adom(I_j)` — the values a fresh
-    /// instantiation must avoid.
+    /// instantiation must avoid. Maintained incrementally from the diffs:
+    /// new values only ever enter through created tuples and modification
+    /// after-values.
     past_adom: BTreeSet<Value>,
     fresh: FreshGen,
 }
@@ -47,11 +63,15 @@ impl Run {
             fresh.observe(&v);
             past_adom.insert(v);
         }
+        let plane = ViewPlane::new(spec.collab(), &initial);
         Run {
             spec,
             initial,
             events: Vec::new(),
             instances: Vec::new(),
+            diffs: Vec::new(),
+            plane,
+            last_deltas: Vec::new(),
             past_adom,
             fresh,
         }
@@ -160,18 +180,76 @@ impl Run {
             }
             seen_fresh.push(v);
         }
-        let next = apply_event(&self.spec, self.current(), &event)?;
-        // Commit.
-        for v in next.adom() {
-            self.fresh.observe(&v);
-            self.past_adom.insert(v);
+        let applied = apply_event_with_view(
+            &self.spec,
+            self.current(),
+            self.plane.view(event.peer),
+            &event,
+        )?;
+        let next = applied.instance;
+        let diff = applied.diff;
+        // Commit. The avoid-set grows incrementally: a push can only
+        // introduce values through created tuples and modification
+        // after-values (deletions and before-values are already in
+        // past_adom by induction).
+        for (_, t) in &diff.created {
+            for v in t.values() {
+                if !v.is_null() {
+                    self.fresh.observe(v);
+                    if !self.past_adom.contains(v) {
+                        self.past_adom.insert(v.clone());
+                    }
+                }
+            }
         }
+        for (_, _, changes) in &diff.modified {
+            for c in changes {
+                if !c.after.is_null() {
+                    self.fresh.observe(&c.after);
+                    if !self.past_adom.contains(&c.after) {
+                        self.past_adom.insert(c.after.clone());
+                    }
+                }
+            }
+        }
+        debug_assert!(
+            next.adom().iter().all(|v| self.past_adom.contains(v)),
+            "incremental avoid-set must cover the full active domain"
+        );
         for v in event.adom(&self.spec) {
             self.fresh.observe(&v);
         }
+        self.last_deltas = self.plane.step(self.spec.collab(), &diff, &next);
+        #[cfg(debug_assertions)]
+        for p in self.spec.collab().peer_ids() {
+            debug_assert_eq!(
+                self.plane.view(p),
+                &self.spec.collab().view_of(&next, p),
+                "view plane must track view_of"
+            );
+        }
         self.events.push(event);
         self.instances.push(next);
+        self.diffs.push(diff);
         Ok(())
+    }
+
+    /// Peer `p`'s incrementally maintained view of [`Run::current`] — the
+    /// engine's replacement for `view_of` rescans.
+    pub fn peer_view(&self, p: PeerId) -> &ViewInstance {
+        self.plane.view(p)
+    }
+
+    /// The non-empty per-peer view deltas emitted by the most recent
+    /// [`Run::push`], in peer-id order (empty for a fresh or just-popped
+    /// run).
+    pub fn last_deltas(&self) -> &[(PeerId, ViewDelta)] {
+        &self.last_deltas
+    }
+
+    /// The diff `I_i − I_{i−1}` emitted by event `i`.
+    pub fn diff(&self, i: usize) -> &InstanceDiff {
+        &self.diffs[i]
     }
 
     /// Removes the last event and its instance, returning the event. Used
@@ -183,6 +261,7 @@ impl Run {
     pub fn pop(&mut self) -> Option<Event> {
         let event = self.events.pop()?;
         self.instances.pop().expect("events and instances in step");
+        self.diffs.pop().expect("events and diffs in step");
         let mut keep = self.spec.program().const_set();
         keep.remove(&Value::Null);
         keep.extend(self.initial.adom());
@@ -190,6 +269,10 @@ impl Run {
             keep.extend(inst.adom());
         }
         self.past_adom = keep;
+        // Popping is the rare durability-failure path: rebuild the plane
+        // from the restored current instance rather than inverting deltas.
+        self.plane = ViewPlane::new(self.spec.collab(), self.current());
+        self.last_deltas.clear();
         Some(event)
     }
 
@@ -226,35 +309,30 @@ impl Run {
             return true;
         }
         let collab = self.spec.collab();
-        collab.view_of(self.pre_instance(i), peer) != collab.view_of(self.instance(i), peer)
+        !peer_delta(collab, peer, &self.diffs[i], self.instance(i)).is_empty()
     }
 
     /// The positions of the events visible at `peer`.
     pub fn visible_events(&self, peer: PeerId) -> Vec<usize> {
-        let collab = self.spec.collab();
-        let mut out = Vec::new();
-        let mut prev = collab.view_of(&self.initial, peer);
-        for i in 0..self.len() {
-            let cur = collab.view_of(&self.instances[i], peer);
-            if self.events[i].peer == peer || cur != prev {
-                out.push(i);
-            }
-            prev = cur;
-        }
-        out
+        (0..self.len())
+            .filter(|&i| self.visible_at(i, peer))
+            .collect()
     }
 
     /// The view `ρ@p` of the run at `peer` (Definition 3.1): the transitions
     /// visible at `p`, each carrying `e_i@p` (the event itself for `p`'s own
-    /// events, `ω` otherwise) and the view instance `I_i@p`.
+    /// events, `ω` otherwise) and the view instance `I_i@p`. Built by rolling
+    /// the stored diffs through one view instance — no per-step rescan.
     pub fn view(&self, peer: PeerId) -> RunView {
         let collab = self.spec.collab();
         let mut steps = Vec::new();
-        let mut prev = collab.view_of(&self.initial, peer);
+        let mut cur = materialize_view(collab, peer, &self.initial);
         for i in 0..self.len() {
-            let cur = collab.view_of(&self.instances[i], peer);
+            let delta = peer_delta(collab, peer, &self.diffs[i], self.instance(i));
+            let changed = !delta.is_empty();
+            delta.apply_to_view(&mut cur);
             let own = self.events[i].peer == peer;
-            if own || cur != prev {
+            if own || changed {
                 steps.push(ViewStep {
                     index: i,
                     event: if own {
@@ -265,7 +343,6 @@ impl Run {
                     view: cur.clone(),
                 });
             }
-            prev = cur;
         }
         RunView { peer, steps }
     }

@@ -34,8 +34,8 @@ pub fn candidates(run: &Run) -> Vec<Candidate> {
     let mut out = Vec::new();
     for rid in spec.program().rule_ids() {
         let rule = spec.program().rule(rid);
-        let view = spec.collab().view_of(run.current(), rule.peer);
-        for b in match_body(rule, &view) {
+        let view = run.peer_view(rule.peer);
+        for b in match_body(rule, view) {
             out.push(Candidate {
                 rule: rid,
                 bindings: b,

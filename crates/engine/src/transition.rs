@@ -13,56 +13,104 @@
 //! event touch pairwise distinct keys, making their order irrelevant.
 
 use cwf_lang::WorkflowSpec;
-use cwf_model::{chase_with, Instance, PeerId, ViewInstance};
+use cwf_model::{chase_with, AttrChange, Instance, InstanceDiff, PeerId, ViewInstance};
 
 use crate::error::EngineError;
 use crate::eval::check_body;
 use crate::event::{Event, GroundUpdate};
+use crate::view_plane::peer_delta;
+
+/// The result of a successful transition: the successor instance plus the
+/// tuple-level delta it induced — the currency of the incremental view
+/// plane. The diff is emitted *while applying* the updates (the
+/// distinct-update condition on rules makes per-update changes independent),
+/// not recomputed by a full instance scan.
+#[derive(Debug, Clone)]
+pub struct Applied {
+    /// The successor instance `J`.
+    pub instance: Instance,
+    /// `J − I`, normalized to `(rel, key)` order — identical to what
+    /// [`InstanceDiff::between`] would compute.
+    pub diff: InstanceDiff,
+}
 
 /// Applies `event` to `instance`, returning the successor instance.
 ///
-/// Checks the body condition and every update's applicability. Does **not**
-/// check global freshness of head-only values — that is a run-level property
-/// enforced by [`crate::run::Run::push`].
+/// This is the from-scratch **reference implementation**: it rescans the
+/// instance to materialize the acting peer's view. The engine's own hot
+/// path is [`apply_event_with_view`], fed by the maintained view plane;
+/// this wrapper remains for the analysis/design crates and for differential
+/// testing.
 pub fn apply_event(
     spec: &WorkflowSpec,
     instance: &Instance,
     event: &Event,
 ) -> Result<Instance, EngineError> {
+    let view = spec.collab().view_of(instance, event.peer);
+    apply_event_with_view(spec, instance, &view, event).map(|a| a.instance)
+}
+
+/// Applies `event` to `instance`, checking the body against the caller's
+/// (incrementally maintained) materialization of the acting peer's view.
+/// Returns the successor instance together with the emitted diff.
+///
+/// Checks the body condition and every update's applicability. Does **not**
+/// check global freshness of head-only values — that is a run-level property
+/// enforced by [`crate::run::Run::push`].
+pub fn apply_event_with_view(
+    spec: &WorkflowSpec,
+    instance: &Instance,
+    view: &ViewInstance,
+    event: &Event,
+) -> Result<Applied, EngineError> {
     let rule = spec.program().rule(event.rule);
     if event.valuation.len() != rule.vars.len() || !event.valuation.is_total() {
         return Err(EngineError::IncompleteValuation { rule: event.rule });
     }
-    let view = spec.collab().view_of(instance, event.peer);
-    if !check_body(rule, &view, &event.valuation) {
+    if !check_body(rule, view, &event.valuation) {
         return Err(EngineError::BodyNotSatisfied { rule: event.rule });
     }
     apply_updates(spec, instance, event.peer, &event.ground_updates(spec))
 }
 
 /// Applies a list of ground updates issued by `peer` (all checks of the
-/// update semantics, no body check). Exposed for the view-program runtime of
+/// update semantics, no body check), emitting the induced diff alongside
+/// the successor instance. Exposed for the view-program runtime of
 /// Section 5, whose ω-events are update bundles.
+///
+/// No peer view is materialized: delete visibility and insert subsumption
+/// are decided on the single affected tuple (the key chase only ever merges
+/// into the tuple sharing the inserted key, so per-update effects are
+/// local), and the distinct-update condition keeps the per-update diff
+/// entries disjoint.
 pub fn apply_updates(
     spec: &WorkflowSpec,
     instance: &Instance,
     peer: PeerId,
     updates: &[GroundUpdate],
-) -> Result<Instance, EngineError> {
+) -> Result<Applied, EngineError> {
     let schema = spec.collab().schema();
     let mut current = instance.clone();
+    let mut diff = InstanceDiff::default();
     for upd in updates {
         match upd {
             GroundUpdate::Delete { rel, key } => {
-                // The peer must see the tuple it deletes.
-                let view = spec.collab().view_of(&current, peer);
-                if !view.contains_key(*rel, key) {
+                // The peer must see the tuple it deletes: a tuple with that
+                // key exists and the peer's selection admits it.
+                let vr = spec.collab().view(peer, *rel);
+                let visible =
+                    vr.is_some_and(|vr| current.rel(*rel).get(key).is_some_and(|t| vr.selects(t)));
+                if !visible {
                     return Err(EngineError::DeleteInvisible {
                         rel: *rel,
                         key: key.clone(),
                     });
                 }
-                current.rel_mut(*rel).remove(key);
+                let removed = current
+                    .rel_mut(*rel)
+                    .remove(key)
+                    .expect("visibility implies presence");
+                diff.deleted.push((*rel, removed));
             }
             GroundUpdate::Insert { rel, view_tuple } => {
                 let vr = spec
@@ -74,26 +122,62 @@ pub fn apply_updates(
                 // (i) the chase must produce a valid instance.
                 let next = chase_with(schema, &current, *rel, padded)?;
                 // (ii) the inserted tuple must appear (subsumed) in the
-                // peer's updated view.
-                let next_view = spec.collab().view_of(&next, peer);
-                let subsumed = next_view
-                    .get(*rel, view_tuple.key())
-                    .is_some_and(|v| view_tuple.subsumed_by(v));
+                // peer's updated view: the merged tuple must satisfy the
+                // selection and its projection must subsume the insert.
+                let merged = next.rel(*rel).get(view_tuple.key());
+                let subsumed =
+                    merged.is_some_and(|t| vr.selects(t) && view_tuple.subsumed_by(&vr.project(t)));
                 if !subsumed {
                     return Err(EngineError::InsertNotSubsumed {
                         rel: *rel,
                         key: view_tuple.key().clone(),
                     });
                 }
+                // Emit the key's change: created, modified, or no-op.
+                let merged = merged.expect("subsumption implies presence");
+                match current.rel(*rel).get(view_tuple.key()) {
+                    None => diff.created.push((*rel, merged.clone())),
+                    Some(old) if old != merged => {
+                        let changes: Vec<AttrChange> = old
+                            .entries()
+                            .filter(|(a, v)| merged.get(*a) != *v)
+                            .map(|(a, v)| AttrChange {
+                                attr: a,
+                                before: v.clone(),
+                                after: merged.get(a).clone(),
+                            })
+                            .collect();
+                        diff.modified
+                            .push((*rel, view_tuple.key().clone(), changes));
+                    }
+                    Some(_) => {}
+                }
                 current = next;
             }
         }
     }
-    Ok(current)
+    // Normalize to (rel, key) order so the emitted diff is byte-identical
+    // to InstanceDiff::between(instance, &current).
+    diff.created
+        .sort_by(|a, b| (a.0, a.1.key()).cmp(&(b.0, b.1.key())));
+    diff.deleted
+        .sort_by(|a, b| (a.0, a.1.key()).cmp(&(b.0, b.1.key())));
+    diff.modified.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+    debug_assert_eq!(
+        diff,
+        InstanceDiff::between(instance, &current),
+        "emitted diff must agree with the from-scratch diff"
+    );
+    Ok(Applied {
+        instance: current,
+        diff,
+    })
 }
 
 /// Is `event` (with pre-state `pre` and post-state `post`) *visible* at
-/// `peer`? — `peer(e) = p`, or the views differ (Section 3).
+/// `peer`? — `peer(e) = p`, or the views differ (Section 3). Decided on the
+/// instance diff: the views differ iff the diff induces a non-empty view
+/// delta at `peer`.
 pub fn event_visible(
     spec: &WorkflowSpec,
     event: &Event,
@@ -101,7 +185,8 @@ pub fn event_visible(
     post: &Instance,
     peer: PeerId,
 ) -> bool {
-    event.peer == peer || spec.collab().view_of(pre, peer) != spec.collab().view_of(post, peer)
+    event.peer == peer
+        || !peer_delta(spec.collab(), peer, &InstanceDiff::between(pre, post), post).is_empty()
 }
 
 /// Convenience: the peer's view of an instance.

@@ -103,6 +103,19 @@ impl Condition {
         }
     }
 
+    /// Does the condition mention attribute `a`? Allocation-free variant of
+    /// `attrs().contains(&a)`, used by the incremental view plane to decide
+    /// whether a modified attribute can affect a peer's selection.
+    pub fn mentions(&self, a: AttrId) -> bool {
+        match self {
+            Condition::True | Condition::False => false,
+            Condition::EqConst(b, _) => *b == a,
+            Condition::EqAttr(b, c) => *b == a || *c == a,
+            Condition::Not(c) => c.mentions(a),
+            Condition::And(cs) | Condition::Or(cs) => cs.iter().any(|c| c.mentions(a)),
+        }
+    }
+
     /// The constants mentioned by the condition (contributes to `const(P)`).
     pub fn constants(&self) -> BTreeSet<Value> {
         let mut out = BTreeSet::new();

@@ -240,6 +240,19 @@ impl CollabSchema {
         ViewInstance { rels }
     }
 
+    /// The empty view instance at `p`: one (empty) relation entry per
+    /// visible relation — structurally identical to
+    /// `view_of(&Instance::empty(..), p)`, without touching an instance.
+    /// This is the bootstrap point of the incremental view plane.
+    pub fn empty_view(&self, p: PeerId) -> ViewInstance {
+        ViewInstance {
+            rels: self.views[p.index()]
+                .keys()
+                .map(|rel| (*rel, BTreeMap::new()))
+                .collect(),
+        }
+    }
+
     /// `att(R, q)` for a peer that sees `R`; `None` otherwise.
     pub fn relevant_attrs(&self, p: PeerId, rel: RelId) -> Option<BTreeSet<AttrId>> {
         self.view(p, rel).map(ViewRel::relevant_attrs)
@@ -328,6 +341,27 @@ impl ViewInstance {
     /// Is the whole view empty?
     pub fn is_empty(&self) -> bool {
         self.rels.values().all(BTreeMap::is_empty)
+    }
+
+    /// Number of visible tuples in `rel` (0 if the relation is not part of
+    /// the view schema). Drives the smallest-relation heuristic of the join
+    /// planner.
+    pub fn rel_len(&self, rel: RelId) -> usize {
+        self.rels.get(&rel).map_or(0, BTreeMap::len)
+    }
+
+    /// Inserts or replaces the view tuple for `t`'s key in `rel` (delta
+    /// application; the tuple is already projected to view width).
+    pub fn upsert(&mut self, rel: RelId, t: Tuple) {
+        self.rels.entry(rel).or_default().insert(t.key().clone(), t);
+    }
+
+    /// Removes the view tuple with key `k` from `rel`, if present (delta
+    /// application; absent keys are ignored so removal is idempotent).
+    pub fn remove(&mut self, rel: RelId, k: &Value) {
+        if let Some(m) = self.rels.get_mut(&rel) {
+            m.remove(k);
+        }
     }
 
     /// Iterates `(rel, tuple)` over the view.
@@ -523,6 +557,35 @@ mod tests {
             cs.set_view(p, ViewRel::new(t, [], Condition::eq_const(AttrId(3), "x"))),
             Err(ModelError::UnknownAttribute { .. })
         ));
+    }
+
+    #[test]
+    fn empty_view_matches_view_of_empty_instance() {
+        let (cs, p, q, _) = example_2_2();
+        let empty = Instance::empty(cs.schema());
+        assert_eq!(cs.empty_view(p), cs.view_of(&empty, p));
+        assert_eq!(cs.empty_view(q), cs.view_of(&empty, q));
+    }
+
+    #[test]
+    fn upsert_remove_and_rel_len() {
+        let (cs, _, q, r) = example_2_2();
+        let mut v = cs.empty_view(q);
+        assert_eq!(v.rel_len(r), 0);
+        v.upsert(r, Tuple::new([Value::str("k"), Value::str("a")]));
+        v.upsert(r, Tuple::new([Value::str("k"), Value::str("b")]));
+        assert_eq!(v.rel_len(r), 1);
+        assert_eq!(
+            v.get(r, &Value::str("k")),
+            Some(&Tuple::new([Value::str("k"), Value::str("b")]))
+        );
+        v.remove(r, &Value::str("missing")); // idempotent no-op
+        v.remove(r, &Value::str("k"));
+        assert_eq!(v.rel_len(r), 0);
+        // Removal keeps the (empty) relation entry: structural equality with
+        // view_of is preserved.
+        let empty = Instance::empty(cs.schema());
+        assert_eq!(v, cs.view_of(&empty, q));
     }
 
     #[test]

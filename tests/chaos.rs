@@ -63,6 +63,31 @@ fn fixed_seed_storage_heavy_exercises_degraded_mode() {
     );
 }
 
+/// A modification-heavy seed over the null-filling task-tracker spec: the
+/// trace must modify tuples *in place* (claim/finish null-fills), driving
+/// the incremental view plane through selection enter/leave transitions
+/// under the differential view-plane oracle.
+#[test]
+fn fixed_seed_mod_heavy_exercises_in_place_modifications() {
+    use collab_workflows::engine::chaos::modification_spec;
+    let sim = ChaosSim::new(modification_spec(), ChaosProfile::ModificationHeavy);
+    let report = match sim.check_seed(9, STEPS) {
+        Ok(report) => report,
+        Err(f) => panic!("chaos seed must stay green:\n{f}"),
+    };
+    assert!(report.events > 0, "trace must accept events");
+    assert!(
+        report.modified_tuples >= 10,
+        "a modification-heavy seed must null-fill tuples in place (got {})",
+        report.modified_tuples
+    );
+    assert!(
+        report.restarts >= 1,
+        "the plane must survive at least one crash-restart rebuild (got {})",
+        report.restarts
+    );
+}
+
 /// The random-workload path stays green too (a different spec per seed).
 #[test]
 fn fixed_seeds_on_random_workloads_pass_all_oracles() {
@@ -82,6 +107,7 @@ fn same_seed_runs_are_byte_identical() {
         ChaosProfile::Default,
         ChaosProfile::CrashHeavy,
         ChaosProfile::StorageHeavy,
+        ChaosProfile::ModificationHeavy,
     ] {
         let sim = ChaosSim::new(default_spec(), profile);
         let trace = sim.generate(23, STEPS);

@@ -243,6 +243,98 @@ mod run_props {
     }
 }
 
+mod view_plane_props {
+    use super::*;
+    use collab_workflows::engine::{candidates, complete, materialize_view, peer_delta};
+    use collab_workflows::lang::WorkflowSpec;
+
+    /// A null-filling task tracker whose peers select on *non-key*
+    /// attributes: `intake` keeps a task only while `Owner = ⊥` (so a claim
+    /// makes the tuple *leave* its view by modification) and `board` only
+    /// once `Status = "done"` (so a finish makes it *enter*).
+    fn task_spec() -> Arc<WorkflowSpec> {
+        Arc::new(
+            parse_workflow(
+                r#"
+                schema { Task(K, Owner, Status); }
+                peers {
+                    lead sees Task(*);
+                    intake sees Task(K, Status) where Owner = null;
+                    board sees Task(K, Owner) where Status = "done";
+                }
+                rules {
+                    open @ lead: +Task(t, null, null) :- ;
+                    claim @ lead: +Task(t, o, null) :- Task(t, null, null);
+                    finish @ lead: +Task(t, null, "done") :- Task(t, o, null), o != null;
+                    prune @ lead: -key Task(t) :- Task(t, o, "done");
+                }
+                "#,
+            )
+            .unwrap(),
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// A random workload pushed through the incremental view plane
+        /// yields, for every peer and at every prefix of the run, a view
+        /// byte-identical to the from-scratch `view_of` reference —
+        /// including non-key-attribute selections and modifications that
+        /// move tuples in and out of selection.
+        #[test]
+        fn plane_matches_view_of_at_every_prefix(picks in prop::collection::vec(0u32..64, 1..36)) {
+            let spec = task_spec();
+            let mut run = Run::new(Arc::clone(&spec));
+            for pick in picks {
+                let cands = candidates(&run);
+                if cands.is_empty() {
+                    break;
+                }
+                let cand = cands[pick as usize % cands.len()].clone();
+                let event = complete(&mut run, &cand);
+                if run.push(event).is_err() {
+                    continue; // chase conflicts and subsumption rejections are fine
+                }
+                let collab = spec.collab();
+                // The plane tracks the current instance exactly.
+                for p in collab.peer_ids() {
+                    prop_assert_eq!(run.peer_view(p), &collab.view_of(run.current(), p));
+                }
+            }
+            // Replaying the stored per-event deltas reconstructs every
+            // prefix's view from the bootstrap, byte for byte.
+            let collab = spec.collab();
+            for p in collab.peer_ids() {
+                let mut rolling = materialize_view(collab, p, run.initial());
+                prop_assert_eq!(&rolling, &collab.view_of(run.initial(), p));
+                for i in 0..run.len() {
+                    peer_delta(collab, p, run.diff(i), run.instance(i)).apply_to_view(&mut rolling);
+                    prop_assert_eq!(&rolling, &collab.view_of(run.instance(i), p));
+                }
+            }
+        }
+
+        /// The random propositional workloads agree too (key-only views,
+        /// different rule shapes than the task tracker).
+        #[test]
+        fn plane_matches_view_of_on_random_specs(gen_seed in 0u64..500, run_seed in 0u64..500) {
+            let mut rng = StdRng::seed_from_u64(gen_seed);
+            let w = random_propositional_spec(&RandomSpecParams::default(), &mut rng);
+            let run = random_run(&w.spec, 12, run_seed);
+            let collab = run.spec().collab();
+            for p in collab.peer_ids() {
+                prop_assert_eq!(run.peer_view(p), &collab.view_of(run.current(), p));
+                let mut rolling = materialize_view(collab, p, run.initial());
+                for i in 0..run.len() {
+                    peer_delta(collab, p, run.diff(i), run.instance(i)).apply_to_view(&mut rolling);
+                    prop_assert_eq!(&rolling, &collab.view_of(run.instance(i), p));
+                }
+            }
+        }
+    }
+}
+
 mod parser_props {
     use super::*;
     use collab_workflows::lang::print_workflow;
