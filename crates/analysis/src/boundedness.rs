@@ -13,7 +13,7 @@ use std::sync::Arc;
 use cwf_core::{tp_closure, EventSet, RunIndex};
 use cwf_engine::{Event, Run};
 use cwf_lang::WorkflowSpec;
-use cwf_model::{Governor, Instance, PeerId, Reason, Verdict};
+use cwf_model::{FirstHit, Governor, Instance, PeerId, Pool, Reason, Verdict};
 
 use crate::space::{
     applicable_events_for_run, completion_pool, constant_pool, InstanceEnumerator, Limits,
@@ -102,33 +102,171 @@ pub fn check_h_bounded_with(
     limits: &Limits,
     gov: &Governor,
 ) -> Decision<BoundednessWitness> {
+    check_h_bounded_pooled(spec, peer, h, limits, gov, Pool::global())
+}
+
+/// [`check_h_bounded_with`] on an explicit [`Pool`].
+///
+/// The parallel strategy fans out over **level-1 frontier items**: initial
+/// instances are drawn in enumeration order, their first (necessarily
+/// silent) chain events are expanded sequentially — preserving the exact
+/// candidate order of the sequential DFS — and the pool's workers then
+/// search each resulting length-1 chain to completion. Worker results merge
+/// in frontier order, so a completed search reports the same first
+/// counterexample (or `Holds`) as the sequential sweep; a counterexample in
+/// hand beats a later worker's exhaustion, and a cross-worker [`FirstHit`]
+/// lets workers beyond the winning frontier index abandon early. `h = 0`
+/// (no silent prefix to fan out over) always runs sequentially.
+pub fn check_h_bounded_pooled(
+    spec: &Arc<WorkflowSpec>,
+    peer: PeerId,
+    h: usize,
+    limits: &Limits,
+    gov: &Governor,
+    pool: &Pool,
+) -> Decision<BoundednessWitness> {
     let verdict = gov.guard(|| {
-        let pool = constant_pool(spec, h + 1, limits);
-        let chain_pool = completion_pool(spec, h + 1, &pool);
-        let mut en = InstanceEnumerator::new(spec, &pool, limits);
-        while let Some(init) = en.next_instance(spec) {
-            if let Err(reason) = gov.tick() {
-                return Verdict::Done(Decision::Exhausted(reason));
-            }
-            let base = Run::with_initial(Arc::clone(spec), init.clone());
-            match dfs_silent_chain(&base, peer, &chain_pool, h + 1, gov) {
-                ChainOutcome::Found(events) => {
-                    return Verdict::Done(Decision::CounterExample(BoundednessWitness {
-                        initial: init,
-                        events,
-                    }))
-                }
-                ChainOutcome::Exhausted(reason) => {
-                    return Verdict::Done(Decision::Exhausted(reason))
-                }
-                ChainOutcome::None => {}
-            }
+        let consts = constant_pool(spec, h + 1, limits);
+        let chain_pool = completion_pool(spec, h + 1, &consts);
+        if pool.is_sequential() || h == 0 {
+            return Verdict::Done(check_sequential(
+                spec,
+                peer,
+                h,
+                limits,
+                gov,
+                &consts,
+                &chain_pool,
+            ));
         }
-        Verdict::Done(Decision::Holds)
+        Verdict::Done(check_parallel(
+            spec,
+            peer,
+            h,
+            limits,
+            gov,
+            pool,
+            &consts,
+            &chain_pool,
+        ))
     });
     match verdict {
         Verdict::Done(d) | Verdict::Anytime(d, _) => d,
         Verdict::Exhausted(reason) => Decision::Exhausted(reason),
+    }
+}
+
+/// The sequential oracle sweep: instances in enumeration order, each chased
+/// to completion before the next.
+#[allow(clippy::too_many_arguments)]
+fn check_sequential(
+    spec: &Arc<WorkflowSpec>,
+    peer: PeerId,
+    h: usize,
+    limits: &Limits,
+    gov: &Governor,
+    consts: &[cwf_model::Value],
+    chain_pool: &[cwf_model::Value],
+) -> Decision<BoundednessWitness> {
+    let mut en = InstanceEnumerator::new(spec, consts, limits);
+    while let Some(init) = en.next_instance(spec) {
+        if let Err(reason) = gov.tick() {
+            return Decision::Exhausted(reason);
+        }
+        let base = Run::with_initial(Arc::clone(spec), init.clone());
+        match silent_chain_from(&base, peer, chain_pool, h + 1, gov, None) {
+            ChainOutcome::Found(events) => {
+                return Decision::CounterExample(BoundednessWitness {
+                    initial: init,
+                    events,
+                })
+            }
+            ChainOutcome::Exhausted(reason) => return Decision::Exhausted(reason),
+            ChainOutcome::None => {}
+        }
+    }
+    Decision::Holds
+}
+
+/// Parallel frontier expansion (see [`check_h_bounded_pooled`]).
+#[allow(clippy::too_many_arguments)]
+fn check_parallel(
+    spec: &Arc<WorkflowSpec>,
+    peer: PeerId,
+    h: usize,
+    limits: &Limits,
+    gov: &Governor,
+    pool: &Pool,
+    consts: &[cwf_model::Value],
+    chain_pool: &[cwf_model::Value],
+) -> Decision<BoundednessWitness> {
+    let target_len = h + 1;
+    let mut en = InstanceEnumerator::new(spec, consts, limits);
+    let batch = pool.threads() * 4;
+    loop {
+        // Collect a batch of level-1 chains in (instance, candidate) order —
+        // the exact order the sequential DFS would first reach them in.
+        let mut items: Vec<Run> = Vec::new();
+        let mut collect_stop: Option<Reason> = None;
+        let mut drained = false;
+        'collect: while items.len() < batch {
+            let Some(init) = en.next_instance(spec) else {
+                drained = true;
+                break;
+            };
+            if let Err(reason) = gov.tick() {
+                collect_stop = Some(reason);
+                break;
+            }
+            let base = Run::with_initial(Arc::clone(spec), init);
+            let Some(candidates) = applicable_events_for_run(spec, &base, chain_pool) else {
+                collect_stop = Some(Reason::Memory);
+                break;
+            };
+            for t in &candidates {
+                if let Err(reason) = gov.tick() {
+                    collect_stop = Some(reason);
+                    break 'collect;
+                }
+                let mut next = base.clone();
+                if next.push(t.clone()).is_err() {
+                    continue;
+                }
+                // Prefix events must be silent (target_len ≥ 2 here).
+                if !next.visible_at(0, peer) {
+                    items.push(next);
+                }
+            }
+        }
+        // Workers finish the collected frontier prefix concurrently.
+        let hit = FirstHit::new();
+        let outs = pool.run(items, |idx, chain: Run| {
+            let init = chain.initial().clone();
+            let out =
+                silent_chain_from(&chain, peer, chain_pool, target_len, gov, Some((&hit, idx)));
+            (init, out)
+        });
+        let mut exhausted = None;
+        for (init, out) in outs {
+            match out {
+                // First frontier index with a counterexample — the sequential
+                // answer; definitive even when an earlier item was cut off.
+                ChainOutcome::Found(events) => {
+                    return Decision::CounterExample(BoundednessWitness {
+                        initial: init,
+                        events,
+                    })
+                }
+                ChainOutcome::Exhausted(r) => exhausted = exhausted.or(Some(r)),
+                ChainOutcome::None => {}
+            }
+        }
+        if let Some(reason) = exhausted.or(collect_stop) {
+            return Decision::Exhausted(reason);
+        }
+        if drained {
+            return Decision::Holds;
+        }
     }
 }
 
@@ -139,7 +277,29 @@ pub fn find_bound(
     h_max: usize,
     limits: &Limits,
 ) -> Option<usize> {
-    (0..=h_max).find(|&h| check_h_bounded(spec, peer, h, limits).holds())
+    find_bound_pooled(spec, peer, h_max, limits, Pool::global())
+}
+
+/// [`find_bound`] on an explicit [`Pool`] (each bound check gets a fresh
+/// node budget, exactly like the sequential driver).
+pub fn find_bound_pooled(
+    spec: &Arc<WorkflowSpec>,
+    peer: PeerId,
+    h_max: usize,
+    limits: &Limits,
+    pool: &Pool,
+) -> Option<usize> {
+    (0..=h_max).find(|&h| {
+        check_h_bounded_pooled(
+            spec,
+            peer,
+            h,
+            limits,
+            &Governor::with_nodes(limits.max_nodes),
+            pool,
+        )
+        .holds()
+    })
 }
 
 enum ChainOutcome {
@@ -148,66 +308,70 @@ enum ChainOutcome {
     Exhausted(Reason),
 }
 
-/// DFS for a run of exactly `target_len` events on `base`'s initial
-/// instance, all silent at `peer` except a visible last one, that is its own
-/// minimum p-faithful scenario.
-fn dfs_silent_chain(
-    base: &Run,
+/// DFS for a run of exactly `target_len` events extending `run`'s events on
+/// its initial instance, all silent at `peer` except a visible last one,
+/// that is its own minimum p-faithful scenario.
+///
+/// `stop` (parallel workers only) is the cross-worker early-exit signal: a
+/// worker whose frontier index is beaten by an already found counterexample
+/// at a smaller index abandons — the index-ordered merge will not read it.
+fn silent_chain_from(
+    run: &Run,
     peer: PeerId,
     pool: &[cwf_model::Value],
     target_len: usize,
     gov: &Governor,
+    stop: Option<(&FirstHit, usize)>,
 ) -> ChainOutcome {
-    fn go(
-        run: &Run,
-        peer: PeerId,
-        pool: &[cwf_model::Value],
-        target_len: usize,
-        gov: &Governor,
-    ) -> ChainOutcome {
-        let depth = run.len();
-        let Some(candidates) = applicable_events_for_run(run.spec(), run, pool) else {
-            // Not enough fresh headroom in the pool: a capacity-style
-            // exhaustion (raise `extra_constants`).
-            return ChainOutcome::Exhausted(Reason::Memory);
-        };
-        for t in &candidates {
-            // One governor node per candidate trial: the budget measures
-            // real work, so exhaustion fires promptly on huge spaces.
-            if let Err(reason) = gov.tick() {
-                return ChainOutcome::Exhausted(reason);
-            }
-            let mut next = run.clone();
-            if next.push(t.clone()).is_err() {
+    if let Some((hit, idx)) = stop {
+        if hit.beats(idx) {
+            return ChainOutcome::None;
+        }
+    }
+    let depth = run.len();
+    let Some(candidates) = applicable_events_for_run(run.spec(), run, pool) else {
+        // Not enough fresh headroom in the pool: a capacity-style
+        // exhaustion (raise `extra_constants`).
+        return ChainOutcome::Exhausted(Reason::Memory);
+    };
+    for t in &candidates {
+        // One governor node per candidate trial: the budget measures
+        // real work, so exhaustion fires promptly on huge spaces.
+        if let Err(reason) = gov.tick() {
+            return ChainOutcome::Exhausted(reason);
+        }
+        let mut next = run.clone();
+        if next.push(t.clone()).is_err() {
+            continue;
+        }
+        let visible = next.visible_at(depth, peer);
+        if depth + 1 == target_len {
+            // Last event: must be visible and the whole chain must be a
+            // minimum p-faithful run (its own minimal faithful scenario).
+            if !visible {
                 continue;
             }
-            let visible = next.visible_at(depth, peer);
-            if depth + 1 == target_len {
-                // Last event: must be visible and the whole chain must be a
-                // minimum p-faithful run (its own minimal faithful scenario).
-                if !visible {
-                    continue;
+            let index = RunIndex::build(&next);
+            let seed = EventSet::from_iter(next.len(), [depth]);
+            let closure = tp_closure(&next, &index, peer, &seed);
+            if closure.len() == next.len() {
+                if let Some((hit, idx)) = stop {
+                    hit.offer(idx);
                 }
-                let index = RunIndex::build(&next);
-                let seed = EventSet::from_iter(next.len(), [depth]);
-                let closure = tp_closure(&next, &index, peer, &seed);
-                if closure.len() == next.len() {
-                    return ChainOutcome::Found(next.events().to_vec());
-                }
-            } else {
-                // Prefix events must be silent.
-                if visible {
-                    continue;
-                }
-                match go(&next, peer, pool, target_len, gov) {
-                    ChainOutcome::None => {}
-                    other => return other,
-                }
+                return ChainOutcome::Found(next.events().to_vec());
+            }
+        } else {
+            // Prefix events must be silent.
+            if visible {
+                continue;
+            }
+            match silent_chain_from(&next, peer, pool, target_len, gov, stop) {
+                ChainOutcome::None => {}
+                other => return other,
             }
         }
-        ChainOutcome::None
     }
-    go(base, peer, pool, target_len, gov)
+    ChainOutcome::None
 }
 
 #[cfg(test)]

@@ -22,7 +22,8 @@ pub mod tree;
 pub mod view_program;
 
 pub use boundedness::{
-    check_h_bounded, check_h_bounded_with, find_bound, BoundednessWitness, Decision,
+    check_h_bounded, check_h_bounded_pooled, check_h_bounded_with, find_bound, find_bound_pooled,
+    BoundednessWitness, Decision,
 };
 pub use space::{constant_pool, event_templates, fresh_instances, InstanceEnumerator, Limits};
 pub use stage::{minimum_faithful_of_stage, stages, Stage};
@@ -31,8 +32,8 @@ pub use synthesis::{
     SynthesisError,
 };
 pub use transparency::{
-    chain_fails_on, check_transparent, check_transparent_with, sample_transparency_violation,
-    TransparencyWitness,
+    chain_fails_on, check_transparent, check_transparent_pooled, check_transparent_with,
+    sample_transparency_violation, TransparencyWitness,
 };
 pub use tree::{sample_tree_divergence, TreeMismatch, MAX_FRESH};
 pub use view_program::{

@@ -18,7 +18,7 @@ use std::sync::Arc;
 use cwf_core::{tp_closure, EventSet, RunIndex};
 use cwf_engine::{Event, Run, Simulator};
 use cwf_lang::WorkflowSpec;
-use cwf_model::{Governor, Instance, PeerId, Reason, Value, Verdict};
+use cwf_model::{FirstHit, Governor, Instance, PeerId, Pool, Reason, Value, Verdict};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -71,7 +71,28 @@ pub fn check_transparent_with(
     limits: &Limits,
     gov: &Governor,
 ) -> Decision<TransparencyWitness> {
-    let verdict = gov.guard(|| Verdict::Done(check_transparent_body(spec, peer, h, limits, gov)));
+    check_transparent_pooled(spec, peer, h, limits, gov, Pool::global())
+}
+
+/// [`check_transparent_with`] on an explicit [`Pool`].
+///
+/// Parallelism fans out over the *source* instance `f1`: each worker
+/// enumerates `f1`'s chains and cross-tests them against every view-equal
+/// `f2`, and the per-`f1` results merge in fresh-enumeration order — the
+/// order the sequential sweep visits them in — so a completed search
+/// reports the same first witness (or `Holds`). A witness in hand beats a
+/// later worker's exhaustion, and a cross-worker [`FirstHit`] lets workers
+/// past the winning index abandon early.
+pub fn check_transparent_pooled(
+    spec: &Arc<WorkflowSpec>,
+    peer: PeerId,
+    h: usize,
+    limits: &Limits,
+    gov: &Governor,
+    pool: &Pool,
+) -> Decision<TransparencyWitness> {
+    let verdict =
+        gov.guard(|| Verdict::Done(check_transparent_body(spec, peer, h, limits, gov, pool)));
     match verdict {
         Verdict::Done(d) | Verdict::Anytime(d, _) => d,
         Verdict::Exhausted(reason) => Decision::Exhausted(reason),
@@ -84,57 +105,110 @@ fn check_transparent_body(
     h: usize,
     limits: &Limits,
     gov: &Governor,
+    pool: &Pool,
 ) -> Decision<TransparencyWitness> {
-    let pool = constant_pool(spec, h + 2, limits);
-    let chain_pool = completion_pool(spec, h + 2, &pool);
+    let consts = constant_pool(spec, h + 2, limits);
+    let chain_pool = completion_pool(spec, h + 2, &consts);
     // The decision needs the *complete* p-fresh set: a partial (anytime)
     // enumeration cannot certify `Holds`, so a cutoff propagates.
-    let fresh = match fresh_instances(spec, peer, &pool, &chain_pool, limits, gov) {
+    let fresh = match fresh_instances(spec, peer, &consts, &chain_pool, limits, gov) {
         Verdict::Done(f) => f,
         Verdict::Anytime(_, bound) => return Decision::Exhausted(bound.reason),
         Verdict::Exhausted(reason) => return Decision::Exhausted(reason),
     };
-    // Precompute the chains once per source instance.
-    for f1 in &fresh {
-        let chains = match enumerate_chains(spec, peer, f1, &chain_pool, h, gov) {
-            Ok(c) => c,
-            Err(reason) => return Decision::Exhausted(reason),
-        };
-        if chains.is_empty() {
+    if pool.is_sequential() {
+        for f1 in &fresh {
+            match check_against_fresh(spec, peer, f1, &fresh, &chain_pool, h, gov, None) {
+                Ok(Some(w)) => return Decision::CounterExample(w),
+                Ok(None) => {}
+                Err(reason) => return Decision::Exhausted(reason),
+            }
+        }
+        return Decision::Holds;
+    }
+    let hit = FirstHit::new();
+    let outs = pool.run((0..fresh.len()).collect(), |_, i| {
+        check_against_fresh(
+            spec,
+            peer,
+            &fresh[i],
+            &fresh,
+            &chain_pool,
+            h,
+            gov,
+            Some((&hit, i)),
+        )
+    });
+    let mut exhausted = None;
+    for out in outs {
+        match out {
+            // First f1 index with a witness — the sequential answer,
+            // definitive even when an earlier worker was cut off.
+            Ok(Some(w)) => return Decision::CounterExample(w),
+            Ok(None) => {}
+            Err(reason) => exhausted = exhausted.or(Some(reason)),
+        }
+    }
+    match exhausted {
+        Some(reason) => Decision::Exhausted(reason),
+        None => Decision::Holds,
+    }
+}
+
+/// The per-`f1` unit of the transparency sweep: enumerate `f1`'s chains and
+/// cross-test them against every view-equal `f2`, in fresh order.
+#[allow(clippy::too_many_arguments)]
+fn check_against_fresh(
+    spec: &Arc<WorkflowSpec>,
+    peer: PeerId,
+    f1: &Instance,
+    fresh: &[Instance],
+    chain_pool: &[Value],
+    h: usize,
+    gov: &Governor,
+    stop: Option<(&FirstHit, usize)>,
+) -> Result<Option<TransparencyWitness>, Reason> {
+    let chains = enumerate_chains(spec, peer, f1, chain_pool, h, gov)?;
+    if chains.is_empty() {
+        return Ok(None);
+    }
+    let view1 = spec.collab().view_of(f1, peer);
+    for f2 in fresh {
+        if f1 == f2 {
             continue;
         }
-        let view1 = spec.collab().view_of(f1, peer);
-        for f2 in &fresh {
-            if f1 == f2 {
-                continue;
-            }
-            if spec.collab().view_of(f2, peer) != view1 {
-                continue;
-            }
-            for chain in &chains {
-                if let Err(reason) = gov.tick() {
-                    return Decision::Exhausted(reason);
+        if spec.collab().view_of(f2, peer) != view1 {
+            continue;
+        }
+        for chain in &chains {
+            if let Some((hit, idx)) = stop {
+                if hit.beats(idx) {
+                    return Ok(None);
                 }
-                // Respect the side condition adom(J) ∩ new(α) = ∅ by
-                // renaming the chain's new values away from f2 (Lemma A.2
-                // makes the renamed chain equivalent on f1).
-                let Some(alpha) = avoid_adom(spec, f1, f2, chain, &chain_pool) else {
-                    // No renaming available within the pool: a capacity
-                    // exhaustion rather than a silent skip.
-                    return Decision::Exhausted(Reason::Memory);
-                };
-                if let Some(reason) = chain_fails_on(spec, peer, f1, f2, &alpha) {
-                    return Decision::CounterExample(TransparencyWitness {
-                        on: f1.clone(),
-                        against: f2.clone(),
-                        alpha,
-                        reason,
-                    });
+            }
+            gov.tick()?;
+            // Respect the side condition adom(J) ∩ new(α) = ∅ by
+            // renaming the chain's new values away from f2 (Lemma A.2
+            // makes the renamed chain equivalent on f1).
+            let Some(alpha) = avoid_adom(spec, f1, f2, chain, chain_pool) else {
+                // No renaming available within the pool: a capacity
+                // exhaustion rather than a silent skip.
+                return Err(Reason::Memory);
+            };
+            if let Some(reason) = chain_fails_on(spec, peer, f1, f2, &alpha) {
+                if let Some((hit, idx)) = stop {
+                    hit.offer(idx);
                 }
+                return Ok(Some(TransparencyWitness {
+                    on: f1.clone(),
+                    against: f2.clone(),
+                    alpha,
+                    reason,
+                }));
             }
         }
     }
-    Decision::Holds
+    Ok(None)
 }
 
 /// All minimum p-faithful silent-then-visible chains of length ≤ `h`

@@ -1,0 +1,144 @@
+//! E17 — the parallel analysis engine at 1/2/4/8 worker threads.
+//!
+//! Runs the two hottest governed analyses at every pool size against the
+//! sequential oracle and checks the verdicts stay byte-identical while the
+//! wall clock (hopefully) drops:
+//!
+//! * **min-scenario** — branch-and-bound over a hard hitting-set reduction
+//!   (`search_min_scenario_pooled`, shared atomic incumbent);
+//! * **boundedness** — confirming 5-boundedness of the silent-chain family's
+//!   k = 4 program (`check_h_bounded_pooled`, batched level-1 split; the
+//!   E6 workload, at the size where exhausting the space costs seconds).
+//!
+//! Besides the timings, the bench writes per-thread-count results, the
+//! measured speedups, and `hardware_threads` (the parallelism the host
+//! actually offers) to `BENCH_par_analysis.json` at the repository root
+//! (consumed by EXPERIMENTS.md E17). Speedups are only meaningful when
+//! `hardware_threads` exceeds the pool size — on a single-core host every
+//! pool size collapses to time-slicing and ≈1× is the honest expectation.
+
+use std::time::Instant;
+
+use criterion::black_box;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use cwf_analysis::{check_h_bounded_pooled, Limits};
+use cwf_bench::{chain_observer, chain_program};
+use cwf_core::{search_min_scenario_pooled, SearchOptions};
+use cwf_model::{Governor, Pool};
+use cwf_workloads::{hitting_set_workload, HittingSet};
+
+const WARMUP: usize = 1;
+const ITERS: usize = 3;
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn time_passes<T: PartialEq + std::fmt::Debug, F: FnMut() -> T>(mut f: F) -> (f64, T) {
+    let mut out = None;
+    for _ in 0..WARMUP {
+        out = Some(black_box(f()));
+    }
+    let start = Instant::now();
+    for _ in 0..ITERS {
+        out = Some(black_box(f()));
+    }
+    (start.elapsed().as_secs_f64() / ITERS as f64, out.unwrap())
+}
+
+fn main() {
+    let hardware = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let mut rng = StdRng::seed_from_u64(42);
+    let hs = hitting_set_workload(HittingSet::random(12, 5, 3, &mut rng));
+    let run = hs.saturated_run();
+    let opts = SearchOptions::default();
+
+    let spec = chain_program(4);
+    let p = chain_observer(&spec);
+    let limits = Limits {
+        max_nodes: 50_000_000,
+        max_tuples_per_rel: 1,
+        extra_constants: Some(0),
+    };
+
+    let mut min_times = Vec::new();
+    let mut bound_times = Vec::new();
+    let mut min_oracle = None;
+    let mut bound_oracle = None;
+    for threads in THREADS {
+        let pool = Pool::with_threads(threads);
+        let (t_min, v_min) = time_passes(|| {
+            search_min_scenario_pooled(&run, hs.p, &opts, &Governor::unlimited(), &pool)
+        });
+        let (t_bound, v_bound) = time_passes(|| {
+            format!(
+                "{:?}",
+                check_h_bounded_pooled(
+                    &spec,
+                    p,
+                    5,
+                    &limits,
+                    &Governor::with_nodes(limits.max_nodes),
+                    &pool,
+                )
+            )
+        });
+        match &min_oracle {
+            None => min_oracle = Some(v_min),
+            Some(oracle) => assert_eq!(&v_min, oracle, "min-scenario diverges at {threads}"),
+        }
+        match &bound_oracle {
+            None => bound_oracle = Some(v_bound),
+            Some(oracle) => assert_eq!(&v_bound, oracle, "boundedness diverges at {threads}"),
+        }
+        println!(
+            "E17_par_analysis/min_scenario/t{threads}  ... {:>10.0} ns/iter",
+            t_min * 1e9
+        );
+        println!(
+            "E17_par_analysis/boundedness/t{threads}   ... {:>10.0} ns/iter",
+            t_bound * 1e9
+        );
+        min_times.push(t_min);
+        bound_times.push(t_bound);
+    }
+
+    let speedup =
+        |times: &[f64], t: usize| times[0] / times[THREADS.iter().position(|&x| x == t).unwrap()];
+    println!(
+        "E17_par_analysis: hardware_threads={hardware}, min-scenario speedup \
+         2t {:.2}x / 4t {:.2}x / 8t {:.2}x, boundedness speedup 2t {:.2}x / \
+         4t {:.2}x / 8t {:.2}x",
+        speedup(&min_times, 2),
+        speedup(&min_times, 4),
+        speedup(&min_times, 8),
+        speedup(&bound_times, 2),
+        speedup(&bound_times, 4),
+        speedup(&bound_times, 8),
+    );
+
+    let row = |times: &[f64]| {
+        THREADS
+            .iter()
+            .zip(times)
+            .map(|(t, s)| format!("    {{\"threads\": {t}, \"ms\": {:.3}}}", s * 1e3))
+            .collect::<Vec<_>>()
+            .join(",\n")
+    };
+    let json = format!(
+        "{{\n  \"experiment\": \"E17_par_analysis\",\n  \
+         \"hardware_threads\": {hardware},\n  \
+         \"min_scenario\": [\n{}\n  ],\n  \
+         \"boundedness\": [\n{}\n  ],\n  \
+         \"min_scenario_speedup_4t\": {:.2},\n  \
+         \"boundedness_speedup_4t\": {:.2}\n}}\n",
+        row(&min_times),
+        row(&bound_times),
+        speedup(&min_times, 4),
+        speedup(&bound_times, 4),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_par_analysis.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("E17_par_analysis: cannot write {path}: {e}");
+    }
+}

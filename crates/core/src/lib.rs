@@ -38,11 +38,14 @@ pub use faithful::{
 pub use incremental::IncrementalExplainer;
 pub use index::{Lifecycle, Modification, RunIndex};
 pub use minimal::{
-    all_minimal_scenarios, is_minimal_exact, is_one_minimal, one_minimal_scenario,
-    shrink_to_one_minimal,
+    all_minimal_scenarios, all_minimal_scenarios_pooled, is_minimal_exact, is_one_minimal,
+    one_minimal_scenario, shrink_to_one_minimal,
 };
-pub use minimum::{exists_scenario_at_most, search_min_scenario, SearchOptions};
-pub use scenario::{is_scenario, is_scenario_against, is_subrun, subrun, visible_set};
+pub use minimum::{
+    exists_scenario_at_most, exists_scenario_at_most_pooled, search_min_scenario,
+    search_min_scenario_pooled, SearchOptions,
+};
+pub use scenario::{is_scenario, is_scenario_against, is_subrun, mask_order, subrun, visible_set};
 pub use semiring::Faithful;
 pub use set::EventSet;
 pub use tp::{

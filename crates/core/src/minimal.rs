@@ -10,12 +10,18 @@
 //! scenario in polynomial time (the paper's greedy procedure for the
 //! Hitting-Set runs), which need not be minimal in general.
 
-use cwf_engine::Run;
-use cwf_model::{Bound, Governor, PeerId, Reason, Verdict};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use cwf_engine::{Run, RunView};
+use cwf_model::{Bound, Governor, PeerId, Pool, Reason, Verdict};
 
 use crate::minimum::{search_min_scenario, SearchOptions};
 use crate::scenario::{is_scenario, is_scenario_against};
 use crate::set::EventSet;
+
+/// Runs with fewer events than this (i.e. fewer than 2^10 candidate masks)
+/// enumerate sequentially even under a multi-worker pool.
+const PAR_MIN_MASK_BITS: usize = 10;
 
 /// Greedily shrinks `start` (which must be a scenario of `run` at `peer`)
 /// by single-event removals until 1-minimal. Removal candidates are tried
@@ -253,6 +259,30 @@ pub fn all_minimal_scenarios(
     max: usize,
     gov: &Governor,
 ) -> Verdict<Vec<EventSet>> {
+    all_minimal_scenarios_pooled(run, peer, max, gov, Pool::global())
+}
+
+/// [`all_minimal_scenarios`] on an explicit [`Pool`].
+///
+/// With more than one worker the 2^n mask space is cut into contiguous
+/// ranges enumerated concurrently. Workers prune against their **local**
+/// finds only (still sound: a pruned mask has a strict-subset scenario, so
+/// it cannot be minimal), and the merged chunk results — concatenated in
+/// chunk order, i.e. global mask order — pass through the same exact
+/// minimality filter as the sequential sweep. Both paths therefore emit
+/// exactly the minimal scenarios in mask order: byte-identical output on
+/// every completed enumeration. On a governor cutoff only the chunks before
+/// (and the partial finds of) the first cut-off chunk contribute, keeping
+/// the anytime answer's "strict subsets were enumerated first" soundness
+/// argument intact; the runaway `max * 8` guard counts finds across all
+/// workers and so may trip slightly earlier than sequentially.
+pub fn all_minimal_scenarios_pooled(
+    run: &Run,
+    peer: PeerId,
+    max: usize,
+    gov: &Governor,
+    pool: &Pool,
+) -> Verdict<Vec<EventSet>> {
     gov.guard(|| {
         // Collect scenarios by exhaustive mask enumeration, then filter to
         // the minimal ones (no strict subsequence among the collected set is
@@ -264,29 +294,11 @@ pub fn all_minimal_scenarios(
             // set (and the masks) would not fit any sane memory account.
             return Verdict::Exhausted(Reason::Memory);
         }
-        let mut scenarios: Vec<EventSet> = Vec::new();
-        let mut stopped = None;
-        for mask in 0u64..(1u64 << n) {
-            if let Err(reason) = gov.tick() {
-                stopped = Some(reason);
-                break;
-            }
-            let set = EventSet::from_iter(n, (0..n).filter(|i| mask & (1 << i) != 0));
-            // Cheap pruning: a superset of a known minimal scenario with
-            // extra events may still be a non-minimal scenario — skip replay
-            // when a known scenario is a strict subset (it cannot be
-            // minimal).
-            if scenarios.iter().any(|s| s.is_strict_subset(&set)) {
-                continue;
-            }
-            if is_scenario_against(run, peer, &set, &target) {
-                scenarios.push(set);
-                if scenarios.len() > max * 8 {
-                    stopped = Some(Reason::Memory); // runaway; raise `max`
-                    break;
-                }
-            }
-        }
+        let (scenarios, stopped) = if pool.is_sequential() || n < PAR_MIN_MASK_BITS {
+            collect_scenarios_range(run, peer, &target, 0, 1u64 << n, gov, max, None)
+        } else {
+            collect_scenarios_parallel(run, peer, &target, gov, max, pool)
+        };
         // Masks are enumerated in increasing numeric order, not subset
         // order, so finish with an exact minimality filter.
         let mut minimal: Vec<EventSet> = Vec::new();
@@ -311,6 +323,92 @@ pub fn all_minimal_scenarios(
             }
         }
     })
+}
+
+/// Enumerates the masks in `[lo, hi)` in increasing order, collecting every
+/// scenario that has no strict subset among the scenarios already collected
+/// *by this call*. `found` (when running as a pool worker) is the
+/// cross-worker find counter backing the runaway guard.
+#[allow(clippy::too_many_arguments)]
+fn collect_scenarios_range(
+    run: &Run,
+    peer: PeerId,
+    target: &RunView,
+    lo: u64,
+    hi: u64,
+    gov: &Governor,
+    max: usize,
+    found: Option<&AtomicUsize>,
+) -> (Vec<EventSet>, Option<Reason>) {
+    let n = run.len();
+    let mut scenarios: Vec<EventSet> = Vec::new();
+    let mut stopped = None;
+    for mask in lo..hi {
+        if let Err(reason) = gov.tick() {
+            stopped = Some(reason);
+            break;
+        }
+        let set = EventSet::from_iter(n, (0..n).filter(|i| mask & (1 << i) != 0));
+        // Cheap pruning: a superset of a known minimal scenario with
+        // extra events may still be a non-minimal scenario — skip replay
+        // when a known scenario is a strict subset (it cannot be
+        // minimal).
+        if scenarios.iter().any(|s| s.is_strict_subset(&set)) {
+            continue;
+        }
+        if is_scenario_against(run, peer, &set, target) {
+            scenarios.push(set);
+            let total = match found {
+                Some(counter) => counter.fetch_add(1, Ordering::Relaxed) + 1,
+                None => scenarios.len(),
+            };
+            if total > max * 8 {
+                stopped = Some(Reason::Memory); // runaway; raise `max`
+                break;
+            }
+        }
+    }
+    (scenarios, stopped)
+}
+
+/// Fans the mask space out over the pool in contiguous chunks and merges
+/// the per-chunk finds back into global mask order.
+fn collect_scenarios_parallel(
+    run: &Run,
+    peer: PeerId,
+    target: &RunView,
+    gov: &Governor,
+    max: usize,
+    pool: &Pool,
+) -> (Vec<EventSet>, Option<Reason>) {
+    let total = 1u64 << run.len();
+    let chunks = ((pool.threads() * 8) as u64).min(total);
+    let found = AtomicUsize::new(0);
+    let bounds: Vec<(u64, u64)> = (0..chunks)
+        .map(|c| (total * c / chunks, total * (c + 1) / chunks))
+        .collect();
+    let outs = pool.run(bounds, |_, (lo, hi)| {
+        collect_scenarios_range(run, peer, target, lo, hi, gov, max, Some(&found))
+    });
+    let mut scenarios: Vec<EventSet> = Vec::new();
+    let mut stopped = None;
+    for (part, stop) in outs {
+        scenarios.extend(part);
+        if let Some(reason) = stop {
+            // Chunks after the first cut-off one may well have completed,
+            // but the anytime answer is only sound over a contiguous prefix
+            // of the mask order — drop them.
+            stopped = Some(reason);
+            break;
+        }
+    }
+    debug_assert!(
+        scenarios
+            .windows(2)
+            .all(|w| crate::scenario::mask_order(&w[0], &w[1]) == std::cmp::Ordering::Less),
+        "chunk-order concatenation must equal global mask order"
+    );
+    (scenarios, stopped)
 }
 
 #[cfg(test)]

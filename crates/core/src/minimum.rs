@@ -20,9 +20,15 @@
 //! test of Theorem 3.4 (see [`crate::minimal`]).
 
 use cwf_engine::{EventView, Run, RunView};
-use cwf_model::{Bound, Governor, PeerId, Reason, Verdict};
+use cwf_model::{Bound, FirstHit, Governor, PeerId, Pool, Reason, SharedMin, Verdict};
 
 use crate::set::EventSet;
+
+/// Runs shorter than this stay on the sequential path even under a
+/// multi-worker pool: the subproblem fan-out would cost more than the
+/// search itself (and the small unit-test runs keep exercising the
+/// sequential oracle verbatim).
+const PAR_MIN_EVENTS: usize = 8;
 
 /// Options for the scenario search. Resource limits live on the
 /// [`Governor`] passed alongside, not here.
@@ -54,30 +60,160 @@ pub fn search_min_scenario(
     opts: &SearchOptions,
     gov: &Governor,
 ) -> Verdict<Option<EventSet>> {
+    search_min_scenario_pooled(run, peer, opts, gov, Pool::global())
+}
+
+/// [`search_min_scenario`] on an explicit [`Pool`].
+///
+/// With more than one worker (and a run above a small size threshold) the
+/// search becomes parallel branch-and-bound: the decision tree is expanded
+/// sequentially to a shallow spawn depth, the resulting subproblems are
+/// solved by the pool's workers against a **shared atomic incumbent bound**
+/// (the length of the best scenario any worker has found), and the worker
+/// results are merged in subproblem DFS order. Two details make the merged
+/// answer byte-identical to the sequential one on every completed search:
+///
+/// * workers prune with `chosen + remaining > bound` where `bound` is the
+///   incumbent *length* (not length − 1), so the DFS-first witness of the
+///   eventually winning length survives in every subtree that attains it;
+/// * ties between equal-length witnesses break by subproblem DFS order —
+///   exactly the order the sequential search discovers scenarios in.
+///
+/// Under a mid-search cutoff the *kind* of verdict (`Anytime`/`Exhausted`
+/// and its [`Reason`]) matches the sequential one, but the partial witness
+/// may differ — where the budget dies is inherently schedule-dependent. In
+/// decision mode a witness found by any worker is reported even if an
+/// earlier subproblem was cut off: a scenario in hand is strictly more
+/// informative than the sequential `Anytime(false)`.
+pub fn search_min_scenario_pooled(
+    run: &Run,
+    peer: PeerId,
+    opts: &SearchOptions,
+    gov: &Governor,
+    pool: &Pool,
+) -> Verdict<Option<EventSet>> {
     gov.guard(|| {
         if let Err(reason) = gov.check() {
             return cutoff_verdict(run, peer, opts, None, reason);
         }
         let target = run.view(peer);
-        let mut ctx = Ctx {
-            run,
-            peer,
-            target: &target,
-            allowed: opts.allowed.clone(),
-            max_len: opts.max_len.unwrap_or(run.len()),
-            first_found: opts.first_found,
-            gov,
-            best: None,
-            stopped: None,
-        };
-        let empty = Run::with_initial(run.spec_arc(), run.initial().clone());
-        let mut chosen = Vec::new();
-        ctx.dfs(0, &empty, 0, &mut chosen);
-        match ctx.stopped {
-            None => Verdict::Done(ctx.best),
-            Some(reason) => cutoff_verdict(run, peer, opts, ctx.best, reason),
+        if pool.is_sequential() || run.len() < PAR_MIN_EVENTS {
+            return search_sequential(run, peer, opts, gov, &target);
         }
+        search_parallel(run, peer, opts, gov, &target, pool)
     })
+}
+
+/// The sequential oracle path (also the body of every pool-of-one search).
+fn search_sequential(
+    run: &Run,
+    peer: PeerId,
+    opts: &SearchOptions,
+    gov: &Governor,
+    target: &RunView,
+) -> Verdict<Option<EventSet>> {
+    let mut ctx = Ctx::sequential(run, peer, target, opts, gov);
+    let empty = Run::with_initial(run.spec_arc(), run.initial().clone());
+    let mut chosen = Vec::new();
+    ctx.dfs(0, &empty, 0, &mut chosen);
+    match ctx.stopped {
+        None => Verdict::Done(ctx.best),
+        Some(reason) => cutoff_verdict(run, peer, opts, ctx.best, reason),
+    }
+}
+
+/// A branch of the decision tree frozen at the spawn depth, ready to hand
+/// to a worker: the replayed subrun, the observations matched so far, and
+/// the chosen positions.
+struct Prefix {
+    sub: Run,
+    matched: usize,
+    chosen: Vec<usize>,
+}
+
+/// Cross-worker coordination state of one parallel search.
+struct ParShared {
+    /// Length of the best scenario found by any worker (optimize mode).
+    best_len: SharedMin,
+    /// Smallest subproblem index holding a witness (decision mode).
+    first_hit: FirstHit,
+}
+
+fn search_parallel(
+    run: &Run,
+    peer: PeerId,
+    opts: &SearchOptions,
+    gov: &Governor,
+    target: &RunView,
+    pool: &Pool,
+) -> Verdict<Option<EventSet>> {
+    // Phase 1: expand the same exclude-first decision tree sequentially
+    // down to the spawn depth, collecting the live branches in DFS order.
+    let depth = spawn_depth(pool.threads(), run.len());
+    let mut expander = Ctx::sequential(run, peer, target, opts, gov);
+    expander.spawn_depth = depth;
+    let empty = Run::with_initial(run.spec_arc(), run.initial().clone());
+    let mut chosen = Vec::new();
+    expander.dfs(0, &empty, 0, &mut chosen);
+    if let Some(reason) = expander.stopped {
+        return cutoff_verdict(run, peer, opts, None, reason);
+    }
+    debug_assert!(expander.best.is_none(), "no scenario completes above depth");
+    let prefixes = std::mem::take(&mut expander.prefixes);
+    if prefixes.is_empty() {
+        // Every branch died before the spawn depth: exhaustively no
+        // scenario, same as the sequential search concluding Done(None).
+        return Verdict::Done(None);
+    }
+
+    // Phase 2: workers solve the subproblems under the shared incumbent.
+    let shared = ParShared {
+        best_len: SharedMin::new(u64::MAX),
+        first_hit: FirstHit::new(),
+    };
+    let outs = pool.run(prefixes, |idx, p: Prefix| {
+        let mut ctx = Ctx::sequential(run, peer, target, opts, gov);
+        ctx.shared = Some(&shared);
+        ctx.my_index = idx;
+        let mut chosen = p.chosen;
+        ctx.dfs(depth, &p.sub, p.matched, &mut chosen);
+        (ctx.best, ctx.stopped)
+    });
+
+    // Phase 3: index-ordered merge.
+    if opts.first_found {
+        // The earliest subproblem holding a witness is the sequential
+        // answer; a witness is definitive even past a cutoff.
+        if let Some(w) = outs.iter().find_map(|(best, _)| best.clone()) {
+            return Verdict::Done(Some(w));
+        }
+        return match outs.into_iter().find_map(|(_, stopped)| stopped) {
+            None => Verdict::Done(None),
+            Some(reason) => cutoff_verdict(run, peer, opts, None, reason),
+        };
+    }
+    let mut best: Option<EventSet> = None;
+    for (b, _) in &outs {
+        let Some(b) = b else { continue };
+        // Strictly-shorter replacement: at equal lengths the earlier
+        // subproblem (the one sequential DFS reaches first) keeps the tie.
+        if best.as_ref().is_none_or(|cur| b.len() < cur.len()) {
+            best = Some(b.clone());
+        }
+    }
+    match outs.into_iter().find_map(|(_, stopped)| stopped) {
+        None => Verdict::Done(best),
+        Some(reason) => cutoff_verdict(run, peer, opts, best, reason),
+    }
+}
+
+/// Spawn depth: enough levels for a few subproblems per worker (≤ 2^d
+/// branches), capped below the run length so workers always have a tree
+/// left to search.
+fn spawn_depth(threads: usize, run_len: usize) -> usize {
+    let want = (threads * 4).max(2) as u64;
+    let bits = (u64::BITS - (want - 1).leading_zeros()) as usize;
+    bits.min(run_len - 1)
 }
 
 /// Builds the anytime verdict for a cut-off search: prefers the DFS
@@ -125,6 +261,18 @@ fn cutoff_verdict(
 /// observation-count lower bound and the greedy upper bound on the true
 /// minimum length.
 pub fn exists_scenario_at_most(run: &Run, peer: PeerId, n: usize, gov: &Governor) -> Verdict<bool> {
+    exists_scenario_at_most_pooled(run, peer, n, gov, Pool::global())
+}
+
+/// [`exists_scenario_at_most`] on an explicit [`Pool`] (see
+/// [`search_min_scenario_pooled`] for the parallel contract).
+pub fn exists_scenario_at_most_pooled(
+    run: &Run,
+    peer: PeerId,
+    n: usize,
+    gov: &Governor,
+    pool: &Pool,
+) -> Verdict<bool> {
     gov.guard(|| {
         let greedy = crate::minimal::one_minimal_scenario(run, peer);
         if greedy.len() <= n {
@@ -148,7 +296,7 @@ pub fn exists_scenario_at_most(run: &Run, peer: PeerId, n: usize, gov: &Governor
             first_found: true,
             ..Default::default()
         };
-        match search_min_scenario(run, peer, &opts, gov) {
+        match search_min_scenario_pooled(run, peer, &opts, gov, pool) {
             Verdict::Done(Some(_)) | Verdict::Anytime(Some(_), _) => Verdict::Done(true),
             Verdict::Done(None) => Verdict::Done(false),
             Verdict::Anytime(None, b) => cut(b.reason),
@@ -167,25 +315,99 @@ struct Ctx<'a> {
     gov: &'a Governor,
     best: Option<EventSet>,
     stopped: Option<Reason>,
+    /// Depth at which the expansion phase freezes branches into [`Prefix`]es
+    /// instead of recursing (`usize::MAX`: never — plain search).
+    spawn_depth: usize,
+    /// Branches collected by the expansion phase, in DFS order.
+    prefixes: Vec<Prefix>,
+    /// Cross-worker incumbent state (parallel workers only).
+    shared: Option<&'a ParShared>,
+    /// This worker's subproblem index (DFS order of its prefix).
+    my_index: usize,
 }
 
-impl Ctx<'_> {
-    /// Current upper bound on useful lengths.
-    fn bound(&self) -> usize {
-        match &self.best {
-            Some(b) => b.len().saturating_sub(1).min(self.max_len),
-            None => self.max_len,
+impl<'a> Ctx<'a> {
+    fn sequential(
+        run: &'a Run,
+        peer: PeerId,
+        target: &'a RunView,
+        opts: &SearchOptions,
+        gov: &'a Governor,
+    ) -> Self {
+        Ctx {
+            run,
+            peer,
+            target,
+            allowed: opts.allowed.clone(),
+            max_len: opts.max_len.unwrap_or(run.len()),
+            first_found: opts.first_found,
+            gov,
+            best: None,
+            stopped: None,
+            spawn_depth: usize::MAX,
+            prefixes: Vec::new(),
+            shared: None,
+            my_index: 0,
         }
     }
 
+    /// Current upper bound on useful lengths. The local incumbent prunes to
+    /// strictly-shorter (`len − 1`); the cross-worker incumbent prunes only
+    /// to `len` — equal-length witnesses in earlier subproblems must survive
+    /// so the index-ordered merge reproduces the sequential tie-break.
+    fn bound(&self) -> usize {
+        let mut b = match &self.best {
+            Some(s) => s.len().saturating_sub(1).min(self.max_len),
+            None => self.max_len,
+        };
+        if let Some(shared) = self.shared {
+            let g = shared.best_len.get();
+            if g != u64::MAX {
+                b = b.min(g as usize);
+            }
+        }
+        b
+    }
+
     fn done(&self) -> bool {
-        self.first_found && self.best.is_some()
+        if !self.first_found {
+            return false;
+        }
+        if self.best.is_some() {
+            return true;
+        }
+        // An earlier subproblem already holds a witness: the index-ordered
+        // merge will never read this worker's answer, so stop early.
+        self.shared
+            .is_some_and(|s| s.first_hit.beats(self.my_index))
+    }
+
+    /// Records a completed scenario, publishing it to the cross-worker
+    /// incumbent when running as a parallel worker.
+    fn record(&mut self, set: EventSet) {
+        if let Some(shared) = self.shared {
+            shared.best_len.relax(set.len() as u64);
+            if self.first_found {
+                shared.first_hit.offer(self.my_index);
+            }
+        }
+        self.best = Some(set);
     }
 
     /// DFS over positions. `sub` is the replayed subrun so far, `matched`
     /// the number of target steps already produced.
     fn dfs(&mut self, i: usize, sub: &Run, matched: usize, chosen: &mut Vec<usize>) {
         if self.done() || self.stopped.is_some() {
+            return;
+        }
+        // Expansion phase: freeze this branch for a worker. Before the tick,
+        // so every spawned node is charged exactly once — by its worker.
+        if i == self.spawn_depth {
+            self.prefixes.push(Prefix {
+                sub: sub.clone(),
+                matched,
+                chosen: chosen.clone(),
+            });
             return;
         }
         if let Err(reason) = self.gov.tick() {
@@ -205,7 +427,7 @@ impl Ctx<'_> {
                     None => true,
                 };
                 if better {
-                    self.best = Some(set);
+                    self.record(set);
                 }
             }
             return;

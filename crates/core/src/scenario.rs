@@ -41,6 +41,36 @@ pub fn visible_set(run: &Run, peer: PeerId) -> EventSet {
     EventSet::from_iter(run.len(), run.visible_events(peer))
 }
 
+/// Total order on event sets by their characteristic bitmask (position 0 is
+/// the least significant bit) — the order the exhaustive mask enumeration of
+/// [`crate::minimal::all_minimal_scenarios`] visits candidates in. The
+/// parallel enumeration asserts its merged output respects this order,
+/// which is what makes it byte-identical to the sequential sweep.
+pub fn mask_order(a: &EventSet, b: &EventSet) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    // Compare the *largest* differing position: whichever set contains it
+    // has the numerically larger mask. Walk both sorted position lists from
+    // the top.
+    let av = a.to_vec();
+    let bv = b.to_vec();
+    let (mut i, mut j) = (av.len(), bv.len());
+    loop {
+        match (i, j) {
+            (0, 0) => return Ordering::Equal,
+            (0, _) => return Ordering::Less,
+            (_, 0) => return Ordering::Greater,
+            _ => match av[i - 1].cmp(&bv[j - 1]) {
+                Ordering::Less => return Ordering::Less,
+                Ordering::Greater => return Ordering::Greater,
+                Ordering::Equal => {
+                    i -= 1;
+                    j -= 1;
+                }
+            },
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,6 +163,29 @@ mod tests {
         // scenario either.
         assert!(is_subrun(&run, &EventSet::empty(run.len())));
         assert!(!is_scenario(&run, p, &EventSet::empty(run.len())));
+    }
+
+    #[test]
+    fn mask_order_is_the_numeric_bitmask_order() {
+        use std::cmp::Ordering;
+        let set = |xs: &[usize]| EventSet::from_iter(6, xs.iter().copied());
+        // Enumerate all 6-bit masks; mask_order must agree with u64 order.
+        let sets: Vec<(u64, EventSet)> = (0u64..64)
+            .map(|m| {
+                (
+                    m,
+                    EventSet::from_iter(6, (0..6).filter(|i| m & (1 << i) != 0)),
+                )
+            })
+            .collect();
+        for (ma, a) in &sets {
+            for (mb, b) in &sets {
+                assert_eq!(mask_order(a, b), ma.cmp(mb), "{a:?} vs {b:?}");
+            }
+        }
+        // Spot checks: {0,1} (mask 3) sits between {1} (2) and {2} (4).
+        assert_eq!(mask_order(&set(&[1]), &set(&[0, 1])), Ordering::Less);
+        assert_eq!(mask_order(&set(&[0, 1]), &set(&[2])), Ordering::Less);
     }
 
     #[test]

@@ -72,6 +72,18 @@ pub enum Action {
     ///
     /// [g]: cwf_model::govern::Governor
     GovernorCancel,
+    /// Run the governed **parallel** view-plane audit
+    /// ([`governed_view_audit`][a]) three ways: under a pre-cancelled
+    /// [`Governor`][g] on a multi-worker pool (must stop with
+    /// `Exhausted(Cancelled)` before any worker does work), then unlimited
+    /// on a 4-worker pool versus the single-worker oracle (the two verdicts
+    /// must be byte-identical), plus a fixed satisfiability differential
+    /// across the same two pool sizes. Read-only: must not mutate the
+    /// coordinator.
+    ///
+    /// [a]: crate::chaos::oracle::governed_view_audit
+    /// [g]: cwf_model::govern::Governor
+    ParCancel,
     /// While degraded, attempt a mutation and require it to be rejected
     /// with `CoordinatorError::Degraded`, leaving the run and every replica
     /// untouched (reads keep being served). A no-op when not degraded.
@@ -95,6 +107,7 @@ impl fmt::Display for Action {
             Action::Heal => write!(f, "heal"),
             Action::Rearm => write!(f, "rearm"),
             Action::GovernorCancel => write!(f, "cancel"),
+            Action::ParCancel => write!(f, "pcancel"),
             Action::DegradeProbe => write!(f, "probe"),
         }
     }
@@ -128,6 +141,7 @@ impl FromStr for Action {
             "heal" => return Ok(Action::Heal),
             "rearm" => return Ok(Action::Rearm),
             "cancel" => return Ok(Action::GovernorCancel),
+            "pcancel" => return Ok(Action::ParCancel),
             "probe" => return Ok(Action::DegradeProbe),
             _ => {}
         }
@@ -194,12 +208,13 @@ mod tests {
             Action::Heal,
             Action::Rearm,
             Action::GovernorCancel,
+            Action::ParCancel,
             Action::DegradeProbe,
         ];
         let line = format_trace(&trace);
         assert_eq!(
             line,
-            "submit(7) pump(3) crash(12) crash(0,41^255) resync heal rearm cancel probe"
+            "submit(7) pump(3) crash(12) crash(0,41^255) resync heal rearm cancel pcancel probe"
         );
         assert_eq!(parse_trace(&line).unwrap(), trace);
     }

@@ -43,7 +43,8 @@ pub mod sim;
 
 pub use actions::{format_trace, parse_trace, Action, ActionParseError};
 pub use oracle::{
-    default_oracles, governed_wellformed, Checkpoint, EventCountOracle, Oracle, ViewPlaneOracle,
+    default_oracles, governed_view_audit, governed_wellformed, Checkpoint, EventCountOracle,
+    Oracle, ViewPlaneOracle,
 };
 pub use shrink::ddmin;
 pub use sim::{ChaosConfig, ChaosFailure, ChaosProfile, ChaosSim, TraceReport};

@@ -33,7 +33,7 @@
 //! [`ChaosSim::run_trace`](crate::chaos::ChaosSim::run_trace) rather than
 //! through this trait.
 
-use cwf_model::govern::{Bound, Governor, Verdict};
+use cwf_model::govern::{Bound, Governor, Pool, Verdict};
 
 use crate::chaos::actions::Action;
 use crate::coordinator::Coordinator;
@@ -112,6 +112,54 @@ pub fn governed_wellformed(run: &Run, gov: &Governor) -> Verdict<Result<usize, R
         }
     }
     Verdict::Done(Ok(run.len()))
+}
+
+/// Audits the delta-maintained view plane of `run` against the from-scratch
+/// `view_of` reference, one governed tick per peer, fanning the peers out
+/// over `pool` — the governed *parallel* analysis exercised by
+/// [`Action::ParCancel`](crate::chaos::actions::Action::ParCancel).
+///
+/// Per-peer results merge in peer order, so the verdict is byte-identical
+/// across pool sizes on a completed audit: `Done(Ok(n))` when all `n` peer
+/// views agree, `Done(Err(msg))` naming the first diverging peer, and the
+/// cutoff verdicts mirroring [`governed_wellformed`] (`Exhausted` when the
+/// first peer was already cut off, `Anytime(Ok(i), _)` after `i` audited
+/// peers otherwise).
+pub fn governed_view_audit(
+    run: &Run,
+    gov: &Governor,
+    pool: &Pool,
+) -> Verdict<Result<usize, String>> {
+    if let Err(reason) = gov.check() {
+        return Verdict::Exhausted(reason);
+    }
+    let collab = run.spec().collab();
+    let peers: Vec<_> = collab.peer_ids().collect();
+    let n = peers.len();
+    let outs = pool.run(peers, |_, p| {
+        gov.tick()?;
+        if run.peer_view(p) != &collab.view_of(run.current(), p) {
+            return Ok(Err(format!(
+                "view plane diverges from view_of for peer {}",
+                collab.peer_name(p)
+            )));
+        }
+        Ok(Ok(()))
+    });
+    for (i, out) in outs.into_iter().enumerate() {
+        match out {
+            Err(reason) => {
+                return if i == 0 {
+                    Verdict::Exhausted(reason)
+                } else {
+                    Verdict::Anytime(Ok(i), Bound::bare(reason))
+                };
+            }
+            Ok(Err(msg)) => return Verdict::Done(Err(msg)),
+            Ok(Ok(())) => {}
+        }
+    }
+    Verdict::Done(Ok(n))
 }
 
 /// The coordinator's in-memory run is a suffix of the accepted history and

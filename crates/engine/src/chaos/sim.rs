@@ -21,12 +21,16 @@ use std::fmt;
 use std::sync::Arc;
 
 use cwf_lang::WorkflowSpec;
-use cwf_model::govern::{CancelToken, Governor, Reason, Verdict};
+use cwf_model::govern::{CancelToken, Governor, Pool, Reason, Verdict};
+use cwf_model::solver::satisfiable_within_pooled;
+use cwf_model::{AttrId, Condition};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::chaos::actions::{format_trace, Action};
-use crate::chaos::oracle::{default_oracles, governed_wellformed, Checkpoint, Oracle};
+use crate::chaos::oracle::{
+    default_oracles, governed_view_audit, governed_wellformed, Checkpoint, Oracle,
+};
 use crate::chaos::shrink::ddmin;
 use crate::coordinator::{Convergence, Coordinator, CoordinatorConfig, MaterializedView};
 use crate::error::CoordinatorError;
@@ -50,6 +54,19 @@ fn mix(seed: u64, salt: u64) -> u64 {
 const GEN_SALT: u64 = 0x01;
 const NET_SALT: u64 = 0x02;
 const STORAGE_SALT: u64 = 0x03;
+
+/// The fixed 12-atom selection condition of the [`Action::ParCancel`]
+/// solver differential — wide enough (≥ 11 atoms) to engage the solver's
+/// parallel split, structured enough (6 two-atom clauses) that the search
+/// is not trivial.
+fn par_probe_condition() -> Condition {
+    Condition::and((0..6u32).map(|i| {
+        Condition::or([
+            Condition::eq_const(AttrId(i), i64::from(i)),
+            Condition::neq_const(AttrId(i + 6), i64::from(i + 6)),
+        ])
+    }))
+}
 
 /// Which faults a chaos run emphasizes. The profile shapes both the fault
 /// rates of the injected plans and the weights of the trace generator.
@@ -102,13 +119,14 @@ impl ChaosProfile {
         }
     }
 
-    /// Generator weights: submit, pump, crash, resync, rearm, cancel, probe.
-    fn weights(&self) -> [u32; 7] {
+    /// Generator weights: submit, pump, crash, resync, rearm, cancel,
+    /// pcancel, probe.
+    fn weights(&self) -> [u32; 8] {
         match self {
-            ChaosProfile::Default => [40, 25, 5, 8, 6, 6, 10],
-            ChaosProfile::CrashHeavy => [35, 18, 25, 8, 4, 4, 6],
-            ChaosProfile::StorageHeavy => [38, 15, 8, 5, 14, 6, 14],
-            ChaosProfile::ModificationHeavy => [55, 20, 4, 6, 4, 3, 8],
+            ChaosProfile::Default => [40, 25, 5, 8, 6, 6, 4, 10],
+            ChaosProfile::CrashHeavy => [35, 18, 25, 8, 4, 4, 3, 6],
+            ChaosProfile::StorageHeavy => [38, 15, 8, 5, 14, 6, 4, 14],
+            ChaosProfile::ModificationHeavy => [55, 20, 4, 6, 4, 3, 3, 8],
         }
     }
 }
@@ -325,6 +343,7 @@ impl World {
             }
             Action::Rearm => self.rearm(),
             Action::GovernorCancel => self.governor_cancel(),
+            Action::ParCancel => self.par_cancel(),
             Action::DegradeProbe => self.degrade_probe(),
         }
     }
@@ -544,6 +563,53 @@ impl World {
         }
     }
 
+    /// The parallel-analysis probe (see [`Action::ParCancel`]): cancellation
+    /// preempts a pooled analysis, and pool size never leaks into results.
+    fn par_cancel(&mut self) -> Result<(), Violation> {
+        let wide = Pool::with_threads(4);
+        let one = Pool::sequential();
+        // Pre-cancelled: the multi-worker audit must stop at the entry
+        // check, before any worker is spawned.
+        let token = CancelToken::new();
+        token.cancel();
+        let gov = Governor::unlimited().cancelled_by(token);
+        match governed_view_audit(self.coordinator.run(), &gov, &wide) {
+            Verdict::Exhausted(Reason::Cancelled) => {}
+            v => {
+                return Err(inv(format!(
+                    "pre-cancelled parallel view audit returned {v:?} \
+                     instead of Exhausted(Cancelled)"
+                )))
+            }
+        }
+        // Differential: the 4-worker audit verdict is byte-identical to the
+        // single-worker oracle, and the plane itself is clean.
+        let par = governed_view_audit(self.coordinator.run(), &Governor::unlimited(), &wide);
+        let seq = governed_view_audit(self.coordinator.run(), &Governor::unlimited(), &one);
+        if par != seq {
+            return Err(inv(format!(
+                "parallel view audit diverged from sequential: {par:?} vs {seq:?}"
+            )));
+        }
+        if let Verdict::Done(Err(msg)) = &par {
+            return Err(inv(format!("view audit found a divergence: {msg}")));
+        }
+        // Differential on the satisfiability solver: a fixed 12-atom
+        // condition (above the solver's parallel threshold) must decide
+        // identically across pool sizes.
+        let cond = par_probe_condition();
+        let psat = satisfiable_within_pooled(&cond, &Governor::unlimited(), &wide);
+        let ssat = satisfiable_within_pooled(&cond, &Governor::unlimited(), &one);
+        if psat != ssat {
+            return Err(inv(format!(
+                "parallel satisfiability diverged from sequential: \
+                 {psat:?} vs {ssat:?}"
+            )));
+        }
+        self.note("pcancel: parallel analyses match the sequential oracles");
+        Ok(())
+    }
+
     fn degrade_probe(&mut self) -> Result<(), Violation> {
         if !self.coordinator.degraded() {
             self.note("probe: not degraded");
@@ -716,6 +782,7 @@ impl ChaosSim {
                 3 => Action::Resync,
                 4 => Action::Rearm,
                 5 => Action::GovernorCancel,
+                6 => Action::ParCancel,
                 _ => Action::DegradeProbe,
             });
         }

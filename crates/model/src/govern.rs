@@ -30,6 +30,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+pub mod pool;
+
+pub use pool::{FirstHit, Pool, SharedMin};
+
 /// How often (in ticks) the governor consults the wall clock. Cancellation
 /// and the node budget are checked on **every** tick; only the comparatively
 /// expensive `Instant::now()` is strided.
@@ -274,11 +278,27 @@ impl Governor {
     /// resource found exhausted; searches should unwind to their entry point
     /// and produce an [`Anytime`](Verdict::Anytime) or
     /// [`Exhausted`](Verdict::Exhausted) verdict.
+    ///
+    /// One `Governor` is shared by every worker of a parallel search, so
+    /// admission is a compare-and-swap loop that never counts past the
+    /// budget: exactly `max_nodes` ticks succeed across all threads, no
+    /// matter how contended, and `nodes_used` stays a true admission count.
     pub fn tick(&self) -> Result<(), Reason> {
-        let used = self.nodes_used.fetch_add(1, Ordering::Relaxed) + 1;
-        if used > self.max_nodes {
-            return Err(Reason::Nodes);
-        }
+        let mut cur = self.nodes_used.load(Ordering::Relaxed);
+        let used = loop {
+            if cur >= self.max_nodes {
+                return Err(Reason::Nodes);
+            }
+            match self.nodes_used.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break cur + 1,
+                Err(seen) => cur = seen,
+            }
+        };
         if self.cancel.is_cancelled() {
             return Err(Reason::Cancelled);
         }
@@ -374,7 +394,37 @@ mod tests {
         assert!(gov.tick().is_ok());
         assert!(gov.tick().is_ok());
         assert_eq!(gov.tick(), Err(Reason::Nodes));
-        assert_eq!(gov.nodes_used(), 4);
+        // Denied ticks are not admitted: the counter is exact.
+        assert_eq!(gov.nodes_used(), 3);
+        assert_eq!(gov.tick(), Err(Reason::Nodes));
+        assert_eq!(gov.nodes_used(), 3);
+    }
+
+    #[test]
+    fn node_budget_never_over_admits_under_contention() {
+        // Many threads hammer one shared governor: the CAS admission loop
+        // must hand out exactly `budget` successful ticks in total, however
+        // the interleavings fall.
+        const BUDGET: u64 = 10_000;
+        let gov = Governor::with_nodes(BUDGET);
+        let admitted = AtomicU64::new(0);
+        thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    let mut local = 0u64;
+                    // Over-subscribe: every worker tries the full budget.
+                    for _ in 0..BUDGET {
+                        if gov.tick().is_ok() {
+                            local += 1;
+                        }
+                    }
+                    admitted.fetch_add(local, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(admitted.load(Ordering::Relaxed), BUDGET);
+        assert_eq!(gov.nodes_used(), BUDGET);
+        assert_eq!(gov.tick(), Err(Reason::Nodes));
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub use chase::{chase, chase_with, naive_chase, ChaseFailure};
 pub use condition::{Atom, Condition};
 pub use diff::{AttrChange, InstanceDiff};
 pub use error::ModelError;
-pub use govern::{Bound, CancelToken, Governor, Reason, Verdict};
+pub use govern::{Bound, CancelToken, FirstHit, Governor, Pool, Reason, SharedMin, Verdict};
 pub use instance::{Instance, RawInstance, Relation};
 pub use schema::{AttrId, PeerId, RelId, RelSchema, Schema, KEY};
 pub use simplify::{simplify, size as condition_size};

@@ -23,9 +23,16 @@
 use std::collections::BTreeMap;
 
 use crate::condition::{Atom, Condition};
+use crate::govern::pool::{FirstHit, Pool};
 use crate::govern::{Governor, Reason, Verdict};
 use crate::schema::AttrId;
 use crate::value::Value;
+
+/// Assignment enumeration goes parallel only above this many distinct
+/// atoms (2^11 = 2048 assignments): below that, splitting costs more than
+/// it saves, and the small conditions of the existing unit tests keep
+/// exercising the sequential oracle path verbatim.
+const PAR_MIN_ATOMS: usize = 11;
 
 /// Is `cond` satisfiable by some tuple (over any attribute values)?
 pub fn satisfiable(cond: &Condition) -> bool {
@@ -40,15 +47,67 @@ pub fn satisfiable(cond: &Condition) -> bool {
 /// ran out; a condition's satisfiability has no useful partial answer, so
 /// this never returns `Anytime`.
 pub fn satisfiable_within(cond: &Condition, gov: &Governor) -> Verdict<bool> {
+    satisfiable_within_pooled(cond, gov, Pool::global())
+}
+
+/// [`satisfiable_within`] on an explicit [`Pool`]: above a size threshold
+/// the assignment space is split on the first few atoms (the DPLL-style
+/// top-variable split) into contiguous mask ranges scanned by the pool's
+/// workers. The answer is deterministic and identical to the sequential
+/// scan: any consistent assignment settles satisfiability positively no
+/// matter which worker finds it, and the all-ranges-exhausted case is the
+/// same `false`. A shared first-hit flag lets the remaining workers stop
+/// early once any range has found a witness.
+pub fn satisfiable_within_pooled(cond: &Condition, gov: &Governor, pool: &Pool) -> Verdict<bool> {
     gov.guard(|| {
         if let Err(r) = gov.check() {
             return Verdict::Exhausted(r);
         }
-        match enumerate_sat(cond, gov) {
-            Ok(sat) => Verdict::Done(sat),
-            Err(r) => Verdict::Exhausted(r),
+        let atoms = cond.atoms();
+        let n = atoms.len();
+        debug_assert!(
+            n < 26,
+            "condition with ≥26 distinct atoms; solver would blow up"
+        );
+        if pool.is_sequential() || n < PAR_MIN_ATOMS {
+            return match enumerate_sat_range(cond, &atoms, 0, 1u64 << n, gov, None) {
+                Ok(sat) => Verdict::Done(sat),
+                Err(r) => Verdict::Exhausted(r),
+            };
+        }
+        // Split on the top k atoms: 2^k contiguous ranges of the mask space,
+        // a handful per worker so range imbalance steals well.
+        let k = split_bits(pool.threads()).min(n - 1);
+        let per_range = 1u64 << (n - k);
+        let hit = FirstHit::new();
+        let outs = pool.run((0..(1u64 << k)).collect(), |idx, hi| {
+            enumerate_sat_range(
+                cond,
+                &atoms,
+                hi * per_range,
+                (hi + 1) * per_range,
+                gov,
+                Some((&hit, idx)),
+            )
+        });
+        // Merge in range order. A witness from ANY range is definitive
+        // (satisfiability has one fixed positive answer), so `true` wins
+        // even when an earlier range was cut off; otherwise the first
+        // cutoff in range order is the verdict.
+        if outs.iter().any(|o| matches!(o, Ok(true))) {
+            return Verdict::Done(true);
+        }
+        match outs.into_iter().find_map(Result::err) {
+            Some(r) => Verdict::Exhausted(r),
+            None => Verdict::Done(false),
         }
     })
+}
+
+/// `ceil(log2(4 × threads))`: enough split bits for a few ranges per worker.
+fn split_bits(threads: usize) -> usize {
+    let want = (threads * 4).max(2) as u64;
+    (u64::BITS - (want - 1).leading_zeros()) as usize
 }
 
 /// Governed [`tautology`].
@@ -78,7 +137,29 @@ fn enumerate_sat(cond: &Condition, gov: &Governor) -> Result<bool, Reason> {
         n < 26,
         "condition with ≥26 distinct atoms; solver would blow up"
     );
-    for mask in 0u64..(1u64 << n) {
+    enumerate_sat_range(cond, &atoms, 0, 1u64 << n, gov, None)
+}
+
+/// Scans the truth assignments in `[lo, hi)` for a theory-consistent one.
+/// `stop` is the parallel early-exit hook: once some range has reported a
+/// witness at a smaller index, this range's result can never affect the
+/// merged answer, so the scan bails out.
+fn enumerate_sat_range(
+    cond: &Condition,
+    atoms: &[Atom],
+    lo: u64,
+    hi: u64,
+    gov: &Governor,
+    stop: Option<(&FirstHit, usize)>,
+) -> Result<bool, Reason> {
+    for mask in lo..hi {
+        if let Some((hit, idx)) = stop {
+            if hit.get().is_some() && hit.get() != Some(idx) {
+                // Another range already holds a witness; this range's
+                // outcome is moot either way.
+                return Ok(false);
+            }
+        }
         gov.tick()?;
         let truth = |atom: &Atom| -> bool {
             let idx = atoms
@@ -96,6 +177,9 @@ fn enumerate_sat(cond: &Condition, gov: &Governor) -> Result<bool, Reason> {
             .map(|(i, a)| (a.clone(), mask & (1 << i) != 0))
             .collect();
         if consistent(&literals) {
+            if let Some((hit, idx)) = stop {
+                hit.offer(idx);
+            }
             return Ok(true);
         }
     }

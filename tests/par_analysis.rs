@@ -1,0 +1,476 @@
+//! Differential battery for the parallel analysis engine.
+//!
+//! The sequential path (`Pool::sequential()`) is the oracle; every pooled
+//! analysis run at pool sizes 2/4/8 must be **byte-identical** to it on
+//! completed searches — same witness, same tie-breaks, same verdict. The
+//! battery drives every workload family in `cwf-workloads` (hitting-set,
+//! UNSAT, transitive closure, procurement, review, triage, and 32 random
+//! propositional workflows) through:
+//!
+//! * `search_min_scenario_pooled` / `exists_scenario_at_most_pooled`,
+//! * `all_minimal_scenarios_pooled`,
+//! * `check_h_bounded_pooled` / `find_bound_pooled`,
+//! * `satisfiable_within_pooled`,
+//!
+//! plus verdict-*kind* agreement under a tight deadline (where only the
+//! Exhausted/Anytime classification is deterministic, not the incumbent)
+//! and governor concurrency: a cross-thread cancel must stop a multi-worker
+//! search mid-flight with `Reason::Cancelled`.
+
+use std::time::Duration;
+
+use collab_workflows::analysis::{
+    check_h_bounded_pooled, check_transparent_pooled, find_bound_pooled, Limits,
+};
+use collab_workflows::core::{
+    all_minimal_scenarios_pooled, exists_scenario_at_most_pooled, search_min_scenario_pooled,
+    SearchOptions,
+};
+use collab_workflows::engine::Run;
+use collab_workflows::model::solver::satisfiable_within_pooled;
+use collab_workflows::model::{
+    AttrId, CancelToken, Condition, Governor, PeerId, Pool, Reason, Verdict,
+};
+use collab_workflows::workloads::{
+    build_procurement_run, build_review_run, build_triage_run, chaos_workload, hiring_no_cfo,
+    hitting_set_workload, random_propositional_spec, random_run, transitive_run, unsat_workload,
+    Cnf, HittingSet, RandomSpecParams,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The non-sequential pool sizes the battery checks against the oracle.
+const POOLS: [usize; 3] = [2, 4, 8];
+
+/// Every workload family as a named `(run, peer)` pair. Sizes are chosen so
+/// the parallel paths actually engage (runs of ≥ 8 events, visible sets of
+/// ≥ 10 events where possible) while staying debug-build friendly.
+fn corpus() -> Vec<(String, Run, PeerId)> {
+    let mut out = Vec::new();
+
+    let mut rng = StdRng::seed_from_u64(42);
+    let hs = hitting_set_workload(HittingSet::random(5, 4, 3, &mut rng));
+    let p = hs.p;
+    out.push(("hitting-set".to_string(), hs.saturated_run(), p));
+
+    // The chained-implication UNSAT family from experiment E2.
+    let n = 4usize;
+    let mut clauses = vec![vec![1i32]];
+    for i in 1..n {
+        clauses.push(vec![-(i as i32), i as i32 + 1]);
+    }
+    clauses.push(vec![-(n as i32)]);
+    let uw = unsat_workload(Cnf { n, clauses });
+    let p = uw.p;
+    out.push(("unsat".to_string(), uw.canonical_run(), p));
+
+    let run = transitive_run(4);
+    let p = run.spec().collab().peer("p").unwrap();
+    out.push(("transitive".to_string(), run, p));
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let pr = build_procurement_run(3, 1, &mut rng);
+    out.push(("procurement".to_string(), pr.run, pr.emp));
+    let rv = build_review_run(2, 1, &mut rng);
+    out.push(("review".to_string(), rv.run, rv.author));
+    let tr = build_triage_run(3, 1, &mut rng);
+    out.push(("triage".to_string(), tr.run, tr.reporter));
+
+    for seed in 0..32u64 {
+        let w = chaos_workload(seed);
+        let run = random_run(&w.spec, 10, seed);
+        out.push((format!("random-{seed}"), run, w.observer));
+    }
+    out
+}
+
+/// The discriminant of a verdict — the only thing guaranteed deterministic
+/// when a search is cut off mid-flight.
+fn kind<T>(v: &Verdict<T>) -> &'static str {
+    match v {
+        Verdict::Done(_) => "done",
+        Verdict::Anytime(..) => "anytime",
+        Verdict::Exhausted(_) => "exhausted",
+    }
+}
+
+/// Minimum-scenario search: parallel == sequential, byte for byte, in both
+/// optimize and decision (`first_found`) mode.
+#[test]
+fn min_scenario_matches_the_sequential_oracle_on_every_workload() {
+    for (name, run, peer) in corpus() {
+        let opts = SearchOptions::default();
+        let seq = search_min_scenario_pooled(
+            &run,
+            peer,
+            &opts,
+            &Governor::unlimited(),
+            &Pool::sequential(),
+        );
+        for threads in POOLS {
+            let par = search_min_scenario_pooled(
+                &run,
+                peer,
+                &opts,
+                &Governor::unlimited(),
+                &Pool::with_threads(threads),
+            );
+            assert_eq!(
+                par, seq,
+                "{name}: min-scenario diverges at {threads} threads"
+            );
+        }
+        // Decision mode at the cardinality the optimizer found (and one
+        // below it): the first-found witness must also be reproducible.
+        if let Verdict::Done(Some(min)) = &seq {
+            for n in [min.len(), min.len().saturating_sub(1)] {
+                let seq_d = exists_scenario_at_most_pooled(
+                    &run,
+                    peer,
+                    n,
+                    &Governor::unlimited(),
+                    &Pool::sequential(),
+                );
+                for threads in POOLS {
+                    let par_d = exists_scenario_at_most_pooled(
+                        &run,
+                        peer,
+                        n,
+                        &Governor::unlimited(),
+                        &Pool::with_threads(threads),
+                    );
+                    assert_eq!(
+                        par_d, seq_d,
+                        "{name}: exists≤{n} diverges at {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// All-minimal enumeration: parallel == sequential, including the
+/// mask-order of the returned scenarios. The corpus workloads all have
+/// visible sets below the parallel threshold (10 mask bits), so a
+/// fully-visible propositional workload is added to actually exercise the
+/// chunked mask sweep (its masks are cheap to check, unlike procurement's).
+#[test]
+fn all_minimal_matches_the_sequential_oracle_on_every_workload() {
+    let mut runs: Vec<(String, Run, PeerId)> = corpus()
+        .into_iter()
+        // The procurement chase is too expensive per mask for an
+        // exhaustive sweep in a debug build; it is covered by the
+        // min-scenario and decision batteries above.
+        .filter(|(name, _, _)| name != "procurement")
+        .collect();
+    let w = random_propositional_spec(
+        &RandomSpecParams {
+            n_rels: 12,
+            n_rules: 16,
+            n_peers: 2,
+            visibility: 1.0,
+            delete_prob: 0.3,
+            max_body: 2,
+        },
+        &mut StdRng::seed_from_u64(3),
+    );
+    let run = random_run(&w.spec, 14, 3);
+    assert!(
+        collab_workflows::core::visible_set(&run, w.observer).len() >= 10,
+        "the fully-visible workload must cross the parallel mask threshold"
+    );
+    runs.push(("fully-visible".to_string(), run, w.observer));
+    for (name, run, peer) in runs {
+        let seq = all_minimal_scenarios_pooled(
+            &run,
+            peer,
+            1 << 16,
+            &Governor::unlimited(),
+            &Pool::sequential(),
+        );
+        for threads in POOLS {
+            let par = all_minimal_scenarios_pooled(
+                &run,
+                peer,
+                1 << 16,
+                &Governor::unlimited(),
+                &Pool::with_threads(threads),
+            );
+            assert_eq!(
+                par, seq,
+                "{name}: all-minimal diverges at {threads} threads"
+            );
+        }
+    }
+}
+
+fn limits() -> Limits {
+    Limits {
+        max_nodes: 4_000_000,
+        max_tuples_per_rel: 1,
+        extra_constants: Some(0),
+    }
+}
+
+/// A chain of two silent steps before the visible one: 3-bounded but not
+/// 2-bounded for `p` (the boundedness module's canonical spec).
+fn chain_spec() -> std::sync::Arc<collab_workflows::lang::WorkflowSpec> {
+    std::sync::Arc::new(
+        collab_workflows::lang::parse_workflow(
+            r#"
+            schema { A(K); B(K); Out(K); }
+            peers { q sees A(*), B(*), Out(*); p sees Out(*); }
+            rules {
+                s1 @ q: +A(0) :- ;
+                s2 @ q: +B(0) :- A(0);
+                s3 @ q: +Out(0) :- B(0);
+            }
+            "#,
+        )
+        .unwrap(),
+    )
+}
+
+/// Boundedness: the level-1 frontier split must reproduce the sequential
+/// counter-example (or `Holds`) exactly, across specs with and without a
+/// violation, and `find_bound` must land on the same h. The specs are kept
+/// small so the abstract search completes fast in a debug build; the
+/// expensive hiring example runs pooled in the E17 bench (release).
+#[test]
+fn boundedness_matches_the_sequential_oracle() {
+    let chain = chain_spec();
+    let p = chain.collab().peer("p").unwrap();
+    let q = chain.collab().peer("q").unwrap();
+    let transitive = collab_workflows::workloads::transitive_spec();
+    let tp = transitive.collab().peer("p").unwrap();
+    let mut cases = vec![
+        ("chain".to_string(), chain.clone(), vec![p, q]),
+        ("transitive".to_string(), transitive, vec![tp]),
+    ];
+    for seed in 0..4u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = random_propositional_spec(&RandomSpecParams::default(), &mut rng);
+        cases.push((format!("random-{seed}"), w.spec, vec![w.observer]));
+    }
+    for (name, spec, peers) in &cases {
+        for &peer in peers {
+            let peer_name = spec.collab().peer_name(peer);
+            for h in [1usize, 2] {
+                let seq = check_h_bounded_pooled(
+                    spec,
+                    peer,
+                    h,
+                    &limits(),
+                    &Governor::with_nodes(limits().max_nodes),
+                    &Pool::sequential(),
+                );
+                for threads in POOLS {
+                    let par = check_h_bounded_pooled(
+                        spec,
+                        peer,
+                        h,
+                        &limits(),
+                        &Governor::with_nodes(limits().max_nodes),
+                        &Pool::with_threads(threads),
+                    );
+                    assert_eq!(
+                        format!("{par:?}"),
+                        format!("{seq:?}"),
+                        "{name}/{peer_name}: {h}-boundedness diverges at {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+    // find_bound on the chain spec: exactly 3, at every pool size.
+    let seq = find_bound_pooled(&chain, p, 5, &limits(), &Pool::sequential());
+    assert_eq!(seq, Some(3), "two silent steps before the visible one");
+    for threads in POOLS {
+        assert_eq!(
+            find_bound_pooled(&chain, p, 5, &limits(), &Pool::with_threads(threads)),
+            seq,
+            "find_bound diverges at {threads} threads"
+        );
+    }
+}
+
+/// Transparency: the per-f1 fan-out must reproduce the sequential witness
+/// (h = 1 keeps the abstract chain space affordable in a debug build; the
+/// h = 2 decider is exercised by the end-to-end paper narrative).
+#[test]
+fn transparency_matches_the_sequential_oracle() {
+    let hiring = hiring_no_cfo();
+    let sue = hiring.collab().peer("sue").unwrap();
+    let mut cases = vec![("hiring-no-cfo".to_string(), hiring, vec![sue])];
+    for seed in 0..2u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = random_propositional_spec(&RandomSpecParams::default(), &mut rng);
+        cases.push((format!("random-{seed}"), w.spec, vec![w.observer]));
+    }
+    for (name, spec, peers) in &cases {
+        for &peer in peers {
+            let peer_name = spec.collab().peer_name(peer);
+            let seq = check_transparent_pooled(
+                spec,
+                peer,
+                1,
+                &limits(),
+                &Governor::with_nodes(limits().max_nodes),
+                &Pool::sequential(),
+            );
+            let par = check_transparent_pooled(
+                spec,
+                peer,
+                1,
+                &limits(),
+                &Governor::with_nodes(limits().max_nodes),
+                &Pool::with_threads(4),
+            );
+            assert_eq!(
+                format!("{par:?}"),
+                format!("{seq:?}"),
+                "{name}/{peer_name}: transparency diverges at 4 threads"
+            );
+        }
+    }
+}
+
+/// A deterministic family of solver conditions wide enough (≥ 11 atoms) to
+/// cross the parallel split threshold: SAT and UNSAT shapes.
+fn solver_conditions() -> Vec<(String, Condition)> {
+    let eq = |i: u32, v: i64| Condition::eq_const(AttrId(i), v);
+    let neq = |i: u32, v: i64| Condition::neq_const(AttrId(i), v);
+    vec![
+        // And-of-ors over 12 atoms (satisfiable).
+        (
+            "and-of-ors".to_string(),
+            Condition::and(
+                (0..6u32)
+                    .map(|i| Condition::or([eq(i, i64::from(i)), neq(i + 6, i64::from(i + 6))])),
+            ),
+        ),
+        // Or-of-ands over 12 atoms (satisfiable via the last disjunct).
+        (
+            "or-of-ands".to_string(),
+            Condition::or(
+                (0..4u32)
+                    .map(|j| Condition::and((0..3u32).map(move |i| eq(3 * j + i, i64::from(j))))),
+            ),
+        ),
+        // A contradiction padded to 12 atoms (unsatisfiable).
+        (
+            "contradiction".to_string(),
+            Condition::and(
+                [eq(0, 1), neq(0, 1)]
+                    .into_iter()
+                    .chain((1..6u32).flat_map(|i| [eq(i, 0), neq(i + 6, 0)])),
+            ),
+        ),
+    ]
+}
+
+/// Satisfiability: the parallel split must agree with the sequential
+/// enumeration on SAT and UNSAT conditions alike.
+#[test]
+fn satisfiability_matches_the_sequential_oracle() {
+    for (name, cond) in solver_conditions() {
+        let seq = satisfiable_within_pooled(&cond, &Governor::unlimited(), &Pool::sequential());
+        for threads in POOLS {
+            let par = satisfiable_within_pooled(
+                &cond,
+                &Governor::unlimited(),
+                &Pool::with_threads(threads),
+            );
+            assert_eq!(
+                par, seq,
+                "{name}: satisfiability diverges at {threads} threads"
+            );
+        }
+    }
+}
+
+/// Under a tight deadline the incumbent is racy but the verdict *kind*
+/// (Done / Anytime / Exhausted) and the stop reason must still agree with
+/// the sequential oracle on every workload.
+#[test]
+fn verdict_kinds_agree_under_a_tight_deadline() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let hs = hitting_set_workload(HittingSet::random(12, 8, 4, &mut rng));
+    let run = hs.saturated_run();
+    let opts = SearchOptions::default();
+    let seq = search_min_scenario_pooled(
+        &run,
+        hs.p,
+        &opts,
+        &Governor::with_deadline(Duration::from_millis(5)),
+        &Pool::sequential(),
+    );
+    for threads in POOLS {
+        let par = search_min_scenario_pooled(
+            &run,
+            hs.p,
+            &opts,
+            &Governor::with_deadline(Duration::from_millis(5)),
+            &Pool::with_threads(threads),
+        );
+        assert_eq!(
+            kind(&par),
+            kind(&seq),
+            "min-scenario verdict kind diverges at {threads} threads under deadline"
+        );
+    }
+    // An already-expired deadline stops every analysis at the gate, before
+    // any worker runs: the full verdict is deterministic, not just its kind.
+    for (name, run, peer) in corpus().into_iter().take(4) {
+        let gone = || Governor::with_deadline(Duration::ZERO);
+        let seq = search_min_scenario_pooled(&run, peer, &opts, &gone(), &Pool::sequential());
+        let par = search_min_scenario_pooled(&run, peer, &opts, &gone(), &Pool::with_threads(4));
+        assert_eq!(par, seq, "{name}: expired-deadline verdicts diverge");
+        assert_ne!(
+            kind(&seq),
+            "done",
+            "{name}: an expired deadline cannot finish"
+        );
+        let seq = all_minimal_scenarios_pooled(&run, peer, 64, &gone(), &Pool::sequential());
+        let par = all_minimal_scenarios_pooled(&run, peer, 64, &gone(), &Pool::with_threads(4));
+        assert_eq!(par, seq, "{name}: expired-deadline all-minimal diverges");
+    }
+}
+
+/// Governor concurrency: cancelling the shared token from another thread
+/// stops a multi-worker search on a hard instance mid-flight, and the
+/// verdict blames `Reason::Cancelled`.
+#[test]
+fn cross_thread_cancel_stops_a_parallel_search_mid_flight() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let hs = hitting_set_workload(HittingSet::random(14, 10, 5, &mut rng));
+    let run = hs.saturated_run();
+    let token = CancelToken::new();
+    let gov = Governor::unlimited().cancelled_by(token.clone());
+    let pool = Pool::with_threads(4);
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            std::thread::sleep(Duration::from_millis(30));
+            token.cancel();
+        });
+        let verdict =
+            search_min_scenario_pooled(&run, hs.p, &SearchOptions::default(), &gov, &pool);
+        match verdict {
+            // The search is exponential in n = 14; finishing inside the
+            // cancel window would be surprising but is not wrong.
+            Verdict::Done(_) => {}
+            Verdict::Anytime(_, bound) => assert_eq!(bound.reason, Reason::Cancelled),
+            Verdict::Exhausted(reason) => assert_eq!(reason, Reason::Cancelled),
+        }
+    });
+    // The cancelled governor is sticky: a follow-up query stops at the gate.
+    assert_eq!(
+        kind(&satisfiable_within_pooled(
+            &Condition::eq_const(AttrId(0), 1i64),
+            &gov,
+            &pool
+        )),
+        "exhausted",
+        "a cancelled governor must refuse new work"
+    );
+}

@@ -354,6 +354,76 @@ mod parser_props {
     }
 }
 
+mod par_analysis_props {
+    use super::*;
+    use collab_workflows::analysis::{find_bound_pooled, Limits};
+    use collab_workflows::core::{all_minimal_scenarios_pooled, search_min_scenario_pooled};
+    use collab_workflows::model::{Governor, Pool};
+
+    fn limits() -> Limits {
+        Limits {
+            max_nodes: 2_000_000,
+            max_tuples_per_rel: 1,
+            extra_constants: Some(0),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// A 4-worker minimum-scenario search agrees byte-for-byte with the
+        /// sequential oracle on random workflows; a `Done` witness is a
+        /// valid scenario of the same cardinality.
+        #[test]
+        fn parallel_min_scenario_is_valid_and_matches_sequential(
+            gen_seed in 0u64..500, run_seed in 0u64..500
+        ) {
+            let mut rng = StdRng::seed_from_u64(gen_seed);
+            let w = random_propositional_spec(&RandomSpecParams::default(), &mut rng);
+            let run = random_run(&w.spec, 10, run_seed);
+            let opts = collab_workflows::core::SearchOptions::default();
+            let seq = search_min_scenario_pooled(
+                &run, w.observer, &opts, &Governor::unlimited(), &Pool::sequential());
+            let par = search_min_scenario_pooled(
+                &run, w.observer, &opts, &Governor::unlimited(), &Pool::with_threads(4));
+            prop_assert_eq!(&par, &seq);
+            if let collab_workflows::model::Verdict::Done(Some(set)) = &par {
+                prop_assert!(is_scenario(&run, w.observer, set));
+                let seq_min = seq.into_value().flatten().expect("equal verdicts");
+                prop_assert_eq!(set.len(), seq_min.len());
+            }
+        }
+
+        /// Parallel all-minimal enumeration agrees with the sequential
+        /// oracle (same scenarios, same mask order) on random workflows.
+        #[test]
+        fn parallel_all_minimal_matches_sequential(
+            gen_seed in 0u64..500, run_seed in 0u64..500
+        ) {
+            let mut rng = StdRng::seed_from_u64(gen_seed);
+            let w = random_propositional_spec(&RandomSpecParams::default(), &mut rng);
+            let run = random_run(&w.spec, 10, run_seed);
+            let seq = all_minimal_scenarios_pooled(
+                &run, w.observer, 1 << 16, &Governor::unlimited(), &Pool::sequential());
+            let par = all_minimal_scenarios_pooled(
+                &run, w.observer, 1 << 16, &Governor::unlimited(), &Pool::with_threads(4));
+            prop_assert_eq!(par, seq);
+        }
+
+        /// The parallel boundedness frontier lands on the same bound as the
+        /// sequential oracle on random specs (searches complete well inside
+        /// the node budget, so the results must be identical).
+        #[test]
+        fn parallel_find_bound_matches_sequential(gen_seed in 0u64..500) {
+            let mut rng = StdRng::seed_from_u64(gen_seed);
+            let w = random_propositional_spec(&RandomSpecParams::default(), &mut rng);
+            let seq = find_bound_pooled(&w.spec, w.observer, 2, &limits(), &Pool::sequential());
+            let par = find_bound_pooled(&w.spec, w.observer, 2, &limits(), &Pool::with_threads(4));
+            prop_assert_eq!(par, seq);
+        }
+    }
+}
+
 mod engine_props {
     use super::*;
     use collab_workflows::engine::{encode_run, load_run, Coordinator, RunStats};
