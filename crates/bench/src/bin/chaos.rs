@@ -12,9 +12,15 @@
 //! * `--seeds N` — seeds per profile (default 20)
 //! * `--start S` — first seed (default 0; seeds are `S..S+N`)
 //! * `--steps M` — generated actions per trace (default 40)
-//! * `--profile default|crash|storage|mod|all` — fault profile (default
-//!   `all`; `mod` is the modification-heavy profile, which runs over the
-//!   null-filling task-tracker spec unless `--spec random` is given)
+//! * `--profile default|crash|storage|mod|partition|all` — fault profile
+//!   (default `all`; `mod` is the modification-heavy profile, which runs
+//!   over the null-filling task-tracker spec unless `--spec random` is
+//!   given; `partition` enables the shard actions — partitions, failovers,
+//!   hand-offs — and is most interesting with `--shards` > 1)
+//! * `--shards N` — run the traces against the sharded state plane with
+//!   `N` shards instead of the single coordinator (omit the flag for the
+//!   single-coordinator harness; `--shards 1` exercises the plane's
+//!   shards=1 equivalence path)
 //! * `--spec editorial|random` — workflow under test (default `editorial`;
 //!   `random` derives a fresh propositional spec per seed)
 //! * `--out PATH` — also append failure lines to PATH (for CI artifacts)
@@ -28,15 +34,18 @@
 //!
 //! The trace is the *minimized* repro: paste it into
 //! `cwf_engine::chaos::parse_trace` and replay with `ChaosSim::run_trace`
-//! under the same seed, profile, and spec. Exit status is 1 iff any seed
-//! failed.
+//! (or `ShardChaosSim::run_trace` when `--shards` was given — the failure
+//! line then carries a `shards=` field) under the same seed, profile, and
+//! spec. Exit status is 1 iff any seed failed.
 
 use std::fmt::Write as _;
 use std::io::Write as _;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use cwf_engine::chaos::{default_spec, format_trace, modification_spec, ChaosProfile, ChaosSim};
+use cwf_engine::chaos::{
+    default_spec, format_trace, modification_spec, ChaosProfile, ChaosSim, ShardChaosSim,
+};
 use cwf_workloads::chaos_workload;
 
 struct Options {
@@ -44,6 +53,7 @@ struct Options {
     start: u64,
     steps: usize,
     profiles: Vec<ChaosProfile>,
+    shards: Option<usize>,
     random_spec: bool,
     out: Option<String>,
 }
@@ -54,6 +64,7 @@ fn parse_args() -> Result<Options, String> {
         start: 0,
         steps: 40,
         profiles: all_profiles(),
+        shards: None,
         random_spec: false,
         out: None,
     };
@@ -82,9 +93,19 @@ fn parse_args() -> Result<Options, String> {
                     "crash" => vec![ChaosProfile::CrashHeavy],
                     "storage" => vec![ChaosProfile::StorageHeavy],
                     "mod" => vec![ChaosProfile::ModificationHeavy],
+                    "partition" => vec![ChaosProfile::PartitionHeavy],
                     "all" => all_profiles(),
                     other => return Err(format!("unknown profile {other:?}")),
                 }
+            }
+            "--shards" => {
+                let n: usize = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?;
+                if n == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+                opts.shards = Some(n);
             }
             "--spec" => {
                 opts.random_spec = match value("--spec")?.as_str() {
@@ -106,6 +127,7 @@ fn all_profiles() -> Vec<ChaosProfile> {
         ChaosProfile::CrashHeavy,
         ChaosProfile::StorageHeavy,
         ChaosProfile::ModificationHeavy,
+        ChaosProfile::PartitionHeavy,
     ]
 }
 
@@ -137,21 +159,29 @@ fn main() -> ExitCode {
             } else {
                 default_spec()
             };
-            let sim = ChaosSim::new(spec, profile);
             runs += 1;
-            match sim.check_seed(seed, opts.steps) {
+            let outcome = match opts.shards {
+                Some(n) => ShardChaosSim::new(spec, profile, n).check_seed(seed, opts.steps),
+                None => ChaosSim::new(spec, profile).check_seed(seed, opts.steps),
+            };
+            match outcome {
                 Ok(report) => {
                     events += report.events;
                     restarts += report.restarts;
                 }
                 Err(f) => {
                     failed += 1;
+                    let shards_field = opts
+                        .shards
+                        .map(|n| format!(" shards={n}"))
+                        .unwrap_or_default();
                     let _ = writeln!(
                         failures,
-                        "CHAOS-FAIL seed={} profile={} spec={} oracle={} step={} detail={}",
+                        "CHAOS-FAIL seed={} profile={} spec={}{} oracle={} step={} detail={}",
                         f.seed,
                         f.profile.name(),
                         spec_name,
+                        shards_field,
                         f.oracle,
                         f.step,
                         f.detail.replace('\n', " | "),

@@ -88,6 +88,39 @@ pub enum Action {
     /// with `CoordinatorError::Degraded`, leaving the run and every replica
     /// untouched (reads keep being served). A no-op when not degraded.
     DegradeProbe,
+    /// Cut one delivery link. The raw selector is reduced modulo the link
+    /// count of the deployment: on a single coordinator, modulo the peer
+    /// count; on a shard plane, modulo `shards × (peers + 1)` — every
+    /// (shard, peer) slice plus each shard's standby-replication link. The
+    /// link stalls (in-flight messages hold, new sends drop) until healed.
+    Partition {
+        /// Raw link selector, reduced modulo the link count.
+        link: u32,
+    },
+    /// Restore one previously cut link (same selector arithmetic as
+    /// [`Action::Partition`]). A no-op on a link that is already up.
+    HealPartition {
+        /// Raw link selector, reduced modulo the link count.
+        link: u32,
+    },
+    /// Kill one shard's primary and promote its standby replica: the
+    /// promoted node replays the oplog tail past its replication
+    /// watermark, resumes the per-peer sequence streams past their
+    /// watermarks on a fresh transport, and resyncs every peer slice. A
+    /// no-op note on a single (shard-less) coordinator.
+    ShardFailover {
+        /// Raw shard selector, reduced modulo the shard count.
+        shard: u32,
+    },
+    /// Drive the interruptible shard hand-off protocol one step: begin a
+    /// hand-off of the selected shard if none is in progress, otherwise
+    /// transfer a bounded batch of oplog records toward the receiving
+    /// node, cutting over when the tail is drained. A no-op note on a
+    /// single (shard-less) coordinator.
+    Handoff {
+        /// Raw shard selector, reduced modulo the shard count.
+        shard: u32,
+    },
 }
 
 impl fmt::Display for Action {
@@ -109,6 +142,10 @@ impl fmt::Display for Action {
             Action::GovernorCancel => write!(f, "cancel"),
             Action::ParCancel => write!(f, "pcancel"),
             Action::DegradeProbe => write!(f, "probe"),
+            Action::Partition { link } => write!(f, "part({link})"),
+            Action::HealPartition { link } => write!(f, "unpart({link})"),
+            Action::ShardFailover { shard } => write!(f, "failover({shard})"),
+            Action::Handoff { shard } => write!(f, "handoff({shard})"),
         }
     }
 }
@@ -153,6 +190,18 @@ impl FromStr for Action {
             }),
             "pump" => Ok(Action::Pump {
                 ticks: parse_u32(args)?,
+            }),
+            "part" => Ok(Action::Partition {
+                link: parse_u32(args)?,
+            }),
+            "unpart" => Ok(Action::HealPartition {
+                link: parse_u32(args)?,
+            }),
+            "failover" => Ok(Action::ShardFailover {
+                shard: parse_u32(args)?,
+            }),
+            "handoff" => Ok(Action::Handoff {
+                shard: parse_u32(args)?,
             }),
             "crash" => match args.split_once(',') {
                 None => Ok(Action::CrashRestart {
@@ -210,11 +259,16 @@ mod tests {
             Action::GovernorCancel,
             Action::ParCancel,
             Action::DegradeProbe,
+            Action::Partition { link: 5 },
+            Action::HealPartition { link: 5 },
+            Action::ShardFailover { shard: 2 },
+            Action::Handoff { shard: 1 },
         ];
         let line = format_trace(&trace);
         assert_eq!(
             line,
-            "submit(7) pump(3) crash(12) crash(0,41^255) resync heal rearm cancel pcancel probe"
+            "submit(7) pump(3) crash(12) crash(0,41^255) resync heal rearm cancel pcancel probe \
+             part(5) unpart(5) failover(2) handoff(1)"
         );
         assert_eq!(parse_trace(&line).unwrap(), trace);
     }

@@ -22,6 +22,11 @@
 //!   equivalence with no-lost-acked-events, degraded-mode safety, and
 //!   well-formedness under the key chase; post-heal convergence runs as the
 //!   closing check of every trace.
+//! * [`shard_sim`] — [`ShardChaosSim`] runs the same grammar against the
+//!   **sharded** state plane (N coordinator shards, per-shard transports,
+//!   standby replicas): partitions, failovers, and hand-offs get teeth, and
+//!   the shard oracle battery checks the union of shard states against the
+//!   single-shard shadow after every action.
 //! * [`shrink`] — [`ddmin`] minimizes a failing trace to a 1-minimal repro
 //!   by re-executing candidates from the same seed.
 //!
@@ -38,16 +43,19 @@
 
 pub mod actions;
 pub mod oracle;
+pub mod shard_sim;
 pub mod shrink;
 pub mod sim;
 
 pub use actions::{format_trace, parse_trace, Action, ActionParseError};
 pub use oracle::{
-    default_oracles, governed_view_audit, governed_wellformed, Checkpoint, EventCountOracle,
-    Oracle, ViewPlaneOracle,
+    default_oracles, default_shard_oracles, governed_view_audit, governed_wellformed, Checkpoint,
+    EventCountOracle, HlcCausality, Oracle, ShardCheckpoint, ShardOracle, ShardSlicePrefix,
+    ShardStateUnion, ViewPlaneOracle,
 };
+pub use shard_sim::ShardChaosSim;
 pub use shrink::ddmin;
-pub use sim::{ChaosConfig, ChaosFailure, ChaosProfile, ChaosSim, TraceReport};
+pub use sim::{generate_trace, ChaosConfig, ChaosFailure, ChaosProfile, ChaosSim, TraceReport};
 
 use std::sync::Arc;
 

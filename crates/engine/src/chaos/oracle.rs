@@ -33,12 +33,15 @@
 //! [`ChaosSim::run_trace`](crate::chaos::ChaosSim::run_trace) rather than
 //! through this trait.
 
+use std::collections::BTreeMap;
+
 use cwf_model::govern::{Bound, Governor, Pool, Verdict};
 
 use crate::chaos::actions::Action;
 use crate::coordinator::Coordinator;
 use crate::event::Event;
 use crate::run::{ReplayError, Run};
+use crate::shard::{slice_view, HlcStamp, ShardPlane};
 use crate::wal::{MemBackend, Wal, WalOptions};
 
 /// A read-only snapshot of the simulated system handed to every oracle
@@ -391,6 +394,211 @@ impl Oracle for ViewPlaneOracle {
                     "shadow run's view plane diverges from view_of for peer {}",
                     collab.peer_name(p)
                 ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A read-only snapshot of the sharded deployment handed to every
+/// [`ShardOracle`] after each action of a shard-plane chaos trace.
+pub struct ShardCheckpoint<'a> {
+    /// The live shard plane.
+    pub plane: &'a ShardPlane,
+    /// The full accepted history — the *single-shard shadow run*, replayed
+    /// from the empty instance, surviving crashes and snapshots.
+    pub shadow: &'a Run,
+    /// Has the environment healed (no further fault injection)?
+    pub healed: bool,
+    /// Index of the action just executed.
+    pub step: usize,
+    /// The action just executed.
+    pub action: &'a Action,
+}
+
+/// A pluggable invariant over the sharded deployment, checked after every
+/// action of a shard-plane chaos trace.
+pub trait ShardOracle {
+    /// Short stable name, used in failure reports and repro output.
+    fn name(&self) -> &'static str;
+    /// Checks the invariant; `Err` carries a human-readable violation.
+    fn check(&mut self, cp: &ShardCheckpoint<'_>) -> Result<(), String>;
+}
+
+/// The default shard-plane oracle battery: cross-shard state union,
+/// per-slice replica prefixes, and HLC causality.
+pub fn default_shard_oracles() -> Vec<Box<dyn ShardOracle>> {
+    vec![
+        Box::new(ShardStateUnion),
+        Box::new(ShardSlicePrefix),
+        Box::new(HlcCausality),
+    ]
+}
+
+/// The cross-shard convergence oracle's per-step half: the plane's run is
+/// a suffix of the single-shard shadow history reaching the same instance,
+/// and the **union of the shard state partitions equals that instance** —
+/// byte for byte, after every single action, not just at quiescence. (The
+/// post-heal half — every peer's slice union equals `view_of` of the
+/// shadow — needs to pump the plane, so it runs as the closing check of
+/// the shard sim's trace execution.)
+pub struct ShardStateUnion;
+
+impl ShardOracle for ShardStateUnion {
+    fn name(&self) -> &'static str {
+        "shard-state-union"
+    }
+
+    fn check(&mut self, cp: &ShardCheckpoint<'_>) -> Result<(), String> {
+        let run = cp.plane.run();
+        if run.len() > cp.shadow.len() {
+            return Err(format!(
+                "plane holds {} events but only {} were accepted",
+                run.len(),
+                cp.shadow.len()
+            ));
+        }
+        let offset = cp.shadow.len() - run.len();
+        for i in 0..run.len() {
+            if run.event(i) != cp.shadow.event(offset + i) {
+                return Err(format!(
+                    "plane event {i} differs from accepted event {}",
+                    offset + i
+                ));
+            }
+        }
+        if run.current() != cp.shadow.current() {
+            return Err(format!(
+                "plane instance diverges from the accepted history after {} events",
+                cp.shadow.len()
+            ));
+        }
+        if !cp.plane.state_matches(run.current()) {
+            return Err(
+                "union of shard state partitions differs from the routing layer's instance"
+                    .to_string(),
+            );
+        }
+        Ok(())
+    }
+}
+
+/// Every (shard, peer) slice equals that shard's slice of `I@p` for *some*
+/// prefix of the accepted history — the sharded analogue of
+/// [`ReplicaPrefix`]. Slices of different shards may legitimately sit at
+/// *different* prefixes (each shard's delivery plane lags independently),
+/// which is exactly why the flat union-of-slices cannot be prefix-checked.
+pub struct ShardSlicePrefix;
+
+impl ShardOracle for ShardSlicePrefix {
+    fn name(&self) -> &'static str {
+        "shard-slice-prefix"
+    }
+
+    fn check(&mut self, cp: &ShardCheckpoint<'_>) -> Result<(), String> {
+        let collab = cp.shadow.spec().collab();
+        let map = cp.plane.map();
+        for s in map.shard_ids() {
+            for p in collab.peer_ids() {
+                let slice = cp.plane.shard_replica(s, p);
+                // Newest prefix first: up to date is the common case.
+                let ok = (0..=cp.shadow.len()).rev().any(|i| {
+                    let inst = if i == 0 {
+                        cp.shadow.initial()
+                    } else {
+                        cp.shadow.instance(i - 1)
+                    };
+                    slice.same_facts(&slice_view(map, s, &collab.view_of(inst, p)))
+                });
+                if !ok {
+                    return Err(format!(
+                        "slice {s}/peer {} matches no prefix of the {}-event accepted history",
+                        collab.peer_name(p),
+                        cp.shadow.len()
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// HLC order is consistent with causal delivery. Over the plane's
+/// broadcast log and per-shard oplogs (one process epoch):
+///
+/// * admission stamps strictly increase in admission order;
+/// * every shard's oplog entry for event *i* orders strictly **above**
+///   the admission stamp of *i* (the shard observed the admission) and
+///   strictly **below** the admission stamp of *i + 1* (the router
+///   observed the entry back before admitting the next event);
+/// * within one shard, oplog stamps strictly increase with the sequence
+///   number — across failovers, whose promoted clock must keep
+///   dominating the durable log.
+pub struct HlcCausality;
+
+impl ShardOracle for HlcCausality {
+    fn name(&self) -> &'static str {
+        "hlc-causality"
+    }
+
+    fn check(&mut self, cp: &ShardCheckpoint<'_>) -> Result<(), String> {
+        let log = cp.plane.log();
+        let mut prev: Option<HlcStamp> = None;
+        // event index -> (admission, next event's admission if any)
+        let mut admissions: BTreeMap<usize, (HlcStamp, Option<HlcStamp>)> = BTreeMap::new();
+        for (i, b) in log.iter().enumerate() {
+            if let Some(p) = prev {
+                if b.admitted <= p {
+                    return Err(format!(
+                        "admission stamp regressed: event {} admitted at {} after {p}",
+                        b.at, b.admitted
+                    ));
+                }
+            }
+            for (s, stamp) in &b.stamps {
+                if *stamp <= b.admitted {
+                    return Err(format!(
+                        "shard {s} stamped event {} at {stamp}, not above its admission {}",
+                        b.at, b.admitted
+                    ));
+                }
+            }
+            let next = log.get(i + 1).map(|n| n.admitted);
+            admissions.insert(b.at, (b.admitted, next));
+            prev = Some(b.admitted);
+        }
+        for s in cp.plane.map().shard_ids() {
+            let mut prev_seq: Option<HlcStamp> = None;
+            for e in cp.plane.oplog(s).entries() {
+                if let Some(p) = prev_seq {
+                    if e.stamp <= p {
+                        return Err(format!(
+                            "shard {s} oplog stamp regressed at seq {}: {} after {p}",
+                            e.seq, e.stamp
+                        ));
+                    }
+                }
+                prev_seq = Some(e.stamp);
+                let Some((admitted, next)) = admissions.get(&e.event_index) else {
+                    return Err(format!(
+                        "shard {s} oplog seq {} references event {} with no broadcast",
+                        e.seq, e.event_index
+                    ));
+                };
+                if e.stamp <= *admitted {
+                    return Err(format!(
+                        "shard {s} oplog seq {} stamp {} not above admission {admitted}",
+                        e.seq, e.stamp
+                    ));
+                }
+                if let Some(next) = next {
+                    if e.stamp >= *next {
+                        return Err(format!(
+                            "shard {s} oplog seq {} stamp {} not below the next admission {next}",
+                            e.seq, e.stamp
+                        ));
+                    }
+                }
             }
         }
         Ok(())

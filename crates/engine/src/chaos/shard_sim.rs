@@ -1,0 +1,737 @@
+//! The seeded chaos simulator for the **sharded** deployment.
+//!
+//! A [`ShardChaosSim`] is the [`ChaosSim`](crate::chaos::ChaosSim) of the
+//! [`ShardPlane`]: the same action grammar and seed discipline, but the
+//! system under test is N coordinator shards behind the routing layer, each
+//! with its *own* faulty transport (derived from a disjoint stream of the
+//! one seed), its own standby replica, and its own partitionable links. The
+//! shard-only actions that are no-op notes on the single coordinator —
+//! [`ShardFailover`](Action::ShardFailover), [`Handoff`](Action::Handoff) —
+//! get teeth here, and [`Partition`](Action::Partition) resolves to a
+//! (shard, link) pair covering every peer slice *and* every standby
+//! replication link.
+//!
+//! Alongside the plane the simulator maintains the **single-shard shadow
+//! run**: the accepted history replayed from the empty instance, exactly as
+//! a 1-shard deployment would hold it. The shard oracle battery
+//! ([`default_shard_oracles`]) checks the plane against that shadow after
+//! every action; after heal + pump-to-quiescence the closing check requires
+//! the union of shard states to equal the shadow instance **byte for
+//! byte** and every peer's slice union to equal its `view_of` reference —
+//! the cross-shard convergence oracle of the design.
+
+use std::sync::Arc;
+
+use cwf_lang::WorkflowSpec;
+use cwf_model::govern::{CancelToken, Governor, Pool, Reason, Verdict};
+use cwf_model::solver::satisfiable_within_pooled;
+use cwf_model::PeerId;
+
+use crate::chaos::actions::Action;
+use crate::chaos::oracle::{
+    default_shard_oracles, governed_view_audit, governed_wellformed, ShardCheckpoint, ShardOracle,
+};
+use crate::chaos::shrink::ddmin;
+use crate::chaos::sim::{
+    generate_trace, inv, mix, par_probe_condition, ChaosConfig, ChaosFailure, ChaosProfile,
+    TraceReport, Violation, NET_SALT, STORAGE_SALT,
+};
+use crate::coordinator::MaterializedView;
+use crate::error::CoordinatorError;
+use crate::event::Event;
+use crate::fault::FaultPlan;
+use crate::run::Run;
+use crate::shard::{ShardConvergence, ShardId, ShardLink, ShardPlane, ShardPlaneConfig};
+use crate::simulate::{candidates, complete, Candidate};
+use crate::transport::{FaultyTransport, Transport};
+use crate::wal::{IoFaultBackend, MemBackend, SyncPolicy, Wal, WalOptions};
+
+/// The live state of one shard-plane trace execution.
+struct ShardWorld {
+    spec: Arc<WorkflowSpec>,
+    profile: ChaosProfile,
+    config: ChaosConfig,
+    seed: u64,
+    shards: usize,
+    plane: ShardPlane,
+    mem: MemBackend,
+    io: IoFaultBackend,
+    opts: WalOptions,
+    shadow: Run,
+    in_flight: Option<Event>,
+    healed: bool,
+    epoch: u64,
+    restarts: u64,
+    /// Per-shard count of transport replacements (failovers + hand-off
+    /// cutovers) this epoch; salts the next replacement's fault stream.
+    incarnations: Vec<u64>,
+    transcript: Vec<String>,
+}
+
+impl ShardWorld {
+    fn new(
+        spec: Arc<WorkflowSpec>,
+        profile: ChaosProfile,
+        config: ChaosConfig,
+        shards: usize,
+        seed: u64,
+    ) -> Self {
+        let opts = WalOptions {
+            sync: SyncPolicy::Always,
+            snapshot_every: config.snapshot_every,
+        };
+        let mem = MemBackend::new();
+        let io = IoFaultBackend::new(
+            Box::new(mem.clone()),
+            FaultPlan::perfect(mix(seed, STORAGE_SALT)),
+        );
+        let wal =
+            Wal::create(Box::new(io.clone()), opts).expect("fresh in-memory backend cannot fail");
+        let (short, fsync, transient) = profile.storage_rates();
+        io.configure(|p| {
+            p.short_write_p = short;
+            p.fsync_fail_p = fsync;
+            p.transient_p = transient;
+        });
+        let transports: Vec<Box<dyn Transport>> = (0..shards)
+            .map(|s| {
+                Box::new(FaultyTransport::new(
+                    profile.transport_plan(mix(seed, NET_SALT ^ ((s as u64 + 1) << 16))),
+                )) as Box<dyn Transport>
+            })
+            .collect();
+        let plane = ShardPlane::with_parts(
+            Arc::clone(&spec),
+            transports,
+            Some(wal),
+            ShardPlaneConfig {
+                shards,
+                coordinator: config.coordinator,
+            },
+        );
+        let shadow = Run::new(Arc::clone(&spec));
+        ShardWorld {
+            spec,
+            profile,
+            config,
+            seed,
+            shards,
+            plane,
+            mem,
+            io,
+            opts,
+            shadow,
+            in_flight: None,
+            healed: false,
+            epoch: 0,
+            restarts: 0,
+            incarnations: vec![0; shards],
+            transcript: Vec::new(),
+        }
+    }
+
+    fn note(&mut self, line: impl Into<String>) {
+        self.transcript.push(line.into());
+    }
+
+    /// The fault plan of shard `s`'s *next* transport (failover target or
+    /// hand-off receiver): a fresh stream salted by epoch, shard, and the
+    /// per-shard incarnation counter, healed if the environment has healed.
+    fn next_transport(&mut self, s: ShardId) -> Box<dyn Transport> {
+        self.incarnations[s.index()] += 1;
+        let salt = NET_SALT
+            ^ (self.epoch << 8)
+            ^ ((s.index() as u64 + 1) << 16)
+            ^ (self.incarnations[s.index()] << 32);
+        let mut plan = self.profile.transport_plan(mix(self.seed, salt));
+        if self.healed {
+            plan.heal();
+        }
+        Box::new(FaultyTransport::new(plan))
+    }
+
+    /// Decodes a raw partition-link selector into its (shard, link) pair:
+    /// the link space is `shards × (peers + 1)` — every peer slice of every
+    /// shard plus each shard's standby replication link.
+    fn decode_link(&self, link: u32) -> (ShardId, ShardLink) {
+        let peers = self.spec.collab().peer_count();
+        let idx = link as usize % (self.shards * (peers + 1));
+        let shard = ShardId((idx / (peers + 1)) as u16);
+        let within = idx % (peers + 1);
+        let target = if within < peers {
+            ShardLink::Peer(PeerId(within as u32))
+        } else {
+            ShardLink::Standby
+        };
+        (shard, target)
+    }
+
+    fn checkpoint<'a>(&'a self, step: usize, action: &'a Action) -> ShardCheckpoint<'a> {
+        ShardCheckpoint {
+            plane: &self.plane,
+            shadow: &self.shadow,
+            healed: self.healed,
+            step,
+            action,
+        }
+    }
+
+    fn apply(&mut self, action: &Action) -> Result<(), Violation> {
+        match action {
+            Action::Submit { pick } => self.submit(*pick),
+            Action::Pump { ticks } => {
+                for _ in 0..*ticks {
+                    self.plane.pump();
+                }
+                Ok(())
+            }
+            Action::CrashRestart {
+                keep_unsynced,
+                corrupt,
+            } => self.crash_restart(*keep_unsynced, *corrupt),
+            Action::Resync => {
+                let n = self.plane.resync_divergent();
+                self.note(format!("resync: {n} divergent slices"));
+                Ok(())
+            }
+            Action::Heal => {
+                self.healed = true;
+                self.plane.heal();
+                self.io.heal();
+                self.note("heal: all fault injection stopped");
+                Ok(())
+            }
+            Action::Rearm => self.rearm(),
+            Action::GovernorCancel => self.governor_cancel(),
+            Action::ParCancel => self.par_cancel(),
+            Action::DegradeProbe => self.degrade_probe(),
+            Action::Partition { link } => {
+                let (s, target) = self.decode_link(*link);
+                self.plane.partition_link(s, target);
+                self.note(format!("part: {s} {target:?} down"));
+                Ok(())
+            }
+            Action::HealPartition { link } => {
+                let (s, target) = self.decode_link(*link);
+                self.plane.heal_link(s, target);
+                self.note(format!("unpart: {s} {target:?} up"));
+                Ok(())
+            }
+            Action::ShardFailover { shard } => {
+                let s = ShardId((*shard as usize % self.shards) as u16);
+                let t = self.next_transport(s);
+                self.plane.failover(s, t);
+                self.note(format!("failover: {s} promoted its standby"));
+                Ok(())
+            }
+            Action::Handoff { shard } => self.handoff(*shard),
+        }
+    }
+
+    /// One step of the interruptible hand-off protocol: begin on the
+    /// selected shard if nothing is in progress, otherwise transfer a
+    /// bounded batch of oplog records, cutting over once the tail drains.
+    fn handoff(&mut self, shard: u32) -> Result<(), Violation> {
+        match self.plane.handoff_in_progress() {
+            None => {
+                let s = ShardId((shard as usize % self.shards) as u16);
+                self.plane.begin_handoff(s);
+                self.note(format!("handoff: {s} snapshot taken"));
+            }
+            Some((s, 0)) => {
+                let t = self.next_transport(s);
+                if !self.plane.finish_handoff(t) {
+                    return Err(inv("finish_handoff refused an in-progress hand-off"));
+                }
+                self.note(format!("handoff: {s} cut over"));
+            }
+            Some((s, _)) => {
+                let left = self.plane.step_handoff(2);
+                self.note(format!("handoff: {s} stepped, {left} records left"));
+            }
+        }
+        Ok(())
+    }
+
+    fn submit(&mut self, pick: u32) -> Result<(), Violation> {
+        let cands = candidates(self.plane.run());
+        if cands.is_empty() {
+            self.note("submit: no candidates");
+            return Ok(());
+        }
+        let cand: &Candidate = &cands[pick as usize % cands.len()];
+        let mut scratch = self.plane.run().clone();
+        let event = complete(&mut scratch, cand);
+        let was_degraded = self.plane.degraded();
+        match self.plane.submit(event.clone()) {
+            Ok(b) => {
+                let line = format!(
+                    "submit ok: at={} home={} stamps={}",
+                    b.at,
+                    b.home,
+                    b.stamps
+                        .iter()
+                        .map(|(s, t)| format!("{s}:{t}"))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                );
+                if was_degraded {
+                    return Err((
+                        "degraded-safety".into(),
+                        "degraded plane accepted a mutation".into(),
+                    ));
+                }
+                self.note(line);
+                if let Err(e) = self.shadow.push(event) {
+                    return Err((
+                        "shard-state-union".into(),
+                        format!("accepted event does not extend the accepted history: {e}"),
+                    ));
+                }
+                Ok(())
+            }
+            Err(CoordinatorError::Degraded) => {
+                if !was_degraded {
+                    return Err(inv("armed plane rejected a submit as Degraded"));
+                }
+                self.note("submit rejected: degraded");
+                Ok(())
+            }
+            Err(CoordinatorError::Engine(e)) => {
+                self.note(format!("submit rejected by engine: {e}"));
+                Ok(())
+            }
+            Err(CoordinatorError::Wal(e)) => {
+                if !self.plane.degraded() {
+                    return Err(inv(format!("wal failure did not degrade the plane: {e}")));
+                }
+                self.in_flight = Some(event);
+                self.note(format!("submit hit wal failure: {e}"));
+                Ok(())
+            }
+        }
+    }
+
+    fn crash_restart(
+        &mut self,
+        keep_unsynced: u32,
+        corrupt: Option<(u32, u8)>,
+    ) -> Result<(), Violation> {
+        // The whole plane process dies: shard states, oplogs, standbys, and
+        // in-flight traffic are gone; only the routing layer's WAL decides.
+        let synced = self.mem.synced_len();
+        let survivor = self.mem.survivor(keep_unsynced as usize);
+        if let Some((off, xor)) = corrupt {
+            let total = survivor.bytes().len();
+            if total > synced {
+                let tail = total - synced;
+                survivor.corrupt_byte(synced + (off as usize % tail), xor);
+            }
+        }
+        self.epoch += 1;
+        self.restarts += 1;
+        self.incarnations = vec![0; self.shards];
+        let io = IoFaultBackend::new(
+            Box::new(survivor.clone()),
+            FaultPlan::perfect(mix(self.seed, STORAGE_SALT ^ (self.epoch << 8))),
+        );
+        let transports: Vec<Box<dyn Transport>> = (0..self.shards)
+            .map(|s| {
+                let salt = NET_SALT ^ (self.epoch << 8) ^ ((s as u64 + 1) << 16);
+                let mut net = self.profile.transport_plan(mix(self.seed, salt));
+                if self.healed {
+                    net.heal();
+                }
+                Box::new(FaultyTransport::new(net)) as Box<dyn Transport>
+            })
+            .collect();
+        let accepted = self.shadow.len() as u64;
+        let (plane, report) = ShardPlane::recover(
+            Arc::clone(&self.spec),
+            Box::new(io.clone()),
+            self.opts,
+            transports,
+            ShardPlaneConfig {
+                shards: self.shards,
+                coordinator: self.config.coordinator,
+            },
+        )
+        .map_err(|e| {
+            (
+                "wal-replay".to_string(),
+                format!("recovery refused the surviving log: {e}"),
+            )
+        })?;
+        if report.last_seq == accepted + 1 {
+            let Some(ev) = self.in_flight.take() else {
+                return Err((
+                    "no-lost-acked".into(),
+                    "recovery found an extra durable event with nothing in flight".into(),
+                ));
+            };
+            self.shadow.push(ev).map_err(|e| {
+                (
+                    "shard-state-union".to_string(),
+                    format!("promoted in-flight event does not extend the history: {e}"),
+                )
+            })?;
+        } else if report.last_seq == accepted {
+            self.in_flight = None;
+        } else {
+            return Err((
+                "no-lost-acked".into(),
+                format!(
+                    "recovery reaches seq {} but {accepted} events were acknowledged",
+                    report.last_seq
+                ),
+            ));
+        }
+        self.plane = plane;
+        self.mem = survivor;
+        self.io = io;
+        if !self.healed {
+            let (short, fsync, transient) = self.profile.storage_rates();
+            self.io.configure(|p| {
+                p.short_write_p = short;
+                p.fsync_fail_p = fsync;
+                p.transient_p = transient;
+            });
+        }
+        self.note(format!(
+            "crash-restart #{}: last_seq={} replayed={} snapshot={:?} truncated={}B",
+            self.restarts,
+            report.last_seq,
+            report.events_replayed,
+            report.snapshot_seq,
+            report.truncated_bytes
+        ));
+        Ok(())
+    }
+
+    fn rearm(&mut self) -> Result<(), Violation> {
+        let was_degraded = self.plane.degraded();
+        match self.plane.rearm() {
+            Ok(()) => {
+                if was_degraded {
+                    self.in_flight = None;
+                    self.note("rearm: left degraded mode");
+                } else {
+                    self.note("rearm: no-op");
+                }
+                Ok(())
+            }
+            Err(e) => {
+                if self.healed {
+                    return Err(inv(format!("rearm failed after heal: {e}")));
+                }
+                self.note(format!("rearm failed (faults persist): {e}"));
+                Ok(())
+            }
+        }
+    }
+
+    fn governor_cancel(&mut self) -> Result<(), Violation> {
+        let token = CancelToken::new();
+        token.cancel();
+        let gov = Governor::unlimited().cancelled_by(token);
+        match governed_wellformed(self.plane.run(), &gov) {
+            Verdict::Exhausted(Reason::Cancelled) => {
+                self.note("cancel: governed analysis stopped before any work");
+                Ok(())
+            }
+            v => Err(inv(format!(
+                "pre-cancelled governed analysis returned {v:?} \
+                 instead of Exhausted(Cancelled)"
+            ))),
+        }
+    }
+
+    fn par_cancel(&mut self) -> Result<(), Violation> {
+        let wide = Pool::with_threads(4);
+        let one = Pool::sequential();
+        let token = CancelToken::new();
+        token.cancel();
+        let gov = Governor::unlimited().cancelled_by(token);
+        match governed_view_audit(self.plane.run(), &gov, &wide) {
+            Verdict::Exhausted(Reason::Cancelled) => {}
+            v => {
+                return Err(inv(format!(
+                    "pre-cancelled parallel view audit returned {v:?} \
+                     instead of Exhausted(Cancelled)"
+                )))
+            }
+        }
+        let par = governed_view_audit(self.plane.run(), &Governor::unlimited(), &wide);
+        let seq = governed_view_audit(self.plane.run(), &Governor::unlimited(), &one);
+        if par != seq {
+            return Err(inv(format!(
+                "parallel view audit diverged from sequential: {par:?} vs {seq:?}"
+            )));
+        }
+        if let Verdict::Done(Err(msg)) = &par {
+            return Err(inv(format!("view audit found a divergence: {msg}")));
+        }
+        let cond = par_probe_condition();
+        let psat = satisfiable_within_pooled(&cond, &Governor::unlimited(), &wide);
+        let ssat = satisfiable_within_pooled(&cond, &Governor::unlimited(), &one);
+        if psat != ssat {
+            return Err(inv(format!(
+                "parallel satisfiability diverged from sequential: \
+                 {psat:?} vs {ssat:?}"
+            )));
+        }
+        self.note("pcancel: parallel analyses match the sequential oracles");
+        Ok(())
+    }
+
+    fn degrade_probe(&mut self) -> Result<(), Violation> {
+        if !self.plane.degraded() {
+            self.note("probe: not degraded");
+            return Ok(());
+        }
+        let before_len = self.plane.run().len();
+        let collab = self.spec.collab();
+        let replicas: Vec<MaterializedView> = collab
+            .peer_ids()
+            .map(|p| self.plane.union_replica(p))
+            .collect();
+        let cands = candidates(self.plane.run());
+        let event = match cands.first() {
+            Some(cand) => {
+                let mut scratch = self.plane.run().clone();
+                complete(&mut scratch, cand)
+            }
+            None => match self.in_flight.clone() {
+                Some(ev) => ev,
+                None => {
+                    self.note("probe: nothing to submit");
+                    return Ok(());
+                }
+            },
+        };
+        match self.plane.submit(event) {
+            Err(CoordinatorError::Degraded) => {}
+            Ok(_) => {
+                return Err((
+                    "degraded-safety".into(),
+                    "mutation accepted while degraded".into(),
+                ));
+            }
+            Err(e) => {
+                return Err((
+                    "degraded-safety".into(),
+                    format!("degraded submit failed with {e:?} instead of Degraded"),
+                ));
+            }
+        }
+        if self.plane.run().len() != before_len {
+            return Err((
+                "degraded-safety".into(),
+                "run length changed during a degraded probe".into(),
+            ));
+        }
+        for (p, before) in collab.peer_ids().zip(&replicas) {
+            if !self.plane.union_replica(p).same_facts(before) {
+                return Err((
+                    "degraded-safety".into(),
+                    format!(
+                        "replica union of peer {} changed during a degraded probe",
+                        collab.peer_name(p)
+                    ),
+                ));
+            }
+        }
+        self.note("probe: degraded mutation rejected, reads stable");
+        Ok(())
+    }
+
+    /// The cross-shard convergence oracle's closing half: after heal the
+    /// plane must finish any hand-off, re-arm, settle within the pump
+    /// budget, and then the union of shard states must equal the
+    /// single-shard shadow instance byte for byte, with every peer's slice
+    /// union equal to its from-scratch `view_of` reference.
+    fn final_check(&mut self) -> Result<u64, Violation> {
+        const NAME: &str = "cross-shard-convergence";
+        if !self.healed {
+            return Ok(0);
+        }
+        if let Some((s, _)) = self.plane.handoff_in_progress() {
+            let t = self.next_transport(s);
+            self.plane.finish_handoff(t);
+            self.note(format!("handoff: {s} completed at trace end"));
+        }
+        let was_degraded = self.plane.degraded();
+        if let Err(e) = self.plane.rearm() {
+            return Err((NAME.into(), format!("rearm failed after heal: {e}")));
+        }
+        if was_degraded {
+            self.in_flight = None;
+        }
+        let ticks = match self.plane.converge(self.config.converge_budget) {
+            ShardConvergence::Converged { ticks } => ticks,
+            s @ ShardConvergence::Stalled { .. } => {
+                return Err((
+                    NAME.into(),
+                    format!(
+                        "plane failed to settle within {} ticks: {s}",
+                        self.config.converge_budget
+                    ),
+                ));
+            }
+        };
+        if !self.plane.state_matches(self.shadow.current()) {
+            return Err((
+                NAME.into(),
+                "converged union of shard states differs from the single-shard shadow".into(),
+            ));
+        }
+        let collab = self.spec.collab();
+        for p in collab.peer_ids() {
+            let union = self.plane.union_replica(p);
+            if !union.matches(&collab.view_of(self.shadow.current(), p)) {
+                return Err((
+                    NAME.into(),
+                    format!(
+                        "converged replica union of peer {} differs from view_of the shadow",
+                        collab.peer_name(p)
+                    ),
+                ));
+            }
+        }
+        self.note(format!("converged after {ticks} ticks"));
+        Ok(ticks)
+    }
+}
+
+/// The sharded chaos harness: a spec, a fault profile, a shard count, and
+/// the shard oracle battery. One sim is reusable across seeds.
+pub struct ShardChaosSim {
+    spec: Arc<WorkflowSpec>,
+    profile: ChaosProfile,
+    shards: usize,
+    config: ChaosConfig,
+}
+
+impl ShardChaosSim {
+    /// A sim over `spec` with `shards` shards and the given fault profile.
+    pub fn new(spec: Arc<WorkflowSpec>, profile: ChaosProfile, shards: usize) -> Self {
+        assert!(shards >= 1, "a plane needs at least one shard");
+        ShardChaosSim {
+            spec,
+            profile,
+            shards,
+            config: ChaosConfig::default(),
+        }
+    }
+
+    /// Builder: overrides the tuning knobs.
+    pub fn with_config(mut self, config: ChaosConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The active profile.
+    pub fn profile(&self) -> ChaosProfile {
+        self.profile
+    }
+
+    /// The shard count of the deployment under test.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Generates the action trace of `seed` — the same grammar and
+    /// generator as the single-coordinator sim.
+    pub fn generate(&self, seed: u64, steps: usize) -> Vec<Action> {
+        generate_trace(self.profile, seed, steps)
+    }
+
+    /// Executes `trace` deterministically from `seed` against a fresh
+    /// sharded universe, running the shard oracle battery after every
+    /// action and the cross-shard convergence check at the end.
+    pub fn run_trace(&self, seed: u64, trace: &[Action]) -> Result<TraceReport, ChaosFailure> {
+        let fail = |step: usize, (oracle, detail): Violation| ChaosFailure {
+            seed,
+            profile: self.profile,
+            oracle,
+            detail,
+            step,
+            trace: trace.to_vec(),
+            minimized: None,
+        };
+        let mut world = ShardWorld::new(
+            Arc::clone(&self.spec),
+            self.profile,
+            self.config,
+            self.shards,
+            seed,
+        );
+        let mut oracles: Vec<Box<dyn ShardOracle>> = default_shard_oracles();
+        for (step, action) in trace.iter().enumerate() {
+            world.apply(action).map_err(|v| fail(step, v))?;
+            let cp = world.checkpoint(step, action);
+            for oracle in oracles.iter_mut() {
+                if let Err(detail) = oracle.check(&cp) {
+                    let oracle = oracle.name().to_string();
+                    return Err(fail(step, (oracle, detail)));
+                }
+            }
+        }
+        let converge_ticks = world
+            .final_check()
+            .map_err(|v| fail(trace.len().saturating_sub(1), v))?;
+        let mut transcript = world.transcript;
+        let ft = world.plane.ft_stats().clone();
+        let ps = *world.plane.plane_stats();
+        transcript.push(format!("final ft: {ft:?}"));
+        transcript.push(format!("final plane: {ps:?}"));
+        Ok(TraceReport {
+            events: world.shadow.len(),
+            modified_tuples: (0..world.shadow.len())
+                .map(|i| world.shadow.diff(i).modified.len())
+                .sum(),
+            restarts: world.restarts,
+            converge_ticks,
+            ft,
+            transcript,
+        })
+    }
+
+    /// Delta-debugs a failing trace, re-executing from `seed`.
+    pub fn minimize(&self, seed: u64, trace: &[Action]) -> (Vec<Action>, Option<ChaosFailure>) {
+        let minimized = ddmin(
+            trace,
+            |cand| self.run_trace(seed, cand).is_err(),
+            self.config.shrink_budget,
+        );
+        let failure = self.run_trace(seed, &minimized).err();
+        (minimized, failure)
+    }
+
+    /// The top-level per-seed entry point: generate, execute, and on
+    /// failure shrink to a minimal repro.
+    pub fn check_seed(&self, seed: u64, steps: usize) -> Result<TraceReport, ChaosFailure> {
+        let trace = self.generate(seed, steps);
+        match self.run_trace(seed, &trace) {
+            Ok(report) => Ok(report),
+            Err(original) => {
+                let (minimized, refailure) = self.minimize(seed, &trace);
+                let mut failure = refailure.unwrap_or(original);
+                failure.trace = trace;
+                failure.minimized = Some(minimized);
+                Err(failure)
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for ShardChaosSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ShardChaosSim[{} shards, profile={}]",
+            self.shards,
+            self.profile.name()
+        )
+    }
+}

@@ -44,22 +44,22 @@ use crate::wal::{IoFaultBackend, MemBackend, SyncPolicy, Wal, WalOptions};
 
 /// Splits the one seed into independent streams (generation, network,
 /// storage) and per-restart epochs.
-fn mix(seed: u64, salt: u64) -> u64 {
+pub(crate) fn mix(seed: u64, salt: u64) -> u64 {
     seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
         .wrapping_add(salt)
         .rotate_left(17)
         .wrapping_mul(0xBF58_476D_1CE4_E5B9)
 }
 
-const GEN_SALT: u64 = 0x01;
-const NET_SALT: u64 = 0x02;
-const STORAGE_SALT: u64 = 0x03;
+pub(crate) const GEN_SALT: u64 = 0x01;
+pub(crate) const NET_SALT: u64 = 0x02;
+pub(crate) const STORAGE_SALT: u64 = 0x03;
 
 /// The fixed 12-atom selection condition of the [`Action::ParCancel`]
 /// solver differential — wide enough (≥ 11 atoms) to engage the solver's
 /// parallel split, structured enough (6 two-atom clauses) that the search
 /// is not trivial.
-fn par_probe_condition() -> Condition {
+pub(crate) fn par_probe_condition() -> Condition {
     Condition::and((0..6u32).map(|i| {
         Condition::or([
             Condition::eq_const(AttrId(i), i64::from(i)),
@@ -85,6 +85,10 @@ pub enum ChaosProfile {
     /// (selection enter/leave, projection-only changes) under the
     /// differential view-plane oracle.
     ModificationHeavy,
+    /// Link-level partitions, shard failovers, and hand-offs over a mildly
+    /// faulty network: the robustness profile of the sharded state plane
+    /// (on a single coordinator only the partition actions bite).
+    PartitionHeavy,
 }
 
 impl ChaosProfile {
@@ -95,38 +99,44 @@ impl ChaosProfile {
             ChaosProfile::CrashHeavy => "crash-heavy",
             ChaosProfile::StorageHeavy => "storage-heavy",
             ChaosProfile::ModificationHeavy => "mod-heavy",
+            ChaosProfile::PartitionHeavy => "partition-heavy",
         }
     }
 
     /// The network fault plan of one epoch.
-    fn transport_plan(&self, stream: u64) -> FaultPlan {
+    pub(crate) fn transport_plan(&self, stream: u64) -> FaultPlan {
         let plan = FaultPlan::seeded(stream);
         match self {
             ChaosProfile::Default => plan.with_rates(0.15, 0.10, 0.25, 3, 0.20),
             ChaosProfile::CrashHeavy => plan.with_rates(0.20, 0.10, 0.25, 3, 0.20),
             ChaosProfile::StorageHeavy => plan.with_rates(0.10, 0.05, 0.15, 2, 0.10),
             ChaosProfile::ModificationHeavy => plan.with_rates(0.10, 0.05, 0.20, 2, 0.15),
+            ChaosProfile::PartitionHeavy => plan.with_rates(0.08, 0.05, 0.15, 2, 0.10),
         }
     }
 
     /// `(short_write_p, fsync_fail_p, transient_p)` of the simulated disk.
-    fn storage_rates(&self) -> (f64, f64, f64) {
+    pub(crate) fn storage_rates(&self) -> (f64, f64, f64) {
         match self {
             ChaosProfile::Default => (0.0, 0.0, 0.0),
             ChaosProfile::CrashHeavy => (0.0, 0.0, 0.0),
             ChaosProfile::StorageHeavy => (0.08, 0.10, 0.12),
             ChaosProfile::ModificationHeavy => (0.0, 0.0, 0.0),
+            ChaosProfile::PartitionHeavy => (0.0, 0.0, 0.0),
         }
     }
 
     /// Generator weights: submit, pump, crash, resync, rearm, cancel,
-    /// pcancel, probe.
-    fn weights(&self) -> [u32; 8] {
+    /// pcancel, probe, partition, heal-partition, failover, handoff.
+    /// (Pre-partition profiles keep zero weight on the last four, so their
+    /// pinned seeds still generate byte-identical traces.)
+    fn weights(&self) -> [u32; 12] {
         match self {
-            ChaosProfile::Default => [40, 25, 5, 8, 6, 6, 4, 10],
-            ChaosProfile::CrashHeavy => [35, 18, 25, 8, 4, 4, 3, 6],
-            ChaosProfile::StorageHeavy => [38, 15, 8, 5, 14, 6, 4, 14],
-            ChaosProfile::ModificationHeavy => [55, 20, 4, 6, 4, 3, 3, 8],
+            ChaosProfile::Default => [40, 25, 5, 8, 6, 6, 4, 10, 0, 0, 0, 0],
+            ChaosProfile::CrashHeavy => [35, 18, 25, 8, 4, 4, 3, 6, 0, 0, 0, 0],
+            ChaosProfile::StorageHeavy => [38, 15, 8, 5, 14, 6, 4, 14, 0, 0, 0, 0],
+            ChaosProfile::ModificationHeavy => [55, 20, 4, 6, 4, 3, 3, 8, 0, 0, 0, 0],
+            ChaosProfile::PartitionHeavy => [34, 20, 3, 6, 3, 0, 0, 4, 12, 8, 5, 5],
         }
     }
 }
@@ -226,9 +236,9 @@ impl fmt::Display for ChaosFailure {
 
 /// An action-invariant or oracle violation bubbling out of execution:
 /// `(check name, detail)`.
-type Violation = (String, String);
+pub(crate) type Violation = (String, String);
 
-fn inv(detail: impl Into<String>) -> Violation {
+pub(crate) fn inv(detail: impl Into<String>) -> Violation {
     ("action-invariant".to_string(), detail.into())
 }
 
@@ -345,6 +355,30 @@ impl World {
             Action::GovernorCancel => self.governor_cancel(),
             Action::ParCancel => self.par_cancel(),
             Action::DegradeProbe => self.degrade_probe(),
+            Action::Partition { link } => {
+                // On a single coordinator the links are exactly the peers.
+                let p = cwf_model::PeerId(link % self.spec.collab().peer_count() as u32);
+                self.coordinator.set_link(p, false);
+                self.note(format!("part: peer {} link down", p.index()));
+                Ok(())
+            }
+            Action::HealPartition { link } => {
+                let p = cwf_model::PeerId(link % self.spec.collab().peer_count() as u32);
+                self.coordinator.set_link(p, true);
+                self.note(format!("unpart: peer {} link up", p.index()));
+                Ok(())
+            }
+            // Shard-plane actions are no-ops on the shard-less deployment
+            // (the ShardChaosSim gives them teeth); keeping them tolerated
+            // here lets one trace grammar drive both harnesses.
+            Action::ShardFailover { .. } => {
+                self.note("failover: no shards on a single coordinator");
+                Ok(())
+            }
+            Action::Handoff { .. } => {
+                self.note("handoff: no shards on a single coordinator");
+                Ok(())
+            }
         }
     }
 
@@ -750,48 +784,70 @@ impl ChaosSim {
     /// the closing `heal rearm pump` suffix so every seed exercises the
     /// post-heal convergence oracle.
     pub fn generate(&self, seed: u64, steps: usize) -> Vec<Action> {
-        let mut rng = StdRng::seed_from_u64(mix(seed, GEN_SALT));
-        let weights = self.profile.weights();
-        let total: u32 = weights.iter().sum();
-        let mut out = Vec::with_capacity(steps + 3);
-        for _ in 0..steps {
-            let mut roll = rng.gen_range(0..total);
-            let mut idx = 0usize;
-            for (i, w) in weights.iter().enumerate() {
-                if roll < *w {
-                    idx = i;
-                    break;
-                }
-                roll -= *w;
-            }
-            out.push(match idx {
-                0 => Action::Submit {
-                    pick: rng.gen_range(0..=255u32),
-                },
-                1 => Action::Pump {
-                    ticks: rng.gen_range(1..=5u32),
-                },
-                2 => Action::CrashRestart {
-                    keep_unsynced: rng.gen_range(0..=96u32),
-                    corrupt: if rng.gen_bool(0.3) {
-                        Some((rng.gen_range(0..=255u32), rng.gen_range(1..=255u32) as u8))
-                    } else {
-                        None
-                    },
-                },
-                3 => Action::Resync,
-                4 => Action::Rearm,
-                5 => Action::GovernorCancel,
-                6 => Action::ParCancel,
-                _ => Action::DegradeProbe,
-            });
-        }
-        out.push(Action::Heal);
-        out.push(Action::Rearm);
-        out.push(Action::Pump { ticks: 4 });
-        out
+        generate_trace(self.profile, seed, steps)
     }
+}
 
+/// Generates the `seed`-determined action trace of a profile (shared by the
+/// single-coordinator [`ChaosSim`] and the sharded
+/// [`ShardChaosSim`](crate::chaos::shard_sim::ShardChaosSim), so the two
+/// harnesses speak the same grammar).
+pub fn generate_trace(profile: ChaosProfile, seed: u64, steps: usize) -> Vec<Action> {
+    let mut rng = StdRng::seed_from_u64(mix(seed, GEN_SALT));
+    let weights = profile.weights();
+    let total: u32 = weights.iter().sum();
+    let mut out = Vec::with_capacity(steps + 3);
+    for _ in 0..steps {
+        let mut roll = rng.gen_range(0..total);
+        let mut idx = 0usize;
+        for (i, w) in weights.iter().enumerate() {
+            if roll < *w {
+                idx = i;
+                break;
+            }
+            roll -= *w;
+        }
+        out.push(match idx {
+            0 => Action::Submit {
+                pick: rng.gen_range(0..=255u32),
+            },
+            1 => Action::Pump {
+                ticks: rng.gen_range(1..=5u32),
+            },
+            2 => Action::CrashRestart {
+                keep_unsynced: rng.gen_range(0..=96u32),
+                corrupt: if rng.gen_bool(0.3) {
+                    Some((rng.gen_range(0..=255u32), rng.gen_range(1..=255u32) as u8))
+                } else {
+                    None
+                },
+            },
+            3 => Action::Resync,
+            4 => Action::Rearm,
+            5 => Action::GovernorCancel,
+            6 => Action::ParCancel,
+            7 => Action::DegradeProbe,
+            8 => Action::Partition {
+                link: rng.gen_range(0..=255u32),
+            },
+            9 => Action::HealPartition {
+                link: rng.gen_range(0..=255u32),
+            },
+            10 => Action::ShardFailover {
+                shard: rng.gen_range(0..=255u32),
+            },
+            _ => Action::Handoff {
+                shard: rng.gen_range(0..=255u32),
+            },
+        });
+    }
+    out.push(Action::Heal);
+    out.push(Action::Rearm);
+    out.push(Action::Pump { ticks: 4 });
+    out
+}
+
+impl ChaosSim {
     /// Executes `trace` deterministically from `seed`, running the oracle
     /// battery after every action and the post-heal convergence check at
     /// the end. The failure, if any, carries the *unminimized* trace; see

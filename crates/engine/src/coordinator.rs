@@ -21,16 +21,16 @@
 //! (Section 6) composes on top: wrap pushes with `cwf-design`'s
 //! `TransparentEngine` and forward only accepted events.
 
-use std::collections::VecDeque;
 use std::fmt;
 
 use cwf_model::{PeerId, RelId, Tuple, Value, ViewInstance};
 
+use crate::delivery::Delivery;
 use crate::error::{CoordinatorError, WalError};
 use crate::event::Event;
 use crate::run::Run;
 use crate::stats::{FtStats, RunStats};
-use crate::transport::{Ack, PeerMsg, PerfectTransport, Transport};
+use crate::transport::{PerfectTransport, Transport};
 use crate::wal::{RecoveryReport, Wal, WalBackend, WalOptions};
 
 pub use crate::view_plane::ViewDelta;
@@ -69,6 +69,20 @@ impl MaterializedView {
     /// Total number of tuples.
     pub fn total_tuples(&self) -> usize {
         self.rels.values().map(|m| m.len()).sum()
+    }
+
+    /// Every tuple with its relation, in (relation, key) order.
+    pub fn facts(&self) -> impl Iterator<Item = (RelId, &Tuple)> {
+        self.rels
+            .iter()
+            .flat_map(|(r, m)| m.values().map(move |t| (*r, t)))
+    }
+
+    /// Content equality ignoring empty relation slots (removals may leave
+    /// an empty per-relation map behind; two views that hold the same
+    /// tuples are the same view).
+    pub fn same_facts(&self, other: &MaterializedView) -> bool {
+        self.facts().eq(other.facts())
     }
 
     /// Does the replica equal the given view instance?
@@ -118,8 +132,10 @@ pub enum Convergence {
     },
     /// The tick budget ran out with work still outstanding.
     Stalled {
-        /// Messages still awaiting acknowledgement across all outboxes.
-        undelivered: usize,
+        /// Per peer with outstanding messages: how many await
+        /// acknowledgement in its outbox, in peer-id order (peers with an
+        /// empty outbox are omitted).
+        undelivered: Vec<(PeerId, usize)>,
         /// Peers whose replica differs from its authoritative view.
         divergent: Vec<PeerId>,
     },
@@ -130,6 +146,26 @@ impl Convergence {
     pub fn is_converged(&self) -> bool {
         matches!(self, Convergence::Converged { .. })
     }
+
+    /// Total messages still awaiting acknowledgement (0 when converged).
+    pub fn undelivered_total(&self) -> usize {
+        match self {
+            Convergence::Converged { .. } => 0,
+            Convergence::Stalled { undelivered, .. } => undelivered.iter().map(|(_, n)| n).sum(),
+        }
+    }
+}
+
+/// Formats a per-peer breakdown like `p0:3, p2:1` (chaos failure artifacts
+/// say *where* convergence stalled, not just that it did).
+fn fmt_per_peer(f: &mut fmt::Formatter<'_>, items: &[(PeerId, usize)]) -> fmt::Result {
+    for (i, (p, n)) in items.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write!(f, "p{}:{n}", p.index())?;
+    }
+    Ok(())
 }
 
 impl fmt::Display for Convergence {
@@ -139,11 +175,23 @@ impl fmt::Display for Convergence {
             Convergence::Stalled {
                 undelivered,
                 divergent,
-            } => write!(
-                f,
-                "stalled: {undelivered} undelivered messages, {} divergent replicas",
-                divergent.len()
-            ),
+            } => {
+                write!(
+                    f,
+                    "stalled: {} undelivered messages across {} peers (",
+                    self.undelivered_total(),
+                    undelivered.len()
+                )?;
+                fmt_per_peer(f, undelivered)?;
+                write!(f, "), {} divergent replicas (", divergent.len())?;
+                for (i, p) in divergent.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "p{}", p.index())?;
+                }
+                write!(f, ")")
+            }
         }
     }
 }
@@ -176,87 +224,16 @@ impl Default for CoordinatorConfig {
     }
 }
 
-/// An unacknowledged message awaiting its ack (and possibly retries).
-#[derive(Debug, Clone)]
-struct Pending {
-    msg: PeerMsg,
-    attempts: u32,
-    due: u64,
-}
-
-/// The coordinator side of one peer's delta stream.
-#[derive(Debug, Default)]
-struct Outbox {
-    /// Sequence number of the next delta to enqueue (per-peer, from 1).
-    next_seq: u64,
-    /// Sent but unacknowledged messages, oldest first.
-    unacked: VecDeque<Pending>,
-}
-
-impl Outbox {
-    fn assign_seq(&mut self) -> u64 {
-        self.next_seq += 1;
-        self.next_seq
-    }
-
-    fn ack(&mut self, applied: u64) -> usize {
-        let before = self.unacked.len();
-        while self.unacked.front().is_some_and(|p| p.msg.seq() <= applied) {
-            self.unacked.pop_front();
-        }
-        before - self.unacked.len()
-    }
-}
-
-/// The peer side: the replica and its duplicate-suppression cursor.
-#[derive(Debug, Default)]
-struct ReplicaNode {
-    view: MaterializedView,
-    /// Highest contiguously applied sequence number.
-    applied: u64,
-}
-
-impl ReplicaNode {
-    /// Handles one incoming message; returns the cumulative ack to send.
-    fn handle(&mut self, msg: PeerMsg, ft: &mut FtStats) -> Ack {
-        match msg {
-            PeerMsg::Delta { seq, delta } => {
-                if seq == self.applied + 1 {
-                    delta.apply_to(&mut self.view);
-                    self.applied = seq;
-                } else if seq <= self.applied {
-                    ft.duplicates_suppressed += 1;
-                } else {
-                    ft.out_of_order_deferred += 1;
-                }
-            }
-            PeerMsg::Snapshot { seq, view } => {
-                if seq >= self.applied {
-                    self.view = view;
-                    self.applied = seq;
-                } else {
-                    ft.duplicates_suppressed += 1;
-                }
-            }
-        }
-        Ack {
-            peer: PeerId(0),
-            applied: self.applied,
-        } // peer filled by caller
-    }
-}
-
 /// The master server: owns the global run, drives every peer's replica
-/// through the transport, and logs the broadcast deltas.
+/// through a [`Delivery`] plane, and logs the broadcast deltas. The
+/// delivery machinery (outboxes, replicas, retry, resync) lives in
+/// [`crate::delivery`] and is shared verbatim with the sharded state plane.
 pub struct Coordinator {
     run: Run,
-    outboxes: Vec<Outbox>,
-    replicas: Vec<ReplicaNode>,
+    delivery: Delivery,
     log: Vec<Broadcast>,
-    transport: Box<dyn Transport>,
     wal: Option<Wal>,
     config: CoordinatorConfig,
-    now: u64,
     ft: FtStats,
     degraded: bool,
 }
@@ -313,13 +290,10 @@ impl Coordinator {
     ) -> Self {
         Coordinator {
             run,
-            outboxes: (0..n_peers).map(|_| Outbox::default()).collect(),
-            replicas: (0..n_peers).map(|_| ReplicaNode::default()).collect(),
+            delivery: Delivery::new(n_peers, transport, config.into()),
             log: Vec::new(),
-            transport,
             wal,
             config,
-            now: 0,
             ft: FtStats::default(),
             degraded: false,
         }
@@ -363,7 +337,7 @@ impl Coordinator {
 
     /// Peer `p`'s replica.
     pub fn replica(&self, p: PeerId) -> &MaterializedView {
-        &self.replicas[p.index()].view
+        self.delivery.replica(p)
     }
 
     /// Is the coordinator in degraded (read-only) mode after a durability
@@ -417,7 +391,6 @@ impl Coordinator {
             return Err(CoordinatorError::Degraded);
         }
         let spec = self.run.spec_arc();
-        let collab = spec.collab();
         let actor = event.peer;
         self.run.push(event.clone())?;
         // Write-ahead: the event must be durable before any peer hears of
@@ -426,58 +399,22 @@ impl Coordinator {
         // coordinator to read-only — the event counts as in-flight and may
         // be resubmitted after a successful rearm (or full recovery).
         if let Some(wal) = self.wal.as_mut() {
-            let mut result = wal.append_event(&spec, &event);
-            let mut retries = self.config.wal_transient_retries;
-            while matches!(result, Err(WalError::Transient(_))) && retries > 0 {
-                retries -= 1;
-                self.ft.wal_transient_retries += 1;
-                result = wal.append_event(&spec, &event);
-            }
-            match result {
-                Ok(_) => {
-                    self.ft.wal_appends += 1;
-                    match wal.maybe_snapshot(
-                        collab.schema(),
-                        self.run.current(),
-                        self.run.fresh_watermark(),
-                    ) {
-                        Ok(true) => self.ft.wal_snapshots += 1,
-                        Ok(false) => {}
-                        Err(_) => {
-                            // The event itself is durable; only the snapshot
-                            // record failed (possibly torn). Serve this
-                            // broadcast, but degrade: the tail must be
-                            // re-armed away before any further append.
-                            self.ft.wal_failures += 1;
-                            self.degraded = true;
-                        }
-                    }
-                }
-                Err(e) => {
-                    self.run.pop();
-                    self.ft.wal_failures += 1;
-                    self.degraded = true;
-                    return Err(e.into());
-                }
-            }
+            durable_append(
+                wal,
+                &spec,
+                &event,
+                &mut self.run,
+                &mut self.ft,
+                self.config.wal_transient_retries,
+                &mut self.degraded,
+            )?;
         }
         // The push already computed every affected peer's delta while
         // advancing the view plane; broadcast those instead of re-deriving
         // them from view rescans.
         let deltas: Vec<(PeerId, ViewDelta)> = self.run.last_deltas().to_vec();
         for (p, delta) in &deltas {
-            let seq = self.outboxes[p.index()].assign_seq();
-            let msg = PeerMsg::Delta {
-                seq,
-                delta: delta.clone(),
-            };
-            self.outboxes[p.index()].unacked.push_back(Pending {
-                msg: msg.clone(),
-                attempts: 0,
-                due: self.now + self.config.retry_backoff_base,
-            });
-            self.transport.send(*p, msg);
-            self.ft.deltas_sent += 1;
+            self.delivery.enqueue(*p, delta.clone(), &mut self.ft);
         }
         self.log.push(Broadcast {
             at: self.run.len() - 1,
@@ -492,78 +429,18 @@ impl Coordinator {
     /// messages to replicas (collecting their acks), process acks, retry
     /// overdue messages, and resync any replica that lags too far behind.
     pub fn pump(&mut self) {
-        self.transport.tick();
-        self.now += 1;
-        let spec = self.run.spec_arc();
-        let collab = spec.collab();
-        // Deliver to replicas; each message yields a cumulative ack.
-        for p in collab.peer_ids() {
-            for msg in self.transport.recv(p) {
-                let mut ack = self.replicas[p.index()].handle(msg, &mut self.ft);
-                ack.peer = p;
-                self.transport.send_ack(ack);
-            }
-        }
-        // Process acks.
-        for ack in self.transport.recv_acks() {
-            self.ft.acks_received += 1;
-            self.outboxes[ack.peer.index()].ack(ack.applied);
-        }
-        // Retry and resync.
-        for p in collab.peer_ids() {
-            let i = p.index();
-            let too_laggy = self.outboxes[i].unacked.len() > self.config.resync_lag;
-            let too_retried = self.outboxes[i]
-                .unacked
-                .front()
-                .is_some_and(|pend| pend.attempts >= self.config.resync_after_retries);
-            if too_laggy || too_retried {
-                self.resync(p);
-                continue;
-            }
-            let base = self.config.retry_backoff_base.max(1);
-            let cap = self.config.retry_backoff_cap.max(base);
-            let now = self.now;
-            let mut resend: Vec<PeerMsg> = Vec::new();
-            for pend in self.outboxes[i].unacked.iter_mut() {
-                if pend.due <= now {
-                    pend.attempts += 1;
-                    let backoff = base.saturating_mul(1u64 << pend.attempts.min(16)).min(cap);
-                    pend.due = now + backoff;
-                    resend.push(pend.msg.clone());
-                }
-            }
-            for msg in resend {
-                self.ft.retries += 1;
-                self.transport.send(p, msg);
-            }
-        }
+        let run = &self.run;
+        self.delivery.pump(&mut self.ft, |p| {
+            MaterializedView::from_view(run.peer_view(p))
+        });
     }
 
     /// Replaces peer `p`'s entire outbox with one full-view snapshot
-    /// message (the resync path). The snapshot *advances* the stream — it
-    /// takes a freshly assigned sequence number rather than reusing the
-    /// last one. Reusing it is unsound after a crash: a recovered outbox
-    /// restarts at seq 0, so a dropped seq-0 snapshot followed by a seq-1
-    /// delta lets a cold replica apply that delta to its empty base and
-    /// ack a state no prefix of the history explains. With a fresh number
-    /// the snapshot still supersedes every older delta, and any delta
-    /// numbered past a lost snapshot is deferred instead of misapplied.
+    /// message (the resync path; see [`Delivery::resync_with`] for why the
+    /// snapshot takes a fresh sequence number).
     pub fn resync(&mut self, p: PeerId) {
         let view = MaterializedView::from_view(self.run.peer_view(p));
-        let outbox = &mut self.outboxes[p.index()];
-        let msg = PeerMsg::Snapshot {
-            seq: outbox.assign_seq(),
-            view,
-        };
-        outbox.unacked.clear();
-        outbox.unacked.push_back(Pending {
-            msg: msg.clone(),
-            attempts: 0,
-            due: self.now + self.config.retry_backoff_base,
-        });
-        self.transport.send(p, msg);
-        self.ft.resyncs += 1;
+        self.delivery.resync_with(p, view, &mut self.ft);
     }
 
     /// Queues a snapshot resync for every replica that currently diverges
@@ -582,24 +459,38 @@ impl Coordinator {
         let collab = self.run.spec().collab();
         collab
             .peer_ids()
-            .filter(|p| {
-                !self.replicas[p.index()]
-                    .view
-                    .matches(self.run.peer_view(*p))
-            })
+            .filter(|p| !self.delivery.replica(*p).matches(self.run.peer_view(*p)))
             .collect()
     }
 
     /// Messages currently awaiting acknowledgement across all outboxes.
     pub fn undelivered(&self) -> usize {
-        self.outboxes.iter().map(|o| o.unacked.len()).sum()
+        self.delivery.undelivered()
+    }
+
+    /// Peers with messages awaiting acknowledgement, with their counts, in
+    /// peer-id order.
+    pub fn undelivered_by_peer(&self) -> Vec<(PeerId, usize)> {
+        self.delivery.undelivered_by_peer()
     }
 
     /// Stops all future fault injection on the transport (the network
     /// stabilizes). Messages already in flight still arrive late; retries
     /// absorb them.
     pub fn heal(&mut self) {
-        self.transport.heal();
+        self.delivery.heal();
+    }
+
+    /// Cuts (`up = false`) or restores (`up = true`) the network link to
+    /// one peer's replica. While a link is down nothing crosses it in
+    /// either direction; retry and resync absorb the gap once it heals.
+    pub fn set_link(&mut self, p: PeerId, up: bool) {
+        self.delivery.set_link(p, up);
+    }
+
+    /// Is the link to peer `p` currently up?
+    pub fn link_up(&self, p: PeerId) -> bool {
+        self.delivery.link_up(p)
     }
 
     /// Pumps until every replica equals its authoritative view and no
@@ -618,13 +509,13 @@ impl Coordinator {
             }
         }
         Convergence::Stalled {
-            undelivered: self.undelivered(),
+            undelivered: self.delivery.undelivered_by_peer(),
             divergent: self.divergent_peers(),
         }
     }
 
     fn quiescent(&self) -> bool {
-        self.outboxes.iter().all(|o| o.unacked.is_empty()) && self.audit().is_ok()
+        self.delivery.undelivered() == 0 && self.audit().is_ok()
     }
 
     /// Verifies every replica against the authoritative view (used in tests
@@ -634,11 +525,58 @@ impl Coordinator {
     pub fn audit(&self) -> Result<(), PeerId> {
         let collab = self.run.spec().collab();
         for p in collab.peer_ids() {
-            if !self.replicas[p.index()].view.matches(self.run.peer_view(p)) {
+            if !self.delivery.replica(p).matches(self.run.peer_view(p)) {
                 return Err(p);
             }
         }
         Ok(())
+    }
+}
+
+/// The write-ahead discipline shared by the [`Coordinator`] and the
+/// [`ShardPlane`](crate::shard::ShardPlane)'s routing layer: append the
+/// event (retrying transient failures in place), take the cadenced
+/// snapshot, and on a hard failure pop the event back out of `run` and
+/// degrade the authority to read-only.
+pub(crate) fn durable_append(
+    wal: &mut Wal,
+    spec: &std::sync::Arc<cwf_lang::WorkflowSpec>,
+    event: &Event,
+    run: &mut Run,
+    ft: &mut FtStats,
+    wal_transient_retries: u32,
+    degraded: &mut bool,
+) -> Result<(), CoordinatorError> {
+    let mut result = wal.append_event(spec, event);
+    let mut retries = wal_transient_retries;
+    while matches!(result, Err(WalError::Transient(_))) && retries > 0 {
+        retries -= 1;
+        ft.wal_transient_retries += 1;
+        result = wal.append_event(spec, event);
+    }
+    match result {
+        Ok(_) => {
+            ft.wal_appends += 1;
+            match wal.maybe_snapshot(spec.collab().schema(), run.current(), run.fresh_watermark()) {
+                Ok(true) => ft.wal_snapshots += 1,
+                Ok(false) => {}
+                Err(_) => {
+                    // The event itself is durable; only the snapshot record
+                    // failed (possibly torn). Serve this broadcast, but
+                    // degrade: the tail must be re-armed away before any
+                    // further append.
+                    ft.wal_failures += 1;
+                    *degraded = true;
+                }
+            }
+            Ok(())
+        }
+        Err(e) => {
+            run.pop();
+            ft.wal_failures += 1;
+            *degraded = true;
+            Err(e.into())
+        }
     }
 }
 
@@ -858,17 +796,33 @@ mod tests {
         c.submit(ev(&spec, "draft", std::slice::from_ref(&d)))
             .unwrap();
         match c.converge(20) {
-            Convergence::Stalled {
-                undelivered,
-                divergent,
-            } => {
-                assert!(undelivered > 0, "unacked deltas remain");
+            v @ Convergence::Stalled { .. } => {
+                assert!(v.undelivered_total() > 0, "unacked deltas remain");
+                let Convergence::Stalled {
+                    undelivered,
+                    divergent,
+                } = &v
+                else {
+                    unreachable!()
+                };
                 assert!(!divergent.is_empty(), "some replica diverges");
-                let sorted = divergent.clone();
                 assert!(
-                    sorted.windows(2).all(|w| w[0].index() < w[1].index()),
+                    undelivered.iter().all(|(_, n)| *n > 0),
+                    "only peers with outstanding messages are listed"
+                );
+                assert!(
+                    undelivered
+                        .windows(2)
+                        .all(|w| w[0].0.index() < w[1].0.index()),
+                    "undelivered breakdown reported in peer-id order"
+                );
+                assert!(
+                    divergent.windows(2).all(|w| w[0].index() < w[1].index()),
                     "divergent peers reported in peer-id order"
                 );
+                // The diagnostic names the stalled peers.
+                let shown = format!("{v}");
+                assert!(shown.contains("p0:"), "per-peer breakdown shown: {shown}");
             }
             c => panic!("a fully dropping network cannot converge: {c}"),
         }

@@ -10,10 +10,12 @@
 //! The deployment layer makes the master-server sketch of the paper's
 //! Conclusion fault tolerant: a checksummed write-ahead log with snapshot
 //! recovery ([`wal`]), unreliable delivery with acknowledgement, retry, and
-//! snapshot resync ([`coordinator`], [`transport`]), and deterministic fault
-//! injection for testing it all ([`fault`]) — stress-tested end to end by a
-//! seeded chaos harness with invariant oracles and trace minimization
-//! ([`chaos`]).
+//! snapshot resync ([`coordinator`], [`transport`], [`delivery`]), a
+//! sharded, replicated state plane with HLC-stamped oplogs, snapshot
+//! hand-off, and failover ([`shard`]), and deterministic fault injection —
+//! including link-level partitions — for testing it all ([`fault`]) —
+//! stress-tested end to end by a seeded chaos harness with invariant
+//! oracles and trace minimization ([`chaos`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,12 +23,14 @@
 pub mod chaos;
 pub mod codec;
 pub mod coordinator;
+pub mod delivery;
 pub mod error;
 pub mod eval;
 pub mod event;
 pub mod fault;
 pub mod nf_runs;
 pub mod run;
+pub mod shard;
 pub mod simulate;
 pub mod stats;
 pub mod transition;
@@ -35,13 +39,20 @@ pub mod view_plane;
 pub mod wal;
 
 pub use codec::{decode_event, decode_events, encode_event, encode_run, load_run, CodecError};
-pub use coordinator::{Broadcast, Coordinator, CoordinatorConfig, MaterializedView, ViewDelta};
+pub use coordinator::{
+    Broadcast, Convergence, Coordinator, CoordinatorConfig, MaterializedView, ViewDelta,
+};
+pub use delivery::{Delivery, DeliveryConfig};
 pub use error::{CoordinatorError, EngineError, WalError};
 pub use eval::{check_body, match_body, Bindings};
 pub use event::{Event, GroundUpdate};
 pub use fault::FaultPlan;
 pub use nf_runs::{from_normal_form, to_normal_form, NfTranslateError};
 pub use run::{EventView, ReplayError, Run, RunView, ViewStep};
+pub use shard::{
+    Hlc, HlcStamp, Oplog, OplogEntry, ShardConvergence, ShardId, ShardMap, ShardOp, ShardPlane,
+    ShardPlaneConfig, ShardPlaneStats,
+};
 pub use simulate::{candidates, complete, Candidate, Simulator};
 pub use stats::{FtStats, PeerStats, RunStats};
 pub use transition::{

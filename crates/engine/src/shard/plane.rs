@@ -1,0 +1,920 @@
+//! The [`ShardPlane`]: N coordinator shards behind a thin routing layer.
+//!
+//! **Routing layer.** Event admission stays global: validating an event
+//! (body match, key chase, freshness) needs the whole keyed instance, so
+//! the plane owns the authoritative [`Run`] and the write-ahead log —
+//! exactly like the single [`Coordinator`], and durability is anchored
+//! here. What is sharded is everything *after* admission: the event's
+//! tuple-level ops and per-peer view deltas are split by the
+//! [`ShardMap`] and routed to the owning shards.
+//!
+//! **Shard-local apply.** Each shard owns its partition of the state, an
+//! HLC-stamped append-only [`Oplog`], a warm standby replica consuming the
+//! oplog tail, and a [`Delivery`] plane (the coordinator's own outbox/ack
+//! machinery, reused verbatim) pushing its slice of every peer's view over
+//! its own transport. A peer's full replica is the union of its per-shard
+//! slices; key spaces are disjoint by construction, so the union is a
+//! plain merge.
+//!
+//! **Causality.** The router stamps each admission with its own
+//! [`Hlc`]; every owning shard folds that stamp into its clock when
+//! appending (receive event), and the router folds the shard stamps back
+//! (reply). Hence for consecutive events `i < j`: every stamp of `i` —
+//! admission and all shard entries — orders strictly below every stamp of
+//! `j`, which is what the chaos battery's HLC-causality oracle pins.
+//!
+//! **Failure handling.** [`ShardPlane::failover`] promotes a shard's
+//! standby (replaying the oplog tail past its watermark), resumes the
+//! per-peer sequence streams past the control-plane watermarks, and
+//! resyncs every peer's slice. [`ShardPlane::begin_handoff`] /
+//! [`ShardPlane::step_handoff`] / [`ShardPlane::finish_handoff`] move a
+//! shard to a new node with an interruptible drain → snapshot → transfer →
+//! replay-tail protocol ([`ShardPlane::abort_handoff`] rolls back cleanly
+//! at any record boundary). Link-level partitions are cut and healed per
+//! (shard, peer) or toward a shard's standby.
+//!
+//! [`Coordinator`]: crate::coordinator::Coordinator
+
+use std::fmt;
+use std::sync::Arc;
+
+use cwf_model::{Instance, PeerId, ViewInstance};
+
+use crate::coordinator::{durable_append, CoordinatorConfig, MaterializedView};
+use crate::delivery::Delivery;
+use crate::error::{CoordinatorError, WalError};
+use crate::event::Event;
+use crate::run::Run;
+use crate::stats::{FtStats, RunStats};
+use crate::transport::{PerfectTransport, Transport};
+use crate::view_plane::ViewDelta;
+use crate::wal::{RecoveryReport, Wal, WalBackend, WalOptions};
+
+use super::{Hlc, HlcStamp, Oplog, ShardId, ShardMap, ShardOp};
+
+/// The router's HLC node id (shards use their own id).
+const ROUTER_NODE: u16 = u16::MAX;
+
+/// Tuning of a [`ShardPlane`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlaneConfig {
+    /// Number of shards (≥ 1).
+    pub shards: usize,
+    /// The per-shard delivery and WAL knobs (shared with the single
+    /// coordinator so shards=1 behaves identically).
+    pub coordinator: CoordinatorConfig,
+}
+
+impl ShardPlaneConfig {
+    /// Default knobs over `shards` shards.
+    pub fn with_shards(shards: usize) -> Self {
+        ShardPlaneConfig {
+            shards,
+            coordinator: CoordinatorConfig::default(),
+        }
+    }
+}
+
+impl Default for ShardPlaneConfig {
+    fn default() -> Self {
+        Self::with_shards(1)
+    }
+}
+
+/// One destination of a shard's links: a peer replica or the standby.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardLink {
+    /// The link carrying one peer's slice of deltas and acks.
+    Peer(PeerId),
+    /// The replication link feeding the shard's standby replica.
+    Standby,
+}
+
+/// Robustness counters of the plane (the delivery-level counters live in
+/// the shared [`FtStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardPlaneStats {
+    /// Standby promotions executed.
+    pub failovers: u64,
+    /// Oplog records replayed past the standby watermark during failovers.
+    pub failover_replayed: u64,
+    /// Hand-offs started.
+    pub handoffs_started: u64,
+    /// Hand-offs completed (cutover reached).
+    pub handoffs_completed: u64,
+    /// Hand-offs aborted mid-transfer (rolled back).
+    pub handoffs_aborted: u64,
+    /// Oplog records transferred by hand-off steps.
+    pub handoff_records: u64,
+    /// Links cut (peer or standby).
+    pub partitions_cut: u64,
+    /// Links restored individually (a global heal is not counted per link).
+    pub partitions_healed: u64,
+    /// Oplog records applied to standby replicas.
+    pub standby_applied: u64,
+    /// Events whose ops or deltas spanned more than one shard.
+    pub cross_shard_events: u64,
+}
+
+/// The outcome of [`ShardPlane::converge`], with per-shard, per-peer
+/// breakdowns (chaos artifacts say *where* the plane stalled).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardConvergence {
+    /// The plane is quiescent; `ticks` pump rounds were needed.
+    Converged {
+        /// Pump rounds executed before quiescence.
+        ticks: u64,
+    },
+    /// The tick budget ran out with work still outstanding.
+    Stalled {
+        /// Per (shard, peer) with a non-empty outbox: outstanding count.
+        undelivered: Vec<(ShardId, PeerId, usize)>,
+        /// (shard, peer) slices differing from their authoritative view.
+        divergent: Vec<(ShardId, PeerId)>,
+    },
+}
+
+impl ShardConvergence {
+    /// Did the plane settle?
+    pub fn is_converged(&self) -> bool {
+        matches!(self, ShardConvergence::Converged { .. })
+    }
+
+    /// Total messages still awaiting acknowledgement (0 when converged).
+    pub fn undelivered_total(&self) -> usize {
+        match self {
+            ShardConvergence::Converged { .. } => 0,
+            ShardConvergence::Stalled { undelivered, .. } => {
+                undelivered.iter().map(|(_, _, n)| n).sum()
+            }
+        }
+    }
+}
+
+impl fmt::Display for ShardConvergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardConvergence::Converged { ticks } => write!(f, "converged after {ticks} ticks"),
+            ShardConvergence::Stalled {
+                undelivered,
+                divergent,
+            } => {
+                write!(
+                    f,
+                    "stalled: {} undelivered messages across {} shard/peer slices (",
+                    self.undelivered_total(),
+                    undelivered.len()
+                )?;
+                for (i, (s, p, n)) in undelivered.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{s}/p{}:{n}", p.index())?;
+                }
+                write!(f, "), {} divergent slices (", divergent.len())?;
+                for (i, (s, p)) in divergent.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{s}/p{}", p.index())?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// One admitted event as the plane broadcast it: the routing record the
+/// causality oracle checks.
+#[derive(Debug, Clone)]
+pub struct ShardBroadcast {
+    /// Position of the event in the global run.
+    pub at: usize,
+    /// The acting peer.
+    pub actor: PeerId,
+    /// The home shard (owner of the event's first written key).
+    pub home: ShardId,
+    /// The router's admission stamp.
+    pub admitted: HlcStamp,
+    /// Per owning shard (ascending): the stamp of its oplog entry.
+    pub stamps: Vec<(ShardId, HlcStamp)>,
+    /// Per peer: the full view delta (pre-split; shard routing re-derives
+    /// per-slice deltas from the key map).
+    pub deltas: Vec<(PeerId, ViewDelta)>,
+}
+
+/// The warm standby replica of one shard.
+#[derive(Debug)]
+struct Standby {
+    state: MaterializedView,
+    /// Highest oplog sequence number applied.
+    applied_seq: u64,
+    /// Is the replication link up? (Cut by partitions; restored by heal.)
+    link_up: bool,
+}
+
+/// One coordinator shard: its state partition, oplog, clock, standby, and
+/// delivery plane.
+struct Shard {
+    id: ShardId,
+    hlc: Hlc,
+    oplog: Oplog,
+    state: MaterializedView,
+    delivery: Delivery,
+    standby: Standby,
+}
+
+impl Shard {
+    fn fresh(
+        id: ShardId,
+        peers: usize,
+        transport: Box<dyn Transport>,
+        config: CoordinatorConfig,
+    ) -> Shard {
+        Shard {
+            id,
+            hlc: Hlc::new(id.0),
+            oplog: Oplog::new(),
+            state: MaterializedView::new(),
+            delivery: Delivery::new(peers, transport, config.into()),
+            standby: Standby {
+                state: MaterializedView::new(),
+                applied_seq: 0,
+                link_up: true,
+            },
+        }
+    }
+}
+
+/// An in-progress hand-off: the receiving node's state under construction.
+struct HandoffState {
+    shard: ShardId,
+    /// The transferred snapshot plus every oplog record applied so far.
+    state: MaterializedView,
+    /// Highest oplog sequence number transferred.
+    transferred_seq: u64,
+}
+
+/// The sharded, replicated state plane (see the [module docs](super)).
+pub struct ShardPlane {
+    run: Run,
+    map: ShardMap,
+    peers: usize,
+    shards: Vec<Shard>,
+    wal: Option<Wal>,
+    config: CoordinatorConfig,
+    /// The deterministic "physical" tick feeding every HLC (advances on
+    /// each submit and each pump).
+    clock: u64,
+    hlc: Hlc,
+    log: Vec<ShardBroadcast>,
+    handoff: Option<HandoffState>,
+    ft: FtStats,
+    stats: ShardPlaneStats,
+    degraded: bool,
+}
+
+/// Materializes the slice of a peer's view owned by shard `s` — the unit
+/// the plane delivers and the chaos oracles compare against.
+pub fn slice_view(map: &ShardMap, s: ShardId, view: &ViewInstance) -> MaterializedView {
+    let mut out = MaterializedView::new();
+    for (rel, t) in view.facts() {
+        if map.shard_of(t.key()) == s {
+            out.upsert(rel, t.clone());
+        }
+    }
+    out
+}
+
+impl ShardPlane {
+    /// A plane over `shards` shards with reliable per-shard transports and
+    /// no durability.
+    pub fn new(spec: Arc<cwf_lang::WorkflowSpec>, shards: usize) -> Self {
+        let transports = (0..shards)
+            .map(|_| Box::new(PerfectTransport::new()) as Box<dyn Transport>)
+            .collect();
+        Self::with_parts(
+            spec,
+            transports,
+            None,
+            ShardPlaneConfig::with_shards(shards),
+        )
+    }
+
+    /// Full-control constructor: one transport per shard (the vector length
+    /// is the shard count and must match `config.shards`), an optional WAL
+    /// anchored at the routing layer, and tuning knobs.
+    pub fn with_parts(
+        spec: Arc<cwf_lang::WorkflowSpec>,
+        transports: Vec<Box<dyn Transport>>,
+        wal: Option<Wal>,
+        config: ShardPlaneConfig,
+    ) -> Self {
+        Self::from_run(Run::new(spec), transports, wal, config)
+    }
+
+    fn from_run(
+        run: Run,
+        transports: Vec<Box<dyn Transport>>,
+        wal: Option<Wal>,
+        config: ShardPlaneConfig,
+    ) -> Self {
+        assert_eq!(
+            transports.len(),
+            config.shards,
+            "one transport per shard ({} != {})",
+            transports.len(),
+            config.shards
+        );
+        let peers = run.spec().collab().peer_count();
+        let map = ShardMap::new(config.shards);
+        let shards = transports
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| Shard::fresh(ShardId(i as u16), peers, t, config.coordinator))
+            .collect();
+        ShardPlane {
+            run,
+            map,
+            peers,
+            shards,
+            wal,
+            config: config.coordinator,
+            clock: 0,
+            hlc: Hlc::new(ROUTER_NODE),
+            log: Vec::new(),
+            handoff: None,
+            ft: FtStats::default(),
+            stats: ShardPlaneStats::default(),
+            degraded: false,
+        }
+    }
+
+    /// Rebuilds a durable plane from its write-ahead log: recovers the run
+    /// (snapshot + tail replay, truncating any torn record), repartitions
+    /// the recovered instance across fresh shards, reprovisions every
+    /// standby, and resyncs every peer slice. Oplogs and clocks restart —
+    /// the WAL, not the in-memory oplog, is the durable record, and the
+    /// causality oracle checks within one process epoch.
+    pub fn recover(
+        spec: Arc<cwf_lang::WorkflowSpec>,
+        backend: Box<dyn WalBackend>,
+        opts: WalOptions,
+        transports: Vec<Box<dyn Transport>>,
+        config: ShardPlaneConfig,
+    ) -> Result<(Self, RecoveryReport), WalError> {
+        let recovered = Wal::recover(backend, Arc::clone(&spec), opts)?;
+        let mut plane = Self::from_run(recovered.run, transports, Some(recovered.wal), config);
+        plane.ft.recovered_events = recovered.report.events_replayed as u64;
+        plane.ft.truncated_bytes = recovered.report.truncated_bytes as u64;
+        // Repartition the recovered instance into shard states.
+        for (rel, t) in plane.run.current().facts() {
+            let s = plane.map.shard_of(t.key());
+            plane.shards[s.index()].state.upsert(rel, t.clone());
+        }
+        for shard in &mut plane.shards {
+            shard.standby.state = shard.state.clone();
+        }
+        // Replicas restart cold: push everyone a full slice snapshot.
+        let (map, run) = (plane.map, &plane.run);
+        for shard in &mut plane.shards {
+            for i in 0..plane.peers {
+                let p = PeerId(i as u32);
+                let view = slice_view(&map, shard.id, run.peer_view(p));
+                shard.delivery.resync_with(p, view, &mut plane.ft);
+            }
+        }
+        plane.pump();
+        Ok((plane, recovered.report))
+    }
+
+    /// The global run (the routing layer's authoritative admission record).
+    pub fn run(&self) -> &Run {
+        &self.run
+    }
+
+    /// The key→shard map.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of peers served.
+    pub fn peer_count(&self) -> usize {
+        self.peers
+    }
+
+    /// The broadcast log of this process epoch (the causality oracle's
+    /// input; empty after a recovery, like the coordinator's).
+    pub fn log(&self) -> &[ShardBroadcast] {
+        &self.log
+    }
+
+    /// Shard `s`'s oplog.
+    pub fn oplog(&self, s: ShardId) -> &Oplog {
+        &self.shards[s.index()].oplog
+    }
+
+    /// Shard `s`'s state partition (base tuples it owns).
+    pub fn shard_state(&self, s: ShardId) -> &MaterializedView {
+        &self.shards[s.index()].state
+    }
+
+    /// Shard `s`'s slice of peer `p`'s replica.
+    pub fn shard_replica(&self, s: ShardId, p: PeerId) -> &MaterializedView {
+        self.shards[s.index()].delivery.replica(p)
+    }
+
+    /// Peer `p`'s full replica: the union of its per-shard slices (key
+    /// spaces are disjoint, so this is a plain merge).
+    pub fn union_replica(&self, p: PeerId) -> MaterializedView {
+        let mut out = MaterializedView::new();
+        for shard in &self.shards {
+            for (rel, t) in shard.delivery.replica(p).facts() {
+                out.upsert(rel, t.clone());
+            }
+        }
+        out
+    }
+
+    /// The union of all shard state partitions.
+    pub fn union_state(&self) -> MaterializedView {
+        let mut out = MaterializedView::new();
+        for shard in &self.shards {
+            for (rel, t) in shard.state.facts() {
+                out.upsert(rel, t.clone());
+            }
+        }
+        out
+    }
+
+    /// Does the union of shard states equal `instance` exactly?
+    pub fn state_matches(&self, instance: &Instance) -> bool {
+        self.union_state().facts().eq(instance.facts())
+    }
+
+    /// Fault-tolerance counters (shared across all shard deliveries).
+    pub fn ft_stats(&self) -> &FtStats {
+        &self.ft
+    }
+
+    /// Plane-level robustness counters.
+    pub fn plane_stats(&self) -> &ShardPlaneStats {
+        &self.stats
+    }
+
+    /// Run statistics with the fault-tolerance counters attached.
+    pub fn stats(&self) -> RunStats {
+        let mut s = RunStats::of(&self.run);
+        s.fault_tolerance = Some(self.ft.clone());
+        s
+    }
+
+    /// Is the plane in degraded (read-only) mode after a durability
+    /// failure? Mirrors [`Coordinator::degraded`](crate::coordinator::Coordinator::degraded).
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Attempts to leave degraded mode (re-arms the WAL).
+    pub fn rearm(&mut self) -> Result<(), CoordinatorError> {
+        if !self.degraded {
+            return Ok(());
+        }
+        if let Some(wal) = self.wal.as_mut() {
+            wal.rearm().map_err(CoordinatorError::Wal)?;
+        }
+        self.degraded = false;
+        self.ft.degraded_recoveries += 1;
+        Ok(())
+    }
+
+    /// Draws a globally fresh value (for clients constructing events).
+    pub fn draw_fresh(&mut self) -> cwf_model::Value {
+        self.run.draw_fresh()
+    }
+
+    /// Admits an event globally, makes it durable (when a WAL is attached),
+    /// routes its ops and deltas to the owning shards, and runs one
+    /// delivery round. The returned broadcast records the home shard and
+    /// every HLC stamp issued.
+    pub fn submit(&mut self, event: Event) -> Result<&ShardBroadcast, CoordinatorError> {
+        if self.degraded {
+            self.ft.degraded_rejected += 1;
+            return Err(CoordinatorError::Degraded);
+        }
+        let spec = self.run.spec_arc();
+        let actor = event.peer;
+        self.run.push(event.clone())?;
+        if let Some(wal) = self.wal.as_mut() {
+            durable_append(
+                wal,
+                &spec,
+                &event,
+                &mut self.run,
+                &mut self.ft,
+                self.config.wal_transient_retries,
+                &mut self.degraded,
+            )?;
+        }
+        self.clock += 1;
+        let at = self.run.len() - 1;
+        // Split the diff's tuple-level changes by owning shard, in diff
+        // order (created, deleted, modified). The home shard owns the first
+        // written key — shard 0 for an (impossible in practice) empty diff.
+        let diff = self.run.diff(at).clone();
+        let mut ops: std::collections::BTreeMap<ShardId, Vec<ShardOp>> =
+            std::collections::BTreeMap::new();
+        let mut home: Option<ShardId> = None;
+        for (rel, t) in &diff.created {
+            let s = self.map.shard_of(t.key());
+            home.get_or_insert(s);
+            ops.entry(s).or_default().push(ShardOp::Upsert {
+                rel: *rel,
+                tuple: t.clone(),
+            });
+        }
+        for (rel, t) in &diff.deleted {
+            let s = self.map.shard_of(t.key());
+            home.get_or_insert(s);
+            ops.entry(s).or_default().push(ShardOp::Remove {
+                rel: *rel,
+                key: t.key().clone(),
+            });
+        }
+        for (rel, key, _) in &diff.modified {
+            let s = self.map.shard_of(key);
+            home.get_or_insert(s);
+            if let Some(t) = self.run.current().rel(*rel).get(key) {
+                ops.entry(s).or_default().push(ShardOp::Upsert {
+                    rel: *rel,
+                    tuple: t.clone(),
+                });
+            }
+        }
+        let home = home.unwrap_or(ShardId(0));
+        // Stamp the admission, then let every owning shard apply + append,
+        // folding stamps both ways so causality survives into the clocks.
+        let admitted = self.hlc.now(self.clock);
+        let mut stamps = Vec::with_capacity(ops.len());
+        for (s, shard_ops) in &ops {
+            let shard = &mut self.shards[s.index()];
+            let stamp = shard.hlc.observe(self.clock, &admitted);
+            shard
+                .oplog
+                .append(stamp, home, at, actor, shard_ops.clone());
+            for op in shard_ops {
+                op.apply_to(&mut shard.state);
+            }
+            self.hlc.observe(self.clock, &stamp);
+            stamps.push((*s, stamp));
+        }
+        // Route every peer's view delta: split by owning shard, enqueue
+        // each slice on that shard's delivery plane (ascending shard order
+        // per peer, for determinism).
+        let deltas: Vec<(PeerId, ViewDelta)> = self.run.last_deltas().to_vec();
+        let mut delta_shards: std::collections::BTreeSet<ShardId> =
+            std::collections::BTreeSet::new();
+        for (p, delta) in &deltas {
+            let mut slices: std::collections::BTreeMap<ShardId, ViewDelta> =
+                std::collections::BTreeMap::new();
+            for (rel, t) in &delta.upserts {
+                let s = self.map.shard_of(t.key());
+                slices.entry(s).or_default().upserts.push((*rel, t.clone()));
+            }
+            for (rel, key) in &delta.removals {
+                let s = self.map.shard_of(key);
+                slices
+                    .entry(s)
+                    .or_default()
+                    .removals
+                    .push((*rel, key.clone()));
+            }
+            for (s, slice) in slices {
+                delta_shards.insert(s);
+                self.shards[s.index()]
+                    .delivery
+                    .enqueue(*p, slice, &mut self.ft);
+            }
+        }
+        delta_shards.extend(ops.keys().copied());
+        if delta_shards.len() > 1 {
+            self.stats.cross_shard_events += 1;
+        }
+        self.log.push(ShardBroadcast {
+            at,
+            actor,
+            home,
+            admitted,
+            stamps,
+            deltas,
+        });
+        self.pump();
+        Ok(self.log.last().expect("just pushed"))
+    }
+
+    /// One delivery round on every shard: replicate oplog tails to standby
+    /// replicas (where the replication link is up), then pump each shard's
+    /// delivery plane (transport tick, deliver, ack, retry, resync).
+    pub fn pump(&mut self) {
+        self.clock += 1;
+        let (map, run) = (self.map, &self.run);
+        for shard in &mut self.shards {
+            if shard.standby.link_up {
+                for e in shard.oplog.tail(shard.standby.applied_seq) {
+                    for op in &e.ops {
+                        op.apply_to(&mut shard.standby.state);
+                    }
+                    self.stats.standby_applied += 1;
+                }
+                shard.standby.applied_seq = shard.oplog.last_seq();
+            }
+            let id = shard.id;
+            shard
+                .delivery
+                .pump(&mut self.ft, |p| slice_view(&map, id, run.peer_view(p)));
+        }
+    }
+
+    /// Stops all fault injection on every shard transport and restores
+    /// every link, including standby replication links.
+    pub fn heal(&mut self) {
+        for shard in &mut self.shards {
+            shard.delivery.heal();
+            shard.standby.link_up = true;
+        }
+    }
+
+    /// Cuts one link of shard `s` (a peer's slice or the standby feed).
+    pub fn partition_link(&mut self, s: ShardId, link: ShardLink) {
+        self.stats.partitions_cut += 1;
+        let shard = &mut self.shards[s.index()];
+        match link {
+            ShardLink::Peer(p) => shard.delivery.set_link(p, false),
+            ShardLink::Standby => shard.standby.link_up = false,
+        }
+    }
+
+    /// Restores one link of shard `s`.
+    pub fn heal_link(&mut self, s: ShardId, link: ShardLink) {
+        self.stats.partitions_healed += 1;
+        let shard = &mut self.shards[s.index()];
+        match link {
+            ShardLink::Peer(p) => shard.delivery.set_link(p, true),
+            ShardLink::Standby => shard.standby.link_up = true,
+        }
+    }
+
+    /// Queues a slice resync for every (shard, peer) slice that currently
+    /// diverges from its authoritative view.
+    pub fn resync_divergent(&mut self) -> usize {
+        let mut n = 0;
+        let (map, run) = (self.map, &self.run);
+        for shard in &mut self.shards {
+            for i in 0..self.peers {
+                let p = PeerId(i as u32);
+                let expect = slice_view(&map, shard.id, run.peer_view(p));
+                if !shard.delivery.replica(p).same_facts(&expect) {
+                    shard.delivery.resync_with(p, expect, &mut self.ft);
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Fails shard `s` over to its standby: the primary (state, outboxes,
+    /// in-flight traffic) is lost; the standby is promoted and replays the
+    /// oplog tail past its applied watermark; delivery resumes on a fresh
+    /// `transport` *past* the per-peer sequence watermarks (control-plane
+    /// metadata the router witnesses on every enqueue), so post-failover
+    /// snapshots supersede everything the dead primary sent; every peer
+    /// slice is resynced. A hand-off in progress on `s` is aborted.
+    pub fn failover(&mut self, s: ShardId, transport: Box<dyn Transport>) {
+        if self.handoff.as_ref().is_some_and(|h| h.shard == s) {
+            self.abort_handoff();
+        }
+        self.stats.failovers += 1;
+        let clock = self.clock;
+        let peers = self.peers;
+        let config = self.config;
+        let shard = &mut self.shards[s.index()];
+        // Promote: standby state + oplog tail replay.
+        let mut state = shard.standby.state.clone();
+        for e in shard.oplog.tail(shard.standby.applied_seq) {
+            for op in &e.ops {
+                op.apply_to(&mut state);
+            }
+            self.stats.failover_replayed += 1;
+        }
+        shard.state = state;
+        // The promoted node's clock must dominate the durable log.
+        let mut hlc = Hlc::new(s.0);
+        if let Some(e) = shard.oplog.last() {
+            hlc.observe(clock, &e.stamp);
+        }
+        shard.hlc = hlc;
+        // Resume the per-peer streams past the watermarks; replicas are
+        // then resynced so the fresh snapshots supersede the old stream.
+        let seqs = shard.delivery.next_seqs();
+        shard.delivery = Delivery::resuming(peers, transport, config.into(), &seqs);
+        shard.standby = Standby {
+            state: shard.state.clone(),
+            applied_seq: shard.oplog.last_seq(),
+            link_up: true,
+        };
+        let (map, run) = (self.map, &self.run);
+        for i in 0..peers {
+            let p = PeerId(i as u32);
+            let view = slice_view(&map, s, run.peer_view(p));
+            shard.delivery.resync_with(p, view, &mut self.ft);
+        }
+    }
+
+    /// Starts handing shard `s` off to a new node: snapshots the shard
+    /// state at the current oplog head (the drain point — admission is
+    /// atomic in this deployment, so nothing is in flight mid-submit).
+    /// Returns `false` if another hand-off is already in progress.
+    pub fn begin_handoff(&mut self, s: ShardId) -> bool {
+        if self.handoff.is_some() {
+            return false;
+        }
+        self.stats.handoffs_started += 1;
+        let shard = &self.shards[s.index()];
+        self.handoff = Some(HandoffState {
+            shard: s,
+            state: shard.state.clone(),
+            transferred_seq: shard.oplog.last_seq(),
+        });
+        true
+    }
+
+    /// The in-progress hand-off, if any: its shard and how many oplog
+    /// records appended since the snapshot still await transfer.
+    pub fn handoff_in_progress(&self) -> Option<(ShardId, u64)> {
+        self.handoff.as_ref().map(|h| {
+            let head = self.shards[h.shard.index()].oplog.last_seq();
+            (h.shard, head - h.transferred_seq)
+        })
+    }
+
+    /// Transfers up to `max_records` oplog records (appended after the
+    /// snapshot) to the receiving node; returns how many records still
+    /// await transfer afterwards. No-op (returning 0) without a hand-off.
+    pub fn step_handoff(&mut self, max_records: usize) -> u64 {
+        let Some(h) = self.handoff.as_mut() else {
+            return 0;
+        };
+        let shard = &self.shards[h.shard.index()];
+        let tail = shard.oplog.tail(h.transferred_seq);
+        let take = tail.len().min(max_records);
+        for e in &tail[..take] {
+            for op in &e.ops {
+                op.apply_to(&mut h.state);
+            }
+            h.transferred_seq = e.seq;
+            self.stats.handoff_records += 1;
+        }
+        shard.oplog.last_seq() - h.transferred_seq
+    }
+
+    /// Abandons the in-progress hand-off: the receiving node's partial
+    /// state is discarded and the current primary keeps serving — nothing
+    /// on the serving path changed, so the rollback is trivially clean.
+    /// Returns `false` if no hand-off was in progress.
+    pub fn abort_handoff(&mut self) -> bool {
+        if self.handoff.take().is_none() {
+            return false;
+        }
+        self.stats.handoffs_aborted += 1;
+        true
+    }
+
+    /// Completes the hand-off: transfers any remaining oplog tail, then
+    /// cuts over — the receiving node (on its fresh `transport`) becomes
+    /// the shard primary, sequence streams resume past the watermarks,
+    /// every peer slice is resynced, and a new standby is provisioned from
+    /// the new primary. Returns `false` if no hand-off was in progress.
+    pub fn finish_handoff(&mut self, transport: Box<dyn Transport>) -> bool {
+        let Some(mut h) = self.handoff.take() else {
+            return false;
+        };
+        let s = h.shard;
+        let peers = self.peers;
+        let config = self.config;
+        let clock = self.clock;
+        let shard = &mut self.shards[s.index()];
+        // Drain + replay tail: transfer everything still missing.
+        for e in shard.oplog.tail(h.transferred_seq) {
+            for op in &e.ops {
+                op.apply_to(&mut h.state);
+            }
+            h.transferred_seq = e.seq;
+            self.stats.handoff_records += 1;
+        }
+        debug_assert!(
+            h.state.same_facts(&shard.state),
+            "a fully transferred hand-off state equals the primary's"
+        );
+        shard.state = h.state;
+        let mut hlc = Hlc::new(s.0);
+        if let Some(e) = shard.oplog.last() {
+            hlc.observe(clock, &e.stamp);
+        }
+        shard.hlc = hlc;
+        let seqs = shard.delivery.next_seqs();
+        shard.delivery = Delivery::resuming(peers, transport, config.into(), &seqs);
+        shard.standby = Standby {
+            state: shard.state.clone(),
+            applied_seq: shard.oplog.last_seq(),
+            link_up: true,
+        };
+        let (map, run) = (self.map, &self.run);
+        for i in 0..peers {
+            let p = PeerId(i as u32);
+            let view = slice_view(&map, s, run.peer_view(p));
+            shard.delivery.resync_with(p, view, &mut self.ft);
+        }
+        self.stats.handoffs_completed += 1;
+        true
+    }
+
+    /// Messages awaiting acknowledgement across every shard's outboxes.
+    pub fn undelivered(&self) -> usize {
+        self.shards.iter().map(|s| s.delivery.undelivered()).sum()
+    }
+
+    /// Per (shard, peer) slices with outstanding messages, ascending.
+    pub fn undelivered_by_slice(&self) -> Vec<(ShardId, PeerId, usize)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            for (p, n) in shard.delivery.undelivered_by_peer() {
+                out.push((shard.id, p, n));
+            }
+        }
+        out
+    }
+
+    /// The (shard, peer) slices whose replica differs from its
+    /// authoritative view, ascending.
+    pub fn divergent_slices(&self) -> Vec<(ShardId, PeerId)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            for i in 0..self.peers {
+                let p = PeerId(i as u32);
+                let expect = slice_view(&self.map, shard.id, self.run.peer_view(p));
+                if !shard.delivery.replica(p).same_facts(&expect) {
+                    out.push((shard.id, p));
+                }
+            }
+        }
+        out
+    }
+
+    /// Verifies every (shard, peer) slice against its authoritative view.
+    pub fn audit(&self) -> Result<(), (ShardId, PeerId)> {
+        match self.divergent_slices().into_iter().next() {
+            Some(slice) => Err(slice),
+            None => Ok(()),
+        }
+    }
+
+    fn quiescent(&self) -> bool {
+        self.undelivered() == 0 && self.audit().is_ok()
+    }
+
+    /// Pumps until every slice matches its authoritative view and no
+    /// message awaits acknowledgement, or `max_ticks` rounds elapse.
+    pub fn converge(&mut self, max_ticks: u64) -> ShardConvergence {
+        for t in 0..=max_ticks {
+            if self.quiescent() {
+                return ShardConvergence::Converged { ticks: t };
+            }
+            if t < max_ticks {
+                self.pump();
+            }
+        }
+        ShardConvergence::Stalled {
+            undelivered: self.undelivered_by_slice(),
+            divergent: self.divergent_slices(),
+        }
+    }
+}
+
+impl fmt::Debug for ShardPlane {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ShardPlane[{} shards, {} events, {} unacked{}{}]",
+            self.shards.len(),
+            self.run.len(),
+            self.undelivered(),
+            if self.wal.is_some() { ", durable" } else { "" },
+            if self.degraded { ", DEGRADED" } else { "" },
+        )
+    }
+}

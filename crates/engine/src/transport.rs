@@ -68,13 +68,25 @@ pub trait Transport {
     fn tick(&mut self) {}
     /// Stops all future fault injection (no-op for reliable transports).
     fn heal(&mut self) {}
+    /// Cuts (`up = false`) or restores (`up = true`) the link to one peer.
+    /// While a link is down nothing crosses it in either direction. The
+    /// default implementation ignores the request (always-up links).
+    fn set_link(&mut self, _peer: PeerId, _up: bool) {}
+    /// Is the link to `peer` currently up? Defaults to `true`.
+    fn link_up(&self, _peer: PeerId) -> bool {
+        true
+    }
 }
 
-/// Immediate, lossless, ordered delivery.
+/// Immediate, lossless, ordered delivery. Links can still be cut with
+/// [`Transport::set_link`]: a down link *stalls* traffic (nothing is lost)
+/// until the link is restored — deterministic partitions without fault
+/// randomness.
 #[derive(Debug, Default)]
 pub struct PerfectTransport {
     inboxes: Vec<VecDeque<PeerMsg>>,
     acks: VecDeque<Ack>,
+    blocked: std::collections::BTreeSet<usize>,
 }
 
 impl PerfectTransport {
@@ -97,6 +109,9 @@ impl Transport for PerfectTransport {
     }
 
     fn recv(&mut self, at: PeerId) -> Vec<PeerMsg> {
+        if self.blocked.contains(&at.index()) {
+            return Vec::new();
+        }
         self.inbox(at).drain(..).collect()
     }
 
@@ -105,7 +120,33 @@ impl Transport for PerfectTransport {
     }
 
     fn recv_acks(&mut self) -> Vec<Ack> {
-        self.acks.drain(..).collect()
+        let mut due = Vec::new();
+        let mut held = VecDeque::new();
+        for ack in self.acks.drain(..) {
+            if self.blocked.contains(&ack.peer.index()) {
+                held.push_back(ack);
+            } else {
+                due.push(ack);
+            }
+        }
+        self.acks = held;
+        due
+    }
+
+    fn heal(&mut self) {
+        self.blocked.clear();
+    }
+
+    fn set_link(&mut self, peer: PeerId, up: bool) {
+        if up {
+            self.blocked.remove(&peer.index());
+        } else {
+            self.blocked.insert(peer.index());
+        }
+    }
+
+    fn link_up(&self, peer: PeerId) -> bool {
+        !self.blocked.contains(&peer.index())
     }
 }
 
@@ -120,6 +161,8 @@ pub struct InjectedFaults {
     pub delayed: u64,
     /// Poll batches shuffled out of order.
     pub reordered: u64,
+    /// Messages lost at send time because their link was partitioned.
+    pub partitioned: u64,
 }
 
 /// Unreliable delivery driven by a deterministic [`FaultPlan`]: messages may
@@ -213,12 +256,21 @@ impl FaultyTransport {
 
 impl Transport for FaultyTransport {
     fn send(&mut self, to: PeerId, msg: PeerMsg) {
+        if self.plan.is_partitioned(to.index()) {
+            self.injected.partitioned += 1;
+            return;
+        }
         for at in self.schedule() {
             self.inbox(to).push((at, msg.clone()));
         }
     }
 
     fn recv(&mut self, at: PeerId) -> Vec<PeerMsg> {
+        if self.plan.is_partitioned(at.index()) {
+            // In-flight messages stall on a cut link; they resume (late)
+            // once the partition heals.
+            return Vec::new();
+        }
         let now = self.now;
         let queue = self.inbox(at);
         let mut due = Self::drain_due(now, queue);
@@ -227,6 +279,10 @@ impl Transport for FaultyTransport {
     }
 
     fn send_ack(&mut self, ack: Ack) {
+        if self.plan.is_partitioned(ack.peer.index()) {
+            self.injected.partitioned += 1;
+            return;
+        }
         for at in self.schedule() {
             self.acks.push((at, ack));
         }
@@ -234,7 +290,19 @@ impl Transport for FaultyTransport {
 
     fn recv_acks(&mut self) -> Vec<Ack> {
         let now = self.now;
-        let mut due = Self::drain_due(now, &mut self.acks);
+        // Acks from partitioned peers stall in flight.
+        let mut held = Vec::with_capacity(self.acks.len());
+        let mut open = Vec::with_capacity(self.acks.len());
+        for (at, ack) in self.acks.drain(..) {
+            if self.plan.is_partitioned(ack.peer.index()) {
+                held.push((at, ack));
+            } else {
+                open.push((at, ack));
+            }
+        }
+        let mut due = Self::drain_due(now, &mut open);
+        open.extend(held);
+        self.acks = open;
         Self::maybe_shuffle(&mut self.plan, &mut self.injected, &mut due);
         due
     }
@@ -245,6 +313,18 @@ impl Transport for FaultyTransport {
 
     fn heal(&mut self) {
         self.plan.heal();
+    }
+
+    fn set_link(&mut self, peer: PeerId, up: bool) {
+        if up {
+            self.plan.heal_link(peer.index());
+        } else {
+            self.plan.partition(peer.index());
+        }
+    }
+
+    fn link_up(&self, peer: PeerId) -> bool {
+        !self.plan.is_partitioned(peer.index())
     }
 }
 
@@ -318,6 +398,59 @@ mod tests {
         t.send(p, delta(2));
         assert_eq!(t.recv(p).len(), 2);
         assert_eq!(t.injected().dropped, 0);
+    }
+
+    #[test]
+    fn partitioned_link_blocks_both_directions_until_healed() {
+        let plan = FaultPlan::perfect(8);
+        let mut t = FaultyTransport::new(plan);
+        let p = PeerId(0);
+        let q = PeerId(1);
+        // A message already in flight stalls when the link goes down.
+        t.send(p, delta(1));
+        t.set_link(p, false);
+        assert!(!t.link_up(p));
+        assert!(
+            t.recv(p).is_empty(),
+            "in-flight traffic stalls on a cut link"
+        );
+        // New sends on the cut link are lost outright; other links flow.
+        t.send(p, delta(2));
+        t.send(q, delta(1));
+        assert_eq!(t.injected().partitioned, 1);
+        assert_eq!(t.recv(q).len(), 1);
+        t.send_ack(Ack {
+            peer: p,
+            applied: 1,
+        });
+        t.send_ack(Ack {
+            peer: q,
+            applied: 1,
+        });
+        assert_eq!(t.injected().partitioned, 2);
+        let acks = t.recv_acks();
+        assert_eq!(acks.len(), 1, "only the open link's ack arrives");
+        assert_eq!(acks[0].peer, q);
+        // Healing the link releases the stalled message.
+        t.set_link(p, true);
+        assert_eq!(t.recv(p).len(), 1, "stalled delivery resumes after heal");
+    }
+
+    #[test]
+    fn perfect_transport_partitions_stall_but_never_lose() {
+        let mut t = PerfectTransport::new();
+        let p = PeerId(0);
+        t.set_link(p, false);
+        t.send(p, delta(1));
+        assert!(t.recv(p).is_empty());
+        t.send_ack(Ack {
+            peer: p,
+            applied: 1,
+        });
+        assert!(t.recv_acks().is_empty());
+        t.set_link(p, true);
+        assert_eq!(t.recv(p).len(), 1);
+        assert_eq!(t.recv_acks().len(), 1);
     }
 
     #[test]

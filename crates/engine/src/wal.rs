@@ -389,7 +389,7 @@ impl WalBackend for IoFaultBackend {
         }
         if st.plan.decide_short_write() && !bytes.is_empty() {
             st.faults.short_writes += 1;
-            let keep = st.plan.pick(bytes.len());
+            let keep = st.plan.pick_storage(bytes.len());
             if keep > 0 {
                 inner.append(&bytes[..keep])?;
             }

@@ -11,7 +11,9 @@
 //! * [`lang`] — the rule language, validation, normal form, parser;
 //! * [`engine`] — events, transitions, runs, run views, simulation, and
 //!   the fault-tolerant coordinator deployment (write-ahead log, crash
-//!   recovery, unreliable-delivery retry/resync, fault injection);
+//!   recovery, unreliable-delivery retry/resync, fault injection), plus
+//!   the sharded, replicated state plane (HLC-stamped oplogs, standby
+//!   failover, interruptible shard hand-off, partition chaos);
 //! * [`core`] — scenarios and the unique minimal faithful scenario
 //!   (Sections 3–4): the *explanation* machinery;
 //! * [`analysis`] — h-boundedness, transparency, view-program synthesis
@@ -74,7 +76,7 @@ pub mod prelude {
     pub use cwf_engine::{
         encode_run, load_run, Bindings, Coordinator, CoordinatorConfig, CoordinatorError, Event,
         FaultPlan, FaultyTransport, FileBackend, IoFaultBackend, MemBackend, PerfectTransport, Run,
-        RunStats, Simulator, SyncPolicy, Wal, WalOptions,
+        RunStats, ShardId, ShardPlane, ShardPlaneConfig, Simulator, SyncPolicy, Wal, WalOptions,
     };
     pub use cwf_lang::{
         lint, parse_workflow, print_workflow, Program, RuleBuilder, VarId, WorkflowSpec,

@@ -1,0 +1,249 @@
+//! Snapshot-based shard hand-off, interrupted at every record boundary.
+//!
+//! In the spirit of `wal_prefix.rs` (recover at every byte prefix), this
+//! suite drives the hand-off protocol — begin (snapshot at the oplog
+//! head), step (transfer bounded record batches), abort / finish — through
+//! **every** interruption point: for a tail of `t` records appended after
+//! the snapshot, transfer exactly `k = 0..=t` of them one record at a
+//! time, then either abort (the primary must be untouched and the plane
+//! must still converge — a clean rollback) or finish (the receiving node's
+//! replayed state must equal the primary byte-for-byte at cut-over, and
+//! the plane must converge to the shadow run). Submissions keep landing
+//! between begin and finish, so the tail grows mid-transfer.
+
+use std::sync::Arc;
+
+use collab_workflows::engine::chaos::default_spec;
+use collab_workflows::engine::shard::ShardConvergence;
+use collab_workflows::engine::{candidates, complete};
+use collab_workflows::lang::WorkflowSpec;
+use collab_workflows::prelude::*;
+
+/// Events submitted before the hand-off begins / while it is in flight.
+const PRE: usize = 8;
+const POST: usize = 6;
+
+/// Replays the scripted candidate walk used across the shard suites:
+/// deterministic, no RNG, long enough to touch every shard.
+fn scripted_events(spec: &Arc<WorkflowSpec>, n: usize) -> Vec<Event> {
+    let mut run = Run::new(Arc::clone(spec));
+    let mut events = Vec::new();
+    for i in 0..n {
+        let cands = candidates(&run);
+        assert!(!cands.is_empty(), "the editorial spec always has a rule");
+        let cand = cands[(i * 7 + 3) % cands.len()].clone();
+        let event = complete(&mut run, &cand);
+        run.push(event.clone()).expect("scripted candidates replay");
+        events.push(event);
+    }
+    events
+}
+
+/// Builds a 3-shard plane, submits `events[..PRE]`, and begins a hand-off
+/// on `target`; returns the plane.
+fn plane_with_handoff(spec: &Arc<WorkflowSpec>, events: &[Event], target: ShardId) -> ShardPlane {
+    let mut plane = ShardPlane::new(Arc::clone(spec), 3);
+    for event in &events[..PRE] {
+        plane.submit(event.clone()).expect("plane accepts");
+    }
+    assert!(plane.begin_handoff(target), "nothing else is in progress");
+    assert!(
+        !plane.begin_handoff(target),
+        "a second hand-off must be refused while one is in flight"
+    );
+    plane
+}
+
+/// The shard whose oplog grows the most during the in-flight window —
+/// hand that one off so every boundary is a real record transfer.
+fn busiest_shard(spec: &Arc<WorkflowSpec>, events: &[Event]) -> (ShardId, u64) {
+    let mut plane = ShardPlane::new(Arc::clone(spec), 3);
+    for event in &events[..PRE] {
+        plane.submit(event.clone()).expect("plane accepts");
+    }
+    let before: Vec<u64> = plane
+        .map()
+        .shard_ids()
+        .map(|s| plane.oplog(s).last_seq())
+        .collect();
+    for event in &events[PRE..] {
+        plane.submit(event.clone()).expect("plane accepts");
+    }
+    plane
+        .map()
+        .shard_ids()
+        .map(|s| (s, plane.oplog(s).last_seq() - before[s.index()]))
+        .max_by_key(|&(s, grown)| (grown, std::cmp::Reverse(s.index())))
+        .expect("the plane has shards")
+}
+
+/// Interrupting with **abort** at every boundary: the primary keeps
+/// serving untouched, and the plane still converges to the shadow.
+#[test]
+fn abort_at_every_record_boundary_is_a_clean_rollback() {
+    let spec = default_spec();
+    let events = scripted_events(&spec, PRE + POST);
+    let shadow = {
+        let mut run = Run::new(Arc::clone(&spec));
+        for e in &events {
+            run.push(e.clone()).expect("replays");
+        }
+        run
+    };
+    let (target, tail) = busiest_shard(&spec, &events);
+    assert!(tail >= 2, "the window must append records to the target");
+
+    for k in 0..=tail {
+        let mut plane = plane_with_handoff(&spec, &events, target);
+        for event in &events[PRE..] {
+            plane.submit(event.clone()).expect("plane accepts");
+        }
+        let (s, remaining) = plane.handoff_in_progress().expect("in flight");
+        assert_eq!(s, target);
+        assert_eq!(remaining, tail, "the tail is exactly the window's growth");
+
+        // Transfer one record at a time up to boundary k; each step must
+        // shrink the remainder by exactly one.
+        for step in 0..k {
+            assert_eq!(plane.step_handoff(1), tail - step - 1);
+        }
+        let primary_before = plane.shard_state(target).clone();
+        let head_before = plane.oplog(target).last_seq();
+
+        assert!(plane.abort_handoff(), "an in-flight hand-off aborts");
+        assert!(!plane.abort_handoff(), "aborting twice is refused");
+        assert!(plane.handoff_in_progress().is_none());
+        assert_eq!(plane.plane_stats().handoffs_aborted, 1);
+        assert_eq!(plane.plane_stats().handoff_records, k);
+        assert!(
+            plane.shard_state(target).same_facts(&primary_before),
+            "abort at boundary {k} must leave the primary untouched"
+        );
+        assert_eq!(plane.oplog(target).last_seq(), head_before);
+        assert_eq!(plane.step_handoff(1), 0, "stepping after abort is a no-op");
+
+        match plane.converge(1_000) {
+            ShardConvergence::Converged { .. } => {}
+            s @ ShardConvergence::Stalled { .. } => {
+                panic!("abort at boundary {k} must not block convergence: {s}")
+            }
+        }
+        assert!(plane.state_matches(shadow.current()));
+        assert!(plane.audit().is_ok(), "replicas settle after abort at {k}");
+    }
+}
+
+/// Interrupting with **finish** at every boundary: whatever remains of the
+/// tail is drained at cut-over, the receiving node's state equals the
+/// primary's, and the plane converges to the shadow on the fresh
+/// transport.
+#[test]
+fn finish_at_every_record_boundary_cuts_over_exactly() {
+    let spec = default_spec();
+    let events = scripted_events(&spec, PRE + POST);
+    let shadow = {
+        let mut run = Run::new(Arc::clone(&spec));
+        for e in &events {
+            run.push(e.clone()).expect("replays");
+        }
+        run
+    };
+    let (target, tail) = busiest_shard(&spec, &events);
+
+    for k in 0..=tail {
+        let mut plane = plane_with_handoff(&spec, &events, target);
+        for event in &events[PRE..] {
+            plane.submit(event.clone()).expect("plane accepts");
+        }
+        for _ in 0..k {
+            plane.step_handoff(1);
+        }
+        let primary_before = plane.shard_state(target).clone();
+
+        assert!(plane.finish_handoff(Box::new(PerfectTransport::new())));
+        assert!(!plane.finish_handoff(Box::new(PerfectTransport::new())));
+        assert!(plane.handoff_in_progress().is_none());
+        assert_eq!(plane.plane_stats().handoffs_completed, 1);
+        assert_eq!(
+            plane.plane_stats().handoff_records,
+            tail,
+            "begin-to-cut-over transfers the whole tail exactly once \
+             (boundary {k})"
+        );
+        assert!(
+            plane.shard_state(target).same_facts(&primary_before),
+            "cut-over at boundary {k} must hand over the exact primary state"
+        );
+
+        match plane.converge(1_000) {
+            ShardConvergence::Converged { .. } => {}
+            s @ ShardConvergence::Stalled { .. } => {
+                panic!("finish at boundary {k} must not block convergence: {s}")
+            }
+        }
+        assert!(plane.state_matches(shadow.current()));
+        for p in spec.collab().peer_ids() {
+            assert!(
+                plane
+                    .union_replica(p)
+                    .matches(&spec.collab().view_of(shadow.current(), p)),
+                "peer {} must resync through the new primary (boundary {k})",
+                spec.collab().peer_name(p)
+            );
+        }
+    }
+}
+
+/// Submissions interleaved *between* transfer steps keep growing the tail;
+/// the protocol drains the moving target and still cuts over exactly.
+#[test]
+fn handoff_tail_can_grow_between_steps() {
+    let spec = default_spec();
+    let events = scripted_events(&spec, PRE + POST);
+    let shadow = {
+        let mut run = Run::new(Arc::clone(&spec));
+        for e in &events {
+            run.push(e.clone()).expect("replays");
+        }
+        run
+    };
+    let (target, _) = busiest_shard(&spec, &events);
+
+    let mut plane = plane_with_handoff(&spec, &events, target);
+    // Alternate: submit one event, transfer one record, repeat — the
+    // snapshot chases a head that keeps advancing.
+    for event in &events[PRE..] {
+        plane.submit(event.clone()).expect("plane accepts");
+        plane.step_handoff(1);
+    }
+    assert!(plane.finish_handoff(Box::new(PerfectTransport::new())));
+    assert!(plane.converge(1_000).is_converged());
+    assert!(plane.state_matches(shadow.current()));
+}
+
+/// Hand-off lifecycle edges: begin on one shard at a time only, abort and
+/// finish without a hand-off are refused, and a failover on the handing-off
+/// shard aborts the transfer rather than cutting over stale state.
+#[test]
+fn handoff_lifecycle_edges() {
+    let spec = default_spec();
+    let events = scripted_events(&spec, PRE);
+    let mut plane = ShardPlane::new(Arc::clone(&spec), 3);
+    assert!(!plane.abort_handoff(), "nothing to abort on a fresh plane");
+    assert!(
+        !plane.finish_handoff(Box::new(PerfectTransport::new())),
+        "nothing to finish on a fresh plane"
+    );
+    for event in &events {
+        plane.submit(event.clone()).expect("plane accepts");
+    }
+    assert!(plane.begin_handoff(ShardId(0)));
+    assert!(!plane.begin_handoff(ShardId(1)), "one hand-off at a time");
+    // A failover on the shard being handed off wins: the transfer target
+    // would replay from a dead primary's snapshot, so it is abandoned.
+    plane.failover(ShardId(0), Box::new(PerfectTransport::new()));
+    assert!(plane.handoff_in_progress().is_none());
+    assert_eq!(plane.plane_stats().handoffs_aborted, 1);
+    assert_eq!(plane.plane_stats().failovers, 1);
+    assert!(plane.converge(1_000).is_converged());
+}
