@@ -1,0 +1,198 @@
+//! Bench regression check: re-runs the plane benchmarks and compares
+//! their *normalized* metrics against the checked-in baselines.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p cwf-bench --bin bench_check
+//! ```
+//!
+//! Raw events/s numbers shift with the host, so the check compares
+//! hardware-independent ratios only:
+//!
+//! * `BENCH_view_plane.json` — the incremental-maintenance `speedup`
+//!   (rescan cost over plane cost);
+//! * `BENCH_shard_plane.json` — each `plane_N_shards_events_per_sec`
+//!   relative to `coordinator_events_per_sec` (the sharding overhead);
+//! * `BENCH_dist_admission.json` — each durable plane throughput relative
+//!   to `coordinator_wal_events_per_sec` (the distributed-admission
+//!   overhead).
+//!
+//! A fresh ratio more than 25% below its baseline is a regression: the
+//! check prints every comparison, restores the baseline files (the bench
+//! binaries overwrite them in place), and exits non-zero if any ratio
+//! regressed.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode};
+
+/// Allowed slack: fresh ratio must be at least this fraction of baseline.
+const FLOOR: f64 = 0.75;
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Pulls the number out of a `"key": 12.5,`-style line. The bench files
+/// are flat one-level JSON written by our own benches, so a hand-rolled
+/// scan is enough (no JSON dependency).
+fn metric(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    for line in json.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix(&needle) {
+            let value = rest
+                .trim_start_matches(':')
+                .trim()
+                .trim_end_matches(',')
+                .trim_matches('"');
+            return value.parse().ok();
+        }
+    }
+    None
+}
+
+struct Check {
+    label: String,
+    baseline: f64,
+    fresh: f64,
+}
+
+impl Check {
+    fn regressed(&self) -> bool {
+        self.fresh < self.baseline * FLOOR
+    }
+}
+
+/// The normalized ratios of one bench file: `(label, numerator, denominator)`
+/// key pairs; a ratio with no denominator key is the metric itself.
+fn ratios(experiment: &str) -> Vec<(String, String, Option<String>)> {
+    match experiment {
+        "BENCH_view_plane.json" => vec![("speedup".into(), "speedup".into(), None)],
+        "BENCH_shard_plane.json" => [1, 2, 4]
+            .iter()
+            .map(|n| {
+                (
+                    format!("plane_{n}_shards / coordinator"),
+                    format!("plane_{n}_shards_events_per_sec"),
+                    Some("coordinator_events_per_sec".into()),
+                )
+            })
+            .collect(),
+        "BENCH_dist_admission.json" => [1, 2, 4]
+            .iter()
+            .map(|n| {
+                (
+                    format!("durable plane_{n}_shards / coordinator+wal"),
+                    format!("plane_{n}_shards_events_per_sec"),
+                    Some("coordinator_wal_events_per_sec".into()),
+                )
+            })
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+fn extract(json: &str, num: &str, den: &Option<String>) -> Option<f64> {
+    let n = metric(json, num)?;
+    match den {
+        Some(d) => {
+            let d = metric(json, d)?;
+            (d > 0.0).then_some(n / d)
+        }
+        None => Some(n),
+    }
+}
+
+fn main() -> ExitCode {
+    let root = repo_root();
+    let files = [
+        ("BENCH_view_plane.json", "view_plane"),
+        ("BENCH_shard_plane.json", "shard_plane"),
+        ("BENCH_dist_admission.json", "dist_admission"),
+    ];
+    // Snapshot the checked-in baselines before the benches overwrite them.
+    let mut baselines = Vec::new();
+    for (file, bench) in files {
+        let path = root.join(file);
+        match std::fs::read_to_string(&path) {
+            Ok(s) => baselines.push((file, bench, path, s)),
+            Err(e) => {
+                eprintln!("bench_check: missing baseline {file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    // Re-run the three benches (each rewrites its JSON at the repo root).
+    for (file, bench, ..) in &baselines {
+        println!("bench_check: running {bench} ...");
+        let status = Command::new(env!("CARGO"))
+            .args(["bench", "-q", "-p", "cwf-bench", "--bench", bench])
+            .current_dir(&root)
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("bench_check: bench {bench} exited with {s}");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("bench_check: cannot run bench {bench} for {file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    // Compare normalized ratios, then restore the baselines in place so
+    // the working tree stays clean.
+    let mut checks = Vec::new();
+    let mut broken = false;
+    for (file, _, path, baseline) in &baselines {
+        let fresh = std::fs::read_to_string(path).unwrap_or_default();
+        for (label, num, den) in ratios(file) {
+            match (extract(baseline, &num, &den), extract(&fresh, &num, &den)) {
+                (Some(b), Some(f)) => checks.push(Check {
+                    label: format!("{file}: {label}"),
+                    baseline: b,
+                    fresh: f,
+                }),
+                _ => {
+                    eprintln!("bench_check: cannot extract {label} from {file}");
+                    broken = true;
+                }
+            }
+        }
+        if let Err(e) = std::fs::write(path, baseline) {
+            eprintln!("bench_check: cannot restore baseline {file}: {e}");
+            broken = true;
+        }
+    }
+    let mut regressed = false;
+    for c in &checks {
+        let verdict = if c.regressed() {
+            regressed = true;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "bench_check: {:<55} baseline {:>7.3}  fresh {:>7.3}  ({:+.1}%)  {verdict}",
+            c.label,
+            c.baseline,
+            c.fresh,
+            (c.fresh / c.baseline - 1.0) * 100.0,
+        );
+    }
+    if regressed || broken {
+        eprintln!(
+            "bench_check: FAILED (a normalized ratio fell more than {:.0}% below baseline)",
+            (1.0 - FLOOR) * 100.0
+        );
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "bench_check: all normalized ratios within {:.0}% of baseline",
+            (1.0 - FLOOR) * 100.0
+        );
+        ExitCode::SUCCESS
+    }
+}

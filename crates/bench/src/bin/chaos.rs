@@ -12,7 +12,7 @@
 //! * `--seeds N` — seeds per profile (default 20)
 //! * `--start S` — first seed (default 0; seeds are `S..S+N`)
 //! * `--steps M` — generated actions per trace (default 40)
-//! * `--profile default|crash|storage|mod|partition|all` — fault profile
+//! * `--profile default|crash|storage|mod|partition|commit|all` — fault profile
 //!   (default `all`; `mod` is the modification-heavy profile, which runs
 //!   over the null-filling task-tracker spec unless `--spec random` is
 //!   given; `partition` enables the shard actions — partitions, failovers,
@@ -94,6 +94,7 @@ fn parse_args() -> Result<Options, String> {
                     "storage" => vec![ChaosProfile::StorageHeavy],
                     "mod" => vec![ChaosProfile::ModificationHeavy],
                     "partition" => vec![ChaosProfile::PartitionHeavy],
+                    "commit" => vec![ChaosProfile::CommitHeavy],
                     "all" => all_profiles(),
                     other => return Err(format!("unknown profile {other:?}")),
                 }
@@ -128,6 +129,7 @@ fn all_profiles() -> Vec<ChaosProfile> {
         ChaosProfile::StorageHeavy,
         ChaosProfile::ModificationHeavy,
         ChaosProfile::PartitionHeavy,
+        ChaosProfile::CommitHeavy,
     ]
 }
 

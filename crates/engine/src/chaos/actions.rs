@@ -121,6 +121,30 @@ pub enum Action {
         /// Raw shard selector, reduced modulo the shard count.
         shard: u32,
     },
+    /// Arm a one-shot commit stall on the selected shard: the next
+    /// cross-shard transaction with that shard as a non-home participant
+    /// defers its commit record to a later pump, leaving the stream in
+    /// doubt meanwhile. A no-op note on a single (shard-less) coordinator.
+    CommitStall {
+        /// Raw shard selector, reduced modulo the shard count.
+        shard: u32,
+    },
+    /// Arm a one-shot clean abort of the next cross-shard transaction
+    /// (post-prepare timeout: `a` records everywhere, event rolled back,
+    /// submit rejected with `CommitAborted`). A no-op note on a single
+    /// (shard-less) coordinator.
+    CommitAbort,
+    /// Arm a one-shot router death between the next prepare phase and its
+    /// commit point: the submit returns `InDoubt` with orphaned prepare
+    /// records on every participant, and the harness immediately crashes
+    /// and recovers the plane (keeping at most `keep_unsynced` unsynced
+    /// bytes per stream) so recovery must resolve the in-doubt transaction
+    /// by presumed abort. A no-op note on a single (shard-less)
+    /// coordinator.
+    RouterCrash {
+        /// How many unsynced bytes survive per stream in the forced crash.
+        keep_unsynced: u32,
+    },
 }
 
 impl fmt::Display for Action {
@@ -146,6 +170,9 @@ impl fmt::Display for Action {
             Action::HealPartition { link } => write!(f, "unpart({link})"),
             Action::ShardFailover { shard } => write!(f, "failover({shard})"),
             Action::Handoff { shard } => write!(f, "handoff({shard})"),
+            Action::CommitStall { shard } => write!(f, "cstall({shard})"),
+            Action::CommitAbort => write!(f, "cabort"),
+            Action::RouterCrash { keep_unsynced } => write!(f, "rcrash({keep_unsynced})"),
         }
     }
 }
@@ -180,6 +207,7 @@ impl FromStr for Action {
             "cancel" => return Ok(Action::GovernorCancel),
             "pcancel" => return Ok(Action::ParCancel),
             "probe" => return Ok(Action::DegradeProbe),
+            "cabort" => return Ok(Action::CommitAbort),
             _ => {}
         }
         let (head, rest) = s.split_once('(').ok_or_else(err)?;
@@ -202,6 +230,12 @@ impl FromStr for Action {
             }),
             "handoff" => Ok(Action::Handoff {
                 shard: parse_u32(args)?,
+            }),
+            "cstall" => Ok(Action::CommitStall {
+                shard: parse_u32(args)?,
+            }),
+            "rcrash" => Ok(Action::RouterCrash {
+                keep_unsynced: parse_u32(args)?,
             }),
             "crash" => match args.split_once(',') {
                 None => Ok(Action::CrashRestart {
@@ -263,12 +297,15 @@ mod tests {
             Action::HealPartition { link: 5 },
             Action::ShardFailover { shard: 2 },
             Action::Handoff { shard: 1 },
+            Action::CommitStall { shard: 3 },
+            Action::CommitAbort,
+            Action::RouterCrash { keep_unsynced: 9 },
         ];
         let line = format_trace(&trace);
         assert_eq!(
             line,
             "submit(7) pump(3) crash(12) crash(0,41^255) resync heal rearm cancel pcancel probe \
-             part(5) unpart(5) failover(2) handoff(1)"
+             part(5) unpart(5) failover(2) handoff(1) cstall(3) cabort rcrash(9)"
         );
         assert_eq!(parse_trace(&line).unwrap(), trace);
     }

@@ -42,7 +42,7 @@ use crate::coordinator::Coordinator;
 use crate::event::Event;
 use crate::run::{ReplayError, Run};
 use crate::shard::{slice_view, HlcStamp, ShardPlane};
-use crate::wal::{MemBackend, Wal, WalOptions};
+use crate::wal::{MemBackend, Wal, WalBackend, WalOptions};
 
 /// A read-only snapshot of the simulated system handed to every oracle
 /// after each action.
@@ -408,6 +408,14 @@ pub struct ShardCheckpoint<'a> {
     /// The full accepted history — the *single-shard shadow run*, replayed
     /// from the empty instance, surviving crashes and snapshots.
     pub shadow: &'a Run,
+    /// The current epoch's simulated disks, one per shard stream (shared
+    /// handles under the per-shard WALs).
+    pub backends: &'a [MemBackend],
+    /// The WAL options in force (chaos always syncs per record).
+    pub opts: WalOptions,
+    /// The at-most-one accepted-then-rolled-back event whose bytes may or
+    /// may not be on disk.
+    pub in_flight: Option<&'a Event>,
     /// Has the environment healed (no further fault injection)?
     pub healed: bool,
     /// Index of the action just executed.
@@ -426,13 +434,95 @@ pub trait ShardOracle {
 }
 
 /// The default shard-plane oracle battery: cross-shard state union,
-/// per-slice replica prefixes, and HLC causality.
+/// per-slice replica prefixes, HLC causality, and the per-shard-stream
+/// quorum-replay differential.
 pub fn default_shard_oracles() -> Vec<Box<dyn ShardOracle>> {
     vec![
         Box::new(ShardStateUnion),
         Box::new(ShardSlicePrefix),
         Box::new(HlcCausality),
+        Box::new(ShardWalReplay),
     ]
+}
+
+/// Quorum recovery over copies of the per-shard streams as they are
+/// *right now* reproduces the accepted history — the sharded analogue of
+/// [`WalReplay`]. Full bytes (which may end in torn tails or hold
+/// in-doubt prepare records) must replay to the accepted events plus at
+/// most the one in-flight event; the synced prefixes alone must replay to
+/// *exactly* the accepted events, since chaos syncs every record and the
+/// cross-shard commit point forces the home stream's `c` record down
+/// before anything is acknowledged.
+pub struct ShardWalReplay;
+
+impl ShardOracle for ShardWalReplay {
+    fn name(&self) -> &'static str {
+        "shard-wal-replay"
+    }
+
+    fn check(&mut self, cp: &ShardCheckpoint<'_>) -> Result<(), String> {
+        let accepted = cp.shadow.len() as u64;
+        let spec = cp.shadow.spec_arc();
+
+        // Full bytes: the accepted events, plus at most the in-flight one.
+        let full: Vec<Box<dyn WalBackend>> = cp
+            .backends
+            .iter()
+            .map(|m| Box::new(MemBackend::from_bytes(m.bytes())) as Box<dyn WalBackend>)
+            .collect();
+        let (run, report) = ShardPlane::replay_wals(&spec, full, cp.opts)
+            .map_err(|e| format!("quorum recovery refused the live streams: {e}"))?;
+        match report.last_seq {
+            s if s == accepted => {
+                if run.current() != cp.shadow.current() {
+                    return Err(
+                        "quorum-recovered instance differs from the accepted history".to_string(),
+                    );
+                }
+            }
+            s if s == accepted + 1 => {
+                if cp.in_flight.is_none() {
+                    return Err(format!(
+                        "quorum recovery yields {s} events but only {accepted} were \
+                         accepted and nothing is in flight"
+                    ));
+                }
+            }
+            s if s < accepted => {
+                return Err(format!(
+                    "lost acked events: quorum recovery reaches seq {s} of {accepted}"
+                ));
+            }
+            s => {
+                return Err(format!(
+                    "phantom events: quorum recovery reaches seq {s} of {accepted}"
+                ));
+            }
+        }
+
+        // Synced prefixes: exactly the acknowledged events, no more, no less.
+        let synced: Vec<Box<dyn WalBackend>> = cp
+            .backends
+            .iter()
+            .map(|m| {
+                let bytes = m.bytes();
+                let cut = m.synced_len().min(bytes.len());
+                Box::new(MemBackend::from_bytes(bytes[..cut].to_vec())) as Box<dyn WalBackend>
+            })
+            .collect();
+        let (run, report) = ShardPlane::replay_wals(&spec, synced, cp.opts)
+            .map_err(|e| format!("quorum recovery refused the synced prefixes: {e}"))?;
+        if report.last_seq != accepted {
+            return Err(format!(
+                "durable prefixes hold {} events, {accepted} were acknowledged",
+                report.last_seq
+            ));
+        }
+        if run.current() != cp.shadow.current() {
+            return Err("durable instance differs from the accepted history".to_string());
+        }
+        Ok(())
+    }
 }
 
 /// The cross-shard convergence oracle's per-step half: the plane's run is

@@ -54,14 +54,18 @@ struct ShardWorld {
     seed: u64,
     shards: usize,
     plane: ShardPlane,
-    mem: MemBackend,
-    io: IoFaultBackend,
+    /// One simulated disk per shard stream.
+    mems: Vec<MemBackend>,
+    ios: Vec<IoFaultBackend>,
     opts: WalOptions,
     shadow: Run,
     in_flight: Option<Event>,
     healed: bool,
     epoch: u64,
     restarts: u64,
+    /// The unsynced-byte budget of the crash forced by the last armed
+    /// [`Action::RouterCrash`].
+    router_crash_keep: u32,
     /// Per-shard count of transport replacements (failovers + hand-off
     /// cutovers) this epoch; salts the next replacement's fault stream.
     incarnations: Vec<u64>,
@@ -80,19 +84,32 @@ impl ShardWorld {
             sync: SyncPolicy::Always,
             snapshot_every: config.snapshot_every,
         };
-        let mem = MemBackend::new();
-        let io = IoFaultBackend::new(
-            Box::new(mem.clone()),
-            FaultPlan::perfect(mix(seed, STORAGE_SALT)),
-        );
-        let wal =
-            Wal::create(Box::new(io.clone()), opts).expect("fresh in-memory backend cannot fail");
+        let mems: Vec<MemBackend> = (0..shards).map(|_| MemBackend::new()).collect();
+        let ios: Vec<IoFaultBackend> = mems
+            .iter()
+            .enumerate()
+            .map(|(s, m)| {
+                IoFaultBackend::new(
+                    Box::new(m.clone()),
+                    FaultPlan::perfect(mix(seed, STORAGE_SALT ^ ((s as u64 + 1) << 16))),
+                )
+            })
+            .collect();
+        let wals: Vec<Wal> = ios
+            .iter()
+            .map(|io| {
+                Wal::create(Box::new(io.clone()), opts)
+                    .expect("fresh in-memory backend cannot fail")
+            })
+            .collect();
         let (short, fsync, transient) = profile.storage_rates();
-        io.configure(|p| {
-            p.short_write_p = short;
-            p.fsync_fail_p = fsync;
-            p.transient_p = transient;
-        });
+        for io in &ios {
+            io.configure(|p| {
+                p.short_write_p = short;
+                p.fsync_fail_p = fsync;
+                p.transient_p = transient;
+            });
+        }
         let transports: Vec<Box<dyn Transport>> = (0..shards)
             .map(|s| {
                 Box::new(FaultyTransport::new(
@@ -103,7 +120,7 @@ impl ShardWorld {
         let plane = ShardPlane::with_parts(
             Arc::clone(&spec),
             transports,
-            Some(wal),
+            Some(wals),
             ShardPlaneConfig {
                 shards,
                 coordinator: config.coordinator,
@@ -117,14 +134,15 @@ impl ShardWorld {
             seed,
             shards,
             plane,
-            mem,
-            io,
+            mems,
+            ios,
             opts,
             shadow,
             in_flight: None,
             healed: false,
             epoch: 0,
             restarts: 0,
+            router_crash_keep: 0,
             incarnations: vec![0; shards],
             transcript: Vec::new(),
         }
@@ -170,6 +188,9 @@ impl ShardWorld {
         ShardCheckpoint {
             plane: &self.plane,
             shadow: &self.shadow,
+            backends: &self.mems,
+            opts: self.opts,
+            in_flight: self.in_flight.as_ref(),
             healed: self.healed,
             step,
             action,
@@ -197,7 +218,9 @@ impl ShardWorld {
             Action::Heal => {
                 self.healed = true;
                 self.plane.heal();
-                self.io.heal();
+                for io in &self.ios {
+                    io.heal();
+                }
                 self.note("heal: all fault injection stopped");
                 Ok(())
             }
@@ -225,6 +248,23 @@ impl ShardWorld {
                 Ok(())
             }
             Action::Handoff { shard } => self.handoff(*shard),
+            Action::CommitStall { shard } => {
+                let s = ShardId((*shard as usize % self.shards) as u16);
+                self.plane.inject_commit_stall(s);
+                self.note(format!("cstall: armed on {s}"));
+                Ok(())
+            }
+            Action::CommitAbort => {
+                self.plane.inject_commit_abort();
+                self.note("cabort: armed");
+                Ok(())
+            }
+            Action::RouterCrash { keep_unsynced } => {
+                self.plane.inject_router_crash();
+                self.router_crash_keep = *keep_unsynced;
+                self.note("rcrash: armed");
+                Ok(())
+            }
         }
     }
 
@@ -309,6 +349,23 @@ impl ShardWorld {
                 self.note(format!("submit hit wal failure: {e}"));
                 Ok(())
             }
+            Err(CoordinatorError::CommitAborted) => {
+                if self.plane.degraded() {
+                    return Err(inv("a clean commit abort degraded the plane"));
+                }
+                self.note("submit aborted by the commit protocol (post-prepare timeout)");
+                Ok(())
+            }
+            Err(CoordinatorError::InDoubt) => {
+                if self.plane.degraded() {
+                    return Err(inv("an in-doubt commit degraded the live plane"));
+                }
+                self.note("submit in doubt: router died after prepare; forcing a restart");
+                // The router process is gone: crash the plane at exactly the
+                // in-doubt point, so recovery must presume the orphaned
+                // prepares aborted.
+                self.crash_restart(self.router_crash_keep, None)
+            }
         }
     }
 
@@ -318,23 +375,39 @@ impl ShardWorld {
         corrupt: Option<(u32, u8)>,
     ) -> Result<(), Violation> {
         // The whole plane process dies: shard states, oplogs, standbys, and
-        // in-flight traffic are gone; only the routing layer's WAL decides.
-        let synced = self.mem.synced_len();
-        let survivor = self.mem.survivor(keep_unsynced as usize);
-        if let Some((off, xor)) = corrupt {
-            let total = survivor.bytes().len();
-            if total > synced {
-                let tail = total - synced;
-                survivor.corrupt_byte(synced + (off as usize % tail), xor);
+        // in-flight traffic are gone; only the per-shard streams decide.
+        // Every stream keeps its synced prefix plus at most `keep_unsynced`
+        // unsynced bytes; the optional corruption picks one shard's kept
+        // unsynced tail by the selector's low bits.
+        let mut survivors: Vec<MemBackend> = Vec::with_capacity(self.shards);
+        for (s, mem) in self.mems.iter().enumerate() {
+            let synced = mem.synced_len();
+            let survivor = mem.survivor(keep_unsynced as usize);
+            if let Some((off, xor)) = corrupt {
+                if s == off as usize % self.shards {
+                    let total = survivor.bytes().len();
+                    if total > synced {
+                        let tail = total - synced;
+                        survivor.corrupt_byte(synced + ((off as usize / self.shards) % tail), xor);
+                    }
+                }
             }
+            survivors.push(survivor);
         }
         self.epoch += 1;
         self.restarts += 1;
         self.incarnations = vec![0; self.shards];
-        let io = IoFaultBackend::new(
-            Box::new(survivor.clone()),
-            FaultPlan::perfect(mix(self.seed, STORAGE_SALT ^ (self.epoch << 8))),
-        );
+        let ios: Vec<IoFaultBackend> = survivors
+            .iter()
+            .enumerate()
+            .map(|(s, m)| {
+                let salt = STORAGE_SALT ^ (self.epoch << 8) ^ ((s as u64 + 1) << 16);
+                IoFaultBackend::new(
+                    Box::new(m.clone()),
+                    FaultPlan::perfect(mix(self.seed, salt)),
+                )
+            })
+            .collect();
         let transports: Vec<Box<dyn Transport>> = (0..self.shards)
             .map(|s| {
                 let salt = NET_SALT ^ (self.epoch << 8) ^ ((s as u64 + 1) << 16);
@@ -348,7 +421,9 @@ impl ShardWorld {
         let accepted = self.shadow.len() as u64;
         let (plane, report) = ShardPlane::recover(
             Arc::clone(&self.spec),
-            Box::new(io.clone()),
+            ios.iter()
+                .map(|io| Box::new(io.clone()) as Box<dyn crate::wal::WalBackend>)
+                .collect(),
             self.opts,
             transports,
             ShardPlaneConfig {
@@ -358,8 +433,8 @@ impl ShardWorld {
         )
         .map_err(|e| {
             (
-                "wal-replay".to_string(),
-                format!("recovery refused the surviving log: {e}"),
+                "shard-wal-replay".to_string(),
+                format!("quorum recovery refused the surviving streams: {e}"),
             )
         })?;
         if report.last_seq == accepted + 1 {
@@ -387,15 +462,17 @@ impl ShardWorld {
             ));
         }
         self.plane = plane;
-        self.mem = survivor;
-        self.io = io;
+        self.mems = survivors;
+        self.ios = ios;
         if !self.healed {
             let (short, fsync, transient) = self.profile.storage_rates();
-            self.io.configure(|p| {
-                p.short_write_p = short;
-                p.fsync_fail_p = fsync;
-                p.transient_p = transient;
-            });
+            for io in &self.ios {
+                io.configure(|p| {
+                    p.short_write_p = short;
+                    p.fsync_fail_p = fsync;
+                    p.transient_p = transient;
+                });
+            }
         }
         self.note(format!(
             "crash-restart #{}: last_seq={} replayed={} snapshot={:?} truncated={}B",

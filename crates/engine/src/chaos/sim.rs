@@ -89,6 +89,12 @@ pub enum ChaosProfile {
     /// faulty network: the robustness profile of the sharded state plane
     /// (on a single coordinator only the partition actions bite).
     PartitionHeavy,
+    /// Cross-shard commit-protocol faults — stalled participant commits,
+    /// post-prepare aborts, router deaths with in-doubt prepares — over a
+    /// mildly faulty network and storage, plus regular crash–restarts so
+    /// the presumed-abort recovery rule runs hot. On a single coordinator
+    /// the commit actions are no-op notes.
+    CommitHeavy,
 }
 
 impl ChaosProfile {
@@ -100,6 +106,7 @@ impl ChaosProfile {
             ChaosProfile::StorageHeavy => "storage-heavy",
             ChaosProfile::ModificationHeavy => "mod-heavy",
             ChaosProfile::PartitionHeavy => "partition-heavy",
+            ChaosProfile::CommitHeavy => "commit-heavy",
         }
     }
 
@@ -112,6 +119,7 @@ impl ChaosProfile {
             ChaosProfile::StorageHeavy => plan.with_rates(0.10, 0.05, 0.15, 2, 0.10),
             ChaosProfile::ModificationHeavy => plan.with_rates(0.10, 0.05, 0.20, 2, 0.15),
             ChaosProfile::PartitionHeavy => plan.with_rates(0.08, 0.05, 0.15, 2, 0.10),
+            ChaosProfile::CommitHeavy => plan.with_rates(0.08, 0.05, 0.15, 2, 0.10),
         }
     }
 
@@ -123,20 +131,24 @@ impl ChaosProfile {
             ChaosProfile::StorageHeavy => (0.08, 0.10, 0.12),
             ChaosProfile::ModificationHeavy => (0.0, 0.0, 0.0),
             ChaosProfile::PartitionHeavy => (0.0, 0.0, 0.0),
+            ChaosProfile::CommitHeavy => (0.02, 0.02, 0.08),
         }
     }
 
     /// Generator weights: submit, pump, crash, resync, rearm, cancel,
-    /// pcancel, probe, partition, heal-partition, failover, handoff.
-    /// (Pre-partition profiles keep zero weight on the last four, so their
-    /// pinned seeds still generate byte-identical traces.)
-    fn weights(&self) -> [u32; 12] {
+    /// pcancel, probe, partition, heal-partition, failover, handoff,
+    /// commit-stall, commit-abort, router-crash. (Older profiles keep zero
+    /// weight on the actions added after them — zero-weight entries draw
+    /// nothing from the RNG, so their pinned seeds still generate
+    /// byte-identical traces.)
+    fn weights(&self) -> [u32; 15] {
         match self {
-            ChaosProfile::Default => [40, 25, 5, 8, 6, 6, 4, 10, 0, 0, 0, 0],
-            ChaosProfile::CrashHeavy => [35, 18, 25, 8, 4, 4, 3, 6, 0, 0, 0, 0],
-            ChaosProfile::StorageHeavy => [38, 15, 8, 5, 14, 6, 4, 14, 0, 0, 0, 0],
-            ChaosProfile::ModificationHeavy => [55, 20, 4, 6, 4, 3, 3, 8, 0, 0, 0, 0],
-            ChaosProfile::PartitionHeavy => [34, 20, 3, 6, 3, 0, 0, 4, 12, 8, 5, 5],
+            ChaosProfile::Default => [40, 25, 5, 8, 6, 6, 4, 10, 0, 0, 0, 0, 0, 0, 0],
+            ChaosProfile::CrashHeavy => [35, 18, 25, 8, 4, 4, 3, 6, 0, 0, 0, 0, 0, 0, 0],
+            ChaosProfile::StorageHeavy => [38, 15, 8, 5, 14, 6, 4, 14, 0, 0, 0, 0, 0, 0, 0],
+            ChaosProfile::ModificationHeavy => [55, 20, 4, 6, 4, 3, 3, 8, 0, 0, 0, 0, 0, 0, 0],
+            ChaosProfile::PartitionHeavy => [34, 20, 3, 6, 3, 0, 0, 4, 12, 8, 5, 5, 0, 0, 0],
+            ChaosProfile::CommitHeavy => [42, 16, 4, 5, 3, 0, 0, 3, 4, 4, 2, 2, 6, 5, 4],
         }
     }
 }
@@ -379,6 +391,18 @@ impl World {
                 self.note("handoff: no shards on a single coordinator");
                 Ok(())
             }
+            Action::CommitStall { .. } => {
+                self.note("cstall: no cross-shard commits on a single coordinator");
+                Ok(())
+            }
+            Action::CommitAbort => {
+                self.note("cabort: no cross-shard commits on a single coordinator");
+                Ok(())
+            }
+            Action::RouterCrash { .. } => {
+                self.note("rcrash: no routing layer on a single coordinator");
+                Ok(())
+            }
         }
     }
 
@@ -462,6 +486,9 @@ impl World {
                 self.note(format!("submit hit wal failure: {e}"));
                 Ok(())
             }
+            Err(e @ (CoordinatorError::CommitAborted | CoordinatorError::InDoubt)) => Err(inv(
+                format!("single coordinator returned a cross-shard outcome: {e}"),
+            )),
         }
     }
 
@@ -836,8 +863,15 @@ pub fn generate_trace(profile: ChaosProfile, seed: u64, steps: usize) -> Vec<Act
             10 => Action::ShardFailover {
                 shard: rng.gen_range(0..=255u32),
             },
-            _ => Action::Handoff {
+            11 => Action::Handoff {
                 shard: rng.gen_range(0..=255u32),
+            },
+            12 => Action::CommitStall {
+                shard: rng.gen_range(0..=255u32),
+            },
+            13 => Action::CommitAbort,
+            _ => Action::RouterCrash {
+                keep_unsynced: rng.gen_range(0..=96u32),
             },
         });
     }

@@ -151,6 +151,15 @@ pub enum CoordinatorError {
     /// restores the log — or the process restarts via
     /// [`Coordinator::recover`](crate::Coordinator::recover).
     Degraded,
+    /// A cross-shard commit was cleanly aborted before its commit point:
+    /// every participant holds an abort record, the event is rolled back,
+    /// and the plane stays healthy (resubmitting is fine).
+    CommitAborted,
+    /// The routing layer died mid-commit with prepare records written but
+    /// no commit decision recorded. The live plane rolls the event back;
+    /// the surviving prepare records resolve deterministically at recovery
+    /// (presumed abort unless some shard holds the commit record).
+    InDoubt,
 }
 
 impl fmt::Display for CoordinatorError {
@@ -164,6 +173,15 @@ impl fmt::Display for CoordinatorError {
                     "coordinator is degraded (read-only) after a durability failure"
                 )
             }
+            CoordinatorError::CommitAborted => {
+                write!(f, "cross-shard commit aborted before its commit point")
+            }
+            CoordinatorError::InDoubt => {
+                write!(
+                    f,
+                    "router died mid-commit; the transaction is in doubt until recovery"
+                )
+            }
         }
     }
 }
@@ -173,7 +191,9 @@ impl std::error::Error for CoordinatorError {
         match self {
             CoordinatorError::Engine(e) => Some(e),
             CoordinatorError::Wal(e) => Some(e),
-            CoordinatorError::Degraded => None,
+            CoordinatorError::Degraded
+            | CoordinatorError::CommitAborted
+            | CoordinatorError::InDoubt => None,
         }
     }
 }

@@ -54,7 +54,7 @@ pub use shard::{
     ShardPlaneConfig, ShardPlaneStats,
 };
 pub use simulate::{candidates, complete, Candidate, Simulator};
-pub use stats::{FtStats, PeerStats, RunStats};
+pub use stats::{FtStats, PeerStats, RunStats, ShardAdmissionStats};
 pub use transition::{
     apply_event, apply_event_with_view, apply_updates, event_visible, view_of, Applied,
 };

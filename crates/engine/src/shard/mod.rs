@@ -7,9 +7,12 @@
 //!
 //! * a [`ShardMap`] deterministically assigns every key to one of N shards
 //!   (FNV-1a over a canonical encoding of the key value);
-//! * a [`ShardPlane`] admits events globally (validation needs the whole
-//!   keyed instance — that is the routing layer), then routes each event's
-//!   tuple-level ops and per-peer view deltas to the owning shards;
+//! * a [`ShardPlane`] validates events against the whole keyed instance
+//!   (that is the routing layer), then **admits them on the owning
+//!   shards**: a key-local event is made durable entirely on its home
+//!   shard's WAL stream, while a cross-shard event runs a router-driven
+//!   prepare/commit protocol across its participants before any state
+//!   changes (see [`plane`](ShardPlane) for the full protocol);
 //! * each shard applies its ops to its own state partition, appends them to
 //!   an append-only [`Oplog`] stamped with [hybrid logical clock](Hlc)
 //!   timestamps, feeds a warm **standby replica**, and drives its slice of
@@ -21,7 +24,11 @@
 //! off** to a new node through an interruptible drain → snapshot →
 //! transfer → replay-tail protocol, and tolerate **link-level partitions**
 //! injected by [`FaultPlan`](crate::fault::FaultPlan) or the chaos action
-//! grammar. The chaos battery asserts that after heal + pump-to-quiescence
+//! grammar. Full-plane recovery is a **quorum procedure** over the
+//! per-shard WAL streams: every surviving stream is replayed, in-doubt
+//! cross-shard commits are resolved from prepare/commit records (presumed
+//! abort), and the serializable global order is rebuilt from the HLC
+//! stamps. The chaos battery asserts that after heal + pump-to-quiescence
 //! the union of shard states equals a single-shard shadow run byte for
 //! byte, and that HLC order is consistent with causal delivery.
 //!

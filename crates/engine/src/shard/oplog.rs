@@ -7,9 +7,10 @@
 //! durable replication record — the standby replica consumes its tail, a
 //! promoted replica replays it past its applied watermark after a
 //! failover, and a hand-off transfers snapshot-then-tail from it. (In this
-//! in-process deployment durability is anchored by the routing layer's
-//! WAL; the oplog is the per-shard projection of it and is rebuilt from
-//! the WAL on full-plane recovery.)
+//! in-process deployment durability is anchored by each shard's own WAL
+//! stream — commit and prepare records land there before the oplog sees
+//! the entry; the oplog is the in-memory projection and is rebuilt from
+//! the streams on full-plane quorum recovery.)
 
 use cwf_model::{PeerId, RelId, Tuple, Value};
 

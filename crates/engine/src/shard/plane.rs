@@ -1,12 +1,39 @@
-//! The [`ShardPlane`]: N coordinator shards behind a thin routing layer.
+//! The [`ShardPlane`]: N coordinator shards behind a thin routing layer,
+//! with **distributed admission** — per-shard write-ahead logs and a
+//! cross-shard commit protocol.
 //!
-//! **Routing layer.** Event admission stays global: validating an event
-//! (body match, key chase, freshness) needs the whole keyed instance, so
-//! the plane owns the authoritative [`Run`] and the write-ahead log —
-//! exactly like the single [`Coordinator`], and durability is anchored
-//! here. What is sharded is everything *after* admission: the event's
-//! tuple-level ops and per-peer view deltas are split by the
-//! [`ShardMap`] and routed to the owning shards.
+//! **Routing layer.** Event *validation* (body match, key chase,
+//! freshness) stays global: it needs the whole keyed instance, so the
+//! plane owns the authoritative [`Run`]. Everything else is pushed down
+//! into the shards. An event whose write set lives on a single shard (the
+//! common case under key-local rules) commits entirely on that shard's
+//! path: stamped by the shard's [`Hlc`], appended as one `e` record to
+//! *that shard's own WAL stream*, applied to its partition — the router
+//! writes nothing. Only events whose ops span shards go through the
+//! **cross-shard commit protocol**: the router assigns a global
+//! transaction id, writes a `p` (prepare) record carrying the admission
+//! stamp and the full event to every participant stream (bounded
+//! transient retry with capped backoff; exhaustion or a hard fault aborts
+//! with best-effort `a` records), then commits by writing a synced `c`
+//! record to the home shard first (the commit point) and to the remaining
+//! participants after. A participant whose `c` is stalled or lost leaves
+//! an in-doubt `p`; recovery resolves it deterministically — **presumed
+//! abort** unless *some* surviving stream holds the `c` record (the home
+//! stream's `c` is synced before the plane acknowledges, so no
+//! acknowledged event is ever presumed away by a crash).
+//!
+//! **Quorum recovery.** [`ShardPlane::recover`] scans every shard stream
+//! (longest valid prefix, torn-tail truncation, dense-seq tamper checks),
+//! resolves in-doubt transactions from the surviving prepare/commit
+//! records, and reconstructs the global run order by sorting the
+//! surviving records by HLC stamp: local `e` records carry their shard
+//! stamp, prepares carry the router's admission stamp, and both kinds are
+//! minted strictly above every stamp of the previous event (the router
+//! folds each shard stamp back into its clock), so stamp order *is*
+//! admission order — the serialization argument the paper's global-run
+//! semantics demands. Snapshots (`s` records, written to the current home
+//! stream at the plane cadence) carry the covered event count and the
+//! last covered record stamp; replay starts above that stamp.
 //!
 //! **Shard-local apply.** Each shard owns its partition of the state, an
 //! HLC-stamped append-only [`Oplog`], a warm standby replica consuming the
@@ -31,7 +58,10 @@
 //! shard to a new node with an interruptible drain → snapshot → transfer →
 //! replay-tail protocol ([`ShardPlane::abort_handoff`] rolls back cleanly
 //! at any record boundary). Link-level partitions are cut and healed per
-//! (shard, peer) or toward a shard's standby.
+//! (shard, peer) or toward a shard's standby. Commit-protocol faults
+//! (stalled participant commits, injected aborts, router death between
+//! prepare and commit) are injectable for the chaos harness via
+//! [`ShardPlane::inject_commit_stall`] and friends.
 //!
 //! [`Coordinator`]: crate::coordinator::Coordinator
 
@@ -40,15 +70,16 @@ use std::sync::Arc;
 
 use cwf_model::{Instance, PeerId, ViewInstance};
 
-use crate::coordinator::{durable_append, CoordinatorConfig, MaterializedView};
+use crate::codec::{decode_event, encode_event};
+use crate::coordinator::{CoordinatorConfig, MaterializedView};
 use crate::delivery::Delivery;
 use crate::error::{CoordinatorError, WalError};
 use crate::event::Event;
 use crate::run::Run;
-use crate::stats::{FtStats, RunStats};
+use crate::stats::{FtStats, RunStats, ShardAdmissionStats};
 use crate::transport::{PerfectTransport, Transport};
 use crate::view_plane::ViewDelta;
-use crate::wal::{RecoveryReport, Wal, WalBackend, WalOptions};
+use crate::wal::{decode_snapshot, encode_snapshot, RecoveryReport, Wal, WalBackend, WalOptions};
 
 use super::{Hlc, HlcStamp, Oplog, ShardId, ShardMap, ShardOp};
 
@@ -255,13 +286,46 @@ struct HandoffState {
     transferred_seq: u64,
 }
 
+/// Injected commit-protocol faults (one-shot, armed by the chaos harness).
+#[derive(Debug, Default)]
+struct CommitFaults {
+    /// Stall the next non-home commit record destined for this shard: the
+    /// record is deferred to [`ShardPlane::pump`] instead of written,
+    /// leaving the participant in doubt until the flush.
+    stall: Option<ShardId>,
+    /// Abort the next cross-shard transaction after its prepare phase
+    /// (clean abort: `a` records everywhere, event rolled back).
+    abort_next: bool,
+    /// Kill the router after the next prepare phase: prepares are left
+    /// orphaned on every participant and the submit returns
+    /// [`CoordinatorError::InDoubt`] — recovery resolves by presumed abort.
+    router_crash: bool,
+}
+
+/// What [`ShardPlane::replay_streams`] learned beyond the run itself.
+struct ReplayMeta {
+    /// Per stream: the next record sequence number.
+    next_seqs: Vec<u64>,
+    /// Per stream: the byte length of the valid prefix.
+    valid_lens: Vec<u64>,
+    /// One past the highest transaction id seen anywhere.
+    next_gid: u64,
+    /// In-doubt transactions resolved as committed.
+    in_doubt_committed: u64,
+    /// In-doubt transactions resolved by presumed abort.
+    in_doubt_aborted: u64,
+    /// The highest stamp on any surviving record.
+    max_stamp: HlcStamp,
+}
+
 /// The sharded, replicated state plane (see the [module docs](super)).
 pub struct ShardPlane {
     run: Run,
     map: ShardMap,
     peers: usize,
     shards: Vec<Shard>,
-    wal: Option<Wal>,
+    /// One WAL stream per shard (index = shard id), when durable.
+    wals: Option<Vec<Wal>>,
     config: CoordinatorConfig,
     /// The deterministic "physical" tick feeding every HLC (advances on
     /// each submit and each pump).
@@ -271,7 +335,41 @@ pub struct ShardPlane {
     handoff: Option<HandoffState>,
     ft: FtStats,
     stats: ShardPlaneStats,
+    admission: ShardAdmissionStats,
+    /// Next cross-shard transaction id (monotone; never reused, even
+    /// across recoveries).
+    next_gid: u64,
+    /// Events since the last snapshot record (plane-level cadence).
+    events_since_snapshot: u64,
+    /// Events covered by the snapshot this process epoch recovered from
+    /// (snapshot counts stay global across recoveries: `base_events +
+    /// run.len()`).
+    base_events: u64,
+    /// Commit records deferred by an injected stall, flushed by `pump`.
+    pending_commits: Vec<(ShardId, u64)>,
+    commit_faults: CommitFaults,
     degraded: bool,
+}
+
+/// Renders an [`HlcStamp`] as a WAL token (`t<wall>.<logical>.<node>`).
+fn encode_stamp(s: &HlcStamp) -> String {
+    format!("t{}.{}.{}", s.wall, s.logical, s.node)
+}
+
+/// Parses a stamp token written by [`encode_stamp`].
+fn decode_stamp(tok: &str) -> Option<HlcStamp> {
+    let rest = tok.strip_prefix('t')?;
+    let mut it = rest.splitn(3, '.');
+    Some(HlcStamp {
+        wall: it.next()?.parse().ok()?,
+        logical: it.next()?.parse().ok()?,
+        node: it.next()?.parse().ok()?,
+    })
+}
+
+/// Parses a transaction-id token (`g<gid>`).
+fn decode_gid(tok: &str) -> Option<u64> {
+    tok.strip_prefix('g')?.parse().ok()
 }
 
 /// Materializes the slice of a peer's view owned by shard `s` — the unit
@@ -303,20 +401,20 @@ impl ShardPlane {
 
     /// Full-control constructor: one transport per shard (the vector length
     /// is the shard count and must match `config.shards`), an optional WAL
-    /// anchored at the routing layer, and tuning knobs.
+    /// stream per shard (same length when present), and tuning knobs.
     pub fn with_parts(
         spec: Arc<cwf_lang::WorkflowSpec>,
         transports: Vec<Box<dyn Transport>>,
-        wal: Option<Wal>,
+        wals: Option<Vec<Wal>>,
         config: ShardPlaneConfig,
     ) -> Self {
-        Self::from_run(Run::new(spec), transports, wal, config)
+        Self::from_run(Run::new(spec), transports, wals, config)
     }
 
     fn from_run(
         run: Run,
         transports: Vec<Box<dyn Transport>>,
-        wal: Option<Wal>,
+        wals: Option<Vec<Wal>>,
         config: ShardPlaneConfig,
     ) -> Self {
         assert_eq!(
@@ -326,19 +424,32 @@ impl ShardPlane {
             transports.len(),
             config.shards
         );
+        if let Some(w) = &wals {
+            assert_eq!(
+                w.len(),
+                config.shards,
+                "one WAL stream per shard ({} != {})",
+                w.len(),
+                config.shards
+            );
+        }
         let peers = run.spec().collab().peer_count();
         let map = ShardMap::new(config.shards);
-        let shards = transports
+        let shards: Vec<Shard> = transports
             .into_iter()
             .enumerate()
             .map(|(i, t)| Shard::fresh(ShardId(i as u16), peers, t, config.coordinator))
             .collect();
+        let admission = ShardAdmissionStats {
+            local_admitted: vec![0; shards.len()],
+            ..Default::default()
+        };
         ShardPlane {
             run,
             map,
             peers,
             shards,
-            wal,
+            wals,
             config: config.coordinator,
             clock: 0,
             hlc: Hlc::new(ROUTER_NODE),
@@ -346,27 +457,64 @@ impl ShardPlane {
             handoff: None,
             ft: FtStats::default(),
             stats: ShardPlaneStats::default(),
+            admission,
+            next_gid: 1,
+            events_since_snapshot: 0,
+            base_events: 0,
+            pending_commits: Vec::new(),
+            commit_faults: CommitFaults::default(),
             degraded: false,
         }
     }
 
-    /// Rebuilds a durable plane from its write-ahead log: recovers the run
-    /// (snapshot + tail replay, truncating any torn record), repartitions
-    /// the recovered instance across fresh shards, reprovisions every
-    /// standby, and resyncs every peer slice. Oplogs and clocks restart —
-    /// the WAL, not the in-memory oplog, is the durable record, and the
-    /// causality oracle checks within one process epoch.
+    /// Rebuilds a durable plane from its per-shard WAL streams — the
+    /// **quorum recovery** procedure. Every stream is scanned (longest
+    /// valid prefix, torn-tail truncation, dense-seq tamper checks);
+    /// in-doubt cross-shard transactions are resolved deterministically
+    /// (committed iff *some* surviving stream holds the `c` record,
+    /// presumed abort otherwise); the global run order is reconstructed by
+    /// sorting the surviving committed records by HLC stamp and replaying
+    /// them (re-validating every transition) above the best surviving
+    /// snapshot. The recovered instance is then repartitioned across fresh
+    /// shards, every standby is reprovisioned, and every peer slice is
+    /// resynced. Oplogs and broadcast logs restart — the streams, not the
+    /// in-memory oplogs, are the durable record — and every clock is
+    /// raised above the highest recovered stamp so new records keep
+    /// sorting after old ones.
     pub fn recover(
         spec: Arc<cwf_lang::WorkflowSpec>,
-        backend: Box<dyn WalBackend>,
+        mut backends: Vec<Box<dyn WalBackend>>,
         opts: WalOptions,
         transports: Vec<Box<dyn Transport>>,
         config: ShardPlaneConfig,
     ) -> Result<(Self, RecoveryReport), WalError> {
-        let recovered = Wal::recover(backend, Arc::clone(&spec), opts)?;
-        let mut plane = Self::from_run(recovered.run, transports, Some(recovered.wal), config);
-        plane.ft.recovered_events = recovered.report.events_replayed as u64;
-        plane.ft.truncated_bytes = recovered.report.truncated_bytes as u64;
+        assert_eq!(
+            backends.len(),
+            config.shards,
+            "one WAL stream per shard ({} != {})",
+            backends.len(),
+            config.shards
+        );
+        let (run, report, meta) = Self::replay_streams(&spec, &mut backends, opts)?;
+        let wals: Vec<Wal> = backends
+            .into_iter()
+            .zip(meta.next_seqs.iter().zip(&meta.valid_lens))
+            .map(|(b, (&next_seq, &len))| Wal::resume(b, opts, next_seq, len))
+            .collect();
+        let mut plane = Self::from_run(run, transports, Some(wals), config);
+        plane.next_gid = meta.next_gid;
+        plane.admission.in_doubt_committed = meta.in_doubt_committed;
+        plane.admission.in_doubt_aborted = meta.in_doubt_aborted;
+        plane.events_since_snapshot = report.events_replayed as u64;
+        plane.base_events = report.last_seq - report.events_replayed as u64;
+        plane.ft.recovered_events = report.events_replayed as u64;
+        plane.ft.truncated_bytes = report.truncated_bytes as u64;
+        // Every clock must dominate the durable record stamps, or records
+        // written after this recovery would sort before recovered ones.
+        plane.hlc.observe(0, &meta.max_stamp);
+        for shard in &mut plane.shards {
+            shard.hlc.observe(0, &meta.max_stamp);
+        }
         // Repartition the recovered instance into shard states.
         for (rel, t) in plane.run.current().facts() {
             let s = plane.map.shard_of(t.key());
@@ -385,7 +533,198 @@ impl ShardPlane {
             }
         }
         plane.pump();
-        Ok((plane, recovered.report))
+        Ok((plane, report))
+    }
+
+    /// Dry-run of the quorum recovery: replays the streams into a [`Run`]
+    /// without building a plane. This is what the chaos battery's
+    /// `shard-wal-replay` oracle calls against copies of the live bytes.
+    pub fn replay_wals(
+        spec: &Arc<cwf_lang::WorkflowSpec>,
+        mut backends: Vec<Box<dyn WalBackend>>,
+        opts: WalOptions,
+    ) -> Result<(Run, RecoveryReport), WalError> {
+        let (run, report, _) = Self::replay_streams(spec, &mut backends, opts)?;
+        Ok((run, report))
+    }
+
+    /// Scans every stream and reconstructs the global run (see
+    /// [`ShardPlane::recover`] for the rules).
+    fn replay_streams(
+        spec: &Arc<cwf_lang::WorkflowSpec>,
+        backends: &mut [Box<dyn WalBackend>],
+        _opts: WalOptions,
+    ) -> Result<(Run, RecoveryReport, ReplayMeta), WalError> {
+        use std::collections::{BTreeMap, BTreeSet};
+        let schema = spec.collab().schema();
+        let mut truncated_bytes = 0usize;
+        let mut next_seqs = Vec::with_capacity(backends.len());
+        let mut valid_lens = Vec::with_capacity(backends.len());
+        // Committed-record candidates: (stamp, event payload, seq for
+        // error reporting). Locals are committed by construction.
+        let mut events: Vec<(HlcStamp, String, u64)> = Vec::new();
+        let mut prepares: BTreeMap<u64, (HlcStamp, String, u64)> = BTreeMap::new();
+        let mut prepared_by_stream: Vec<BTreeSet<u64>> = Vec::new();
+        let mut committed_by_stream: Vec<BTreeSet<u64>> = Vec::new();
+        let mut commit_gids: BTreeSet<u64> = BTreeSet::new();
+        let mut abort_gids: BTreeSet<u64> = BTreeSet::new();
+        // Best surviving snapshot: (covered count, last covered stamp,
+        // instance, fresh watermark).
+        let mut snapshot: Option<(u64, HlcStamp, Instance, u64)> = None;
+        let mut max_gid = 0u64;
+        let mut max_stamp = HlcStamp {
+            wall: 0,
+            logical: 0,
+            node: 0,
+        };
+        let tampered = |seq: u64, reason: String| WalError::Tampered { seq, reason };
+        for backend in backends.iter_mut() {
+            let scan = Wal::scan_stream(backend.as_mut())?;
+            truncated_bytes += scan.truncated_bytes;
+            next_seqs.push(scan.last_seq + 1);
+            valid_lens.push(scan.valid_len);
+            let mut prepared: BTreeSet<u64> = BTreeSet::new();
+            let mut committed: BTreeSet<u64> = BTreeSet::new();
+            for rec in &scan.records {
+                match rec.kind {
+                    'e' => {
+                        let (st, ev) = rec
+                            .payload
+                            .split_once(' ')
+                            .ok_or_else(|| tampered(rec.seq, "event record too short".into()))?;
+                        let stamp = decode_stamp(st)
+                            .ok_or_else(|| tampered(rec.seq, format!("bad stamp {st:?}")))?;
+                        max_stamp = max_stamp.max(stamp);
+                        events.push((stamp, ev.to_string(), rec.seq));
+                    }
+                    'p' => {
+                        let mut it = rec.payload.splitn(3, ' ');
+                        let gid = it
+                            .next()
+                            .and_then(decode_gid)
+                            .ok_or_else(|| tampered(rec.seq, "prepare lacks a gid".into()))?;
+                        let st = it
+                            .next()
+                            .ok_or_else(|| tampered(rec.seq, "prepare lacks a stamp".into()))?;
+                        let stamp = decode_stamp(st)
+                            .ok_or_else(|| tampered(rec.seq, format!("bad stamp {st:?}")))?;
+                        let ev = it
+                            .next()
+                            .ok_or_else(|| tampered(rec.seq, "prepare lacks an event".into()))?;
+                        max_stamp = max_stamp.max(stamp);
+                        max_gid = max_gid.max(gid);
+                        prepares
+                            .entry(gid)
+                            .or_insert_with(|| (stamp, ev.to_string(), rec.seq));
+                        prepared.insert(gid);
+                    }
+                    'c' | 'a' => {
+                        let gid = decode_gid(&rec.payload).ok_or_else(|| {
+                            tampered(rec.seq, format!("{} record lacks a gid", rec.kind))
+                        })?;
+                        max_gid = max_gid.max(gid);
+                        if rec.kind == 'c' {
+                            commit_gids.insert(gid);
+                            committed.insert(gid);
+                        } else {
+                            abort_gids.insert(gid);
+                        }
+                    }
+                    's' => {
+                        let mut it = rec.payload.splitn(3, ' ');
+                        let count = it
+                            .next()
+                            .and_then(decode_gid)
+                            .ok_or_else(|| tampered(rec.seq, "snapshot lacks a count".into()))?;
+                        let st = it
+                            .next()
+                            .ok_or_else(|| tampered(rec.seq, "snapshot lacks a stamp".into()))?;
+                        let stamp = decode_stamp(st)
+                            .ok_or_else(|| tampered(rec.seq, format!("bad stamp {st:?}")))?;
+                        let rest = it.next().ok_or_else(|| {
+                            tampered(rec.seq, "snapshot lacks an instance".into())
+                        })?;
+                        let (inst, watermark) = decode_snapshot(schema, rest)
+                            .map_err(|reason| tampered(rec.seq, reason))?;
+                        max_stamp = max_stamp.max(stamp);
+                        if snapshot.as_ref().is_none_or(|(c, ..)| count > *c) {
+                            snapshot = Some((count, stamp, inst, watermark));
+                        }
+                    }
+                    _ => {
+                        return Err(tampered(
+                            rec.seq,
+                            format!("record kind {:?} is not a shard-stream record", rec.kind),
+                        ))
+                    }
+                }
+            }
+            prepared_by_stream.push(prepared);
+            committed_by_stream.push(committed);
+        }
+        // Resolve cross-shard transactions: committed iff some surviving
+        // stream holds the `c` record (the home stream's is synced before
+        // the ack, so no acknowledged event resolves to abort); everything
+        // prepared but never decided is presumed aborted.
+        let mut in_doubt_committed = 0u64;
+        let mut in_doubt_aborted = 0u64;
+        for gid in &commit_gids {
+            let (stamp, ev, seq) = prepares.get(gid).ok_or_else(|| {
+                tampered(0, format!("transaction {gid} committed without a prepare"))
+            })?;
+            // In doubt iff some participant held the prepare but lost the
+            // commit record (stall or torn tail on that stream).
+            if prepared_by_stream
+                .iter()
+                .zip(&committed_by_stream)
+                .any(|(p, c)| p.contains(gid) && !c.contains(gid))
+            {
+                in_doubt_committed += 1;
+            }
+            events.push((*stamp, ev.clone(), *seq));
+        }
+        for gid in prepares.keys() {
+            if !commit_gids.contains(gid) && !abort_gids.contains(gid) {
+                in_doubt_aborted += 1;
+            }
+        }
+        // Serialize: stamp order is admission order (module docs).
+        events.sort_by_key(|a| a.0);
+        // Rebuild from the best snapshot, replaying records above its
+        // stamp (records are stamped strictly increasing, so the covered
+        // prefix is exactly the records at or below it).
+        let (snapshot_count, snap_stamp, initial, watermark) = match snapshot {
+            Some((count, stamp, inst, watermark)) => (count, Some(stamp), inst, watermark),
+            None => (0, None, Instance::empty(schema), 0),
+        };
+        let mut run = Run::with_initial(Arc::clone(spec), initial);
+        run.raise_fresh_watermark(watermark);
+        let mut events_replayed = 0usize;
+        for (stamp, payload, seq) in &events {
+            if snap_stamp.as_ref().is_some_and(|s| stamp <= s) {
+                continue;
+            }
+            let event = decode_event(spec, payload, 0)
+                .map_err(|e| tampered(*seq, format!("undecodable event: {e}")))?;
+            run.push(event)
+                .map_err(|e| tampered(*seq, format!("does not replay: {e}")))?;
+            events_replayed += 1;
+        }
+        let report = RecoveryReport {
+            last_seq: snapshot_count + events_replayed as u64,
+            events_replayed,
+            snapshot_seq: snap_stamp.map(|_| snapshot_count),
+            truncated_bytes,
+        };
+        let meta = ReplayMeta {
+            next_seqs,
+            valid_lens,
+            next_gid: max_gid + 1,
+            in_doubt_committed,
+            in_doubt_aborted,
+            max_stamp,
+        };
+        Ok((run, report, meta))
     }
 
     /// The global run (the routing layer's authoritative admission record).
@@ -471,6 +810,7 @@ impl ShardPlane {
     pub fn stats(&self) -> RunStats {
         let mut s = RunStats::of(&self.run);
         s.fault_tolerance = Some(self.ft.clone());
+        s.sharding = Some(self.admission.clone());
         s
     }
 
@@ -485,12 +825,52 @@ impl ShardPlane {
         if !self.degraded {
             return Ok(());
         }
-        if let Some(wal) = self.wal.as_mut() {
-            wal.rearm().map_err(CoordinatorError::Wal)?;
+        if let Some(wals) = self.wals.as_mut() {
+            for wal in wals {
+                wal.rearm().map_err(CoordinatorError::Wal)?;
+            }
         }
         self.degraded = false;
         self.ft.degraded_recoveries += 1;
         Ok(())
+    }
+
+    /// Distributed-admission counters (local vs cross-shard commits,
+    /// protocol records written, in-doubt resolutions).
+    pub fn admission_stats(&self) -> &ShardAdmissionStats {
+        &self.admission
+    }
+
+    /// Commit records currently deferred by an injected stall, awaiting a
+    /// [`ShardPlane::pump`] flush.
+    pub fn pending_commit_flushes(&self) -> usize {
+        self.pending_commits.len()
+    }
+
+    /// Arms a one-shot commit stall: the next non-home commit record
+    /// destined for shard `s` is deferred to the next `pump` instead of
+    /// written, leaving that participant's stream in doubt meanwhile.
+    pub fn inject_commit_stall(&mut self, s: ShardId) {
+        self.commit_faults.stall = Some(s);
+    }
+
+    /// Arms a one-shot clean abort of the next cross-shard transaction
+    /// (after its prepare phase: `a` records everywhere, event rolled
+    /// back, submit returns [`CoordinatorError::CommitAborted`]).
+    pub fn inject_commit_abort(&mut self) {
+        self.commit_faults.abort_next = true;
+    }
+
+    /// Arms a one-shot router death after the next prepare phase: the
+    /// prepares stay orphaned on every participant, the event rolls back,
+    /// and submit returns [`CoordinatorError::InDoubt`].
+    pub fn inject_router_crash(&mut self) {
+        self.commit_faults.router_crash = true;
+    }
+
+    /// Disarms any injected commit-protocol fault.
+    pub fn clear_commit_faults(&mut self) {
+        self.commit_faults = CommitFaults::default();
     }
 
     /// Draws a globally fresh value (for clients constructing events).
@@ -498,10 +878,94 @@ impl ShardPlane {
         self.run.draw_fresh()
     }
 
-    /// Admits an event globally, makes it durable (when a WAL is attached),
-    /// routes its ops and deltas to the owning shards, and runs one
-    /// delivery round. The returned broadcast records the home shard and
-    /// every HLC stamp issued.
+    /// Appends one record to shard `s`'s stream, retrying transient
+    /// faults a bounded number of times with capped exponential backoff
+    /// (realized by advancing the deterministic clock). Returns the last
+    /// error once retries are exhausted or the fault is hard.
+    fn append_with_retry(
+        &mut self,
+        s: ShardId,
+        kind: char,
+        payload: &str,
+        force_sync: bool,
+    ) -> Result<u64, WalError> {
+        let mut retries = self.config.wal_transient_retries;
+        let mut backoff = self.config.retry_backoff_base.max(1);
+        loop {
+            let wal = &mut self.wals.as_mut().expect("durable plane")[s.index()];
+            match wal.append_raw(kind, payload, force_sync) {
+                Ok(seq) => return Ok(seq),
+                Err(e @ WalError::Transient(_)) => {
+                    if retries == 0 {
+                        return Err(e);
+                    }
+                    retries -= 1;
+                    self.ft.wal_transient_retries += 1;
+                    self.clock += backoff;
+                    backoff = (backoff * 2).min(self.config.retry_backoff_cap.max(1));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Writes best-effort abort records for `gid` to `participants`
+    /// (skipping streams whose append fails — a surviving orphaned
+    /// prepare resolves by presumed abort at recovery anyway).
+    fn abort_best_effort(&mut self, participants: &[ShardId], gid: u64) {
+        let payload = format!("g{gid}");
+        for &s in participants {
+            let wal = &mut self.wals.as_mut().expect("durable plane")[s.index()];
+            if wal.append_raw('a', &payload, false).is_ok() {
+                self.admission.aborts_written += 1;
+            }
+        }
+    }
+
+    /// Writes a plane snapshot to the home stream when the cadence is due.
+    /// The event carrying `record_stamp` is already durable, so a snapshot
+    /// failure degrades the plane but does not fail the submit.
+    fn maybe_snapshot(&mut self, home: ShardId, record_stamp: &HlcStamp) {
+        let every = match self.wals.as_ref().expect("durable plane")[home.index()]
+            .options()
+            .snapshot_every
+        {
+            Some(n) => n.max(1),
+            None => return,
+        };
+        if self.events_since_snapshot < every {
+            return;
+        }
+        let spec = self.run.spec_arc();
+        let covered = self.base_events + self.run.len() as u64;
+        let payload = format!(
+            "g{covered} {} {}",
+            encode_stamp(record_stamp),
+            encode_snapshot(
+                spec.collab().schema(),
+                self.run.current(),
+                self.run.fresh_watermark()
+            )
+        );
+        match self.append_with_retry(home, 's', &payload, true) {
+            Ok(_) => {
+                self.ft.wal_snapshots += 1;
+                self.events_since_snapshot = 0;
+            }
+            Err(_) => {
+                self.ft.wal_failures += 1;
+                self.degraded = true;
+            }
+        }
+    }
+
+    /// Admits an event globally, makes it durable (when WAL streams are
+    /// attached), routes its ops and deltas to the owning shards, and runs
+    /// one delivery round. A single-shard event commits on its home
+    /// shard's path alone (one `e` record on that stream); an event whose
+    /// ops span shards goes through the cross-shard prepare/commit
+    /// protocol (see the module docs). The returned broadcast records the
+    /// home shard and every HLC stamp issued.
     pub fn submit(&mut self, event: Event) -> Result<&ShardBroadcast, CoordinatorError> {
         if self.degraded {
             self.ft.degraded_rejected += 1;
@@ -510,98 +974,249 @@ impl ShardPlane {
         let spec = self.run.spec_arc();
         let actor = event.peer;
         self.run.push(event.clone())?;
-        if let Some(wal) = self.wal.as_mut() {
-            durable_append(
-                wal,
-                &spec,
-                &event,
-                &mut self.run,
-                &mut self.ft,
-                self.config.wal_transient_retries,
-                &mut self.degraded,
-            )?;
-        }
         self.clock += 1;
         let at = self.run.len() - 1;
         // Split the diff's tuple-level changes by owning shard, in diff
         // order (created, deleted, modified). The home shard owns the first
         // written key — shard 0 for an (impossible in practice) empty diff.
+        // With one shard the partition is trivial: skip the key hashing and
+        // the map entirely (the E18/E19 fast path).
         let diff = self.run.diff(at).clone();
-        let mut ops: std::collections::BTreeMap<ShardId, Vec<ShardOp>> =
-            std::collections::BTreeMap::new();
-        let mut home: Option<ShardId> = None;
-        for (rel, t) in &diff.created {
-            let s = self.map.shard_of(t.key());
-            home.get_or_insert(s);
-            ops.entry(s).or_default().push(ShardOp::Upsert {
-                rel: *rel,
-                tuple: t.clone(),
-            });
-        }
-        for (rel, t) in &diff.deleted {
-            let s = self.map.shard_of(t.key());
-            home.get_or_insert(s);
-            ops.entry(s).or_default().push(ShardOp::Remove {
-                rel: *rel,
-                key: t.key().clone(),
-            });
-        }
-        for (rel, key, _) in &diff.modified {
-            let s = self.map.shard_of(key);
-            home.get_or_insert(s);
-            if let Some(t) = self.run.current().rel(*rel).get(key) {
-                ops.entry(s).or_default().push(ShardOp::Upsert {
+        let mut ops: Vec<(ShardId, Vec<ShardOp>)> = Vec::new();
+        let home;
+        if self.shards.len() == 1 {
+            let mut local = Vec::new();
+            for (rel, t) in &diff.created {
+                local.push(ShardOp::Upsert {
                     rel: *rel,
                     tuple: t.clone(),
                 });
             }
+            for (rel, t) in &diff.deleted {
+                local.push(ShardOp::Remove {
+                    rel: *rel,
+                    key: t.key().clone(),
+                });
+            }
+            for (rel, key, _) in &diff.modified {
+                if let Some(t) = self.run.current().rel(*rel).get(key) {
+                    local.push(ShardOp::Upsert {
+                        rel: *rel,
+                        tuple: t.clone(),
+                    });
+                }
+            }
+            home = ShardId(0);
+            if !local.is_empty() {
+                ops.push((ShardId(0), local));
+            }
+        } else {
+            let mut by_shard: std::collections::BTreeMap<ShardId, Vec<ShardOp>> =
+                std::collections::BTreeMap::new();
+            let mut first: Option<ShardId> = None;
+            for (rel, t) in &diff.created {
+                let s = self.map.shard_of(t.key());
+                first.get_or_insert(s);
+                by_shard.entry(s).or_default().push(ShardOp::Upsert {
+                    rel: *rel,
+                    tuple: t.clone(),
+                });
+            }
+            for (rel, t) in &diff.deleted {
+                let s = self.map.shard_of(t.key());
+                first.get_or_insert(s);
+                by_shard.entry(s).or_default().push(ShardOp::Remove {
+                    rel: *rel,
+                    key: t.key().clone(),
+                });
+            }
+            for (rel, key, _) in &diff.modified {
+                let s = self.map.shard_of(key);
+                first.get_or_insert(s);
+                if let Some(t) = self.run.current().rel(*rel).get(key) {
+                    by_shard.entry(s).or_default().push(ShardOp::Upsert {
+                        rel: *rel,
+                        tuple: t.clone(),
+                    });
+                }
+            }
+            home = first.unwrap_or(ShardId(0));
+            ops.extend(by_shard);
         }
-        let home = home.unwrap_or(ShardId(0));
-        // Stamp the admission, then let every owning shard apply + append,
-        // folding stamps both ways so causality survives into the clocks.
+        // Stamp the admission and mint each owning shard's oplog stamp,
+        // folding stamps both ways so causality survives into the clocks
+        // (every stamp of event i orders strictly below every stamp of
+        // event i+1 — the serialization invariant recovery sorts by).
         let admitted = self.hlc.now(self.clock);
         let mut stamps = Vec::with_capacity(ops.len());
-        for (s, shard_ops) in &ops {
-            let shard = &mut self.shards[s.index()];
-            let stamp = shard.hlc.observe(self.clock, &admitted);
-            shard
-                .oplog
-                .append(stamp, home, at, actor, shard_ops.clone());
-            for op in shard_ops {
-                op.apply_to(&mut shard.state);
-            }
+        for (s, _) in &ops {
+            let stamp = self.shards[s.index()].hlc.observe(self.clock, &admitted);
             self.hlc.observe(self.clock, &stamp);
             stamps.push((*s, stamp));
         }
+        // Durability. Single participant: one `e` record on that shard's
+        // stream, stamped with its oplog stamp — shard-local admission,
+        // no router WAL work. Multiple participants: the cross-shard
+        // prepare/commit protocol under the router's admission stamp.
+        if self.wals.is_some() {
+            let participants: Vec<ShardId> = if ops.is_empty() {
+                vec![ShardId(0)]
+            } else {
+                ops.iter().map(|(s, _)| *s).collect()
+            };
+            // The stamp the event's deciding record carries (and the one
+            // the next snapshot covers through).
+            let record_stamp = if participants.len() == 1 {
+                stamps.first().map(|(_, st)| *st).unwrap_or(admitted)
+            } else {
+                admitted
+            };
+            if participants.len() == 1 {
+                let s = participants[0];
+                let payload = format!(
+                    "{} {}",
+                    encode_stamp(&record_stamp),
+                    encode_event(&spec, &event)
+                );
+                if let Err(e) = self.append_with_retry(s, 'e', &payload, false) {
+                    self.run.pop();
+                    self.ft.wal_failures += 1;
+                    self.degraded = true;
+                    return Err(CoordinatorError::Wal(e));
+                }
+                self.ft.wal_appends += 1;
+                self.admission.local_admitted[s.index()] += 1;
+            } else {
+                let gid = self.next_gid;
+                self.next_gid += 1;
+                // Prepare phase: every participant gets the admission
+                // stamp and the full event (any one survivor can replay).
+                let prepare = format!(
+                    "g{gid} {} {}",
+                    encode_stamp(&admitted),
+                    encode_event(&spec, &event)
+                );
+                let mut prepared: Vec<ShardId> = Vec::with_capacity(participants.len());
+                for &s in &participants {
+                    if let Err(e) = self.append_with_retry(s, 'p', &prepare, false) {
+                        self.abort_best_effort(&prepared, gid);
+                        self.run.pop();
+                        self.ft.wal_failures += 1;
+                        self.admission.cross_shard_aborted += 1;
+                        self.degraded = true;
+                        return Err(CoordinatorError::Wal(e));
+                    }
+                    self.admission.prepares_written += 1;
+                    prepared.push(s);
+                }
+                if self.commit_faults.abort_next {
+                    // Injected timeout: a participant failed to vote in
+                    // time, so the router aborts cleanly everywhere.
+                    self.commit_faults.abort_next = false;
+                    self.abort_best_effort(&participants, gid);
+                    self.run.pop();
+                    self.admission.cross_shard_aborted += 1;
+                    return Err(CoordinatorError::CommitAborted);
+                }
+                if self.commit_faults.router_crash {
+                    // Injected router death: prepares stay orphaned on
+                    // every participant; recovery presumes abort.
+                    self.commit_faults.router_crash = false;
+                    self.run.pop();
+                    return Err(CoordinatorError::InDoubt);
+                }
+                // Commit point: the home stream's `c` record, synced
+                // before anything is acknowledged.
+                let decision = format!("g{gid}");
+                if let Err(e) = self.append_with_retry(home, 'c', &decision, true) {
+                    self.abort_best_effort(&participants, gid);
+                    self.run.pop();
+                    self.ft.wal_failures += 1;
+                    self.admission.cross_shard_aborted += 1;
+                    self.degraded = true;
+                    return Err(CoordinatorError::Wal(e));
+                }
+                self.admission.commits_written += 1;
+                // Past the commit point the event IS durable: failures on
+                // the remaining participants leave in-doubt prepares that
+                // recovery resolves from the home record, so the commit
+                // records are deferred, never rolled back.
+                for &s in &participants {
+                    if s == home {
+                        continue;
+                    }
+                    if self.commit_faults.stall == Some(s) {
+                        self.commit_faults.stall = None;
+                        self.pending_commits.push((s, gid));
+                        continue;
+                    }
+                    match self.append_with_retry(s, 'c', &decision, false) {
+                        Ok(_) => self.admission.commits_written += 1,
+                        Err(_) => {
+                            self.ft.wal_failures += 1;
+                            self.degraded = true;
+                            self.pending_commits.push((s, gid));
+                        }
+                    }
+                }
+                self.ft.wal_appends += 1;
+                self.admission.cross_shard_committed += 1;
+            }
+            self.events_since_snapshot += 1;
+            self.maybe_snapshot(home, &record_stamp);
+        }
+        // Apply: every owning shard appends the event to its oplog under
+        // its pre-minted stamp and applies its ops to its partition.
+        for ((s, shard_ops), (_, stamp)) in ops.iter().zip(&stamps) {
+            let shard = &mut self.shards[s.index()];
+            shard
+                .oplog
+                .append(*stamp, home, at, actor, shard_ops.clone());
+            for op in shard_ops {
+                op.apply_to(&mut shard.state);
+            }
+        }
         // Route every peer's view delta: split by owning shard, enqueue
         // each slice on that shard's delivery plane (ascending shard order
-        // per peer, for determinism).
+        // per peer, for determinism). One shard ⇒ the slice is the delta.
         let deltas: Vec<(PeerId, ViewDelta)> = self.run.last_deltas().to_vec();
         let mut delta_shards: std::collections::BTreeSet<ShardId> =
             std::collections::BTreeSet::new();
-        for (p, delta) in &deltas {
-            let mut slices: std::collections::BTreeMap<ShardId, ViewDelta> =
-                std::collections::BTreeMap::new();
-            for (rel, t) in &delta.upserts {
-                let s = self.map.shard_of(t.key());
-                slices.entry(s).or_default().upserts.push((*rel, t.clone()));
-            }
-            for (rel, key) in &delta.removals {
-                let s = self.map.shard_of(key);
-                slices
-                    .entry(s)
-                    .or_default()
-                    .removals
-                    .push((*rel, key.clone()));
-            }
-            for (s, slice) in slices {
-                delta_shards.insert(s);
-                self.shards[s.index()]
+        if self.shards.len() == 1 {
+            for (p, delta) in &deltas {
+                if delta.upserts.is_empty() && delta.removals.is_empty() {
+                    continue;
+                }
+                delta_shards.insert(ShardId(0));
+                self.shards[0]
                     .delivery
-                    .enqueue(*p, slice, &mut self.ft);
+                    .enqueue(*p, delta.clone(), &mut self.ft);
+            }
+        } else {
+            for (p, delta) in &deltas {
+                let mut slices: std::collections::BTreeMap<ShardId, ViewDelta> =
+                    std::collections::BTreeMap::new();
+                for (rel, t) in &delta.upserts {
+                    let s = self.map.shard_of(t.key());
+                    slices.entry(s).or_default().upserts.push((*rel, t.clone()));
+                }
+                for (rel, key) in &delta.removals {
+                    let s = self.map.shard_of(key);
+                    slices
+                        .entry(s)
+                        .or_default()
+                        .removals
+                        .push((*rel, key.clone()));
+                }
+                for (s, slice) in slices {
+                    delta_shards.insert(s);
+                    self.shards[s.index()]
+                        .delivery
+                        .enqueue(*p, slice, &mut self.ft);
+                }
             }
         }
-        delta_shards.extend(ops.keys().copied());
+        delta_shards.extend(ops.iter().map(|(s, _)| *s));
         if delta_shards.len() > 1 {
             self.stats.cross_shard_events += 1;
         }
@@ -617,11 +1232,29 @@ impl ShardPlane {
         Ok(self.log.last().expect("just pushed"))
     }
 
-    /// One delivery round on every shard: replicate oplog tails to standby
-    /// replicas (where the replication link is up), then pump each shard's
-    /// delivery plane (transport tick, deliver, ack, retry, resync).
+    /// One delivery round on every shard: flush commit records deferred by
+    /// a stall (re-queueing the ones that still fail), replicate oplog
+    /// tails to standby replicas (where the replication link is up), then
+    /// pump each shard's delivery plane (transport tick, deliver, ack,
+    /// retry, resync).
     pub fn pump(&mut self) {
         self.clock += 1;
+        if !self.pending_commits.is_empty() && !self.degraded && self.wals.is_some() {
+            for (s, gid) in std::mem::take(&mut self.pending_commits) {
+                match self.append_with_retry(s, 'c', &format!("g{gid}"), false) {
+                    Ok(_) => {
+                        self.admission.commits_written += 1;
+                        self.admission.pending_commit_flushes += 1;
+                    }
+                    Err(WalError::Transient(_)) => self.pending_commits.push((s, gid)),
+                    Err(_) => {
+                        self.ft.wal_failures += 1;
+                        self.degraded = true;
+                        self.pending_commits.push((s, gid));
+                    }
+                }
+            }
+        }
         let (map, run) = (self.map, &self.run);
         for shard in &mut self.shards {
             if shard.standby.link_up {
@@ -913,7 +1546,7 @@ impl fmt::Debug for ShardPlane {
             self.shards.len(),
             self.run.len(),
             self.undelivered(),
-            if self.wal.is_some() { ", durable" } else { "" },
+            if self.wals.is_some() { ", durable" } else { "" },
             if self.degraded { ", DEGRADED" } else { "" },
         )
     }

@@ -60,6 +60,36 @@ pub struct FtStats {
     pub degraded_recoveries: u64,
 }
 
+/// Distributed-admission counters of a sharded plane: how events were
+/// committed (shard-locally vs through the cross-shard protocol) and how
+/// recovery resolved in-doubt transactions. `None` in plain
+/// [`RunStats::of`] output; attached by
+/// [`ShardPlane::stats`](crate::ShardPlane::stats).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardAdmissionStats {
+    /// Per shard: events admitted entirely on that shard's path (single
+    /// participant — one `e` record on its stream, no router WAL work).
+    pub local_admitted: Vec<u64>,
+    /// Cross-shard transactions driven to their commit point.
+    pub cross_shard_committed: u64,
+    /// Cross-shard transactions aborted before their commit point.
+    pub cross_shard_aborted: u64,
+    /// Prepare records written across all shard streams.
+    pub prepares_written: u64,
+    /// Commit records written across all shard streams.
+    pub commits_written: u64,
+    /// Abort records written across all shard streams.
+    pub aborts_written: u64,
+    /// Deferred (stalled) commit records flushed later by `pump`.
+    pub pending_commit_flushes: u64,
+    /// In-doubt transactions recovery resolved as committed (some shard
+    /// held the commit record).
+    pub in_doubt_committed: u64,
+    /// In-doubt transactions recovery resolved by presumed abort (prepares
+    /// survived, no commit record anywhere).
+    pub in_doubt_aborted: u64,
+}
+
 /// Aggregated statistics of one run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunStats {
@@ -73,6 +103,9 @@ pub struct RunStats {
     pub final_tuples: usize,
     /// Fault-tolerance counters, when the run was driven by a coordinator.
     pub fault_tolerance: Option<FtStats>,
+    /// Distributed-admission counters, when the run was driven by a
+    /// sharded plane.
+    pub sharding: Option<ShardAdmissionStats>,
 }
 
 impl RunStats {
@@ -107,6 +140,7 @@ impl RunStats {
             visibility,
             final_tuples: run.current().total_tuples(),
             fault_tolerance: None,
+            sharding: None,
         }
     }
 

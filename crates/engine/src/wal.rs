@@ -19,6 +19,12 @@
 //!
 //! An `e` record is an event (seq, CRC, then the v1 event line); an `s`
 //! record is a snapshot of the instance *after* the event with that seq.
+//! Per-shard streams written by the sharded state plane reuse the same
+//! framing with three extra kinds for the cross-shard commit protocol —
+//! `p` (prepare), `c` (commit), `a` (abort) — and assign every record,
+//! snapshots included, a fresh dense sequence number (see
+//! [`ShardPlane`](crate::shard::ShardPlane)); a coordinator log must never
+//! contain them, so recovery refuses them as tampering there.
 //! The CRC is computed over `"<kind> <seq> <payload>"`. Recovery scans the
 //! longest valid prefix: a torn or corrupted record (incomplete line, bad
 //! UTF-8, unparsable fields, CRC mismatch) ends the scan and the suffix is
@@ -464,13 +470,13 @@ impl Default for WalOptions {
 /// values drawn and later deleted are absent from the instance, so a
 /// recovery seeded from the active domain alone would re-mint them and
 /// violate global freshness.
-fn encode_snapshot(schema: &Schema, inst: &Instance, watermark: u64) -> String {
+pub(crate) fn encode_snapshot(schema: &Schema, inst: &Instance, watermark: u64) -> String {
     format!("w{watermark} {}", encode_instance(schema, inst))
 }
 
 /// Decodes a snapshot payload; tolerates the pre-watermark format (plain
 /// instance, watermark 0) for logs written before watermarks existed.
-fn decode_snapshot(schema: &Schema, payload: &str) -> Result<(Instance, u64), String> {
+pub(crate) fn decode_snapshot(schema: &Schema, payload: &str) -> Result<(Instance, u64), String> {
     match payload.strip_prefix('w') {
         Some(rest) => {
             let (counter, inst) = rest
@@ -551,10 +557,10 @@ fn record_line(kind: char, seq: u64, payload: &str) -> String {
     format!("{kind} {seq} {:08x} {payload}\n", crc32(body.as_bytes()))
 }
 
-struct RawRecord {
-    kind: char,
-    seq: u64,
-    payload: String,
+pub(crate) struct RawRecord {
+    pub(crate) kind: char,
+    pub(crate) seq: u64,
+    pub(crate) payload: String,
 }
 
 /// Parses and CRC-validates one record line (without trailing newline).
@@ -568,6 +574,9 @@ fn parse_record(line: &str) -> Option<RawRecord> {
     let kind = match kind {
         "e" => 'e',
         "s" => 's',
+        "p" => 'p',
+        "c" => 'c',
+        "a" => 'a',
         _ => return None,
     };
     let seq: u64 = seq.parse().ok()?;
@@ -686,6 +695,11 @@ impl Wal {
         self.unsynced = 0;
         self.poisoned = false;
         Ok(())
+    }
+
+    /// The tuning this log was opened with.
+    pub(crate) fn options(&self) -> &WalOptions {
+        &self.opts
     }
 
     fn check_armed(&self) -> Result<(), WalError> {
@@ -874,6 +888,14 @@ impl Wal {
                     }
                     last_seq = rec.seq;
                 }
+                // Commit-protocol records belong to per-shard streams; a
+                // coordinator log containing one was spliced together.
+                'p' | 'c' | 'a' => {
+                    return Err(WalError::Tampered {
+                        seq: rec.seq,
+                        reason: format!("record kind {:?} is not a coordinator record", rec.kind),
+                    });
+                }
                 's' => {
                     if rec.seq != last_seq {
                         return Err(WalError::Tampered {
@@ -886,7 +908,7 @@ impl Wal {
                     }
                     last_snapshot = Some((i, rec.seq));
                 }
-                _ => unreachable!("parse_record only yields e/s"),
+                _ => unreachable!("parse_record only yields e/s/p/c/a"),
             }
         }
         // Rebuild: last snapshot (if any) + tail replay.
@@ -934,6 +956,151 @@ impl Wal {
                 snapshot_seq,
                 truncated_bytes,
             },
+        })
+    }
+
+    // -----------------------------------------------------------------------
+    // Per-shard streams (the sharded state plane's WAL format)
+    // -----------------------------------------------------------------------
+
+    /// Appends one raw record of `kind` with a fresh dense sequence number.
+    /// Per-shard streams (unlike coordinator logs) assign every record,
+    /// snapshots included, its own seq, so stream validation is simply
+    /// "each record's seq is the previous plus one". When `force_sync` the
+    /// record is synced whatever the policy says (commit-point records and
+    /// snapshots must be durable before the plane acknowledges).
+    pub(crate) fn append_raw(
+        &mut self,
+        kind: char,
+        payload: &str,
+        force_sync: bool,
+    ) -> Result<u64, WalError> {
+        self.check_armed()?;
+        let seq = self.next_seq;
+        let line = record_line(kind, seq, payload);
+        match self.append_record(&line) {
+            Ok(()) => {
+                // Only sync when something is actually unsynced: under
+                // `SyncPolicy::Always` the record is already durable, and a
+                // redundant fsync could fail and poison the stream *after*
+                // its commit-point record is safely on disk.
+                if force_sync && self.unsynced > 0 {
+                    if let Err(e) = self.sync() {
+                        return Err(self.poison_unless_transient(e));
+                    }
+                }
+                self.next_seq += 1;
+                Ok(seq)
+            }
+            Err(e) => Err(self.poison_unless_transient(e)),
+        }
+    }
+
+    /// Reopens a scanned stream for further appends, positioned at
+    /// `next_seq` / `appended_len` as reported by [`Wal::scan_stream`].
+    pub(crate) fn resume(
+        backend: Box<dyn WalBackend>,
+        opts: WalOptions,
+        next_seq: u64,
+        appended_len: u64,
+    ) -> Wal {
+        Wal {
+            backend,
+            opts,
+            next_seq,
+            unsynced: 0,
+            events_since_snapshot: 0,
+            appended_len,
+            poisoned: false,
+        }
+    }
+}
+
+/// The longest valid prefix of one per-shard stream, as found by
+/// [`Wal::scan_stream`]: its records, the byte boundary they end at, how
+/// many torn/corrupt suffix bytes were truncated, and the last (dense)
+/// sequence number.
+pub(crate) struct StreamScan {
+    pub(crate) records: Vec<RawRecord>,
+    pub(crate) valid_len: u64,
+    pub(crate) truncated_bytes: usize,
+    pub(crate) last_seq: u64,
+}
+
+impl Wal {
+    /// Scans one per-shard stream: checks the header, walks the longest
+    /// valid prefix of records, truncates any torn or corrupted suffix, and
+    /// validates that sequence numbers are dense (every record is the
+    /// previous seq plus one — CRC-valid records violating that are
+    /// tampering). An empty backend yields an empty scan; a backend holding
+    /// only a torn header restarts from scratch like [`Wal::recover`].
+    pub(crate) fn scan_stream(backend: &mut dyn WalBackend) -> Result<StreamScan, WalError> {
+        let bytes = backend.read_all()?;
+        if bytes.is_empty() {
+            let header = format!("{WAL_HEADER}\n");
+            backend.append(header.as_bytes())?;
+            backend.sync()?;
+            return Ok(StreamScan {
+                records: Vec::new(),
+                valid_len: header.len() as u64,
+                truncated_bytes: 0,
+                last_seq: 0,
+            });
+        }
+        let header_end = match bytes.iter().position(|&b| b == b'\n') {
+            Some(i) => i,
+            None => {
+                let truncated = bytes.len();
+                backend.truncate(0)?;
+                let header = format!("{WAL_HEADER}\n");
+                backend.append(header.as_bytes())?;
+                backend.sync()?;
+                return Ok(StreamScan {
+                    records: Vec::new(),
+                    valid_len: header.len() as u64,
+                    truncated_bytes: truncated,
+                    last_seq: 0,
+                });
+            }
+        };
+        if std::str::from_utf8(&bytes[..header_end]) != Ok(WAL_HEADER) {
+            return Err(WalError::BadHeader);
+        }
+        let mut records: Vec<RawRecord> = Vec::new();
+        let mut valid_len = header_end + 1;
+        let mut pos = valid_len;
+        let mut last_seq = 0u64;
+        while pos < bytes.len() {
+            let Some(nl) = bytes[pos..].iter().position(|&b| b == b'\n') else {
+                break; // torn final record: no newline
+            };
+            let line = &bytes[pos..pos + nl];
+            let Ok(text) = std::str::from_utf8(line) else {
+                break; // corrupted into invalid UTF-8
+            };
+            let Some(rec) = parse_record(text) else {
+                break; // unparsable or CRC mismatch
+            };
+            if rec.seq != last_seq + 1 {
+                return Err(WalError::Tampered {
+                    seq: rec.seq,
+                    reason: format!("stream seq jumps from {last_seq}"),
+                });
+            }
+            last_seq = rec.seq;
+            records.push(rec);
+            pos += nl + 1;
+            valid_len = pos;
+        }
+        let truncated_bytes = bytes.len() - valid_len;
+        if truncated_bytes > 0 {
+            backend.truncate(valid_len as u64)?;
+        }
+        Ok(StreamScan {
+            records,
+            valid_len: valid_len as u64,
+            truncated_bytes,
+            last_seq,
         })
     }
 }

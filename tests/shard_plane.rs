@@ -8,7 +8,7 @@ use std::sync::Arc;
 use collab_workflows::engine::chaos::{default_spec, ChaosProfile, ShardChaosSim};
 use collab_workflows::engine::shard::{ShardConvergence, ShardLink};
 use collab_workflows::engine::transport::Transport;
-use collab_workflows::engine::{candidates, complete, FaultPlan, FaultyTransport};
+use collab_workflows::engine::{candidates, complete, FaultPlan, FaultyTransport, WalBackend};
 use collab_workflows::prelude::*;
 
 const STEPS: usize = 60;
@@ -243,19 +243,22 @@ fn plane_recovers_from_its_wal_and_repartitions() {
     let mut script = Run::new(Arc::clone(&spec));
     let events = scripted_events(&mut script, 10);
 
-    let mem = MemBackend::new();
+    let mems: Vec<MemBackend> = (0..3).map(|_| MemBackend::new()).collect();
     let opts = WalOptions {
         sync: SyncPolicy::Always,
         snapshot_every: Some(4),
     };
-    let wal = Wal::create(Box::new(mem.clone()), opts).expect("fresh backend");
+    let wals: Vec<Wal> = mems
+        .iter()
+        .map(|m| Wal::create(Box::new(m.clone()), opts).expect("fresh backend"))
+        .collect();
     let transports: Vec<Box<dyn Transport>> = (0..3)
         .map(|_| Box::new(PerfectTransport::new()) as Box<dyn Transport>)
         .collect();
     let mut plane = ShardPlane::with_parts(
         Arc::clone(&spec),
         transports,
-        Some(wal),
+        Some(wals),
         ShardPlaneConfig::with_shards(3),
     );
     for event in &events {
@@ -268,7 +271,9 @@ fn plane_recovers_from_its_wal_and_repartitions() {
         .collect();
     let (mut plane, report) = ShardPlane::recover(
         Arc::clone(&spec),
-        Box::new(MemBackend::from_bytes(mem.bytes())),
+        mems.iter()
+            .map(|m| Box::new(MemBackend::from_bytes(m.bytes())) as Box<dyn WalBackend>)
+            .collect(),
         opts,
         transports,
         ShardPlaneConfig::with_shards(3),

@@ -163,3 +163,151 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Per-shard streams: the distributed-admission analogue of the property
+// ---------------------------------------------------------------------------
+
+use collab_workflows::engine::transport::Transport;
+use collab_workflows::engine::{PerfectTransport, WalBackend};
+use collab_workflows::engine::{ShardPlane, ShardPlaneConfig};
+
+/// Drives `n` accepted events through a durable 4-shard plane, recording
+/// every stream's byte length after each submit. `lens[k]` is the
+/// per-stream boundary holding exactly the first `k` events (protocol
+/// records included).
+fn grow_streams(
+    spec: &Arc<WorkflowSpec>,
+    mems: &[MemBackend],
+    opts: WalOptions,
+    n: usize,
+    seed: u64,
+) -> (Vec<Event>, Vec<Vec<usize>>) {
+    let shards = mems.len();
+    let wals: Vec<Wal> = mems
+        .iter()
+        .map(|m| Wal::create(Box::new(m.clone()), opts).expect("fresh backend"))
+        .collect();
+    let transports: Vec<Box<dyn Transport>> = (0..shards)
+        .map(|_| Box::new(PerfectTransport::new()) as Box<dyn Transport>)
+        .collect();
+    let mut plane = ShardPlane::with_parts(
+        Arc::clone(spec),
+        transports,
+        Some(wals),
+        ShardPlaneConfig::with_shards(shards),
+    );
+    let mut script = Run::new(Arc::clone(spec));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut events = Vec::new();
+    let mut lens = vec![mems.iter().map(|m| m.bytes().len()).collect::<Vec<_>>()];
+    while events.len() < n {
+        let cands = candidates(&script);
+        assert!(!cands.is_empty(), "the editorial spec always has a rule");
+        let cand = cands[rng.gen_range(0..cands.len())].clone();
+        let event = complete(&mut script, &cand);
+        if script.push(event.clone()).is_err() {
+            continue; // chase rejection: try another candidate
+        }
+        plane.submit(event.clone()).expect("healthy plane accepts");
+        events.push(event);
+        lens.push(mems.iter().map(|m| m.bytes().len()).collect());
+    }
+    (events, lens)
+}
+
+/// Replays streams cut to `cut_lens` and asserts exactly `k` events.
+fn assert_streams_recover(
+    spec: &Arc<WorkflowSpec>,
+    full: &[Vec<u8>],
+    cut_lens: &[usize],
+    opts: WalOptions,
+    events: &[Event],
+    k: usize,
+) {
+    let backends: Vec<Box<dyn WalBackend>> = full
+        .iter()
+        .zip(cut_lens)
+        .map(|(bytes, len)| {
+            Box::new(MemBackend::from_bytes(bytes[..*len].to_vec())) as Box<dyn WalBackend>
+        })
+        .collect();
+    let (run, report) = ShardPlane::replay_wals(spec, backends, opts)
+        .unwrap_or_else(|e| panic!("streams at boundary {k} must recover: {e}"));
+    assert_eq!(
+        report.last_seq, k as u64,
+        "streams cut at boundary {k} must hold exactly {k} events (cut {cut_lens:?})"
+    );
+    let mut expect = Run::new(Arc::clone(spec));
+    for e in &events[..k] {
+        expect.push(e.clone()).expect("accepted events replay");
+    }
+    assert_eq!(
+        run.current(),
+        expect.current(),
+        "the quorum-recovered instance must equal the replay of the first {k} events"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The per-shard analogue: cutting every stream at the consistent
+    /// boundary after submit `k` recovers exactly the first `k` events,
+    /// and a torn tail on any single stream — at every split point class
+    /// inside the bytes the next submit appended to it — recovers event
+    /// `k+1` iff the kept portion closes a complete deciding record (the
+    /// `e` line of a key-local event, or any participant's `c` line of a
+    /// cross-shard commit; an orphaned prepare is presumed aborted).
+    #[test]
+    fn every_shard_stream_boundary_recovers_exactly_its_events(
+        seed in 0u64..1_000,
+        n in 1usize..8,
+        snapshot_every in prop_oneof![Just(None), Just(Some(1u64)), Just(Some(3u64))],
+    ) {
+        let spec = default_spec();
+        let opts = WalOptions { sync: SyncPolicy::Always, snapshot_every };
+        let mems: Vec<MemBackend> = (0..4).map(|_| MemBackend::new()).collect();
+        let (events, lens) = grow_streams(&spec, &mems, opts, n, seed);
+        let full: Vec<Vec<u8>> = mems.iter().map(|m| m.bytes()).collect();
+        prop_assert_eq!(
+            &lens[n],
+            &full.iter().map(|b| b.len()).collect::<Vec<_>>()
+        );
+
+        for k in 0..=n {
+            assert_streams_recover(&spec, &full, &lens[k], opts, &events, k);
+            if k == n {
+                continue;
+            }
+            // Torn tails: cut one stream inside the chunk submit k+1
+            // appended to it, others at the consistent boundary.
+            for s in 0..mems.len() {
+                let span = lens[k + 1][s] - lens[k][s];
+                if span == 0 {
+                    continue;
+                }
+                for cut in [1, span / 2, span.saturating_sub(1), span] {
+                    if cut == 0 {
+                        continue;
+                    }
+                    let mut cut_lens = lens[k].clone();
+                    cut_lens[s] += cut;
+                    // The kept chunk decides event k+1 iff it closes a
+                    // complete `e` or `c` line.
+                    let chunk = &full[s][lens[k][s]..lens[k][s] + cut];
+                    let complete = match chunk.iter().rposition(|b| *b == b'\n') {
+                        Some(end) => &chunk[..end],
+                        None => &[][..],
+                    };
+                    let decided = std::str::from_utf8(complete)
+                        .expect("streams are line text")
+                        .lines()
+                        .any(|l| l.starts_with('e') || l.starts_with('c'));
+                    let expect = k + usize::from(decided);
+                    assert_streams_recover(&spec, &full, &cut_lens, opts, &events, expect);
+                }
+            }
+        }
+    }
+}
