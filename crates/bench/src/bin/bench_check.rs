@@ -16,7 +16,9 @@
 //!   relative to `coordinator_events_per_sec` (the sharding overhead);
 //! * `BENCH_dist_admission.json` — each durable plane throughput relative
 //!   to `coordinator_wal_events_per_sec` (the distributed-admission
-//!   overhead).
+//!   overhead);
+//! * `BENCH_reshard_admission.json` — admission throughput with a live
+//!   split in flight relative to the idle map (the resharding tax).
 //!
 //! A fresh ratio more than 25% below its baseline is a regression: the
 //! check prints every comparison, restores the baseline files (the bench
@@ -89,6 +91,11 @@ fn ratios(experiment: &str) -> Vec<(String, String, Option<String>)> {
                 )
             })
             .collect(),
+        "BENCH_reshard_admission.json" => vec![(
+            "admission during split / idle".into(),
+            "migrating_4_shards_events_per_sec".into(),
+            Some("idle_4_shards_events_per_sec".into()),
+        )],
         _ => Vec::new(),
     }
 }
@@ -110,6 +117,7 @@ fn main() -> ExitCode {
         ("BENCH_view_plane.json", "view_plane"),
         ("BENCH_shard_plane.json", "shard_plane"),
         ("BENCH_dist_admission.json", "dist_admission"),
+        ("BENCH_reshard_admission.json", "reshard_admission"),
     ];
     // Snapshot the checked-in baselines before the benches overwrite them.
     let mut baselines = Vec::new();

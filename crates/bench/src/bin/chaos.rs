@@ -12,11 +12,13 @@
 //! * `--seeds N` — seeds per profile (default 20)
 //! * `--start S` — first seed (default 0; seeds are `S..S+N`)
 //! * `--steps M` — generated actions per trace (default 40)
-//! * `--profile default|crash|storage|mod|partition|commit|all` — fault profile
-//!   (default `all`; `mod` is the modification-heavy profile, which runs
-//!   over the null-filling task-tracker spec unless `--spec random` is
-//!   given; `partition` enables the shard actions — partitions, failovers,
-//!   hand-offs — and is most interesting with `--shards` > 1)
+//! * `--profile default|crash|storage|mod|partition|commit|reshard|all` —
+//!   fault profile (default `all`; `mod` is the modification-heavy profile,
+//!   which runs over the null-filling task-tracker spec unless `--spec
+//!   random` is given; `partition` enables the shard actions — partitions,
+//!   failovers, hand-offs — and `reshard` additionally drives live shard
+//!   splits, merges, and rebalances; both are most interesting with
+//!   `--shards` > 1)
 //! * `--shards N` — run the traces against the sharded state plane with
 //!   `N` shards instead of the single coordinator (omit the flag for the
 //!   single-coordinator harness; `--shards 1` exercises the plane's
@@ -95,6 +97,7 @@ fn parse_args() -> Result<Options, String> {
                     "mod" => vec![ChaosProfile::ModificationHeavy],
                     "partition" => vec![ChaosProfile::PartitionHeavy],
                     "commit" => vec![ChaosProfile::CommitHeavy],
+                    "reshard" => vec![ChaosProfile::ReshardHeavy],
                     "all" => all_profiles(),
                     other => return Err(format!("unknown profile {other:?}")),
                 }
@@ -130,6 +133,7 @@ fn all_profiles() -> Vec<ChaosProfile> {
         ChaosProfile::ModificationHeavy,
         ChaosProfile::PartitionHeavy,
         ChaosProfile::CommitHeavy,
+        ChaosProfile::ReshardHeavy,
     ]
 }
 

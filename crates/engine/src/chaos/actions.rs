@@ -134,6 +134,41 @@ pub enum Action {
     /// submit rejected with `CommitAborted`). A no-op note on a single
     /// (shard-less) coordinator.
     CommitAbort,
+    /// Drive elastic resharding via a live **split**: if no migration is in
+    /// progress, begin splitting the selected source shard's key space onto
+    /// a brand-new shard (`src` reduced modulo the live shard count);
+    /// otherwise advance the in-flight migration by one bounded copy batch,
+    /// cutting over when the snapshot and oplog tail are drained. A no-op
+    /// note on a single (shard-less) coordinator.
+    Split {
+        /// Raw source-shard selector, reduced modulo the live shard count.
+        src: u32,
+    },
+    /// Drive elastic resharding via a **merge**: if no migration is in
+    /// progress, begin merging the source shard's key space into an
+    /// existing destination (both selectors reduced modulo the live shard
+    /// count; a no-op note when they collapse to the same shard); otherwise
+    /// advance the in-flight migration one step. A no-op note on a single
+    /// (shard-less) coordinator.
+    Merge {
+        /// Raw source-shard selector, reduced modulo the live shard count.
+        src: u32,
+        /// Raw destination-shard selector, reduced modulo the live shard
+        /// count.
+        dst: u32,
+    },
+    /// Drive elastic resharding via a **rebalance**: if no migration is in
+    /// progress, begin moving half of the source shard's slots to an
+    /// existing destination (selector arithmetic as [`Action::Merge`]);
+    /// otherwise advance the in-flight migration one step. A no-op note on
+    /// a single (shard-less) coordinator.
+    Rebalance {
+        /// Raw source-shard selector, reduced modulo the live shard count.
+        src: u32,
+        /// Raw destination-shard selector, reduced modulo the live shard
+        /// count.
+        dst: u32,
+    },
     /// Arm a one-shot router death between the next prepare phase and its
     /// commit point: the submit returns `InDoubt` with orphaned prepare
     /// records on every participant, and the harness immediately crashes
@@ -172,6 +207,9 @@ impl fmt::Display for Action {
             Action::Handoff { shard } => write!(f, "handoff({shard})"),
             Action::CommitStall { shard } => write!(f, "cstall({shard})"),
             Action::CommitAbort => write!(f, "cabort"),
+            Action::Split { src } => write!(f, "split({src})"),
+            Action::Merge { src, dst } => write!(f, "merge({src}>{dst})"),
+            Action::Rebalance { src, dst } => write!(f, "rebal({src}>{dst})"),
             Action::RouterCrash { keep_unsynced } => write!(f, "rcrash({keep_unsynced})"),
         }
     }
@@ -237,6 +275,23 @@ impl FromStr for Action {
             "rcrash" => Ok(Action::RouterCrash {
                 keep_unsynced: parse_u32(args)?,
             }),
+            "split" => Ok(Action::Split {
+                src: parse_u32(args)?,
+            }),
+            "merge" => {
+                let (src, dst) = args.split_once('>').ok_or_else(err)?;
+                Ok(Action::Merge {
+                    src: parse_u32(src)?,
+                    dst: parse_u32(dst)?,
+                })
+            }
+            "rebal" => {
+                let (src, dst) = args.split_once('>').ok_or_else(err)?;
+                Ok(Action::Rebalance {
+                    src: parse_u32(src)?,
+                    dst: parse_u32(dst)?,
+                })
+            }
             "crash" => match args.split_once(',') {
                 None => Ok(Action::CrashRestart {
                     keep_unsynced: parse_u32(args)?,
@@ -299,20 +354,32 @@ mod tests {
             Action::Handoff { shard: 1 },
             Action::CommitStall { shard: 3 },
             Action::CommitAbort,
+            Action::Split { src: 1 },
+            Action::Merge { src: 4, dst: 0 },
+            Action::Rebalance { src: 2, dst: 3 },
             Action::RouterCrash { keep_unsynced: 9 },
         ];
         let line = format_trace(&trace);
         assert_eq!(
             line,
             "submit(7) pump(3) crash(12) crash(0,41^255) resync heal rearm cancel pcancel probe \
-             part(5) unpart(5) failover(2) handoff(1) cstall(3) cabort rcrash(9)"
+             part(5) unpart(5) failover(2) handoff(1) cstall(3) cabort split(1) merge(4>0) \
+             rebal(2>3) rcrash(9)"
         );
         assert_eq!(parse_trace(&line).unwrap(), trace);
     }
 
     #[test]
     fn garbage_tokens_are_rejected() {
-        for bad in ["submit", "submit(x)", "crash(1,2)", "pump(3", "warp(9)"] {
+        for bad in [
+            "submit",
+            "submit(x)",
+            "crash(1,2)",
+            "pump(3",
+            "warp(9)",
+            "merge(1)",
+            "rebal(2,3)",
+        ] {
             assert!(bad.parse::<Action>().is_err(), "{bad} should not parse");
         }
         assert!(parse_trace("submit(1) nonsense").is_err());

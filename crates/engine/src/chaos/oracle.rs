@@ -41,7 +41,7 @@ use crate::chaos::actions::Action;
 use crate::coordinator::Coordinator;
 use crate::event::Event;
 use crate::run::{ReplayError, Run};
-use crate::shard::{slice_view, HlcStamp, ShardPlane};
+use crate::shard::{slice_view, HlcStamp, ShardId, ShardPlane};
 use crate::wal::{MemBackend, Wal, WalBackend, WalOptions};
 
 /// A read-only snapshot of the simulated system handed to every oracle
@@ -439,10 +439,58 @@ pub trait ShardOracle {
 pub fn default_shard_oracles() -> Vec<Box<dyn ShardOracle>> {
     vec![
         Box::new(ShardStateUnion),
-        Box::new(ShardSlicePrefix),
+        Box::new(ShardSlicePrefix::default()),
         Box::new(HlcCausality),
         Box::new(ShardWalReplay),
+        Box::new(ShardOwnership::default()),
     ]
+}
+
+/// Exactly one owner per key, at every single checkpoint: every fact
+/// materialized in a shard's state partition hashes to that shard under
+/// the plane's **current** shard map — so no key is ever served by two
+/// shards, and streams the map does not assign (merged-away sources,
+/// streams orphaned by an aborted split) hold nothing. Also pins the
+/// epoch's arrow of time: the map epoch never moves backwards, not across
+/// live migrations and not across crash–restarts (recovery re-derives the
+/// epoch from the router stream's plan and resolution records, and a
+/// presumed abort still lands *above* the aborted plan's epoch).
+#[derive(Default)]
+pub struct ShardOwnership {
+    last_epoch: u64,
+}
+
+impl ShardOracle for ShardOwnership {
+    fn name(&self) -> &'static str {
+        "shard-ownership"
+    }
+
+    fn check(&mut self, cp: &ShardCheckpoint<'_>) -> Result<(), String> {
+        let map = cp.plane.map();
+        for i in 0..cp.plane.shard_count() {
+            let s = ShardId(i as u16);
+            for (rel, t) in cp.plane.shard_state(s).facts() {
+                let owner = map.shard_of(t.key());
+                if owner != s {
+                    return Err(format!(
+                        "{s} holds a fact of {rel:?} with key {:?} owned by {owner} \
+                         at epoch {}",
+                        t.key(),
+                        map.epoch()
+                    ));
+                }
+            }
+        }
+        if map.epoch() < self.last_epoch {
+            return Err(format!(
+                "map epoch moved backwards: {} after {}",
+                map.epoch(),
+                self.last_epoch
+            ));
+        }
+        self.last_epoch = map.epoch();
+        Ok(())
+    }
 }
 
 /// Quorum recovery over copies of the per-shard streams as they are
@@ -574,11 +622,20 @@ impl ShardOracle for ShardStateUnion {
 }
 
 /// Every (shard, peer) slice equals that shard's slice of `I@p` for *some*
-/// prefix of the accepted history — the sharded analogue of
-/// [`ReplicaPrefix`]. Slices of different shards may legitimately sit at
-/// *different* prefixes (each shard's delivery plane lags independently),
-/// which is exactly why the flat union-of-slices cannot be prefix-checked.
-pub struct ShardSlicePrefix;
+/// prefix of the accepted history, sliced by *some* shard map the plane
+/// has routed by — the sharded analogue of [`ReplicaPrefix`]. Slices of
+/// different shards may legitimately sit at *different* prefixes (each
+/// shard's delivery plane lags independently), which is exactly why the
+/// flat union-of-slices cannot be prefix-checked; and a slice whose
+/// post-cutover resync is still in flight legitimately keeps the shape an
+/// *older* epoch's map gave it, which is why the oracle remembers every
+/// map it has seen. The closing cross-shard convergence check still
+/// requires exactness under the final map once the environment heals.
+#[derive(Default)]
+pub struct ShardSlicePrefix {
+    /// Every distinct map (one per epoch) observed across checkpoints.
+    maps: Vec<crate::shard::ShardMap>,
+}
 
 impl ShardOracle for ShardSlicePrefix {
     fn name(&self) -> &'static str {
@@ -588,23 +645,34 @@ impl ShardOracle for ShardSlicePrefix {
     fn check(&mut self, cp: &ShardCheckpoint<'_>) -> Result<(), String> {
         let collab = cp.shadow.spec().collab();
         let map = cp.plane.map();
-        for s in map.shard_ids() {
+        if !self.maps.iter().any(|m| m.epoch() == map.epoch()) {
+            self.maps.push(map.clone());
+        }
+        for i in 0..cp.plane.shard_count() {
+            let s = ShardId(i as u16);
             for p in collab.peer_ids() {
                 let slice = cp.plane.shard_replica(s, p);
-                // Newest prefix first: up to date is the common case.
+                // Newest prefix and newest map first: up to date is the
+                // common case.
                 let ok = (0..=cp.shadow.len()).rev().any(|i| {
                     let inst = if i == 0 {
                         cp.shadow.initial()
                     } else {
                         cp.shadow.instance(i - 1)
                     };
-                    slice.same_facts(&slice_view(map, s, &collab.view_of(inst, p)))
+                    let view = collab.view_of(inst, p);
+                    self.maps
+                        .iter()
+                        .rev()
+                        .any(|m| slice.same_facts(&slice_view(m, s, &view)))
                 });
                 if !ok {
                     return Err(format!(
-                        "slice {s}/peer {} matches no prefix of the {}-event accepted history",
+                        "slice {s}/peer {} matches no prefix of the {}-event accepted history \
+                         under any of the {} maps seen",
                         collab.peer_name(p),
-                        cp.shadow.len()
+                        cp.shadow.len(),
+                        self.maps.len()
                     ));
                 }
             }

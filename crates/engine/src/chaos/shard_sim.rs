@@ -243,8 +243,14 @@ impl ShardWorld {
             Action::ShardFailover { shard } => {
                 let s = ShardId((*shard as usize % self.shards) as u16);
                 let t = self.next_transport(s);
-                self.plane.failover(s, t);
-                self.note(format!("failover: {s} promoted its standby"));
+                let report = self.plane.failover(s, t);
+                if report.aborted_handoff {
+                    self.note(format!(
+                        "failover: {s} promoted its standby, aborting the in-flight hand-off"
+                    ));
+                } else {
+                    self.note(format!("failover: {s} promoted its standby"));
+                }
                 Ok(())
             }
             Action::Handoff { shard } => self.handoff(*shard),
@@ -265,6 +271,140 @@ impl ShardWorld {
                 self.note("rcrash: armed");
                 Ok(())
             }
+            Action::Split { .. } | Action::Merge { .. } | Action::Rebalance { .. } => {
+                self.reshard(action)
+            }
+        }
+    }
+
+    /// One step of the elastic-resharding protocol. An in-flight migration
+    /// absorbs any resharding token as a protocol step — copy a bounded
+    /// batch of snapshot facts, cutting over once the copy drains — so a
+    /// trace interleaves begin, copy, and cutover with everything else the
+    /// generator emits. With nothing in flight the token begins its own
+    /// kind of migration (a split provisions a brand-new stream first,
+    /// popped back off if the plane refuses the plan).
+    fn reshard(&mut self, action: &Action) -> Result<(), Violation> {
+        if let Some((kind, src, dst, left)) = self.plane.reshard_in_progress() {
+            if left > 0 {
+                let left = self.plane.step_reshard(4);
+                self.note(format!("{kind}: {src}>{dst} stepped, {left} facts left"));
+                return Ok(());
+            }
+            return match self.plane.finish_reshard() {
+                Ok(true) => {
+                    let epoch = self.plane.map().epoch();
+                    self.note(format!("{kind}: {src}>{dst} cut over at epoch {epoch}"));
+                    Ok(())
+                }
+                Ok(false) => Err(inv("finish_reshard refused an in-progress migration")),
+                Err(CoordinatorError::Degraded) => {
+                    self.note(format!("{kind}: cutover refused while degraded"));
+                    Ok(())
+                }
+                Err(CoordinatorError::Wal(e)) => {
+                    if !self.plane.degraded() {
+                        return Err(inv(format!(
+                            "cutover wal failure did not degrade the plane: {e}"
+                        )));
+                    }
+                    self.note(format!("{kind}: cutover hit wal failure: {e}"));
+                    Ok(())
+                }
+                Err(e) => Err(inv(format!("finish_reshard returned {e}"))),
+            };
+        }
+        let begun = match *action {
+            Action::Split { src } => {
+                let s = ShardId((src as usize % self.shards) as u16);
+                // Provision the new shard's stream, fault decorator, and
+                // transport up front, exactly as `ShardWorld::new` does for
+                // the initial fleet; popped back off on refusal.
+                let idx = self.shards;
+                let mem = MemBackend::new();
+                let salt = STORAGE_SALT ^ (self.epoch << 8) ^ ((idx as u64 + 1) << 16);
+                let io = IoFaultBackend::new(
+                    Box::new(mem.clone()),
+                    FaultPlan::perfect(mix(self.seed, salt)),
+                );
+                let wal = Wal::create(Box::new(io.clone()), self.opts)
+                    .expect("fresh in-memory backend cannot fail");
+                if !self.healed {
+                    let (short, fsync, transient) = self.profile.storage_rates();
+                    io.configure(|p| {
+                        p.short_write_p = short;
+                        p.fsync_fail_p = fsync;
+                        p.transient_p = transient;
+                    });
+                }
+                self.incarnations.push(0);
+                let t = self.next_transport(ShardId(idx as u16));
+                match self.plane.begin_split(s, t, Some(wal)) {
+                    Ok(true) => {
+                        self.mems.push(mem);
+                        self.ios.push(io);
+                        self.shards = self.plane.shard_count();
+                        self.note(format!(
+                            "split: {s} began onto shard {idx} at epoch {}",
+                            self.plane.map().epoch()
+                        ));
+                        return Ok(());
+                    }
+                    r => {
+                        self.incarnations.pop();
+                        r.map(|_| false)
+                    }
+                }
+            }
+            Action::Merge { src, dst } => {
+                let s = ShardId((src as usize % self.shards) as u16);
+                let d = ShardId((dst as usize % self.shards) as u16);
+                match self.plane.begin_merge(s, d) {
+                    Ok(true) => {
+                        self.note(format!(
+                            "merge: {s}>{d} began at epoch {}",
+                            self.plane.map().epoch()
+                        ));
+                        return Ok(());
+                    }
+                    r => r.map(|_| false),
+                }
+            }
+            Action::Rebalance { src, dst } => {
+                let s = ShardId((src as usize % self.shards) as u16);
+                let d = ShardId((dst as usize % self.shards) as u16);
+                match self.plane.begin_rebalance(s, d) {
+                    Ok(true) => {
+                        self.note(format!(
+                            "rebal: {s}>{d} began at epoch {}",
+                            self.plane.map().epoch()
+                        ));
+                        return Ok(());
+                    }
+                    r => r.map(|_| false),
+                }
+            }
+            _ => unreachable!("reshard only dispatches resharding actions"),
+        };
+        match begun {
+            Ok(_) => {
+                self.note("reshard: plan refused (degenerate endpoints or busy)");
+                Ok(())
+            }
+            Err(CoordinatorError::Degraded) => {
+                self.note("reshard refused: degraded");
+                Ok(())
+            }
+            Err(CoordinatorError::Wal(e)) => {
+                if !self.plane.degraded() {
+                    return Err(inv(format!(
+                        "reshard plan-record failure did not degrade the plane: {e}"
+                    )));
+                }
+                self.note(format!("reshard hit wal failure: {e}"));
+                Ok(())
+            }
+            Err(e) => Err(inv(format!("begin reshard returned {e}"))),
         }
     }
 
@@ -644,6 +784,19 @@ impl ShardWorld {
         if was_degraded {
             self.in_flight = None;
         }
+        // A migration still in flight at trace end must be drivable to its
+        // cutover now that the environment is healed and the plane armed.
+        if let Some((kind, s, d, _)) = self.plane.reshard_in_progress() {
+            match self.plane.finish_reshard() {
+                Ok(true) => self.note(format!("{kind}: {s}>{d} completed at trace end")),
+                r => {
+                    return Err((
+                        NAME.into(),
+                        format!("in-flight migration failed to complete after heal: {r:?}"),
+                    ));
+                }
+            }
+        }
         let ticks = match self.plane.converge(self.config.converge_budget) {
             ShardConvergence::Converged { ticks } => ticks,
             s @ ShardConvergence::Stalled { .. } => {
@@ -687,6 +840,8 @@ pub struct ShardChaosSim {
     profile: ChaosProfile,
     shards: usize,
     config: ChaosConfig,
+    #[allow(clippy::type_complexity)]
+    extra: Vec<Box<dyn Fn() -> Box<dyn ShardOracle> + Send + Sync>>,
 }
 
 impl ShardChaosSim {
@@ -698,12 +853,24 @@ impl ShardChaosSim {
             profile,
             shards,
             config: ChaosConfig::default(),
+            extra: Vec::new(),
         }
     }
 
     /// Builder: overrides the tuning knobs.
     pub fn with_config(mut self, config: ChaosConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Builder: plugs an extra oracle into the shard battery. The factory
+    /// is invoked once per trace execution, so stateful oracles start
+    /// fresh.
+    pub fn with_oracle(
+        mut self,
+        factory: impl Fn() -> Box<dyn ShardOracle> + Send + Sync + 'static,
+    ) -> Self {
+        self.extra.push(Box::new(factory));
         self
     }
 
@@ -744,6 +911,9 @@ impl ShardChaosSim {
             seed,
         );
         let mut oracles: Vec<Box<dyn ShardOracle>> = default_shard_oracles();
+        for factory in &self.extra {
+            oracles.push(factory());
+        }
         for (step, action) in trace.iter().enumerate() {
             world.apply(action).map_err(|v| fail(step, v))?;
             let cp = world.checkpoint(step, action);

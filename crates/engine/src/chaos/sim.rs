@@ -95,6 +95,12 @@ pub enum ChaosProfile {
     /// the presumed-abort recovery rule runs hot. On a single coordinator
     /// the commit actions are no-op notes.
     CommitHeavy,
+    /// Elastic-resharding stress — live shard splits, merges, and
+    /// rebalances interleaved with submits, failovers, hand-offs, router
+    /// crashes, and mild storage faults, so migrations are regularly cut
+    /// down mid-flight and must resolve through epoch-aware recovery. On a
+    /// single coordinator the resharding actions are no-op notes.
+    ReshardHeavy,
 }
 
 impl ChaosProfile {
@@ -107,6 +113,7 @@ impl ChaosProfile {
             ChaosProfile::ModificationHeavy => "mod-heavy",
             ChaosProfile::PartitionHeavy => "partition-heavy",
             ChaosProfile::CommitHeavy => "commit-heavy",
+            ChaosProfile::ReshardHeavy => "reshard-heavy",
         }
     }
 
@@ -120,6 +127,7 @@ impl ChaosProfile {
             ChaosProfile::ModificationHeavy => plan.with_rates(0.10, 0.05, 0.20, 2, 0.15),
             ChaosProfile::PartitionHeavy => plan.with_rates(0.08, 0.05, 0.15, 2, 0.10),
             ChaosProfile::CommitHeavy => plan.with_rates(0.08, 0.05, 0.15, 2, 0.10),
+            ChaosProfile::ReshardHeavy => plan.with_rates(0.08, 0.05, 0.15, 2, 0.10),
         }
     }
 
@@ -132,23 +140,31 @@ impl ChaosProfile {
             ChaosProfile::ModificationHeavy => (0.0, 0.0, 0.0),
             ChaosProfile::PartitionHeavy => (0.0, 0.0, 0.0),
             ChaosProfile::CommitHeavy => (0.02, 0.02, 0.08),
+            ChaosProfile::ReshardHeavy => (0.02, 0.02, 0.06),
         }
     }
 
     /// Generator weights: submit, pump, crash, resync, rearm, cancel,
     /// pcancel, probe, partition, heal-partition, failover, handoff,
-    /// commit-stall, commit-abort, router-crash. (Older profiles keep zero
-    /// weight on the actions added after them — zero-weight entries draw
-    /// nothing from the RNG, so their pinned seeds still generate
-    /// byte-identical traces.)
-    fn weights(&self) -> [u32; 15] {
+    /// commit-stall, commit-abort, router-crash, split, merge, rebalance.
+    /// (Older profiles keep zero weight on the actions added after them —
+    /// zero-weight entries draw nothing from the RNG, so their pinned seeds
+    /// still generate byte-identical traces.)
+    fn weights(&self) -> [u32; 18] {
         match self {
-            ChaosProfile::Default => [40, 25, 5, 8, 6, 6, 4, 10, 0, 0, 0, 0, 0, 0, 0],
-            ChaosProfile::CrashHeavy => [35, 18, 25, 8, 4, 4, 3, 6, 0, 0, 0, 0, 0, 0, 0],
-            ChaosProfile::StorageHeavy => [38, 15, 8, 5, 14, 6, 4, 14, 0, 0, 0, 0, 0, 0, 0],
-            ChaosProfile::ModificationHeavy => [55, 20, 4, 6, 4, 3, 3, 8, 0, 0, 0, 0, 0, 0, 0],
-            ChaosProfile::PartitionHeavy => [34, 20, 3, 6, 3, 0, 0, 4, 12, 8, 5, 5, 0, 0, 0],
-            ChaosProfile::CommitHeavy => [42, 16, 4, 5, 3, 0, 0, 3, 4, 4, 2, 2, 6, 5, 4],
+            ChaosProfile::Default => [40, 25, 5, 8, 6, 6, 4, 10, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0],
+            ChaosProfile::CrashHeavy => [35, 18, 25, 8, 4, 4, 3, 6, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0],
+            ChaosProfile::StorageHeavy => {
+                [38, 15, 8, 5, 14, 6, 4, 14, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]
+            }
+            ChaosProfile::ModificationHeavy => {
+                [55, 20, 4, 6, 4, 3, 3, 8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]
+            }
+            ChaosProfile::PartitionHeavy => {
+                [34, 20, 3, 6, 3, 0, 0, 4, 12, 8, 5, 5, 0, 0, 0, 0, 0, 0]
+            }
+            ChaosProfile::CommitHeavy => [42, 16, 4, 5, 3, 0, 0, 3, 4, 4, 2, 2, 6, 5, 4, 0, 0, 0],
+            ChaosProfile::ReshardHeavy => [38, 18, 4, 5, 3, 0, 0, 3, 3, 3, 2, 2, 0, 0, 2, 7, 5, 5],
         }
     }
 }
@@ -401,6 +417,18 @@ impl World {
             }
             Action::RouterCrash { .. } => {
                 self.note("rcrash: no routing layer on a single coordinator");
+                Ok(())
+            }
+            Action::Split { .. } => {
+                self.note("split: no shards on a single coordinator");
+                Ok(())
+            }
+            Action::Merge { .. } => {
+                self.note("merge: no shards on a single coordinator");
+                Ok(())
+            }
+            Action::Rebalance { .. } => {
+                self.note("rebal: no shards on a single coordinator");
                 Ok(())
             }
         }
@@ -870,8 +898,19 @@ pub fn generate_trace(profile: ChaosProfile, seed: u64, steps: usize) -> Vec<Act
                 shard: rng.gen_range(0..=255u32),
             },
             13 => Action::CommitAbort,
-            _ => Action::RouterCrash {
+            14 => Action::RouterCrash {
                 keep_unsynced: rng.gen_range(0..=96u32),
+            },
+            15 => Action::Split {
+                src: rng.gen_range(0..=255u32),
+            },
+            16 => Action::Merge {
+                src: rng.gen_range(0..=255u32),
+                dst: rng.gen_range(0..=255u32),
+            },
+            _ => Action::Rebalance {
+                src: rng.gen_range(0..=255u32),
+                dst: rng.gen_range(0..=255u32),
             },
         });
     }

@@ -50,8 +50,8 @@ pub use fault::FaultPlan;
 pub use nf_runs::{from_normal_form, to_normal_form, NfTranslateError};
 pub use run::{EventView, ReplayError, Run, RunView, ViewStep};
 pub use shard::{
-    Hlc, HlcStamp, Oplog, OplogEntry, ShardConvergence, ShardId, ShardMap, ShardOp, ShardPlane,
-    ShardPlaneConfig, ShardPlaneStats,
+    FailoverReport, Hlc, HlcStamp, MigrationKind, MigrationPlan, Oplog, OplogEntry,
+    ShardConvergence, ShardId, ShardMap, ShardOp, ShardPlane, ShardPlaneConfig, ShardPlaneStats,
 };
 pub use simulate::{candidates, complete, Candidate, Simulator};
 pub use stats::{FtStats, PeerStats, RunStats, ShardAdmissionStats};

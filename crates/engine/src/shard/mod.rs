@@ -46,8 +46,8 @@ mod plane;
 pub use hlc::{Hlc, HlcStamp};
 pub use oplog::{Oplog, OplogEntry, ShardOp};
 pub use plane::{
-    slice_view, ShardBroadcast, ShardConvergence, ShardLink, ShardPlane, ShardPlaneConfig,
-    ShardPlaneStats,
+    slice_view, FailoverReport, ShardBroadcast, ShardConvergence, ShardLink, ShardPlane,
+    ShardPlaneConfig, ShardPlaneStats,
 };
 
 /// Identifies one coordinator shard (dense, from 0).
@@ -67,38 +67,242 @@ impl fmt::Display for ShardId {
     }
 }
 
-/// The deterministic key→shard assignment: FNV-1a over a canonical byte
-/// encoding of the key [`Value`], modulo the shard count. Stable across
-/// processes and releases — the map is part of the plane's on-the-wire
-/// contract, so two nodes never disagree about who owns a key.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// The slot table refuses to refine past this length: a split of a shard
+/// owning a single slot doubles the table to gain granularity, and the cap
+/// bounds both the table and the `m` record payload that carries it.
+const SLOT_CAP: usize = 512;
+
+/// Physical shard streams never grow past this (chaos sanity bound).
+const STREAM_CAP: u16 = 256;
+
+/// The deterministic, **versioned** key→shard assignment: FNV-1a over a
+/// canonical byte encoding of the key [`Value`], indexing an
+/// epoch-stamped slot table. A freshly built map over `n` shards is the
+/// identity table `[0, 1, …, n-1]`, so `shard_of` degenerates to
+/// `hash % n` — the pinned on-the-wire contract of earlier releases is
+/// unchanged. Elastic resharding evolves the table through
+/// [`MigrationPlan`]s: a **split** doubles the table (ownership-preserving
+/// when needed — `(h mod 2L) mod L = h mod L`) and reassigns half of the
+/// source's slots to a brand-new shard, a **merge** folds every slot of
+/// one shard into another, and a **rebalance** moves slots between two
+/// existing shards. The `epoch` advances on every durable map transition
+/// (plan begun, cutover, abort), so any two nodes comparing epochs agree
+/// on which assignment is current.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardMap {
-    shards: u16,
+    /// Version counter: bumped when a migration begins (`m` record) and
+    /// again when it resolves (`f` cutover or `x`/presumed abort).
+    epoch: u64,
+    /// Physical shard/stream count the map spans (only ever grows; a
+    /// merged-away shard keeps its stream, owning zero slots).
+    streams: u16,
+    /// Committed ownership: `shard_of(k) = slots[fnv1a(k) % slots.len()]`.
+    slots: Vec<u16>,
+}
+
+/// What a migration changes, for records and transcripts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationKind {
+    /// Carve half of `src`'s key space out to a brand-new shard.
+    Split,
+    /// Fold all of `src`'s key space into `dst` (leaving `src` idle).
+    Merge,
+    /// Move about half of `src`'s key space onto the existing `dst`.
+    Rebalance,
+}
+
+impl fmt::Display for MigrationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MigrationKind::Split => write!(f, "split"),
+            MigrationKind::Merge => write!(f, "merge"),
+            MigrationKind::Rebalance => write!(f, "rebal"),
+        }
+    }
+}
+
+/// A proposed map transition: the full target assignment (self-contained,
+/// so a recovered node can adopt it from the WAL record alone) plus the
+/// epoch the map enters while the migration is in flight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrationPlan {
+    /// The epoch the map holds *while migrating* (old epoch + 1); the
+    /// cutover lands on `epoch + 1`.
+    pub epoch: u64,
+    /// What kind of reshape this is.
+    pub kind: MigrationKind,
+    /// The shard losing keys.
+    pub src: ShardId,
+    /// The shard gaining keys (brand-new for a split).
+    pub dst: ShardId,
+    /// Physical stream count after the cutover.
+    pub streams: u16,
+    /// The target slot table the cutover adopts.
+    pub slots: Vec<u16>,
 }
 
 impl ShardMap {
-    /// A map over `shards` shards (at least 1).
+    /// A map over `shards` shards (at least 1), identity slot table.
     pub fn new(shards: usize) -> ShardMap {
         assert!(shards >= 1, "a plane needs at least one shard");
         assert!(shards <= u16::MAX as usize, "shard count fits a ShardId");
         ShardMap {
-            shards: shards as u16,
+            epoch: 0,
+            streams: shards as u16,
+            slots: (0..shards as u16).collect(),
         }
     }
 
-    /// How many shards the map spreads keys over.
+    /// Rebuilds a map from its recovered parts (recovery adopts the table
+    /// a surviving `m`/`f` record carries verbatim).
+    pub fn from_parts(epoch: u64, streams: u16, slots: Vec<u16>) -> ShardMap {
+        assert!(streams >= 1 && !slots.is_empty(), "a non-trivial map");
+        assert!(
+            slots.iter().all(|&o| o < streams),
+            "every slot owner is a live stream"
+        );
+        ShardMap {
+            epoch,
+            streams,
+            slots,
+        }
+    }
+
+    /// How many physical shards the map spans (idle ones included).
     pub fn shards(&self) -> usize {
-        self.shards as usize
+        self.streams as usize
+    }
+
+    /// The map's version counter.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The committed slot table (ownership granularity).
+    pub fn slots(&self) -> &[u16] {
+        &self.slots
     }
 
     /// All shard ids, ascending.
     pub fn shard_ids(&self) -> impl Iterator<Item = ShardId> {
-        (0..self.shards).map(ShardId)
+        (0..self.streams).map(ShardId)
     }
 
     /// The owning shard of `key`.
     pub fn shard_of(&self, key: &Value) -> ShardId {
-        ShardId((fnv1a(key) % self.shards as u64) as u16)
+        ShardId(self.slots[(fnv1a(key) % self.slots.len() as u64) as usize])
+    }
+
+    /// How many slots `s` currently owns (0 for a merged-away shard).
+    pub fn slots_owned(&self, s: ShardId) -> usize {
+        self.slots.iter().filter(|&&o| o == s.0).count()
+    }
+
+    /// Proposes carving half of `src`'s key space out to the brand-new
+    /// shard `dst` (the caller picks the next free physical index). `None`
+    /// when `src` owns nothing, `dst` is not new, or a cap is hit.
+    pub fn plan_split(&self, src: ShardId, dst: ShardId) -> Option<MigrationPlan> {
+        if src.0 >= self.streams || dst.0 < self.streams || dst.0 >= STREAM_CAP {
+            return None;
+        }
+        let mut slots = self.slots.clone();
+        // Refine until the source owns at least two slots: doubling the
+        // table by repetition preserves every assignment, because
+        // (h mod 2L) mod L = h mod L.
+        while slots.iter().filter(|&&o| o == src.0).count() < 2 {
+            if slots.iter().all(|&o| o != src.0) || slots.len() * 2 > SLOT_CAP {
+                return None;
+            }
+            let l = slots.len();
+            slots.extend_from_within(0..l);
+        }
+        let owned: Vec<usize> = (0..slots.len()).filter(|&i| slots[i] == src.0).collect();
+        for &i in owned.iter().rev().take(owned.len() / 2) {
+            slots[i] = dst.0;
+        }
+        Some(MigrationPlan {
+            epoch: self.epoch + 1,
+            kind: MigrationKind::Split,
+            src,
+            dst,
+            streams: dst.0 + 1,
+            slots,
+        })
+    }
+
+    /// Proposes folding all of `src`'s key space into the existing `dst`.
+    /// `None` when the pair is degenerate or `src` owns nothing.
+    pub fn plan_merge(&self, src: ShardId, dst: ShardId) -> Option<MigrationPlan> {
+        if src == dst || src.0 >= self.streams || dst.0 >= self.streams {
+            return None;
+        }
+        if self.slots_owned(src) == 0 {
+            return None;
+        }
+        let slots: Vec<u16> = self
+            .slots
+            .iter()
+            .map(|&o| if o == src.0 { dst.0 } else { o })
+            .collect();
+        Some(MigrationPlan {
+            epoch: self.epoch + 1,
+            kind: MigrationKind::Merge,
+            src,
+            dst,
+            streams: self.streams,
+            slots,
+        })
+    }
+
+    /// Proposes moving about half of `src`'s key space onto the existing
+    /// `dst` (refining the table when `src` owns a single slot). `None`
+    /// when the pair is degenerate, `src` owns nothing, or a cap is hit.
+    pub fn plan_rebalance(&self, src: ShardId, dst: ShardId) -> Option<MigrationPlan> {
+        if src == dst || src.0 >= self.streams || dst.0 >= self.streams {
+            return None;
+        }
+        let mut slots = self.slots.clone();
+        while slots.iter().filter(|&&o| o == src.0).count() < 2 {
+            if slots.iter().all(|&o| o != src.0) || slots.len() * 2 > SLOT_CAP {
+                return None;
+            }
+            let l = slots.len();
+            slots.extend_from_within(0..l);
+        }
+        let owned: Vec<usize> = (0..slots.len()).filter(|&i| slots[i] == src.0).collect();
+        for &i in owned.iter().rev().take((owned.len() / 2).max(1)) {
+            slots[i] = dst.0;
+        }
+        Some(MigrationPlan {
+            epoch: self.epoch + 1,
+            kind: MigrationKind::Rebalance,
+            src,
+            dst,
+            streams: self.streams,
+            slots,
+        })
+    }
+
+    /// Enters the migrating epoch for `plan` (ownership unchanged — keys
+    /// keep routing to their old owners until the cutover).
+    pub fn begin(&mut self, plan: &MigrationPlan) {
+        debug_assert_eq!(plan.epoch, self.epoch + 1, "plans apply in sequence");
+        self.epoch = plan.epoch;
+    }
+
+    /// The fenced cutover: adopts the plan's table and stream count in one
+    /// atomic flip to epoch `plan.epoch + 1`.
+    pub fn cutover(&mut self, plan: &MigrationPlan) {
+        debug_assert_eq!(plan.epoch, self.epoch, "cutover matches the live plan");
+        self.epoch = plan.epoch + 1;
+        self.streams = plan.streams;
+        self.slots = plan.slots.clone();
+    }
+
+    /// Abandons the in-flight plan: ownership stays old, epoch advances so
+    /// the aborted attempt is never confused with a settled map.
+    pub fn abort(&mut self) {
+        self.epoch += 1;
     }
 }
 
@@ -204,5 +408,83 @@ mod tests {
         assert_eq!(got, vec![3, 2, 1, 0, 3, 2, 1, 0]);
         assert_eq!(m.shard_of(&Value::str("alpha")).0, 2);
         assert_eq!(m.shard_of(&Value::Null).0, 3);
+    }
+
+    /// A split plan moves some keys to the new shard and only ever from
+    /// the source; everything else keeps its old owner.
+    #[test]
+    fn split_moves_only_source_keys_to_the_new_shard() {
+        let m = ShardMap::new(4);
+        let plan = m.plan_split(ShardId(1), ShardId(4)).expect("splittable");
+        assert_eq!(plan.streams, 5);
+        let mut next = m.clone();
+        next.begin(&plan);
+        assert_eq!(next.epoch(), 1);
+        assert_eq!(
+            next.shard_of(&Value::Fresh(0)),
+            m.shard_of(&Value::Fresh(0))
+        );
+        next.cutover(&plan);
+        assert_eq!(next.epoch(), 2);
+        let mut moved = 0;
+        for n in 0..400u64 {
+            let v = Value::Fresh(n);
+            let (old, new) = (m.shard_of(&v), next.shard_of(&v));
+            if old != new {
+                assert_eq!(old, ShardId(1), "only source keys move");
+                assert_eq!(new, ShardId(4), "moves land on the new shard");
+                moved += 1;
+            }
+        }
+        assert!(moved > 20, "a split moves a real fraction: {moved}");
+        assert!(next.slots_owned(ShardId(1)) >= 1, "the source keeps half");
+    }
+
+    /// A merge empties the source; splitting from one shard works (the
+    /// 1→2 smoke case); aborted plans advance the epoch without moving
+    /// ownership.
+    #[test]
+    fn merge_empties_source_and_one_shard_split_works() {
+        let mut m = ShardMap::new(4);
+        let plan = m.plan_merge(ShardId(3), ShardId(0)).expect("mergeable");
+        m.begin(&plan);
+        m.cutover(&plan);
+        assert_eq!(m.slots_owned(ShardId(3)), 0);
+        assert_eq!(m.shard_of(&Value::Null), ShardId(0), "Null hashed to 3");
+        assert!(m.plan_split(ShardId(3), ShardId(4)).is_none(), "empty src");
+        assert!(m.plan_merge(ShardId(3), ShardId(0)).is_none(), "empty src");
+
+        let mut one = ShardMap::new(1);
+        let plan = one.plan_split(ShardId(0), ShardId(1)).expect("1→2");
+        one.begin(&plan);
+        one.abort();
+        assert_eq!(one.epoch(), 2);
+        assert_eq!(one.shards(), 1, "abort keeps old ownership");
+        let plan = one.plan_split(ShardId(0), ShardId(1)).expect("retry");
+        assert_eq!(plan.epoch, 3);
+        one.begin(&plan);
+        one.cutover(&plan);
+        assert_eq!(one.shards(), 2);
+        let owned: usize = (0..2).map(|s| one.slots_owned(ShardId(s))).sum();
+        assert_eq!(owned, one.slots().len(), "every slot owned exactly once");
+        assert!(one.slots_owned(ShardId(1)) >= 1);
+    }
+
+    /// Rebalance moves slots between existing shards and round-trips
+    /// through `from_parts` (what recovery adopts from a WAL record).
+    #[test]
+    fn rebalance_and_recovery_roundtrip() {
+        let m = ShardMap::new(2);
+        let plan = m.plan_rebalance(ShardId(0), ShardId(1)).expect("movable");
+        let mut next = m.clone();
+        next.begin(&plan);
+        next.cutover(&plan);
+        assert_eq!(next.shards(), 2, "rebalance adds no shard");
+        let back = ShardMap::from_parts(next.epoch(), plan.streams, plan.slots.clone());
+        assert_eq!(back, next);
+        for n in 0..64u64 {
+            let v = Value::Fresh(n);
+            assert_eq!(back.shard_of(&v), next.shard_of(&v));
+        }
     }
 }

@@ -68,7 +68,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use cwf_model::{Instance, PeerId, ViewInstance};
+use cwf_model::{Instance, PeerId, RelId, Tuple, ViewInstance};
 
 use crate::codec::{decode_event, encode_event};
 use crate::coordinator::{CoordinatorConfig, MaterializedView};
@@ -81,10 +81,16 @@ use crate::transport::{PerfectTransport, Transport};
 use crate::view_plane::ViewDelta;
 use crate::wal::{decode_snapshot, encode_snapshot, RecoveryReport, Wal, WalBackend, WalOptions};
 
-use super::{Hlc, HlcStamp, Oplog, ShardId, ShardMap, ShardOp};
+use super::{Hlc, HlcStamp, MigrationKind, MigrationPlan, Oplog, ShardId, ShardMap, ShardOp};
 
 /// The router's HLC node id (shards use their own id).
 const ROUTER_NODE: u16 = u16::MAX;
+
+/// The stream carrying router-level map-change records (`m` plan, `f`
+/// fenced cutover, `x` abort). Stream 0 always exists — shards are never
+/// physically removed — so the resharding history lives on one totally
+/// ordered log.
+const ROUTER_STREAM: ShardId = ShardId(0);
 
 /// Tuning of a [`ShardPlane`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -145,6 +151,28 @@ pub struct ShardPlaneStats {
     pub standby_applied: u64,
     /// Events whose ops or deltas spanned more than one shard.
     pub cross_shard_events: u64,
+    /// Migrations begun (`m` plan record durable).
+    pub resharding_started: u64,
+    /// Migrations cut over (`f` record durable, map epoch flipped).
+    pub resharding_completed: u64,
+    /// Migrations abandoned (explicit abort or presumed abort at
+    /// recovery).
+    pub resharding_aborted: u64,
+    /// Tuples whose ownership moved at a cutover.
+    pub keys_migrated: u64,
+    /// The live map epoch (advances on every durable map transition).
+    pub epoch: u64,
+    /// Hand-offs aborted as a side effect of a failover on their shard.
+    pub failover_aborted_handoffs: u64,
+}
+
+/// What a [`ShardPlane::failover`] did beyond the promotion itself.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FailoverReport {
+    /// Oplog records replayed past the standby watermark.
+    pub replayed: u64,
+    /// Was an in-flight hand-off on this shard aborted by the failover?
+    pub aborted_handoff: bool,
 }
 
 /// The outcome of [`ShardPlane::converge`], with per-shard, per-peer
@@ -286,6 +314,26 @@ struct HandoffState {
     transferred_seq: u64,
 }
 
+/// An in-flight migration: the destination's staged copy of the moving
+/// key space, built from a begin-time snapshot plus a source-oplog tail
+/// catch-up at cutover (the hand-off recipe, re-aimed at a slice of a
+/// shard instead of the whole shard).
+struct ReshardState {
+    plan: MigrationPlan,
+    /// The post-cutover assignment (the moves predicate: a key moves iff
+    /// the target map sends it to `plan.dst`).
+    target: ShardMap,
+    /// Moving facts frozen at begin, awaiting copy.
+    snapshot: Vec<(RelId, Tuple)>,
+    /// How many snapshot facts have been copied so far.
+    copied: usize,
+    /// The destination's staged state for the moving keys.
+    staged: MaterializedView,
+    /// Source-oplog sequence at begin: the catch-up replays the tail
+    /// above it (filtered to moving keys) before the cutover flips.
+    watermark: u64,
+}
+
 /// Injected commit-protocol faults (one-shot, armed by the chaos harness).
 #[derive(Debug, Default)]
 struct CommitFaults {
@@ -316,6 +364,14 @@ struct ReplayMeta {
     in_doubt_aborted: u64,
     /// The highest stamp on any surviving record.
     max_stamp: HlcStamp,
+    /// The committed map reconstructed from surviving `m`/`f`/`x` records
+    /// (`None`: no map records anywhere — the plane never resharded).
+    map: Option<ShardMap>,
+    /// Migrations the record history shows cut over.
+    reshard_completed: u64,
+    /// Migrations the record history shows aborted (explicitly or by
+    /// presumed abort, including one in flight at the crash).
+    reshard_aborted: u64,
 }
 
 /// The sharded, replicated state plane (see the [module docs](super)).
@@ -333,6 +389,7 @@ pub struct ShardPlane {
     hlc: Hlc,
     log: Vec<ShardBroadcast>,
     handoff: Option<HandoffState>,
+    reshard: Option<ReshardState>,
     ft: FtStats,
     stats: ShardPlaneStats,
     admission: ShardAdmissionStats,
@@ -370,6 +427,70 @@ fn decode_stamp(tok: &str) -> Option<HlcStamp> {
 /// Parses a transaction-id token (`g<gid>`).
 fn decode_gid(tok: &str) -> Option<u64> {
     tok.strip_prefix('g')?.parse().ok()
+}
+
+/// Renders a slot table as a WAL token (`<streams>:<slot>,<slot>,…`).
+fn encode_table(streams: u16, slots: &[u16]) -> String {
+    let csv: Vec<String> = slots.iter().map(|o| o.to_string()).collect();
+    format!("{streams}:{}", csv.join(","))
+}
+
+/// Parses a slot-table token written by [`encode_table`].
+fn decode_table(tok: &str) -> Option<(u16, Vec<u16>)> {
+    let (streams, csv) = tok.split_once(':')?;
+    let streams: u16 = streams.parse().ok()?;
+    let slots: Option<Vec<u16>> = csv.split(',').map(|o| o.parse().ok()).collect();
+    let slots = slots?;
+    if slots.is_empty() || slots.iter().any(|&o| o >= streams.max(1)) {
+        return None;
+    }
+    Some((streams, slots))
+}
+
+/// Renders a `m` plan record payload: the migrating epoch, the kind, the
+/// endpoints, and — crucially — **both** full assignments (old and
+/// target), so a recovering node reconstructs the committed map from the
+/// record chain alone, with no out-of-band state.
+fn encode_plan(old: &ShardMap, plan: &MigrationPlan) -> String {
+    format!(
+        "e{} k{} s{} d{} {} {}",
+        plan.epoch,
+        plan.kind,
+        plan.src.0,
+        plan.dst.0,
+        encode_table(old.shards() as u16, old.slots()),
+        encode_table(plan.streams, &plan.slots),
+    )
+}
+
+/// Parses a plan payload written by [`encode_plan`]: the old map (at the
+/// pre-plan epoch) and the plan itself.
+fn decode_plan(payload: &str) -> Option<(ShardMap, MigrationPlan)> {
+    let mut it = payload.split(' ');
+    let epoch: u64 = it.next()?.strip_prefix('e')?.parse().ok()?;
+    let kind = match it.next()?.strip_prefix('k')? {
+        "split" => MigrationKind::Split,
+        "merge" => MigrationKind::Merge,
+        "rebal" => MigrationKind::Rebalance,
+        _ => return None,
+    };
+    let src: u16 = it.next()?.strip_prefix('s')?.parse().ok()?;
+    let dst: u16 = it.next()?.strip_prefix('d')?.parse().ok()?;
+    let (old_streams, old_slots) = decode_table(it.next()?)?;
+    let (streams, slots) = decode_table(it.next()?)?;
+    if it.next().is_some() || epoch == 0 {
+        return None;
+    }
+    let old = ShardMap::from_parts(epoch - 1, old_streams, old_slots);
+    let plan = MigrationPlan {
+        epoch,
+        kind,
+        src: ShardId(src),
+        dst: ShardId(dst),
+        streams,
+        slots,
+    };
+    Some((old, plan))
 }
 
 /// Materializes the slice of a peer's view owned by shard `s` — the unit
@@ -455,6 +576,7 @@ impl ShardPlane {
             hlc: Hlc::new(ROUTER_NODE),
             log: Vec::new(),
             handoff: None,
+            reshard: None,
             ft: FtStats::default(),
             stats: ShardPlaneStats::default(),
             admission,
@@ -502,6 +624,23 @@ impl ShardPlane {
             .map(|(b, (&next_seq, &len))| Wal::resume(b, opts, next_seq, len))
             .collect();
         let mut plane = Self::from_run(run, transports, Some(wals), config);
+        // The committed assignment comes from the record chain, not the
+        // config: a plane that resharded recovers the epoch and table its
+        // surviving `m`/`f` records pin (an in-flight migration resolves
+        // to presumed abort — old ownership, epoch burned).
+        if let Some(map) = meta.map {
+            assert!(
+                map.shards() <= plane.shards.len(),
+                "the recovered map ({} shards) outgrows the streams ({})",
+                map.shards(),
+                plane.shards.len()
+            );
+            plane.map = map;
+        }
+        plane.stats.epoch = plane.map.epoch();
+        plane.stats.resharding_completed = meta.reshard_completed;
+        plane.stats.resharding_aborted = meta.reshard_aborted;
+        plane.stats.resharding_started = meta.reshard_completed + meta.reshard_aborted;
         plane.next_gid = meta.next_gid;
         plane.admission.in_doubt_committed = meta.in_doubt_committed;
         plane.admission.in_doubt_aborted = meta.in_doubt_aborted;
@@ -524,7 +663,7 @@ impl ShardPlane {
             shard.standby.state = shard.state.clone();
         }
         // Replicas restart cold: push everyone a full slice snapshot.
-        let (map, run) = (plane.map, &plane.run);
+        let (map, run) = (plane.map.clone(), &plane.run);
         for shard in &mut plane.shards {
             for i in 0..plane.peers {
                 let p = PeerId(i as u32);
@@ -571,6 +710,10 @@ impl ShardPlane {
         // Best surviving snapshot: (covered count, last covered stamp,
         // instance, fresh watermark).
         let mut snapshot: Option<(u64, HlcStamp, Instance, u64)> = None;
+        // Map-change history: plans by migrating epoch, resolutions
+        // (`f` cutover / `x` abort) by resolution epoch.
+        let mut plans: BTreeMap<u64, (ShardMap, MigrationPlan)> = BTreeMap::new();
+        let mut map_resolutions: BTreeMap<u64, char> = BTreeMap::new();
         let mut max_gid = 0u64;
         let mut max_stamp = HlcStamp {
             wall: 0,
@@ -651,6 +794,22 @@ impl ShardPlane {
                             snapshot = Some((count, stamp, inst, watermark));
                         }
                     }
+                    'm' => {
+                        let (old, plan) = decode_plan(&rec.payload).ok_or_else(|| {
+                            tampered(rec.seq, "undecodable migration plan".into())
+                        })?;
+                        plans.insert(plan.epoch, (old, plan));
+                    }
+                    'f' | 'x' => {
+                        let epoch: u64 = rec
+                            .payload
+                            .strip_prefix('e')
+                            .and_then(|s| s.parse().ok())
+                            .ok_or_else(|| {
+                                tampered(rec.seq, format!("{} record lacks an epoch", rec.kind))
+                            })?;
+                        map_resolutions.insert(epoch, rec.kind);
+                    }
                     _ => {
                         return Err(tampered(
                             rec.seq,
@@ -688,6 +847,51 @@ impl ShardPlane {
                 in_doubt_aborted += 1;
             }
         }
+        // Resolve map changes by the same rule as transactions: a plan is
+        // committed iff its fenced cutover record survived; everything
+        // else — an explicit `x`, a lost `x`, or a plan still in flight at
+        // the crash — resolves to **presumed abort** (the `f` record is
+        // force-synced before any admission routes by the new map, so no
+        // acknowledged routing decision is ever presumed away). Walking
+        // the dense epoch chain yields one committed assignment: every
+        // key's ownership is entirely old or entirely new, never mixed.
+        for (&epoch, &kind) in &map_resolutions {
+            if kind == 'f' && (epoch < 2 || !plans.contains_key(&(epoch - 1))) {
+                return Err(tampered(
+                    0,
+                    format!("cutover to epoch {epoch} without a surviving plan"),
+                ));
+            }
+        }
+        let mut map: Option<ShardMap> = None;
+        let mut reshard_completed = 0u64;
+        let mut reshard_aborted = 0u64;
+        for (&e, (old, plan)) in &plans {
+            match &map {
+                None => map = Some(old.clone()),
+                Some(m) => {
+                    if m.slots() != old.slots() || m.shards() != old.shards() {
+                        return Err(tampered(0, format!("migration chain breaks at epoch {e}")));
+                    }
+                }
+            }
+            if map_resolutions.get(&(e + 1)) == Some(&'f') {
+                map = Some(ShardMap::from_parts(
+                    e + 1,
+                    plan.streams,
+                    plan.slots.clone(),
+                ));
+                reshard_completed += 1;
+            } else {
+                let m = map.as_ref().expect("seeded above");
+                map = Some(ShardMap::from_parts(
+                    e + 1,
+                    m.shards() as u16,
+                    m.slots().to_vec(),
+                ));
+                reshard_aborted += 1;
+            }
+        }
         // Serialize: stamp order is admission order (module docs).
         events.sort_by_key(|a| a.0);
         // Rebuild from the best snapshot, replaying records above its
@@ -723,6 +927,9 @@ impl ShardPlane {
             in_doubt_committed,
             in_doubt_aborted,
             max_stamp,
+            map,
+            reshard_completed,
+            reshard_aborted,
         };
         Ok((run, report, meta))
     }
@@ -811,6 +1018,7 @@ impl ShardPlane {
         let mut s = RunStats::of(&self.run);
         s.fault_tolerance = Some(self.ft.clone());
         s.sharding = Some(self.admission.clone());
+        s.plane = Some(self.stats);
         s
     }
 
@@ -1255,7 +1463,7 @@ impl ShardPlane {
                 }
             }
         }
-        let (map, run) = (self.map, &self.run);
+        let (map, run) = (self.map.clone(), &self.run);
         for shard in &mut self.shards {
             if shard.standby.link_up {
                 for e in shard.oplog.tail(shard.standby.applied_seq) {
@@ -1306,7 +1514,7 @@ impl ShardPlane {
     /// diverges from its authoritative view.
     pub fn resync_divergent(&mut self) -> usize {
         let mut n = 0;
-        let (map, run) = (self.map, &self.run);
+        let (map, run) = (self.map.clone(), &self.run);
         for shard in &mut self.shards {
             for i in 0..self.peers {
                 let p = PeerId(i as u32);
@@ -1326,10 +1534,16 @@ impl ShardPlane {
     /// `transport` *past* the per-peer sequence watermarks (control-plane
     /// metadata the router witnesses on every enqueue), so post-failover
     /// snapshots supersede everything the dead primary sent; every peer
-    /// slice is resynced. A hand-off in progress on `s` is aborted.
-    pub fn failover(&mut self, s: ShardId, transport: Box<dyn Transport>) {
+    /// slice is resynced. A hand-off in progress on `s` is aborted — and
+    /// **reported**: the returned [`FailoverReport`] carries the abort
+    /// (and the `failover_aborted_handoffs` counter logs it), so callers
+    /// can tell a clean promotion from one that killed a hand-off.
+    pub fn failover(&mut self, s: ShardId, transport: Box<dyn Transport>) -> FailoverReport {
+        let mut report = FailoverReport::default();
         if self.handoff.as_ref().is_some_and(|h| h.shard == s) {
             self.abort_handoff();
+            self.stats.failover_aborted_handoffs += 1;
+            report.aborted_handoff = true;
         }
         self.stats.failovers += 1;
         let clock = self.clock;
@@ -1343,6 +1557,7 @@ impl ShardPlane {
                 op.apply_to(&mut state);
             }
             self.stats.failover_replayed += 1;
+            report.replayed += 1;
         }
         shard.state = state;
         // The promoted node's clock must dominate the durable log.
@@ -1360,20 +1575,23 @@ impl ShardPlane {
             applied_seq: shard.oplog.last_seq(),
             link_up: true,
         };
-        let (map, run) = (self.map, &self.run);
+        let (map, run) = (self.map.clone(), &self.run);
         for i in 0..peers {
             let p = PeerId(i as u32);
             let view = slice_view(&map, s, run.peer_view(p));
             shard.delivery.resync_with(p, view, &mut self.ft);
         }
+        report
     }
 
     /// Starts handing shard `s` off to a new node: snapshots the shard
     /// state at the current oplog head (the drain point — admission is
     /// atomic in this deployment, so nothing is in flight mid-submit).
-    /// Returns `false` if another hand-off is already in progress.
+    /// Returns `false` if another hand-off — or a migration, whose
+    /// cutover would rewrite the partition under the transfer — is
+    /// already in progress.
     pub fn begin_handoff(&mut self, s: ShardId) -> bool {
-        if self.handoff.is_some() {
+        if self.handoff.is_some() || self.reshard.is_some() {
             return false;
         }
         self.stats.handoffs_started += 1;
@@ -1466,13 +1684,288 @@ impl ShardPlane {
             applied_seq: shard.oplog.last_seq(),
             link_up: true,
         };
-        let (map, run) = (self.map, &self.run);
+        let (map, run) = (self.map.clone(), &self.run);
         for i in 0..peers {
             let p = PeerId(i as u32);
             let view = slice_view(&map, s, run.peer_view(p));
             shard.delivery.resync_with(p, view, &mut self.ft);
         }
         self.stats.handoffs_completed += 1;
+        true
+    }
+
+    // -----------------------------------------------------------------
+    // Elastic resharding
+    // -----------------------------------------------------------------
+
+    /// The in-flight migration, if any: its kind, endpoints, and how many
+    /// snapshot facts still await copy.
+    pub fn reshard_in_progress(&self) -> Option<(MigrationKind, ShardId, ShardId, u64)> {
+        self.reshard.as_ref().map(|r| {
+            (
+                r.plan.kind,
+                r.plan.src,
+                r.plan.dst,
+                (r.snapshot.len() - r.copied) as u64,
+            )
+        })
+    }
+
+    /// Begins a **split**: half of `src`'s key space will move to a
+    /// brand-new shard served by `transport` (and, on a durable plane,
+    /// logging to `wal` — pass the stream the caller provisioned). The
+    /// plan is made durable as a force-synced `m` record on the router
+    /// stream before anything else changes. Returns `Ok(false)` — and
+    /// leaves the new stream untouched — when a migration or hand-off is
+    /// already in flight or the plan is impossible.
+    pub fn begin_split(
+        &mut self,
+        src: ShardId,
+        transport: Box<dyn Transport>,
+        wal: Option<Wal>,
+    ) -> Result<bool, CoordinatorError> {
+        assert_eq!(
+            self.wals.is_some(),
+            wal.is_some(),
+            "a durable plane's new shard needs its own stream (and only then)"
+        );
+        let dst = ShardId(self.shards.len() as u16);
+        let Some(plan) = self.map.plan_split(src, dst) else {
+            return Ok(false);
+        };
+        self.begin_reshard(plan, Some((transport, wal)))
+    }
+
+    /// Begins a **merge**: all of `src`'s key space will move to the
+    /// existing `dst` (leaving `src` an idle stream). Same durability and
+    /// refusal rules as [`ShardPlane::begin_split`].
+    pub fn begin_merge(&mut self, src: ShardId, dst: ShardId) -> Result<bool, CoordinatorError> {
+        let Some(plan) = self.map.plan_merge(src, dst) else {
+            return Ok(false);
+        };
+        self.begin_reshard(plan, None)
+    }
+
+    /// Begins a **rebalance**: about half of `src`'s key space will move
+    /// to the existing `dst`. Same rules as [`ShardPlane::begin_split`].
+    pub fn begin_rebalance(
+        &mut self,
+        src: ShardId,
+        dst: ShardId,
+    ) -> Result<bool, CoordinatorError> {
+        let Some(plan) = self.map.plan_rebalance(src, dst) else {
+            return Ok(false);
+        };
+        self.begin_reshard(plan, None)
+    }
+
+    fn begin_reshard(
+        &mut self,
+        plan: MigrationPlan,
+        new_shard: Option<(Box<dyn Transport>, Option<Wal>)>,
+    ) -> Result<bool, CoordinatorError> {
+        if self.degraded {
+            self.ft.degraded_rejected += 1;
+            return Err(CoordinatorError::Degraded);
+        }
+        if self.reshard.is_some() || self.handoff.is_some() {
+            return Ok(false);
+        }
+        // The migration exists once the plan record is down, not before:
+        // a crash after this sync recovers it (and presumed-aborts it).
+        if self.wals.is_some() {
+            let payload = encode_plan(&self.map, &plan);
+            if let Err(e) = self.append_with_retry(ROUTER_STREAM, 'm', &payload, true) {
+                self.ft.wal_failures += 1;
+                self.degraded = true;
+                return Err(CoordinatorError::Wal(e));
+            }
+        }
+        // A split provisions its destination now: an empty partition on a
+        // fresh stream. If the migration later aborts, the stream stays
+        // behind, idle and owning nothing — streams only ever grow.
+        if let Some((transport, wal)) = new_shard {
+            debug_assert_eq!(plan.dst.index(), self.shards.len());
+            self.shards
+                .push(Shard::fresh(plan.dst, self.peers, transport, self.config));
+            if let Some(w) = wal {
+                self.wals.as_mut().expect("durable plane").push(w);
+            }
+            self.admission.local_admitted.push(0);
+        }
+        // Freeze the moving facts (snapshot copy source) and the source
+        // oplog watermark (the catch-up tail starts above it). During the
+        // migration every admission keeps routing by the *old* map, so
+        // the source stays authoritative until the cutover.
+        let target = ShardMap::from_parts(plan.epoch + 1, plan.streams, plan.slots.clone());
+        let src_shard = &self.shards[plan.src.index()];
+        let mut snapshot = Vec::new();
+        for (rel, t) in src_shard.state.facts() {
+            if target.shard_of(t.key()) == plan.dst {
+                snapshot.push((rel, t.clone()));
+            }
+        }
+        let watermark = src_shard.oplog.last_seq();
+        self.map.begin(&plan);
+        self.stats.resharding_started += 1;
+        self.stats.epoch = self.map.epoch();
+        self.reshard = Some(ReshardState {
+            plan,
+            target,
+            snapshot,
+            copied: 0,
+            staged: MaterializedView::new(),
+            watermark,
+        });
+        Ok(true)
+    }
+
+    /// Copies up to `max_facts` of the frozen snapshot to the
+    /// destination's staged state; returns how many facts still await
+    /// copy afterwards. No-op (returning 0) without a migration.
+    pub fn step_reshard(&mut self, max_facts: usize) -> u64 {
+        let Some(r) = self.reshard.as_mut() else {
+            return 0;
+        };
+        let take = (r.snapshot.len() - r.copied).min(max_facts);
+        for (rel, t) in &r.snapshot[r.copied..r.copied + take] {
+            r.staged.upsert(*rel, t.clone());
+        }
+        r.copied += take;
+        (r.snapshot.len() - r.copied) as u64
+    }
+
+    /// The fenced cutover: completes the copy, replays the source-oplog
+    /// tail (catch-up for everything admitted since begin), writes the
+    /// force-synced `f` record that **atomically flips the map epoch**,
+    /// moves the key space, reprovisions both standbys, and resyncs every
+    /// changed peer slice. Admissions before this call routed by the old
+    /// epoch; admissions after route by the new one — HLC stamps keep
+    /// ordering both sides, so stamp order stays admission order across
+    /// the flip. Returns `Ok(false)` without a migration; on a cutover-
+    /// record failure the migration stays in flight (retry after
+    /// [`ShardPlane::rearm`]).
+    pub fn finish_reshard(&mut self) -> Result<bool, CoordinatorError> {
+        if self.degraded {
+            self.ft.degraded_rejected += 1;
+            return Err(CoordinatorError::Degraded);
+        }
+        let Some(mut r) = self.reshard.take() else {
+            return Ok(false);
+        };
+        // Complete the snapshot copy…
+        for (rel, t) in &r.snapshot[r.copied..] {
+            r.staged.upsert(*rel, t.clone());
+        }
+        r.copied = r.snapshot.len();
+        // …then catch up: replay the source-oplog tail filtered to the
+        // moving keys (idempotent ops — a stale snapshot copy is simply
+        // overwritten by its later tail entry).
+        let tail_ops: Vec<ShardOp> = self.shards[r.plan.src.index()]
+            .oplog
+            .tail(r.watermark)
+            .iter()
+            .flat_map(|e| e.ops.iter().cloned())
+            .collect();
+        for op in &tail_ops {
+            let key = match op {
+                ShardOp::Upsert { tuple, .. } => tuple.key(),
+                ShardOp::Remove { key, .. } => key,
+            };
+            if r.target.shard_of(key) == r.plan.dst {
+                op.apply_to(&mut r.staged);
+            }
+        }
+        // The commit point: the fenced cutover record, force-synced on
+        // the router stream. Past this record the new assignment is the
+        // truth; before it, recovery presumes the migration away.
+        if self.wals.is_some() {
+            let payload = format!("e{}", r.plan.epoch + 1);
+            if let Err(e) = self.append_with_retry(ROUTER_STREAM, 'f', &payload, true) {
+                self.ft.wal_failures += 1;
+                self.degraded = true;
+                self.reshard = Some(r);
+                return Err(CoordinatorError::Wal(e));
+            }
+        }
+        let moved = r.staged.total_tuples() as u64;
+        self.map.cutover(&r.plan);
+        let map = self.map.clone();
+        {
+            let dst = &mut self.shards[r.plan.dst.index()];
+            for (rel, t) in r.staged.facts() {
+                dst.state.upsert(rel, t.clone());
+            }
+            dst.standby = Standby {
+                state: dst.state.clone(),
+                applied_seq: dst.oplog.last_seq(),
+                link_up: true,
+            };
+        }
+        {
+            let src = &mut self.shards[r.plan.src.index()];
+            let keep: Vec<(RelId, Tuple)> = src
+                .state
+                .facts()
+                .filter(|(_, t)| map.shard_of(t.key()) == r.plan.src)
+                .map(|(rel, t)| (rel, t.clone()))
+                .collect();
+            let mut state = MaterializedView::new();
+            for (rel, t) in keep {
+                state.upsert(rel, t);
+            }
+            src.state = state;
+            src.standby = Standby {
+                state: src.state.clone(),
+                applied_seq: src.oplog.last_seq(),
+                link_up: true,
+            };
+        }
+        debug_assert!(
+            self.state_matches(self.run.current()),
+            "the cutover preserves the union invariant"
+        );
+        self.stats.resharding_completed += 1;
+        self.stats.keys_migrated += moved;
+        self.stats.epoch = self.map.epoch();
+        // Fence the epochs on every slice whose shape just changed: a
+        // snapshot resync is force-queued for *all* peer slices of both
+        // endpoints, not just the currently-divergent ones. A lagging
+        // replica can coincidentally equal its new expectation while an
+        // old-epoch delta is still in flight toward it; without the
+        // fence, that delta (and the new-epoch deltas behind it) would
+        // apply on top and leave a state no single (prefix, map) pair
+        // explains. With it, the slice applies in seq order: old-epoch
+        // deltas, the full new-shape snapshot, then new-epoch deltas.
+        let run = &self.run;
+        for sid in [r.plan.src, r.plan.dst] {
+            let shard = &mut self.shards[sid.index()];
+            for i in 0..self.peers {
+                let p = PeerId(i as u32);
+                let view = slice_view(&map, sid, run.peer_view(p));
+                shard.delivery.resync_with(p, view, &mut self.ft);
+            }
+        }
+        self.pump();
+        Ok(true)
+    }
+
+    /// Abandons the in-flight migration: the staged copy is discarded and
+    /// keys keep routing to their old owners. A best-effort `x` record
+    /// marks the abort explicitly — its absence already means abort
+    /// (recovery presumes it), so a write failure costs nothing but
+    /// explicitness. Returns `false` without a migration.
+    pub fn abort_reshard(&mut self) -> bool {
+        let Some(r) = self.reshard.take() else {
+            return false;
+        };
+        if let Some(wals) = self.wals.as_mut() {
+            let payload = format!("e{}", r.plan.epoch + 1);
+            let _ = wals[ROUTER_STREAM.index()].append_raw('x', &payload, false);
+        }
+        self.map.abort();
+        self.stats.resharding_aborted += 1;
+        self.stats.epoch = self.map.epoch();
         true
     }
 

@@ -10,6 +10,7 @@ use std::fmt;
 use cwf_model::PeerId;
 
 use crate::run::Run;
+use crate::shard::ShardPlaneStats;
 
 /// Per-peer activity counters.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -106,6 +107,10 @@ pub struct RunStats {
     /// Distributed-admission counters, when the run was driven by a
     /// sharded plane.
     pub sharding: Option<ShardAdmissionStats>,
+    /// Plane-level robustness counters (failovers, hand-offs, elastic
+    /// resharding, live map epoch), when the run was driven by a sharded
+    /// plane.
+    pub plane: Option<ShardPlaneStats>,
 }
 
 impl RunStats {
@@ -141,6 +146,7 @@ impl RunStats {
             final_tuples: run.current().total_tuples(),
             fault_tolerance: None,
             sharding: None,
+            plane: None,
         }
     }
 

@@ -577,6 +577,11 @@ fn parse_record(line: &str) -> Option<RawRecord> {
         "p" => 'p',
         "c" => 'c',
         "a" => 'a',
+        // Resharding control records (router stream): migration plan,
+        // fenced cutover, migration abort.
+        "m" => 'm',
+        "f" => 'f',
+        "x" => 'x',
         _ => return None,
     };
     let seq: u64 = seq.parse().ok()?;
@@ -888,9 +893,10 @@ impl Wal {
                     }
                     last_seq = rec.seq;
                 }
-                // Commit-protocol records belong to per-shard streams; a
-                // coordinator log containing one was spliced together.
-                'p' | 'c' | 'a' => {
+                // Commit-protocol and resharding records belong to
+                // per-shard streams; a coordinator log containing one was
+                // spliced together.
+                'p' | 'c' | 'a' | 'm' | 'f' | 'x' => {
                     return Err(WalError::Tampered {
                         seq: rec.seq,
                         reason: format!("record kind {:?} is not a coordinator record", rec.kind),

@@ -1,0 +1,489 @@
+//! Elastic resharding, end to end: live splits with admissions in flight,
+//! the full split-chain smoke (1→2→4 and merged back) under storage
+//! faults, crash-restart at every WAL record boundary mid-migration, and
+//! pinned reshard-heavy chaos seeds with a determinism audit and a
+//! shrink-to-minimal-repro demonstration.
+
+use std::sync::Arc;
+
+use collab_workflows::engine::chaos::{
+    default_spec, Action, ChaosProfile, ShardChaosSim, ShardCheckpoint, ShardOracle,
+};
+use collab_workflows::engine::transport::Transport;
+use collab_workflows::engine::{candidates, complete, MigrationKind, WalBackend};
+use collab_workflows::prelude::*;
+
+const STEPS: usize = 60;
+
+/// Drives `n` submissions through a deterministic candidate walk (same
+/// walk as `tests/shard_plane.rs`): always pick the `(i * 7 + 3) % len`-th
+/// candidate. Returns the events in order.
+fn scripted_events(run_seed: &mut Run, n: usize) -> Vec<Event> {
+    let mut events = Vec::new();
+    for i in 0..n {
+        let cands = candidates(run_seed);
+        if cands.is_empty() {
+            break;
+        }
+        let cand = &cands[(i * 7 + 3) % cands.len()];
+        let event = complete(run_seed, cand);
+        run_seed
+            .push(event.clone())
+            .expect("scripted candidates replay");
+        events.push(event);
+    }
+    events
+}
+
+fn perfect_transports(n: usize) -> Vec<Box<dyn Transport>> {
+    (0..n)
+        .map(|_| Box::new(PerfectTransport::new()) as Box<dyn Transport>)
+        .collect()
+}
+
+/// A live split keeps admissions flowing: events submitted between the
+/// plan record and the cutover are accepted, routed by the old epoch, and
+/// land on the right owners once the map flips.
+#[test]
+fn live_split_keeps_admissions_flowing() {
+    let spec = default_spec();
+    let mut script = Run::new(Arc::clone(&spec));
+    let events = scripted_events(&mut script, 14);
+    let mut plane = ShardPlane::new(Arc::clone(&spec), 2);
+    assert_eq!(plane.map().epoch(), 0);
+
+    for event in &events[..6] {
+        plane.submit(event.clone()).expect("plane accepts");
+    }
+    assert!(plane
+        .begin_split(ShardId(0), Box::new(PerfectTransport::new()), None)
+        .expect("healthy plane"));
+    assert_eq!(plane.map().epoch(), 1, "the plan record bumps the epoch");
+    assert_eq!(plane.shard_count(), 3, "the split provisions its shard");
+
+    // Admissions stay live while the copy is in flight.
+    for event in &events[6..10] {
+        plane.step_reshard(1);
+        plane
+            .submit(event.clone())
+            .expect("admission during migration");
+    }
+    let (kind, src, dst, _) = plane.reshard_in_progress().expect("split in flight");
+    assert_eq!(
+        (kind, src, dst),
+        (MigrationKind::Split, ShardId(0), ShardId(2))
+    );
+
+    assert!(plane.finish_reshard().expect("healthy plane"));
+    assert_eq!(plane.map().epoch(), 2, "the cutover bumps the epoch again");
+    assert!(plane.reshard_in_progress().is_none());
+    for event in &events[10..] {
+        plane
+            .submit(event.clone())
+            .expect("admission after cutover");
+    }
+
+    let stats = plane.plane_stats();
+    assert_eq!(stats.resharding_started, 1);
+    assert_eq!(stats.resharding_completed, 1);
+    assert_eq!(stats.resharding_aborted, 0);
+    assert_eq!(stats.epoch, 2);
+
+    // Every key has exactly one owner under the committed map.
+    let map = plane.map().clone();
+    for i in 0..plane.shard_count() {
+        let s = ShardId(i as u16);
+        for (_, t) in plane.shard_state(s).facts() {
+            assert_eq!(map.shard_of(t.key()), s, "key owned by the wrong shard");
+        }
+    }
+    assert!(plane.converge(1_000).is_converged());
+    assert!(plane.state_matches(script.current()));
+    for p in spec.collab().peer_ids() {
+        assert!(plane
+            .union_replica(p)
+            .matches(&spec.collab().view_of(script.current(), p)));
+    }
+}
+
+/// The CI resharding smoke: a durable single-shard plane splits 1→2→4,
+/// merges all the way back, and converges — with seeded `FaultPlan`
+/// storage faults injecting transient append failures throughout.
+#[test]
+fn split_chain_one_to_four_and_back_under_storage_faults() {
+    let spec = default_spec();
+    let mut script = Run::new(Arc::clone(&spec));
+    let events = scripted_events(&mut script, 18);
+    let opts = WalOptions {
+        sync: SyncPolicy::Always,
+        snapshot_every: Some(6),
+    };
+
+    // Durable stream factory: header written on a clean device, then
+    // transient faults armed (retries must absorb them).
+    let mut mems: Vec<MemBackend> = Vec::new();
+    let mut ios: Vec<IoFaultBackend> = Vec::new();
+    let fresh_wal = |mems: &mut Vec<MemBackend>, ios: &mut Vec<IoFaultBackend>| {
+        let mem = MemBackend::new();
+        let io = IoFaultBackend::new(
+            Box::new(mem.clone()),
+            FaultPlan::perfect(7 + mems.len() as u64),
+        );
+        let wal = Wal::create(Box::new(io.clone()), opts).expect("fresh backend");
+        io.configure(|p| p.transient_p = 0.25);
+        mems.push(mem);
+        ios.push(io);
+        wal
+    };
+    let first = fresh_wal(&mut mems, &mut ios);
+    let mut plane = ShardPlane::with_parts(
+        Arc::clone(&spec),
+        perfect_transports(1),
+        Some(vec![first]),
+        ShardPlaneConfig::with_shards(1),
+    );
+
+    for event in &events[..6] {
+        plane.submit(event.clone()).expect("plane accepts");
+    }
+    // Split 1→2, then 2→4 (splitting both owners), submitting between.
+    for (i, src) in [0u16, 0, 1].into_iter().enumerate() {
+        let wal = fresh_wal(&mut mems, &mut ios);
+        assert!(
+            plane
+                .begin_split(ShardId(src), Box::new(PerfectTransport::new()), Some(wal))
+                .expect("healthy plane"),
+            "split {i} of shard {src} must be plannable"
+        );
+        plane
+            .submit(events[6 + i].clone())
+            .expect("admission mid-split");
+        assert!(plane.finish_reshard().expect("healthy plane"));
+    }
+    assert_eq!(plane.shard_count(), 4);
+    for i in 0..4u16 {
+        assert!(
+            plane.map().slots_owned(ShardId(i)) > 0,
+            "shard {i} must own key space after the split chain"
+        );
+    }
+    for event in &events[9..13] {
+        plane.submit(event.clone()).expect("plane accepts");
+    }
+    // Merge everything back onto shard 0. Streams only grow: the plane
+    // keeps four streams, three of them idle.
+    for (i, (src, dst)) in [(3u16, 1u16), (2, 0), (1, 0)].into_iter().enumerate() {
+        assert!(
+            plane
+                .begin_merge(ShardId(src), ShardId(dst))
+                .expect("healthy plane"),
+            "merge {i} ({src}→{dst}) must be plannable"
+        );
+        plane
+            .submit(events[13 + i].clone())
+            .expect("admission mid-merge");
+        assert!(plane.finish_reshard().expect("healthy plane"));
+    }
+    for event in &events[16..] {
+        plane.submit(event.clone()).expect("plane accepts");
+    }
+
+    let stats = *plane.plane_stats();
+    assert_eq!(stats.resharding_started, 6);
+    assert_eq!(stats.resharding_completed, 6);
+    assert_eq!(stats.resharding_aborted, 0);
+    assert!(stats.keys_migrated > 0, "the migrations must move facts");
+    assert_eq!(stats.epoch, 12, "six migrations, two epoch bumps each");
+    assert_eq!(
+        plane.map().slots_owned(ShardId(0)),
+        plane.map().slots().len(),
+        "after the merges shard 0 owns the whole key space"
+    );
+    assert!(
+        ios.iter().map(|io| io.faults().transients).sum::<u64>() > 0,
+        "the storage fault plan must actually fire"
+    );
+
+    assert!(plane.converge(2_000).is_converged());
+    assert!(plane.state_matches(script.current()));
+
+    // And the streams still quorum-recover to the same state.
+    let (recovered, report) = ShardPlane::recover(
+        Arc::clone(&spec),
+        mems.iter()
+            .map(|m| Box::new(MemBackend::from_bytes(m.bytes())) as Box<dyn WalBackend>)
+            .collect(),
+        opts,
+        perfect_transports(4),
+        ShardPlaneConfig::with_shards(4),
+    )
+    .expect("recovery succeeds");
+    assert_eq!(report.last_seq, events.len() as u64);
+    assert!(recovered.state_matches(script.current()));
+    assert_eq!(recovered.map().epoch(), 12);
+}
+
+/// Crash-restart at **every** WAL record boundary across a full split and
+/// a full merge: each recovered plane holds exactly the events admitted so
+/// far, with exactly one owner per key — entirely old or entirely new
+/// ownership, never mixed — and converges to the scripted views.
+#[test]
+fn crash_restart_at_every_wal_boundary_mid_split_and_merge() {
+    let spec = default_spec();
+    let mut script = Run::new(Arc::clone(&spec));
+    let events = scripted_events(&mut script, 12);
+    let opts = WalOptions {
+        sync: SyncPolicy::Always,
+        snapshot_every: None,
+    };
+    // Three streams from the start: the split destination's stream exists
+    // (header only) before the plan does.
+    let mems: Vec<MemBackend> = (0..3).map(|_| MemBackend::new()).collect();
+    let wals: Vec<Wal> = mems[..2]
+        .iter()
+        .map(|m| Wal::create(Box::new(m.clone()), opts).expect("fresh backend"))
+        .collect();
+    let mut dst_wal = Some(Wal::create(Box::new(mems[2].clone()), opts).expect("fresh backend"));
+    let mut plane = ShardPlane::with_parts(
+        Arc::clone(&spec),
+        perfect_transports(2),
+        Some(wals),
+        ShardPlaneConfig::with_shards(2),
+    );
+
+    let lens = |mems: &[MemBackend]| mems.iter().map(|m| m.bytes().len()).collect::<Vec<_>>();
+    // (per-stream cut, events admitted) at every record boundary the
+    // protocol produces: around every submit, the `m` plan records, and
+    // the `f` cutover records of both migrations.
+    let mut boundaries: Vec<(Vec<usize>, usize)> = vec![(lens(&mems), 0)];
+    let mut submitted = 0usize;
+    let submit = |plane: &mut ShardPlane,
+                  n: usize,
+                  submitted: &mut usize,
+                  boundaries: &mut Vec<(Vec<usize>, usize)>| {
+        for event in &events[*submitted..*submitted + n] {
+            plane.submit(event.clone()).expect("plane accepts");
+            *submitted += 1;
+            boundaries.push((lens(&mems), *submitted));
+        }
+    };
+
+    submit(&mut plane, 4, &mut submitted, &mut boundaries);
+    assert!(plane
+        .begin_split(
+            ShardId(0),
+            Box::new(PerfectTransport::new()),
+            dst_wal.take()
+        )
+        .expect("healthy plane"));
+    boundaries.push((lens(&mems), submitted)); // after the `m` record
+    plane.step_reshard(1);
+    submit(&mut plane, 2, &mut submitted, &mut boundaries);
+    assert!(plane.finish_reshard().expect("healthy plane"));
+    boundaries.push((lens(&mems), submitted)); // after the `f` record
+    submit(&mut plane, 2, &mut submitted, &mut boundaries);
+
+    assert!(plane
+        .begin_merge(ShardId(2), ShardId(1))
+        .expect("healthy plane"));
+    boundaries.push((lens(&mems), submitted));
+    submit(&mut plane, 2, &mut submitted, &mut boundaries);
+    assert!(plane.finish_reshard().expect("healthy plane"));
+    boundaries.push((lens(&mems), submitted));
+    submit(&mut plane, 2, &mut submitted, &mut boundaries);
+    assert_eq!(submitted, events.len());
+
+    let full: Vec<Vec<u8>> = mems.iter().map(|m| m.bytes()).collect();
+    let mut last_epoch = 0u64;
+    for (cut, k) in &boundaries {
+        let (recovered, report) = ShardPlane::recover(
+            Arc::clone(&spec),
+            full.iter()
+                .zip(cut)
+                .map(|(b, l)| {
+                    Box::new(MemBackend::from_bytes(b[..*l].to_vec())) as Box<dyn WalBackend>
+                })
+                .collect(),
+            opts,
+            perfect_transports(3),
+            ShardPlaneConfig::with_shards(3),
+        )
+        .unwrap_or_else(|e| panic!("crash at boundary {k} must recover: {e}"));
+        assert_eq!(report.last_seq, *k as u64, "boundary {k} holds {k} events");
+        let map = recovered.map().clone();
+        assert!(
+            map.epoch() >= last_epoch,
+            "epochs never regress along the boundary chain"
+        );
+        last_epoch = map.epoch();
+        for i in 0..recovered.shard_count() {
+            let s = ShardId(i as u16);
+            for (_, t) in recovered.shard_state(s).facts() {
+                assert_eq!(
+                    map.shard_of(t.key()),
+                    s,
+                    "boundary {k}: mixed ownership at epoch {}",
+                    map.epoch()
+                );
+            }
+        }
+        let mut expect = Run::new(Arc::clone(&spec));
+        for e in &events[..*k] {
+            expect.push(e.clone()).expect("accepted events replay");
+        }
+        assert!(
+            recovered.state_matches(expect.current()),
+            "boundary {k}: shard-state union must equal the {k}-event replay"
+        );
+    }
+    assert_eq!(last_epoch, 4, "split and merge each bump the epoch twice");
+}
+
+/// Pinned reshard-heavy chaos seeds at 4 shards: green through the full
+/// oracle battery, and each actually completes (and sometimes aborts)
+/// migrations under fire. Picked with `explore_reshard_seeds` below.
+#[test]
+fn fixed_seed_reshard_heavy_four_shards_passes_all_oracles() {
+    // (seed, migrations completed, migrations aborted)
+    for (seed, completed, aborted) in [(2u64, 3u64, 1u64), (11, 5, 0), (35, 3, 3)] {
+        let sim = ShardChaosSim::new(default_spec(), ChaosProfile::ReshardHeavy, 4);
+        let report = match sim.check_seed(seed, STEPS) {
+            Ok(report) => report,
+            Err(f) => panic!("reshard chaos seed {seed} must stay green:\n{f}"),
+        };
+        assert!(report.events > 0, "seed {seed} must accept events");
+        let plane_line = report
+            .transcript
+            .iter()
+            .find(|l| l.starts_with("final plane:"))
+            .expect("transcript records plane stats");
+        assert!(
+            plane_line.contains(&format!("resharding_completed: {completed}")),
+            "seed {seed} is pinned to complete {completed} migrations: {plane_line}"
+        );
+        assert!(
+            plane_line.contains(&format!("resharding_aborted: {aborted}")),
+            "seed {seed} is pinned to abort {aborted} migrations: {plane_line}"
+        );
+    }
+}
+
+/// The determinism-audit seed: migration-rich and green at 1 and 4 shards.
+const SEED_A: u64 = 11;
+
+/// Determinism: two same-seed reshard-heavy executions are byte-identical,
+/// at 1 shard and at 4 — splits, merges, and rebalances included.
+#[test]
+fn same_seed_reshard_runs_are_byte_identical() {
+    for shards in [1usize, 4] {
+        let sim = ShardChaosSim::new(default_spec(), ChaosProfile::ReshardHeavy, shards);
+        let trace = sim.generate(SEED_A, STEPS);
+        assert_eq!(trace, sim.generate(SEED_A, STEPS));
+        assert!(
+            trace.iter().any(|a| matches!(
+                a,
+                Action::Split { .. } | Action::Merge { .. } | Action::Rebalance { .. }
+            )),
+            "the reshard-heavy generator must emit reshard actions"
+        );
+        let a = sim.run_trace(SEED_A, &trace).expect("pinned seed is green");
+        let b = sim.run_trace(SEED_A, &trace).expect("pinned seed is green");
+        assert_eq!(
+            a.transcript, b.transcript,
+            "same-seed reshard transcripts must be byte-identical (shards={shards})"
+        );
+        assert_eq!(a, b, "same-seed reshard reports must be equal");
+    }
+}
+
+/// A deliberately broken oracle ("the epoch may never exceed N") plugged
+/// into the battery demonstrates the shrink loop: the failure minimizes to
+/// a near-minimal trace that still drives a migration to its cutover.
+struct EpochCeiling {
+    ceiling: u64,
+}
+
+impl ShardOracle for EpochCeiling {
+    fn name(&self) -> &'static str {
+        "epoch-ceiling"
+    }
+    fn check(&mut self, cp: &ShardCheckpoint<'_>) -> Result<(), String> {
+        let epoch = cp.plane.map().epoch();
+        if epoch > self.ceiling {
+            return Err(format!(
+                "epoch {epoch} exceeded the (deliberately broken) ceiling {}",
+                self.ceiling
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[test]
+fn broken_resharding_oracle_shrinks_to_minimal_repro() {
+    let sim = ShardChaosSim::new(default_spec(), ChaosProfile::ReshardHeavy, 4)
+        .with_oracle(|| Box::new(EpochCeiling { ceiling: 1 }));
+    let failure = sim
+        .check_seed(SHRINK_SEED, STEPS)
+        .expect_err("the broken ceiling must trip once a cutover lands");
+    assert_eq!(failure.oracle, "epoch-ceiling");
+    let minimized = failure.minimized.as_ref().expect("check_seed minimizes");
+    assert!(
+        minimized.len() < failure.trace.len() / 2,
+        "ddmin must shrink the {}–action trace substantially (got {})",
+        failure.trace.len(),
+        minimized.len()
+    );
+    assert!(
+        minimized.iter().any(|a| matches!(
+            a,
+            Action::Split { .. } | Action::Merge { .. } | Action::Rebalance { .. }
+        )),
+        "the minimal repro keeps a reshard action: {minimized:?}"
+    );
+    // The printed repro replays verbatim to the same violation.
+    let refail = sim
+        .run_trace(SHRINK_SEED, failure.repro())
+        .expect_err("the minimized trace still fails");
+    assert_eq!(refail.oracle, "epoch-ceiling");
+}
+
+const SHRINK_SEED: u64 = 17;
+
+/// Explore helper (not part of the suite): prints per-seed migration
+/// counters so pinned seeds can be chosen. Run with
+/// `cargo test -p collab-workflows --test resharding -- --ignored explore --nocapture`.
+#[test]
+#[ignore]
+fn explore_reshard_seeds() {
+    for seed in 0..40u64 {
+        let sim = ShardChaosSim::new(default_spec(), ChaosProfile::ReshardHeavy, 4);
+        match sim.check_seed(seed, STEPS) {
+            Ok(report) => {
+                let line = report
+                    .transcript
+                    .iter()
+                    .find(|l| l.starts_with("final plane:"))
+                    .cloned()
+                    .unwrap_or_default();
+                let grab = |key: &str| {
+                    line.split(key)
+                        .nth(1)
+                        .and_then(|s| s.trim_start_matches(": ").split(',').next())
+                        .unwrap_or("?")
+                        .to_string()
+                };
+                println!(
+                    "seed {seed}: events={} restarts={} started={} completed={} aborted={} epoch={}",
+                    report.events,
+                    report.restarts,
+                    grab("resharding_started"),
+                    grab("resharding_completed"),
+                    grab("resharding_aborted"),
+                    grab(" epoch"),
+                );
+            }
+            Err(f) => println!("seed {seed}: FAILED {f}"),
+        }
+    }
+}

@@ -311,3 +311,224 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Mid-migration prefixes: every boundary recovers to one consistent epoch
+// ---------------------------------------------------------------------------
+
+use collab_workflows::engine::ShardId;
+
+/// Pushes one random accepted event through both the scripted run and the
+/// plane, chasing rejections like [`grow_log`] does.
+fn submit_one(plane: &mut ShardPlane, script: &mut Run, rng: &mut StdRng) -> Event {
+    loop {
+        let cands = candidates(script);
+        assert!(!cands.is_empty(), "the editorial spec always has a rule");
+        let cand = cands[rng.gen_range(0..cands.len())].clone();
+        let event = complete(script, &cand);
+        if script.push(event.clone()).is_err() {
+            continue; // chase rejection: try another candidate
+        }
+        plane.submit(event.clone()).expect("healthy plane accepts");
+        return event;
+    }
+}
+
+/// Quorum-recovers a full plane from streams cut at `cut_lens` and asserts
+/// the migration contract: exactly `k` events, state union equal to the
+/// scripted replay, **exactly one owner per key** under the recovered map
+/// (never a mix of old and new ownership), and an epoch no older than
+/// `min_epoch`. Returns the recovered epoch so callers can thread
+/// monotonicity through consecutive boundaries.
+fn assert_epoch_consistent(
+    spec: &Arc<WorkflowSpec>,
+    full: &[Vec<u8>],
+    cut_lens: &[usize],
+    opts: WalOptions,
+    events: &[Event],
+    k: usize,
+    min_epoch: u64,
+) -> u64 {
+    let backends: Vec<Box<dyn WalBackend>> = full
+        .iter()
+        .zip(cut_lens)
+        .map(|(bytes, len)| {
+            Box::new(MemBackend::from_bytes(bytes[..*len].to_vec())) as Box<dyn WalBackend>
+        })
+        .collect();
+    let transports: Vec<Box<dyn Transport>> = (0..full.len())
+        .map(|_| Box::new(PerfectTransport::new()) as Box<dyn Transport>)
+        .collect();
+    let (plane, report) = ShardPlane::recover(
+        Arc::clone(spec),
+        backends,
+        opts,
+        transports,
+        ShardPlaneConfig::with_shards(full.len()),
+    )
+    .unwrap_or_else(|e| panic!("mid-migration boundary {k} must recover: {e}"));
+    assert_eq!(
+        report.last_seq, k as u64,
+        "boundary {k} must hold exactly {k} events (cut {cut_lens:?})"
+    );
+    let mut expect = Run::new(Arc::clone(spec));
+    for e in &events[..k] {
+        expect.push(e.clone()).expect("accepted events replay");
+    }
+    assert!(
+        plane.state_matches(expect.current()),
+        "the recovered shard-state union must equal the replay of the \
+         first {k} events (cut {cut_lens:?})"
+    );
+    let map = plane.map();
+    assert!(
+        map.epoch() >= min_epoch,
+        "the recovered epoch must never regress: {} < {min_epoch} at \
+         boundary {k}",
+        map.epoch()
+    );
+    for i in 0..plane.shard_count() {
+        let s = ShardId(i as u16);
+        for (rel, t) in plane.shard_state(s).facts() {
+            assert_eq!(
+                map.shard_of(t.key()),
+                s,
+                "boundary {k} recovered *mixed* ownership at epoch {}: \
+                 shard {s:?} holds rel {rel:?} key {:?} owned by {:?}",
+                map.epoch(),
+                t.key(),
+                map.shard_of(t.key()),
+            );
+        }
+    }
+    map.epoch()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Cuts the streams at every record boundary of a live **split**
+    /// followed by a **merge** back — before the plan, after the durable
+    /// `m` plan record, between copy steps, after the `f` cutover, and
+    /// after post-cutover admissions — and asserts each prefix recovers to
+    /// one consistent epoch: the union of the first `k` events with
+    /// exactly one owner per key, entirely old or entirely new ownership,
+    /// never mixed. Torn cuts *inside* the `m` and `f` records must fall
+    /// back to the previous consistent epoch (a plan or cutover that never
+    /// finished syncing never happened).
+    #[test]
+    fn every_mid_migration_boundary_recovers_one_owner_per_key(
+        seed in 0u64..1_000,
+        src in 0u32..4,
+        n1 in 1usize..4,
+        n2 in 1usize..4,
+        n3 in 1usize..4,
+        snapshot_every in prop_oneof![Just(None), Just(Some(3u64))],
+    ) {
+        let spec = default_spec();
+        let opts = WalOptions { sync: SyncPolicy::Always, snapshot_every };
+        // Five streams from the start: the split destination's stream is
+        // provisioned (header only) before the plan exists, so every
+        // boundary cuts the same five streams.
+        let mems: Vec<MemBackend> = (0..5).map(|_| MemBackend::new()).collect();
+        let wals: Vec<Wal> = mems[..4]
+            .iter()
+            .map(|m| Wal::create(Box::new(m.clone()), opts).expect("fresh backend"))
+            .collect();
+        let mut dst_wal =
+            Some(Wal::create(Box::new(mems[4].clone()), opts).expect("fresh backend"));
+        let transports: Vec<Box<dyn Transport>> = (0..4)
+            .map(|_| Box::new(PerfectTransport::new()) as Box<dyn Transport>)
+            .collect();
+        let mut plane = ShardPlane::with_parts(
+            Arc::clone(&spec),
+            transports,
+            Some(wals),
+            ShardPlaneConfig::with_shards(4),
+        );
+        let mut script = Run::new(Arc::clone(&spec));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let lens_of =
+            |mems: &[MemBackend]| mems.iter().map(|m| m.bytes().len()).collect::<Vec<usize>>();
+
+        let mut events: Vec<Event> = Vec::new();
+        // (consistent per-stream cut, events held) at every boundary.
+        let mut boundaries = vec![(lens_of(&mems), 0usize)];
+        let push_boundary = |mems: &[MemBackend], k: usize, b: &mut Vec<(Vec<usize>, usize)>| {
+            b.push((lens_of(mems), k));
+        };
+
+        for _ in 0..n1 {
+            events.push(submit_one(&mut plane, &mut script, &mut rng));
+            push_boundary(&mems, events.len(), &mut boundaries);
+        }
+
+        // Begin the split: `m` plan record on the router stream.
+        let src_id = ShardId(src as u16);
+        let m_base = boundaries.last().unwrap().0.clone();
+        let began = plane
+            .begin_split(src_id, Box::new(PerfectTransport::new()), dst_wal.take())
+            .expect("healthy plane");
+        prop_assert!(began, "a split of a live shard must be plannable");
+        let m_span = mems[0].bytes().len() - m_base[0];
+        let k_at_m = events.len();
+        push_boundary(&mems, events.len(), &mut boundaries);
+
+        // Admissions and copy steps interleave while the plan is open.
+        for _ in 0..n2 {
+            plane.step_reshard(1);
+            events.push(submit_one(&mut plane, &mut script, &mut rng));
+            push_boundary(&mems, events.len(), &mut boundaries);
+        }
+
+        // Cut over: `f` record flips the committed map.
+        let f_base = boundaries.last().unwrap().0.clone();
+        prop_assert!(plane.finish_reshard().expect("healthy plane"));
+        let f_span = mems[0].bytes().len() - f_base[0];
+        let k_at_f = events.len();
+        push_boundary(&mems, events.len(), &mut boundaries);
+
+        for _ in 0..n3 {
+            events.push(submit_one(&mut plane, &mut script, &mut rng));
+            push_boundary(&mems, events.len(), &mut boundaries);
+        }
+
+        // Merge the new shard back and cut mid-merge too.
+        prop_assert!(plane
+            .begin_merge(ShardId(4), src_id)
+            .expect("healthy plane"));
+        push_boundary(&mems, events.len(), &mut boundaries);
+        events.push(submit_one(&mut plane, &mut script, &mut rng));
+        push_boundary(&mems, events.len(), &mut boundaries);
+        prop_assert!(plane.finish_reshard().expect("healthy plane"));
+        push_boundary(&mems, events.len(), &mut boundaries);
+        events.push(submit_one(&mut plane, &mut script, &mut rng));
+        push_boundary(&mems, events.len(), &mut boundaries);
+
+        let full: Vec<Vec<u8>> = mems.iter().map(|m| m.bytes()).collect();
+        prop_assert_eq!(&boundaries.last().unwrap().0, &lens_of(&mems));
+
+        // Every consistent record boundary: one owner per key, epoch
+        // monotone along the prefix chain.
+        let mut min_epoch = 0u64;
+        for (cut, k) in &boundaries {
+            min_epoch = assert_epoch_consistent(&spec, &full, cut, opts, &events, *k, min_epoch);
+        }
+        prop_assert_eq!(min_epoch, plane.map().epoch());
+
+        // Torn cuts inside the `m` plan and `f` cutover records: the
+        // half-written record is truncated, recovery lands on the epoch
+        // before it (plan never existed / cutover presumed aborted) with
+        // entirely-old ownership.
+        for (base, span, k) in [(&m_base, m_span, k_at_m), (&f_base, f_span, k_at_f)] {
+            for cut in [1, span / 2, span.saturating_sub(1)] {
+                if cut == 0 || cut >= span {
+                    continue;
+                }
+                let mut cut_lens = base.clone();
+                cut_lens[0] += cut;
+                assert_epoch_consistent(&spec, &full, &cut_lens, opts, &events, k, 0);
+            }
+        }
+    }
+}
