@@ -202,7 +202,11 @@ fn check_parallel(
 ) -> Decision<BoundednessWitness> {
     let target_len = h + 1;
     let mut en = InstanceEnumerator::new(spec, consts, limits);
-    let batch = pool.threads() * 4;
+    // Batch sizing: each `pool.run` call spawns a fresh scoped worker set,
+    // so the batch scales with the pool's claim granularity to amortize
+    // spawn cost over long frontiers (the merge below is batch-size
+    // independent: batches are processed, and scanned, in frontier order).
+    let batch = pool.threads() * pool.chunk().max(4);
     loop {
         // Collect a batch of level-1 chains in (instance, candidate) order —
         // the exact order the sequential DFS would first reach them in.

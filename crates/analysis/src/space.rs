@@ -111,7 +111,7 @@ pub fn event_templates(spec: &WorkflowSpec, pool: &[Value], cap: usize) -> Optio
         loop {
             let mut b = Bindings::empty(nvars);
             for (v, &i) in idx.iter().enumerate() {
-                b.set(VarId(v as u32), pool[i].clone());
+                b.set(VarId(v as u32), pool[i]);
             }
             out.push(Event {
                 rule: rid,
@@ -177,8 +177,8 @@ pub fn applicable_events(
                 });
                 match candidate {
                     Some(c) => {
-                        taken.insert(c.clone());
-                        b.set(v, c.clone());
+                        taken.insert(*c);
+                        b.set(v, *c);
                     }
                     None => {
                         ok = false;
@@ -240,9 +240,9 @@ impl InstanceEnumerator {
                 if pool.is_empty() {
                     break;
                 }
-                vals.push(pool[idx[0]].clone());
+                vals.push(pool[idx[0]]);
                 for &i in &idx[1..] {
-                    vals.push(attr_domain[i].clone());
+                    vals.push(attr_domain[i]);
                 }
                 rel_tuples.push(Tuple::new(vals));
                 // Odometer with mixed radices.
@@ -588,7 +588,7 @@ mod tests {
         // One canonical completion: x = $c0, y = $c1 (distinct).
         assert_eq!(evs.len(), 1);
         let vals: Vec<_> = (0..2)
-            .map(|i| evs[0].valuation.get(VarId(i)).unwrap().clone())
+            .map(|i| *evs[0].valuation.get(VarId(i)).unwrap())
             .collect();
         assert_eq!(vals, vec![Value::str("$c0"), Value::str("$c1")]);
         // Pool too small for two distinct fresh values → None.

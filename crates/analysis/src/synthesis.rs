@@ -327,13 +327,13 @@ fn build_omega_rule(
     let mut var_of: BTreeMap<Value, VarId> = BTreeMap::new();
     let mut term_of = |v: &Value| -> Term {
         if v.is_null() || consts.contains(v) {
-            Term::Const(v.clone())
+            Term::Const(*v)
         } else if let Some(id) = var_of.get(v) {
             Term::Var(*id)
         } else {
             let id = VarId(vars.len() as u32);
             vars.push(format!("x{}", vars.len()));
-            var_of.insert(v.clone(), id);
+            var_of.insert(*v, id);
             Term::Var(id)
         }
     };
@@ -434,7 +434,7 @@ fn build_omega_rule(
         }
         for c in consts {
             if !c.is_null() {
-                body.push(Literal::Neq(Term::Var(x), Term::Const(c.clone())));
+                body.push(Literal::Neq(Term::Var(x), Term::Const(*c)));
             }
         }
     }

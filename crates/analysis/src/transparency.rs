@@ -290,7 +290,7 @@ fn avoid_adom(
     let mut replacements = pool.iter().filter(|v| !used.contains(*v));
     let mut map: Vec<(Value, Value)> = Vec::new();
     for c in clash {
-        map.push((c, replacements.next()?.clone()));
+        map.push((c, *replacements.next()?));
     }
     Some(chain.iter().map(|e| rename_event(spec, e, &map)).collect())
 }
@@ -300,9 +300,9 @@ fn rename_event(spec: &WorkflowSpec, e: &Event, map: &[(Value, Value)]) -> Event
     let mut val = cwf_engine::Bindings::empty(rule.vars.len());
     for v in 0..rule.vars.len() {
         let vid = cwf_lang::VarId(v as u32);
-        let mut value = e.valuation.get(vid).expect("total").clone();
+        let mut value = *e.valuation.get(vid).expect("total");
         if let Some((_, to)) = map.iter().find(|(from, _)| *from == value) {
-            value = to.clone();
+            value = *to;
         }
         val.set(vid, value);
     }

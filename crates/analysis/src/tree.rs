@@ -54,7 +54,7 @@ fn canonical_view(
     for (_, t) in view.facts() {
         for v in t.values() {
             if !v.is_null() && !known.contains(v) && !fresh.contains(v) {
-                fresh.push(v.clone());
+                fresh.push(*v);
             }
         }
     }

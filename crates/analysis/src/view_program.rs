@@ -134,7 +134,7 @@ pub fn match_omega_step(
         }
         for k in current.rel(r).keys() {
             if !expected.rel(r).contains_key(k) {
-                deletes.push((r, k.clone()));
+                deletes.push((r, *k));
             }
         }
     }
@@ -296,7 +296,7 @@ fn unify_terms(args: &[Term], values: &[Value], bindings: &mut Bindings) -> bool
                         return false;
                     }
                 }
-                None => bindings.set(*x, v.clone()),
+                None => bindings.set(*x, *v),
             },
         }
     }
@@ -374,8 +374,8 @@ pub fn expand_view_run(
             // event's bindings; unmapped canonical values get fresh draws.
             let mut value_map: BTreeMap<Value, Value> = BTreeMap::new();
             for (canon, var) in &meta.canon {
-                let v = ev.valuation.get(*var).expect("total").clone();
-                value_map.insert(canon.clone(), v);
+                let v = *ev.valuation.get(*var).expect("total");
+                value_map.insert(*canon, v);
             }
             let mut fresh_cache: BTreeMap<Value, Value> = BTreeMap::new();
             for ce in &meta.chain {
@@ -383,16 +383,13 @@ pub fn expand_view_run(
                 let mut b = Bindings::empty(rule.vars.len());
                 for v in 0..rule.vars.len() {
                     let vid = VarId(v as u32);
-                    let canon = ce.valuation.get(vid).expect("total").clone();
+                    let canon = *ce.valuation.get(vid).expect("total");
                     let concrete = if let Some(c) = value_map.get(&canon) {
-                        c.clone()
+                        *c
                     } else if original.program().const_set().contains(&canon) {
-                        canon.clone()
+                        canon
                     } else {
-                        fresh_cache
-                            .entry(canon.clone())
-                            .or_insert_with(|| run.draw_fresh())
-                            .clone()
+                        *fresh_cache.entry(canon).or_insert_with(|| run.draw_fresh())
                     };
                     b.set(vid, concrete);
                 }

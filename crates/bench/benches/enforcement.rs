@@ -19,7 +19,7 @@ fn events(spec: &Arc<cwf_lang::WorkflowSpec>, cycles: usize) -> Vec<Event> {
         for name in ["clear", "approve", "hire"] {
             let rid = spec.program().rule_by_name(name).unwrap();
             let mut b = Bindings::empty(1);
-            b.set(VarId(0), x.clone());
+            b.set(VarId(0), x);
             out.push(Event::new(spec, rid, b).unwrap());
         }
     }

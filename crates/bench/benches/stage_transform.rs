@@ -47,7 +47,7 @@ fn bench_stage_transform(c: &mut Criterion) {
                 for name in ["clear", "approve", "hire"] {
                     let rid = raw.program().rule_by_name(name).unwrap();
                     let mut bnd = Bindings::empty(1);
-                    bnd.set(VarId(0), x.clone());
+                    bnd.set(VarId(0), x);
                     run.push(Event::new(&raw, rid, bnd).unwrap()).unwrap();
                 }
             }
@@ -66,17 +66,17 @@ fn bench_stage_transform(c: &mut Criterion) {
                     let rid = run.spec().program().rule_by_name(name).unwrap();
                     let mut bnd = Bindings::empty(vals.len());
                     for (vi, v) in vals.iter().enumerate() {
-                        bnd.set(VarId(vi as u32), v.clone());
+                        bnd.set(VarId(vi as u32), *v);
                     }
                     let e = Event::new(run.spec(), rid, bnd).unwrap();
                     run.push(e).unwrap();
                 };
                 // stage; clear (ends stage); stage; approve; hire.
                 fire(&mut run, "stage_init", std::slice::from_ref(&s1));
-                fire(&mut run, "clear", &[x.clone(), s1.clone()]);
+                fire(&mut run, "clear", &[x, s1]);
                 fire(&mut run, "stage_init", std::slice::from_ref(&s2));
-                fire(&mut run, "approve", &[x.clone(), s2.clone(), k.clone()]);
-                fire(&mut run, "hire", &[x.clone(), s2.clone(), k.clone()]);
+                fire(&mut run, "approve", &[x, s2, k]);
+                fire(&mut run, "hire", &[x, s2, k]);
             }
             run.len()
         })

@@ -18,7 +18,9 @@
 //!   to `coordinator_wal_events_per_sec` (the distributed-admission
 //!   overhead);
 //! * `BENCH_reshard_admission.json` — admission throughput with a live
-//!   split in flight relative to the idle map (the resharding tax).
+//!   split in flight relative to the idle map (the resharding tax);
+//! * `BENCH_par_analysis.json` — the 4-thread min-scenario and boundedness
+//!   speedups over the sequential oracle (the pooled-analysis overhead).
 //!
 //! A fresh ratio more than 25% below its baseline is a regression: the
 //! check prints every comparison, restores the baseline files (the bench
@@ -96,6 +98,18 @@ fn ratios(experiment: &str) -> Vec<(String, String, Option<String>)> {
             "migrating_4_shards_events_per_sec".into(),
             Some("idle_4_shards_events_per_sec".into()),
         )],
+        "BENCH_par_analysis.json" => vec![
+            (
+                "min-scenario speedup at 4 threads".into(),
+                "min_scenario_speedup_4t".into(),
+                None,
+            ),
+            (
+                "boundedness speedup at 4 threads".into(),
+                "boundedness_speedup_4t".into(),
+                None,
+            ),
+        ],
         _ => Vec::new(),
     }
 }
@@ -118,6 +132,7 @@ fn main() -> ExitCode {
         ("BENCH_shard_plane.json", "shard_plane"),
         ("BENCH_dist_admission.json", "dist_admission"),
         ("BENCH_reshard_admission.json", "reshard_admission"),
+        ("BENCH_par_analysis.json", "par_analysis"),
     ];
     // Snapshot the checked-in baselines before the benches overwrite them.
     let mut baselines = Vec::new();

@@ -382,7 +382,7 @@ fn e10_enforcement() {
             for name in ["clear", "approve", "hire"] {
                 let rid = spec.program().rule_by_name(name).unwrap();
                 let mut b = cwf_engine::Bindings::empty(1);
-                b.set(cwf_lang::VarId(0), x.clone());
+                b.set(cwf_lang::VarId(0), x);
                 events.push(cwf_engine::Event::new(&spec, rid, b).unwrap());
             }
         }

@@ -225,14 +225,14 @@ mod tests {
             let rid = run.spec().program().rule_by_name(name).unwrap();
             let mut b = Bindings::empty(vals.len());
             for (i, v) in vals.iter().enumerate() {
-                b.set(cwf_lang::VarId(i as u32), v.clone());
+                b.set(cwf_lang::VarId(i as u32), *v);
             }
             let e = Event::new(run.spec(), rid, b).unwrap();
             run.push(e).unwrap();
         };
-        push(&mut run, "open", &[k.clone(), Value::str("a")]); // 0: creates tuple
-        push(&mut run, "fill", &[k.clone(), Value::str("b")]); // 1: fills B (relevant to p2)
-        push(&mut run, "use", &[k.clone(), Value::str("b")]); // 2: uses R(k, b), visible at p
+        push(&mut run, "open", &[k, Value::str("a")]); // 0: creates tuple
+        push(&mut run, "fill", &[k, Value::str("b")]); // 1: fills B (relevant to p2)
+        push(&mut run, "use", &[k, Value::str("b")]); // 2: uses R(k, b), visible at p
         let index = RunIndex::build(&run);
         let p = run.spec().collab().peer("p").unwrap();
         // {0, 2} is boundary faithful (0 is the lifecycle start) but drops

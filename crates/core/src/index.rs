@@ -76,7 +76,7 @@ impl RunIndex {
             for upd in event.ground_updates(spec) {
                 match upd {
                     GroundUpdate::Insert { rel, view_tuple } => {
-                        let key = view_tuple.key().clone();
+                        let key = *view_tuple.key();
                         match pre.rel(rel).get(&key) {
                             None => {
                                 // A new tuple: opens a lifecycle.
@@ -111,7 +111,7 @@ impl RunIndex {
                     GroundUpdate::Delete { rel, key } => {
                         // Close the open lifecycle (the delete semantics
                         // guarantee the tuple exists).
-                        if let Some(lcs) = self.lifecycles.get_mut(&(rel, key.clone())) {
+                        if let Some(lcs) = self.lifecycles.get_mut(&(rel, key)) {
                             if let Some(last) = lcs.last_mut() {
                                 if last.end.is_none() {
                                     last.end = Some(i);
@@ -143,7 +143,7 @@ impl RunIndex {
     /// All lifecycles of `(rel, key)`.
     pub fn lifecycles_of(&self, rel: RelId, key: &Value) -> &[Lifecycle] {
         self.lifecycles
-            .get(&(rel, key.clone()))
+            .get(&(rel, *key))
             .map(Vec::as_slice)
             .unwrap_or(&[])
     }
@@ -159,7 +159,7 @@ impl RunIndex {
     /// The modification events of `(rel, key)` (chronological).
     pub fn modifications_of(&self, rel: RelId, key: &Value) -> &[Modification] {
         self.mods
-            .get(&(rel, key.clone()))
+            .get(&(rel, *key))
             .map(Vec::as_slice)
             .unwrap_or(&[])
     }
@@ -214,7 +214,7 @@ mod tests {
         let rid = spec.program().rule_by_name(name).unwrap();
         let mut b = Bindings::empty(vals.len());
         for (i, v) in vals.iter().enumerate() {
-            b.set(cwf_lang::VarId(i as u32), v.clone());
+            b.set(cwf_lang::VarId(i as u32), *v);
         }
         Event::new(spec, rid, b).unwrap()
     }
@@ -223,11 +223,11 @@ mod tests {
     fn lifecycle_open_close_and_reopen() {
         let mut run = spec_and_run();
         let k = Value::str("k");
-        let e0 = ev(&run, "p_ins", &[k.clone(), Value::str("a")]);
+        let e0 = ev(&run, "p_ins", &[k, Value::str("a")]);
         run.push(e0).unwrap(); // opens
-        let e1 = ev(&run, "p_del", &[k.clone(), Value::str("a")]);
+        let e1 = ev(&run, "p_del", &[k, Value::str("a")]);
         run.push(e1).unwrap(); // closes
-        let e2 = ev(&run, "p_ins", &[k.clone(), Value::str("a2")]);
+        let e2 = ev(&run, "p_ins", &[k, Value::str("a2")]);
         run.push(e2).unwrap(); // reopens
         let idx = RunIndex::build(&run);
         let r = cwf_model::RelId(0);
@@ -268,11 +268,9 @@ mod tests {
     fn modifications_record_null_to_value_flips() {
         let mut run = spec_and_run();
         let k = Value::str("k");
-        run.push(ev(&run, "p_ins", &[k.clone(), Value::str("a")]))
-            .unwrap();
+        run.push(ev(&run, "p_ins", &[k, Value::str("a")])).unwrap();
         // q fills B of the existing tuple: a modification of attribute B.
-        run.push(ev(&run, "q_ins", &[k.clone(), Value::str("b")]))
-            .unwrap();
+        run.push(ev(&run, "q_ins", &[k, Value::str("b")])).unwrap();
         let idx = RunIndex::build(&run);
         let r = cwf_model::RelId(0);
         let mods = idx.modifications_of(r, &k);
@@ -287,8 +285,7 @@ mod tests {
     fn key_occurrences_exposed_per_event() {
         let mut run = spec_and_run();
         let k = Value::str("k");
-        run.push(ev(&run, "p_ins", &[k.clone(), Value::str("a")]))
-            .unwrap();
+        run.push(ev(&run, "p_ins", &[k, Value::str("a")])).unwrap();
         let idx = RunIndex::build(&run);
         let r = cwf_model::RelId(0);
         assert_eq!(idx.key_occurrences(0)[&r], BTreeSet::from([k]));
@@ -298,12 +295,10 @@ mod tests {
     fn extend_is_incremental() {
         let mut run = spec_and_run();
         let k = Value::str("k");
-        run.push(ev(&run, "p_ins", &[k.clone(), Value::str("a")]))
-            .unwrap();
+        run.push(ev(&run, "p_ins", &[k, Value::str("a")])).unwrap();
         let mut idx = RunIndex::build(&run);
         assert_eq!(idx.len(), 1);
-        run.push(ev(&run, "p_del", &[k.clone(), Value::str("a")]))
-            .unwrap();
+        run.push(ev(&run, "p_del", &[k, Value::str("a")])).unwrap();
         idx.extend(&run);
         assert_eq!(idx.len(), 2);
         let full = RunIndex::build(&run);

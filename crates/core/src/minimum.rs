@@ -19,7 +19,7 @@
 //! decides strict-subsequence scenario existence — the coNP-hard minimality
 //! test of Theorem 3.4 (see [`crate::minimal`]).
 
-use cwf_engine::{EventView, Run, RunView};
+use cwf_engine::{EventView, Run, RunView, ScratchRun};
 use cwf_model::{Bound, FirstHit, Governor, PeerId, Pool, Reason, SharedMin, Verdict};
 
 use crate::set::EventSet;
@@ -73,9 +73,11 @@ pub fn search_min_scenario(
 /// results are merged in subproblem DFS order. Two details make the merged
 /// answer byte-identical to the sequential one on every completed search:
 ///
-/// * workers prune with `chosen + remaining > bound` where `bound` is the
-///   incumbent *length* (not length − 1), so the DFS-first witness of the
-///   eventually winning length survives in every subtree that attains it;
+/// * the shared incumbent carries `(length, subproblem index)`: a worker
+///   prunes equal lengths away (`length − 1`) only when the published
+///   witness sits at or before its own subproblem — where it would win the
+///   merge tie anyway — and keeps equal lengths alive against later-index
+///   witnesses, so the DFS-first witness of the winning length survives;
 /// * ties between equal-length witnesses break by subproblem DFS order —
 ///   exactly the order the sequential search discovers scenarios in.
 ///
@@ -113,9 +115,9 @@ fn search_sequential(
     target: &RunView,
 ) -> Verdict<Option<EventSet>> {
     let mut ctx = Ctx::sequential(run, peer, target, opts, gov);
-    let empty = Run::with_initial(run.spec_arc(), run.initial().clone());
+    ctx.arena.push(ScratchRun::restart_of(run));
     let mut chosen = Vec::new();
-    ctx.dfs(0, &empty, 0, &mut chosen);
+    ctx.dfs(0, 0, 0, &mut chosen);
     match ctx.stopped {
         None => Verdict::Done(ctx.best),
         Some(reason) => cutoff_verdict(run, peer, opts, ctx.best, reason),
@@ -123,21 +125,35 @@ fn search_sequential(
 }
 
 /// A branch of the decision tree frozen at the spawn depth, ready to hand
-/// to a worker: the replayed subrun, the observations matched so far, and
-/// the chosen positions.
+/// to a worker: the replayed subrun state, the observations matched so far,
+/// and the chosen positions.
 struct Prefix {
-    sub: Run,
+    sub: ScratchRun,
     matched: usize,
     chosen: Vec<usize>,
 }
 
 /// Cross-worker coordination state of one parallel search.
 struct ParShared {
-    /// Length of the best scenario found by any worker (optimize mode).
-    best_len: SharedMin,
+    /// Best `(length, subproblem index)` pair found by any worker, packed
+    /// so the numeric CAS-min is the lexicographic minimum (optimize mode).
+    best: SharedMin,
     /// Smallest subproblem index holding a witness (decision mode).
     first_hit: FirstHit,
 }
+
+/// Packs a witness length and the subproblem index that found it into one
+/// CAS-min word: length in the high 32 bits, index in the low 32, so the
+/// numeric minimum is the lexicographic `(length, index)` minimum — the
+/// exact preference order of the index-ordered merge.
+fn pack(len: usize, index: usize) -> u64 {
+    debug_assert!(len < u32::MAX as usize && index <= u32::MAX as usize);
+    ((len as u64) << 32) | index as u64
+}
+
+/// Sentinel subproblem index for the greedy seed: lexicographically after
+/// every real subproblem, so equal-length witnesses stay alive everywhere.
+const SEED_INDEX: usize = u32::MAX as usize;
 
 fn search_parallel(
     run: &Run,
@@ -152,9 +168,9 @@ fn search_parallel(
     let depth = spawn_depth(pool.threads(), run.len());
     let mut expander = Ctx::sequential(run, peer, target, opts, gov);
     expander.spawn_depth = depth;
-    let empty = Run::with_initial(run.spec_arc(), run.initial().clone());
+    expander.arena.push(ScratchRun::restart_of(run));
     let mut chosen = Vec::new();
-    expander.dfs(0, &empty, 0, &mut chosen);
+    expander.dfs(0, 0, 0, &mut chosen);
     if let Some(reason) = expander.stopped {
         return cutoff_verdict(run, peer, opts, None, reason);
     }
@@ -167,16 +183,33 @@ fn search_parallel(
     }
 
     // Phase 2: workers solve the subproblems under the shared incumbent.
+    // On the unrestricted optimization problem the incumbent is seeded with
+    // the greedy 1-minimal length (polynomial): free pruning for every
+    // worker before the first real witness lands, and candidates longer
+    // than a valid scenario can never win the merge, so the answer is
+    // unchanged. Under an `allowed` restriction the greedy witness is not
+    // a candidate (the restricted minimum may be longer), and in decision
+    // mode the contract is "DFS-first scenario under max_len", which a
+    // length seed would re-filter — no seed in either case.
+    let seed = if opts.allowed.is_none() && !opts.first_found {
+        pack(
+            crate::minimal::one_minimal_scenario(run, peer).len(),
+            SEED_INDEX,
+        )
+    } else {
+        u64::MAX
+    };
     let shared = ParShared {
-        best_len: SharedMin::new(u64::MAX),
+        best: SharedMin::new(seed),
         first_hit: FirstHit::new(),
     };
     let outs = pool.run(prefixes, |idx, p: Prefix| {
         let mut ctx = Ctx::sequential(run, peer, target, opts, gov);
         ctx.shared = Some(&shared);
         ctx.my_index = idx;
+        ctx.arena.push(p.sub);
         let mut chosen = p.chosen;
-        ctx.dfs(depth, &p.sub, p.matched, &mut chosen);
+        ctx.dfs(depth, 0, p.matched, &mut chosen);
         (ctx.best, ctx.stopped)
     });
 
@@ -324,6 +357,11 @@ struct Ctx<'a> {
     shared: Option<&'a ParShared>,
     /// This worker's subproblem index (DFS order of its prefix).
     my_index: usize,
+    /// Per-depth arena of replay states: slot `d` holds the state of the
+    /// current branch after `d` inclusions. Include branches overwrite slot
+    /// `d + 1` via `clone_from` instead of allocating a fresh state, so
+    /// sibling branches at the same depth reuse the same buffers.
+    arena: Vec<ScratchRun>,
 }
 
 impl<'a> Ctx<'a> {
@@ -348,22 +386,32 @@ impl<'a> Ctx<'a> {
             prefixes: Vec::new(),
             shared: None,
             my_index: 0,
+            arena: Vec::new(),
         }
     }
 
     /// Current upper bound on useful lengths. The local incumbent prunes to
-    /// strictly-shorter (`len − 1`); the cross-worker incumbent prunes only
-    /// to `len` — equal-length witnesses in earlier subproblems must survive
-    /// so the index-ordered merge reproduces the sequential tie-break.
+    /// strictly-shorter (`len − 1`). The cross-worker incumbent carries the
+    /// *subproblem index* of its witness alongside the length: a witness in
+    /// a subproblem at or before this worker's wins the index-ordered merge
+    /// over any equal-length witness found here, so this worker can prune
+    /// to `len − 1` too; a witness in a *later* subproblem keeps the tie
+    /// open and equal lengths must survive (prune only to `len`) — which is
+    /// exactly the sequential tie-break.
     fn bound(&self) -> usize {
         let mut b = match &self.best {
             Some(s) => s.len().saturating_sub(1).min(self.max_len),
             None => self.max_len,
         };
         if let Some(shared) = self.shared {
-            let g = shared.best_len.get();
+            let g = shared.best.get();
             if g != u64::MAX {
-                b = b.min(g as usize);
+                let (len, idx) = ((g >> 32) as usize, (g & u32::MAX as u64) as usize);
+                b = b.min(if idx <= self.my_index {
+                    len.saturating_sub(1)
+                } else {
+                    len
+                });
             }
         }
         b
@@ -386,7 +434,7 @@ impl<'a> Ctx<'a> {
     /// incumbent when running as a parallel worker.
     fn record(&mut self, set: EventSet) {
         if let Some(shared) = self.shared {
-            shared.best_len.relax(set.len() as u64);
+            shared.best.relax(pack(set.len(), self.my_index));
             if self.first_found {
                 shared.first_hit.offer(self.my_index);
             }
@@ -394,9 +442,9 @@ impl<'a> Ctx<'a> {
         self.best = Some(set);
     }
 
-    /// DFS over positions. `sub` is the replayed subrun so far, `matched`
-    /// the number of target steps already produced.
-    fn dfs(&mut self, i: usize, sub: &Run, matched: usize, chosen: &mut Vec<usize>) {
+    /// DFS over positions. `slot` indexes the arena state of the replayed
+    /// subrun so far, `matched` the number of target steps already produced.
+    fn dfs(&mut self, i: usize, slot: usize, matched: usize, chosen: &mut Vec<usize>) {
         if self.done() || self.stopped.is_some() {
             return;
         }
@@ -404,7 +452,7 @@ impl<'a> Ctx<'a> {
         // so every spawned node is charged exactly once — by its worker.
         if i == self.spawn_depth {
             self.prefixes.push(Prefix {
-                sub: sub.clone(),
+                sub: self.arena[slot].clone(),
                 matched,
                 chosen: chosen.clone(),
             });
@@ -437,7 +485,7 @@ impl<'a> Ctx<'a> {
             return;
         }
         // Branch 1: exclude event i (bias toward short scenarios).
-        self.dfs(i + 1, sub, matched, chosen);
+        self.dfs(i + 1, slot, matched, chosen);
         if self.done() || self.stopped.is_some() {
             return;
         }
@@ -450,27 +498,32 @@ impl<'a> Ctx<'a> {
         if chosen.len() + 1 > self.bound() {
             return;
         }
-        let event = self.run.event(i).clone();
-        let mut next = sub.clone();
-        if next.push(event).is_err() {
+        // Overwrite the next arena slot with the current state (buffer
+        // reuse) and push the event onto it.
+        if self.arena.len() == slot + 1 {
+            let fresh = self.arena[slot].clone();
+            self.arena.push(fresh);
+        } else {
+            let (head, tail) = self.arena.split_at_mut(slot + 1);
+            tail[0].clone_from(&head[slot]);
+        }
+        let event = self.run.event(i);
+        if self.arena[slot + 1].try_push(event).is_err() {
             return;
         }
-        let j = next.len() - 1;
-        let collab = self.run.spec().collab();
-        let pre_view = collab.view_of(next.pre_instance(j), self.peer);
-        let post_view = collab.view_of(next.instance(j), self.peer);
-        let own = next.event(j).peer == self.peer;
-        let new_matched = if own || pre_view != post_view {
+        let own = event.peer == self.peer;
+        let next = &self.arena[slot + 1];
+        let new_matched = if own || next.changed(self.peer) {
             // A visible step: must match the next expected observation.
             let Some(expected) = self.target.steps.get(matched) else {
                 return;
             };
             let event_matches = match (&expected.event, own) {
-                (EventView::Own(e), true) => e == next.event(j),
+                (EventView::Own(e), true) => e == event,
                 (EventView::World, false) => true,
                 _ => false,
             };
-            if !event_matches || expected.view != post_view {
+            if !event_matches || expected.view != *next.view(self.peer) {
                 return;
             }
             matched + 1
@@ -478,7 +531,7 @@ impl<'a> Ctx<'a> {
             matched
         };
         chosen.push(i);
-        self.dfs(i + 1, &next, new_matched, chosen);
+        self.dfs(i + 1, slot + 1, new_matched, chosen);
         chosen.pop();
     }
 }

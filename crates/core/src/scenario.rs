@@ -4,14 +4,17 @@
 //! `e(ρ)`; a *scenario of `ρ` at `p`* is a subrun observationally equivalent
 //! to `ρ` for `p` (`ρ@p = ρ̂@p`).
 
-use cwf_engine::{Run, RunView};
+use cwf_engine::{EventView, Run, RunView, ScratchRun};
 use cwf_model::PeerId;
 
 use crate::set::EventSet;
 
 /// Does the subsequence `events` of `run`'s events yield a subrun?
+/// Streams through a history-free [`ScratchRun`] — no intermediate
+/// instances are retained, and the replay stops at the first rejection.
 pub fn is_subrun(run: &Run, events: &EventSet) -> bool {
-    run.try_subrun(&events.to_vec()).is_ok()
+    let mut sub = ScratchRun::restart_of(run);
+    events.iter().all(|i| sub.try_push(run.event(i)).is_ok())
 }
 
 /// Replays the subsequence, returning the subrun if it exists.
@@ -27,11 +30,39 @@ pub fn is_scenario(run: &Run, peer: PeerId, events: &EventSet) -> bool {
 
 /// Scenario test against a precomputed target view (avoids recomputing
 /// `ρ@p` inside search loops).
+///
+/// Streams the replay: each visible step is compared against the next
+/// expected `(e@p, I@p)` observation as soon as it is produced, bailing out
+/// on the first mismatch instead of materializing the whole subrun view.
+/// Decision-identical to `subrun(..).view(peer) == target`.
 pub fn is_scenario_against(run: &Run, peer: PeerId, events: &EventSet, target: &RunView) -> bool {
-    match subrun(run, events) {
-        Some(sub) => &sub.view(peer) == target,
-        None => false,
+    if target.peer != peer {
+        return false;
     }
+    let mut sub = ScratchRun::restart_of(run);
+    let mut matched = 0;
+    for i in events.iter() {
+        let event = run.event(i);
+        if sub.try_push(event).is_err() {
+            return false;
+        }
+        let own = event.peer == peer;
+        if own || sub.changed(peer) {
+            let Some(expected) = target.steps.get(matched) else {
+                return false;
+            };
+            let event_matches = match (&expected.event, own) {
+                (EventView::Own(e), true) => e == event,
+                (EventView::World, false) => true,
+                _ => false,
+            };
+            if !event_matches || expected.view != *sub.view(peer) {
+                return false;
+            }
+            matched += 1;
+        }
+    }
+    matched == target.steps.len()
 }
 
 /// The positions of the events of `run` visible at `peer`, as a set — every

@@ -100,7 +100,7 @@ pub fn traced_closure(run: &Run, index: &RunIndex, peer: PeerId) -> TracedClosur
                         Obligation::OpenedLifecycle {
                             by: j,
                             rel: *rel,
-                            key: k.clone(),
+                            key: *k,
                         },
                     );
                     worklist.push(lc.start);
@@ -112,7 +112,7 @@ pub fn traced_closure(run: &Run, index: &RunIndex, peer: PeerId) -> TracedClosur
                             Obligation::ClosedLifecycle {
                                 by: j,
                                 rel: *rel,
-                                key: k.clone(),
+                                key: *k,
                             },
                         );
                         worklist.push(end);
@@ -132,7 +132,7 @@ pub fn traced_closure(run: &Run, index: &RunIndex, peer: PeerId) -> TracedClosur
                                 Obligation::WroteAttributes {
                                     by: j,
                                     rel: *rel,
-                                    key: k.clone(),
+                                    key: *k,
                                     attrs: touched,
                                 },
                             );
@@ -398,7 +398,7 @@ mod tests {
             let rid = run.spec().program().rule_by_name(name).unwrap();
             let mut b = Bindings::empty(vals.len());
             for (i, v) in vals.iter().enumerate() {
-                b.set(cwf_lang::VarId(i as u32), v.clone());
+                b.set(cwf_lang::VarId(i as u32), *v);
             }
             let e = Event::new(run.spec(), rid, b).unwrap();
             run.push(e).unwrap();

@@ -279,9 +279,9 @@ impl TransparentEngine {
         for upd in event.ground_updates(spec) {
             match upd {
                 GroundUpdate::Insert { rel, view_tuple } => {
-                    let key = view_tuple.key().clone();
+                    let key = *view_tuple.key();
                     let existed = pre.rel(rel).contains_key(&key);
-                    let entry = self.meta.entry((rel, key.clone()));
+                    let entry = self.meta.entry((rel, key));
                     let post_tuple = self
                         .run
                         .current()
@@ -311,7 +311,7 @@ impl TransparentEngine {
                     m.steps.extend(current_steps.iter().copied());
                 }
                 GroundUpdate::Delete { rel, key } => {
-                    let m = self.meta.entry((rel, key.clone())).or_default();
+                    let m = self.meta.entry((rel, key)).or_default();
                     m.deleted = Some((self.stage, transparent));
                     m.steps.extend(current_steps.iter().copied());
                 }
@@ -426,7 +426,7 @@ impl TransparentEngine {
     /// Is the *absence* of `(rel, key)` transparent? — never existed, or
     /// transparently created and deleted within the current stage.
     fn negative_transparent(&self, rel: RelId, key: &Value, steps: &mut BTreeSet<u64>) -> bool {
-        match self.meta.get(&(rel, key.clone())) {
+        match self.meta.get(&(rel, *key)) {
             None => true, // never existed: nothing hidden happened to it
             Some(m) => match m.deleted {
                 Some((stage, transparent))
@@ -514,7 +514,7 @@ mod tests {
         let rid = spec.program().rule_by_name(name).unwrap();
         let mut b = Bindings::empty(vals.len());
         for (i, v) in vals.iter().enumerate() {
-            b.set(cwf_lang::VarId(i as u32), v.clone());
+            b.set(cwf_lang::VarId(i as u32), *v);
         }
         Event::new(spec, rid, b).unwrap()
     }

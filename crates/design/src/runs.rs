@@ -160,7 +160,7 @@ impl Projection {
         for (r, kept) in &self.rels {
             for t in inst.rel(*r).iter() {
                 let arity = schema.relation(*r).arity();
-                let padded = Tuple::padded(arity, kept.iter().map(|a| (*a, t.get(*a).clone())));
+                let padded = Tuple::padded(arity, kept.iter().map(|a| (*a, *t.get(*a))));
                 out.rel_mut(*r)
                     .insert(padded)
                     .expect("keys preserved by projection");
@@ -251,7 +251,7 @@ mod tests {
         let rid = run.spec().program().rule_by_name(name).unwrap();
         let mut b = Bindings::empty(vals.len());
         for (i, v) in vals.iter().enumerate() {
-            b.set(cwf_lang::VarId(i as u32), v.clone());
+            b.set(cwf_lang::VarId(i as u32), *v);
         }
         let e = Event::new(run.spec(), rid, b).unwrap();
         run.push(e).unwrap();

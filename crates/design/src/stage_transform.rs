@@ -219,7 +219,7 @@ fn shift_condition(c: &cwf_model::Condition, by: u32) -> cwf_model::Condition {
     match c {
         C::True => C::True,
         C::False => C::False,
-        C::EqConst(a, v) => C::EqConst(AttrId(a.0 + by), v.clone()),
+        C::EqConst(a, v) => C::EqConst(AttrId(a.0 + by), *v),
         C::EqAttr(a, b) => C::EqAttr(AttrId(a.0 + by), AttrId(b.0 + by)),
         C::Not(inner) => C::Not(Box::new(shift_condition(inner, by))),
         C::And(cs) => C::And(cs.iter().map(|c| shift_condition(c, by)).collect()),
@@ -442,7 +442,7 @@ mod tests {
             assert_eq!(rule.vars.len(), vals.len(), "rule {name}: {:?}", rule.vars);
             let mut b = Bindings::empty(vals.len());
             for (i, v) in vals.iter().enumerate() {
-                b.set(cwf_lang::VarId(i as u32), v.clone());
+                b.set(cwf_lang::VarId(i as u32), *v);
             }
             let e = Event::new(run.spec(), rid, b).unwrap();
             run.push(e).unwrap_or_else(|err| panic!("{name}: {err}"));
@@ -456,10 +456,10 @@ mod tests {
         // stage_init(s); clear(x, s1); stage_init(s2);
         // approve: vars x, _stage, _k → [x, s2, k]; hire: x, _stage, _t.
         fire(&mut run, "stage_init", std::slice::from_ref(&s1));
-        fire(&mut run, "clear", &[x.clone(), s1.clone()]);
+        fire(&mut run, "clear", &[x, s1]);
         fire(&mut run, "stage_init", std::slice::from_ref(&s2));
-        fire(&mut run, "approve", &[x.clone(), s2.clone(), k.clone()]);
-        fire(&mut run, "hire", &[x.clone(), s2.clone(), k.clone()]);
+        fire(&mut run, "approve", &[x, s2, k]);
+        fire(&mut run, "hire", &[x, s2, k]);
         let hire = staged.collab().schema().rel("Hire").unwrap();
         assert!(run.current().rel(hire).contains_key(&x));
         // Stage is gone after the visible hire.
@@ -470,11 +470,11 @@ mod tests {
         // construction where it would chase-conflict.
         let (s3, k2) = (Value::Fresh(500), Value::Fresh(600));
         fire(&mut run, "stage_init", std::slice::from_ref(&s3));
-        fire(&mut run, "approve", &[x.clone(), s3.clone(), k2.clone()]);
+        fire(&mut run, "approve", &[x, s3, k2]);
         // But the *old* stamp cannot drive a hire in the new stage.
         let rid = staged.program().rule_by_name("hire").unwrap();
         let mut b = Bindings::empty(3);
-        b.set(cwf_lang::VarId(0), x.clone());
+        b.set(cwf_lang::VarId(0), x);
         b.set(cwf_lang::VarId(1), s2); // stale stage id
         b.set(cwf_lang::VarId(2), k);
         let stale = Event::new(&staged, rid, b).unwrap();

@@ -339,7 +339,7 @@ mod tests {
         let n = run.draw_fresh();
         let mk = spec.program().rule_by_name("mk").unwrap();
         let mut b = Bindings::empty(2);
-        b.set(VarId(0), t.clone());
+        b.set(VarId(0), t);
         b.set(VarId(1), n);
         run.push(Event::new(spec, mk, b).unwrap()).unwrap();
         let fin = spec.program().rule_by_name("fin").unwrap();

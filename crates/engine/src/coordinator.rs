@@ -57,7 +57,7 @@ impl MaterializedView {
     }
 
     pub(crate) fn upsert(&mut self, rel: RelId, t: Tuple) {
-        self.rels.entry(rel).or_default().insert(t.key().clone(), t);
+        self.rels.entry(rel).or_default().insert(*t.key(), t);
     }
 
     pub(crate) fn remove(&mut self, rel: RelId, key: &Value) {
@@ -632,7 +632,7 @@ mod tests {
         let rid = spec.program().rule_by_name(name).unwrap();
         let mut b = Bindings::empty(vals.len());
         for (i, v) in vals.iter().enumerate() {
-            b.set(VarId(i as u32), v.clone());
+            b.set(VarId(i as u32), *v);
         }
         Event::new(spec, rid, b).unwrap()
     }
@@ -662,9 +662,7 @@ mod tests {
         c.submit(ev(&spec, "draft", std::slice::from_ref(&d)))
             .unwrap();
         let d2 = c.draw_fresh();
-        let b = c
-            .submit(ev(&spec, "publish", &[d.clone(), d2.clone()]))
-            .unwrap();
+        let b = c.submit(ev(&spec, "publish", &[d, d2])).unwrap();
         let public = spec.collab().peer("public").unwrap();
         let author = spec.collab().peer("author").unwrap();
         // The public peer gains the published doc (pure upsert)…

@@ -47,11 +47,11 @@ impl Bindings {
         self.0[v.index()] = None;
     }
 
-    /// Resolves a term under this assignment.
+    /// Resolves a term under this assignment (a copy — [`Value`] is `Copy`).
     pub fn resolve(&self, t: &Term) -> Option<Value> {
         match t {
-            Term::Const(v) => Some(v.clone()),
-            Term::Var(v) => self.get(*v).cloned(),
+            Term::Const(v) => Some(*v),
+            Term::Var(v) => self.get(*v).copied(),
         }
     }
 
@@ -77,31 +77,6 @@ impl Bindings {
             .map(|v| v.expect("binding is total"))
             .collect()
     }
-}
-
-/// Attempts to unify literal arguments with a tuple's values, extending `b`.
-/// Returns `false` (leaving `b` in an arbitrary extended state — callers
-/// clone) when a conflict arises.
-fn unify(b: &mut Bindings, args: &[Term], values: &[Value]) -> bool {
-    debug_assert_eq!(args.len(), values.len());
-    for (t, v) in args.iter().zip(values) {
-        match t {
-            Term::Const(c) => {
-                if c != v {
-                    return false;
-                }
-            }
-            Term::Var(x) => match b.get(*x) {
-                Some(bound) => {
-                    if bound != v {
-                        return false;
-                    }
-                }
-                None => b.set(*x, v.clone()),
-            },
-        }
-    }
-    true
 }
 
 /// The key term of a positive literal (position 0 of a `Pos`, the key of a
@@ -200,7 +175,7 @@ fn unify_on_trail(
                     }
                 }
                 None => {
-                    b.set(*x, v.clone());
+                    b.set(*x, *v);
                     trail.push(*x);
                 }
             },
@@ -237,7 +212,7 @@ fn join_dfs(
     }
     match order[depth] {
         Literal::Pos { rel, args } => {
-            // Bound key ⇒ direct lookup.
+            // Bound key ⇒ direct lookup (binary search on the key column).
             if let Some(k) = b.resolve(&args[0]) {
                 if let Some(t) = view.get(*rel, &k) {
                     let mark = trail.len();
@@ -246,13 +221,37 @@ fn join_dfs(
                     }
                     undo_to(b, trail, mark);
                 }
-            } else {
-                for t in view.rel(*rel) {
-                    let mark = trail.len();
-                    if unify_on_trail(b, trail, args, t.values()) {
-                        join_dfs(rule, view, order, depth + 1, b, trail, out);
+            } else if let Some(store) = view.store(*rel) {
+                // Unbound key: probe a secondary index with the first bound
+                // non-key argument, if the store is big enough to have one.
+                // Index row ids ascend and rows are key-sorted, so the
+                // accelerated path enumerates candidates in exactly the
+                // order of the full scan (minus rows unify would reject).
+                let probe = args
+                    .iter()
+                    .enumerate()
+                    .skip(1)
+                    .find_map(|(pos, t)| b.resolve(t).and_then(|v| store.rows_eq(pos, &v)));
+                match probe {
+                    Some(ids) => {
+                        for id in ids {
+                            let t = store.row(id);
+                            let mark = trail.len();
+                            if unify_on_trail(b, trail, args, t.values()) {
+                                join_dfs(rule, view, order, depth + 1, b, trail, out);
+                            }
+                            undo_to(b, trail, mark);
+                        }
                     }
-                    undo_to(b, trail, mark);
+                    None => {
+                        for t in store {
+                            let mark = trail.len();
+                            if unify_on_trail(b, trail, args, t.values()) {
+                                join_dfs(rule, view, order, depth + 1, b, trail, out);
+                            }
+                            undo_to(b, trail, mark);
+                        }
+                    }
                 }
             }
         }
@@ -264,7 +263,7 @@ fn join_dfs(
             } else {
                 let Term::Var(x) = key else { unreachable!() };
                 for k in view.keys(*rel) {
-                    b.set(*x, k.clone());
+                    b.set(*x, *k);
                     join_dfs(rule, view, order, depth + 1, b, trail, out);
                 }
                 b.unset(*x);
@@ -317,24 +316,32 @@ fn filters_hold(rule: &Rule, view: &ViewInstance, b: &Bindings) -> bool {
 
 /// Checks that a *total* assignment of the body variables satisfies the body
 /// on `view` (used when replaying recorded events).
+///
+/// One scratch clone of the assignment is made up front and reused across
+/// literals with the same bind/undo trail as the join — no per-literal
+/// clone (any variable the caller left unbound acts as a per-literal
+/// wildcard, exactly as before).
 pub fn check_body(rule: &Rule, view: &ViewInstance, bindings: &Bindings) -> bool {
+    let mut scratch = bindings.clone();
+    let mut trail = Vec::new();
     // Positive literals must match existing visible tuples.
     for lit in &rule.body {
         match lit {
             Literal::Pos { rel, args } => {
-                let Some(k) = bindings.resolve(&args[0]) else {
+                let Some(k) = scratch.resolve(&args[0]) else {
                     return false;
                 };
                 let Some(t) = view.get(*rel, &k) else {
                     return false;
                 };
-                let mut probe = bindings.clone();
-                if !unify(&mut probe, args, t.values()) {
+                let ok = unify_on_trail(&mut scratch, &mut trail, args, t.values());
+                undo_to(&mut scratch, &mut trail, 0);
+                if !ok {
                     return false;
                 }
             }
             Literal::KeyPos { rel, key } => {
-                let Some(k) = bindings.resolve(key) else {
+                let Some(k) = scratch.resolve(key) else {
                     return false;
                 };
                 if !view.contains_key(*rel, &k) {

@@ -108,7 +108,7 @@ impl Event {
         let rule = spec.program().rule(self.rule);
         rule.fresh_vars()
             .into_iter()
-            .map(|v| self.valuation.get(v).expect("valuation is total").clone())
+            .map(|v| *self.valuation.get(v).expect("valuation is total"))
             .collect()
     }
 
@@ -118,7 +118,7 @@ impl Event {
         let mut out = BTreeSet::new();
         for v in 0..rule.vars.len() {
             if let Some(val) = self.valuation.get(cwf_lang::VarId(v as u32)) {
-                out.insert(val.clone());
+                out.insert(*val);
             }
         }
         out.extend(rule.constants());

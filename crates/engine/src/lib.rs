@@ -30,6 +30,7 @@ pub mod event;
 pub mod fault;
 pub mod nf_runs;
 pub mod run;
+pub mod scratch;
 pub mod shard;
 pub mod simulate;
 pub mod stats;
@@ -49,6 +50,7 @@ pub use event::{Event, GroundUpdate};
 pub use fault::FaultPlan;
 pub use nf_runs::{from_normal_form, to_normal_form, NfTranslateError};
 pub use run::{EventView, ReplayError, Run, RunView, ViewStep};
+pub use scratch::ScratchRun;
 pub use shard::{
     FailoverReport, Hlc, HlcStamp, MigrationKind, MigrationPlan, Oplog, OplogEntry,
     ShardConvergence, ShardId, ShardMap, ShardOp, ShardPlane, ShardPlaneConfig, ShardPlaneStats,

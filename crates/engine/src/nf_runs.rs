@@ -82,7 +82,7 @@ pub fn to_normal_form(nf: &NormalForm, run: &Run) -> Result<Run, NfTranslateErro
                     let vid = VarId(v as u32);
                     match (b.get(vid).cloned(), e.valuation.get(vid)) {
                         (Some(a), Some(c)) if &a == c => {}
-                        (None, Some(c)) => b.set(vid, c.clone()),
+                        (None, Some(c)) => b.set(vid, *c),
                         _ => {
                             agrees = false;
                             break;
@@ -139,7 +139,7 @@ pub fn from_normal_form(
                 .valuation
                 .get(vid)
                 .expect("normalization appends variables, so the prefix is total");
-            b.set(vid, val.clone());
+            b.set(vid, *val);
         }
         let e = Event {
             rule: origin,

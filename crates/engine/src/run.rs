@@ -176,7 +176,7 @@ impl Run {
         for var in rule.fresh_vars() {
             let v = event.valuation.get(var).expect("valuation is total");
             if self.past_adom.contains(v) || seen_fresh.contains(&v) {
-                return Err(EngineError::NotGloballyFresh { value: v.clone() });
+                return Err(EngineError::NotGloballyFresh { value: *v });
             }
             seen_fresh.push(v);
         }
@@ -197,7 +197,7 @@ impl Run {
                 if !v.is_null() {
                     self.fresh.observe(v);
                     if !self.past_adom.contains(v) {
-                        self.past_adom.insert(v.clone());
+                        self.past_adom.insert(*v);
                     }
                 }
             }
@@ -207,7 +207,7 @@ impl Run {
                 if !c.after.is_null() {
                     self.fresh.observe(&c.after);
                     if !self.past_adom.contains(&c.after) {
-                        self.past_adom.insert(c.after.clone());
+                        self.past_adom.insert(c.after);
                     }
                 }
             }
@@ -573,7 +573,7 @@ mod tests {
         // Fresh value from the run's generator works.
         let v = run.draw_fresh();
         let mut b = Bindings::empty(1);
-        b.set(VarId(0), v.clone());
+        b.set(VarId(0), v);
         run.push(Event::new(&spec, rule, b).unwrap()).unwrap();
         // Re-using the same value is no longer fresh.
         let mut b = Bindings::empty(1);
@@ -606,7 +606,7 @@ mod tests {
         let rule = spec.program().rule_by_name("mint").unwrap();
         let v = run.draw_fresh();
         let mut b = Bindings::empty(1);
-        b.set(VarId(0), v.clone());
+        b.set(VarId(0), v);
         let e = Event::new(&spec, rule, b).unwrap();
         run.push(e.clone()).unwrap();
         assert_eq!(run.len(), 1);

@@ -1203,7 +1203,7 @@ impl ShardPlane {
             for (rel, t) in &diff.deleted {
                 local.push(ShardOp::Remove {
                     rel: *rel,
-                    key: t.key().clone(),
+                    key: *t.key(),
                 });
             }
             for (rel, key, _) in &diff.modified {
@@ -1235,7 +1235,7 @@ impl ShardPlane {
                 first.get_or_insert(s);
                 by_shard.entry(s).or_default().push(ShardOp::Remove {
                     rel: *rel,
-                    key: t.key().clone(),
+                    key: *t.key(),
                 });
             }
             for (rel, key, _) in &diff.modified {
@@ -1410,11 +1410,7 @@ impl ShardPlane {
                 }
                 for (rel, key) in &delta.removals {
                     let s = self.map.shard_of(key);
-                    slices
-                        .entry(s)
-                        .or_default()
-                        .removals
-                        .push((*rel, key.clone()));
+                    slices.entry(s).or_default().removals.push((*rel, *key));
                 }
                 for (s, slice) in slices {
                     delta_shards.insert(s);

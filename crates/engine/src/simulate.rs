@@ -165,7 +165,7 @@ mod tests {
         let mut run = Run::new(Arc::clone(&spec));
         let cand = candidates(&run).remove(0);
         let e = complete(&mut run, &cand);
-        let v = e.valuation.get(VarId(0)).unwrap().clone();
+        let v = *e.valuation.get(VarId(0)).unwrap();
         assert!(v.is_fresh());
         run.push(e).unwrap();
         // A second completion draws a different value.

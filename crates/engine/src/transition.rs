@@ -103,7 +103,7 @@ pub fn apply_updates(
                 if !visible {
                     return Err(EngineError::DeleteInvisible {
                         rel: *rel,
-                        key: key.clone(),
+                        key: *key,
                     });
                 }
                 let removed = current
@@ -130,7 +130,7 @@ pub fn apply_updates(
                 if !subsumed {
                     return Err(EngineError::InsertNotSubsumed {
                         rel: *rel,
-                        key: view_tuple.key().clone(),
+                        key: *view_tuple.key(),
                     });
                 }
                 // Emit the key's change: created, modified, or no-op.
@@ -143,12 +143,11 @@ pub fn apply_updates(
                             .filter(|(a, v)| merged.get(*a) != *v)
                             .map(|(a, v)| AttrChange {
                                 attr: a,
-                                before: v.clone(),
-                                after: merged.get(a).clone(),
+                                before: *v,
+                                after: *merged.get(a),
                             })
                             .collect();
-                        diff.modified
-                            .push((*rel, view_tuple.key().clone(), changes));
+                        diff.modified.push((*rel, *view_tuple.key(), changes));
                     }
                     Some(_) => {}
                 }
@@ -238,7 +237,7 @@ mod tests {
     fn ev(spec: &WorkflowSpec, rule: u32, vals: &[Value]) -> Event {
         let mut b = Bindings::empty(vals.len());
         for (i, v) in vals.iter().enumerate() {
-            b.set(VarId(i as u32), v.clone());
+            b.set(VarId(i as u32), *v);
         }
         Event::new(spec, RuleId(rule), b).unwrap()
     }

@@ -58,7 +58,7 @@ impl ViewDelta {
         }
         for (rel, t) in before.facts() {
             if !after.contains_key(rel, t.key()) {
-                delta.removals.push((rel, t.key().clone()));
+                delta.removals.push((rel, *t.key()));
             }
         }
         delta
@@ -106,7 +106,7 @@ impl ViewDelta {
 fn revert(post: &Tuple, changes: &[AttrChange]) -> Tuple {
     let mut old = post.clone();
     for c in changes {
-        old.set(c.attr, c.before.clone());
+        old.set(c.attr, c.before);
     }
     old
 }
@@ -131,7 +131,7 @@ pub fn peer_delta(
     for (rel, t) in &diff.deleted {
         if let Some(vr) = collab.view(p, *rel) {
             if vr.selects(t) {
-                out.removals.push((*rel, t.key().clone()));
+                out.removals.push((*rel, *t.key()));
             }
         }
     }
@@ -169,7 +169,7 @@ pub fn peer_delta(
             // Enters the selection: appears as an insert.
             (false, true) => out.upserts.push((*rel, vr.project(new))),
             // Leaves the selection: disappears as a delete.
-            (true, false) => out.removals.push((*rel, key.clone())),
+            (true, false) => out.removals.push((*rel, *key)),
             (false, false) => {}
         }
     }
@@ -189,9 +189,22 @@ pub fn materialize_view(collab: &CollabSchema, p: PeerId, instance: &Instance) -
 
 /// The per-run view plane: one incrementally maintained [`ViewInstance`]
 /// per peer, advanced by [`ViewPlane::step`] from each transition's diff.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct ViewPlane {
     views: Vec<ViewInstance>,
+}
+
+impl Clone for ViewPlane {
+    fn clone(&self) -> Self {
+        ViewPlane {
+            views: self.views.clone(),
+        }
+    }
+
+    /// Element-wise `clone_from` so search arenas reuse per-view buffers.
+    fn clone_from(&mut self, src: &Self) {
+        self.views.clone_from(&src.views);
+    }
 }
 
 impl ViewPlane {

@@ -250,7 +250,7 @@ impl Rule {
         for l in &self.body {
             for t in l.terms() {
                 if let Term::Const(v) = t {
-                    out.insert(v.clone());
+                    out.insert(*v);
                 }
             }
         }
@@ -259,13 +259,13 @@ impl Rule {
                 UpdateAtom::Insert { args, .. } => {
                     for t in args {
                         if let Term::Const(v) = t {
-                            out.insert(v.clone());
+                            out.insert(*v);
                         }
                     }
                 }
                 UpdateAtom::Delete { key, .. } => {
                     if let Term::Const(v) = key {
-                        out.insert(v.clone());
+                        out.insert(*v);
                     }
                 }
             }

@@ -91,12 +91,9 @@ fn chase_relation(rel: RelId, tuples: &[Tuple]) -> Result<Relation, ChaseFailure
                 }
                 let cur = merged.get(a);
                 if cur.is_null() {
-                    merged.set(a, v.clone());
+                    merged.set(a, *v);
                 } else if cur != v {
-                    return Err(ChaseFailure::Conflict {
-                        rel,
-                        key: key.clone(),
-                    });
+                    return Err(ChaseFailure::Conflict { rel, key: *key });
                 }
             }
         }
@@ -140,7 +137,7 @@ pub fn naive_chase(schema: &Schema, raw: &RawInstance) -> Result<Instance, Chase
                     for a in 0..tuples[i].arity() {
                         let a = crate::schema::AttrId(a as u32);
                         if !tuples[i].get(a).is_null() && tuples[j].get(a).is_null() {
-                            let v = tuples[i].get(a).clone();
+                            let v = *tuples[i].get(a);
                             tuples[j].set(a, v);
                             changed = true;
                         }
@@ -164,7 +161,7 @@ pub fn naive_chase(schema: &Schema, raw: &RawInstance) -> Result<Instance, Chase
                 if tuples[i].key() == tuples[j].key() {
                     return Err(ChaseFailure::Conflict {
                         rel,
-                        key: tuples[i].key().clone(),
+                        key: *tuples[i].key(),
                     });
                 }
             }

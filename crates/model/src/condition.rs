@@ -127,7 +127,7 @@ impl Condition {
         match self {
             Condition::True | Condition::False | Condition::EqAttr(..) => {}
             Condition::EqConst(_, v) => {
-                out.insert(v.clone());
+                out.insert(*v);
             }
             Condition::Not(c) => c.collect_constants(out),
             Condition::And(cs) | Condition::Or(cs) => {
@@ -150,7 +150,7 @@ impl Condition {
     fn collect_atoms(&self, out: &mut Vec<Atom>) {
         match self {
             Condition::True | Condition::False => {}
-            Condition::EqConst(a, v) => out.push(Atom::EqConst(*a, v.clone())),
+            Condition::EqConst(a, v) => out.push(Atom::EqConst(*a, *v)),
             Condition::EqAttr(a, b) => {
                 let (a, b) = if a <= b { (*a, *b) } else { (*b, *a) };
                 out.push(Atom::EqAttr(a, b));
@@ -170,7 +170,7 @@ impl Condition {
         match self {
             Condition::True => true,
             Condition::False => false,
-            Condition::EqConst(a, v) => truth(&Atom::EqConst(*a, v.clone())),
+            Condition::EqConst(a, v) => truth(&Atom::EqConst(*a, *v)),
             Condition::EqAttr(a, b) => {
                 let (a, b) = if a <= b { (*a, *b) } else { (*b, *a) };
                 truth(&Atom::EqAttr(a, b))

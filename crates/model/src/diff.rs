@@ -52,11 +52,11 @@ impl InstanceDiff {
                             .filter(|(a, v)| t.get(*a) != *v)
                             .map(|(a, v)| AttrChange {
                                 attr: a,
-                                before: v.clone(),
-                                after: t.get(a).clone(),
+                                before: *v,
+                                after: *t.get(a),
                             })
                             .collect();
-                        out.modified.push((rel, t.key().clone(), changes));
+                        out.modified.push((rel, *t.key(), changes));
                     }
                     Some(_) => {}
                 }

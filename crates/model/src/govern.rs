@@ -32,7 +32,7 @@ use std::time::{Duration, Instant};
 
 pub mod pool;
 
-pub use pool::{FirstHit, Pool, SharedMin};
+pub use pool::{FirstHit, Pool, SharedMin, DEFAULT_CHUNK};
 
 /// How often (in ticks) the governor consults the wall clock. Cancellation
 /// and the node budget are checked on **every** tick; only the comparatively

@@ -18,6 +18,17 @@
 //! of one thread runs every task inline on the caller's stack, which is how
 //! the sequential reference paths stay the oracle for the parallel ones.
 //!
+//! Granularity: workers claim work in **chunks** of consecutive item
+//! indices (one atomic claim per chunk, not per item), so fine-grained
+//! subproblems — shallow branch-and-bound subtrees, single mask ranges —
+//! amortize the queue traffic. The chunk size comes from the `CWF_CHUNK`
+//! environment variable ([`Pool::from_env`], default
+//! [`DEFAULT_CHUNK`]); tests and benches pin it with
+//! [`Pool::with_chunk`]. Chunking only changes *which worker* computes an
+//! item, never the item→slot mapping, so merged results are byte-identical
+//! at every chunk size — the chunk-sweep battery in
+//! `tests/par_analysis.rs` enforces exactly that.
+//!
 //! Panic discipline: a panicking task does not abort its siblings. Every
 //! task runs under `catch_unwind`; after all tasks finish, the payload of
 //! the **smallest-index** panicked task is re-raised on the caller — exactly
@@ -30,17 +41,35 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::thread;
 
+/// Default work-claim granularity: how many consecutive items one atomic
+/// claim hands a worker. Large enough to amortize queue traffic on
+/// fine-grained subproblems, small enough to keep a handful of workers
+/// load-balanced over typical fan-outs.
+pub const DEFAULT_CHUNK: usize = 16;
+
 /// The work-distribution handle. Cheap to construct; holds no threads while
 /// idle (workers are scoped to each [`run`](Pool::run) call).
 #[derive(Debug, Clone)]
 pub struct Pool {
     threads: usize,
+    chunk: usize,
 }
 
 impl Pool {
-    /// A pool of exactly `n` workers (clamped to at least 1).
+    /// A pool of exactly `n` workers (clamped to at least 1) with the
+    /// default claim granularity.
     pub fn with_threads(n: usize) -> Self {
-        Pool { threads: n.max(1) }
+        Pool::with_chunk(n, DEFAULT_CHUNK)
+    }
+
+    /// A pool of `n` workers claiming `chunk` consecutive items at a time
+    /// (both clamped to at least 1) — the explicit constructor the
+    /// determinism batteries sweep.
+    pub fn with_chunk(n: usize, chunk: usize) -> Self {
+        Pool {
+            threads: n.max(1),
+            chunk: chunk.max(1),
+        }
     }
 
     /// The single-threaded pool: every task runs inline, in order, on the
@@ -51,14 +80,20 @@ impl Pool {
 
     /// Sizes a pool from the `CWF_THREADS` environment variable, falling
     /// back to [`std::thread::available_parallelism`] (and to 1 if even that
-    /// is unavailable).
+    /// is unavailable). The claim granularity comes from `CWF_CHUNK`
+    /// (default [`DEFAULT_CHUNK`]).
     pub fn from_env() -> Self {
         let n = std::env::var("CWF_THREADS")
             .ok()
             .and_then(|s| s.trim().parse::<usize>().ok())
             .filter(|&n| n >= 1)
             .unwrap_or_else(|| thread::available_parallelism().map_or(1, |n| n.get()));
-        Pool::with_threads(n)
+        let chunk = std::env::var("CWF_CHUNK")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&c| c >= 1)
+            .unwrap_or(DEFAULT_CHUNK);
+        Pool::with_chunk(n, chunk)
     }
 
     /// The process-wide default pool, initialized from [`from_env`](Pool::from_env)
@@ -71,6 +106,11 @@ impl Pool {
     /// Worker count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Claim granularity: consecutive items handed out per atomic claim.
+    pub fn chunk(&self) -> usize {
+        self.chunk
     }
 
     /// Does this pool run everything inline (one worker)?
@@ -104,20 +144,31 @@ impl Pool {
         let queue: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
         let next = AtomicUsize::new(0);
         let workers = self.threads.min(n);
+        // Effective granularity: never hand one worker more than an even
+        // share of the items in a single claim, or a small fan-out (e.g. the
+        // 2^spawn-depth subproblems of the min-scenario search) would be
+        // swallowed whole by the first claim and run serially.
+        let chunk = self.chunk.min(n.div_ceil(workers)).max(1);
         thread::scope(|s| {
             for _ in 0..workers {
                 s.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
+                    // One atomic claim per chunk of consecutive items; the
+                    // item→slot mapping is untouched, so merge order — and
+                    // therefore every analysis result — is independent of
+                    // the chunk size.
+                    let start = next.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
                         break;
                     }
-                    let item = queue[i]
-                        .lock()
-                        .unwrap()
-                        .take()
-                        .expect("each task runs once");
-                    let result = panic::catch_unwind(AssertUnwindSafe(|| f(i, item)));
-                    *slots[i].lock().unwrap() = Some(result);
+                    for i in start..(start + chunk).min(n) {
+                        let item = queue[i]
+                            .lock()
+                            .unwrap()
+                            .take()
+                            .expect("each task runs once");
+                        let result = panic::catch_unwind(AssertUnwindSafe(|| f(i, item)));
+                        *slots[i].lock().unwrap() = Some(result);
+                    }
                 });
             }
         });
@@ -230,6 +281,25 @@ mod tests {
                 item * item
             });
             assert_eq!(out, (0..64).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn chunk_size_never_changes_results() {
+        // Sweep chunk sizes (including ones larger than the item count):
+        // identical output vector every time.
+        let items: Vec<usize> = (0..100).collect();
+        let expect: Vec<usize> = items.iter().map(|i| i * 3).collect();
+        for threads in [1, 2, 4] {
+            for chunk in [1, 3, 16, 64, 1000] {
+                let pool = Pool::with_chunk(threads, chunk);
+                assert_eq!(pool.chunk(), chunk);
+                let out = pool.run(items.clone(), |i, item| {
+                    assert_eq!(i, item);
+                    item * 3
+                });
+                assert_eq!(out, expect, "threads={threads} chunk={chunk}");
+            }
         }
     }
 

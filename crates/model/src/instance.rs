@@ -59,7 +59,7 @@ impl Relation {
         if t.key().is_null() {
             return Err(ModelError::NullKey);
         }
-        Ok(self.tuples.insert(t.key().clone(), t))
+        Ok(self.tuples.insert(*t.key(), t))
     }
 
     /// Removes (and returns) the tuple with key `k`.
@@ -148,7 +148,7 @@ impl Instance {
         for (_, t) in self.facts() {
             for v in t.values() {
                 if !v.is_null() {
-                    dom.insert(v.clone());
+                    dom.insert(*v);
                 }
             }
         }

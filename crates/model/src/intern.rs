@@ -1,0 +1,181 @@
+//! String interning for program constants.
+//!
+//! Every string constant that enters the system — program text, decoded WAL
+//! records, chaos workload generators — is folded into a process-global,
+//! append-only symbol table and handed back as an [`Istr`]: a `Copy` handle
+//! to a `&'static str`. Because the table guarantees at most one leaked
+//! allocation per distinct string, *pointer* equality coincides with
+//! *content* equality, which makes [`Istr`] (and therefore
+//! [`crate::Value`]) O(1) to compare and trivially `Copy`.
+//!
+//! The table is process-global rather than per-run on purpose: symbols are
+//! program constants shared freely across runs, shards, coordinator
+//! replicas and analysis workers, and a run-scoped table would force a
+//! translation layer at every one of those boundaries. Interned strings are
+//! leaked (never freed); the set of distinct constants in any workload is
+//! small and bounded by program text plus decoded WAL content, so the table
+//! behaves like a string section of the binary that grows on demand.
+//!
+//! Serialization never sees intern ids: the codec layer writes the string
+//! *content* (see `cwf-engine`'s text codec), so WAL and outbox bytes are
+//! identical to the pre-interning format.
+
+use std::borrow::Borrow;
+use std::collections::HashSet;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+use std::sync::{OnceLock, RwLock};
+
+/// The global symbol table. Append-only; entries are leaked `&'static str`.
+fn table() -> &'static RwLock<HashSet<&'static str>> {
+    static TABLE: OnceLock<RwLock<HashSet<&'static str>>> = OnceLock::new();
+    TABLE.get_or_init(|| RwLock::new(HashSet::new()))
+}
+
+/// An interned string: a `Copy` handle into the global symbol table.
+///
+/// Equality is pointer equality (valid because the table interns each
+/// distinct string exactly once); ordering and hashing are by content, so
+/// `Istr` sorts and hashes exactly like the `str` it denotes — BTreeMap
+/// iteration orders are unchanged from the pre-interning representation.
+#[derive(Clone, Copy)]
+pub struct Istr(&'static str);
+
+impl Istr {
+    /// Interns `s`, returning the canonical handle for its content.
+    pub fn new(s: &str) -> Istr {
+        if let Some(&hit) = table().read().unwrap().get(s) {
+            return Istr(hit);
+        }
+        let mut w = table().write().unwrap();
+        if let Some(&hit) = w.get(s) {
+            return Istr(hit);
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        w.insert(leaked);
+        Istr(leaked)
+    }
+
+    /// The interned content.
+    pub fn as_str(self) -> &'static str {
+        self.0
+    }
+}
+
+impl PartialEq for Istr {
+    fn eq(&self, other: &Self) -> bool {
+        // Fat-pointer comparison: same address and length. The interner
+        // guarantees one allocation per distinct string, so this is exactly
+        // content equality.
+        std::ptr::eq(self.0, other.0)
+    }
+}
+
+impl Eq for Istr {}
+
+impl PartialOrd for Istr {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Istr {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if std::ptr::eq(self.0, other.0) {
+            std::cmp::Ordering::Equal
+        } else {
+            self.0.cmp(other.0)
+        }
+    }
+}
+
+impl Hash for Istr {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.0.hash(state);
+    }
+}
+
+impl Deref for Istr {
+    type Target = str;
+    fn deref(&self) -> &str {
+        self.0
+    }
+}
+
+impl AsRef<str> for Istr {
+    fn as_ref(&self) -> &str {
+        self.0
+    }
+}
+
+impl Borrow<str> for Istr {
+    fn borrow(&self) -> &str {
+        self.0
+    }
+}
+
+impl From<&str> for Istr {
+    fn from(s: &str) -> Self {
+        Istr::new(s)
+    }
+}
+
+impl fmt::Display for Istr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl fmt::Debug for Istr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_pointer_unique() {
+        let a = Istr::new("hello");
+        let b = Istr::new(&String::from("hello"));
+        assert_eq!(a, b);
+        assert!(std::ptr::eq(a.as_str(), b.as_str()));
+        let c = Istr::new("world");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ordering_and_hash_follow_content() {
+        let a = Istr::new("aa");
+        let b = Istr::new("ab");
+        assert!(a < b);
+        assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+        use std::collections::BTreeSet;
+        let set: BTreeSet<Istr> = ["z", "a", "m"].into_iter().map(Istr::new).collect();
+        let sorted: Vec<&str> = set.iter().map(|s| s.as_str()).collect();
+        assert_eq!(sorted, ["a", "m", "z"]);
+    }
+
+    #[test]
+    fn deref_and_display() {
+        let s = Istr::new("abc");
+        assert!(s.starts_with("ab"));
+        assert_eq!(s.to_string(), "abc");
+        assert_eq!(format!("{s:?}"), "\"abc\"");
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn concurrent_interning_yields_one_pointer() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| std::thread::spawn(|| Istr::new("racy-constant")))
+            .collect();
+        let strs: Vec<Istr> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for w in strs.windows(2) {
+            assert!(std::ptr::eq(w[0].as_str(), w[1].as_str()));
+        }
+    }
+}

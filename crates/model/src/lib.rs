@@ -19,9 +19,11 @@ pub mod diff;
 pub mod error;
 pub mod govern;
 pub mod instance;
+pub mod intern;
 pub mod schema;
 pub mod simplify;
 pub mod solver;
+pub mod store;
 pub mod tuple;
 pub mod value;
 pub mod views;
@@ -30,10 +32,14 @@ pub use chase::{chase, chase_with, naive_chase, ChaseFailure};
 pub use condition::{Atom, Condition};
 pub use diff::{AttrChange, InstanceDiff};
 pub use error::ModelError;
-pub use govern::{Bound, CancelToken, FirstHit, Governor, Pool, Reason, SharedMin, Verdict};
+pub use govern::{
+    Bound, CancelToken, FirstHit, Governor, Pool, Reason, SharedMin, Verdict, DEFAULT_CHUNK,
+};
 pub use instance::{Instance, RawInstance, Relation};
+pub use intern::Istr;
 pub use schema::{AttrId, PeerId, RelId, RelSchema, Schema, KEY};
 pub use simplify::{simplify, size as condition_size};
+pub use store::RelStore;
 pub use tuple::Tuple;
 pub use value::{FreshGen, Value};
 pub use views::{CollabSchema, ViewInstance, ViewRel};

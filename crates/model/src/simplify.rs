@@ -40,7 +40,7 @@ fn local(c: &Condition) -> Condition {
     match c {
         Condition::True => Condition::True,
         Condition::False => Condition::False,
-        Condition::EqConst(a, v) => Condition::EqConst(*a, v.clone()),
+        Condition::EqConst(a, v) => Condition::EqConst(*a, *v),
         Condition::EqAttr(a, b) if a == b => Condition::True,
         Condition::EqAttr(a, b) => {
             // Canonical orientation.

@@ -247,7 +247,7 @@ fn consistent(literals: &[(Atom, bool)]) -> bool {
                 Some(existing) if existing != v => return false,
                 Some(_) => {}
                 None => {
-                    labels.insert(root, v.clone());
+                    labels.insert(root, *v);
                 }
             }
         }
@@ -268,7 +268,7 @@ fn consistent(literals: &[(Atom, bool)]) -> bool {
         labels
             .iter()
             .find(|(r, _)| uf.find(**r) == root)
-            .map(|(_, v)| v.clone())
+            .map(|(_, v)| *v)
     };
     // 4. Check negative literals.
     for (atom, pos) in literals {

@@ -11,9 +11,10 @@
 //! monotone counter suffices to guarantee global freshness within a run.
 
 use std::fmt;
-use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
+
+use crate::intern::Istr;
 
 /// A single domain value.
 ///
@@ -21,7 +22,13 @@ use serde::{Deserialize, Serialize};
 /// deterministic, reproducible iteration over instances) but otherwise
 /// semantically meaningless: the model only ever compares values for
 /// (dis)equality.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+///
+/// `Value` is `Copy`: strings are interned [`Istr`] handles with pointer
+/// equality, so comparing, hashing and copying values is O(1) regardless of
+/// string length. The ordering over `Str` is still by content (via `Istr`'s
+/// `Ord`), so instance iteration orders are identical to the old
+/// `Arc<str>` representation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
 pub enum Value {
     /// The undefined value `⊥`.
     #[default]
@@ -30,17 +37,17 @@ pub enum Value {
     Bool(bool),
     /// An integer constant.
     Int(i64),
-    /// A string constant (cheaply clonable).
-    Str(Arc<str>),
+    /// An interned string constant (`Copy`, O(1) equality).
+    Str(Istr),
     /// A globally fresh symbol drawn by a [`FreshGen`]; never denotable by a
     /// program constant.
     Fresh(u64),
 }
 
 impl Value {
-    /// Builds a string value.
+    /// Builds a string value (interning the content).
     pub fn str(s: impl AsRef<str>) -> Self {
-        Value::Str(Arc::from(s.as_ref()))
+        Value::Str(Istr::new(s.as_ref()))
     }
 
     /// Builds an integer value.
@@ -98,7 +105,7 @@ impl From<&str> for Value {
 
 impl From<String> for Value {
     fn from(s: String) -> Self {
-        Value::Str(Arc::from(s.as_str()))
+        Value::str(s)
     }
 }
 

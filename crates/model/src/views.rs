@@ -28,6 +28,7 @@ use crate::error::ModelError;
 use crate::instance::{Instance, RawInstance};
 use crate::schema::{AttrId, PeerId, RelId, Schema, KEY};
 use crate::solver;
+use crate::store::RelStore;
 use crate::tuple::Tuple;
 use crate::value::Value;
 
@@ -228,11 +229,12 @@ impl CollabSchema {
     pub fn view_of(&self, instance: &Instance, p: PeerId) -> ViewInstance {
         let mut rels = BTreeMap::new();
         for (rel, view) in &self.views[p.index()] {
-            let mut out: BTreeMap<Value, Tuple> = BTreeMap::new();
+            // Source tuples arrive in key order and projection preserves the
+            // key, so these upserts hit the store's append fast path.
+            let mut out = RelStore::new();
             for t in instance.rel(*rel).iter() {
                 if view.selects(t) {
-                    let proj = view.project(t);
-                    out.insert(proj.key().clone(), proj);
+                    out.upsert(view.project(t));
                 }
             }
             rels.insert(*rel, out);
@@ -248,7 +250,7 @@ impl CollabSchema {
         ViewInstance {
             rels: self.views[p.index()]
                 .keys()
-                .map(|rel| (*rel, BTreeMap::new()))
+                .map(|rel| (*rel, RelStore::new()))
                 .collect(),
         }
     }
@@ -292,7 +294,7 @@ impl CollabSchema {
             for (rel, tuples) in &view.rels {
                 let vr = self.view(p, *rel).expect("view exists for viewed rel");
                 let arity = self.schema.relation(*rel).arity();
-                for t in tuples.values() {
+                for t in tuples {
                     raw.push(*rel, vr.pad(t, arity));
                 }
             }
@@ -301,21 +303,50 @@ impl CollabSchema {
     }
 }
 
-/// The view instance `I@p`: per visible relation, the projected tuples keyed
-/// by key value (the key is always part of a view).
+/// The view instance `I@p`: per visible relation, a columnar [`RelStore`]
+/// of the projected tuples in key order (the key is always part of a view).
 ///
 /// Equality of view instances is what defines event visibility
-/// (`I_{i−1}@p ≠ I_i@p`, Section 3), so `PartialEq` here is semantic.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+/// (`I_{i−1}@p ≠ I_i@p`, Section 3), so `PartialEq` here is semantic:
+/// same relations, same rows — the sorted stores make this a pair of dense
+/// slice comparisons per relation.
+#[derive(Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct ViewInstance {
-    rels: BTreeMap<RelId, BTreeMap<Value, Tuple>>,
+    rels: BTreeMap<RelId, RelStore>,
+}
+
+impl Clone for ViewInstance {
+    fn clone(&self) -> Self {
+        ViewInstance {
+            rels: self.rels.clone(),
+        }
+    }
+
+    /// When both instances cover the same relations (always true between
+    /// states of one peer's view — the relation set is the view schema),
+    /// overwrite store-by-store so the columnar buffers are reused.
+    fn clone_from(&mut self, src: &Self) {
+        if self.rels.len() == src.rels.len() && self.rels.keys().eq(src.rels.keys()) {
+            for (dst, s) in self.rels.values_mut().zip(src.rels.values()) {
+                dst.clone_from(s);
+            }
+        } else {
+            self.rels = src.rels.clone();
+        }
+    }
 }
 
 impl ViewInstance {
     /// The tuples of `rel` visible in this view (empty if the relation is not
     /// part of the view schema).
     pub fn rel(&self, rel: RelId) -> impl Iterator<Item = &Tuple> {
-        self.rels.get(&rel).into_iter().flat_map(|m| m.values())
+        self.rels.get(&rel).into_iter().flatten()
+    }
+
+    /// The columnar store of `rel`, if the relation is part of the view
+    /// schema — the join planner's entry point for index probes.
+    pub fn store(&self, rel: RelId) -> Option<&RelStore> {
+        self.rels.get(&rel)
     }
 
     /// The visible tuple with key `k` in `rel`, if any.
@@ -330,30 +361,30 @@ impl ViewInstance {
 
     /// The visible keys of `rel`, in order.
     pub fn keys(&self, rel: RelId) -> impl Iterator<Item = &Value> {
-        self.rels.get(&rel).into_iter().flat_map(|m| m.keys())
+        self.rels.get(&rel).into_iter().flat_map(RelStore::keys)
     }
 
     /// Total number of visible tuples.
     pub fn total_tuples(&self) -> usize {
-        self.rels.values().map(BTreeMap::len).sum()
+        self.rels.values().map(RelStore::len).sum()
     }
 
     /// Is the whole view empty?
     pub fn is_empty(&self) -> bool {
-        self.rels.values().all(BTreeMap::is_empty)
+        self.rels.values().all(RelStore::is_empty)
     }
 
     /// Number of visible tuples in `rel` (0 if the relation is not part of
     /// the view schema). Drives the smallest-relation heuristic of the join
     /// planner.
     pub fn rel_len(&self, rel: RelId) -> usize {
-        self.rels.get(&rel).map_or(0, BTreeMap::len)
+        self.rels.get(&rel).map_or(0, RelStore::len)
     }
 
     /// Inserts or replaces the view tuple for `t`'s key in `rel` (delta
     /// application; the tuple is already projected to view width).
     pub fn upsert(&mut self, rel: RelId, t: Tuple) {
-        self.rels.entry(rel).or_default().insert(t.key().clone(), t);
+        self.rels.entry(rel).or_default().upsert(t);
     }
 
     /// Removes the view tuple with key `k` from `rel`, if present (delta
@@ -368,7 +399,7 @@ impl ViewInstance {
     pub fn facts(&self) -> impl Iterator<Item = (RelId, &Tuple)> {
         self.rels
             .iter()
-            .flat_map(|(r, m)| m.values().map(move |t| (*r, t)))
+            .flat_map(|(r, m)| m.iter().map(move |t| (*r, t)))
     }
 }
 

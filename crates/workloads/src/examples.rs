@@ -181,7 +181,7 @@ mod tests {
             let rid = spec.program().rule_by_name(name).unwrap();
             let rule = spec.program().rule(rid);
             let mut b = Bindings::empty(rule.vars.len());
-            b.set(VarId(0), x.clone());
+            b.set(VarId(0), x);
             run.push(Event::new(&spec, rid, b).unwrap()).unwrap();
         }
         // Sue saw the clearance and the hire; the cfo/ceo steps are hidden.
@@ -207,11 +207,11 @@ mod tests {
         let s2 = Value::Fresh(2000);
         let x = Value::Fresh(3000);
         let k = Value::Fresh(4000);
-        push("stage", vec![s1.clone()]);
-        push("clear", vec![x.clone(), s1.clone()]);
-        push("stage", vec![s2.clone()]);
-        push("approve", vec![k.clone(), x.clone(), s2.clone()]);
-        push("hire", vec![x.clone(), k, s2.clone()]);
+        push("stage", vec![s1]);
+        push("clear", vec![x, s1]);
+        push("stage", vec![s2]);
+        push("approve", vec![k, x, s2]);
+        push("hire", vec![x, k, s2]);
         let hire = run.spec().collab().schema().rel("Hire").unwrap();
         assert!(run.current().rel(hire).contains_key(&x));
     }
@@ -232,9 +232,9 @@ mod tests {
             let e = Event::new(run.spec(), rid, b).unwrap();
             run.push(e).unwrap();
         };
-        push("assign", vec![alice.clone(), proj.clone()]);
-        push("request", vec![alice.clone(), bob.clone(), proj.clone()]);
-        push("replace", vec![alice.clone(), bob.clone(), proj.clone()]);
+        push("assign", vec![alice, proj]);
+        push("request", vec![alice, bob, proj]);
+        push("replace", vec![alice, bob, proj]);
         assert!(!run.current().rel(assign).contains_key(&alice));
         let t = run.current().rel(assign).get(&bob).expect("bob assigned");
         assert_eq!(t.get(cwf_model::AttrId(1)), &proj);

@@ -96,7 +96,7 @@ pub fn build_procurement_run(
         debug_assert_eq!(rule.vars.len(), vals.len(), "rule {name}");
         let mut b = Bindings::empty(vals.len());
         for (i, v) in vals.iter().enumerate() {
-            b.set(VarId(i as u32), v.clone());
+            b.set(VarId(i as u32), *v);
         }
         let e = Event::new(run.spec(), rid, b).unwrap();
         run.push(e)
@@ -122,7 +122,7 @@ pub fn build_procurement_run(
             fire(&mut run, "submit_small", std::slice::from_ref(&nr));
             fire(&mut run, "approve_m", &[nr, Value::str("small")]);
         }
-        fire(&mut run, "approve_m", &[r.clone(), size]);
+        fire(&mut run, "approve_m", &[r, size]);
         if large {
             fire(&mut run, "approve_f", std::slice::from_ref(&r));
             fire(&mut run, "order_large", std::slice::from_ref(&r));

@@ -84,7 +84,7 @@ pub fn build_review_run(n_papers: usize, extra_reviews: usize, rng: &mut impl Rn
         debug_assert_eq!(rule.vars.len(), vals.len(), "rule {name}");
         let mut b = Bindings::empty(vals.len());
         for (i, v) in vals.iter().enumerate() {
-            b.set(VarId(i as u32), v.clone());
+            b.set(VarId(i as u32), *v);
         }
         let e = Event::new(run.spec(), rid, b).unwrap();
         run.push(e)
@@ -99,11 +99,7 @@ pub fn build_review_run(n_papers: usize, extra_reviews: usize, rng: &mut impl Rn
         let a = run.draw_fresh();
         let reviewer_tag = run.draw_fresh();
         // assign: vars a(0), p(1), rev(2); rev is fresh (reviewer handle).
-        fire(
-            &mut run,
-            "assign",
-            &[a.clone(), p.clone(), reviewer_tag.clone()],
-        );
+        fire(&mut run, "assign", &[a, p, reviewer_tag]);
         // Two concurring reviews by different reviewers.
         let r1 = run.draw_fresh();
         fire(
@@ -113,7 +109,7 @@ pub fn build_review_run(n_papers: usize, extra_reviews: usize, rng: &mut impl Rn
             } else {
                 "review_reject"
             },
-            &[r1.clone(), p.clone(), a.clone(), reviewer_tag.clone()],
+            &[r1, p, a, reviewer_tag],
         );
         let r2 = run.draw_fresh();
         fire(
@@ -123,7 +119,7 @@ pub fn build_review_run(n_papers: usize, extra_reviews: usize, rng: &mut impl Rn
             } else {
                 "review_reject2"
             },
-            &[r2.clone(), p.clone(), a.clone(), reviewer_tag.clone()],
+            &[r2, p, a, reviewer_tag],
         );
         // Unused extra reviews (conflicting verdicts never reach two).
         for _ in 0..extra_reviews {
@@ -135,13 +131,13 @@ pub fn build_review_run(n_papers: usize, extra_reviews: usize, rng: &mut impl Rn
                 } else {
                     "review_accept"
                 },
-                &[rx, p.clone(), a.clone(), reviewer_tag.clone()],
+                &[rx, p, a, reviewer_tag],
             );
         }
         decisions.push(fire(
             &mut run,
             if accept { "accept" } else { "reject" },
-            &[p.clone(), r1, r2],
+            &[p, r1, r2],
         ));
     }
     ReviewRun {

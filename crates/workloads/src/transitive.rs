@@ -62,7 +62,7 @@ pub fn transitive_run(path_len: usize) -> Run {
         debug_assert_eq!(rule.vars.len(), vals.len(), "rule {name}");
         let mut b = Bindings::empty(vals.len());
         for (i, v) in vals.iter().enumerate() {
-            b.set(VarId(i as u32), v.clone());
+            b.set(VarId(i as u32), *v);
         }
         let e = Event::new(run.spec(), rid, b).unwrap();
         run.push(e)
@@ -73,39 +73,35 @@ pub fn transitive_run(path_len: usize) -> Run {
     let mut edge_keys = Vec::new();
     if path_len == 1 {
         let e = run.draw_fresh();
-        edge_keys.push(e.clone());
+        edge_keys.push(e);
         fire(&mut run, "edge01", &[e]);
         nodes.push(Value::int(1));
     } else {
         // 0 → f1.
         let e = run.draw_fresh();
         let f1 = run.draw_fresh();
-        edge_keys.push(e.clone());
-        nodes.push(f1.clone());
+        edge_keys.push(e);
+        nodes.push(f1);
         fire(&mut run, "edge0", &[e, f1]);
         // f_i → f_{i+1}.
         for _ in 2..path_len {
             let e = run.draw_fresh();
             let next = run.draw_fresh();
-            let prev_key = edge_keys.last().expect("at least one edge").clone();
-            let prev_src = nodes[nodes.len() - 2].clone();
-            let cur = nodes.last().expect("nodes non-empty").clone();
+            let prev_key = *edge_keys.last().expect("at least one edge");
+            let prev_src = nodes[nodes.len() - 2];
+            let cur = *nodes.last().expect("nodes non-empty");
             // extend: +R(e, y, z) :- R(k, x, y) — vars e, y, z, k, x.
-            fire(
-                &mut run,
-                "extend",
-                &[e.clone(), cur, next.clone(), prev_key, prev_src],
-            );
+            fire(&mut run, "extend", &[e, cur, next, prev_key, prev_src]);
             edge_keys.push(e);
             nodes.push(next);
         }
         // f_last → 1.
         let e = run.draw_fresh();
-        let prev_key = edge_keys.last().expect("edge exists").clone();
-        let prev_src = nodes[nodes.len() - 2].clone();
-        let cur = nodes.last().expect("nodes non-empty").clone();
+        let prev_key = *edge_keys.last().expect("edge exists");
+        let prev_src = nodes[nodes.len() - 2];
+        let cur = *nodes.last().expect("nodes non-empty");
         // close: +R(e, y, 1) :- R(k, x, y) — vars e, y, k, x.
-        fire(&mut run, "close", &[e.clone(), cur, prev_key, prev_src]);
+        fire(&mut run, "close", &[e, cur, prev_key, prev_src]);
         edge_keys.push(e);
         nodes.push(Value::int(1));
     }
@@ -114,33 +110,18 @@ pub fn transitive_run(path_len: usize) -> Run {
     for (i, w) in nodes.windows(2).enumerate() {
         let e = run.draw_fresh();
         // base: +S(e, x, y) :- R(k, x, y) — vars e, x, y, k.
-        fire(
-            &mut run,
-            "base",
-            &[e.clone(), w[0].clone(), w[1].clone(), edge_keys[i].clone()],
-        );
+        fire(&mut run, "base", &[e, w[0], w[1], edge_keys[i]]);
         s_keys.push(e);
     }
     // Fold the path left to right.
-    let mut acc_key = s_keys[0].clone();
+    let mut acc_key = s_keys[0];
     let acc_src = Value::int(0);
     for (i, k2) in s_keys.iter().enumerate().skip(1) {
         let e = run.draw_fresh();
-        let mid = nodes[i].clone();
-        let dst = nodes[i + 1].clone();
+        let mid = nodes[i];
+        let dst = nodes[i + 1];
         // step: +S(e, x, z) :- S(k1, x, y), S(k2, y, z) — vars e,x,z,k1,y,k2.
-        fire(
-            &mut run,
-            "step",
-            &[
-                e.clone(),
-                acc_src.clone(),
-                dst,
-                acc_key.clone(),
-                mid,
-                k2.clone(),
-            ],
-        );
+        fire(&mut run, "step", &[e, acc_src, dst, acc_key, mid, *k2]);
         acc_key = e;
     }
     // emit: +T(e, 0, 1) :- S(k, 0, 1) — vars e, k.

@@ -85,7 +85,7 @@ pub fn build_triage_run(n_tickets: usize, n_escalated: usize, rng: &mut impl Rng
         debug_assert_eq!(rule.vars.len(), vals.len(), "rule {name}");
         let mut b = Bindings::empty(vals.len());
         for (i, v) in vals.iter().enumerate() {
-            b.set(VarId(i as u32), v.clone());
+            b.set(VarId(i as u32), *v);
         }
         let e = Event::new(run.spec(), rid, b).unwrap();
         run.push(e)
@@ -104,7 +104,7 @@ pub fn build_triage_run(n_tickets: usize, n_escalated: usize, rng: &mut impl Rng
     let mut escalations = Vec::new();
     let mut resolutions = Vec::new();
     for t in hot {
-        escalations.push(fire(&mut run, "escalate", &[t.clone(), Value::Null]));
+        escalations.push(fire(&mut run, "escalate", &[t, Value::Null]));
         fire(&mut run, "ack", std::slice::from_ref(&t));
         resolutions.push(fire(&mut run, "resolve", &[t]));
     }

@@ -35,7 +35,7 @@ fn main() {
         let rid = spec.program().rule_by_name(name).unwrap();
         let mut b = Bindings::empty(vals.len());
         for (i, v) in vals.iter().enumerate() {
-            b.set(VarId(i as u32), v.clone());
+            b.set(VarId(i as u32), *v);
         }
         Event::new(spec, rid, b).unwrap()
     };
@@ -56,9 +56,7 @@ fn main() {
         );
     }
     let d2 = c.draw_fresh();
-    let b2 = c
-        .submit(ev(&spec, "publish", &[d.clone(), d2.clone()]))
-        .unwrap();
+    let b2 = c.submit(ev(&spec, "publish", &[d, d2])).unwrap();
     println!("published — {} peer(s) notified:", b2.deltas.len());
     for (p, delta) in &b2.deltas {
         println!(
@@ -85,8 +83,8 @@ fn main() {
     // note's variables are (s, d): the fresh note key and the published doc.
     let script: Vec<Event> = vec![
         ev(&spec, "draft", std::slice::from_ref(&d3)),
-        ev(&spec, "publish", &[d3.clone(), d4.clone()]),
-        ev(&spec, "note", &[s, d4.clone()]),
+        ev(&spec, "publish", &[d3, d4]),
+        ev(&spec, "note", &[s, d4]),
     ];
     for e in script {
         match gate.push(e.clone()) {

@@ -36,7 +36,7 @@ fn ev(spec: &WorkflowSpec, name: &str, vals: &[Value]) -> Event {
     let rid = spec.program().rule_by_name(name).unwrap();
     let mut b = Bindings::empty(vals.len());
     for (i, v) in vals.iter().enumerate() {
-        b.set(VarId(i as u32), v.clone());
+        b.set(VarId(i as u32), *v);
     }
     Event::new(spec, rid, b).unwrap()
 }
@@ -57,10 +57,10 @@ fn main() {
     c.submit(ev(&spec, "draft", std::slice::from_ref(&d)))
         .unwrap();
     let d2 = c.draw_fresh();
-    c.submit(ev(&spec, "publish", &[d, d2.clone()])).unwrap();
+    c.submit(ev(&spec, "publish", &[d, d2])).unwrap();
     // note's variables are (s, d): the fresh note key and the published doc.
     let s = c.draw_fresh();
-    c.submit(ev(&spec, "note", &[s, d2.clone()])).unwrap();
+    c.submit(ev(&spec, "note", &[s, d2])).unwrap();
     let before = c.run().len();
     let ft = c.ft_stats().clone();
     println!(

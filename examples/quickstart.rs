@@ -44,7 +44,7 @@ fn main() {
         let rid = run.spec().program().rule_by_name(name).unwrap();
         let mut b = Bindings::empty(vals.len());
         for (i, v) in vals.iter().enumerate() {
-            b.set(VarId(i as u32), v.clone());
+            b.set(VarId(i as u32), *v);
         }
         let event = Event::new(run.spec(), rid, b).unwrap();
         run.push(event).unwrap();
@@ -55,7 +55,7 @@ fn main() {
     fire(&mut run, "create", std::slice::from_ref(&t1));
     fire(&mut run, "create", std::slice::from_ref(&t2));
     // claim binds (t, n) — the task key and its title from the body match.
-    fire(&mut run, "claim", &[t1.clone(), title]);
+    fire(&mut run, "claim", &[t1, title]);
     fire(&mut run, "finish", std::slice::from_ref(&t1));
     println!("=== global run ===\n{run:?}");
     println!(

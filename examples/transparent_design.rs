@@ -82,7 +82,7 @@ fn main() {
         let rid = plain.program().rule_by_name(name).unwrap();
         let mut b = Bindings::empty(vals.len());
         for (i, v) in vals.iter().enumerate() {
-            b.set(VarId(i as u32), v.clone());
+            b.set(VarId(i as u32), *v);
         }
         eng.push(Event::new(&plain, rid, b).unwrap()).unwrap()
     };

@@ -78,7 +78,7 @@ fn paper_narrative_end_to_end() {
     let fire = |eng: &mut TransparentEngine, name: &str, v: &Value| -> PushOutcome {
         let rid = spec.program().rule_by_name(name).unwrap();
         let mut b = Bindings::empty(1);
-        b.set(VarId(0), v.clone());
+        b.set(VarId(0), *v);
         eng.push(Event::new(&spec, rid, b).unwrap()).unwrap()
     };
     let a = Value::Fresh(500);

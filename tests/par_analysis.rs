@@ -389,6 +389,100 @@ fn satisfiability_matches_the_sequential_oracle() {
     }
 }
 
+/// The work-claim granularity knob (`CWF_CHUNK`) must never change any
+/// analysis result: sweep chunk sizes 1/8/64 at 4 workers across all four
+/// pooled analyses and compare byte-for-byte against the sequential oracle.
+#[test]
+fn chunk_size_sweep_is_byte_identical_across_all_analyses() {
+    const CHUNKS: [usize; 3] = [1, 8, 64];
+    // Min-scenario + decision mode over a workload slice (full corpus is
+    // covered thread-wise above; the chunk sweep re-runs the searches 3×).
+    // Procurement's per-mask chase is too expensive for the exhaustive
+    // all-minimal sweep in a debug build, as in the thread battery above.
+    for (name, run, peer) in corpus()
+        .into_iter()
+        .filter(|(name, _, _)| name != "procurement")
+        .take(10)
+    {
+        let opts = SearchOptions::default();
+        let seq = search_min_scenario_pooled(
+            &run,
+            peer,
+            &opts,
+            &Governor::unlimited(),
+            &Pool::sequential(),
+        );
+        for chunk in CHUNKS {
+            let par = search_min_scenario_pooled(
+                &run,
+                peer,
+                &opts,
+                &Governor::unlimited(),
+                &Pool::with_chunk(4, chunk),
+            );
+            assert_eq!(par, seq, "{name}: min-scenario diverges at chunk {chunk}");
+        }
+        let seq_all = all_minimal_scenarios_pooled(
+            &run,
+            peer,
+            1 << 16,
+            &Governor::unlimited(),
+            &Pool::sequential(),
+        );
+        for chunk in CHUNKS {
+            let par = all_minimal_scenarios_pooled(
+                &run,
+                peer,
+                1 << 16,
+                &Governor::unlimited(),
+                &Pool::with_chunk(4, chunk),
+            );
+            assert_eq!(
+                par, seq_all,
+                "{name}: all-minimal diverges at chunk {chunk}"
+            );
+        }
+    }
+    // Boundedness on the canonical chain spec.
+    let chain = chain_spec();
+    let p = chain.collab().peer("p").unwrap();
+    let seq = check_h_bounded_pooled(
+        &chain,
+        p,
+        2,
+        &limits(),
+        &Governor::with_nodes(limits().max_nodes),
+        &Pool::sequential(),
+    );
+    for chunk in CHUNKS {
+        let par = check_h_bounded_pooled(
+            &chain,
+            p,
+            2,
+            &limits(),
+            &Governor::with_nodes(limits().max_nodes),
+            &Pool::with_chunk(4, chunk),
+        );
+        assert_eq!(
+            format!("{par:?}"),
+            format!("{seq:?}"),
+            "boundedness diverges at chunk {chunk}"
+        );
+    }
+    // Solver conditions.
+    for (name, cond) in solver_conditions() {
+        let seq = satisfiable_within_pooled(&cond, &Governor::unlimited(), &Pool::sequential());
+        for chunk in CHUNKS {
+            let par = satisfiable_within_pooled(
+                &cond,
+                &Governor::unlimited(),
+                &Pool::with_chunk(4, chunk),
+            );
+            assert_eq!(par, seq, "{name}: satisfiability diverges at chunk {chunk}");
+        }
+    }
+}
+
 /// Under a tight deadline the incumbent is racy but the verdict *kind*
 /// (Done / Anytime / Exhausted) and the stop reason must still agree with
 /// the sequential oracle on every workload.
@@ -473,4 +567,34 @@ fn cross_thread_cancel_stops_a_parallel_search_mid_flight() {
         "exhausted",
         "a cancelled governor must refuse new work"
     );
+}
+
+/// Diagnostic probe (run with `--ignored --nocapture`): compares governed
+/// node counts between the sequential and pooled min-scenario search on the
+/// E17 workload. The pooled count should sit within a few percent of the
+/// sequential one — a large gap means the cross-worker incumbent stopped
+/// pruning redundant equal-length exploration (see `minimum::Ctx::bound`).
+#[test]
+#[ignore]
+fn min_scenario_pooled_node_overhead_probe() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(42);
+    let hs = collab_workflows::workloads::hitting_set_workload(
+        collab_workflows::workloads::HittingSet::random(12, 5, 3, &mut rng),
+    );
+    let run = hs.saturated_run();
+    let opts = collab_workflows::core::SearchOptions::default();
+    for threads in [1usize, 4] {
+        let pool = collab_workflows::model::Pool::with_threads(threads);
+        let gov = collab_workflows::model::Governor::unlimited();
+        let t0 = std::time::Instant::now();
+        let v = collab_workflows::core::search_min_scenario_pooled(&run, hs.p, &opts, &gov, &pool);
+        let dt = t0.elapsed();
+        println!(
+            "threads={threads} nodes={} time={dt:?} verdict_len={:?}",
+            gov.nodes_used(),
+            v.found().map(|s| s.len())
+        );
+    }
 }

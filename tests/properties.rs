@@ -424,6 +424,86 @@ mod par_analysis_props {
     }
 }
 
+mod scratch_props {
+    use super::*;
+    use collab_workflows::core::{is_scenario_against, is_subrun, visible_set};
+    use collab_workflows::engine::ScratchRun;
+
+    /// The legacy scenario oracle: materialize the full subrun, then compare
+    /// whole run views — what `is_scenario_against` did before the streaming
+    /// `ScratchRun` rewrite. Kept here as the differential reference.
+    fn legacy_is_scenario(
+        run: &Run,
+        peer: collab_workflows::model::PeerId,
+        events: &EventSet,
+    ) -> bool {
+        match run.try_subrun(&events.to_vec()) {
+            Ok(sub) => sub.view(peer) == run.view(peer),
+            Err(_) => false,
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The streaming `ScratchRun` replay agrees with the full `Run` at
+        /// every prefix — same acceptance, same current instance, same peer
+        /// views, same per-event visibility.
+        #[test]
+        fn scratch_run_tracks_run_at_every_prefix(gen_seed in 0u64..500, run_seed in 0u64..500) {
+            let mut rng = StdRng::seed_from_u64(gen_seed);
+            let w = random_propositional_spec(&RandomSpecParams::default(), &mut rng);
+            let run = random_run(&w.spec, 12, run_seed);
+            let collab = run.spec().collab();
+            let mut scratch = ScratchRun::restart_of(&run);
+            for i in 0..run.len() {
+                scratch.try_push(run.event(i)).expect("a run replays itself");
+                prop_assert_eq!(scratch.current(), run.instance(i));
+                for p in collab.peer_ids() {
+                    prop_assert_eq!(scratch.view(p), &collab.view_of(run.instance(i), p));
+                    let own = run.event(i).peer == p;
+                    prop_assert_eq!(own || scratch.changed(p), run.visible_at(i, p));
+                }
+            }
+        }
+
+        /// The streaming scenario test is decision-identical to the legacy
+        /// subrun-then-compare oracle on random subsets — including subsets
+        /// that fail to replay, miss observations, or match exactly.
+        #[test]
+        fn streaming_scenario_test_matches_legacy_oracle(
+            gen_seed in 0u64..500, run_seed in 0u64..500, masks in prop::collection::vec(0u64..4096, 1..24)
+        ) {
+            let mut rng = StdRng::seed_from_u64(gen_seed);
+            let w = random_propositional_spec(&RandomSpecParams::default(), &mut rng);
+            let run = random_run(&w.spec, 10, run_seed);
+            let target = run.view(w.observer);
+            let n = run.len();
+            let mut candidates: Vec<EventSet> = masks
+                .into_iter()
+                .map(|m| EventSet::from_iter(n, (0..n).filter(|i| m & (1 << i) != 0)))
+                .collect();
+            // Always include the interesting endpoints: everything, nothing,
+            // and the visible set (supersets of it are scenario candidates).
+            candidates.push(EventSet::full(n));
+            candidates.push(EventSet::empty(n));
+            candidates.push(visible_set(&run, w.observer));
+            for set in &candidates {
+                prop_assert_eq!(
+                    is_scenario_against(&run, w.observer, set, &target),
+                    legacy_is_scenario(&run, w.observer, set),
+                    "streaming vs legacy disagree on {:?}", set
+                );
+                prop_assert_eq!(
+                    is_subrun(&run, set),
+                    run.try_subrun(&set.to_vec()).is_ok(),
+                    "is_subrun vs try_subrun disagree on {:?}", set
+                );
+            }
+        }
+    }
+}
+
 mod engine_props {
     use super::*;
     use collab_workflows::engine::{encode_run, load_run, Coordinator, RunStats};

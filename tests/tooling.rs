@@ -44,6 +44,39 @@ fn procurement_round_trips_through_the_codec() {
     .is_err());
 }
 
+/// Golden-file guard for the v1 run-log codec: a recorded procurement
+/// stream must encode byte-for-byte identically across refactors of the
+/// value/tuple/store layers. Any drift here means persisted logs written by
+/// older builds would no longer be bit-stable — bless deliberately with
+/// `CWF_BLESS=1 cargo test recorded_stream` after auditing the diff.
+#[test]
+fn recorded_stream_matches_the_checked_in_golden_log() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let p = build_procurement_run(3, 1, &mut rng);
+    let log = encode_run(&p.run);
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/procurement_s5.log"
+    );
+    if std::env::var_os("CWF_BLESS").is_some() {
+        std::fs::write(path, &log).unwrap();
+    }
+    let golden = std::fs::read_to_string(path).unwrap();
+    assert_eq!(
+        log, golden,
+        "codec output drifted from the checked-in golden log"
+    );
+    // Decode → re-encode is the identity on the golden bytes.
+    let reloaded = load_run(
+        p.run.spec_arc(),
+        Instance::empty(p.run.spec().collab().schema()),
+        &golden,
+    )
+    .unwrap();
+    assert_eq!(encode_run(&reloaded), golden);
+    assert_eq!(reloaded.current(), p.run.current());
+}
+
 #[test]
 fn stats_agree_with_views() {
     let mut rng = StdRng::seed_from_u64(6);
@@ -145,7 +178,7 @@ fn enforcement_modes_differ_as_documented() {
         let fire = |eng: &mut TransparentEngine, name: &str, v: &Value| {
             let rid = spec.program().rule_by_name(name).unwrap();
             let mut b = Bindings::empty(1);
-            b.set(VarId(0), v.clone());
+            b.set(VarId(0), *v);
             eng.push(Event::new(&spec, rid, b).unwrap()).unwrap()
         };
         fire(&mut eng, "clear", &x);
