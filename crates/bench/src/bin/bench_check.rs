@@ -20,7 +20,10 @@
 //! * `BENCH_reshard_admission.json` — admission throughput with a live
 //!   split in flight relative to the idle map (the resharding tax);
 //! * `BENCH_par_analysis.json` — the 4-thread min-scenario and boundedness
-//!   speedups over the sequential oracle (the pooled-analysis overhead).
+//!   speedups over the sequential oracle (the pooled-analysis overhead);
+//! * `BENCH_provenance.json` — the explain-from-index speedup over a
+//!   witness-reconstructing scenario search, and the cone-pruning node
+//!   reduction on byte-identical minimum-scenario verdicts.
 //!
 //! A fresh ratio more than 25% below its baseline is a regression: the
 //! check prints every comparison, restores the baseline files (the bench
@@ -98,6 +101,18 @@ fn ratios(experiment: &str) -> Vec<(String, String, Option<String>)> {
             "migrating_4_shards_events_per_sec".into(),
             Some("idle_4_shards_events_per_sec".into()),
         )],
+        "BENCH_provenance.json" => vec![
+            (
+                "explain speedup over scenario search".into(),
+                "explain_speedup".into(),
+                None,
+            ),
+            (
+                "cone node reduction".into(),
+                "cone_node_reduction".into(),
+                None,
+            ),
+        ],
         "BENCH_par_analysis.json" => vec![
             (
                 "min-scenario speedup at 4 threads".into(),
@@ -133,6 +148,7 @@ fn main() -> ExitCode {
         ("BENCH_dist_admission.json", "dist_admission"),
         ("BENCH_reshard_admission.json", "reshard_admission"),
         ("BENCH_par_analysis.json", "par_analysis"),
+        ("BENCH_provenance.json", "provenance"),
     ];
     // Snapshot the checked-in baselines before the benches overwrite them.
     let mut baselines = Vec::new();

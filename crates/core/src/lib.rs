@@ -19,6 +19,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cone;
 pub mod explain;
 pub mod faithful;
 pub mod incremental;
@@ -31,6 +32,7 @@ pub mod set;
 pub mod tp;
 pub mod why;
 
+pub use cone::{closed_deps, peer_cone};
 pub use explain::{explain, ExplainedEvent, Explanation};
 pub use faithful::{
     is_boundary_faithful, is_faithful, is_modification_faithful, is_tp_fixpoint, relevant_attrs,
@@ -38,8 +40,8 @@ pub use faithful::{
 pub use incremental::IncrementalExplainer;
 pub use index::{Lifecycle, Modification, RunIndex};
 pub use minimal::{
-    all_minimal_scenarios, all_minimal_scenarios_pooled, is_minimal_exact, is_one_minimal,
-    one_minimal_scenario, shrink_to_one_minimal,
+    all_minimal_scenarios, all_minimal_scenarios_pooled, all_minimal_scenarios_unpruned,
+    is_minimal_exact, is_one_minimal, one_minimal_scenario, shrink_to_one_minimal,
 };
 pub use minimum::{
     exists_scenario_at_most, exists_scenario_at_most_pooled, search_min_scenario,

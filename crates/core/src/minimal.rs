@@ -94,6 +94,7 @@ pub fn is_minimal_exact(
             allowed: Some(candidate.clone()),
             max_len: Some(candidate.len() - 1),
             first_found: true,
+            ..Default::default()
         };
         match search_min_scenario(run, peer, &opts, gov) {
             // Any strict-subsequence scenario — even one found after a
@@ -283,21 +284,55 @@ pub fn all_minimal_scenarios_pooled(
     gov: &Governor,
     pool: &Pool,
 ) -> Verdict<Vec<EventSet>> {
+    all_minimal_impl(run, peer, max, gov, pool, true)
+}
+
+/// [`all_minimal_scenarios_pooled`] with cone pruning disabled: the raw
+/// `2^n` sweep over every event subset. Same answers on every completed
+/// enumeration — this is the reference the differential battery compares
+/// the pruned sweep against, and the honest baseline for benchmarks.
+pub fn all_minimal_scenarios_unpruned(
+    run: &Run,
+    peer: PeerId,
+    max: usize,
+    gov: &Governor,
+    pool: &Pool,
+) -> Verdict<Vec<EventSet>> {
+    all_minimal_impl(run, peer, max, gov, pool, false)
+}
+
+fn all_minimal_impl(
+    run: &Run,
+    peer: PeerId,
+    max: usize,
+    gov: &Governor,
+    pool: &Pool,
+    use_cone: bool,
+) -> Verdict<Vec<EventSet>> {
     gov.guard(|| {
         // Collect scenarios by exhaustive mask enumeration, then filter to
         // the minimal ones (no strict subsequence among the collected set is
-        // also a scenario).
+        // also a scenario). Masks range over subsets of the provenance cone
+        // (every minimal scenario lies inside it, see [`crate::cone`]), so
+        // the sweep costs 2^|cone| instead of 2^n.
         let target = run.view(peer);
         let n = run.len();
-        if n > 24 {
-            // 2^n enumeration is the point here; keep it honest. The result
-            // set (and the masks) would not fit any sane memory account.
+        let cone: Vec<usize> = if use_cone {
+            crate::cone::peer_cone(run, peer).to_vec()
+        } else {
+            (0..n).collect()
+        };
+        if cone.len() > 24 {
+            // 2^|cone| enumeration is the point here; keep it honest. The
+            // result set (and the masks) would not fit any sane memory
+            // account.
             return Verdict::Exhausted(Reason::Memory);
         }
-        let (scenarios, stopped) = if pool.is_sequential() || n < PAR_MIN_MASK_BITS {
-            collect_scenarios_range(run, peer, &target, 0, 1u64 << n, gov, max, None)
+        let bits = cone.len();
+        let (scenarios, stopped) = if pool.is_sequential() || bits < PAR_MIN_MASK_BITS {
+            collect_scenarios_range(run, peer, &target, &cone, 0, 1u64 << bits, gov, max, None)
         } else {
-            collect_scenarios_parallel(run, peer, &target, gov, max, pool)
+            collect_scenarios_parallel(run, peer, &target, &cone, gov, max, pool)
         };
         // Masks are enumerated in increasing numeric order, not subset
         // order, so finish with an exact minimality filter.
@@ -325,15 +360,19 @@ pub fn all_minimal_scenarios_pooled(
     })
 }
 
-/// Enumerates the masks in `[lo, hi)` in increasing order, collecting every
-/// scenario that has no strict subset among the scenarios already collected
-/// *by this call*. `found` (when running as a pool worker) is the
-/// cross-worker find counter backing the runaway guard.
+/// Enumerates the masks in `[lo, hi)` in increasing order — bit `b` of a
+/// mask selects position `cone[b]`, so compact-mask order equals the
+/// expanded global mask order (bit expansion into fixed ascending positions
+/// is monotone) — collecting every scenario that has no strict subset among
+/// the scenarios already collected *by this call*. `found` (when running as
+/// a pool worker) is the cross-worker find counter backing the runaway
+/// guard.
 #[allow(clippy::too_many_arguments)]
 fn collect_scenarios_range(
     run: &Run,
     peer: PeerId,
     target: &RunView,
+    cone: &[usize],
     lo: u64,
     hi: u64,
     gov: &Governor,
@@ -348,7 +387,13 @@ fn collect_scenarios_range(
             stopped = Some(reason);
             break;
         }
-        let set = EventSet::from_iter(n, (0..n).filter(|i| mask & (1 << i) != 0));
+        let set = EventSet::from_iter(
+            n,
+            cone.iter()
+                .enumerate()
+                .filter(|(b, _)| mask & (1 << *b) != 0)
+                .map(|(_, &i)| i),
+        );
         // Cheap pruning: a superset of a known minimal scenario with
         // extra events may still be a non-minimal scenario — skip replay
         // when a known scenario is a strict subset (it cannot be
@@ -377,18 +422,19 @@ fn collect_scenarios_parallel(
     run: &Run,
     peer: PeerId,
     target: &RunView,
+    cone: &[usize],
     gov: &Governor,
     max: usize,
     pool: &Pool,
 ) -> (Vec<EventSet>, Option<Reason>) {
-    let total = 1u64 << run.len();
+    let total = 1u64 << cone.len();
     let chunks = ((pool.threads() * 8) as u64).min(total);
     let found = AtomicUsize::new(0);
     let bounds: Vec<(u64, u64)> = (0..chunks)
         .map(|c| (total * c / chunks, total * (c + 1) / chunks))
         .collect();
     let outs = pool.run(bounds, |_, (lo, hi)| {
-        collect_scenarios_range(run, peer, target, lo, hi, gov, max, Some(&found))
+        collect_scenarios_range(run, peer, target, cone, lo, hi, gov, max, Some(&found))
     });
     let mut scenarios: Vec<EventSet> = Vec::new();
     let mut stopped = None;

@@ -42,6 +42,29 @@ pub struct SearchOptions {
     /// Stop at the first scenario satisfying the constraints instead of
     /// optimizing (decision mode).
     pub first_found: bool,
+    /// Disable provenance-cone pruning. By default the optimizing search
+    /// computes the peer's dependency cone ([`crate::cone::peer_cone`]) and
+    /// never branches on events outside it — every minimum scenario lies
+    /// inside the cone, so completed answers are byte-identical while the
+    /// search visits far fewer nodes. Decision mode (`first_found`) never
+    /// prunes: its contract is the DFS-first witness over exactly the
+    /// caller's position set.
+    pub no_cone: bool,
+}
+
+/// The position set the branch-and-bound actually searches: the caller's
+/// `allowed` set intersected with the peer's provenance cone (optimize mode,
+/// pruning on), or the caller's set verbatim (decision mode, or `no_cone`).
+/// The original `opts` still drive greedy seeding and cutoff verdicts.
+fn cone_restriction(run: &Run, peer: PeerId, opts: &SearchOptions) -> Option<EventSet> {
+    if opts.no_cone || opts.first_found {
+        return opts.allowed.clone();
+    }
+    let cone = crate::cone::peer_cone(run, peer);
+    Some(match &opts.allowed {
+        Some(allowed) => cone.intersection(allowed),
+        None => cone,
+    })
 }
 
 /// Searches for a minimum scenario of `run` at `peer` subject to `opts`,
@@ -99,10 +122,11 @@ pub fn search_min_scenario_pooled(
             return cutoff_verdict(run, peer, opts, None, reason);
         }
         let target = run.view(peer);
+        let restrict = cone_restriction(run, peer, opts);
         if pool.is_sequential() || run.len() < PAR_MIN_EVENTS {
-            return search_sequential(run, peer, opts, gov, &target);
+            return search_sequential(run, peer, opts, &restrict, gov, &target);
         }
-        search_parallel(run, peer, opts, gov, &target, pool)
+        search_parallel(run, peer, opts, &restrict, gov, &target, pool)
     })
 }
 
@@ -111,10 +135,11 @@ fn search_sequential(
     run: &Run,
     peer: PeerId,
     opts: &SearchOptions,
+    restrict: &Option<EventSet>,
     gov: &Governor,
     target: &RunView,
 ) -> Verdict<Option<EventSet>> {
-    let mut ctx = Ctx::sequential(run, peer, target, opts, gov);
+    let mut ctx = Ctx::sequential(run, peer, target, opts, restrict, gov);
     ctx.arena.push(ScratchRun::restart_of(run));
     let mut chosen = Vec::new();
     ctx.dfs(0, 0, 0, &mut chosen);
@@ -155,10 +180,12 @@ fn pack(len: usize, index: usize) -> u64 {
 /// every real subproblem, so equal-length witnesses stay alive everywhere.
 const SEED_INDEX: usize = u32::MAX as usize;
 
+#[allow(clippy::too_many_arguments)]
 fn search_parallel(
     run: &Run,
     peer: PeerId,
     opts: &SearchOptions,
+    restrict: &Option<EventSet>,
     gov: &Governor,
     target: &RunView,
     pool: &Pool,
@@ -166,7 +193,7 @@ fn search_parallel(
     // Phase 1: expand the same exclude-first decision tree sequentially
     // down to the spawn depth, collecting the live branches in DFS order.
     let depth = spawn_depth(pool.threads(), run.len());
-    let mut expander = Ctx::sequential(run, peer, target, opts, gov);
+    let mut expander = Ctx::sequential(run, peer, target, opts, restrict, gov);
     expander.spawn_depth = depth;
     expander.arena.push(ScratchRun::restart_of(run));
     let mut chosen = Vec::new();
@@ -204,7 +231,7 @@ fn search_parallel(
         first_hit: FirstHit::new(),
     };
     let outs = pool.run(prefixes, |idx, p: Prefix| {
-        let mut ctx = Ctx::sequential(run, peer, target, opts, gov);
+        let mut ctx = Ctx::sequential(run, peer, target, opts, restrict, gov);
         ctx.shared = Some(&shared);
         ctx.my_index = idx;
         ctx.arena.push(p.sub);
@@ -370,13 +397,14 @@ impl<'a> Ctx<'a> {
         peer: PeerId,
         target: &'a RunView,
         opts: &SearchOptions,
+        restrict: &Option<EventSet>,
         gov: &'a Governor,
     ) -> Self {
         Ctx {
             run,
             peer,
             target,
-            allowed: opts.allowed.clone(),
+            allowed: restrict.clone(),
             max_len: opts.max_len.unwrap_or(run.len()),
             first_found: opts.first_found,
             gov,

@@ -50,8 +50,8 @@ pub mod sim;
 pub use actions::{format_trace, parse_trace, Action, ActionParseError};
 pub use oracle::{
     default_oracles, default_shard_oracles, governed_view_audit, governed_wellformed, Checkpoint,
-    EventCountOracle, HlcCausality, Oracle, ShardCheckpoint, ShardOracle, ShardOwnership,
-    ShardSlicePrefix, ShardStateUnion, ViewPlaneOracle,
+    EventCountOracle, HlcCausality, Oracle, ProvenanceSound, ShardCheckpoint, ShardOracle,
+    ShardOwnership, ShardProvenanceSound, ShardSlicePrefix, ShardStateUnion, ViewPlaneOracle,
 };
 pub use shard_sim::ShardChaosSim;
 pub use shrink::ddmin;

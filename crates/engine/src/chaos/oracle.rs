@@ -26,7 +26,10 @@
 //!   analysis exercised by `GovernorCancel`);
 //! * [`ViewPlaneOracle`] — the incrementally delta-maintained per-peer views
 //!   of both the live run and the shadow agree with the from-scratch
-//!   `view_of` reference (the differential check of the view plane).
+//!   `view_of` reference (the differential check of the view plane);
+//! * [`ProvenanceSound`] — a provenance-annotated mirror of the shadow run
+//!   evaluates byte-identically to it, and the incrementally stepped
+//!   provenance plane equals a from-scratch rebuild after every action.
 //!
 //! The sixth oracle of the design — post-heal convergence — needs mutable
 //! access to pump the coordinator, so it runs as the final check of
@@ -85,6 +88,7 @@ pub fn default_oracles() -> Vec<Box<dyn Oracle>> {
         Box::new(DegradedSafety::default()),
         Box::new(WellFormed),
         Box::new(ViewPlaneOracle),
+        Box::new(ProvenanceSound::default()),
     ]
 }
 
@@ -400,6 +404,84 @@ impl Oracle for ViewPlaneOracle {
     }
 }
 
+/// The provenance-soundness core shared by the single-node and shard-plane
+/// batteries: a provenance-enabled mirror of the shadow run, extended
+/// incrementally (so the plane is *stepped*, never rebuilt, along the
+/// accepted history) and rebuilt from scratch only when the shadow turns
+/// out not to extend the mirror (first check, or a rolled-back suffix).
+#[derive(Default)]
+struct ProvMirror {
+    mirror: Option<Run>,
+}
+
+impl ProvMirror {
+    fn check(&mut self, shadow: &Run) -> Result<(), String> {
+        let extend_from = match &self.mirror {
+            Some(m)
+                if m.len() <= shadow.len()
+                    && (0..m.len()).all(|i| m.event(i) == shadow.event(i)) =>
+            {
+                m.len()
+            }
+            _ => {
+                let mut fresh = Run::with_initial(shadow.spec_arc(), shadow.initial().clone());
+                fresh.enable_provenance();
+                self.mirror = Some(fresh);
+                0
+            }
+        };
+        let mirror = self.mirror.as_mut().expect("just set");
+        for i in extend_from..shadow.len() {
+            mirror
+                .push(shadow.event(i).clone())
+                .map_err(|e| format!("annotated mirror rejects accepted event {i}: {e:?}"))?;
+        }
+        let mirror = self.mirror.as_ref().expect("just set");
+        if mirror.current() != shadow.current() {
+            return Err("provenance annotation perturbed evaluation".to_string());
+        }
+        let stepped = mirror.provenance().expect("enabled");
+        if stepped != &crate::prov::ProvPlane::build(mirror) {
+            return Err(
+                "incrementally stepped provenance plane diverges from from-scratch build"
+                    .to_string(),
+            );
+        }
+        Ok(())
+    }
+}
+
+/// The provenance plane is sound along the accepted history: annotating
+/// the shadow run never perturbs evaluation, and the incrementally stepped
+/// plane equals a from-scratch [`crate::prov::ProvPlane::build`] after
+/// every single action — crashes, recoveries, and rollbacks included.
+#[derive(Default)]
+pub struct ProvenanceSound(ProvMirror);
+
+impl Oracle for ProvenanceSound {
+    fn name(&self) -> &'static str {
+        "provenance-sound"
+    }
+
+    fn check(&mut self, cp: &Checkpoint<'_>) -> Result<(), String> {
+        self.0.check(cp.shadow)
+    }
+}
+
+/// [`ProvenanceSound`] over the shard plane's single-shard shadow run.
+#[derive(Default)]
+pub struct ShardProvenanceSound(ProvMirror);
+
+impl ShardOracle for ShardProvenanceSound {
+    fn name(&self) -> &'static str {
+        "provenance-sound"
+    }
+
+    fn check(&mut self, cp: &ShardCheckpoint<'_>) -> Result<(), String> {
+        self.0.check(cp.shadow)
+    }
+}
+
 /// A read-only snapshot of the sharded deployment handed to every
 /// [`ShardOracle`] after each action of a shard-plane chaos trace.
 pub struct ShardCheckpoint<'a> {
@@ -443,6 +525,7 @@ pub fn default_shard_oracles() -> Vec<Box<dyn ShardOracle>> {
         Box::new(HlcCausality),
         Box::new(ShardWalReplay),
         Box::new(ShardOwnership::default()),
+        Box::new(ShardProvenanceSound::default()),
     ]
 }
 

@@ -97,6 +97,36 @@ impl Event {
         out
     }
 
+    /// `K(R, e)` split by body-literal polarity: `(positive, negative)`
+    /// per-relation key sets. Positive reads (`R@q(k, ū)` / `Key_{R@q}(k)`)
+    /// require the fact to be *present*, so provenance joins the fact's own
+    /// polynomial; negative reads (`¬R@q(k, ū)` / `¬Key_{R@q}(k)`) require
+    /// *absence*, so provenance joins the key's closed writer history
+    /// instead. Head updates are not included.
+    pub fn body_key_reads(
+        &self,
+        spec: &WorkflowSpec,
+    ) -> (
+        BTreeMap<RelId, BTreeSet<Value>>,
+        BTreeMap<RelId, BTreeSet<Value>>,
+    ) {
+        let rule = spec.program().rule(self.rule);
+        let mut pos: BTreeMap<RelId, BTreeSet<Value>> = BTreeMap::new();
+        let mut neg: BTreeMap<RelId, BTreeSet<Value>> = BTreeMap::new();
+        for lit in &rule.body {
+            let (out, rel, term) = match lit {
+                Literal::Pos { rel, args } => (&mut pos, rel, &args[0]),
+                Literal::KeyPos { rel, key } => (&mut pos, rel, key),
+                Literal::Neg { rel, args } => (&mut neg, rel, &args[0]),
+                Literal::KeyNeg { rel, key } => (&mut neg, rel, key),
+                Literal::Eq(..) | Literal::Neq(..) => continue,
+            };
+            let v = self.valuation.resolve(term).expect("valuation is total");
+            out.entry(*rel).or_default().insert(v);
+        }
+        (pos, neg)
+    }
+
     /// The keys of `rel` occurring in this event (`K(rel, e)`).
     pub fn keys_of(&self, spec: &WorkflowSpec, rel: RelId) -> BTreeSet<Value> {
         self.key_occurrences(spec).remove(&rel).unwrap_or_default()

@@ -29,6 +29,7 @@ pub mod eval;
 pub mod event;
 pub mod fault;
 pub mod nf_runs;
+pub mod prov;
 pub mod run;
 pub mod scratch;
 pub mod shard;
@@ -49,6 +50,7 @@ pub use eval::{check_body, match_body, Bindings};
 pub use event::{Event, GroundUpdate};
 pub use fault::FaultPlan;
 pub use nf_runs::{from_normal_form, to_normal_form, NfTranslateError};
+pub use prov::ProvPlane;
 pub use run::{EventView, ReplayError, Run, RunView, ViewStep};
 pub use scratch::ScratchRun;
 pub use shard::{

@@ -12,10 +12,13 @@ use std::fmt;
 use std::sync::Arc;
 
 use cwf_lang::WorkflowSpec;
-use cwf_model::{FreshGen, Instance, InstanceDiff, PeerId, Value, ViewInstance};
+use cwf_model::{
+    FreshGen, Instance, InstanceDiff, Mono, PeerId, Provenance, RelId, Value, ViewInstance,
+};
 
 use crate::error::EngineError;
 use crate::event::Event;
+use crate::prov::ProvPlane;
 use crate::transition::apply_event_with_view;
 use crate::view_plane::{materialize_view, peer_delta, ViewDelta, ViewPlane};
 
@@ -45,6 +48,9 @@ pub struct Run {
     /// after-values.
     past_adom: BTreeSet<Value>,
     fresh: FreshGen,
+    /// The opt-in provenance plane ([`Run::enable_provenance`]). Derived
+    /// state: never persisted, rebuilt (not recovered) after a WAL replay.
+    prov: Option<ProvPlane>,
 }
 
 impl Run {
@@ -74,6 +80,7 @@ impl Run {
             last_deltas: Vec::new(),
             past_adom,
             fresh,
+            prov: None,
         }
     }
 
@@ -188,6 +195,7 @@ impl Run {
         )?;
         let next = applied.instance;
         let diff = applied.diff;
+        let noop_inserts = applied.noop_inserts;
         // Commit. The avoid-set grows incrementally: a push can only
         // introduce values through created tuples and modification
         // after-values (deletions and before-values are already in
@@ -228,10 +236,79 @@ impl Run {
                 "view plane must track view_of"
             );
         }
+        if let Some(pp) = self.prov.as_mut() {
+            pp.step(
+                &self.spec,
+                &event,
+                self.events.len() as u32,
+                &diff,
+                &noop_inserts,
+                &self.last_deltas,
+            );
+        }
         self.events.push(event);
         self.instances.push(next);
         self.diffs.push(diff);
         Ok(())
+    }
+
+    /// Turns on the provenance plane, building it from the stored history.
+    /// Subsequent pushes maintain it incrementally; [`Run::pop`] rebuilds
+    /// it. Idempotent.
+    pub fn enable_provenance(&mut self) {
+        if self.prov.is_none() {
+            self.prov = Some(ProvPlane::build(self));
+        }
+    }
+
+    /// Turns the provenance plane off, dropping its state.
+    pub fn disable_provenance(&mut self) {
+        self.prov = None;
+    }
+
+    /// Is the provenance plane maintained?
+    pub fn provenance_enabled(&self) -> bool {
+        self.prov.is_some()
+    }
+
+    /// The provenance plane, when enabled.
+    pub fn provenance(&self) -> Option<&ProvPlane> {
+        self.prov.as_ref()
+    }
+
+    /// Why does `peer` see the fact with key `key` in `rel`? Answers from
+    /// the maintained provenance index — no scenario search. `None` when
+    /// the plane is disabled or the peer does not see the fact.
+    pub fn explain_fact(&self, peer: PeerId, rel: RelId, key: &Value) -> Option<&Provenance> {
+        self.prov.as_ref()?.explain(peer, rel, key)
+    }
+
+    /// The support set of a visible fact: every event index appearing in
+    /// some retained derivation, sorted ascending.
+    pub fn fact_support(&self, peer: PeerId, rel: RelId, key: &Value) -> Option<Vec<usize>> {
+        let prov = self.explain_fact(peer, rel, key)?;
+        Some(prov.support().into_iter().map(|e| e as usize).collect())
+    }
+
+    /// The provenance cone of `peer`: the union of the closed dependency
+    /// monomials `D(e_i)` of the events visible at `peer` — every event
+    /// whose effects the peer's observations were derived from. `None`
+    /// when the plane is disabled.
+    ///
+    /// This is the *explanation* cone. Scenario search prunes with the
+    /// slightly wider cone of `cwf_core`'s `cone` module, which must also
+    /// retain events that could impersonate a visible write in a
+    /// sub-replay (e.g. an insertion that was a no-op here but re-creates
+    /// the fact once the original writer is dropped).
+    pub fn prov_cone(&self, peer: PeerId) -> Option<Vec<usize>> {
+        let pp = self.prov.as_ref()?;
+        let mut cone = Mono::one();
+        for i in 0..self.len() {
+            if self.visible_at(i, peer) {
+                cone = cone.union(pp.dep(i));
+            }
+        }
+        Some(cone.events().iter().map(|&e| e as usize).collect())
     }
 
     /// Peer `p`'s incrementally maintained view of [`Run::current`] — the
@@ -273,6 +350,12 @@ impl Run {
         // from the restored current instance rather than inverting deltas.
         self.plane = ViewPlane::new(self.spec.collab(), self.current());
         self.last_deltas.clear();
+        // The provenance plane has no delta inverse either: rebuild it from
+        // the truncated history.
+        if self.prov.is_some() {
+            let rebuilt = ProvPlane::build(self);
+            self.prov = Some(rebuilt);
+        }
         Some(event)
     }
 

@@ -32,6 +32,13 @@ pub struct Applied {
     /// `J − I`, normalized to `(rel, key)` order — identical to what
     /// [`InstanceDiff::between`] would compute.
     pub diff: InstanceDiff,
+    /// Insertions whose key already held exactly the merged tuple — the
+    /// update succeeded but changed nothing, so it never appears in `diff`.
+    /// The provenance plane records these as *alternative* derivations of
+    /// the unchanged fact. The flag is true when the padded insert equals
+    /// the stored tuple outright (the insert alone determines the fact's
+    /// full content), which gates the alternative's soundness.
+    pub noop_inserts: Vec<(cwf_model::RelId, cwf_model::Value, bool)>,
 }
 
 /// Applies `event` to `instance`, returning the successor instance.
@@ -92,6 +99,7 @@ pub fn apply_updates(
     let schema = spec.collab().schema();
     let mut current = instance.clone();
     let mut diff = InstanceDiff::default();
+    let mut noop_inserts = Vec::new();
     for upd in updates {
         match upd {
             GroundUpdate::Delete { rel, key } => {
@@ -149,7 +157,10 @@ pub fn apply_updates(
                             .collect();
                         diff.modified.push((*rel, *view_tuple.key(), changes));
                     }
-                    Some(_) => {}
+                    Some(_) => {
+                        let exact = vr.pad(view_tuple, arity) == *merged;
+                        noop_inserts.push((*rel, *view_tuple.key(), exact));
+                    }
                 }
                 current = next;
             }
@@ -170,6 +181,7 @@ pub fn apply_updates(
     Ok(Applied {
         instance: current,
         diff,
+        noop_inserts,
     })
 }
 

@@ -20,6 +20,7 @@ pub mod error;
 pub mod govern;
 pub mod instance;
 pub mod intern;
+pub mod prov;
 pub mod schema;
 pub mod simplify;
 pub mod solver;
@@ -37,6 +38,7 @@ pub use govern::{
 };
 pub use instance::{Instance, RawInstance, Relation};
 pub use intern::Istr;
+pub use prov::{Mono, ProvStore, Provenance, MAX_MONOMIALS};
 pub use schema::{AttrId, PeerId, RelId, RelSchema, Schema, KEY};
 pub use simplify::{simplify, size as condition_size};
 pub use store::RelStore;

@@ -82,7 +82,7 @@ pub mod prelude {
         lint, parse_workflow, print_workflow, Program, RuleBuilder, VarId, WorkflowSpec,
     };
     pub use cwf_model::{
-        Bound, CancelToken, CollabSchema, Condition, Governor, Instance, PeerId, Reason, RelId,
-        RelSchema, Schema, Tuple, Value, Verdict, ViewRel,
+        Bound, CancelToken, CollabSchema, Condition, Governor, Instance, Mono, PeerId, Provenance,
+        Reason, RelId, RelSchema, Schema, Tuple, Value, Verdict, ViewRel,
     };
 }

@@ -99,6 +99,29 @@ fn fixed_seeds_on_random_workloads_pass_all_oracles() {
     }
 }
 
+/// The provenance pinned seed: a crash-heavy random workload (deletions
+/// common) under the default battery, which includes the provenance-sound
+/// oracle — so the incrementally stepped provenance plane is compared to a
+/// from-scratch rebuild after every single action, across crashes and
+/// rollbacks. Same-seed executions must stay byte-identical with the
+/// provenance mirror active.
+#[test]
+fn fixed_seed_provenance_oracle_stays_sound_and_deterministic() {
+    let sim = ChaosSim::new(chaos_workload(21).spec, ChaosProfile::CrashHeavy);
+    let trace = sim.generate(21, STEPS);
+    let a = sim
+        .run_trace(21, &trace)
+        .expect("provenance pinned seed is green");
+    assert!(a.events > 0, "trace must accept events");
+    let b = sim
+        .run_trace(21, &trace)
+        .expect("provenance pinned seed is green");
+    assert_eq!(
+        a, b,
+        "same-seed reports must be byte-identical with the provenance mirror active"
+    );
+}
+
 /// The determinism audit: two same-seed executions are byte-identical —
 /// same transcript lines, same fault-tolerance counters, same everything.
 #[test]

@@ -164,6 +164,84 @@ proptest! {
     }
 }
 
+/// Provenance is derived state: never serialized, always rebuilt. Three
+/// facets, at every snapshot cadence: (1) growing the identical event
+/// sequence from a provenance-*enabled* writer appends byte-identical WAL
+/// streams — the record format carries no provenance; (2) recovery at
+/// every record boundary yields a prov-*disabled* run; (3) enabling
+/// provenance on the recovered run equals the plane stepped incrementally
+/// over the same recovered history — the rebuild loses nothing.
+#[test]
+fn provenance_is_rebuilt_not_persisted_across_recovery() {
+    use collab_workflows::engine::ProvPlane;
+
+    let spec = default_spec();
+    for snapshot_every in [None, Some(1u64), Some(3u64)] {
+        let opts = WalOptions {
+            sync: SyncPolicy::Always,
+            snapshot_every,
+        };
+        let backend = MemBackend::new();
+        let (events, _event_end, boundaries) = grow_log(&spec, &backend, opts, 8, 42);
+
+        // (1) Same events, provenance-enabled writer: same bytes.
+        let annotated = MemBackend::new();
+        let mut wal = Wal::create(Box::new(annotated.clone()), opts).expect("fresh backend");
+        let mut writer = Run::new(Arc::clone(&spec));
+        writer.enable_provenance();
+        for event in &events {
+            writer.push(event.clone()).expect("accepted events replay");
+            wal.append_event(&spec, event).expect("healthy backend");
+            wal.maybe_snapshot(
+                spec.collab().schema(),
+                writer.current(),
+                writer.fresh_watermark(),
+            )
+            .expect("healthy backend");
+        }
+        assert_eq!(
+            backend.bytes(),
+            annotated.bytes(),
+            "enabling provenance must not change the WAL byte format \
+             (snapshot_every {snapshot_every:?})"
+        );
+
+        let bytes = backend.bytes();
+        for (k, &len) in boundaries.iter().enumerate() {
+            let rec = Wal::recover(
+                Box::new(MemBackend::from_bytes(bytes[..len].to_vec())),
+                Arc::clone(&spec),
+                opts,
+            )
+            .unwrap_or_else(|e| panic!("prefix of {k} records must recover: {e}"));
+            let mut run = rec.run;
+            // (2) Recovered runs come back with the plane off.
+            assert!(
+                !run.provenance_enabled(),
+                "recovery must not resurrect a provenance plane (prefix {k})"
+            );
+            // (3) The rebuild equals incremental stepping over the same
+            // recovered history (post-snapshot suffix included).
+            run.enable_provenance();
+            let mut stepped = Run::with_initial(run.spec_arc(), run.initial().clone());
+            stepped.enable_provenance();
+            for e in run.events() {
+                stepped.push(e.clone()).expect("recovered events replay");
+            }
+            assert_eq!(
+                run.provenance().expect("just enabled"),
+                stepped.provenance().expect("enabled"),
+                "rebuilt plane must equal the incrementally stepped one (prefix {k})"
+            );
+            assert_eq!(
+                run.provenance().expect("just enabled"),
+                &ProvPlane::build(&run),
+                "enable_provenance must be the from-scratch build (prefix {k})"
+            );
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Per-shard streams: the distributed-admission analogue of the property
 // ---------------------------------------------------------------------------
